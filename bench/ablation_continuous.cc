@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Extension study (paper Sections 2.2.1 / 3.2): mixed continuous
+ * batching. Arrivals raise runtime RLP and <eos> lowers it, so
+ * PAPI's scheduler reschedules FC in both directions. Compares PAPI
+ * against the static baselines across offered load levels.
+ */
+
+#include "bench/bench_util.hh"
+#include "core/serving_engine.hh"
+#include "llm/arrival.hh"
+
+using namespace papi;
+
+int
+main()
+{
+    bench::banner("Extension - Mixed continuous batching "
+                  "(LLaMA-65B, general-qa arrivals)");
+
+    llm::ModelConfig model = llm::llama65b();
+    double alpha = bench::calibrateAlpha(model);
+
+    core::Platform papi_sys(core::makePapiConfig());
+    core::Platform base(core::makeA100AttAccConfig());
+    core::Platform pim_only(core::makePimOnlyPapiConfig());
+
+    llm::SpeculativeConfig spec;
+    spec.length = 1;
+    core::ServingOptions opt;
+    opt.alpha = alpha;
+    opt.maxRlp = 64;
+
+    std::printf("alpha = %.0f, %u requests per run\n\n", alpha, 96u);
+    std::printf("%-10s %-14s | %-12s %-12s %-12s | %-10s %-12s\n",
+                "load", "metric", "A100+AttAcc", "PIM-only",
+                "PAPI", "mean RLP", "reschedules");
+
+    for (double rate : {5.0, 30.0, 150.0}) {
+        llm::ArrivalProcess arrivals(llm::TraceCategory::GeneralQa,
+                                     rate, 77);
+        auto reqs = arrivals.generate(96);
+
+        core::ServingResult r_base =
+            core::ServingEngine(base).run(reqs, spec, model, opt);
+        core::ServingResult r_pim =
+            core::ServingEngine(pim_only).run(reqs, spec, model,
+                                              opt);
+        core::ServingResult r_papi =
+            core::ServingEngine(papi_sys).run(reqs, spec, model,
+                                              opt);
+
+        std::printf("%-10.0f %-14s | %-12.3f %-12.3f %-12.3f | "
+                    "%-10.1f %lu (%lu ->GPU)\n",
+                    rate, "mean lat [s]", r_base.meanLatencySeconds,
+                    r_pim.meanLatencySeconds,
+                    r_papi.meanLatencySeconds, r_papi.meanRlp,
+                    static_cast<unsigned long>(r_papi.reschedules),
+                    static_cast<unsigned long>(
+                        r_papi.reschedulesToGpu));
+        std::printf("%-10s %-14s | %-12.0f %-12.0f %-12.0f |\n", "",
+                    "tokens/s",
+                    r_base.throughputTokensPerSecond(),
+                    r_pim.throughputTokensPerSecond(),
+                    r_papi.throughputTokensPerSecond());
+    }
+
+    std::printf("\nShape check: at light load (low mean RLP) the "
+                "PIM-heavy systems win;\nat heavy load the GPU "
+                "baseline catches up - PAPI tracks the better of\n"
+                "the two at every load and is the only system that "
+                "reschedules both ways.\n");
+    return 0;
+}

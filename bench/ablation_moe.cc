@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Extension study (paper Section 6.5): Mixture-of-Experts serving.
+ * Expert sparsity keeps FC memory-bound to much larger batches, so
+ * the dynamic threshold keeps FC on FC-PIM where a dense model of
+ * similar size would have moved to the GPU.
+ */
+
+#include "bench/bench_util.hh"
+#include "core/ai_estimator.hh"
+#include "llm/moe.hh"
+
+using namespace papi;
+
+int
+main()
+{
+    bench::banner("Extension - MoE decoding (Mixtral-8x22B-class, "
+                  "Section 6.5)");
+
+    llm::ModelConfig moe = llm::mixtral8x22b();
+    llm::ModelConfig dense = llm::llama65b();
+    double alpha = bench::calibrateAlpha(dense);
+
+    std::printf("effective FC intensity estimate (alpha = %.0f):\n",
+                alpha);
+    std::printf("%-8s %-14s %-14s %-16s %-14s\n", "batch",
+                "dense est.", "MoE est.", "active experts",
+                "MoE FC target");
+    for (std::uint32_t batch : {4u, 16u, 64u, 128u}) {
+        double est_dense = static_cast<double>(batch);
+        double est_moe = llm::moeFcIntensityEstimate(moe, batch, 1);
+        double active = llm::expectedActiveExperts(moe, batch);
+        std::printf("%-8u %-14.1f %-14.1f %-16.2f %-14s\n", batch,
+                    est_dense, est_moe, active,
+                    est_moe > alpha ? "GPU" : "FC-PIM");
+    }
+
+    std::printf("\nend-to-end decode, creative-writing, spec 1:\n");
+    core::Platform papi_sys(core::makePapiConfig());
+    core::Platform base(core::makeA100AttAccConfig());
+    core::DecodeEngine e_papi(papi_sys), e_base(base);
+
+    std::printf("%-8s %-16s %-14s %-12s\n", "batch", "PAPI speedup",
+                "FC on PIM [%]", "en.eff");
+    for (std::uint32_t batch : {4u, 16u, 64u}) {
+        auto r_base = bench::runCell(
+            base, e_base, moe, batch, 1,
+            llm::TraceCategory::CreativeWriting, alpha);
+        auto r_papi = bench::runCell(
+            papi_sys, e_papi, moe, batch, 1,
+            llm::TraceCategory::CreativeWriting, alpha);
+        double pim_share =
+            100.0 * static_cast<double>(r_papi.fcOnPimIterations) /
+            static_cast<double>(r_papi.iterations);
+        std::printf("%-8u %-16.2f %-14.1f %-12.2f\n", batch,
+                    core::speedup(r_base, r_papi), pim_share,
+                    core::energyEfficiency(r_base, r_papi));
+    }
+
+    std::printf("\nShape check: the MoE intensity estimate "
+                "saturates near tokens x k / E\nonce all experts are "
+                "covered, so FC stays on FC-PIM at batch sizes where"
+                "\na dense model would be compute-bound - the "
+                "Section 6.5 claim.\n");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Extension study (related work, NeuPIMs/SpecPIM): what would FC /
+ * attention phase co-execution buy on top of PAPI's dynamic
+ * scheduling? Sweeps the overlap fraction (0 = serial dependent
+ * phases, 1 = perfect sub-batch interleaving) at short and long
+ * contexts.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace papi;
+
+int
+main()
+{
+    bench::banner("Extension - FC/attention phase overlap "
+                  "(LLaMA-65B, batch 16, spec 2)");
+
+    llm::ModelConfig model = llm::llama65b();
+    double alpha = bench::calibrateAlpha(model);
+
+    std::printf("%-12s | %-14s %-14s %-14s\n", "output len",
+                "overlap 0.0", "overlap 0.5", "overlap 1.0");
+    for (std::uint32_t out_len : {128u, 1024u, 4096u}) {
+        std::printf("%-12u |", out_len);
+        double base_seconds = 0.0;
+        for (double overlap : {0.0, 0.5, 1.0}) {
+            core::PlatformConfig cfg = core::makePapiConfig();
+            cfg.phaseOverlapFraction = overlap;
+            core::Platform platform(cfg);
+            core::DecodeEngine engine(platform);
+            llm::TraceGenerator gen(llm::TraceCategory::Uniform, 1);
+            llm::Batch batch(gen.generateUniform(16, 128, out_len),
+                             model);
+            llm::SpeculativeConfig spec;
+            spec.length = 2;
+            core::RunOptions opt;
+            opt.alpha = alpha;
+            opt.includePrefill = false;
+            core::RunResult r = engine.run(batch, spec, model, opt);
+            if (overlap == 0.0)
+                base_seconds = r.seconds();
+            std::printf(" %-14.3f", base_seconds / r.seconds());
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nShape check: overlap buys little at short "
+                "contexts (attention is tiny\nnext to FC) and "
+                "approaches the attention share at long contexts - "
+                "phase\nco-execution is complementary to, not a "
+                "substitute for, dynamic FC placement.\n");
+    return 0;
+}

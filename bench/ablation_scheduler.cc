@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation (DESIGN.md Section 5): PAPI's AI-threshold dynamic
+ * scheduler vs static-GPU, static-PIM, and an oracle that measures
+ * both targets every iteration. Quantifies how much of the oracle's
+ * benefit the one-multiply heuristic captures.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace papi;
+
+int
+main()
+{
+    bench::banner("Ablation - FC scheduling policy "
+                  "(LLaMA-65B, creative-writing)");
+
+    llm::ModelConfig model = llm::llama65b();
+    double alpha = bench::calibrateAlpha(model);
+    const auto category = llm::TraceCategory::CreativeWriting;
+
+    core::PlatformConfig papi_cfg = core::makePapiConfig();
+    core::PlatformConfig gpu_cfg = core::makePapiConfig();
+    gpu_cfg.fcPolicy = core::FcPolicy::AlwaysGpu;
+    gpu_cfg.name = "papi-static-gpu";
+    core::PlatformConfig pim_cfg = core::makePapiConfig();
+    pim_cfg.fcPolicy = core::FcPolicy::AlwaysPim;
+    pim_cfg.name = "papi-static-pim";
+    core::PlatformConfig oracle_cfg = core::makePapiConfig();
+    oracle_cfg.fcPolicy = core::FcPolicy::Oracle;
+    oracle_cfg.name = "papi-oracle";
+
+    core::Platform p_dyn(papi_cfg), p_gpu(gpu_cfg), p_pim(pim_cfg),
+        p_oracle(oracle_cfg);
+    core::DecodeEngine e_dyn(p_dyn), e_gpu(p_gpu), e_pim(p_pim),
+        e_oracle(p_oracle);
+
+    std::printf("alpha = %.0f\n", alpha);
+    std::printf("%-6s %-8s | %-12s %-12s %-12s %-12s\n", "spec",
+                "batch", "static-gpu", "static-pim", "dynamic",
+                "oracle");
+    std::vector<double> dyn_vs_oracle;
+    for (std::uint32_t spec : {1u, 4u}) {
+        for (std::uint32_t batch : {4u, 16u, 64u}) {
+            auto r_gpu = bench::runCell(p_gpu, e_gpu, model, batch,
+                                        spec, category, alpha);
+            auto r_pim = bench::runCell(p_pim, e_pim, model, batch,
+                                        spec, category, alpha);
+            auto r_dyn = bench::runCell(p_dyn, e_dyn, model, batch,
+                                        spec, category, alpha);
+            auto r_oracle = bench::runCell(p_oracle, e_oracle, model,
+                                           batch, spec, category,
+                                           alpha);
+            double base = r_gpu.seconds();
+            std::printf("%-6u %-8u | %-12.2f %-12.2f %-12.2f "
+                        "%-12.2f\n",
+                        spec, batch, 1.0,
+                        base / r_pim.seconds(),
+                        base / r_dyn.seconds(),
+                        base / r_oracle.seconds());
+            dyn_vs_oracle.push_back(r_oracle.seconds() /
+                                    r_dyn.seconds());
+        }
+    }
+    std::printf("\ndynamic captures %.1f%% of oracle performance "
+                "(geomean)\n",
+                100.0 * core::geomean(dyn_vs_oracle));
+    return 0;
+}

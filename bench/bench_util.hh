@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration benchmarks.
+ *
+ * Each bench/figNN_* binary regenerates one table or figure of the
+ * PAPI paper (see DESIGN.md's per-experiment index) and prints the
+ * same rows/series the paper reports, normalized the same way.
+ */
+
+#ifndef PAPI_BENCH_BENCH_UTIL_HH
+#define PAPI_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/decode_engine.hh"
+#include "core/metrics.hh"
+#include "core/platform.hh"
+#include "core/threshold_calibrator.hh"
+#include "llm/batch.hh"
+#include "llm/model_config.hh"
+#include "llm/trace.hh"
+
+namespace papi::bench {
+
+/** Print a figure banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("==============================================="
+                "=================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("==============================================="
+                "=================\n");
+}
+
+/** A reusable end-to-end run for one (platform, workload) cell. */
+inline core::RunResult
+runCell(const core::Platform &platform, core::DecodeEngine &engine,
+        const llm::ModelConfig &model, std::uint32_t batch_size,
+        std::uint32_t spec_len, llm::TraceCategory category,
+        double alpha, bool include_prefill = true,
+        std::uint64_t seed = 42)
+{
+    (void)platform;
+    llm::TraceGenerator gen(category, seed);
+    llm::Batch batch(gen.generate(batch_size), model);
+    llm::SpeculativeConfig spec;
+    spec.length = spec_len;
+    core::RunOptions opt;
+    opt.alpha = alpha;
+    opt.includePrefill = include_prefill;
+    return engine.run(batch, spec, model, opt);
+}
+
+/** Calibrate PAPI's alpha for a model (offline step, Sec. 5.2.1). */
+inline double
+calibrateAlpha(const llm::ModelConfig &model)
+{
+    core::Platform papi(core::makePapiConfig());
+    return core::ThresholdCalibrator::calibrate(papi, model).alpha;
+}
+
+} // namespace papi::bench
+
+#endif // PAPI_BENCH_BENCH_UTIL_HH

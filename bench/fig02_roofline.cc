@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Regenerates paper Fig. 2: roofline analysis of OPT-30B FC and
+ * attention kernels on an A100 as batch size and speculation length
+ * vary. A kernel whose arithmetic intensity falls below the A100
+ * ridge point is memory-bound.
+ */
+
+#include "bench/bench_util.hh"
+#include "gpu/gpu_config.hh"
+#include "llm/kernel_spec.hh"
+
+using namespace papi;
+
+int
+main()
+{
+    bench::banner("Fig. 2 - Roofline of OPT-30B FC/attention kernels "
+                  "(A100)");
+
+    llm::ModelConfig model = llm::opt30b();
+    gpu::GpuSpec a100 = gpu::a100Spec();
+    const double ridge = a100.ridgeArithmeticIntensity();
+    const std::uint32_t seq_len = 512;
+
+    std::printf("A100 ridge point: %.1f FLOPs/byte (peak %.0f TFLOPS,"
+                " %.0f GB/s)\n\n",
+                ridge, a100.peakTflopsFp16, a100.memBandwidthGBs);
+
+    std::printf("(a) speculation length = 8, varying batch size\n");
+    std::printf("%-10s %-14s %-12s %-14s %-12s\n", "batch",
+                "FC AI", "FC bound", "attn AI", "attn bound");
+    for (std::uint32_t batch : {4u, 8u, 16u, 32u, 64u, 128u}) {
+        const std::uint32_t tlp = 8;
+        double fc_ai = llm::fcTotalWork(model, batch * tlp)
+                           .arithmeticIntensity();
+        double at_ai =
+            llm::attentionWorkUniform(model, batch, seq_len, tlp)
+                .arithmeticIntensity();
+        std::printf("%-10u %-14.1f %-12s %-14.1f %-12s\n", batch,
+                    fc_ai, fc_ai > ridge ? "compute" : "memory",
+                    at_ai, at_ai > ridge ? "compute" : "memory");
+    }
+
+    std::printf("\n(b) batch size = 32, varying speculation length\n");
+    std::printf("%-10s %-14s %-12s %-14s %-12s\n", "spec",
+                "FC AI", "FC bound", "attn AI", "attn bound");
+    for (std::uint32_t tlp : {2u, 4u, 6u, 8u}) {
+        const std::uint32_t batch = 32;
+        double fc_ai = llm::fcTotalWork(model, batch * tlp)
+                           .arithmeticIntensity();
+        double at_ai =
+            llm::attentionWorkUniform(model, batch, seq_len, tlp)
+                .arithmeticIntensity();
+        std::printf("%-10u %-14.1f %-12s %-14.1f %-12s\n", tlp,
+                    fc_ai, fc_ai > ridge ? "compute" : "memory",
+                    at_ai, at_ai > ridge ? "compute" : "memory");
+    }
+
+    std::printf("\nPaper shape check: FC becomes compute-bound at "
+                "batch >= 32 (spec 8)\nand spec > 6 (batch 32); "
+                "attention stays memory-bound throughout.\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regenerates paper Fig. 4: FC kernel latency of HBM-PIM and AttAcc
+ * PIM fleets normalized to the A100 GPU fleet, across batch sizes
+ * and speculation lengths (GPT-3 66B-class FC kernel).
+ *
+ * Expected shape: PIM wins at low parallelization (batch 1-4), the
+ * GPU wins decisively from batch 16 up.
+ */
+
+#include "bench/bench_util.hh"
+#include "gpu/gpu_model.hh"
+#include "llm/kernel_spec.hh"
+#include "pim/pim_device.hh"
+
+using namespace papi;
+
+namespace {
+
+double
+gpuFcSeconds(const gpu::GpuModel &gpus, const llm::ModelConfig &model,
+             std::uint32_t tokens)
+{
+    llm::KernelWork w = llm::fcTotalWork(model, tokens);
+    return gpus.kernel(w.flops, w.weightBytes + w.activationBytes,
+                       0.0)
+        .seconds;
+}
+
+double
+pimFcSeconds(const pim::PimDevice &device,
+             const llm::ModelConfig &model, std::uint32_t tokens,
+             std::uint32_t num_devices)
+{
+    return device.fcGemv(model.totalFcBytes(), tokens, num_devices)
+        .seconds;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 4 - FC kernel latency normalized to A100 "
+                  "(GPT-3 66B)");
+
+    llm::ModelConfig model = llm::gpt3_66b();
+    gpu::GpuModel gpus(gpu::a100Spec(), 6);
+    pim::PimDevice hbm_pim(pim::hbmPimConfig());
+    pim::PimDevice attacc(pim::attAccConfig());
+    const std::uint32_t fc_devices = 30;
+
+    for (std::uint32_t spec : {2u, 8u}) {
+        std::printf("\nspeculation length = %u\n", spec);
+        std::printf("%-8s %-12s %-14s %-14s\n", "batch", "A100",
+                    "HBM-PIM", "AttAcc");
+        for (std::uint32_t batch : {1u, 4u, 16u, 64u}) {
+            std::uint32_t tokens = batch * spec;
+            double gpu_s = gpuFcSeconds(gpus, model, tokens);
+            double hbm_s = pimFcSeconds(hbm_pim, model, tokens,
+                                        fc_devices);
+            double att_s = pimFcSeconds(attacc, model, tokens,
+                                        fc_devices);
+            std::printf("%-8u %-12.2f %-14.2f %-14.2f\n", batch, 1.0,
+                        hbm_s / gpu_s, att_s / gpu_s);
+        }
+    }
+
+    std::printf("\nPaper shape check: PIM latency < 1.0 at batch "
+                "1-4 (low parallelism);\nat batch >= 16 the PIM "
+                "designs are several times slower than the A100,\n"
+                "with 1P2B HBM-PIM trailing 1P1B AttAcc.\n");
+    return 0;
+}

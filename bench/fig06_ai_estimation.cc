@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Regenerates paper Fig. 6: measured vs estimated (RLP x TLP)
+ * arithmetic intensity of GPT-3 66B FC kernels.
+ */
+
+#include "bench/bench_util.hh"
+#include "core/ai_estimator.hh"
+
+using namespace papi;
+
+int
+main()
+{
+    bench::banner("Fig. 6 - Measured vs estimated FC arithmetic "
+                  "intensity (GPT-3 66B)");
+
+    llm::ModelConfig model = llm::gpt3_66b();
+    core::ArithmeticIntensityEstimator est(model);
+
+    std::printf("%-6s %-6s %-14s %-14s %-10s\n", "TLP", "RLP",
+                "measured", "estimated", "error");
+    double worst = 0.0;
+    for (std::uint32_t tlp : {8u, 6u, 4u, 2u}) {
+        for (std::uint32_t rlp : {4u, 8u, 16u, 32u, 64u, 128u}) {
+            double measured = est.measured(rlp, tlp);
+            double estimate = est.estimate(rlp, tlp);
+            double err = (estimate - measured) / measured;
+            worst = std::max(worst, std::abs(err));
+            std::printf("%-6u %-6u %-14.1f %-14.1f %+-9.1f%%\n", tlp,
+                        rlp, measured, estimate, err * 100.0);
+        }
+    }
+
+    std::printf("\nworst-case relative error: %.1f%%\n",
+                worst * 100.0);
+    std::printf("Paper shape check: estimates closely match the "
+                "measured AI;\nthe only visible overprediction is at "
+                "very large RLP x TLP, where both\nsides are already "
+                "deep in compute-bound territory (no scheduling "
+                "impact).\n");
+    return 0;
+}

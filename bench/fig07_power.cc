@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Regenerates paper Fig. 7: (a) PIM energy breakdown without data
+ * reuse, (b) at data reuse 64, and (c) fully-fed device power vs
+ * data reuse level for the 1P1B / 2P1B / 4P1B design points against
+ * the 116 W HBM3 budget.
+ */
+
+#include "bench/bench_util.hh"
+#include "pim/energy_model.hh"
+#include "pim/power_model.hh"
+
+using namespace papi;
+
+namespace {
+
+void
+printBreakdown(const char *title, std::uint32_t reuse)
+{
+    pim::PimEnergyParams params;
+    // One representative 1 KiB row streamed once.
+    pim::PimEnergyBreakdown e = pim::pimGemvEnergy(params, 1, 1024,
+                                                   reuse);
+    std::printf("%s\n", title);
+    std::printf("  DRAM access: %5.1f%%   Transfer: %4.1f%%   "
+                "Computation: %4.1f%%\n",
+                100.0 * e.dramAccess / e.total(),
+                100.0 * e.transfer / e.total(),
+                100.0 * e.compute / e.total());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 7 - PIM energy breakdown and power vs data "
+                  "reuse");
+
+    printBreakdown("(a) energy breakdown, no data reuse (paper: "
+                   "96.7% DRAM access)",
+                   1);
+    printBreakdown("(b) energy breakdown, data reuse 64 (paper: "
+                   "33.1% DRAM access)",
+                   64);
+
+    std::printf("\n(c) fully-fed device power [W] vs data reuse "
+                "(budget %.0f W)\n",
+                pim::hbm3PowerBudgetWatts);
+    pim::PimEnergyParams params;
+    pim::PimConfig cfg_1p1b = pim::attAccConfig();
+    pim::PimConfig cfg_2p1b = pim::attAccConfig();
+    cfg_2p1b.fpusPerGroup = 2;
+    cfg_2p1b.name = "2p1b";
+    pim::PimConfig cfg_4p1b = pim::attAccConfig();
+    cfg_4p1b.fpusPerGroup = 4;
+    cfg_4p1b.name = "4p1b";
+
+    pim::PowerModel m1(cfg_1p1b, params);
+    pim::PowerModel m2(cfg_2p1b, params);
+    pim::PowerModel m4(cfg_4p1b, params);
+
+    std::printf("%-8s %-12s %-12s %-12s\n", "reuse", "1P1B", "2P1B",
+                "4P1B");
+    for (std::uint32_t reuse : {1u, 4u, 16u, 64u}) {
+        std::printf("%-8u %-12.1f %-12.1f %-12.1f\n", reuse,
+                    m1.fullyFedPower(reuse).total(),
+                    m2.fullyFedPower(reuse).total(),
+                    m4.fullyFedPower(reuse).total());
+    }
+
+    std::printf("\n1P1B within budget from reuse %u; 4P1B from reuse "
+                "%u\n",
+                m1.minReuseWithinBudget(256),
+                m4.minReuseWithinBudget(256));
+    std::printf("Paper shape check: power falls ~1/reuse; 1P1B "
+                "slightly exceeds the\nbudget without reuse "
+                "(motivating 1P2B Attn-PIM); 4P1B needs reuse >= ~4-8"
+                "\n(motivating reuse-aware FC-PIM).\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Regenerates paper Fig. 8: end-to-end speedup (top) and energy
+ * efficiency (bottom) of the four designs on the creative-writing
+ * workload, for LLaMA-65B / GPT-3 66B / GPT-3 175B, batch sizes
+ * {4,16,64} and speculation lengths {1,2,4}, normalized to
+ * A100+AttAcc.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace papi;
+
+int
+main()
+{
+    bench::banner("Fig. 8 - End-to-end speedup and energy efficiency"
+                  " (creative-writing), normalized to A100+AttAcc");
+
+    const auto category = llm::TraceCategory::CreativeWriting;
+    const llm::ModelConfig models[] = {llm::llama65b(),
+                                       llm::gpt3_66b(),
+                                       llm::gpt3_175b()};
+
+    core::Platform base(core::makeA100AttAccConfig());
+    core::Platform hbm(core::makeA100HbmPimConfig());
+    core::Platform attacc(core::makeAttAccOnlyConfig());
+    core::Platform papi_sys(core::makePapiConfig());
+    core::DecodeEngine e_base(base), e_hbm(hbm), e_attacc(attacc),
+        e_papi(papi_sys);
+
+    std::vector<double> papi_speedups, hbm_speedups, attacc_speedups;
+    std::vector<double> papi_eff;
+
+    for (const auto &model : models) {
+        double alpha = bench::calibrateAlpha(model);
+        std::printf("\n%s (alpha = %.0f)\n", model.name.c_str(),
+                    alpha);
+        std::printf("%-6s %-6s | %-12s %-14s %-13s %-8s | %-10s\n",
+                    "spec", "batch", "A100+AttAcc", "A100+HBM-PIM",
+                    "AttAcc-only", "PAPI", "PAPI en.eff");
+        for (std::uint32_t spec : {1u, 2u, 4u}) {
+            for (std::uint32_t batch : {4u, 16u, 64u}) {
+                auto r_base = bench::runCell(base, e_base, model,
+                                             batch, spec, category,
+                                             alpha);
+                auto r_hbm = bench::runCell(hbm, e_hbm, model, batch,
+                                            spec, category, alpha);
+                auto r_att = bench::runCell(attacc, e_attacc, model,
+                                            batch, spec, category,
+                                            alpha);
+                auto r_papi = bench::runCell(papi_sys, e_papi, model,
+                                             batch, spec, category,
+                                             alpha);
+                double s_hbm = core::speedup(r_base, r_hbm);
+                double s_att = core::speedup(r_base, r_att);
+                double s_papi = core::speedup(r_base, r_papi);
+                double eff = core::energyEfficiency(r_base, r_papi);
+                std::printf("%-6u %-6u | %-12.2f %-14.2f %-13.2f "
+                            "%-8.2f | %-10.2f\n",
+                            spec, batch, 1.0, s_hbm, s_att, s_papi,
+                            eff);
+                hbm_speedups.push_back(s_hbm);
+                attacc_speedups.push_back(s_att);
+                papi_speedups.push_back(s_papi);
+                papi_eff.push_back(eff);
+            }
+        }
+    }
+
+    std::printf("\ngeomean over the grid (paper reports averages):\n");
+    std::printf("  PAPI vs A100+AttAcc   : %.2fx speedup "
+                "(paper ~1.8x), %.2fx energy eff (paper ~3.4x)\n",
+                core::geomean(papi_speedups),
+                core::geomean(papi_eff));
+    std::printf("  PAPI vs A100+HBM-PIM  : %.2fx (paper ~1.9x)\n",
+                core::geomean(papi_speedups) /
+                    core::geomean(hbm_speedups));
+    std::printf("  PAPI vs AttAcc-only   : %.2fx (paper ~11.1x)\n",
+                core::geomean(papi_speedups) /
+                    core::geomean(attacc_speedups));
+    return 0;
+}

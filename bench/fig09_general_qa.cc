@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Regenerates paper Fig. 9: end-to-end speedup and energy
+ * efficiency on the Dolly general-qa workload for GPT-3 175B,
+ * normalized to A100+AttAcc.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace papi;
+
+int
+main()
+{
+    bench::banner("Fig. 9 - End-to-end speedup / energy efficiency "
+                  "(general-qa, GPT-3 175B)");
+
+    const auto category = llm::TraceCategory::GeneralQa;
+    llm::ModelConfig model = llm::gpt3_175b();
+    double alpha = bench::calibrateAlpha(model);
+
+    core::Platform base(core::makeA100AttAccConfig());
+    core::Platform attacc(core::makeAttAccOnlyConfig());
+    core::Platform papi_sys(core::makePapiConfig());
+    core::DecodeEngine e_base(base), e_attacc(attacc),
+        e_papi(papi_sys);
+
+    std::vector<double> papi_speedups, attacc_speedups, papi_eff;
+
+    std::printf("alpha = %.0f\n", alpha);
+    std::printf("%-6s %-6s | %-12s %-13s %-8s | %-10s\n", "spec",
+                "batch", "A100+AttAcc", "AttAcc-only", "PAPI",
+                "PAPI en.eff");
+    for (std::uint32_t spec : {1u, 2u, 4u}) {
+        for (std::uint32_t batch : {4u, 16u, 64u}) {
+            auto r_base = bench::runCell(base, e_base, model, batch,
+                                         spec, category, alpha);
+            auto r_att = bench::runCell(attacc, e_attacc, model,
+                                        batch, spec, category,
+                                        alpha);
+            auto r_papi = bench::runCell(papi_sys, e_papi, model,
+                                         batch, spec, category,
+                                         alpha);
+            double s_att = core::speedup(r_base, r_att);
+            double s_papi = core::speedup(r_base, r_papi);
+            double eff = core::energyEfficiency(r_base, r_papi);
+            std::printf("%-6u %-6u | %-12.2f %-13.2f %-8.2f | "
+                        "%-10.2f\n",
+                        spec, batch, 1.0, s_att, s_papi, eff);
+            attacc_speedups.push_back(s_att);
+            papi_speedups.push_back(s_papi);
+            papi_eff.push_back(eff);
+        }
+    }
+
+    std::printf("\ngeomean: PAPI vs A100+AttAcc %.2fx (paper ~1.7x),"
+                " vs AttAcc-only %.2fx (paper ~8.1x),\n"
+                "energy efficiency %.2fx (paper ~3.1x)\n",
+                core::geomean(papi_speedups),
+                core::geomean(papi_speedups) /
+                    core::geomean(attacc_speedups),
+                core::geomean(papi_eff));
+    std::printf("Paper shape check: general-qa gains trail creative-"
+                "writing (shorter outputs\n=> smaller decode share "
+                "and fewer parallelism changes).\n");
+    return 0;
+}

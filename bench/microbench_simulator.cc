@@ -1,0 +1,93 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: event
+ * queue throughput, DRAM command replay, GEMV engine, and a full
+ * decode iteration. These guard the simulator's own performance so
+ * the figure benches stay fast.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/decode_engine.hh"
+#include "core/platform.hh"
+#include "dram/controller.hh"
+#include "llm/trace.hh"
+#include "pim/gemv_engine.hh"
+#include "sim/event_queue.hh"
+
+using namespace papi;
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        for (std::uint64_t i = 0; i < n; ++i)
+            eq.schedule(i * 10, [] {});
+        eq.run();
+        benchmark::DoNotOptimize(eq.executed());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                            state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+void
+BM_DramControllerStreaming(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        dram::MemController ctrl(eq, dram::hbm3Spec());
+        ctrl.setRefreshEnabled(false);
+        for (int i = 0; i < n; ++i) {
+            dram::MemRequest r;
+            r.addr = static_cast<std::uint64_t>(i) * 32;
+            ctrl.enqueue(std::move(r));
+        }
+        eq.run();
+        benchmark::DoNotOptimize(ctrl.completed());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                            state.iterations());
+}
+BENCHMARK(BM_DramControllerStreaming)->Arg(256)->Arg(2048);
+
+void
+BM_GemvEngineExact(benchmark::State &state)
+{
+    pim::GemvEngine engine(pim::fcPimConfig());
+    const auto reuse = static_cast<std::uint32_t>(state.range(0));
+    // Attaching a trace recorder bypasses the memo cache, so this
+    // measures the real command-replay cost per kernel.
+    pim::CommandTrace trace;
+    engine.setTraceRecorder(&trace);
+    for (auto _ : state) {
+        trace.clear();
+        auto r = engine.run(16 * 1024, reuse);
+        benchmark::DoNotOptimize(r.ticks);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GemvEngineExact)->Arg(1)->Arg(64);
+
+void
+BM_DecodeIterationPapi(benchmark::State &state)
+{
+    core::Platform papi(core::makePapiConfig());
+    llm::ModelConfig model = llm::llama65b();
+    std::vector<std::uint32_t> ctx(16, 512);
+    for (auto _ : state) {
+        auto fc = papi.fcExec(model, 16, core::FcTarget::FcPim);
+        auto at = papi.attnExec(model, ctx, 1);
+        benchmark::DoNotOptimize(fc.seconds + at.seconds);
+    }
+}
+BENCHMARK(BM_DecodeIterationPapi);
+
+} // namespace
+
+BENCHMARK_MAIN();

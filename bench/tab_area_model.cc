@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Regenerates the paper's Section 6.1 area-model table (Eq. 3):
+ * maximum banks per HBM die for each xPyB design point, using the
+ * CACTI-3DD constants quoted in the paper.
+ */
+
+#include "bench/bench_util.hh"
+#include "pim/area_model.hh"
+
+using namespace papi;
+
+int
+main()
+{
+    bench::banner("Section 6.1 / Eq. 3 - HBM die area model");
+
+    pim::AreaModel area;
+    std::printf("constants: A_bank = %.2f mm^2, A_FPU = %.4f mm^2, "
+                "A_die = %.0f mm^2\n\n",
+                area.bankArea(), area.fpuArea(), area.dieArea());
+
+    std::printf("%-16s %-16s %-18s %-14s\n", "FPUs per bank",
+                "max banks/die", "used area @96", "96 banks fit?");
+    for (double fpb : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+        std::printf("%-16.1f %-16u %-18.1f %-14s\n", fpb,
+                    area.maxBanksPerDie(fpb), area.usedArea(96, fpb),
+                    area.fits(96, fpb) ? "yes" : "no");
+    }
+
+    std::printf("\nPaper check: with 4 FPUs per bank the bound is "
+                "m < 97, so PAPI's FC-PIM\nkeeps 96 banks per device "
+                "(12 GB instead of 16 GB).\n");
+    return 0;
+}

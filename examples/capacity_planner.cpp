@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Capacity-planning example: given a model and a target workload
+ * (max concurrent requests x max sequence length), size a PAPI
+ * system - FC-PIM devices for the weights, Attn-PIM devices for the
+ * KV cache, and a die-area feasibility check for the chosen xPyB
+ * design points.
+ *
+ * Usage: capacity_planner [requests] [seq_len]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "llm/model_config.hh"
+#include "pim/area_model.hh"
+#include "pim/data_layout.hh"
+#include "pim/pim_config.hh"
+
+using namespace papi;
+
+namespace {
+
+std::uint32_t
+devicesFor(std::uint64_t bytes, const pim::PimConfig &cfg)
+{
+    std::uint64_t cap = cfg.capacityBytes();
+    return static_cast<std::uint32_t>((bytes + cap - 1) / cap);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint32_t requests = argc > 1
+                                 ? static_cast<std::uint32_t>(
+                                       std::atoi(argv[1]))
+                                 : 64;
+    std::uint32_t seq_len = argc > 2
+                                ? static_cast<std::uint32_t>(
+                                      std::atoi(argv[2]))
+                                : 2048;
+    if (requests == 0 || seq_len == 0) {
+        std::cerr << "usage: capacity_planner [requests] [seq_len]\n";
+        return 1;
+    }
+
+    pim::PimConfig fc_cfg = pim::fcPimConfig();
+    pim::PimConfig attn_cfg = pim::attnPimConfig();
+    pim::AreaModel area;
+
+    std::printf("PAPI capacity plan for %u concurrent requests x %u "
+                "tokens\n\n",
+                requests, seq_len);
+    std::printf("%-12s %-12s %-12s %-12s %-12s %-14s\n", "model",
+                "weights", "FC-PIM dev", "KV cache", "Attn-PIM dev",
+                "paper config");
+
+    for (const auto &model : {llm::llama65b(), llm::gpt3_66b(),
+                              llm::gpt3_175b()}) {
+        std::uint64_t weight_bytes = model.totalFcBytes();
+        std::uint64_t kv_bytes = static_cast<std::uint64_t>(requests) *
+                                 seq_len * model.kvBytesPerToken();
+        std::uint32_t fc_devs = devicesFor(weight_bytes, fc_cfg);
+        std::uint32_t attn_devs = devicesFor(kv_bytes, attn_cfg);
+        bool fits_paper = fc_devs <= 30 && attn_devs <= 60;
+        std::printf("%-12s %-9.0f GB %-12u %-9.0f GB %-12u %-14s\n",
+                    model.name.c_str(), weight_bytes / 1e9, fc_devs,
+                    kv_bytes / 1e9, attn_devs,
+                    fits_paper ? "fits 30+60" : "EXCEEDS 30+60");
+    }
+
+    std::printf("\nDie-area feasibility (Eq. 3, CACTI-3DD "
+                "constants):\n");
+    for (const auto &cfg : {fc_cfg, attn_cfg}) {
+        std::uint32_t banks_per_die = cfg.totalBanks() / 8; // 8-high
+        bool ok = area.fits(banks_per_die, cfg.fpusPerBank());
+        std::printf("  %-9s (%s): %3u banks/die @ %.1f FPUs/bank -> "
+                    "%.1f mm^2 of %.0f mm^2 [%s]\n",
+                    cfg.name.c_str(), cfg.xPyBLabel().c_str(),
+                    banks_per_die, cfg.fpusPerBank(),
+                    area.usedArea(banks_per_die, cfg.fpusPerBank()),
+                    area.dieArea(), ok ? "OK" : "TOO LARGE");
+    }
+
+    std::printf("\nKV growth note: the Attn-PIM fabric (PCIe: 32 "
+                "devices, CXL: 4096) bounds\nhow far the KV fleet "
+                "scales; for long-context serving choose CXL "
+                "(Section 6.3).\n");
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Experiment-runner example: the "downstream user" workflow. Reads
+ * a platform config (file and/or key=value overrides), loads or
+ * synthesizes a request trace, runs the full platform comparison,
+ * and emits a machine-readable CSV/Markdown report.
+ *
+ * Usage:
+ *   experiment_runner [key=value ...]
+ * keys:
+ *   config=<path>       platform config file (see config_loader.hh)
+ *   trace=<path>        request trace CSV (see trace_io.hh);
+ *                       synthesized if absent
+ *   save_trace=<path>   write the synthesized trace out
+ *   format=text|markdown|csv
+ *   batch, spec_len, category=creative|qa, model, seed
+ */
+
+#include <iostream>
+
+#include "core/config_loader.hh"
+#include "core/decode_engine.hh"
+#include "core/report.hh"
+#include "core/threshold_calibrator.hh"
+#include "llm/moe.hh"
+#include "llm/trace_io.hh"
+
+using namespace papi;
+
+int
+main(int argc, char **argv)
+{
+    sim::Config config;
+    for (int i = 1; i < argc; ++i)
+        config.parseAssignment(argv[i]);
+    if (config.has("config"))
+        config.merge(core::loadConfigFile(config.getString("config")));
+
+    llm::ModelConfig model = llm::llama65b();
+    std::string model_name = config.getString("model", "llama-65b");
+    if (model_name == "gpt3-66b")
+        model = llm::gpt3_66b();
+    else if (model_name == "gpt3-175b")
+        model = llm::gpt3_175b();
+    else if (model_name == "mixtral-8x22b")
+        model = llm::mixtral8x22b();
+
+    // Trace: load or synthesize.
+    std::vector<llm::Request> requests;
+    if (config.has("trace")) {
+        for (const auto &t :
+             llm::loadTraceFile(config.getString("trace")))
+            requests.push_back(t.request);
+    } else {
+        auto category = config.getString("category", "creative") ==
+                                "qa"
+                            ? llm::TraceCategory::GeneralQa
+                            : llm::TraceCategory::CreativeWriting;
+        llm::TraceGenerator gen(category, config.getInt("seed", 42));
+        requests = gen.generate(static_cast<std::uint32_t>(
+            config.getInt("batch", 16)));
+        if (config.has("save_trace")) {
+            std::vector<llm::TimedRequest> timed;
+            for (const auto &r : requests)
+                timed.push_back(llm::TimedRequest{r, 0.0});
+            llm::saveTraceFile(config.getString("save_trace"), timed);
+        }
+    }
+
+    auto format = core::ReportFormat::Text;
+    std::string fmt = config.getString("format", "text");
+    if (fmt == "markdown")
+        format = core::ReportFormat::Markdown;
+    else if (fmt == "csv")
+        format = core::ReportFormat::Csv;
+
+    llm::SpeculativeConfig spec;
+    spec.length =
+        static_cast<std::uint32_t>(config.getInt("spec_len", 2));
+
+    core::Platform reference(core::makePapiConfig());
+    core::RunOptions opt;
+    opt.alpha =
+        core::ThresholdCalibrator::calibrate(reference, model).alpha;
+
+    // Run the user's platform plus the standard comparison set.
+    const char *comparisons[] = {"papi", "a100+attacc",
+                                 "attacc-only"};
+    for (const char *name : comparisons) {
+        sim::Config plat_cfg = config;
+        plat_cfg.set("platform", std::string(name));
+        core::Platform platform(core::platformFromConfig(plat_cfg));
+        core::DecodeEngine engine(platform);
+        llm::Batch batch(requests, model);
+        core::RunResult r = engine.run(batch, spec, model, opt);
+        core::writeRunReport(std::cout, platform.name(), r, format);
+    }
+    return 0;
+}

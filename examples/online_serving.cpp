@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Online-serving example: a Poisson request stream served with
+ * mixed continuous batching on a platform chosen (and optionally
+ * customized) via key=value arguments - the deployment scenario the
+ * paper's introduction motivates.
+ *
+ * Usage:
+ *   online_serving [key=value ...]
+ * e.g.
+ *   online_serving platform=papi rate=40 requests=64 max_rlp=48
+ *   online_serving platform=a100+attacc attn_fabric=cxl2
+ *
+ * Platform keys are documented in core/config_loader.hh; serving
+ * keys: rate (req/s), requests, max_rlp, spec_len, model.
+ */
+
+#include <iostream>
+
+#include "core/config_loader.hh"
+#include "core/metrics.hh"
+#include "core/serving_engine.hh"
+#include "core/threshold_calibrator.hh"
+#include "llm/arrival.hh"
+#include "llm/moe.hh"
+
+using namespace papi;
+
+int
+main(int argc, char **argv)
+{
+    sim::Config config;
+    for (int i = 1; i < argc; ++i)
+        config.parseAssignment(argv[i]);
+
+    llm::ModelConfig model = llm::llama65b();
+    std::string model_name = config.getString("model", "llama-65b");
+    if (model_name == "gpt3-66b")
+        model = llm::gpt3_66b();
+    else if (model_name == "gpt3-175b")
+        model = llm::gpt3_175b();
+    else if (model_name == "mixtral-8x22b")
+        model = llm::mixtral8x22b();
+    else if (model_name != "llama-65b")
+        sim::fatal("unknown model '", model_name, "'");
+
+    core::Platform platform(core::platformFromConfig(config));
+
+    // Calibrate alpha on a reference PAPI platform (the threshold is
+    // a hardware property of the GPU/FC-PIM pair).
+    core::Platform reference(core::makePapiConfig());
+    double alpha =
+        core::ThresholdCalibrator::calibrate(reference, model).alpha;
+
+    llm::ArrivalProcess arrivals(
+        llm::TraceCategory::GeneralQa,
+        config.getDouble("rate", 30.0),
+        config.getInt("seed", 7));
+    auto reqs = arrivals.generate(static_cast<std::uint32_t>(
+        config.getInt("requests", 64)));
+
+    llm::SpeculativeConfig spec;
+    spec.length =
+        static_cast<std::uint32_t>(config.getInt("spec_len", 1));
+    core::ServingOptions opt;
+    opt.alpha = alpha;
+    opt.maxRlp =
+        static_cast<std::uint32_t>(config.getInt("max_rlp", 64));
+
+    core::ServingEngine engine(platform);
+    core::ServingResult r = engine.run(reqs, spec, model, opt);
+
+    std::cout << "platform      : " << platform.name() << "\n";
+    std::cout << "model         : " << model.name << "\n";
+    std::cout << "alpha         : " << alpha << "\n";
+    std::cout << "requests      : " << r.admissions << "\n";
+    std::cout << "makespan      : "
+              << core::formatSeconds(r.makespanSeconds) << "\n";
+    std::cout << "mean latency  : "
+              << core::formatSeconds(r.meanLatencySeconds) << "\n";
+    std::cout << "p95 latency   : "
+              << core::formatSeconds(r.p95LatencySeconds) << "\n";
+    std::cout << "throughput    : "
+              << r.throughputTokensPerSecond() << " tok/s\n";
+    std::cout << "energy        : "
+              << core::formatJoules(r.energyJoules) << "\n";
+    std::cout << "mean RLP      : " << r.meanRlp << "\n";
+    std::cout << "FC iterations : " << r.fcOnGpuIterations
+              << " GPU / " << r.fcOnPimIterations << " PIM, "
+              << r.reschedules << " reschedules ("
+              << r.reschedulesToGpu << " toward GPU)\n";
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Quickstart: simulate one batch of LLaMA-65B decoding on PAPI and
+ * on the A100+AttAcc baseline, and print the comparison.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/decode_engine.hh"
+#include "core/metrics.hh"
+#include "core/platform.hh"
+#include "core/threshold_calibrator.hh"
+#include "llm/batch.hh"
+#include "llm/model_config.hh"
+#include "llm/trace.hh"
+
+int
+main()
+{
+    using namespace papi;
+
+    // 1. Pick a model and a workload.
+    llm::ModelConfig model = llm::llama65b();
+    llm::TraceGenerator gen(llm::TraceCategory::CreativeWriting,
+                            /*seed=*/42);
+    std::vector<llm::Request> requests = gen.generate(/*count=*/16);
+
+    // 2. Instantiate PAPI and a baseline platform.
+    core::Platform papi_sys(core::makePapiConfig());
+    core::Platform baseline(core::makeA100AttAccConfig());
+
+    // 3. Calibrate PAPI's scheduling threshold offline (Sec. 5.2.1).
+    core::CalibrationResult cal =
+        core::ThresholdCalibrator::calibrate(papi_sys, model);
+    std::cout << "calibrated alpha = " << cal.alpha << "\n";
+
+    // 4. Decode the same batch on both platforms.
+    llm::SpeculativeConfig spec;
+    spec.length = 2; // speculation length (TLP)
+
+    core::RunOptions options;
+    options.alpha = cal.alpha;
+
+    core::DecodeEngine engine_papi(papi_sys);
+    core::DecodeEngine engine_base(baseline);
+
+    llm::Batch batch_a(requests, model);
+    core::RunResult papi_run =
+        engine_papi.run(batch_a, spec, model, options);
+
+    llm::Batch batch_b(requests, model);
+    core::RunResult base_run =
+        engine_base.run(batch_b, spec, model, options);
+
+    // 5. Report.
+    auto report = [](const char *name, const core::RunResult &r) {
+        std::cout << name << ": "
+                  << core::formatSeconds(r.seconds()) << " end-to-end, "
+                  << r.tokensGenerated << " tokens, "
+                  << core::formatJoules(r.energyJoules) << ", "
+                  << r.fcOnGpuIterations << " FC iters on GPU / "
+                  << r.fcOnPimIterations << " on PIM, "
+                  << r.reschedules << " reschedules\n";
+    };
+    report("PAPI       ", papi_run);
+    report("A100+AttAcc", base_run);
+
+    std::cout << "speedup           = "
+              << core::speedup(base_run, papi_run) << "x\n";
+    std::cout << "energy efficiency = "
+              << core::energyEfficiency(base_run, papi_run) << "x\n";
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Online arithmetic-intensity estimation (paper Section 5.1).
+ *
+ * PAPI's scheduler needs to know, every decode iteration, whether the
+ * FC kernel is compute- or memory-bound. Computing the true
+ * arithmetic intensity requires the kernel's exact FLOP and byte
+ * counts; the paper observes that for large hidden dimensions the
+ * exact formula (Eq. 1) collapses to AI ~= RLP x TLP (Eq. 2), which
+ * costs one multiply of two runtime-known integers.
+ */
+
+#ifndef PAPI_CORE_AI_ESTIMATOR_HH
+#define PAPI_CORE_AI_ESTIMATOR_HH
+
+#include <cstdint>
+
+#include "llm/kernel_spec.hh"
+#include "llm/model_config.hh"
+
+namespace papi::core {
+
+/** Estimates FC-kernel arithmetic intensity from parallelism. */
+class ArithmeticIntensityEstimator
+{
+  public:
+    explicit ArithmeticIntensityEstimator(const llm::ModelConfig &model)
+        : _model(model)
+    {}
+
+    /** The paper's runtime estimate: AI ~= RLP x TLP (Eq. 2). */
+    double
+    estimate(std::uint32_t rlp, std::uint32_t tlp) const
+    {
+        return llm::fcArithmeticIntensityEstimate(rlp, tlp);
+    }
+
+    /** The exact square-layer formula (Eq. 1). */
+    double
+    exact(std::uint32_t rlp, std::uint32_t tlp) const
+    {
+        return llm::fcArithmeticIntensityExact(_model.hiddenDim, rlp,
+                                               tlp);
+    }
+
+    /**
+     * The measured AI of the full FC work (all sub-kernels, all
+     * layers) - the "actual" series of the paper's Fig. 6.
+     */
+    double
+    measured(std::uint32_t rlp, std::uint32_t tlp) const
+    {
+        return llm::fcTotalWork(_model, rlp * tlp)
+            .arithmeticIntensity();
+    }
+
+    /** Relative error of the estimate against the measured AI. */
+    double
+    relativeError(std::uint32_t rlp, std::uint32_t tlp) const
+    {
+        double m = measured(rlp, tlp);
+        return m > 0.0 ? (estimate(rlp, tlp) - m) / m : 0.0;
+    }
+
+  private:
+    const llm::ModelConfig &_model;
+};
+
+} // namespace papi::core
+
+#endif // PAPI_CORE_AI_ESTIMATOR_HH

@@ -1,0 +1,127 @@
+#include "core/config_loader.hh"
+
+#include <fstream>
+
+#include "sim/logging.hh"
+
+namespace papi::core {
+
+PlatformConfig
+platformConfigByName(const std::string &name)
+{
+    if (name == "papi")
+        return makePapiConfig();
+    if (name == "a100+attacc")
+        return makeA100AttAccConfig();
+    if (name == "a100+hbm-pim")
+        return makeA100HbmPimConfig();
+    if (name == "attacc-only")
+        return makeAttAccOnlyConfig();
+    if (name == "pim-only-papi")
+        return makePimOnlyPapiConfig();
+    sim::fatal("platformConfigByName: unknown platform '", name,
+               "'");
+}
+
+namespace {
+
+FcPolicy
+policyFromString(const std::string &name)
+{
+    if (name == "always-gpu")
+        return FcPolicy::AlwaysGpu;
+    if (name == "always-pim")
+        return FcPolicy::AlwaysPim;
+    if (name == "dynamic")
+        return FcPolicy::Dynamic;
+    if (name == "oracle")
+        return FcPolicy::Oracle;
+    sim::fatal("config: unknown fc_policy '", name, "'");
+}
+
+interconnect::Link
+linkFromString(const std::string &name)
+{
+    if (name == "pcie5")
+        return interconnect::pcie5();
+    if (name == "cxl2")
+        return interconnect::cxl2();
+    if (name == "nvlink")
+        return interconnect::nvlink();
+    sim::fatal("config: unknown link '", name, "'");
+}
+
+} // namespace
+
+PlatformConfig
+platformFromConfig(const sim::Config &config)
+{
+    PlatformConfig cfg = platformConfigByName(
+        config.getString("platform", "papi"));
+
+    cfg.numGpus = static_cast<std::uint32_t>(
+        config.getInt("num_gpus", cfg.numGpus));
+    cfg.numFcDevices = static_cast<std::uint32_t>(
+        config.getInt("num_fc_devices", cfg.numFcDevices));
+    cfg.numAttnDevices = static_cast<std::uint32_t>(
+        config.getInt("num_attn_devices", cfg.numAttnDevices));
+    if (config.has("fc_policy"))
+        cfg.fcPolicy = policyFromString(config.getString("fc_policy"));
+    if (config.has("attn_fabric"))
+        cfg.topology.attnFabric =
+            linkFromString(config.getString("attn_fabric"));
+    cfg.fcFabricLinks = static_cast<std::uint32_t>(
+        config.getInt("fc_fabric_links", cfg.fcFabricLinks));
+    cfg.attnFabricLinks = static_cast<std::uint32_t>(
+        config.getInt("attn_fabric_links", cfg.attnFabricLinks));
+
+    cfg.gpuSpec.peakTflopsFp16 = config.getDouble(
+        "gpu.peak_tflops", cfg.gpuSpec.peakTflopsFp16);
+    cfg.gpuSpec.memBandwidthGBs = config.getDouble(
+        "gpu.mem_bandwidth_gbs", cfg.gpuSpec.memBandwidthGBs);
+
+    cfg.fcDeviceConfig.fpusPerGroup = static_cast<std::uint32_t>(
+        config.getInt("fc_pim.fpus_per_group",
+                      cfg.fcDeviceConfig.fpusPerGroup));
+    cfg.fcDeviceConfig.banksPerGroup = static_cast<std::uint32_t>(
+        config.getInt("fc_pim.banks_per_group",
+                      cfg.fcDeviceConfig.banksPerGroup));
+    cfg.attnDeviceConfig.fpusPerGroup = static_cast<std::uint32_t>(
+        config.getInt("attn_pim.fpus_per_group",
+                      cfg.attnDeviceConfig.fpusPerGroup));
+    cfg.attnDeviceConfig.banksPerGroup = static_cast<std::uint32_t>(
+        config.getInt("attn_pim.banks_per_group",
+                      cfg.attnDeviceConfig.banksPerGroup));
+    return cfg;
+}
+
+sim::Config
+loadConfigFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        sim::fatal("loadConfigFile: cannot open '", path, "'");
+
+    sim::Config out;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        // Strip comments and surrounding whitespace.
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos)
+            continue;
+        auto last = line.find_last_not_of(" \t\r");
+        std::string trimmed = line.substr(first, last - first + 1);
+        if (trimmed.find('=') == std::string::npos)
+            sim::fatal("loadConfigFile: '", path, "' line ", line_no,
+                       ": expected key=value");
+        out.parseAssignment(trimmed);
+    }
+    return out;
+}
+
+} // namespace papi::core

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * End-to-end LLM inference execution on a platform.
+ *
+ * The engine drives a batch through prefill and the decode loop,
+ * dispatching the FC phase per the platform's scheduling policy
+ * (static, PAPI-dynamic, or oracle) and the attention phase to the
+ * attention PIM devices, accumulating per-component time and energy.
+ */
+
+#ifndef PAPI_CORE_DECODE_ENGINE_HH
+#define PAPI_CORE_DECODE_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/platform.hh"
+#include "core/scheduler.hh"
+#include "llm/batch.hh"
+#include "llm/speculative.hh"
+#include "sim/rng.hh"
+
+namespace papi::core {
+
+/** Per-component time/energy accumulation of one run. */
+struct RunBreakdown
+{
+    double prefillSeconds = 0.0;
+    double fcSeconds = 0.0;   ///< Decode FC (GEMV only).
+    double attnSeconds = 0.0; ///< Decode attention (GEMV+softmax).
+    double commSeconds = 0.0; ///< All activation/KV movement.
+    double otherSeconds = 0.0;
+
+    double
+    totalSeconds() const
+    {
+        return prefillSeconds + fcSeconds + attnSeconds + commSeconds +
+               otherSeconds;
+    }
+};
+
+/** Outcome of an end-to-end run. */
+struct RunResult
+{
+    RunBreakdown time;
+    double energyJoules = 0.0;
+    std::uint64_t iterations = 0;
+    std::uint64_t tokensGenerated = 0;
+    std::uint64_t fcOnGpuIterations = 0;
+    std::uint64_t fcOnPimIterations = 0;
+    std::uint64_t reschedules = 0;
+
+    /** End-to-end seconds. */
+    double seconds() const { return time.totalSeconds(); }
+
+    /** Decode throughput, tokens/second (excluding prefill). */
+    double
+    decodeTokensPerSecond() const
+    {
+        double t = time.totalSeconds() - time.prefillSeconds;
+        return t > 0.0 ? static_cast<double>(tokensGenerated) / t
+                       : 0.0;
+    }
+
+    /** Tokens per joule (end to end). */
+    double
+    tokensPerJoule() const
+    {
+        return energyJoules > 0.0
+                   ? static_cast<double>(tokensGenerated) /
+                         energyJoules
+                   : 0.0;
+    }
+};
+
+/** One row of the optional per-iteration schedule trace. */
+struct IterationTrace
+{
+    std::uint64_t iteration = 0;
+    std::uint32_t rlp = 0;
+    std::uint32_t tlp = 0;
+    double estimatedAi = 0.0;
+    FcTarget fcTarget = FcTarget::Gpu;
+    bool rescheduled = false;
+    std::uint32_t eosCount = 0;
+    double iterationSeconds = 0.0;
+};
+
+/** Options for a run. */
+struct RunOptions
+{
+    /** Include the prefill phase in the result. */
+    bool includePrefill = true;
+    /** Record a per-iteration trace (costs memory). */
+    bool recordTrace = false;
+    /** Threshold for the dynamic policy (from ThresholdCalibrator). */
+    double alpha = 32.0;
+    /** RNG seed for speculative acceptance sampling. */
+    std::uint64_t seed = 1;
+};
+
+/** Drives batches through a platform. */
+class DecodeEngine
+{
+  public:
+    explicit DecodeEngine(const Platform &platform)
+        : _platform(platform)
+    {}
+
+    /**
+     * Run @p batch to completion with speculation config @p spec.
+     * The batch is consumed (decoded to drain).
+     */
+    RunResult run(llm::Batch &batch, const llm::SpeculativeConfig &spec,
+                  const llm::ModelConfig &model,
+                  const RunOptions &options = {});
+
+    /** Per-iteration trace of the last run (if recorded). */
+    const std::vector<IterationTrace> &trace() const { return _trace; }
+
+  private:
+    FcTarget chooseTarget(const llm::ModelConfig &model,
+                          std::uint32_t tokens,
+                          DynamicScheduler *sched,
+                          const ScheduleDecision &decision) const;
+
+    const Platform &_platform;
+    std::vector<IterationTrace> _trace;
+};
+
+} // namespace papi::core
+
+#endif // PAPI_CORE_DECODE_ENGINE_HH

@@ -1,0 +1,73 @@
+#include "core/metrics.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace papi::core {
+
+double
+speedup(const RunResult &baseline, const RunResult &candidate)
+{
+    double c = candidate.seconds();
+    if (c <= 0.0)
+        sim::fatal("speedup: candidate has non-positive runtime");
+    return baseline.seconds() / c;
+}
+
+double
+energyEfficiency(const RunResult &baseline, const RunResult &candidate)
+{
+    // Tokens/joule improvement; runs decode the same batch, so this
+    // reduces to the inverse energy ratio when token counts match.
+    double b = baseline.tokensPerJoule();
+    double c = candidate.tokensPerJoule();
+    if (b <= 0.0)
+        sim::fatal("energyEfficiency: baseline has no token/J figure");
+    return c / b;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        sim::fatal("geomean: empty input");
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            sim::fatal("geomean: non-positive value ", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    std::ostringstream os;
+    os.precision(3);
+    os << std::fixed;
+    if (seconds >= 1.0)
+        os << seconds << " s";
+    else if (seconds >= 1e-3)
+        os << seconds * 1e3 << " ms";
+    else
+        os << seconds * 1e6 << " us";
+    return os.str();
+}
+
+std::string
+formatJoules(double joules)
+{
+    std::ostringstream os;
+    os.precision(3);
+    os << std::fixed;
+    if (joules >= 1.0)
+        os << joules << " J";
+    else
+        os << joules * 1e3 << " mJ";
+    return os.str();
+}
+
+} // namespace papi::core

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Reporting helpers for comparing runs across platforms.
+ */
+
+#ifndef PAPI_CORE_METRICS_HH
+#define PAPI_CORE_METRICS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/decode_engine.hh"
+
+namespace papi::core {
+
+/** Speedup of @p candidate over @p baseline (end-to-end seconds). */
+double speedup(const RunResult &baseline, const RunResult &candidate);
+
+/** Energy-efficiency improvement of @p candidate over @p baseline. */
+double energyEfficiency(const RunResult &baseline,
+                        const RunResult &candidate);
+
+/** Geometric mean of a set of positive ratios. */
+double geomean(const std::vector<double> &values);
+
+/** Format seconds with an adaptive unit (s / ms / us). */
+std::string formatSeconds(double seconds);
+
+/** Format joules with an adaptive unit (J / mJ). */
+std::string formatJoules(double joules);
+
+} // namespace papi::core
+
+#endif // PAPI_CORE_METRICS_HH

@@ -1,0 +1,413 @@
+#include "core/platform.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "llm/moe.hh"
+#include "sim/logging.hh"
+
+namespace papi::core {
+
+const char *
+fcPolicyName(FcPolicy policy)
+{
+    switch (policy) {
+      case FcPolicy::AlwaysGpu: return "always-gpu";
+      case FcPolicy::AlwaysPim: return "always-pim";
+      case FcPolicy::Dynamic: return "dynamic";
+      case FcPolicy::Oracle: return "oracle";
+    }
+    return "unknown";
+}
+
+const char *
+fcTargetName(FcTarget target)
+{
+    switch (target) {
+      case FcTarget::Gpu: return "gpu";
+      case FcTarget::FcPim: return "fc-pim";
+    }
+    return "unknown";
+}
+
+Platform::Platform(const PlatformConfig &config) : _config(config)
+{
+    if (_config.numFcDevices == 0 || _config.numAttnDevices == 0)
+        sim::fatal("Platform '", _config.name, "': device counts must "
+                   "be nonzero");
+    if (!_config.hasGpu && _config.fcPolicy != FcPolicy::AlwaysPim)
+        sim::fatal("Platform '", _config.name, "': GPU-less platforms "
+                   "must use the always-pim policy");
+    if (!_config.hasGpu && !_config.fcDevicesCompute)
+        sim::fatal("Platform '", _config.name, "': no compute at all "
+                   "for FC kernels");
+
+    _fcDevice = std::make_unique<pim::PimDevice>(
+        _config.fcDeviceConfig, _config.pimEnergyParams);
+    _attnDevice = std::make_unique<pim::PimDevice>(
+        _config.attnDeviceConfig, _config.pimEnergyParams);
+    if (_config.hasGpu) {
+        _gpu = std::make_unique<gpu::GpuModel>(
+            _config.gpuSpec, _config.numGpus,
+            _config.topology.gpuFabric.bandwidthBytesPerSec / 1e9);
+    }
+}
+
+void
+Platform::validateFit(const llm::ModelConfig &model,
+                      std::uint64_t peak_kv_bytes) const
+{
+    std::uint64_t fc_capacity =
+        _config.fcDeviceConfig.capacityBytes() * _config.numFcDevices;
+    if (model.totalFcBytes() > fc_capacity)
+        sim::fatal("Platform '", _config.name, "': model ", model.name,
+                   " weights (", model.totalFcBytes(),
+                   " B) exceed FC device capacity (", fc_capacity,
+                   " B)");
+
+    std::uint64_t kv_capacity =
+        _config.attnDeviceConfig.capacityBytes() *
+        _config.numAttnDevices;
+    if (peak_kv_bytes > kv_capacity)
+        sim::fatal("Platform '", _config.name, "': peak KV cache (",
+                   peak_kv_bytes, " B) exceeds attention device "
+                   "capacity (", kv_capacity, " B)");
+}
+
+FcTarget
+Platform::staticFcTarget() const
+{
+    switch (_config.fcPolicy) {
+      case FcPolicy::AlwaysGpu:
+        return FcTarget::Gpu;
+      case FcPolicy::AlwaysPim:
+        return FcTarget::FcPim;
+      case FcPolicy::Dynamic:
+      case FcPolicy::Oracle:
+        sim::fatal("Platform '", _config.name, "': no static FC "
+                   "target for a dynamic policy");
+    }
+    return FcTarget::Gpu;
+}
+
+KernelExec
+Platform::fcOnGpu(const llm::ModelConfig &model,
+                  std::uint32_t tokens) const
+{
+    if (!_gpu)
+        sim::panic("Platform '", _config.name, "': fcOnGpu without a "
+                   "GPU");
+
+    llm::KernelWork w = llm::fcTotalWork(model, tokens);
+    // Two tensor-parallel reductions per layer (projection and FFN
+    // down-projection outputs).
+    double output_bytes = 2.0 * model.numLayers *
+                          static_cast<double>(tokens) *
+                          model.hiddenDim * model.bytesPerParam;
+    gpu::GpuKernelResult g = _gpu->kernel(
+        w.flops, w.weightBytes + w.activationBytes, output_bytes);
+
+    KernelExec out;
+    out.seconds = g.seconds;
+    out.energyJoules = g.energyJoules;
+    out.computeBound = g.computeBound;
+    return out;
+}
+
+KernelExec
+Platform::fcOnPim(const llm::ModelConfig &model,
+                  std::uint32_t tokens) const
+{
+    if (!_config.fcDevicesCompute)
+        sim::fatal("Platform '", _config.name, "': FC devices have no "
+                   "near-bank compute");
+
+    pim::PimKernelResult p;
+    if (model.isMoe()) {
+        // The dense sub-kernels (QKV, projection) reuse weights for
+        // all tokens; the expert FFNs stream only the touched
+        // experts at their per-expert reuse (Section 6.5).
+        std::uint64_t dense_bytes = 4ULL * model.hiddenDim *
+                                    model.hiddenDim *
+                                    model.bytesPerParam *
+                                    model.numLayers;
+        double active = llm::expectedActiveExperts(model, tokens);
+        auto ffn_bytes = static_cast<std::uint64_t>(
+            active * static_cast<double>(model.ffnParamsPerExpert()) *
+            model.bytesPerParam * model.numLayers);
+        auto ffn_reuse = static_cast<std::uint32_t>(
+            std::max(1.0, llm::moeFfnReuse(model, tokens) + 0.5));
+        pim::PimKernelResult dense = _fcDevice->fcGemv(
+            dense_bytes, tokens, _config.numFcDevices);
+        pim::PimKernelResult moe = _fcDevice->fcGemv(
+            ffn_bytes, ffn_reuse, _config.numFcDevices);
+        p.seconds = dense.seconds + moe.seconds;
+        p.computeBound = dense.computeBound || moe.computeBound;
+        p.energy.dramAccess =
+            dense.energy.dramAccess + moe.energy.dramAccess;
+        p.energy.transfer = dense.energy.transfer + moe.energy.transfer;
+        p.energy.compute = dense.energy.compute + moe.energy.compute;
+        p.streamedBytes = dense.streamedBytes + moe.streamedBytes;
+    } else {
+        p = _fcDevice->fcGemv(model.totalFcBytes(), tokens,
+                              _config.numFcDevices);
+    }
+
+    // Per-layer activation staging over the FC fabric: each of the
+    // three FC sub-kernel groups ships its inputs in and partial
+    // outputs out, and cross-device partial sums are reduced.
+    const auto &link = _config.topology.gpuFabric;
+    double agg_bw = link.bandwidthBytesPerSec *
+                    std::max<std::uint32_t>(_config.fcFabricLinks, 1);
+    double act_bytes = static_cast<double>(tokens) * model.hiddenDim *
+                       model.bytesPerParam;
+    double per_layer =
+        3.0 * (link.latencySeconds + link.messageOverheadSeconds +
+               2.0 * act_bytes / agg_bw);
+    double comm_seconds = per_layer * model.numLayers;
+    double comm_bytes = 3.0 * 2.0 * act_bytes * model.numLayers;
+
+    KernelExec out;
+    out.commSeconds = comm_seconds;
+    out.seconds = p.seconds + comm_seconds;
+    out.computeBound = p.computeBound;
+    out.commJoules = comm_bytes * link.energyPerByte;
+
+    double static_j = _config.fcDeviceConfig.totalFpus() *
+                      _config.pimEnergyParams.fpuStaticPowerPerFpu *
+                      _config.numFcDevices * p.seconds;
+    out.energyJoules = p.energy.total() + static_j + out.commJoules;
+    return out;
+}
+
+KernelExec
+Platform::fcExec(const llm::ModelConfig &model, std::uint32_t tokens,
+                 FcTarget target) const
+{
+    if (tokens == 0)
+        sim::fatal("Platform::fcExec: zero tokens");
+    return target == FcTarget::Gpu ? fcOnGpu(model, tokens)
+                                   : fcOnPim(model, tokens);
+}
+
+double
+Platform::attnCommSeconds(const llm::ModelConfig &model,
+                          std::uint32_t tokens) const
+{
+    const auto &link = _config.topology.attnFabric;
+    double agg_bw =
+        link.bandwidthBytesPerSec *
+        std::max<std::uint32_t>(_config.attnFabricLinks, 1);
+    double act_bytes = static_cast<double>(tokens) * model.hiddenDim *
+                       model.bytesPerParam;
+    // Q vectors out, context vectors back, each layer. GPU-less
+    // platforms stage through the host (two hops per direction).
+    double hops = _config.hasGpu ? 1.0 : 2.0;
+    double per_layer =
+        2.0 * hops *
+        (link.latencySeconds + link.messageOverheadSeconds +
+         act_bytes / agg_bw);
+    return per_layer * model.numLayers;
+}
+
+KernelExec
+Platform::attnExec(const llm::ModelConfig &model,
+                   const std::vector<std::uint32_t> &ctx_lens,
+                   std::uint32_t tlp) const
+{
+    if (ctx_lens.empty())
+        sim::fatal("Platform::attnExec: no live requests");
+
+    std::uint64_t kv_bytes = 0;
+    std::uint64_t score_elems = 0;
+    for (std::uint32_t len : ctx_lens) {
+        kv_bytes += static_cast<std::uint64_t>(len) *
+                    model.kvBytesPerToken();
+        score_elems += static_cast<std::uint64_t>(len) * tlp *
+                       model.numHeads * model.numLayers;
+    }
+
+    pim::PimKernelResult p = _attnDevice->attention(
+        kv_bytes, model.numHeads, tlp, score_elems,
+        _config.numAttnDevices);
+
+    std::uint32_t tokens =
+        static_cast<std::uint32_t>(ctx_lens.size()) * tlp;
+    double comm_seconds = attnCommSeconds(model, tokens);
+    double comm_bytes = 2.0 * static_cast<double>(tokens) *
+                        model.hiddenDim * model.bytesPerParam *
+                        model.numLayers;
+
+    KernelExec out;
+    out.commSeconds = comm_seconds;
+    out.seconds = p.seconds + comm_seconds;
+    out.computeBound = p.computeBound;
+    out.commJoules =
+        comm_bytes * _config.topology.attnFabric.energyPerByte;
+
+    double static_j = _config.attnDeviceConfig.totalFpus() *
+                      _config.pimEnergyParams.fpuStaticPowerPerFpu *
+                      _config.numAttnDevices * p.seconds;
+    out.energyJoules = p.energy.total() + static_j + out.commJoules;
+    return out;
+}
+
+KernelExec
+Platform::prefillExec(const llm::ModelConfig &model,
+                      const std::vector<std::uint32_t> &input_lens)
+    const
+{
+    if (input_lens.empty())
+        sim::fatal("Platform::prefillExec: no requests");
+
+    std::uint64_t total_tokens = std::accumulate(
+        input_lens.begin(), input_lens.end(), std::uint64_t{0});
+    // Prefill attention: per request, L x L score work per layer.
+    double attn_flops = 0.0;
+    std::uint64_t kv_bytes = 0;
+    for (std::uint32_t len : input_lens) {
+        double L = len;
+        attn_flops += 4.0 * L * L * model.hiddenDim * model.numLayers;
+        kv_bytes += static_cast<std::uint64_t>(len) *
+                    model.kvBytesPerToken();
+    }
+
+    KernelExec out;
+    if (_gpu) {
+        llm::KernelWork w = llm::fcTotalWork(
+            model,
+            static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                total_tokens, 1u << 20)));
+        gpu::GpuKernelResult g = _gpu->kernel(
+            w.flops + attn_flops,
+            w.weightBytes + w.activationBytes +
+                static_cast<double>(kv_bytes),
+            0.0);
+        out.seconds = g.seconds;
+        out.energyJoules = g.energyJoules;
+        out.computeBound = g.computeBound;
+    } else {
+        // PIM-only platforms must prefill on the PIM fleet.
+        std::uint32_t tokens = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(total_tokens, 1u << 20));
+        KernelExec fc = fcOnPim(model, tokens);
+        // Attention prefill: reuse grows with the average context;
+        // approximate with the mean prompt length as TLP.
+        std::uint32_t mean_len = static_cast<std::uint32_t>(
+            total_tokens / input_lens.size());
+        std::vector<std::uint32_t> lens(input_lens.begin(),
+                                        input_lens.end());
+        KernelExec at = attnExec(model, lens,
+                                 std::max<std::uint32_t>(mean_len, 1));
+        out.seconds = fc.seconds + at.seconds;
+        out.commSeconds = fc.commSeconds + at.commSeconds;
+        out.energyJoules = fc.energyJoules + at.energyJoules;
+        out.commJoules = fc.commJoules + at.commJoules;
+    }
+
+    // KV cache write-out to the attention devices.
+    const auto &link = _config.topology.attnFabric;
+    double agg_bw =
+        link.bandwidthBytesPerSec *
+        std::max<std::uint32_t>(_config.attnFabricLinks, 1);
+    double kv_write = static_cast<double>(kv_bytes) / agg_bw;
+    out.seconds += kv_write;
+    out.commSeconds += kv_write;
+    out.commJoules += static_cast<double>(kv_bytes) *
+                      link.energyPerByte;
+    out.energyJoules += static_cast<double>(kv_bytes) *
+                        link.energyPerByte;
+    return out;
+}
+
+double
+Platform::otherSeconds(const llm::ModelConfig &model) const
+{
+    return _config.otherPerIterationSeconds +
+           _config.otherPerLayerSeconds * model.numLayers;
+}
+
+namespace {
+
+PlatformConfig
+baseConfig()
+{
+    PlatformConfig cfg;
+    cfg.gpuSpec = gpu::a100Spec();
+    cfg.numGpus = 6;
+    cfg.numFcDevices = 30;
+    cfg.numAttnDevices = 60;
+    cfg.topology.gpuFabric = interconnect::nvlink();
+    cfg.topology.attnFabric = interconnect::pcie5();
+    cfg.fcFabricLinks = 6;  // one NVLink group per GPU
+    cfg.attnFabricLinks = 8; // PCIe switch complex
+    return cfg;
+}
+
+} // namespace
+
+PlatformConfig
+makePapiConfig()
+{
+    PlatformConfig cfg = baseConfig();
+    cfg.name = "papi";
+    cfg.fcPolicy = FcPolicy::Dynamic;
+    cfg.tracksRuntimeRlp = true;
+    cfg.hasGpu = true;
+    cfg.fcDeviceConfig = pim::fcPimConfig();
+    cfg.fcDevicesCompute = true;
+    cfg.attnDeviceConfig = pim::attnPimConfig();
+    return cfg;
+}
+
+PlatformConfig
+makeA100AttAccConfig()
+{
+    PlatformConfig cfg = baseConfig();
+    cfg.name = "a100+attacc";
+    cfg.fcPolicy = FcPolicy::AlwaysGpu;
+    cfg.hasGpu = true;
+    // Weights live in plain GPU HBM: model as AttAcc stacks with
+    // near-bank compute disabled.
+    cfg.fcDeviceConfig = pim::attAccConfig();
+    cfg.fcDeviceConfig.name = "gpu-hbm";
+    cfg.fcDevicesCompute = false;
+    cfg.attnDeviceConfig = pim::attAccConfig();
+    return cfg;
+}
+
+PlatformConfig
+makeA100HbmPimConfig()
+{
+    PlatformConfig cfg = makeA100AttAccConfig();
+    cfg.name = "a100+hbm-pim";
+    cfg.attnDeviceConfig = pim::hbmPimConfig();
+    return cfg;
+}
+
+PlatformConfig
+makeAttAccOnlyConfig()
+{
+    PlatformConfig cfg = baseConfig();
+    cfg.name = "attacc-only";
+    cfg.fcPolicy = FcPolicy::AlwaysPim;
+    cfg.hasGpu = false;
+    cfg.fcDeviceConfig = pim::attAccConfig();
+    cfg.fcDevicesCompute = true;
+    cfg.attnDeviceConfig = pim::attAccConfig();
+    // No GPU fabric: PIM devices hang off the host complex.
+    cfg.topology.gpuFabric = interconnect::pcie5();
+    return cfg;
+}
+
+PlatformConfig
+makePimOnlyPapiConfig()
+{
+    PlatformConfig cfg = makeAttAccOnlyConfig();
+    cfg.name = "pim-only-papi";
+    cfg.fcDeviceConfig = pim::fcPimConfig();
+    cfg.attnDeviceConfig = pim::attnPimConfig();
+    return cfg;
+}
+
+} // namespace papi::core

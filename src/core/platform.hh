@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Platform composition: PAPI and the baseline systems it is compared
+ * against (paper Section 7.1).
+ *
+ * Every platform has 90 HBM devices: 30 holding FC weights and 60
+ * holding KV caches. What differs is the compute attached to them
+ * and the FC scheduling policy:
+ *
+ *  - A100+AttAcc: FC on 6 A100 GPUs (weights in plain GPU HBM),
+ *    attention on AttAcc-style 1P1B PIM devices.
+ *  - A100+HBM-PIM: as above with Samsung HBM-PIM (1P2B) attention
+ *    devices.
+ *  - AttAcc-only: FC and attention both on 1P1B PIM devices, no GPU.
+ *  - PAPI: FC dynamically scheduled between GPU PUs and FC-PIM
+ *    (4P1B, 12 GB) devices; attention on Attn-PIM (1P2B) devices.
+ *  - PIM-only PAPI: FC always on FC-PIM, attention on Attn-PIM
+ *    (the ablation of Fig. 11/12).
+ */
+
+#ifndef PAPI_CORE_PLATFORM_HH
+#define PAPI_CORE_PLATFORM_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gpu/gpu_model.hh"
+#include "interconnect/link.hh"
+#include "llm/kernel_spec.hh"
+#include "llm/model_config.hh"
+#include "pim/pim_device.hh"
+
+namespace papi::core {
+
+/** Where an FC kernel may execute. */
+enum class FcTarget : std::uint8_t { Gpu, FcPim };
+
+/** FC scheduling policy of a platform. */
+enum class FcPolicy : std::uint8_t
+{
+    AlwaysGpu, ///< Static: FC on the GPU (AttAcc/HBM-PIM baselines).
+    AlwaysPim, ///< Static: FC on PIM (AttAcc-only, PIM-only PAPI).
+    Dynamic,   ///< PAPI: AI-threshold dynamic scheduling.
+    Oracle,    ///< Ablation: pick the faster target with hindsight.
+};
+
+const char *fcPolicyName(FcPolicy policy);
+const char *fcTargetName(FcTarget target);
+
+/** Structural description of a platform. */
+struct PlatformConfig
+{
+    std::string name = "platform";
+    FcPolicy fcPolicy = FcPolicy::Dynamic;
+
+    /**
+     * True if the system tracks runtime RLP (PAPI's token-level
+     * <eos> counting, Section 5.2.2) and shrinks the FC token count
+     * as requests finish. Static-batching baselines keep computing
+     * the padded batch until it drains (the paper's Shortcoming 1);
+     * this costs the GPU baselines almost nothing (their FC roofline
+     * is flat in the memory-bound regime) but is ruinous for
+     * PIM-executed FC, whose latency scales with tokens.
+     */
+    bool tracksRuntimeRlp = false;
+
+    bool hasGpu = true;
+    std::uint32_t numGpus = 6;
+    gpu::GpuSpec gpuSpec;
+
+    /** Devices holding FC weights (GPU-attached). */
+    pim::PimConfig fcDeviceConfig;
+    std::uint32_t numFcDevices = 30;
+    /** True if the FC devices have usable near-bank compute. */
+    bool fcDevicesCompute = true;
+
+    /** Disaggregated devices holding KV caches. */
+    pim::PimConfig attnDeviceConfig;
+    std::uint32_t numAttnDevices = 60;
+
+    interconnect::Topology topology;
+    /** Parallel links aggregating the FC fabric. */
+    std::uint32_t fcFabricLinks = 6;
+    /** Parallel links aggregating the attention fabric. */
+    std::uint32_t attnFabricLinks = 8;
+
+    /**
+     * Fraction of the shorter of the FC/attention phases that can
+     * hide under the longer one via sub-batch interleaving (the
+     * NeuPIMs/SpecPIM-style co-execution of related work). 0 = fully
+     * serial phases (kernels within a layer are dependent); 1 =
+     * perfect cross-layer pipelining. Applies only when the phases
+     * run on different hardware (FC on GPU/FC-PIM vs attention on
+     * Attn-PIM).
+     */
+    double phaseOverlapFraction = 0.0;
+
+    /** Non-GEMV per-layer overhead (layernorm, residual), seconds. */
+    double otherPerLayerSeconds = 0.5e-6;
+    /** Per-iteration overhead (sampling, token gather), seconds. */
+    double otherPerIterationSeconds = 30.0e-6;
+
+    pim::PimEnergyParams pimEnergyParams;
+};
+
+/** Timing/energy outcome of one kernel phase on the platform. */
+struct KernelExec
+{
+    double seconds = 0.0;
+    double commSeconds = 0.0; ///< Included in seconds.
+    double energyJoules = 0.0;
+    double commJoules = 0.0; ///< Included in energyJoules.
+    bool computeBound = false;
+};
+
+/** An instantiated platform with its device models. */
+class Platform
+{
+  public:
+    explicit Platform(const PlatformConfig &config);
+
+    const PlatformConfig &config() const { return _config; }
+    const std::string &name() const { return _config.name; }
+    bool hasGpu() const { return _config.hasGpu; }
+
+    const pim::PimDevice &fcDevice() const { return *_fcDevice; }
+    const pim::PimDevice &attnDevice() const { return *_attnDevice; }
+    const gpu::GpuModel *gpuModel() const { return _gpu.get(); }
+
+    /**
+     * Verify the model's weights fit the FC devices and a batch's
+     * peak KV cache fits the attention devices; fatal otherwise.
+     */
+    void validateFit(const llm::ModelConfig &model,
+                     std::uint64_t peak_kv_bytes) const;
+
+    /**
+     * One decode iteration's FC phase (all layers, all sub-kernels)
+     * with @p tokens = RLP x TLP tokens, on @p target.
+     */
+    KernelExec fcExec(const llm::ModelConfig &model,
+                      std::uint32_t tokens, FcTarget target) const;
+
+    /**
+     * One decode iteration's attention phase over live contexts
+     * @p ctx_lens with speculation length @p tlp.
+     */
+    KernelExec attnExec(const llm::ModelConfig &model,
+                        const std::vector<std::uint32_t> &ctx_lens,
+                        std::uint32_t tlp) const;
+
+    /**
+     * Prefill phase for @p input_lens prompt lengths. Runs on the
+     * GPU when present, otherwise on the PIM fleet.
+     */
+    KernelExec prefillExec(const llm::ModelConfig &model,
+                           const std::vector<std::uint32_t> &input_lens)
+        const;
+
+    /** Non-GEMV overhead of one decode iteration. */
+    double otherSeconds(const llm::ModelConfig &model) const;
+
+    /** The FC target a static policy implies (fatal for Dynamic). */
+    FcTarget staticFcTarget() const;
+
+  private:
+    KernelExec fcOnGpu(const llm::ModelConfig &model,
+                       std::uint32_t tokens) const;
+    KernelExec fcOnPim(const llm::ModelConfig &model,
+                       std::uint32_t tokens) const;
+
+    /** Per-layer activation round trip to the attention devices. */
+    double attnCommSeconds(const llm::ModelConfig &model,
+                           std::uint32_t tokens) const;
+
+    PlatformConfig _config;
+    std::unique_ptr<pim::PimDevice> _fcDevice;
+    std::unique_ptr<pim::PimDevice> _attnDevice;
+    std::unique_ptr<gpu::GpuModel> _gpu;
+};
+
+/** Factory: the PAPI system (dynamic scheduling, hybrid PIM). */
+PlatformConfig makePapiConfig();
+/** Factory: A100+AttAcc baseline. */
+PlatformConfig makeA100AttAccConfig();
+/** Factory: A100+HBM-PIM baseline. */
+PlatformConfig makeA100HbmPimConfig();
+/** Factory: AttAcc-only baseline (PIM-only, 1P1B everywhere). */
+PlatformConfig makeAttAccOnlyConfig();
+/** Factory: PIM-only PAPI (hybrid PIM, no GPU; Fig. 11/12). */
+PlatformConfig makePimOnlyPapiConfig();
+
+} // namespace papi::core
+
+#endif // PAPI_CORE_PLATFORM_HH

@@ -1,0 +1,145 @@
+#include "core/report.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace papi::core {
+
+ReportTable::ReportTable(std::vector<std::string> headers)
+    : _headers(std::move(headers))
+{
+    if (_headers.empty())
+        sim::fatal("ReportTable: no headers");
+}
+
+void
+ReportTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != _headers.size())
+        sim::fatal("ReportTable: row has ", cells.size(),
+                   " cells, expected ", _headers.size());
+    _rows.push_back(std::move(cells));
+}
+
+std::string
+ReportTable::num(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+void
+ReportTable::render(std::ostream &os, ReportFormat format) const
+{
+    switch (format) {
+      case ReportFormat::Csv: {
+        auto emit = [&os](const std::vector<std::string> &cells) {
+            for (std::size_t i = 0; i < cells.size(); ++i) {
+                if (i)
+                    os << ",";
+                // Quote cells containing separators.
+                if (cells[i].find_first_of(",\"") !=
+                    std::string::npos) {
+                    os << '"';
+                    for (char c : cells[i]) {
+                        if (c == '"')
+                            os << '"';
+                        os << c;
+                    }
+                    os << '"';
+                } else {
+                    os << cells[i];
+                }
+            }
+            os << "\n";
+        };
+        emit(_headers);
+        for (const auto &row : _rows)
+            emit(row);
+        break;
+      }
+      case ReportFormat::Markdown: {
+        auto emit = [&os](const std::vector<std::string> &cells) {
+            os << "|";
+            for (const auto &c : cells)
+                os << " " << c << " |";
+            os << "\n";
+        };
+        emit(_headers);
+        os << "|";
+        for (std::size_t i = 0; i < _headers.size(); ++i)
+            os << "---|";
+        os << "\n";
+        for (const auto &row : _rows)
+            emit(row);
+        break;
+      }
+      case ReportFormat::Text: {
+        std::vector<std::size_t> widths(_headers.size());
+        for (std::size_t i = 0; i < _headers.size(); ++i)
+            widths[i] = _headers[i].size();
+        for (const auto &row : _rows) {
+            for (std::size_t i = 0; i < row.size(); ++i)
+                widths[i] = std::max(widths[i], row[i].size());
+        }
+        auto emit = [&](const std::vector<std::string> &cells) {
+            for (std::size_t i = 0; i < cells.size(); ++i) {
+                os << std::left
+                   << std::setw(static_cast<int>(widths[i]) + 2)
+                   << cells[i];
+            }
+            os << "\n";
+        };
+        emit(_headers);
+        for (const auto &row : _rows)
+            emit(row);
+        break;
+      }
+    }
+}
+
+void
+writeRunReport(std::ostream &os, const std::string &label,
+               const RunResult &result, ReportFormat format)
+{
+    ReportTable t({"run", "seconds", "prefill_s", "fc_s", "attn_s",
+                   "comm_s", "other_s", "tokens", "energy_j",
+                   "fc_gpu_iters", "fc_pim_iters", "reschedules"});
+    t.addRow({label, ReportTable::num(result.seconds(), 6),
+              ReportTable::num(result.time.prefillSeconds, 6),
+              ReportTable::num(result.time.fcSeconds, 6),
+              ReportTable::num(result.time.attnSeconds, 6),
+              ReportTable::num(result.time.commSeconds, 6),
+              ReportTable::num(result.time.otherSeconds, 6),
+              std::to_string(result.tokensGenerated),
+              ReportTable::num(result.energyJoules, 3),
+              std::to_string(result.fcOnGpuIterations),
+              std::to_string(result.fcOnPimIterations),
+              std::to_string(result.reschedules)});
+    t.render(os, format);
+}
+
+void
+writeServingReport(std::ostream &os, const std::string &label,
+                   const ServingResult &result, ReportFormat format)
+{
+    ReportTable t({"run", "makespan_s", "mean_lat_s", "p95_lat_s",
+                   "tokens_per_s", "energy_j", "mean_rlp",
+                   "peak_kv_util", "admissions", "reschedules"});
+    t.addRow({label, ReportTable::num(result.makespanSeconds, 6),
+              ReportTable::num(result.meanLatencySeconds, 6),
+              ReportTable::num(result.p95LatencySeconds, 6),
+              ReportTable::num(result.throughputTokensPerSecond(), 1),
+              ReportTable::num(result.energyJoules, 3),
+              ReportTable::num(result.meanRlp, 2),
+              ReportTable::num(result.peakKvUtilization, 4),
+              std::to_string(result.admissions),
+              std::to_string(result.reschedules)});
+    t.render(os, format);
+}
+
+} // namespace papi::core

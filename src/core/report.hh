@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Structured result reporting: render run results as aligned text,
+ * Markdown, or CSV so bench output can feed plots and CI diffs.
+ */
+
+#ifndef PAPI_CORE_REPORT_HH
+#define PAPI_CORE_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/decode_engine.hh"
+#include "core/serving_engine.hh"
+
+namespace papi::core {
+
+/** Output format for tabular reports. */
+enum class ReportFormat : std::uint8_t { Text, Markdown, Csv };
+
+/** A simple column-oriented table builder. */
+class ReportTable
+{
+  public:
+    explicit ReportTable(std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with fixed precision. */
+    static std::string num(double value, int precision = 3);
+
+    std::size_t rows() const { return _rows.size(); }
+
+    /** Render in the requested format. */
+    void render(std::ostream &os, ReportFormat format) const;
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/** One-block summary of a batch decode run. */
+void writeRunReport(std::ostream &os, const std::string &label,
+                    const RunResult &result,
+                    ReportFormat format = ReportFormat::Text);
+
+/** One-block summary of a serving run. */
+void writeServingReport(std::ostream &os, const std::string &label,
+                        const ServingResult &result,
+                        ReportFormat format = ReportFormat::Text);
+
+} // namespace papi::core
+
+#endif // PAPI_CORE_REPORT_HH

@@ -1,0 +1,94 @@
+#include "core/scheduler.hh"
+
+#include "llm/kernel_spec.hh"
+#include "sim/logging.hh"
+
+namespace papi::core {
+
+DynamicScheduler::DynamicScheduler(double alpha,
+                                   std::uint32_t initial_rlp,
+                                   std::uint32_t initial_tlp,
+                                   AiEstimateFn estimator)
+    : _alpha(alpha), _rlp(initial_rlp), _tlp(initial_tlp),
+      _estimator(std::move(estimator))
+{
+    if (alpha <= 0.0)
+        sim::fatal("DynamicScheduler: alpha must be positive");
+    if (initial_rlp == 0 || initial_tlp == 0)
+        sim::fatal("DynamicScheduler: RLP and TLP must be >= 1");
+}
+
+double
+DynamicScheduler::estimateAi(std::uint32_t rlp,
+                             std::uint32_t tlp) const
+{
+    return _estimator
+               ? _estimator(rlp, tlp)
+               : llm::fcArithmeticIntensityEstimate(rlp, tlp);
+}
+
+ScheduleDecision
+DynamicScheduler::decide()
+{
+    ScheduleDecision d;
+    d.estimatedAi = estimateAi(_rlp, _tlp);
+    d.target = d.estimatedAi > _alpha ? FcTarget::Gpu
+                                      : FcTarget::FcPim;
+    d.rescheduled = _hasPrev && d.target != _prev;
+    if (d.rescheduled)
+        ++_reschedules;
+    _prev = d.target;
+    _hasPrev = true;
+    ++_decisions;
+    return d;
+}
+
+ScheduleDecision
+DynamicScheduler::initialSchedule()
+{
+    return decide();
+}
+
+ScheduleDecision
+DynamicScheduler::observeStep(std::uint32_t eos_count)
+{
+    if (eos_count > _rlp)
+        sim::panic("DynamicScheduler: eos count ", eos_count,
+                   " exceeds RLP ", _rlp);
+    _rlp -= eos_count;
+    if (_rlp == 0) {
+        // Batch drained; keep the last decision for bookkeeping.
+        ScheduleDecision d;
+        d.target = _prev;
+        d.estimatedAi = 0.0;
+        return d;
+    }
+    return decide();
+}
+
+ScheduleDecision
+DynamicScheduler::observeAdmission(std::uint32_t count)
+{
+    _rlp += count;
+    return decide();
+}
+
+void
+DynamicScheduler::setTlp(std::uint32_t tlp)
+{
+    if (tlp == 0)
+        sim::fatal("DynamicScheduler: TLP must be >= 1");
+    _tlp = tlp;
+}
+
+ScheduleDecision
+DynamicScheduler::peek(std::uint32_t rlp, std::uint32_t tlp) const
+{
+    ScheduleDecision d;
+    d.estimatedAi = estimateAi(rlp, tlp);
+    d.target = d.estimatedAi > _alpha ? FcTarget::Gpu
+                                      : FcTarget::FcPim;
+    return d;
+}
+
+} // namespace papi::core

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * PAPI's dynamic parallelism-aware scheduler (paper Section 5).
+ *
+ * The scheduler runs on the host CPU and follows the paper's
+ * token-level scheme:
+ *  1. After each decode iteration the output tokens of all requests
+ *     are gathered and the <eos> tokens counted, updating RLP.
+ *  2. TLP lives in a dedicated register, updated only when system
+ *     software changes the speculation length.
+ *  3. The next iteration's FC arithmetic intensity is predicted as
+ *     RLP x TLP.
+ *  4. The prediction is compared against the offline-calibrated
+ *     threshold alpha to decide whether the FC kernels run on the
+ *     processing units (compute-bound) or the FC-PIM devices
+ *     (memory-bound).
+ */
+
+#ifndef PAPI_CORE_SCHEDULER_HH
+#define PAPI_CORE_SCHEDULER_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "core/platform.hh"
+
+namespace papi::core {
+
+/**
+ * Pluggable arithmetic-intensity estimate for the scheduler. The
+ * default is the paper's Eq. 2 (RLP x TLP); MoE deployments supply
+ * llm::moeFcIntensityEstimate (Section 6.5).
+ */
+using AiEstimateFn =
+    std::function<double(std::uint32_t rlp, std::uint32_t tlp)>;
+
+/** One scheduling decision plus bookkeeping. */
+struct ScheduleDecision
+{
+    FcTarget target = FcTarget::Gpu;
+    double estimatedAi = 0.0;
+    bool rescheduled = false; ///< Target changed vs previous decision.
+};
+
+/** The runtime scheduler state machine. */
+class DynamicScheduler
+{
+  public:
+    /**
+     * @param alpha Memory-boundedness threshold: estimated AI values
+     *        strictly greater than alpha are compute-bound -> GPU.
+     * @param initial_rlp Batch size at admission.
+     * @param initial_tlp System-configured speculation length.
+     */
+    DynamicScheduler(double alpha, std::uint32_t initial_rlp,
+                     std::uint32_t initial_tlp,
+                     AiEstimateFn estimator = {});
+
+    double alpha() const { return _alpha; }
+    std::uint32_t rlp() const { return _rlp; }
+    std::uint32_t tlp() const { return _tlp; }
+
+    /** Initial scheduling before serving starts (Section 5.2.1). */
+    ScheduleDecision initialSchedule();
+
+    /**
+     * Runtime scheduling after a decode iteration (Section 5.2.2):
+     * @p eos_count <eos> tokens were observed in the gathered output
+     * vector, shrinking RLP.
+     */
+    ScheduleDecision observeStep(std::uint32_t eos_count);
+
+    /** Host software updated the speculation length register. */
+    void setTlp(std::uint32_t tlp);
+
+    /**
+     * Mixed continuous batching admitted @p count new requests into
+     * the running batch (Section 2.2.1): RLP rises, and the next
+     * decision may move FC back to the GPU.
+     */
+    ScheduleDecision observeAdmission(std::uint32_t count);
+
+    /** Decision for arbitrary parallelism without mutating state. */
+    ScheduleDecision peek(std::uint32_t rlp, std::uint32_t tlp) const;
+
+    /** Total decisions taken. */
+    std::uint64_t decisions() const { return _decisions; }
+    /** Times the target changed (kernel migrations). */
+    std::uint64_t reschedules() const { return _reschedules; }
+
+  private:
+    ScheduleDecision decide();
+    double estimateAi(std::uint32_t rlp, std::uint32_t tlp) const;
+
+    double _alpha;
+    std::uint32_t _rlp;
+    std::uint32_t _tlp;
+    AiEstimateFn _estimator;
+    bool _hasPrev = false;
+    FcTarget _prev = FcTarget::Gpu;
+    std::uint64_t _decisions = 0;
+    std::uint64_t _reschedules = 0;
+};
+
+} // namespace papi::core
+
+#endif // PAPI_CORE_SCHEDULER_HH

@@ -1,0 +1,221 @@
+#include "core/serving_engine.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "llm/kv_cache.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace papi::core {
+
+namespace {
+
+/** A request being decoded, with serving-side bookkeeping. */
+struct ActiveRequest
+{
+    llm::Request request;
+    double arrivalSeconds = 0.0;
+};
+
+} // namespace
+
+ServingResult
+ServingEngine::run(const std::vector<llm::TimedRequest> &stream,
+                   const llm::SpeculativeConfig &spec,
+                   const llm::ModelConfig &model,
+                   const ServingOptions &options)
+{
+    spec.validate();
+    if (stream.empty())
+        sim::fatal("ServingEngine: empty request stream");
+    if (options.maxRlp == 0)
+        sim::fatal("ServingEngine: maxRlp must be >= 1");
+    for (std::size_t i = 1; i < stream.size(); ++i) {
+        if (stream[i].arrivalSeconds < stream[i - 1].arrivalSeconds)
+            sim::fatal("ServingEngine: arrivals must be sorted");
+    }
+
+    llm::KvCacheManager kv(model, _platform.config().numAttnDevices,
+                           _platform.config()
+                               .attnDeviceConfig.capacityBytes());
+
+    ServingResult out;
+    sim::Rng rng(options.seed);
+    std::deque<llm::TimedRequest> pending(stream.begin(),
+                                          stream.end());
+    std::vector<ActiveRequest> active;
+    std::vector<double> latencies;
+    latencies.reserve(stream.size());
+
+    double now = stream.front().arrivalSeconds;
+    double rlp_time_integral = 0.0;
+    double busy_time = 0.0;
+
+    // Per-iteration decisions are stateless threshold checks
+    // (peek); RLP transitions in both directions are counted here.
+    const bool dynamic =
+        _platform.config().fcPolicy == FcPolicy::Dynamic;
+    DynamicScheduler sched(options.alpha, 1, spec.length);
+    bool sched_started = false;
+    FcTarget prev_target = FcTarget::FcPim;
+
+    auto admit = [&]() {
+        std::uint32_t admitted = 0;
+        std::vector<std::uint32_t> prefill_lens;
+        // Batch-level scheduling admits only into an empty batch.
+        if (options.admission == AdmissionPolicy::BatchLevel &&
+            !active.empty())
+            return admitted;
+        while (!pending.empty() &&
+               pending.front().arrivalSeconds <= now &&
+               active.size() < options.maxRlp) {
+            const llm::Request &req = pending.front().request;
+            // Reserve the worst case so growth can never fail.
+            std::uint64_t worst = static_cast<std::uint64_t>(
+                req.inputLen) + req.outputLen;
+            if (!kv.canAdmit(worst))
+                break;
+            kv.admit(req.id, worst);
+            ActiveRequest a;
+            a.request = req;
+            a.arrivalSeconds = pending.front().arrivalSeconds;
+            prefill_lens.push_back(a.request.inputLen);
+            active.push_back(a);
+            pending.pop_front();
+            ++admitted;
+        }
+        if (admitted > 0) {
+            // Prefill the newcomers before the next decode step.
+            KernelExec pre =
+                _platform.prefillExec(model, prefill_lens);
+            now += pre.seconds;
+            busy_time += pre.seconds;
+            out.energyJoules += pre.energyJoules;
+            out.admissions += admitted;
+        }
+        return admitted;
+    };
+
+    while (!pending.empty() || !active.empty()) {
+        if (active.empty()) {
+            // Idle until the next arrival.
+            now = std::max(now, pending.front().arrivalSeconds);
+            if (options.admission == AdmissionPolicy::BatchLevel &&
+                pending.size() >= options.maxRlp) {
+                // Dynamic batching: if a full batch is already
+                // waiting, start once the last member has arrived.
+                now = std::max(
+                    now,
+                    pending[options.maxRlp - 1].arrivalSeconds);
+            } else if (options.admission ==
+                       AdmissionPolicy::BatchLevel) {
+                // Otherwise wait out the fill timeout (or until the
+                // batch fills, whichever comes first).
+                double deadline = pending.front().arrivalSeconds +
+                                  options.batchTimeoutSeconds;
+                std::size_t fills = std::min<std::size_t>(
+                    pending.size(), options.maxRlp);
+                double full_at =
+                    pending[fills - 1].arrivalSeconds;
+                now = std::max(now, std::min(deadline, full_at));
+            }
+            admit();
+            continue;
+        }
+
+        const auto rlp = static_cast<std::uint32_t>(active.size());
+        const std::uint32_t tlp = spec.length;
+        const std::uint32_t tokens = rlp * tlp;
+
+        FcTarget target;
+        switch (_platform.config().fcPolicy) {
+          case FcPolicy::AlwaysGpu:
+            target = FcTarget::Gpu;
+            break;
+          case FcPolicy::AlwaysPim:
+            target = FcTarget::FcPim;
+            break;
+          case FcPolicy::Oracle: {
+            double g = _platform.fcExec(model, tokens,
+                                        FcTarget::Gpu).seconds;
+            double p = _platform.fcExec(model, tokens,
+                                        FcTarget::FcPim).seconds;
+            target = g <= p ? FcTarget::Gpu : FcTarget::FcPim;
+            break;
+          }
+          case FcPolicy::Dynamic:
+          default:
+            target = sched.peek(rlp, tlp).target;
+            break;
+        }
+        if (dynamic) {
+            if (sched_started && target != prev_target)
+                ++out.reschedules;
+            if (sched_started && target == FcTarget::Gpu &&
+                prev_target == FcTarget::FcPim)
+                ++out.reschedulesToGpu;
+            prev_target = target;
+            sched_started = true;
+        }
+
+        std::vector<std::uint32_t> ctx;
+        ctx.reserve(active.size());
+        for (const auto &a : active)
+            ctx.push_back(a.request.contextLen());
+
+        KernelExec fc = _platform.fcExec(model, tokens, target);
+        KernelExec at = _platform.attnExec(model, ctx, tlp);
+        double other = _platform.otherSeconds(model);
+        double iter_seconds = fc.seconds + at.seconds + other;
+
+        rlp_time_integral += iter_seconds * rlp;
+        busy_time += iter_seconds;
+        now += iter_seconds;
+        out.energyJoules +=
+            fc.energyJoules + at.energyJoules + other * 50.0;
+        ++out.iterations;
+        if (target == FcTarget::Gpu)
+            ++out.fcOnGpuIterations;
+        else
+            ++out.fcOnPimIterations;
+
+        out.peakKvUtilization = std::max(
+            out.peakKvUtilization, kv.occupancy().utilization());
+
+        // Advance generation; retire finished requests.
+        std::uint32_t accepted = spec.sampleAccepted(rng);
+        for (auto it = active.begin(); it != active.end();) {
+            out.tokensGenerated += it->request.advance(accepted);
+            if (it->request.finished()) {
+                latencies.push_back(now - it->arrivalSeconds);
+                kv.release(it->request.id);
+                it = active.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        // Token-level scheduling: admit newcomers immediately.
+        admit();
+    }
+
+    out.makespanSeconds = now - stream.front().arrivalSeconds;
+    out.meanRlp = busy_time > 0.0 ? rlp_time_integral / busy_time
+                                  : 0.0;
+
+    if (!latencies.empty()) {
+        double sum = 0.0;
+        for (double l : latencies)
+            sum += l;
+        out.meanLatencySeconds =
+            sum / static_cast<double>(latencies.size());
+        std::sort(latencies.begin(), latencies.end());
+        auto idx = static_cast<std::size_t>(
+            0.95 * static_cast<double>(latencies.size() - 1));
+        out.p95LatencySeconds = latencies[idx];
+    }
+    return out;
+}
+
+} // namespace papi::core

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Online serving simulation with mixed continuous batching.
+ *
+ * Unlike DecodeEngine (one static batch to drain), ServingEngine
+ * simulates an arrival-driven timeline: requests join the running
+ * batch as soon as capacity permits (token-level scheduling, paper
+ * Section 2.2.1), so runtime RLP rises on admissions and falls on
+ * <eos>. PAPI's scheduler sees both transitions, exercising
+ * reschedules in both directions (GPU -> PIM and PIM -> GPU).
+ */
+
+#ifndef PAPI_CORE_SERVING_ENGINE_HH
+#define PAPI_CORE_SERVING_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/platform.hh"
+#include "core/scheduler.hh"
+#include "llm/arrival.hh"
+#include "llm/model_config.hh"
+#include "llm/speculative.hh"
+#include "sim/stats.hh"
+
+namespace papi::core {
+
+/** When new requests may join the running batch. */
+enum class AdmissionPolicy : std::uint8_t
+{
+    /** Mixed continuous batching: join at any iteration boundary. */
+    TokenLevel,
+    /**
+     * Static batching with dynamic admission (paper Section 3.2(c)):
+     * a new batch forms only after the current one drains, starting
+     * when it is full or a wait timeout expires.
+     */
+    BatchLevel,
+};
+
+/** Serving-run configuration. */
+struct ServingOptions
+{
+    /** Maximum concurrent requests (SLO-driven initial-RLP cap). */
+    std::uint32_t maxRlp = 64;
+    /** Scheduling threshold (from ThresholdCalibrator). */
+    double alpha = 32.0;
+    /** RNG seed for speculative acceptance. */
+    std::uint64_t seed = 1;
+    /** Admission policy. */
+    AdmissionPolicy admission = AdmissionPolicy::TokenLevel;
+    /**
+     * Batch-level only: wait at most this long after the first
+     * pending arrival for the batch to fill before starting.
+     */
+    double batchTimeoutSeconds = 0.1;
+};
+
+/** Outcome of a serving run. */
+struct ServingResult
+{
+    double makespanSeconds = 0.0; ///< First arrival to last finish.
+    double energyJoules = 0.0;
+    std::uint64_t iterations = 0;
+    std::uint64_t tokensGenerated = 0;
+    std::uint64_t admissions = 0;
+    std::uint64_t reschedules = 0;
+    std::uint64_t reschedulesToGpu = 0; ///< PIM -> GPU transitions.
+    std::uint64_t fcOnGpuIterations = 0;
+    std::uint64_t fcOnPimIterations = 0;
+
+    double meanLatencySeconds = 0.0; ///< Arrival to completion.
+    double p95LatencySeconds = 0.0;
+    double meanRlp = 0.0; ///< Time-weighted mean live RLP.
+    /** Peak fraction of the Attn-PIM KV pool in use. */
+    double peakKvUtilization = 0.0;
+
+    double
+    throughputTokensPerSecond() const
+    {
+        return makespanSeconds > 0.0
+                   ? static_cast<double>(tokensGenerated) /
+                         makespanSeconds
+                   : 0.0;
+    }
+};
+
+/** Arrival-driven serving simulator over one platform. */
+class ServingEngine
+{
+  public:
+    explicit ServingEngine(const Platform &platform)
+        : _platform(platform)
+    {}
+
+    /**
+     * Serve @p stream to completion.
+     *
+     * Admission policy: a pending request joins when (a) live RLP <
+     * maxRlp and (b) its worst-case KV footprint fits the remaining
+     * Attn-PIM capacity. Joining requests are prefilled (charged on
+     * the platform's prefill path) before decoding continues.
+     */
+    ServingResult run(const std::vector<llm::TimedRequest> &stream,
+                      const llm::SpeculativeConfig &spec,
+                      const llm::ModelConfig &model,
+                      const ServingOptions &options = {});
+
+  private:
+    const Platform &_platform;
+};
+
+} // namespace papi::core
+
+#endif // PAPI_CORE_SERVING_ENGINE_HH

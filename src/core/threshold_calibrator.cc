@@ -1,0 +1,74 @@
+#include "core/threshold_calibrator.hh"
+
+#include "sim/logging.hh"
+
+namespace papi::core {
+
+CalibrationResult
+ThresholdCalibrator::calibrate(const Platform &platform,
+                               const llm::ModelConfig &model,
+                               std::uint32_t max_tokens)
+{
+    if (!platform.hasGpu())
+        sim::fatal("ThresholdCalibrator: platform has no GPU");
+    if (!platform.config().fcDevicesCompute)
+        sim::fatal("ThresholdCalibrator: platform's FC devices cannot "
+                   "compute");
+    if (max_tokens == 0)
+        sim::fatal("ThresholdCalibrator: max_tokens must be >= 1");
+
+    CalibrationResult out;
+
+    auto sample = [&](std::uint32_t tokens) {
+        CalibrationPoint p;
+        p.tokens = tokens;
+        p.gpuSeconds =
+            platform.fcExec(model, tokens, FcTarget::Gpu).seconds;
+        p.pimSeconds =
+            platform.fcExec(model, tokens, FcTarget::FcPim).seconds;
+        out.points.push_back(p);
+        return p;
+    };
+
+    // Coarse geometric sweep to bracket the crossover.
+    std::uint32_t lo = 1;
+    std::uint32_t hi = 0;
+    CalibrationPoint prev = sample(1);
+    if (prev.gpuSeconds < prev.pimSeconds) {
+        // GPU already wins at tokens=1: everything is compute-bound
+        // from the scheduler's perspective.
+        out.alpha = 0.5;
+        return out;
+    }
+    for (std::uint32_t t = 2; t <= max_tokens; t *= 2) {
+        CalibrationPoint p = sample(t);
+        if (p.gpuSeconds < p.pimSeconds) {
+            lo = t / 2;
+            hi = t;
+            break;
+        }
+        prev = p;
+    }
+    if (hi == 0) {
+        // PIM wins over the whole sweep range.
+        out.alpha = static_cast<double>(max_tokens);
+        return out;
+    }
+
+    // Binary refinement of the crossover inside (lo, hi].
+    while (hi - lo > 1) {
+        std::uint32_t mid = lo + (hi - lo) / 2;
+        CalibrationPoint p = sample(mid);
+        if (p.gpuSeconds < p.pimSeconds)
+            hi = mid;
+        else
+            lo = mid;
+    }
+
+    // PIM still wins at `lo`; GPU wins from `hi`. The scheduler maps
+    // estimated AI > alpha to the GPU, so alpha sits on `lo`.
+    out.alpha = static_cast<double>(lo);
+    return out;
+}
+
+} // namespace papi::core

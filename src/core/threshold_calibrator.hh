@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Offline calibration of the memory-boundedness threshold alpha
+ * (paper Section 5.2.1).
+ *
+ * "The threshold alpha is determined through offline iterative
+ * evaluation, where we run the FC kernel on both PIM and PU units
+ * under varying parallelization levels, using the observed execution
+ * times to establish the best alpha."
+ */
+
+#ifndef PAPI_CORE_THRESHOLD_CALIBRATOR_HH
+#define PAPI_CORE_THRESHOLD_CALIBRATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/platform.hh"
+#include "llm/model_config.hh"
+
+namespace papi::core {
+
+/** One calibration sample. */
+struct CalibrationPoint
+{
+    std::uint32_t tokens = 0; ///< RLP x TLP.
+    double gpuSeconds = 0.0;
+    double pimSeconds = 0.0;
+};
+
+/** Result of an alpha calibration sweep. */
+struct CalibrationResult
+{
+    double alpha = 0.0;
+    std::vector<CalibrationPoint> points;
+};
+
+/** Offline alpha calibration against a platform's FC targets. */
+class ThresholdCalibrator
+{
+  public:
+    /**
+     * Sweep tokens = 1..max_tokens (geometric grid plus boundary
+     * refinement) measuring FC latency on GPU and FC-PIM; alpha is
+     * the largest token count at which PIM still wins.
+     *
+     * The platform must have both a GPU and computing FC devices.
+     */
+    static CalibrationResult calibrate(const Platform &platform,
+                                       const llm::ModelConfig &model,
+                                       std::uint32_t max_tokens = 512);
+};
+
+} // namespace papi::core
+
+#endif // PAPI_CORE_THRESHOLD_CALIBRATOR_HH

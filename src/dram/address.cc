@@ -1,0 +1,74 @@
+#include "dram/address.hh"
+
+#include "sim/logging.hh"
+
+namespace papi::dram {
+
+AddressMapping::AddressMapping(const OrgParams &org, MappingPolicy policy)
+    : _org(org), _policy(policy), _capacity(org.capacityBytes())
+{
+}
+
+Coord
+AddressMapping::decompose(std::uint64_t addr) const
+{
+    if (addr >= _capacity)
+        sim::fatal("AddressMapping: address ", addr, " beyond capacity ",
+                   _capacity);
+
+    std::uint64_t unit = addr / _org.accessBytes;
+    Coord c;
+
+    const std::uint64_t cols = _org.columnsPerRow();
+    const std::uint64_t banks = _org.banksPerGroup;
+    const std::uint64_t groups = _org.bankGroups;
+
+    switch (_policy) {
+      case MappingPolicy::RoBaBgCo:
+        c.column = static_cast<std::uint32_t>(unit % cols);
+        unit /= cols;
+        c.bankGroup = static_cast<std::uint32_t>(unit % groups);
+        unit /= groups;
+        c.bank = static_cast<std::uint32_t>(unit % banks);
+        unit /= banks;
+        c.row = static_cast<std::uint32_t>(unit);
+        break;
+      case MappingPolicy::RoCoBaBg:
+        c.bankGroup = static_cast<std::uint32_t>(unit % groups);
+        unit /= groups;
+        c.bank = static_cast<std::uint32_t>(unit % banks);
+        unit /= banks;
+        c.column = static_cast<std::uint32_t>(unit % cols);
+        unit /= cols;
+        c.row = static_cast<std::uint32_t>(unit);
+        break;
+    }
+    return c;
+}
+
+std::uint64_t
+AddressMapping::compose(const Coord &coord) const
+{
+    const std::uint64_t cols = _org.columnsPerRow();
+    const std::uint64_t banks = _org.banksPerGroup;
+    const std::uint64_t groups = _org.bankGroups;
+
+    std::uint64_t unit = 0;
+    switch (_policy) {
+      case MappingPolicy::RoBaBgCo:
+        unit = coord.row;
+        unit = unit * banks + coord.bank;
+        unit = unit * groups + coord.bankGroup;
+        unit = unit * cols + coord.column;
+        break;
+      case MappingPolicy::RoCoBaBg:
+        unit = coord.row;
+        unit = unit * cols + coord.column;
+        unit = unit * banks + coord.bank;
+        unit = unit * groups + coord.bankGroup;
+        break;
+    }
+    return unit * _org.accessBytes;
+}
+
+} // namespace papi::dram

@@ -1,0 +1,109 @@
+#include "dram/bank.hh"
+
+#include "sim/logging.hh"
+
+namespace papi::dram {
+
+Bank::State
+Bank::state(Tick now) const
+{
+    if (!_openRow)
+        return State::Closed;
+    return now >= _rowOpenAt ? State::Open : State::Opening;
+}
+
+Tick
+Bank::earliestIssue(CommandType type) const
+{
+    switch (type) {
+      case CommandType::Act:
+        return _nextAct;
+      case CommandType::Pre:
+        return _nextPre;
+      case CommandType::Rd:
+      case CommandType::Wr:
+      case CommandType::PimMac:
+        return std::max(_nextRdWr, _rowOpenAt);
+      case CommandType::Ref:
+        return _nextAct; // refresh needs the bank closed, like ACT
+    }
+    sim::panic("Bank::earliestIssue: bad command type");
+}
+
+bool
+Bank::canIssue(CommandType type, std::uint32_t row, Tick now) const
+{
+    if (now < earliestIssue(type))
+        return false;
+
+    switch (type) {
+      case CommandType::Act:
+        return !_openRow.has_value();
+      case CommandType::Pre:
+        return _openRow.has_value();
+      case CommandType::Rd:
+      case CommandType::Wr:
+      case CommandType::PimMac:
+        return _openRow.has_value() && *_openRow == row;
+      case CommandType::Ref:
+        return !_openRow.has_value();
+    }
+    return false;
+}
+
+Tick
+Bank::issue(CommandType type, std::uint32_t row, Tick now)
+{
+    if (!canIssue(type, row, now)) {
+        sim::panic("Bank::issue: illegal ", commandName(type), " row=",
+                   row, " at tick ", now, " (earliest=",
+                   earliestIssue(type), ")");
+    }
+
+    switch (type) {
+      case CommandType::Act:
+        _openRow = row;
+        _rowOpenAt = now + _t.tRCD;
+        _nextPre = now + _t.tRAS;
+        _nextAct = now + _t.tRC;
+        ++_activations;
+        return _rowOpenAt;
+
+      case CommandType::Pre:
+        _openRow.reset();
+        _nextAct = std::max(_nextAct, now + _t.tRP);
+        return now + _t.tRP;
+
+      case CommandType::Rd:
+      case CommandType::PimMac: {
+        // Near-bank PIM reads use the per-bank prefetch datapath and
+        // pipeline at burst cadence (AttAcc-style 20.8 GB/s per
+        // bank); external reads pace at the same-bank-group tCCD_L.
+        _nextRdWr = now + (type == CommandType::PimMac ? _t.tCCD_S
+                                                       : _t.tCCD_L);
+        // Read-to-precharge and keep tRAS.
+        _nextPre = std::max(_nextPre, now + _t.tRTP);
+        if (type == CommandType::Rd)
+            ++_reads;
+        else
+            ++_pimMacs;
+        return now + _t.tCL + _t.tBURST;
+      }
+
+      case CommandType::Wr: {
+        _nextRdWr = now + _t.tCCD_L;
+        Tick data_end = now + _t.tWL + _t.tBURST;
+        _nextPre = std::max(_nextPre, data_end + _t.tWR);
+        ++_writes;
+        return data_end;
+      }
+
+      case CommandType::Ref:
+        // Handled at channel scope; the bank just blocks ACTs.
+        _nextAct = std::max(_nextAct, now + _t.tRFC);
+        return now + _t.tRFC;
+    }
+    sim::panic("Bank::issue: bad command type");
+}
+
+} // namespace papi::dram

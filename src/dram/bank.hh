@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Per-bank DRAM state machine with timing enforcement.
+ */
+
+#ifndef PAPI_DRAM_BANK_HH
+#define PAPI_DRAM_BANK_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "dram/command.hh"
+#include "dram/timing.hh"
+#include "sim/types.hh"
+
+namespace papi::dram {
+
+using sim::Tick;
+
+/**
+ * One DRAM bank: row-buffer state plus the earliest ticks at which
+ * each command class may legally be issued to this bank.
+ *
+ * The bank enforces intra-bank constraints (tRCD, tRP, tRAS, tRC,
+ * tWR, tRTP, same-bank column cadence). Inter-bank constraints
+ * (tRRD, tFAW, bus occupancy, tCCD across banks) live in
+ * PseudoChannel.
+ */
+class Bank
+{
+  public:
+    explicit Bank(const TimingParams &timing) : _t(timing) {}
+
+    /** State of the bank's row buffer. */
+    enum class State : std::uint8_t { Closed, Opening, Open };
+
+    State state(Tick now) const;
+
+    /** Row currently open (or being opened); nullopt when closed. */
+    std::optional<std::uint32_t> openRow() const { return _openRow; }
+
+    /** Earliest tick at which @p type may be issued to this bank. */
+    Tick earliestIssue(CommandType type) const;
+
+    /**
+     * True if issuing @p type at @p now respects intra-bank timing and
+     * the row-buffer state (e.g. Rd requires the addressed row open).
+     */
+    bool canIssue(CommandType type, std::uint32_t row, Tick now) const;
+
+    /**
+     * Apply a command at tick @p now, updating state and next-allowed
+     * times. Panics if the command is illegal at @p now (callers are
+     * expected to check canIssue first).
+     *
+     * @return The tick at which the command's effect completes (data
+     *         burst end for Rd/Wr/PimMac, row open for Act, bank idle
+     *         for Pre).
+     */
+    Tick issue(CommandType type, std::uint32_t row, Tick now);
+
+    /** Row-buffer hit/miss bookkeeping. */
+    std::uint64_t activations() const { return _activations; }
+    std::uint64_t reads() const { return _reads; }
+    std::uint64_t writes() const { return _writes; }
+    std::uint64_t pimMacs() const { return _pimMacs; }
+
+  private:
+    const TimingParams &_t;
+
+    std::optional<std::uint32_t> _openRow;
+    Tick _rowOpenAt = 0; ///< Tick at which the activating row is usable.
+
+    Tick _nextAct = 0;
+    Tick _nextPre = 0;
+    Tick _nextRdWr = 0;
+
+    std::uint64_t _activations = 0;
+    std::uint64_t _reads = 0;
+    std::uint64_t _writes = 0;
+    std::uint64_t _pimMacs = 0;
+};
+
+} // namespace papi::dram
+
+#endif // PAPI_DRAM_BANK_HH

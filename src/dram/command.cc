@@ -1,0 +1,19 @@
+#include "dram/command.hh"
+
+namespace papi::dram {
+
+const char *
+commandName(CommandType type)
+{
+    switch (type) {
+      case CommandType::Act: return "ACT";
+      case CommandType::Pre: return "PRE";
+      case CommandType::Rd: return "RD";
+      case CommandType::Wr: return "WR";
+      case CommandType::Ref: return "REF";
+      case CommandType::PimMac: return "PIM_MAC";
+    }
+    return "UNKNOWN";
+}
+
+} // namespace papi::dram

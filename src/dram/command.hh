@@ -1,0 +1,53 @@
+/**
+ * @file
+ * DRAM command vocabulary and coordinates.
+ */
+
+#ifndef PAPI_DRAM_COMMAND_HH
+#define PAPI_DRAM_COMMAND_HH
+
+#include <cstdint>
+#include <string>
+
+namespace papi::dram {
+
+/** Command types issued to a pseudo-channel. */
+enum class CommandType : std::uint8_t
+{
+    Act,   ///< Activate a row into the bank's row buffer.
+    Pre,   ///< Precharge (close) the bank's row buffer.
+    Rd,    ///< Column read burst.
+    Wr,    ///< Column write burst.
+    Ref,   ///< All-bank refresh.
+    PimMac ///< Near-bank column read feeding the bank's FPUs.
+};
+
+/** Printable command name. */
+const char *commandName(CommandType type);
+
+/** Coordinates addressing a location within one pseudo-channel. */
+struct Coord
+{
+    std::uint32_t bankGroup = 0;
+    std::uint32_t bank = 0; ///< Bank index within the bank group.
+    std::uint32_t row = 0;
+    std::uint32_t column = 0; ///< Column-access index within the row.
+
+    bool
+    operator==(const Coord &other) const
+    {
+        return bankGroup == other.bankGroup && bank == other.bank &&
+               row == other.row && column == other.column;
+    }
+};
+
+/** A command plus its target coordinates. */
+struct Command
+{
+    CommandType type = CommandType::Act;
+    Coord coord;
+};
+
+} // namespace papi::dram
+
+#endif // PAPI_DRAM_COMMAND_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Event-driven memory controller for one pseudo-channel.
+ *
+ * Supports FCFS and FR-FCFS scheduling with open-page policy and
+ * periodic all-bank refresh. Requests complete via callback at data
+ * burst end.
+ */
+
+#ifndef PAPI_DRAM_CONTROLLER_HH
+#define PAPI_DRAM_CONTROLLER_HH
+
+#include <cstdint>
+#include <list>
+#include <string>
+
+#include "dram/address.hh"
+#include "dram/pseudo_channel.hh"
+#include "dram/request.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace papi::dram {
+
+/** Request scheduling policy. */
+enum class SchedulingPolicy : std::uint8_t
+{
+    Fcfs,   ///< Strictly oldest-first.
+    FrFcfs, ///< Row hits first, then oldest-first.
+};
+
+/** Per-pseudo-channel memory controller. */
+class MemController
+{
+  public:
+    /**
+     * @param eq Event queue providing simulated time.
+     * @param spec Device description.
+     * @param policy Scheduling policy.
+     * @param mapping Address interleaving policy.
+     * @param queue_depth Maximum pending requests (0 = unlimited).
+     */
+    MemController(sim::EventQueue &eq, const DramSpec &spec,
+                  SchedulingPolicy policy = SchedulingPolicy::FrFcfs,
+                  MappingPolicy mapping = MappingPolicy::RoCoBaBg,
+                  std::size_t queue_depth = 64);
+
+    /**
+     * Enqueue a request.
+     * @retval true accepted.
+     * @retval false the queue is full; retry later.
+     */
+    bool enqueue(MemRequest req);
+
+    /** Requests currently queued (not yet data-complete). */
+    std::size_t queued() const { return _queue.size(); }
+
+    /** Requests completed so far. */
+    std::uint64_t completed() const { return _completed; }
+
+    /** Row-buffer hit-rate over all column accesses so far. */
+    double rowHitRate() const;
+
+    /** Mean request latency (arrival to data end) in ticks. */
+    double meanLatency() const;
+
+    /** Achieved data bandwidth in bytes/second since construction. */
+    double achievedBandwidth() const;
+
+    /** The underlying channel (for energy accounting and tests). */
+    const PseudoChannel &channel() const { return _channel; }
+
+    /** Statistics group for this controller. */
+    const sim::stats::StatGroup &stats() const { return _stats; }
+
+    /** Enable/disable refresh (tests disable it for determinism). */
+    void setRefreshEnabled(bool enabled);
+
+  private:
+    struct Pending
+    {
+        MemRequest req;
+        Coord coord;
+        bool causedActivate = false;
+    };
+
+    void scheduleService(sim::Tick when);
+    void service();
+    void scheduleRefresh();
+    void doRefresh();
+
+    /** Pick the next request per policy; end() if queue empty. */
+    std::list<Pending>::iterator pickNext();
+
+    sim::EventQueue &_eq;
+    DramSpec _spec;
+    PseudoChannel _channel;
+    AddressMapping _mapping;
+    SchedulingPolicy _policy;
+    std::size_t _queueDepth;
+
+    std::list<Pending> _queue;
+    std::uint64_t _nextId = 0;
+    std::uint64_t _completed = 0;
+    bool _servicePending = false;
+    sim::Tick _servicePendingAt = 0;
+
+    bool _refreshEnabled = true;
+    bool _refreshDue = false;
+
+    // Counters.
+    std::uint64_t _rowHits = 0;
+    std::uint64_t _rowMisses = 0;
+    std::uint64_t _rowConflicts = 0;
+    std::uint64_t _latencySumTicks = 0;
+    std::uint64_t _bytesTransferred = 0;
+    sim::Tick _firstArrival = 0;
+    sim::Tick _lastCompletion = 0;
+    bool _sawRequest = false;
+
+    sim::stats::StatGroup _stats;
+    sim::stats::Scalar &_statReads;
+    sim::stats::Scalar &_statWrites;
+    sim::stats::Scalar &_statRowHits;
+    sim::stats::Scalar &_statRowMisses;
+    sim::stats::Scalar &_statRowConflicts;
+    sim::stats::Scalar &_statRefreshes;
+};
+
+} // namespace papi::dram
+
+#endif // PAPI_DRAM_CONTROLLER_HH

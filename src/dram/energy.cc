@@ -1,0 +1,26 @@
+#include "dram/energy.hh"
+
+#include "sim/logging.hh"
+
+namespace papi::dram {
+
+DramEnergyBreakdown
+dramEnergy(const DramEnergyParams &params, std::uint64_t activations,
+           std::uint64_t internal_bytes, std::uint64_t external_bytes,
+           double elapsed_seconds, std::uint32_t num_channels)
+{
+    if (elapsed_seconds < 0.0)
+        sim::fatal("dramEnergy: negative elapsed time");
+
+    DramEnergyBreakdown out;
+    out.actPre = params.actPreEnergy * static_cast<double>(activations);
+    out.cellAccess = params.cellReadEnergyPerByte *
+                     static_cast<double>(internal_bytes);
+    out.externalIo = params.externalIoEnergyPerByte *
+                     static_cast<double>(external_bytes);
+    out.background = params.backgroundPowerPerChannel *
+                     static_cast<double>(num_channels) * elapsed_seconds;
+    return out;
+}
+
+} // namespace papi::dram

@@ -1,0 +1,62 @@
+#include "dram/hbm_stack.hh"
+
+#include "sim/logging.hh"
+
+namespace papi::dram {
+
+HbmStack::HbmStack(const DramSpec &spec,
+                   std::uint32_t num_pseudo_channels)
+    : _spec(spec)
+{
+    if (num_pseudo_channels == 0)
+        sim::fatal("HbmStack: zero pseudo-channels");
+    _channels.reserve(num_pseudo_channels);
+    for (std::uint32_t i = 0; i < num_pseudo_channels; ++i)
+        _channels.push_back(std::make_unique<PseudoChannel>(spec));
+}
+
+PseudoChannel &
+HbmStack::channel(std::uint32_t i)
+{
+    if (i >= _channels.size())
+        sim::panic("HbmStack::channel: index ", i, " out of range");
+    return *_channels[i];
+}
+
+const PseudoChannel &
+HbmStack::channel(std::uint32_t i) const
+{
+    if (i >= _channels.size())
+        sim::panic("HbmStack::channel: index ", i, " out of range");
+    return *_channels[i];
+}
+
+std::uint32_t
+HbmStack::totalBanks() const
+{
+    return numPseudoChannels() * _spec.org.banks();
+}
+
+std::uint64_t
+HbmStack::capacityBytes() const
+{
+    return static_cast<std::uint64_t>(numPseudoChannels()) *
+           _spec.org.capacityBytes();
+}
+
+double
+HbmStack::peakBandwidth() const
+{
+    return static_cast<double>(numPseudoChannels()) *
+           _spec.peakChannelBandwidth();
+}
+
+double
+HbmStack::peakInternalBandwidth() const
+{
+    double per_bank = static_cast<double>(_spec.org.accessBytes) /
+                      sim::ticksToSeconds(_spec.timing.tCCD_S);
+    return per_bank * static_cast<double>(totalBanks());
+}
+
+} // namespace papi::dram

@@ -1,0 +1,213 @@
+#include "dram/pseudo_channel.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace papi::dram {
+
+using sim::Tick;
+
+PseudoChannel::PseudoChannel(const DramSpec &spec) : _spec(spec)
+{
+    const auto n = _spec.org.banks();
+    _banks.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        _banks.emplace_back(_spec.timing);
+}
+
+Bank &
+PseudoChannel::bank(std::uint32_t group, std::uint32_t idx)
+{
+    if (group >= _spec.org.bankGroups || idx >= _spec.org.banksPerGroup)
+        sim::panic("PseudoChannel::bank: out of range (", group, ",",
+                   idx, ")");
+    return _banks[flatIndex(group, idx)];
+}
+
+const Bank &
+PseudoChannel::bank(std::uint32_t group, std::uint32_t idx) const
+{
+    if (group >= _spec.org.bankGroups || idx >= _spec.org.banksPerGroup)
+        sim::panic("PseudoChannel::bank: out of range (", group, ",",
+                   idx, ")");
+    return _banks[flatIndex(group, idx)];
+}
+
+Tick
+PseudoChannel::earliestIssue(const Command &cmd, Tick now) const
+{
+    const auto &t = _spec.timing;
+    const auto &b = bank(cmd.coord.bankGroup, cmd.coord.bank);
+
+    Tick earliest = std::max(now, _refreshUntil);
+    earliest = std::max(earliest, b.earliestIssue(cmd.type));
+
+    // One command per command-bus cycle; near-bank PIM reads are
+    // produced by the per-bank sequencers and bypass the bus.
+    if (_anyCommandIssued && cmd.type != CommandType::PimMac)
+        earliest = std::max(earliest, _lastCommandAt + t.tCK);
+
+    switch (cmd.type) {
+      case CommandType::Act: {
+        if (_anyActIssued) {
+            Tick rrd = (cmd.coord.bankGroup == _lastActGroup)
+                           ? t.tRRD_L
+                           : t.tRRD_S;
+            earliest = std::max(earliest, _lastActAt + rrd);
+        }
+        if (_actWindow.size() >= 4) {
+            // Fifth activate must wait out the four-activate window.
+            earliest = std::max(earliest,
+                                _actWindow[_actWindow.size() - 4] +
+                                    t.tFAW);
+        }
+        break;
+      }
+      case CommandType::Rd:
+      case CommandType::Wr: {
+        if (_anyColumnIssued) {
+            Tick ccd = (cmd.coord.bankGroup == _lastColumnGroup)
+                           ? t.tCCD_L
+                           : t.tCCD_S;
+            earliest = std::max(earliest, _lastColumnAt + ccd);
+        }
+        // The data burst of this command (starting tCL/tWL after
+        // issue) must not overlap the previous burst; commands may
+        // pipeline through the access latency itself.
+        Tick data_lat = cmd.type == CommandType::Rd ? t.tCL : t.tWL;
+        if (_busFreeAt > data_lat)
+            earliest = std::max(earliest, _busFreeAt - data_lat);
+        // Bus turnaround between writes and reads.
+        if (_anyColumnIssued) {
+            if (_lastDataWasWrite && cmd.type == CommandType::Rd)
+                earliest = std::max(earliest, _busFreeAt + t.tWTR);
+            if (!_lastDataWasWrite && cmd.type == CommandType::Wr &&
+                _busFreeAt + t.tRTW > t.tWL)
+                earliest = std::max(earliest,
+                                    _busFreeAt + t.tRTW - t.tWL);
+        }
+        break;
+      }
+      case CommandType::PimMac:
+        // Near-bank reads use per-bank datapaths: no shared column
+        // fabric or external bus constraints, only bank timing.
+        break;
+      case CommandType::Pre:
+      case CommandType::Ref:
+        break;
+    }
+    return earliest;
+}
+
+bool
+PseudoChannel::canIssue(const Command &cmd, Tick now) const
+{
+    if (now < earliestIssue(cmd, now))
+        return false;
+    const auto &b = bank(cmd.coord.bankGroup, cmd.coord.bank);
+    return b.canIssue(cmd.type, cmd.coord.row, now);
+}
+
+Tick
+PseudoChannel::issue(const Command &cmd, Tick now)
+{
+    if (!canIssue(cmd, now))
+        sim::panic("PseudoChannel::issue: illegal ",
+                   commandName(cmd.type), " at tick ", now);
+
+    const auto &t = _spec.timing;
+    auto &b = bank(cmd.coord.bankGroup, cmd.coord.bank);
+    Tick done = b.issue(cmd.type, cmd.coord.row, now);
+
+    if (cmd.type != CommandType::PimMac) {
+        _lastCommandAt = now;
+        _anyCommandIssued = true;
+    }
+
+    switch (cmd.type) {
+      case CommandType::Act:
+        _lastActAt = now;
+        _lastActGroup = cmd.coord.bankGroup;
+        _anyActIssued = true;
+        _actWindow.push_back(now);
+        while (_actWindow.size() > 8)
+            _actWindow.pop_front();
+        break;
+      case CommandType::Rd:
+      case CommandType::Wr:
+        _lastColumnAt = now;
+        _lastColumnGroup = cmd.coord.bankGroup;
+        _anyColumnIssued = true;
+        _busFreeAt = std::max(_busFreeAt, done);
+        _lastDataWasWrite = cmd.type == CommandType::Wr;
+        break;
+      case CommandType::PimMac:
+        // Per-bank datapath: no shared channel state to update.
+        break;
+      case CommandType::Pre:
+      case CommandType::Ref:
+        break;
+    }
+    (void)t;
+    return done;
+}
+
+Tick
+PseudoChannel::issueAtEarliest(const Command &cmd, Tick now,
+                               Tick &issued_at)
+{
+    issued_at = earliestIssue(cmd, now);
+    // earliestIssue guarantees timing legality; row-state legality
+    // (right row open etc.) is the caller's responsibility and is
+    // re-checked inside issue().
+    return issue(cmd, issued_at);
+}
+
+Tick
+PseudoChannel::refresh(Tick now)
+{
+    for (const auto &b : _banks) {
+        if (b.openRow().has_value())
+            sim::panic("PseudoChannel::refresh: bank still open");
+    }
+    // Apply tRFC to every bank.
+    Tick done = now + _spec.timing.tRFC;
+    for (std::uint32_t g = 0; g < _spec.org.bankGroups; ++g) {
+        for (std::uint32_t i = 0; i < _spec.org.banksPerGroup; ++i) {
+            if (bank(g, i).canIssue(CommandType::Ref, 0, now))
+                bank(g, i).issue(CommandType::Ref, 0, now);
+        }
+    }
+    _refreshUntil = std::max(_refreshUntil, done);
+    return done;
+}
+
+std::uint64_t
+PseudoChannel::totalActivations() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &b : _banks)
+        sum += b.activations();
+    return sum;
+}
+
+std::uint64_t
+PseudoChannel::totalColumnAccesses() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &b : _banks)
+        sum += b.reads() + b.writes() + b.pimMacs();
+    return sum;
+}
+
+std::uint64_t
+PseudoChannel::totalPimMacs() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &b : _banks)
+        sum += b.pimMacs();
+    return sum;
+}
+
+} // namespace papi::dram

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * A pseudo-channel: a set of bank groups sharing a command/data bus.
+ *
+ * Enforces the inter-bank constraints (tCCD_S/L column cadence across
+ * bank groups, tRRD_S/L activate spacing, the four-activate window
+ * tFAW, and single-occupancy of the data bus) on top of each Bank's
+ * intra-bank timing.
+ */
+
+#ifndef PAPI_DRAM_PSEUDO_CHANNEL_HH
+#define PAPI_DRAM_PSEUDO_CHANNEL_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "dram/bank.hh"
+#include "dram/command.hh"
+#include "dram/timing.hh"
+#include "sim/types.hh"
+
+namespace papi::dram {
+
+/** Command/data fabric for one pseudo-channel. */
+class PseudoChannel
+{
+  public:
+    explicit PseudoChannel(const DramSpec &spec);
+
+    const DramSpec &spec() const { return _spec; }
+
+    /** Number of banks across all bank groups. */
+    std::uint32_t numBanks() const { return _spec.org.banks(); }
+
+    /** Access a bank by (group, index-within-group). */
+    Bank &bank(std::uint32_t group, std::uint32_t idx);
+    const Bank &bank(std::uint32_t group, std::uint32_t idx) const;
+
+    /** Flat bank index helper. */
+    std::uint32_t
+    flatIndex(std::uint32_t group, std::uint32_t idx) const
+    {
+        return group * _spec.org.banksPerGroup + idx;
+    }
+
+    /**
+     * Earliest tick >= @p now at which @p cmd could be issued,
+     * honouring both channel-level and bank-level constraints.
+     * Does not check row-buffer state compatibility (see canIssue).
+     */
+    sim::Tick earliestIssue(const Command &cmd, sim::Tick now) const;
+
+    /** True if @p cmd is legal at exactly tick @p now. */
+    bool canIssue(const Command &cmd, sim::Tick now) const;
+
+    /**
+     * Issue @p cmd at tick @p now (must be legal). Returns the
+     * completion tick reported by the bank (data end for column
+     * commands).
+     */
+    sim::Tick issue(const Command &cmd, sim::Tick now);
+
+    /**
+     * Convenience: wait until @p cmd becomes legal (starting from
+     * @p now) and issue it.
+     *
+     * @param[out] issued_at The tick at which the command went out.
+     * @return The completion tick.
+     */
+    sim::Tick issueAtEarliest(const Command &cmd, sim::Tick now,
+                              sim::Tick &issued_at);
+
+    /**
+     * All-bank refresh: blocks the channel for tRFC. Only legal when
+     * every bank is closed. Returns the completion tick.
+     */
+    sim::Tick refresh(sim::Tick now);
+
+    /** Aggregate counters for stats/energy. */
+    std::uint64_t totalActivations() const;
+    std::uint64_t totalColumnAccesses() const;
+    std::uint64_t totalPimMacs() const;
+
+  private:
+    DramSpec _spec;
+    std::vector<Bank> _banks;
+
+    // Channel-scope timing state.
+    sim::Tick _lastColumnAt = 0;
+    std::uint32_t _lastColumnGroup = 0;
+    bool _anyColumnIssued = false;
+
+    sim::Tick _lastActAt = 0;
+    std::uint32_t _lastActGroup = 0;
+    bool _anyActIssued = false;
+
+    std::deque<sim::Tick> _actWindow; ///< Recent ACT ticks for tFAW.
+    sim::Tick _busFreeAt = 0;         ///< Data bus becomes free.
+    sim::Tick _refreshUntil = 0;      ///< Channel blocked by refresh.
+    sim::Tick _lastCommandAt = 0;     ///< Command-bus occupancy.
+    bool _anyCommandIssued = false;
+    bool _lastDataWasWrite = false;   ///< For tWTR / tRTW turnaround.
+};
+
+} // namespace papi::dram
+
+#endif // PAPI_DRAM_PSEUDO_CHANNEL_HH

@@ -1,0 +1,49 @@
+#include "dram/timing.hh"
+
+namespace papi::dram {
+
+namespace {
+
+constexpr Tick ns(double v) { return static_cast<Tick>(v * 1000.0); }
+
+} // namespace
+
+DramSpec
+hbm3Spec()
+{
+    DramSpec spec;
+
+    spec.org.bankGroups = 2;
+    spec.org.banksPerGroup = 4;
+    spec.org.rowsPerBank = 131072; // 128 MiB bank / 1 KiB row
+    spec.org.rowBytes = 1024;
+    spec.org.accessBytes = 32;
+    spec.org.busBits = 32;
+
+    auto &t = spec.timing;
+    t.dataRateGbps = 5.2;
+    // BL8 over a 32-bit pseudo channel: 8 beats at 5.2 Gbps.
+    t.tBURST = static_cast<Tick>(8.0 / 5.2 * 1000.0 + 0.5); // 1539 ps
+    t.tCCD_S = t.tBURST;
+    t.tCCD_L = 2 * t.tBURST;
+    t.tRCD = ns(14.0);
+    t.tRP = ns(14.0);
+    t.tRAS = ns(28.0);
+    t.tRC = ns(42.0);
+    t.tCL = ns(14.0);
+    t.tWL = ns(7.0);
+    t.tRRD_S = ns(4.0);
+    t.tRRD_L = ns(6.0);
+    t.tFAW = ns(16.0);
+    t.tWR = ns(15.0);
+    t.tRTP = ns(7.5);
+    t.tREFI = ns(3900.0);
+    t.tRFC = ns(260.0);
+    t.tCK = static_cast<Tick>(770); // 1.3 GHz command clock
+    t.tWTR = ns(2.5);
+    t.tRTW = ns(1.5);
+
+    return spec;
+}
+
+} // namespace papi::dram

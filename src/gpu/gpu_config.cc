@@ -1,0 +1,25 @@
+#include "gpu/gpu_config.hh"
+
+namespace papi::gpu {
+
+GpuSpec
+a100Spec()
+{
+    GpuSpec spec;
+    spec.name = "a100-80g";
+    spec.peakTflopsFp16 = 312.0;
+    spec.memBandwidthGBs = 1935.0;
+    spec.hbmStacks = 5;
+    spec.memCapacityBytes = 80ULL << 30;
+    spec.computeEfficiency = 0.70;
+    spec.memEfficiency = 0.80;
+    spec.kernelLaunchSeconds = 5.0e-6;
+    spec.computeEnergyPerFlop = 1.0e-12;
+    // Full GPU memory path (HBM + PHY + on-chip hierarchy + register
+    // traffic): ~12.5 pJ/bit.
+    spec.memEnergyPerByte = 100.0e-12;
+    spec.idlePowerWatts = 100.0;
+    return spec;
+}
+
+} // namespace papi::gpu

@@ -1,0 +1,65 @@
+#include "gpu/gpu_model.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace papi::gpu {
+
+GpuModel::GpuModel(const GpuSpec &spec, std::uint32_t num_gpus,
+                   double nvlink_bandwidth_GBs)
+    : _spec(spec), _numGpus(num_gpus),
+      _nvlinkBytesPerSec(nvlink_bandwidth_GBs * 1e9)
+{
+    if (num_gpus == 0)
+        sim::fatal("GpuModel: zero GPUs");
+    if (nvlink_bandwidth_GBs < 0.0)
+        sim::fatal("GpuModel: negative NVLink bandwidth");
+}
+
+double
+GpuModel::fleetBandwidth() const
+{
+    return _spec.effectiveBandwidth() * static_cast<double>(_numGpus);
+}
+
+double
+GpuModel::fleetFlops() const
+{
+    return _spec.effectiveFlops() * static_cast<double>(_numGpus);
+}
+
+GpuKernelResult
+GpuModel::kernel(double flops, double bytes, double output_bytes) const
+{
+    if (flops < 0.0 || bytes < 0.0 || output_bytes < 0.0)
+        sim::fatal("GpuModel::kernel: negative work");
+
+    GpuKernelResult out;
+    out.computeSeconds = flops / fleetFlops();
+    out.memorySeconds = bytes / fleetBandwidth();
+    out.computeBound = out.computeSeconds > out.memorySeconds;
+
+    // Ring all-reduce of the tensor-parallel partial outputs:
+    // 2 (G-1)/G passes of the output over per-GPU NVLink.
+    if (_numGpus > 1 && output_bytes > 0.0 &&
+        _nvlinkBytesPerSec > 0.0) {
+        double factor = 2.0 *
+                        static_cast<double>(_numGpus - 1) /
+                        static_cast<double>(_numGpus);
+        out.allReduceSeconds = output_bytes * factor /
+                               _nvlinkBytesPerSec;
+    }
+
+    out.seconds = std::max(out.computeSeconds, out.memorySeconds) +
+                  out.allReduceSeconds + _spec.kernelLaunchSeconds;
+
+    double dynamic = flops * _spec.computeEnergyPerFlop +
+                     bytes * _spec.memEnergyPerByte;
+    double static_e = _spec.idlePowerWatts *
+                      static_cast<double>(_numGpus) * out.seconds;
+    out.energyJoules = dynamic + static_e;
+    return out;
+}
+
+} // namespace papi::gpu

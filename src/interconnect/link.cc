@@ -1,0 +1,44 @@
+#include "interconnect/link.hh"
+
+namespace papi::interconnect {
+
+Link
+nvlink()
+{
+    Link l;
+    l.name = "nvlink3";
+    l.bandwidthBytesPerSec = 300.0e9;
+    l.latencySeconds = 0.7e-6;
+    l.messageOverheadSeconds = 0.3e-6;
+    l.energyPerByte = 8.0e-12;
+    l.maxDevices = 18;
+    return l;
+}
+
+Link
+pcie5()
+{
+    Link l;
+    l.name = "pcie5x16";
+    l.bandwidthBytesPerSec = 64.0e9;
+    l.latencySeconds = 1.5e-6;
+    l.messageOverheadSeconds = 0.5e-6;
+    l.energyPerByte = 12.0e-12;
+    l.maxDevices = 32;
+    return l;
+}
+
+Link
+cxl2()
+{
+    Link l;
+    l.name = "cxl2";
+    l.bandwidthBytesPerSec = 64.0e9;
+    l.latencySeconds = 1.0e-6;
+    l.messageOverheadSeconds = 0.4e-6;
+    l.energyPerByte = 11.0e-12;
+    l.maxDevices = 4096;
+    return l;
+}
+
+} // namespace papi::interconnect

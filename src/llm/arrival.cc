@@ -1,0 +1,32 @@
+#include "llm/arrival.hh"
+
+#include "sim/logging.hh"
+
+namespace papi::llm {
+
+ArrivalProcess::ArrivalProcess(TraceCategory category, double rate_rps,
+                               std::uint64_t seed)
+    : _lengths(category, seed), _rng(seed ^ 0x9e3779b97f4a7c15ULL),
+      _rateRps(rate_rps)
+{
+    if (!(rate_rps > 0.0))
+        sim::fatal("ArrivalProcess: rate must be positive");
+}
+
+std::vector<TimedRequest>
+ArrivalProcess::generate(std::uint32_t count)
+{
+    std::vector<TimedRequest> out;
+    out.reserve(count);
+    std::vector<Request> reqs = _lengths.generate(count);
+    for (auto &r : reqs) {
+        _clock += _rng.exponential(1.0 / _rateRps);
+        TimedRequest t;
+        t.request = r;
+        t.arrivalSeconds = _clock;
+        out.push_back(t);
+    }
+    return out;
+}
+
+} // namespace papi::llm

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Request arrival processes for online-serving simulation.
+ *
+ * Mixed continuous batching (paper Section 2.2.1) admits requests
+ * while a batch is in flight, so runtime RLP both rises (admissions)
+ * and falls (<eos>) - the full dynamic range PAPI's scheduler must
+ * handle. Arrivals are Poisson with a configurable rate.
+ */
+
+#ifndef PAPI_LLM_ARRIVAL_HH
+#define PAPI_LLM_ARRIVAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "llm/request.hh"
+#include "llm/trace.hh"
+#include "sim/rng.hh"
+
+namespace papi::llm {
+
+/** A request plus its arrival time in the serving timeline. */
+struct TimedRequest
+{
+    Request request;
+    double arrivalSeconds = 0.0;
+};
+
+/** Generates a timed request stream. */
+class ArrivalProcess
+{
+  public:
+    /**
+     * @param category Length distribution of the requests.
+     * @param rate_rps Mean arrival rate, requests per second.
+     * @param seed Seed for both lengths and interarrival times.
+     */
+    ArrivalProcess(TraceCategory category, double rate_rps,
+                   std::uint64_t seed);
+
+    /** Generate @p count requests with increasing arrival times. */
+    std::vector<TimedRequest> generate(std::uint32_t count);
+
+    double rateRps() const { return _rateRps; }
+
+  private:
+    TraceGenerator _lengths;
+    sim::Rng _rng;
+    double _rateRps;
+    double _clock = 0.0;
+};
+
+} // namespace papi::llm
+
+#endif // PAPI_LLM_ARRIVAL_HH

@@ -1,0 +1,83 @@
+#include "llm/batch.hh"
+
+#include "sim/logging.hh"
+
+namespace papi::llm {
+
+Batch::Batch(std::vector<Request> requests, const ModelConfig &model)
+    : _requests(std::move(requests)), _model(model)
+{
+    if (_requests.empty())
+        sim::fatal("Batch: empty request set");
+    for (const auto &r : _requests) {
+        if (r.outputLen == 0)
+            sim::fatal("Batch: request ", r.id, " has zero output "
+                       "length");
+        if (!r.finished())
+            ++_live;
+    }
+}
+
+DecodeStep
+Batch::step(std::uint32_t accepted_tokens)
+{
+    if (accepted_tokens == 0)
+        sim::fatal("Batch::step: zero accepted tokens");
+    if (done())
+        sim::fatal("Batch::step: batch already drained");
+
+    DecodeStep out;
+    out.rlpBefore = _live;
+
+    for (auto &r : _requests) {
+        if (r.finished())
+            continue;
+        out.tokensGenerated += r.advance(accepted_tokens);
+        if (r.finished()) {
+            ++out.eosCount;
+            --_live;
+        }
+    }
+
+    out.rlpAfter = _live;
+    ++_iterations;
+    _tokens += out.tokensGenerated;
+    return out;
+}
+
+std::vector<std::uint32_t>
+Batch::liveContextLens() const
+{
+    std::vector<std::uint32_t> lens;
+    lens.reserve(_live);
+    for (const auto &r : _requests) {
+        if (!r.finished())
+            lens.push_back(r.contextLen());
+    }
+    return lens;
+}
+
+std::uint64_t
+Batch::kvCacheBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (const auto &r : _requests) {
+        if (!r.finished())
+            bytes += static_cast<std::uint64_t>(r.contextLen()) *
+                     _model.kvBytesPerToken();
+    }
+    return bytes;
+}
+
+std::uint64_t
+Batch::peakKvCacheBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (const auto &r : _requests) {
+        bytes += static_cast<std::uint64_t>(r.inputLen + r.outputLen) *
+                 _model.kvBytesPerToken();
+    }
+    return bytes;
+}
+
+} // namespace papi::llm

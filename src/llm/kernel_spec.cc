@@ -1,0 +1,151 @@
+#include "llm/kernel_spec.hh"
+
+#include "llm/moe.hh"
+#include "sim/logging.hh"
+
+namespace papi::llm {
+
+namespace {
+
+/** GEMM of (tokens x in) by (in x out): FLOPs and bytes. */
+KernelWork
+gemmWork(std::uint64_t tokens, std::uint64_t in, std::uint64_t out,
+         std::uint32_t bytes_per_elem)
+{
+    KernelWork w;
+    w.flops = 2.0 * static_cast<double>(tokens) *
+              static_cast<double>(in) * static_cast<double>(out);
+    w.weightBytes = static_cast<double>(in) *
+                    static_cast<double>(out) * bytes_per_elem;
+    w.activationBytes = static_cast<double>(tokens) *
+                        (static_cast<double>(in) +
+                         static_cast<double>(out)) *
+                        bytes_per_elem;
+    return w;
+}
+
+KernelWork &
+operator+=(KernelWork &a, const KernelWork &b)
+{
+    a.flops += b.flops;
+    a.weightBytes += b.weightBytes;
+    a.activationBytes += b.activationBytes;
+    return a;
+}
+
+} // namespace
+
+KernelWork
+fcKernelWork(const ModelConfig &model, FcKernel kernel,
+             std::uint32_t tokens)
+{
+    if (tokens == 0)
+        sim::fatal("fcKernelWork: zero tokens");
+
+    const std::uint64_t h = model.hiddenDim;
+    const std::uint64_t ffn = model.ffnDim;
+    const std::uint32_t bpe = model.bytesPerParam;
+
+    KernelWork per_layer;
+    switch (kernel) {
+      case FcKernel::QkvGeneration:
+        per_layer = gemmWork(tokens, h, 3 * h, bpe);
+        break;
+      case FcKernel::Projection:
+        per_layer = gemmWork(tokens, h, h, bpe);
+        break;
+      case FcKernel::FeedForward: {
+        // Up (and gate, for SwiGLU) then down projections. MoE
+        // models route each token through top-k experts; weight
+        // traffic covers only the experts the batch touched.
+        std::uint64_t routed =
+            model.isMoe()
+                ? static_cast<std::uint64_t>(tokens) * model.moeTopK
+                : tokens;
+        std::uint32_t up_mats = model.ffnMatrices - 1;
+        for (std::uint32_t i = 0; i < up_mats; ++i)
+            per_layer += gemmWork(routed, h, ffn, bpe);
+        per_layer += gemmWork(routed, ffn, h, bpe);
+        if (model.isMoe()) {
+            per_layer.weightBytes =
+                expectedActiveExperts(model, tokens) *
+                static_cast<double>(model.ffnParamsPerExpert()) * bpe;
+        }
+        break;
+      }
+    }
+
+    KernelWork total;
+    total.flops = per_layer.flops * model.numLayers;
+    total.weightBytes = per_layer.weightBytes * model.numLayers;
+    total.activationBytes = per_layer.activationBytes *
+                            model.numLayers;
+    return total;
+}
+
+KernelWork
+fcTotalWork(const ModelConfig &model, std::uint32_t tokens)
+{
+    KernelWork w = fcKernelWork(model, FcKernel::QkvGeneration, tokens);
+    w += fcKernelWork(model, FcKernel::Projection, tokens);
+    w += fcKernelWork(model, FcKernel::FeedForward, tokens);
+    return w;
+}
+
+KernelWork
+attentionWork(const ModelConfig &model,
+              const std::vector<std::uint32_t> &seq_lens,
+              std::uint32_t tlp)
+{
+    if (tlp == 0)
+        sim::fatal("attentionWork: zero TLP");
+
+    const double h = model.hiddenDim;
+    const std::uint32_t bpe = model.bytesPerParam;
+
+    KernelWork w;
+    for (std::uint32_t len : seq_lens) {
+        // Per layer, per request: scores (tlp x L) = Q (tlp x h) K^T
+        // (h x L per-head aggregated) and context = scores x V.
+        double L = len;
+        double flops_per_layer = 2.0 * tlp * L * h  // Q K^T
+                                 + 2.0 * tlp * L * h; // scores x V
+        double kv_bytes_per_layer = 2.0 * L * h * bpe; // K + V
+        double act_bytes_per_layer =
+            static_cast<double>(tlp) * h * bpe * 2.0 // Q in, out
+            + static_cast<double>(tlp) * L * bpe * 2.0; // scores
+        w.flops += flops_per_layer * model.numLayers;
+        w.weightBytes += kv_bytes_per_layer * model.numLayers;
+        w.activationBytes += act_bytes_per_layer * model.numLayers;
+    }
+    return w;
+}
+
+KernelWork
+attentionWorkUniform(const ModelConfig &model, std::uint32_t rlp,
+                     std::uint32_t seq_len, std::uint32_t tlp)
+{
+    std::vector<std::uint32_t> lens(rlp, seq_len);
+    return attentionWork(model, lens, tlp);
+}
+
+double
+fcArithmeticIntensityExact(std::uint32_t hidden_dim, std::uint32_t rlp,
+                           std::uint32_t tlp)
+{
+    if (hidden_dim == 0 || rlp == 0 || tlp == 0)
+        sim::fatal("fcArithmeticIntensityExact: zero argument");
+    double h = hidden_dim;
+    double bt = static_cast<double>(rlp) * static_cast<double>(tlp);
+    double flops = bt * h * h * 2.0;
+    double bytes = (2.0 * bt * h + h * h) * 2.0;
+    return flops / bytes;
+}
+
+double
+fcArithmeticIntensityEstimate(std::uint32_t rlp, std::uint32_t tlp)
+{
+    return static_cast<double>(rlp) * static_cast<double>(tlp);
+}
+
+} // namespace papi::llm

@@ -1,0 +1,132 @@
+#include "llm/kv_cache.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace papi::llm {
+
+KvCacheManager::KvCacheManager(const ModelConfig &model,
+                               std::uint32_t num_devices,
+                               std::uint64_t device_capacity_bytes,
+                               std::uint32_t block_tokens)
+    : _blockBytes(static_cast<std::uint64_t>(block_tokens) *
+                  model.kvBytesPerToken()),
+      _blockTokens(block_tokens)
+{
+    if (num_devices == 0)
+        sim::fatal("KvCacheManager: zero devices");
+    if (block_tokens == 0)
+        sim::fatal("KvCacheManager: zero block size");
+    if (_blockBytes == 0 || _blockBytes > device_capacity_bytes)
+        sim::fatal("KvCacheManager: block (", _blockBytes,
+                   " B) does not fit a device (",
+                   device_capacity_bytes, " B)");
+    _blocksPerDevice = device_capacity_bytes / _blockBytes;
+    _usedPerDevice.assign(num_devices, 0);
+}
+
+std::uint64_t
+KvCacheManager::blocksForTokens(std::uint64_t tokens) const
+{
+    return (tokens + _blockTokens - 1) / _blockTokens;
+}
+
+std::uint64_t
+KvCacheManager::freeBlocks() const
+{
+    std::uint64_t used = 0;
+    for (auto u : _usedPerDevice)
+        used += u;
+    return _blocksPerDevice * _usedPerDevice.size() - used;
+}
+
+bool
+KvCacheManager::canAdmit(std::uint64_t max_tokens) const
+{
+    return blocksForTokens(max_tokens) <= freeBlocks();
+}
+
+std::uint32_t
+KvCacheManager::leastLoadedDevice() const
+{
+    std::uint32_t best = 0;
+    for (std::uint32_t i = 1; i < _usedPerDevice.size(); ++i) {
+        if (_usedPerDevice[i] < _usedPerDevice[best])
+            best = i;
+    }
+    return best;
+}
+
+void
+KvCacheManager::admit(std::uint64_t id, std::uint64_t initial_tokens)
+{
+    if (_requests.count(id))
+        sim::fatal("KvCacheManager: request ", id, " already live");
+    RequestState state;
+    state.perDevice.assign(_usedPerDevice.size(), 0);
+    auto [it, ok] = _requests.emplace(id, std::move(state));
+    (void)ok;
+    grow(id, std::max<std::uint64_t>(initial_tokens, 1));
+    (void)it;
+}
+
+void
+KvCacheManager::grow(std::uint64_t id, std::uint64_t new_tokens)
+{
+    auto it = _requests.find(id);
+    if (it == _requests.end())
+        sim::fatal("KvCacheManager: unknown request ", id);
+    RequestState &state = it->second;
+    if (new_tokens < state.tokens)
+        sim::fatal("KvCacheManager: context cannot shrink (", id,
+                   ")");
+
+    std::uint64_t need = blocksForTokens(new_tokens);
+    while (state.blocks < need) {
+        std::uint32_t dev = leastLoadedDevice();
+        if (_usedPerDevice[dev] >= _blocksPerDevice)
+            sim::fatal("KvCacheManager: pool exhausted growing "
+                       "request ", id);
+        ++_usedPerDevice[dev];
+        ++state.perDevice[dev];
+        ++state.blocks;
+    }
+    state.tokens = new_tokens;
+}
+
+void
+KvCacheManager::release(std::uint64_t id)
+{
+    auto it = _requests.find(id);
+    if (it == _requests.end())
+        sim::fatal("KvCacheManager: unknown request ", id);
+    for (std::uint32_t d = 0; d < _usedPerDevice.size(); ++d) {
+        if (it->second.perDevice[d] > _usedPerDevice[d])
+            sim::panic("KvCacheManager: accounting underflow");
+        _usedPerDevice[d] -= it->second.perDevice[d];
+    }
+    _requests.erase(it);
+}
+
+KvOccupancy
+KvCacheManager::occupancy() const
+{
+    KvOccupancy out;
+    out.totalBlocks = _blocksPerDevice * _usedPerDevice.size();
+    for (auto u : _usedPerDevice)
+        out.usedBlocks += u;
+    out.requests = _requests.size();
+    if (out.usedBlocks > 0) {
+        std::uint64_t max_used =
+            *std::max_element(_usedPerDevice.begin(),
+                              _usedPerDevice.end());
+        double mean = static_cast<double>(out.usedBlocks) /
+                      static_cast<double>(_usedPerDevice.size());
+        out.deviceImbalance =
+            mean > 0.0 ? static_cast<double>(max_used) / mean : 1.0;
+    }
+    return out;
+}
+
+} // namespace papi::llm

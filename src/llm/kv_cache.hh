@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Block-granular KV-cache allocation across the Attn-PIM fleet.
+ *
+ * The disaggregated Attn-PIM devices exist to house the growing KV
+ * footprint (paper Section 6.2). This allocator manages that
+ * capacity the way a serving system would: per-request block lists
+ * allocated from per-device free pools, grown as decoding extends
+ * the context, and released at <eos>. It provides the admission
+ * signal for continuous batching (canAdmit) and occupancy stats.
+ */
+
+#ifndef PAPI_LLM_KV_CACHE_HH
+#define PAPI_LLM_KV_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "llm/model_config.hh"
+
+namespace papi::llm {
+
+/** Occupancy snapshot of the KV pool. */
+struct KvOccupancy
+{
+    std::uint64_t totalBlocks = 0;
+    std::uint64_t usedBlocks = 0;
+    std::uint64_t requests = 0;
+    /** Max/mean used blocks across devices (balance quality). */
+    double deviceImbalance = 1.0;
+
+    double
+    utilization() const
+    {
+        return totalBlocks
+                   ? static_cast<double>(usedBlocks) /
+                         static_cast<double>(totalBlocks)
+                   : 0.0;
+    }
+};
+
+/** KV-cache capacity manager for a fleet of attention devices. */
+class KvCacheManager
+{
+  public:
+    /**
+     * @param model Model whose KV vectors are stored.
+     * @param num_devices Attention devices in the fleet.
+     * @param device_capacity_bytes Capacity of each device.
+     * @param block_tokens Tokens per allocation block (paged-KV
+     *        granularity; 16 is typical).
+     */
+    KvCacheManager(const ModelConfig &model, std::uint32_t num_devices,
+                   std::uint64_t device_capacity_bytes,
+                   std::uint32_t block_tokens = 16);
+
+    /** Bytes one block occupies (all layers, K+V). */
+    std::uint64_t blockBytes() const { return _blockBytes; }
+
+    /** Blocks needed to hold @p tokens tokens of context. */
+    std::uint64_t blocksForTokens(std::uint64_t tokens) const;
+
+    /**
+     * True if a request with @p max_tokens worst-case context fits
+     * right now (used as the admission check).
+     */
+    bool canAdmit(std::uint64_t max_tokens) const;
+
+    /**
+     * Register request @p id with an initial context of
+     * @p initial_tokens (the prompt). Fatal if it does not fit or
+     * the id is already live.
+     */
+    void admit(std::uint64_t id, std::uint64_t initial_tokens);
+
+    /**
+     * Grow request @p id's context to @p new_tokens, allocating
+     * blocks as needed (least-loaded device first). Fatal if the
+     * pool is exhausted - callers must gate admissions with
+     * canAdmit on the worst case.
+     */
+    void grow(std::uint64_t id, std::uint64_t new_tokens);
+
+    /** Release all blocks of request @p id (at <eos>). */
+    void release(std::uint64_t id);
+
+    /** Live request count. */
+    std::uint64_t liveRequests() const { return _requests.size(); }
+
+    /** Current occupancy snapshot. */
+    KvOccupancy occupancy() const;
+
+    /** Free blocks remaining across the fleet. */
+    std::uint64_t freeBlocks() const;
+
+  private:
+    struct RequestState
+    {
+        std::uint64_t tokens = 0;
+        std::uint64_t blocks = 0;
+        /** Blocks held per device index. */
+        std::vector<std::uint64_t> perDevice;
+    };
+
+    /** Index of the device with the most free blocks. */
+    std::uint32_t leastLoadedDevice() const;
+
+    std::uint64_t _blockBytes;
+    std::uint32_t _blockTokens;
+    std::uint64_t _blocksPerDevice;
+    std::vector<std::uint64_t> _usedPerDevice;
+    std::map<std::uint64_t, RequestState> _requests;
+};
+
+} // namespace papi::llm
+
+#endif // PAPI_LLM_KV_CACHE_HH

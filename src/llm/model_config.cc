@@ -1,0 +1,61 @@
+#include "llm/model_config.hh"
+
+namespace papi::llm {
+
+ModelConfig
+llama65b()
+{
+    ModelConfig m;
+    m.name = "llama-65b";
+    m.hiddenDim = 8192;
+    m.numLayers = 80;
+    m.numHeads = 64;
+    m.ffnDim = 22016;
+    m.ffnMatrices = 3; // SwiGLU: gate, up, down
+    m.maxSeqLen = 2048;
+    return m;
+}
+
+ModelConfig
+gpt3_66b()
+{
+    ModelConfig m;
+    m.name = "gpt3-66b";
+    m.hiddenDim = 9216;
+    m.numLayers = 64;
+    m.numHeads = 72;
+    m.ffnDim = 4 * 9216;
+    m.ffnMatrices = 2;
+    m.maxSeqLen = 2048;
+    return m;
+}
+
+ModelConfig
+gpt3_175b()
+{
+    ModelConfig m;
+    m.name = "gpt3-175b";
+    m.hiddenDim = 12288;
+    m.numLayers = 96;
+    m.numHeads = 96;
+    m.ffnDim = 4 * 12288;
+    m.ffnMatrices = 2;
+    m.maxSeqLen = 2048;
+    return m;
+}
+
+ModelConfig
+opt30b()
+{
+    ModelConfig m;
+    m.name = "opt-30b";
+    m.hiddenDim = 7168;
+    m.numLayers = 48;
+    m.numHeads = 56;
+    m.ffnDim = 4 * 7168;
+    m.ffnMatrices = 2;
+    m.maxSeqLen = 2048;
+    return m;
+}
+
+} // namespace papi::llm

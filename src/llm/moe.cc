@@ -1,0 +1,71 @@
+#include "llm/moe.hh"
+
+#include <cmath>
+
+#include "llm/kernel_spec.hh"
+#include "sim/logging.hh"
+
+namespace papi::llm {
+
+double
+expectedActiveExperts(const ModelConfig &model, std::uint32_t tokens)
+{
+    if (!model.isMoe())
+        return 1.0;
+    if (tokens == 0)
+        sim::fatal("expectedActiveExperts: zero tokens");
+    if (model.moeTopK == 0 || model.moeTopK > model.moeExperts)
+        sim::fatal("expectedActiveExperts: bad top-k configuration");
+
+    double e = model.moeExperts;
+    double k = model.moeTopK;
+    double miss = 1.0 - k / e;
+    return e * (1.0 - std::pow(miss, static_cast<double>(tokens)));
+}
+
+double
+moeFfnReuse(const ModelConfig &model, std::uint32_t tokens)
+{
+    if (!model.isMoe())
+        return static_cast<double>(tokens);
+    double active = expectedActiveExperts(model, tokens);
+    return static_cast<double>(tokens) * model.moeTopK / active;
+}
+
+double
+moeFcIntensityEstimate(const ModelConfig &model, std::uint32_t rlp,
+                       std::uint32_t tlp)
+{
+    double tokens = static_cast<double>(rlp) *
+                    static_cast<double>(tlp);
+    if (!model.isMoe())
+        return tokens;
+
+    auto t = static_cast<std::uint32_t>(tokens);
+    double dense_bytes =
+        4.0 * model.hiddenDim * model.hiddenDim * model.bytesPerParam;
+    double ffn_bytes = expectedActiveExperts(model, t) *
+                       static_cast<double>(model.ffnParamsPerExpert()) *
+                       model.bytesPerParam;
+    double total = dense_bytes + ffn_bytes;
+    return (dense_bytes * tokens + ffn_bytes * moeFfnReuse(model, t)) /
+           total;
+}
+
+ModelConfig
+mixtral8x22b()
+{
+    ModelConfig m;
+    m.name = "mixtral-8x22b";
+    m.hiddenDim = 6144;
+    m.numLayers = 56;
+    m.numHeads = 48;
+    m.ffnDim = 16384;
+    m.ffnMatrices = 3; // SwiGLU experts
+    m.maxSeqLen = 2048;
+    m.moeExperts = 8;
+    m.moeTopK = 2;
+    return m;
+}
+
+} // namespace papi::llm

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Mixture-of-Experts workload modelling (paper Section 6.5).
+ *
+ * MoE models activate only top-k experts per token. For decoding
+ * this changes the FC kernel profile in two ways PAPI exploits:
+ *  - FFN weight traffic per iteration covers only the experts the
+ *    batch touched (expected coverage below), and
+ *  - per-expert data reuse is tokens x k / active_experts, far lower
+ *    than the dense tokens - so MoE FC stays memory-bound to much
+ *    higher batch sizes, keeping it on FC-PIM.
+ */
+
+#ifndef PAPI_LLM_MOE_HH
+#define PAPI_LLM_MOE_HH
+
+#include <cstdint>
+
+#include "llm/model_config.hh"
+
+namespace papi::llm {
+
+/**
+ * Expected number of distinct experts activated per layer when
+ * @p tokens tokens each route to top-k of the model's experts
+ * (uniform routing assumption):
+ *   E * (1 - (1 - k/E)^tokens)
+ */
+double expectedActiveExperts(const ModelConfig &model,
+                             std::uint32_t tokens);
+
+/**
+ * Expected data-reuse level of the MoE FFN weights: tokens routed
+ * per active expert, tokens * k / active.
+ */
+double moeFfnReuse(const ModelConfig &model, std::uint32_t tokens);
+
+/**
+ * Effective FC arithmetic-intensity estimate for a MoE model: the
+ * dense sub-kernels (QKV, projection) see RLP x TLP reuse while the
+ * FFN - the bulk of the weights - sees only moeFfnReuse(); the
+ * estimate is the weight-traffic-weighted blend. Falls back to
+ * RLP x TLP for dense models.
+ */
+double moeFcIntensityEstimate(const ModelConfig &model,
+                              std::uint32_t rlp, std::uint32_t tlp);
+
+/**
+ * Mixtral-8x22B-class preset: h = 6144, 56 layers, 48 heads,
+ * 8 experts of ffn 16384, top-2 routing (~141 B total, ~39 B
+ * active).
+ */
+ModelConfig mixtral8x22b();
+
+} // namespace papi::llm
+
+#endif // PAPI_LLM_MOE_HH

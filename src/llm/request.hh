@@ -1,0 +1,50 @@
+/**
+ * @file
+ * A single inference request and its generation progress.
+ */
+
+#ifndef PAPI_LLM_REQUEST_HH
+#define PAPI_LLM_REQUEST_HH
+
+#include <cstdint>
+
+namespace papi::llm {
+
+/** One user request moving through prefill and decode. */
+struct Request
+{
+    std::uint64_t id = 0;
+    std::uint32_t inputLen = 0;  ///< Prompt tokens.
+    std::uint32_t outputLen = 0; ///< Tokens until <eos> (oracle).
+    std::uint32_t generated = 0; ///< Output tokens produced so far.
+
+    bool
+    finished() const
+    {
+        return generated >= outputLen;
+    }
+
+    /** Context length the attention kernel sees this iteration. */
+    std::uint32_t
+    contextLen() const
+    {
+        return inputLen + generated;
+    }
+
+    /**
+     * Advance generation by up to @p tokens accepted tokens.
+     * @return Tokens actually consumed (clipped at <eos>).
+     */
+    std::uint32_t
+    advance(std::uint32_t tokens)
+    {
+        std::uint32_t remaining = outputLen - generated;
+        std::uint32_t used = tokens < remaining ? tokens : remaining;
+        generated += used;
+        return used;
+    }
+};
+
+} // namespace papi::llm
+
+#endif // PAPI_LLM_REQUEST_HH

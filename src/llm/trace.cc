@@ -1,0 +1,110 @@
+#include "llm/trace.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace papi::llm {
+
+const char *
+traceCategoryName(TraceCategory category)
+{
+    switch (category) {
+      case TraceCategory::CreativeWriting: return "creative-writing";
+      case TraceCategory::GeneralQa: return "general-qa";
+      case TraceCategory::Uniform: return "uniform";
+    }
+    return "unknown";
+}
+
+TraceParams
+traceParams(TraceCategory category)
+{
+    TraceParams p;
+    switch (category) {
+      case TraceCategory::CreativeWriting:
+        // Short prompts, long free-form answers.
+        p.inputMean = 48.0;
+        p.inputStddev = 32.0;
+        p.outputMean = 480.0;
+        p.outputStddev = 320.0;
+        break;
+      case TraceCategory::GeneralQa:
+        // Mid-size prompts, short factual answers.
+        p.inputMean = 96.0;
+        p.inputStddev = 64.0;
+        p.outputMean = 96.0;
+        p.outputStddev = 64.0;
+        break;
+      case TraceCategory::Uniform:
+        p.inputMean = 128.0;
+        p.inputStddev = 0.0;
+        p.outputMean = 128.0;
+        p.outputStddev = 0.0;
+        break;
+    }
+    return p;
+}
+
+TraceGenerator::TraceGenerator(TraceCategory category,
+                               std::uint64_t seed)
+    : TraceGenerator(traceParams(category), seed)
+{
+}
+
+TraceGenerator::TraceGenerator(const TraceParams &params,
+                               std::uint64_t seed)
+    : _params(params), _rng(seed)
+{
+    if (_params.minLen == 0 || _params.maxLen < _params.minLen)
+        sim::fatal("TraceGenerator: bad length bounds");
+}
+
+std::uint32_t
+TraceGenerator::sampleLen(double mean, double stddev)
+{
+    double v = stddev <= 0.0 ? mean
+                             : _rng.logNormalByMoments(mean, stddev);
+    auto len = static_cast<std::int64_t>(std::llround(v));
+    len = std::clamp<std::int64_t>(len, _params.minLen,
+                                   _params.maxLen);
+    return static_cast<std::uint32_t>(len);
+}
+
+std::vector<Request>
+TraceGenerator::generate(std::uint32_t count)
+{
+    std::vector<Request> out;
+    out.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        Request r;
+        r.id = _nextId++;
+        r.inputLen = sampleLen(_params.inputMean, _params.inputStddev);
+        r.outputLen = sampleLen(_params.outputMean,
+                                _params.outputStddev);
+        out.push_back(r);
+    }
+    return out;
+}
+
+std::vector<Request>
+TraceGenerator::generateUniform(std::uint32_t count,
+                                std::uint32_t input_len,
+                                std::uint32_t output_len)
+{
+    if (input_len == 0 || output_len == 0)
+        sim::fatal("TraceGenerator: zero length");
+    std::vector<Request> out;
+    out.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        Request r;
+        r.id = _nextId++;
+        r.inputLen = input_len;
+        r.outputLen = output_len;
+        out.push_back(r);
+    }
+    return out;
+}
+
+} // namespace papi::llm

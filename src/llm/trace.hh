@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Synthetic workload traces standing in for the Dolly dataset.
+ *
+ * The paper drives its end-to-end evaluation with the Dolly
+ * instruction-following dataset's creative-writing and general-qa
+ * categories. The experiments consume only (input length, output
+ * length) pairs; this generator reproduces the categories' salient
+ * statistics - creative-writing has long, high-variance outputs,
+ * general-qa short ones - with heavy-tailed (log-normal) length
+ * distributions and a deterministic seed. See DESIGN.md for the
+ * substitution rationale.
+ */
+
+#ifndef PAPI_LLM_TRACE_HH
+#define PAPI_LLM_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "llm/request.hh"
+#include "sim/rng.hh"
+
+namespace papi::llm {
+
+/** Dolly-style workload categories evaluated in the paper. */
+enum class TraceCategory : std::uint8_t
+{
+    CreativeWriting, ///< Long outputs; decoding dominates.
+    GeneralQa,       ///< Short outputs.
+    Uniform,         ///< Fixed lengths (for controlled experiments).
+};
+
+/** Printable category name. */
+const char *traceCategoryName(TraceCategory category);
+
+/** Length-distribution parameters of a trace category. */
+struct TraceParams
+{
+    double inputMean = 64.0;
+    double inputStddev = 48.0;
+    double outputMean = 512.0;
+    double outputStddev = 320.0;
+    std::uint32_t minLen = 4;
+    std::uint32_t maxLen = 2048;
+};
+
+/** Category presets matched to Dolly statistics. */
+TraceParams traceParams(TraceCategory category);
+
+/** Deterministic request-trace generator. */
+class TraceGenerator
+{
+  public:
+    TraceGenerator(TraceCategory category, std::uint64_t seed);
+    TraceGenerator(const TraceParams &params, std::uint64_t seed);
+
+    /** Generate @p count requests with fresh ids. */
+    std::vector<Request> generate(std::uint32_t count);
+
+    /**
+     * Generate a batch with fixed lengths (Uniform category style),
+     * for experiments that pin the sequence length.
+     */
+    std::vector<Request> generateUniform(std::uint32_t count,
+                                         std::uint32_t input_len,
+                                         std::uint32_t output_len);
+
+    const TraceParams &params() const { return _params; }
+
+  private:
+    std::uint32_t sampleLen(double mean, double stddev);
+
+    TraceParams _params;
+    sim::Rng _rng;
+    std::uint64_t _nextId = 0;
+};
+
+} // namespace papi::llm
+
+#endif // PAPI_LLM_TRACE_HH

@@ -1,0 +1,108 @@
+#include "llm/trace_io.hh"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace papi::llm {
+
+void
+writeTraceCsv(std::ostream &os,
+              const std::vector<TimedRequest> &trace)
+{
+    os << "id,input_len,output_len,arrival_s\n";
+    for (const auto &t : trace) {
+        os << t.request.id << "," << t.request.inputLen << ","
+           << t.request.outputLen << "," << t.arrivalSeconds << "\n";
+    }
+}
+
+void
+writeTraceCsv(std::ostream &os, const std::vector<Request> &trace)
+{
+    os << "id,input_len,output_len\n";
+    for (const auto &r : trace) {
+        os << r.id << "," << r.inputLen << "," << r.outputLen
+           << "\n";
+    }
+}
+
+std::vector<TimedRequest>
+readTraceCsv(std::istream &is)
+{
+    std::string header;
+    if (!std::getline(is, header))
+        sim::fatal("readTraceCsv: empty input");
+
+    bool timed;
+    if (header == "id,input_len,output_len,arrival_s") {
+        timed = true;
+    } else if (header == "id,input_len,output_len") {
+        timed = false;
+    } else {
+        sim::fatal("readTraceCsv: unrecognized header '", header,
+                   "'");
+    }
+
+    std::vector<TimedRequest> out;
+    std::set<std::uint64_t> seen_ids;
+    std::string line;
+    std::size_t line_no = 1;
+    double last_arrival = 0.0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        std::istringstream row(line);
+        TimedRequest t;
+        char c1 = 0, c2 = 0, c3 = 0;
+        if (timed) {
+            row >> t.request.id >> c1 >> t.request.inputLen >> c2 >>
+                t.request.outputLen >> c3 >> t.arrivalSeconds;
+        } else {
+            row >> t.request.id >> c1 >> t.request.inputLen >> c2 >>
+                t.request.outputLen;
+        }
+        if (row.fail() || c1 != ',' || c2 != ',' ||
+            (timed && c3 != ','))
+            sim::fatal("readTraceCsv: malformed row at line ",
+                       line_no);
+        if (t.request.outputLen == 0)
+            sim::fatal("readTraceCsv: zero output length at line ",
+                       line_no);
+        if (!seen_ids.insert(t.request.id).second)
+            sim::fatal("readTraceCsv: duplicate id ", t.request.id,
+                       " at line ", line_no);
+        if (t.arrivalSeconds < last_arrival)
+            sim::fatal("readTraceCsv: unsorted arrivals at line ",
+                       line_no);
+        last_arrival = t.arrivalSeconds;
+        out.push_back(t);
+    }
+    return out;
+}
+
+void
+saveTraceFile(const std::string &path,
+              const std::vector<TimedRequest> &trace)
+{
+    std::ofstream out(path);
+    if (!out)
+        sim::fatal("saveTraceFile: cannot open '", path, "'");
+    writeTraceCsv(out, trace);
+    if (!out)
+        sim::fatal("saveTraceFile: write failed for '", path, "'");
+}
+
+std::vector<TimedRequest>
+loadTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        sim::fatal("loadTraceFile: cannot open '", path, "'");
+    return readTraceCsv(in);
+}
+
+} // namespace papi::llm

@@ -1,0 +1,42 @@
+#include "pim/area_model.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace papi::pim {
+
+AreaModel::AreaModel(double bank_area_mm2, double fpu_area_mm2,
+                     double die_area_mm2)
+    : _bankArea(bank_area_mm2), _fpuArea(fpu_area_mm2),
+      _dieArea(die_area_mm2)
+{
+    if (_bankArea <= 0.0 || _fpuArea <= 0.0 || _dieArea <= 0.0)
+        sim::fatal("AreaModel: areas must be positive");
+}
+
+double
+AreaModel::usedArea(std::uint32_t banks, double fpus_per_bank) const
+{
+    if (fpus_per_bank < 0.0)
+        sim::fatal("AreaModel: negative fpus_per_bank");
+    return static_cast<double>(banks) *
+           (fpus_per_bank * _fpuArea + _bankArea);
+}
+
+bool
+AreaModel::fits(std::uint32_t banks, double fpus_per_bank) const
+{
+    return usedArea(banks, fpus_per_bank) <= _dieArea + 1e-12;
+}
+
+std::uint32_t
+AreaModel::maxBanksPerDie(double fpus_per_bank) const
+{
+    if (fpus_per_bank < 0.0)
+        sim::fatal("AreaModel: negative fpus_per_bank");
+    double per_bank = fpus_per_bank * _fpuArea + _bankArea;
+    return static_cast<std::uint32_t>(std::floor(_dieArea / per_bank));
+}
+
+} // namespace papi::pim

@@ -1,0 +1,83 @@
+#include "pim/data_layout.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace papi::pim {
+
+Partition
+DataLayout::partitionWeights(std::uint64_t total_bytes,
+                             std::uint32_t num_devices) const
+{
+    if (num_devices == 0)
+        sim::fatal("DataLayout: zero devices");
+    if (!fits(total_bytes, num_devices))
+        sim::fatal("DataLayout: ", total_bytes, " bytes exceed capacity"
+                   " of ", num_devices, " x ", _config.name,
+                   " devices");
+
+    Partition p;
+    p.devices = num_devices;
+    p.totalBanks = static_cast<std::uint64_t>(num_devices) *
+                   _config.totalBanks();
+    p.bytesPerBank = (total_bytes + p.totalBanks - 1) / p.totalBanks;
+    // Balanced 2D blocking: the residual imbalance is at most one
+    // DRAM row per bank.
+    double mean = static_cast<double>(total_bytes) /
+                  static_cast<double>(p.totalBanks);
+    p.imbalance = mean > 0.0
+                      ? static_cast<double>(p.bytesPerBank) / mean
+                      : 1.0;
+    return p;
+}
+
+Partition
+DataLayout::partitionKvCache(std::uint64_t bytes_per_head,
+                             std::uint32_t num_heads,
+                             std::uint32_t num_devices) const
+{
+    if (num_devices == 0)
+        sim::fatal("DataLayout: zero devices");
+    if (num_heads == 0)
+        sim::fatal("DataLayout: zero heads");
+
+    std::uint64_t total = bytes_per_head *
+                          static_cast<std::uint64_t>(num_heads);
+    if (!fits(total, num_devices))
+        sim::fatal("DataLayout: KV cache of ", total,
+                   " bytes exceeds capacity of ", num_devices, " x ",
+                   _config.name, " devices");
+
+    // Heads round-robin over devices; the busiest device carries
+    // ceil(heads / devices) heads.
+    std::uint32_t heads_per_device =
+        (num_heads + num_devices - 1) / num_devices;
+
+    Partition p;
+    p.devices = std::min<std::uint32_t>(num_devices, num_heads);
+    p.totalBanks = static_cast<std::uint64_t>(p.devices) *
+                   _config.totalBanks();
+    std::uint64_t busiest_bytes =
+        bytes_per_head * static_cast<std::uint64_t>(heads_per_device);
+    std::uint64_t banks = _config.totalBanks();
+    p.bytesPerBank = (busiest_bytes + banks - 1) / banks;
+
+    double mean_heads = static_cast<double>(num_heads) /
+                        static_cast<double>(num_devices);
+    p.imbalance = mean_heads > 0.0
+                      ? static_cast<double>(heads_per_device) /
+                            mean_heads
+                      : 1.0;
+    return p;
+}
+
+bool
+DataLayout::fits(std::uint64_t total_bytes,
+                 std::uint32_t num_devices) const
+{
+    return total_bytes <= _config.capacityBytes() *
+                              static_cast<std::uint64_t>(num_devices);
+}
+
+} // namespace papi::pim

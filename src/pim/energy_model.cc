@@ -1,0 +1,34 @@
+#include "pim/energy_model.hh"
+
+#include "sim/logging.hh"
+
+namespace papi::pim {
+
+PimEnergyBreakdown
+pimGemvEnergy(const PimEnergyParams &params, std::uint64_t activations,
+              std::uint64_t streamed_bytes, std::uint32_t reuse)
+{
+    if (reuse == 0)
+        sim::fatal("pimGemvEnergy: reuse must be >= 1");
+
+    PimEnergyBreakdown out;
+    out.dramAccess =
+        params.dram.actPreEnergy * static_cast<double>(activations) +
+        params.dram.cellReadEnergyPerByte *
+            static_cast<double>(streamed_bytes);
+
+    // Each weight element pairs with one activation element per reuse
+    // step: the activation traffic equals streamed bytes per reuse.
+    out.transfer = params.transferEnergyPerByte *
+                   static_cast<double>(streamed_bytes) *
+                   static_cast<double>(reuse);
+
+    // FP16 elements = bytes/2; one MAC (2 FLOPs) per element per
+    // reuse step.
+    double flops = static_cast<double>(streamed_bytes) / 2.0 * 2.0 *
+                   static_cast<double>(reuse);
+    out.compute = params.fpuEnergyPerFlop * flops;
+    return out;
+}
+
+} // namespace papi::pim

@@ -1,0 +1,154 @@
+#include "pim/mapping.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace papi::pim {
+
+std::uint64_t
+DeviceMapping::maxShardElements() const
+{
+    std::uint64_t best = 0;
+    for (const auto &s : shards)
+        best = std::max(best, s.elements());
+    return best;
+}
+
+std::uint64_t
+DeviceMapping::totalElements() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &s : shards)
+        sum += s.elements();
+    return sum;
+}
+
+std::uint32_t
+HeadPlacement::maxHeadsPerDevice() const
+{
+    std::vector<std::uint32_t> counts(devices, 0);
+    for (auto d : deviceOfHead)
+        ++counts[d];
+    return counts.empty()
+               ? 0
+               : *std::max_element(counts.begin(), counts.end());
+}
+
+HeadPlacement
+MappingPlanner::placeHeads(std::uint32_t num_heads,
+                           std::uint32_t num_devices) const
+{
+    if (num_heads == 0 || num_devices == 0)
+        sim::fatal("MappingPlanner::placeHeads: zero heads or "
+                   "devices");
+    HeadPlacement out;
+    out.devices = num_devices;
+    out.deviceOfHead.resize(num_heads);
+    for (std::uint32_t h = 0; h < num_heads; ++h)
+        out.deviceOfHead[h] = h % num_devices;
+    return out;
+}
+
+namespace {
+
+/** Split [0, extent) into `parts` contiguous near-equal ranges. */
+std::pair<std::uint64_t, std::uint64_t>
+splitRange(std::uint64_t extent, std::uint32_t parts,
+           std::uint32_t index)
+{
+    std::uint64_t base = extent / parts;
+    std::uint64_t rem = extent % parts;
+    std::uint64_t begin = base * index +
+                          std::min<std::uint64_t>(index, rem);
+    std::uint64_t size = base + (index < rem ? 1 : 0);
+    return {begin, begin + size};
+}
+
+} // namespace
+
+DeviceMapping
+MappingPlanner::mapMatrix(std::uint64_t rows, std::uint64_t cols,
+                          PartitionAxis channel_axis,
+                          PartitionAxis bank_axis) const
+{
+    if (rows == 0 || cols == 0)
+        sim::fatal("MappingPlanner: empty matrix");
+
+    const std::uint32_t channels = _config.pseudoChannels;
+    const std::uint32_t groups = _config.dramSpec.org.bankGroups;
+    const std::uint32_t banks = _config.dramSpec.org.banksPerGroup;
+
+    DeviceMapping out;
+    out.channelAxis = channel_axis;
+    out.bankAxis = bank_axis;
+    out.rows = rows;
+    out.cols = cols;
+    out.shards.reserve(static_cast<std::size_t>(channels) * groups *
+                       banks);
+
+    // Channel and bank-group levels split one axis jointly; the
+    // bank level splits the other.
+    const std::uint32_t outer_parts = channels * groups;
+
+    for (std::uint32_t ch = 0; ch < channels; ++ch) {
+        for (std::uint32_t g = 0; g < groups; ++g) {
+            std::uint32_t outer_index = ch * groups + g;
+            for (std::uint32_t b = 0; b < banks; ++b) {
+                BankShard s;
+                s.pseudoChannel = ch;
+                s.bankGroup = g;
+                s.bank = b;
+                if (channel_axis == PartitionAxis::ColumnWise) {
+                    auto [c0, c1] = splitRange(cols, outer_parts,
+                                               outer_index);
+                    auto [r0, r1] = splitRange(rows, banks, b);
+                    s.colBegin = c0;
+                    s.colEnd = c1;
+                    s.rowBegin = r0;
+                    s.rowEnd = r1;
+                } else {
+                    auto [r0, r1] = splitRange(rows, outer_parts,
+                                               outer_index);
+                    auto [c0, c1] = splitRange(cols, banks, b);
+                    s.rowBegin = r0;
+                    s.rowEnd = r1;
+                    s.colBegin = c0;
+                    s.colEnd = c1;
+                }
+                out.shards.push_back(s);
+            }
+        }
+    }
+    return out;
+}
+
+DeviceMapping
+MappingPlanner::mapKTranspose(std::uint64_t head_dim,
+                              std::uint64_t seq_len) const
+{
+    // K^T (head_dim x seq_len): column-wise (sequence) at channel /
+    // bank-group level, row-wise (head dim) at bank level.
+    return mapMatrix(head_dim, seq_len, PartitionAxis::ColumnWise,
+                     PartitionAxis::RowWise);
+}
+
+DeviceMapping
+MappingPlanner::mapV(std::uint64_t seq_len,
+                     std::uint64_t head_dim) const
+{
+    // V (seq_len x head_dim): row-wise (sequence) at channel /
+    // bank-group level, column-wise (head dim) at bank level.
+    return mapMatrix(seq_len, head_dim, PartitionAxis::RowWise,
+                     PartitionAxis::ColumnWise);
+}
+
+DeviceMapping
+MappingPlanner::mapWeights(std::uint64_t rows,
+                           std::uint64_t cols) const
+{
+    return mapMatrix(rows, cols, PartitionAxis::ColumnWise,
+                     PartitionAxis::RowWise);
+}
+
+} // namespace papi::pim

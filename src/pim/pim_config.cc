@@ -1,0 +1,65 @@
+#include "pim/pim_config.hh"
+
+#include <sstream>
+
+namespace papi::pim {
+
+std::string
+PimConfig::xPyBLabel() const
+{
+    std::ostringstream os;
+    os << fpusPerGroup << "P" << banksPerGroup << "B";
+    return os.str();
+}
+
+PimConfig
+attAccConfig()
+{
+    PimConfig cfg;
+    cfg.name = "attacc";
+    cfg.fpusPerGroup = 1;
+    cfg.banksPerGroup = 1;
+    cfg.pseudoChannels = 16;
+    cfg.dramSpec = dram::hbm3Spec();
+    return cfg;
+}
+
+PimConfig
+hbmPimConfig()
+{
+    PimConfig cfg;
+    cfg.name = "hbm-pim";
+    cfg.fpusPerGroup = 1;
+    cfg.banksPerGroup = 2;
+    cfg.pseudoChannels = 16;
+    cfg.dramSpec = dram::hbm3Spec();
+    return cfg;
+}
+
+PimConfig
+fcPimConfig()
+{
+    PimConfig cfg;
+    cfg.name = "fc-pim";
+    cfg.fpusPerGroup = 4;
+    cfg.banksPerGroup = 1;
+    // 96 of 128 banks' cell area kept for memory: 12 pseudo-channels'
+    // worth of banks => 12 GB per device (paper Section 7.1).
+    cfg.pseudoChannels = 12;
+    cfg.dramSpec = dram::hbm3Spec();
+    return cfg;
+}
+
+PimConfig
+attnPimConfig()
+{
+    PimConfig cfg;
+    cfg.name = "attn-pim";
+    cfg.fpusPerGroup = 1;
+    cfg.banksPerGroup = 2;
+    cfg.pseudoChannels = 16;
+    cfg.dramSpec = dram::hbm3Spec();
+    return cfg;
+}
+
+} // namespace papi::pim

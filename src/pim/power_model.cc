@@ -1,0 +1,78 @@
+#include "pim/power_model.hh"
+
+#include "sim/logging.hh"
+
+namespace papi::pim {
+
+PowerModel::PowerModel(const PimConfig &config,
+                       const PimEnergyParams &params)
+    : _config(config), _params(params)
+{
+}
+
+PimPowerBreakdown
+PowerModel::fullyFedPower(std::uint32_t reuse) const
+{
+    if (reuse == 0)
+        sim::fatal("PowerModel: reuse must be >= 1");
+
+    const auto &org = _config.dramSpec.org;
+    const double access_bytes = org.accessBytes;
+    const double elems_per_col = access_bytes / 2.0; // FP16
+
+    // One FPU consumes one column (lanes elements) per cycle.
+    const double fpu_hz = _config.fpu.clockMhz * 1e6;
+    const double cols_per_sec_per_fpu =
+        fpu_hz * static_cast<double>(_config.fpu.lanes) / elems_per_col;
+
+    const double total_fpus = _config.totalFpus();
+    const double consume_cols_per_sec = cols_per_sec_per_fpu *
+                                        total_fpus;
+    const double fetch_cols_per_sec =
+        consume_cols_per_sec / static_cast<double>(reuse);
+
+    const double cols_per_row = org.columnsPerRow();
+
+    PimPowerBreakdown out;
+    out.dramAccess =
+        fetch_cols_per_sec *
+        (_params.dram.actPreEnergy / cols_per_row +
+         _params.dram.cellReadEnergyPerByte * access_bytes);
+    out.transfer = consume_cols_per_sec *
+                   _params.transferEnergyPerByte * access_bytes;
+    // Each consumed column performs elems * 2 FLOPs.
+    out.compute = consume_cols_per_sec * elems_per_col * 2.0 *
+                  _params.fpuEnergyPerFlop;
+    out.fpuStatic = total_fpus * _params.fpuStaticPowerPerFpu;
+    return out;
+}
+
+std::uint32_t
+PowerModel::minReuseWithinBudget(std::uint32_t max_reuse) const
+{
+    for (std::uint32_t r = 1; r <= max_reuse; ++r) {
+        if (withinBudget(r))
+            return r;
+    }
+    return 0;
+}
+
+double
+PowerModel::executionPower(const GemvResult &result,
+                           std::uint32_t reuse) const
+{
+    if (result.ticks == 0)
+        return 0.0;
+    PimEnergyBreakdown e = pimGemvEnergy(_params, result.activations,
+                                         result.streamedBytes, reuse);
+    // Scale per-channel counts to the whole device.
+    double device_energy =
+        e.total() * static_cast<double>(_config.pseudoChannels);
+    double static_energy = _config.totalFpus() *
+                           _params.fpuStaticPowerPerFpu *
+                           sim::ticksToSeconds(result.ticks);
+    return (device_energy + static_energy) /
+           sim::ticksToSeconds(result.ticks);
+}
+
+} // namespace papi::pim

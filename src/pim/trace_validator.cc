@@ -1,0 +1,130 @@
+#include "pim/trace_validator.hh"
+
+#include <deque>
+#include <map>
+#include <sstream>
+
+namespace papi::pim {
+
+using dram::CommandType;
+using sim::Tick;
+
+namespace {
+
+struct BankShadow
+{
+    bool open = false;
+    std::uint32_t row = 0;
+    Tick lastAct = 0;
+    Tick lastPre = 0;
+    Tick lastColumn = 0;
+    bool sawAct = false;
+    bool sawPre = false;
+    bool sawColumn = false;
+};
+
+} // namespace
+
+ValidationResult
+TraceValidator::validate(const CommandTrace &trace) const
+{
+    ValidationResult out;
+    const auto &t = _spec.timing;
+
+    std::map<std::uint32_t, BankShadow> banks;
+    std::deque<Tick> act_window;
+    Tick last_tick = 0;
+    Tick last_act = 0;
+    std::uint32_t last_act_group = 0;
+    bool saw_act = false;
+
+    auto fail = [&out](const std::string &msg) {
+        out.ok = false;
+        ++out.violations;
+        if (out.firstViolation.empty())
+            out.firstViolation = msg;
+    };
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const TraceEntry &e = trace[i];
+        std::ostringstream where;
+        where << "entry " << i << " (" << commandName(e.command.type)
+              << " @ " << e.tick << "): ";
+
+        if (i > 0 && e.tick < last_tick)
+            fail(where.str() + "issue ticks regress");
+        last_tick = e.tick;
+
+        std::uint32_t flat = e.command.coord.bankGroup * 1000 +
+                             e.command.coord.bank;
+        BankShadow &b = banks[flat];
+
+        switch (e.command.type) {
+          case CommandType::Act: {
+            if (b.open)
+                fail(where.str() + "ACT on an open bank");
+            if (b.sawPre && e.tick < b.lastPre + t.tRP)
+                fail(where.str() + "tRP violated");
+            if (b.sawAct && e.tick < b.lastAct + t.tRC)
+                fail(where.str() + "tRC violated");
+            if (saw_act) {
+                Tick rrd =
+                    e.command.coord.bankGroup == last_act_group
+                        ? t.tRRD_L
+                        : t.tRRD_S;
+                if (e.tick < last_act + rrd)
+                    fail(where.str() + "tRRD violated");
+            }
+            if (act_window.size() >= 4 &&
+                e.tick < act_window[act_window.size() - 4] + t.tFAW)
+                fail(where.str() + "tFAW violated");
+            act_window.push_back(e.tick);
+            while (act_window.size() > 8)
+                act_window.pop_front();
+            last_act = e.tick;
+            last_act_group = e.command.coord.bankGroup;
+            saw_act = true;
+            b.open = true;
+            b.row = e.command.coord.row;
+            b.lastAct = e.tick;
+            b.sawAct = true;
+            break;
+          }
+          case CommandType::Pre: {
+            if (!b.open)
+                fail(where.str() + "PRE on a closed bank");
+            if (b.sawAct && e.tick < b.lastAct + t.tRAS)
+                fail(where.str() + "tRAS violated");
+            if (b.sawColumn && e.tick < b.lastColumn + t.tRTP)
+                fail(where.str() + "tRTP violated");
+            b.open = false;
+            b.lastPre = e.tick;
+            b.sawPre = true;
+            break;
+          }
+          case CommandType::Rd:
+          case CommandType::Wr:
+          case CommandType::PimMac: {
+            if (!b.open)
+                fail(where.str() + "column access on a closed bank");
+            else if (b.row != e.command.coord.row)
+                fail(where.str() + "column access to the wrong row");
+            if (b.sawAct && e.tick < b.lastAct + t.tRCD)
+                fail(where.str() + "tRCD violated");
+            Tick ccd = e.command.type == CommandType::PimMac
+                           ? t.tCCD_S
+                           : t.tCCD_L;
+            if (b.sawColumn && e.tick < b.lastColumn + ccd)
+                fail(where.str() + "column cadence violated");
+            b.lastColumn = e.tick;
+            b.sawColumn = true;
+            break;
+          }
+          case CommandType::Ref:
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace papi::pim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Clock-domain helper converting between local cycles and global ticks.
+ */
+
+#ifndef PAPI_SIM_CLOCKED_HH
+#define PAPI_SIM_CLOCKED_HH
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace papi::sim {
+
+/**
+ * A clock domain with a fixed period.
+ *
+ * Devices embed or inherit from Clocked to convert between their local
+ * cycle counts and the global tick time base. The period is immutable
+ * after construction; DVFS is out of scope for this model.
+ */
+class Clocked
+{
+  public:
+    /**
+     * @param period_ticks Clock period in ticks; must be nonzero.
+     */
+    explicit Clocked(Tick period_ticks) : _period(period_ticks)
+    {
+        if (_period == 0)
+            fatal("Clocked: zero clock period");
+    }
+
+    /** Clock period in ticks. */
+    Tick clockPeriod() const { return _period; }
+
+    /** Clock frequency in Hz. */
+    double
+    frequencyHz() const
+    {
+        return static_cast<double>(oneSec) / static_cast<double>(_period);
+    }
+
+    /** Convert a cycle count to a tick duration. */
+    Tick cyclesToTicks(Cycles c) const { return c * _period; }
+
+    /** Convert a tick duration to whole cycles (rounding up). */
+    Cycles
+    ticksToCycles(Tick t) const
+    {
+        return (t + _period - 1) / _period;
+    }
+
+    /** The first cycle boundary at or after tick @p t. */
+    Tick
+    nextCycleEdge(Tick t) const
+    {
+        return ((t + _period - 1) / _period) * _period;
+    }
+
+  private:
+    Tick _period;
+};
+
+} // namespace papi::sim
+
+#endif // PAPI_SIM_CLOCKED_HH

@@ -1,0 +1,159 @@
+#include "sim/config.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace papi::sim {
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    _values[key] = value;
+}
+
+void
+Config::set(const std::string &key, double value)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    _values[key] = os.str();
+}
+
+void
+Config::set(const std::string &key, std::int64_t value)
+{
+    _values[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, bool value)
+{
+    _values[key] = value ? "true" : "false";
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return _values.count(key) != 0;
+}
+
+std::optional<std::string>
+Config::lookup(const std::string &key) const
+{
+    auto it = _values.find(key);
+    if (it == _values.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::string
+Config::getString(const std::string &key) const
+{
+    auto v = lookup(key);
+    if (!v)
+        fatal("Config: missing key '", key, "'");
+    return *v;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    return lookup(key).value_or(def);
+}
+
+double
+Config::getDouble(const std::string &key) const
+{
+    auto v = lookup(key);
+    if (!v)
+        fatal("Config: missing key '", key, "'");
+    try {
+        std::size_t pos = 0;
+        double d = std::stod(*v, &pos);
+        if (pos != v->size())
+            throw std::invalid_argument("trailing characters");
+        return d;
+    } catch (const std::exception &) {
+        fatal("Config: key '", key, "' value '", *v, "' is not a double");
+    }
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    return has(key) ? getDouble(key) : def;
+}
+
+std::int64_t
+Config::getInt(const std::string &key) const
+{
+    auto v = lookup(key);
+    if (!v)
+        fatal("Config: missing key '", key, "'");
+    try {
+        std::size_t pos = 0;
+        std::int64_t i = std::stoll(*v, &pos);
+        if (pos != v->size())
+            throw std::invalid_argument("trailing characters");
+        return i;
+    } catch (const std::exception &) {
+        fatal("Config: key '", key, "' value '", *v,
+              "' is not an integer");
+    }
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t def) const
+{
+    return has(key) ? getInt(key) : def;
+}
+
+bool
+Config::getBool(const std::string &key) const
+{
+    auto v = lookup(key);
+    if (!v)
+        fatal("Config: missing key '", key, "'");
+    if (*v == "true" || *v == "1")
+        return true;
+    if (*v == "false" || *v == "0")
+        return false;
+    fatal("Config: key '", key, "' value '", *v, "' is not a bool");
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    return has(key) ? getBool(key) : def;
+}
+
+void
+Config::parseAssignment(const std::string &assignment)
+{
+    auto eq = assignment.find('=');
+    if (eq == std::string::npos || eq == 0)
+        fatal("Config: malformed assignment '", assignment,
+              "' (expected key=value)");
+    set(assignment.substr(0, eq), assignment.substr(eq + 1));
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(_values.size());
+    for (const auto &kv : _values)
+        out.push_back(kv.first);
+    return out;
+}
+
+void
+Config::merge(const Config &other)
+{
+    for (const auto &kv : other._values)
+        _values[kv.first] = kv.second;
+}
+
+} // namespace papi::sim

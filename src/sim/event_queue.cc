@@ -1,0 +1,50 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace papi::sim {
+
+void
+EventQueue::schedule(Tick when, std::function<void()> fn, Priority prio)
+{
+    if (when < _now) {
+        panic("event scheduled in the past: when=", when, " now=", _now);
+    }
+    if (!fn) {
+        panic("null event scheduled at tick ", when);
+    }
+    _events.push(Entry{when, prio, _nextSeq++, std::move(fn)});
+}
+
+bool
+EventQueue::step()
+{
+    if (_events.empty())
+        return false;
+
+    // Move the closure out before popping so re-entrant schedule()
+    // calls from inside the event see a consistent queue.
+    Entry top = _events.top();
+    _events.pop();
+    _now = top.when;
+    ++_executed;
+    top.fn();
+    return true;
+}
+
+Tick
+EventQueue::run(Tick horizon)
+{
+    while (!_events.empty() && _events.top().when <= horizon)
+        step();
+    return _now;
+}
+
+void
+EventQueue::clear()
+{
+    while (!_events.empty())
+        _events.pop();
+}
+
+} // namespace papi::sim

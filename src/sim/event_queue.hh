@@ -1,0 +1,126 @@
+/**
+ * @file
+ * A discrete-event simulation kernel.
+ *
+ * Events are closures scheduled at absolute ticks. Ties are broken by
+ * (priority, insertion order) so simulations are fully deterministic.
+ * The queue is the single source of simulated time for a simulation
+ * instance; devices never keep their own notion of "now".
+ */
+
+#ifndef PAPI_SIM_EVENT_QUEUE_HH
+#define PAPI_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace papi::sim {
+
+/** Scheduling priority; lower values run first within a tick. */
+using Priority = std::int32_t;
+
+/** Default priority for ordinary device events. */
+constexpr Priority defaultPriority = 0;
+/** Priority for stats/bookkeeping events that run after device events. */
+constexpr Priority statsPriority = 1000;
+
+/**
+ * Deterministic discrete-event queue.
+ *
+ * The queue owns simulated time. run() drains events until the queue is
+ * empty or a simulation horizon is reached; step() executes exactly one
+ * event. Events scheduled in the past cause a panic since that always
+ * indicates a simulator bug.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time in ticks. */
+    Tick now() const { return _now; }
+
+    /** Number of events pending execution. */
+    std::size_t pending() const { return _events.size(); }
+
+    /** True if no events are pending. */
+    bool empty() const { return _events.empty(); }
+
+    /** Total number of events executed so far. */
+    std::uint64_t executed() const { return _executed; }
+
+    /**
+     * Schedule a closure to run at an absolute tick.
+     *
+     * @param when Absolute tick; must be >= now().
+     * @param fn Closure to run.
+     * @param prio Tie-break priority (lower runs first).
+     */
+    void schedule(Tick when, std::function<void()> fn,
+                  Priority prio = defaultPriority);
+
+    /** Schedule a closure to run @p delta ticks from now. */
+    void
+    scheduleAfter(Tick delta, std::function<void()> fn,
+                  Priority prio = defaultPriority)
+    {
+        schedule(_now + delta, std::move(fn), prio);
+    }
+
+    /**
+     * Execute the single earliest pending event.
+     * @retval true an event was executed.
+     * @retval false the queue was empty.
+     */
+    bool step();
+
+    /**
+     * Run until the queue is empty or simulated time would exceed
+     * @p horizon.
+     *
+     * @param horizon Last tick (inclusive) at which events may run.
+     * @return The tick of the last executed event, or now() if none ran.
+     */
+    Tick run(Tick horizon = maxTick);
+
+    /** Drop all pending events without executing them. */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        Priority prio;
+        std::uint64_t seq; // insertion order for determinism
+        std::function<void()> fn;
+    };
+
+    struct EntryCompare
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _executed = 0;
+    std::priority_queue<Entry, std::vector<Entry>, EntryCompare> _events;
+};
+
+} // namespace papi::sim
+
+#endif // PAPI_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,40 @@
+#include "sim/logging.hh"
+
+#include <atomic>
+#include <iostream>
+
+namespace papi::sim {
+
+namespace {
+
+std::atomic<bool> g_log_enabled{true};
+
+} // namespace
+
+void
+setLogEnabled(bool enabled)
+{
+    g_log_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+logEnabled()
+{
+    return g_log_enabled.load(std::memory_order_relaxed);
+}
+
+void
+warnStr(const std::string &msg)
+{
+    if (logEnabled())
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+informStr(const std::string &msg)
+{
+    if (logEnabled())
+        std::cout << "info: " << msg << "\n";
+}
+
+} // namespace papi::sim

@@ -1,0 +1,71 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace papi::sim {
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    if (lo > hi)
+        fatal("Rng::uniformInt: lo > hi (", lo, " > ", hi, ")");
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(_engine);
+}
+
+double
+Rng::uniformReal(double lo, double hi)
+{
+    if (!(lo < hi))
+        fatal("Rng::uniformReal: lo must be < hi");
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(_engine);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p < 0.0 || p > 1.0)
+        fatal("Rng::bernoulli: p=", p, " out of [0,1]");
+    std::bernoulli_distribution dist(p);
+    return dist(_engine);
+}
+
+double
+Rng::logNormalByMoments(double mean, double stddev)
+{
+    if (!(mean > 0.0))
+        fatal("Rng::logNormalByMoments: mean must be positive");
+    if (stddev < 0.0)
+        fatal("Rng::logNormalByMoments: negative stddev");
+    if (stddev == 0.0)
+        return mean;
+    // Convert target moments to the underlying normal's (mu, sigma).
+    double variance_ratio = (stddev * stddev) / (mean * mean);
+    double sigma_sq = std::log(1.0 + variance_ratio);
+    double mu = std::log(mean) - 0.5 * sigma_sq;
+    std::lognormal_distribution<double> dist(mu, std::sqrt(sigma_sq));
+    return dist(_engine);
+}
+
+std::int64_t
+Rng::geometric(double p)
+{
+    if (!(p > 0.0) || p > 1.0)
+        fatal("Rng::geometric: p=", p, " out of (0,1]");
+    std::geometric_distribution<std::int64_t> dist(p);
+    return dist(_engine);
+}
+
+double
+Rng::exponential(double mean)
+{
+    if (!(mean > 0.0))
+        fatal("Rng::exponential: mean must be positive");
+    std::exponential_distribution<double> dist(1.0 / mean);
+    return dist(_engine);
+}
+
+} // namespace papi::sim

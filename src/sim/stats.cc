@@ -1,0 +1,188 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+#include <memory>
+#include <numeric>
+
+namespace papi::sim::stats {
+
+void
+Scalar::print(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << " "
+       << std::setw(16) << _value << " # " << desc() << "\n";
+}
+
+double
+Vector::total() const
+{
+    return std::accumulate(_values.begin(), _values.end(), 0.0);
+}
+
+void
+Vector::print(std::ostream &os) const
+{
+    for (std::size_t i = 0; i < _values.size(); ++i) {
+        os << std::left << std::setw(40) << (name() + "::" + _binNames[i])
+           << " " << std::setw(16) << _values[i] << " # " << desc()
+           << "\n";
+    }
+    os << std::left << std::setw(40) << (name() + "::total") << " "
+       << std::setw(16) << total() << " # " << desc() << "\n";
+}
+
+Histogram::Histogram(std::string name, std::string desc, double lo,
+                     double hi, std::size_t buckets)
+    : StatBase(std::move(name), std::move(desc)), _lo(lo), _hi(hi),
+      _width((hi - lo) / static_cast<double>(buckets)),
+      _buckets(buckets, 0)
+{
+    if (buckets == 0)
+        fatal("Histogram '", StatBase::name(), "': zero buckets");
+    if (!(hi > lo))
+        fatal("Histogram '", StatBase::name(), "': hi must exceed lo");
+}
+
+void
+Histogram::sample(double v)
+{
+    if (_count == 0) {
+        _min = v;
+        _max = v;
+    } else {
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+    ++_count;
+    _sum += v;
+    _sumSq += v * v;
+
+    if (v < _lo) {
+        ++_under;
+    } else if (v >= _hi) {
+        ++_over;
+    } else {
+        auto idx = static_cast<std::size_t>((v - _lo) / _width);
+        if (idx >= _buckets.size())
+            idx = _buckets.size() - 1; // floating-point edge case
+        ++_buckets[idx];
+    }
+}
+
+double
+Histogram::stddev() const
+{
+    if (_count < 2)
+        return 0.0;
+    double n = static_cast<double>(_count);
+    double var = (_sumSq - _sum * _sum / n) / (n - 1.0);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Histogram::print(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << (name() + "::samples") << " "
+       << std::setw(16) << _count << " # " << desc() << "\n";
+    os << std::left << std::setw(40) << (name() + "::mean") << " "
+       << std::setw(16) << mean() << " # " << desc() << "\n";
+    os << std::left << std::setw(40) << (name() + "::stddev") << " "
+       << std::setw(16) << stddev() << " # " << desc() << "\n";
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        double b_lo = _lo + _width * static_cast<double>(i);
+        std::ostringstream bin;
+        bin << name() << "::[" << b_lo << "," << (b_lo + _width) << ")";
+        os << std::left << std::setw(40) << bin.str() << " "
+           << std::setw(16) << _buckets[i] << " # " << desc() << "\n";
+    }
+}
+
+void
+Histogram::reset()
+{
+    _buckets.assign(_buckets.size(), 0);
+    _under = _over = _count = 0;
+    _sum = _sumSq = _min = _max = 0.0;
+}
+
+void
+Formula::print(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << " "
+       << std::setw(16) << value() << " # " << desc() << "\n";
+}
+
+Scalar &
+StatGroup::addScalar(const std::string &name, const std::string &desc)
+{
+    auto stat = std::make_unique<Scalar>(name, desc);
+    auto &ref = *stat;
+    registerStat(std::move(stat));
+    return ref;
+}
+
+Vector &
+StatGroup::addVector(const std::string &name, const std::string &desc,
+                     std::vector<std::string> bin_names)
+{
+    auto stat = std::make_unique<Vector>(name, desc,
+                                         std::move(bin_names));
+    auto &ref = *stat;
+    registerStat(std::move(stat));
+    return ref;
+}
+
+Histogram &
+StatGroup::addHistogram(const std::string &name, const std::string &desc,
+                        double lo, double hi, std::size_t buckets)
+{
+    auto stat = std::make_unique<Histogram>(name, desc, lo, hi, buckets);
+    auto &ref = *stat;
+    registerStat(std::move(stat));
+    return ref;
+}
+
+Formula &
+StatGroup::addFormula(const std::string &name, const std::string &desc,
+                      std::function<double()> fn)
+{
+    auto stat = std::make_unique<Formula>(name, desc, std::move(fn));
+    auto &ref = *stat;
+    registerStat(std::move(stat));
+    return ref;
+}
+
+const StatBase *
+StatGroup::find(const std::string &name) const
+{
+    auto it = _byName.find(name);
+    return it == _byName.end() ? nullptr : it->second;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    os << "---------- " << _name << " ----------\n";
+    for (const auto &s : _order)
+        s->print(os);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &s : _order)
+        s->reset();
+}
+
+void
+StatGroup::registerStat(std::unique_ptr<StatBase> stat)
+{
+    auto [it, inserted] = _byName.emplace(stat->name(), stat.get());
+    (void)it;
+    if (!inserted)
+        fatal("StatGroup '", _name, "': duplicate stat '", stat->name(),
+              "'");
+    _order.push_back(std::move(stat));
+}
+
+} // namespace papi::sim::stats

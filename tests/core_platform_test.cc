@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for platform composition and kernel-phase execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/platform.hh"
+#include "llm/model_config.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace papi::core;
+namespace llm = papi::llm;
+using papi::sim::FatalError;
+
+TEST(PlatformFactories, NamesAndPolicies)
+{
+    EXPECT_EQ(makePapiConfig().fcPolicy, FcPolicy::Dynamic);
+    EXPECT_EQ(makeA100AttAccConfig().fcPolicy, FcPolicy::AlwaysGpu);
+    EXPECT_EQ(makeA100HbmPimConfig().fcPolicy, FcPolicy::AlwaysGpu);
+    EXPECT_EQ(makeAttAccOnlyConfig().fcPolicy, FcPolicy::AlwaysPim);
+    EXPECT_EQ(makePimOnlyPapiConfig().fcPolicy, FcPolicy::AlwaysPim);
+    EXPECT_FALSE(makeAttAccOnlyConfig().hasGpu);
+    EXPECT_FALSE(makePimOnlyPapiConfig().hasGpu);
+}
+
+TEST(PlatformFactories, NinetyHbmDevicesEverywhere)
+{
+    // Paper Section 7.1: every system has 90 HBM devices, 30 for FC
+    // weights and 60 for attention.
+    for (const auto &cfg :
+         {makePapiConfig(), makeA100AttAccConfig(),
+          makeA100HbmPimConfig(), makeAttAccOnlyConfig(),
+          makePimOnlyPapiConfig()}) {
+        EXPECT_EQ(cfg.numFcDevices, 30u) << cfg.name;
+        EXPECT_EQ(cfg.numAttnDevices, 60u) << cfg.name;
+    }
+}
+
+TEST(PlatformFactories, PapiUsesHybridPim)
+{
+    PlatformConfig papi = makePapiConfig();
+    EXPECT_EQ(papi.fcDeviceConfig.xPyBLabel(), "4P1B");
+    EXPECT_EQ(papi.attnDeviceConfig.xPyBLabel(), "1P2B");
+    EXPECT_EQ(papi.fcDeviceConfig.capacityBytes(), 12ULL << 30);
+}
+
+TEST(Platform, GpulessPlatformRejectsGpuPolicies)
+{
+    PlatformConfig bad = makeAttAccOnlyConfig();
+    bad.fcPolicy = FcPolicy::AlwaysGpu;
+    EXPECT_THROW(Platform{bad}, FatalError);
+}
+
+TEST(Platform, StaticTargetMatchesPolicy)
+{
+    Platform gpu_fc(makeA100AttAccConfig());
+    EXPECT_EQ(gpu_fc.staticFcTarget(), FcTarget::Gpu);
+    Platform pim_fc(makeAttAccOnlyConfig());
+    EXPECT_EQ(pim_fc.staticFcTarget(), FcTarget::FcPim);
+    Platform papi(makePapiConfig());
+    EXPECT_THROW(papi.staticFcTarget(), FatalError);
+}
+
+TEST(Platform, ValidateFitRejectsOversizedModels)
+{
+    Platform papi(makePapiConfig());
+    llm::ModelConfig m = llm::gpt3_175b();
+    EXPECT_NO_THROW(papi.validateFit(m, 1ULL << 30));
+    // 30 x 12 GB = 360 GB of FC capacity; a 500 GB model must fail.
+    llm::ModelConfig huge = m;
+    huge.numLayers = 140;
+    EXPECT_THROW(papi.validateFit(huge, 1ULL << 30), FatalError);
+    // KV capacity is 60 x 16 GB = 960 GB.
+    EXPECT_THROW(papi.validateFit(m, 1000ULL << 30), FatalError);
+}
+
+TEST(Platform, FcOnPimBeatsGpuAtLowParallelismOnly)
+{
+    // The premise of the whole paper (Fig. 4): PIM wins the FC
+    // kernel at low batch/speculation, the GPU wins at high.
+    Platform papi(makePapiConfig());
+    llm::ModelConfig m = llm::gpt3_66b();
+    double pim_lo = papi.fcExec(m, 2, FcTarget::FcPim).seconds;
+    double gpu_lo = papi.fcExec(m, 2, FcTarget::Gpu).seconds;
+    EXPECT_LT(pim_lo, gpu_lo);
+    double pim_hi = papi.fcExec(m, 256, FcTarget::FcPim).seconds;
+    double gpu_hi = papi.fcExec(m, 256, FcTarget::Gpu).seconds;
+    EXPECT_LT(gpu_hi, pim_hi);
+}
+
+TEST(Platform, FcOnGpuLatencyFlatWhileMemoryBound)
+{
+    Platform papi(makePapiConfig());
+    llm::ModelConfig m = llm::gpt3_66b();
+    double t1 = papi.fcExec(m, 1, FcTarget::Gpu).seconds;
+    double t64 = papi.fcExec(m, 64, FcTarget::Gpu).seconds;
+    // Below the roofline ridge (~161), time barely moves.
+    EXPECT_LT(t64 / t1, 1.2);
+}
+
+TEST(Platform, FcTargetsDisallowedWhereUnsupported)
+{
+    Platform baseline(makeA100AttAccConfig());
+    llm::ModelConfig m = llm::gpt3_66b();
+    // The baseline's FC stacks are plain memory - no PIM execution.
+    EXPECT_THROW(baseline.fcExec(m, 4, FcTarget::FcPim), FatalError);
+    EXPECT_THROW(baseline.fcExec(m, 0, FcTarget::Gpu), FatalError);
+}
+
+TEST(Platform, AttentionScalesWithContextAndRequests)
+{
+    Platform papi(makePapiConfig());
+    llm::ModelConfig m = llm::llama65b();
+    std::vector<std::uint32_t> short_ctx(4, 128);
+    std::vector<std::uint32_t> long_ctx(4, 1024);
+    std::vector<std::uint32_t> many_ctx(32, 128);
+    // Compare the KV-streaming component; the per-layer fabric
+    // latency is a constant floor independent of context size.
+    auto gemv_seconds = [&](const std::vector<std::uint32_t> &ctx) {
+        KernelExec e = papi.attnExec(m, ctx, 1);
+        return e.seconds - e.commSeconds;
+    };
+    double t_short = gemv_seconds(short_ctx);
+    double t_long = gemv_seconds(long_ctx);
+    double t_many = gemv_seconds(many_ctx);
+    EXPECT_GT(t_long, t_short * 3.0);
+    EXPECT_GT(t_many, t_short * 3.0);
+    EXPECT_THROW(papi.attnExec(m, {}, 1), FatalError);
+}
+
+TEST(Platform, HbmPimAttentionSlowerThanAttAcc)
+{
+    // The only difference between the two baselines is the attention
+    // device (1P2B vs 1P1B), so HBM-PIM attention must be slower.
+    Platform attacc(makeA100AttAccConfig());
+    Platform hbmpim(makeA100HbmPimConfig());
+    llm::ModelConfig m = llm::llama65b();
+    std::vector<std::uint32_t> ctx(16, 512);
+    double t_attacc = attacc.attnExec(m, ctx, 1).seconds;
+    double t_hbmpim = hbmpim.attnExec(m, ctx, 1).seconds;
+    EXPECT_GT(t_hbmpim, t_attacc);
+}
+
+TEST(Platform, PrefillComputeBoundOnGpu)
+{
+    Platform papi(makePapiConfig());
+    llm::ModelConfig m = llm::llama65b();
+    std::vector<std::uint32_t> prompts(16, 512);
+    KernelExec pre = papi.prefillExec(m, prompts);
+    EXPECT_GT(pre.seconds, 0.0);
+    EXPECT_TRUE(pre.computeBound);
+}
+
+TEST(Platform, PrefillSlowerWithoutGpu)
+{
+    Platform papi(makePapiConfig());
+    Platform pim_only(makePimOnlyPapiConfig());
+    llm::ModelConfig m = llm::llama65b();
+    std::vector<std::uint32_t> prompts(16, 512);
+    double with_gpu = papi.prefillExec(m, prompts).seconds;
+    double without = pim_only.prefillExec(m, prompts).seconds;
+    EXPECT_GT(without, with_gpu * 2.0);
+}
+
+TEST(Platform, CommIncludedInPimFcPhase)
+{
+    Platform papi(makePapiConfig());
+    llm::ModelConfig m = llm::llama65b();
+    KernelExec fc = papi.fcExec(m, 4, FcTarget::FcPim);
+    EXPECT_GT(fc.commSeconds, 0.0);
+    EXPECT_LT(fc.commSeconds, fc.seconds);
+    KernelExec at = papi.attnExec(m, {128, 128}, 1);
+    EXPECT_GT(at.commSeconds, 0.0);
+}
+
+TEST(Platform, GpulessAttentionCommCostsMore)
+{
+    // Disaggregated PIM with host staging pays two hops per
+    // direction.
+    Platform papi(makePapiConfig());
+    Platform pim_only(makePimOnlyPapiConfig());
+    llm::ModelConfig m = llm::llama65b();
+    std::vector<std::uint32_t> ctx(8, 256);
+    EXPECT_GT(pim_only.attnExec(m, ctx, 1).commSeconds,
+              papi.attnExec(m, ctx, 1).commSeconds);
+}
+
+TEST(Platform, EnergyPositiveAndFinite)
+{
+    Platform papi(makePapiConfig());
+    llm::ModelConfig m = llm::gpt3_66b();
+    for (auto target : {FcTarget::Gpu, FcTarget::FcPim}) {
+        KernelExec e = papi.fcExec(m, 8, target);
+        EXPECT_GT(e.energyJoules, 0.0);
+        EXPECT_TRUE(std::isfinite(e.energyJoules));
+    }
+}
+
+TEST(Platform, PolicyAndTargetNames)
+{
+    EXPECT_STREQ(fcPolicyName(FcPolicy::Dynamic), "dynamic");
+    EXPECT_STREQ(fcPolicyName(FcPolicy::AlwaysGpu), "always-gpu");
+    EXPECT_STREQ(fcTargetName(FcTarget::Gpu), "gpu");
+    EXPECT_STREQ(fcTargetName(FcTarget::FcPim), "fc-pim");
+}
+
+} // namespace

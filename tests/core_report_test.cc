@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the result reporting module.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace papi::core;
+using papi::sim::FatalError;
+
+TEST(ReportTable, TextRenderingAligns)
+{
+    ReportTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"a-much-longer-name", "22"});
+    std::ostringstream os;
+    t.render(os, ReportFormat::Text);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+    // Three lines: header + two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(ReportTable, MarkdownHasSeparatorRow)
+{
+    ReportTable t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.render(os, ReportFormat::Markdown);
+    std::string out = os.str();
+    EXPECT_NE(out.find("| a | b |"), std::string::npos);
+    EXPECT_NE(out.find("|---|---|"), std::string::npos);
+    EXPECT_NE(out.find("| 1 | 2 |"), std::string::npos);
+}
+
+TEST(ReportTable, CsvQuotesSpecialCells)
+{
+    ReportTable t({"k", "v"});
+    t.addRow({"plain", "with,comma"});
+    t.addRow({"quote", "say \"hi\""});
+    std::ostringstream os;
+    t.render(os, ReportFormat::Csv);
+    std::string out = os.str();
+    EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(ReportTable, MisuseIsFatal)
+{
+    EXPECT_THROW(ReportTable({}), FatalError);
+    ReportTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+}
+
+TEST(ReportTable, NumFormatsPrecision)
+{
+    EXPECT_EQ(ReportTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(ReportTable::num(2.0, 0), "2");
+}
+
+TEST(Report, RunReportContainsAllFields)
+{
+    RunResult r;
+    r.time.fcSeconds = 1.5;
+    r.tokensGenerated = 321;
+    r.energyJoules = 9.0;
+    r.fcOnGpuIterations = 5;
+    r.fcOnPimIterations = 7;
+    r.reschedules = 2;
+    std::ostringstream os;
+    writeRunReport(os, "demo", r, ReportFormat::Csv);
+    std::string out = os.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("321"), std::string::npos);
+    EXPECT_NE(out.find("fc_gpu_iters"), std::string::npos);
+}
+
+TEST(Report, ServingReportContainsAllFields)
+{
+    ServingResult r;
+    r.makespanSeconds = 12.0;
+    r.admissions = 64;
+    r.meanRlp = 17.5;
+    r.peakKvUtilization = 0.42;
+    std::ostringstream os;
+    writeServingReport(os, "serve", r, ReportFormat::Markdown);
+    std::string out = os.str();
+    EXPECT_NE(out.find("serve"), std::string::npos);
+    EXPECT_NE(out.find("17.50"), std::string::npos);
+    EXPECT_NE(out.find("0.4200"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the AI estimator, threshold calibrator, and dynamic
+ * scheduler - the paper's Section 5 mechanisms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ai_estimator.hh"
+#include "core/platform.hh"
+#include "core/scheduler.hh"
+#include "core/threshold_calibrator.hh"
+#include "llm/model_config.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace papi::core;
+namespace llm = papi::llm;
+using papi::sim::FatalError;
+using papi::sim::PanicError;
+
+TEST(AiEstimator, EstimateIsRlpTimesTlp)
+{
+    llm::ModelConfig m = llm::gpt3_66b();
+    ArithmeticIntensityEstimator est(m);
+    EXPECT_DOUBLE_EQ(est.estimate(16, 4), 64.0);
+    EXPECT_DOUBLE_EQ(est.estimate(1, 1), 1.0);
+}
+
+TEST(AiEstimator, EstimateTracksMeasuredWithinTenPercent)
+{
+    // Paper Fig. 6: the estimate closely matches the measured AI of
+    // the GPT-3 66B FC kernels across the RLP x TLP grid.
+    llm::ModelConfig m = llm::gpt3_66b();
+    ArithmeticIntensityEstimator est(m);
+    for (std::uint32_t tlp : {2u, 4u, 6u, 8u}) {
+        for (std::uint32_t rlp : {4u, 8u, 16u, 32u}) {
+            EXPECT_LT(std::abs(est.relativeError(rlp, tlp)), 0.10)
+                << "rlp=" << rlp << " tlp=" << tlp;
+        }
+    }
+}
+
+TEST(AiEstimator, EstimateOverpredictsAtExtremeParallelism)
+{
+    // Paper Section 5.1: at very large RLP the estimate slightly
+    // exceeds the measured AI - harmless because both sides are deep
+    // in compute-bound territory.
+    llm::ModelConfig m = llm::gpt3_66b();
+    ArithmeticIntensityEstimator est(m);
+    double err = est.relativeError(128, 8);
+    EXPECT_GT(err, 0.0);
+    EXPECT_GT(est.measured(128, 8), 500.0); // still clearly compute-bound
+}
+
+TEST(Scheduler, RoutesByThreshold)
+{
+    DynamicScheduler sched(/*alpha=*/24.0, /*rlp=*/64, /*tlp=*/1);
+    ScheduleDecision d = sched.initialSchedule();
+    EXPECT_EQ(d.target, FcTarget::Gpu); // 64 > 24
+    EXPECT_DOUBLE_EQ(d.estimatedAi, 64.0);
+
+    DynamicScheduler low(24.0, 4, 2);
+    EXPECT_EQ(low.initialSchedule().target, FcTarget::FcPim); // 8 < 24
+}
+
+TEST(Scheduler, ReschedulesWhenRlpDecaysPastThreshold)
+{
+    DynamicScheduler sched(24.0, 32, 1);
+    EXPECT_EQ(sched.initialSchedule().target, FcTarget::Gpu);
+
+    // 8 requests finish: RLP 32 -> 24; 24 <= alpha -> move to PIM.
+    ScheduleDecision d = sched.observeStep(8);
+    EXPECT_EQ(sched.rlp(), 24u);
+    EXPECT_EQ(d.target, FcTarget::FcPim);
+    EXPECT_TRUE(d.rescheduled);
+    EXPECT_EQ(sched.reschedules(), 1u);
+
+    // Further decay keeps the target stable - no more switches.
+    d = sched.observeStep(10);
+    EXPECT_EQ(d.target, FcTarget::FcPim);
+    EXPECT_FALSE(d.rescheduled);
+    EXPECT_EQ(sched.reschedules(), 1u);
+}
+
+TEST(Scheduler, TlpRegisterUpdateChangesDecision)
+{
+    DynamicScheduler sched(24.0, 8, 1);
+    EXPECT_EQ(sched.initialSchedule().target, FcTarget::FcPim); // 8
+    sched.setTlp(4); // host software raised speculation length
+    ScheduleDecision d = sched.observeStep(0);
+    EXPECT_DOUBLE_EQ(d.estimatedAi, 32.0);
+    EXPECT_EQ(d.target, FcTarget::Gpu);
+    EXPECT_TRUE(d.rescheduled);
+}
+
+TEST(Scheduler, EosBeyondRlpPanics)
+{
+    DynamicScheduler sched(24.0, 4, 1);
+    sched.initialSchedule();
+    EXPECT_THROW(sched.observeStep(5), PanicError);
+}
+
+TEST(Scheduler, DrainedBatchReturnsLastTarget)
+{
+    DynamicScheduler sched(24.0, 2, 1);
+    EXPECT_EQ(sched.initialSchedule().target, FcTarget::FcPim);
+    ScheduleDecision d = sched.observeStep(2);
+    EXPECT_EQ(sched.rlp(), 0u);
+    EXPECT_EQ(d.target, FcTarget::FcPim);
+}
+
+TEST(Scheduler, InvalidConstructionIsFatal)
+{
+    EXPECT_THROW(DynamicScheduler(0.0, 4, 1), FatalError);
+    EXPECT_THROW(DynamicScheduler(24.0, 0, 1), FatalError);
+    EXPECT_THROW(DynamicScheduler(24.0, 4, 0), FatalError);
+}
+
+TEST(Scheduler, PeekDoesNotMutate)
+{
+    DynamicScheduler sched(24.0, 16, 1);
+    sched.initialSchedule();
+    std::uint64_t before = sched.decisions();
+    ScheduleDecision d = sched.peek(64, 2);
+    EXPECT_EQ(d.target, FcTarget::Gpu);
+    EXPECT_EQ(sched.decisions(), before);
+    EXPECT_EQ(sched.rlp(), 16u);
+}
+
+class CalibratorTest : public ::testing::Test
+{
+  protected:
+    CalibratorTest() : platform(makePapiConfig()) {}
+    Platform platform;
+};
+
+TEST_F(CalibratorTest, AlphaInPlausibleRange)
+{
+    // FC-PIM (4P1B, 30 devices) should beat 6 A100s at low token
+    // counts and lose in the tens - alpha lands between 8 and 96.
+    CalibrationResult cal = ThresholdCalibrator::calibrate(
+        platform, llm::llama65b());
+    EXPECT_GE(cal.alpha, 8.0);
+    EXPECT_LE(cal.alpha, 96.0);
+}
+
+TEST_F(CalibratorTest, AlphaSeparatesWinners)
+{
+    llm::ModelConfig m = llm::llama65b();
+    CalibrationResult cal =
+        ThresholdCalibrator::calibrate(platform, m);
+    auto tokens_at = static_cast<std::uint32_t>(cal.alpha);
+    // At alpha, PIM wins (or ties); comfortably above it, GPU wins.
+    double pim_at = platform.fcExec(m, tokens_at,
+                                    FcTarget::FcPim).seconds;
+    double gpu_at = platform.fcExec(m, tokens_at,
+                                    FcTarget::Gpu).seconds;
+    EXPECT_LE(pim_at, gpu_at * 1.01);
+    double pim_hi = platform.fcExec(m, tokens_at * 4,
+                                    FcTarget::FcPim).seconds;
+    double gpu_hi = platform.fcExec(m, tokens_at * 4,
+                                    FcTarget::Gpu).seconds;
+    EXPECT_LT(gpu_hi, pim_hi);
+}
+
+TEST_F(CalibratorTest, SweepRecordsPoints)
+{
+    CalibrationResult cal = ThresholdCalibrator::calibrate(
+        platform, llm::gpt3_66b());
+    EXPECT_GE(cal.points.size(), 4u);
+    for (const auto &p : cal.points) {
+        EXPECT_GT(p.gpuSeconds, 0.0);
+        EXPECT_GT(p.pimSeconds, 0.0);
+    }
+}
+
+TEST_F(CalibratorTest, AlphaSimilarAcrossModels)
+{
+    // The crossover is a hardware property; it should not move by
+    // more than ~2x across model sizes.
+    double a65 = ThresholdCalibrator::calibrate(platform,
+                                                llm::llama65b())
+                     .alpha;
+    double a175 = ThresholdCalibrator::calibrate(platform,
+                                                 llm::gpt3_175b())
+                      .alpha;
+    EXPECT_LT(std::max(a65, a175) / std::min(a65, a175), 2.5);
+}
+
+TEST(Calibrator, RequiresDynamicCapablePlatform)
+{
+    Platform no_gpu(makeAttAccOnlyConfig());
+    EXPECT_THROW(ThresholdCalibrator::calibrate(no_gpu,
+                                                llm::llama65b()),
+                 FatalError);
+    Platform no_pim(makeA100AttAccConfig());
+    EXPECT_THROW(ThresholdCalibrator::calibrate(no_pim,
+                                                llm::llama65b()),
+                 FatalError);
+}
+
+} // namespace

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Unit tests for pseudo-channel inter-bank timing and address
+ * mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/address.hh"
+#include "dram/pseudo_channel.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace papi::dram;
+using papi::sim::FatalError;
+using papi::sim::PanicError;
+using papi::sim::Tick;
+
+class ChannelTest : public ::testing::Test
+{
+  protected:
+    ChannelTest() : spec(hbm3Spec()), ch(spec) {}
+
+    Command
+    act(std::uint32_t bg, std::uint32_t b, std::uint32_t row)
+    {
+        return Command{CommandType::Act, Coord{bg, b, row, 0}};
+    }
+
+    Command
+    rd(std::uint32_t bg, std::uint32_t b, std::uint32_t row,
+       std::uint32_t col)
+    {
+        return Command{CommandType::Rd, Coord{bg, b, row, col}};
+    }
+
+    DramSpec spec;
+    PseudoChannel ch;
+};
+
+TEST_F(ChannelTest, ActSpacingSameGroupUsesRrdL)
+{
+    ch.issue(act(0, 0, 1), 0);
+    Tick earliest = ch.earliestIssue(act(0, 1, 1), 0);
+    EXPECT_EQ(earliest, spec.timing.tRRD_L);
+}
+
+TEST_F(ChannelTest, ActSpacingCrossGroupUsesRrdS)
+{
+    ch.issue(act(0, 0, 1), 0);
+    Tick earliest = ch.earliestIssue(act(1, 0, 1), 0);
+    EXPECT_EQ(earliest, spec.timing.tRRD_S);
+}
+
+TEST_F(ChannelTest, FourActivateWindowEnforced)
+{
+    // Issue four activates as fast as legal, alternating groups.
+    Tick now = 0;
+    std::uint32_t banks[4][2] = {{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+    Tick first_act = 0;
+    for (int i = 0; i < 4; ++i) {
+        Command c = act(banks[i][0], banks[i][1], 1);
+        Tick at = ch.earliestIssue(c, now);
+        if (i == 0)
+            first_act = at;
+        ch.issue(c, at);
+        now = at;
+    }
+    // The fifth activate must wait for tFAW from the first.
+    Command fifth = act(0, 2, 1);
+    Tick earliest = ch.earliestIssue(fifth, now);
+    EXPECT_GE(earliest, first_act + spec.timing.tFAW);
+}
+
+TEST_F(ChannelTest, ColumnSpacingDependsOnGroup)
+{
+    ch.issue(act(0, 0, 1), 0);
+    ch.issue(act(1, 0, 1), spec.timing.tRRD_S);
+    Tick t0 = spec.timing.tRRD_S + spec.timing.tRCD;
+    ch.issue(rd(0, 0, 1, 0), t0);
+    // Same group: tCCD_L; different group: tCCD_S.
+    EXPECT_EQ(ch.earliestIssue(rd(0, 0, 1, 1), t0),
+              t0 + spec.timing.tCCD_L);
+    EXPECT_EQ(ch.earliestIssue(rd(1, 0, 1, 0), t0),
+              t0 + spec.timing.tCCD_S);
+}
+
+TEST_F(ChannelTest, PimMacsBypassSharedColumnFabric)
+{
+    ch.issue(act(0, 0, 1), 0);
+    ch.issue(act(1, 0, 1), spec.timing.tRRD_S);
+    Tick t0 = spec.timing.tRRD_S + spec.timing.tRCD;
+    Command pim0{CommandType::PimMac, Coord{0, 0, 1, 0}};
+    Command pim1{CommandType::PimMac, Coord{1, 0, 1, 0}};
+    ch.issue(pim0, t0);
+    // A PIM read on another bank may go out immediately: banks
+    // stream independently through their near-bank datapaths.
+    EXPECT_EQ(ch.earliestIssue(pim1, t0), t0);
+}
+
+TEST_F(ChannelTest, WriteToReadTurnaroundEnforced)
+{
+    ch.issue(act(0, 0, 1), 0);
+    Tick t0 = spec.timing.tRCD;
+    Command wr{CommandType::Wr, Coord{0, 0, 1, 0}};
+    Tick wr_data_end = ch.issue(wr, t0);
+    // A read anywhere on the channel must wait out tWTR after the
+    // write burst ends.
+    Tick earliest_rd = ch.earliestIssue(rd(0, 0, 1, 1), t0);
+    EXPECT_GE(earliest_rd, wr_data_end + spec.timing.tWTR);
+}
+
+TEST_F(ChannelTest, ReadToWriteTurnaroundEnforced)
+{
+    ch.issue(act(0, 0, 1), 0);
+    Tick t0 = spec.timing.tRCD;
+    Tick rd_data_end = ch.issue(rd(0, 0, 1, 0), t0);
+    Command wr{CommandType::Wr, Coord{0, 0, 1, 1}};
+    Tick earliest_wr = ch.earliestIssue(wr, t0);
+    // The write's data (tWL after issue) must not start before the
+    // read burst has ended plus tRTW.
+    EXPECT_GE(earliest_wr + spec.timing.tWL,
+              rd_data_end + spec.timing.tRTW);
+}
+
+TEST_F(ChannelTest, CommandBusSpacingOneCommandPerTck)
+{
+    ch.issue(act(0, 0, 1), 0);
+    // The very next command on the bus must wait a command cycle,
+    // even when its own bank timing would allow it immediately.
+    Tick earliest = ch.earliestIssue(act(1, 0, 1), 0);
+    EXPECT_GE(earliest, spec.timing.tCK);
+}
+
+TEST_F(ChannelTest, PimMacsBypassCommandBus)
+{
+    ch.issue(act(0, 0, 1), 0);
+    ch.issue(act(1, 0, 1), spec.timing.tRRD_S);
+    Tick t0 = spec.timing.tRRD_S + spec.timing.tRCD;
+    Command pim{CommandType::PimMac, Coord{0, 0, 1, 0}};
+    ch.issue(pim, t0);
+    // An external command right after a PIM read needs no tCK gap
+    // from it (the PIM read never used the bus).
+    Command pre{CommandType::Pre, Coord{1, 0, 1, 0}};
+    Tick earliest = ch.earliestIssue(pre, t0);
+    EXPECT_LE(earliest,
+              std::max<Tick>(t0, ch.bank(1, 0).earliestIssue(
+                                     CommandType::Pre)) +
+                  spec.timing.tCK);
+}
+
+TEST_F(ChannelTest, IllegalIssuePanics)
+{
+    EXPECT_THROW(ch.issue(rd(0, 0, 1, 0), 0), PanicError);
+}
+
+TEST_F(ChannelTest, OutOfRangeBankPanics)
+{
+    EXPECT_THROW(ch.bank(9, 0), PanicError);
+    EXPECT_THROW(ch.bank(0, 9), PanicError);
+}
+
+TEST_F(ChannelTest, IssueAtEarliestReportsIssueTime)
+{
+    ch.issue(act(0, 0, 1), 0);
+    Tick issued_at = 0;
+    ch.issueAtEarliest(rd(0, 0, 1, 0), 0, issued_at);
+    EXPECT_EQ(issued_at, spec.timing.tRCD);
+}
+
+TEST_F(ChannelTest, RefreshBlocksSubsequentCommands)
+{
+    Tick done = ch.refresh(0);
+    EXPECT_EQ(done, spec.timing.tRFC);
+    EXPECT_GE(ch.earliestIssue(act(0, 0, 1), 0), done);
+}
+
+TEST_F(ChannelTest, RefreshWithOpenBankPanics)
+{
+    ch.issue(act(0, 0, 1), 0);
+    EXPECT_THROW(ch.refresh(spec.timing.tRAS), PanicError);
+}
+
+TEST_F(ChannelTest, AggregateCounters)
+{
+    ch.issue(act(0, 0, 1), 0);
+    Tick t0 = spec.timing.tRCD;
+    ch.issue(rd(0, 0, 1, 0), t0);
+    Command pim{CommandType::PimMac, Coord{0, 0, 1, 1}};
+    ch.issue(pim, t0 + spec.timing.tCCD_L);
+    EXPECT_EQ(ch.totalActivations(), 1u);
+    EXPECT_EQ(ch.totalColumnAccesses(), 2u);
+    EXPECT_EQ(ch.totalPimMacs(), 1u);
+}
+
+class AddressMappingParam
+    : public ::testing::TestWithParam<MappingPolicy>
+{
+};
+
+TEST_P(AddressMappingParam, RoundTripsAllFields)
+{
+    DramSpec spec = hbm3Spec();
+    AddressMapping map(spec.org, GetParam());
+    // Probe a spread of addresses, aligned to access granularity.
+    for (std::uint64_t addr = 0; addr < spec.org.capacityBytes();
+         addr += spec.org.capacityBytes() / 97) {
+        std::uint64_t aligned = addr / spec.org.accessBytes *
+                                spec.org.accessBytes;
+        Coord c = map.decompose(aligned);
+        EXPECT_LT(c.bankGroup, spec.org.bankGroups);
+        EXPECT_LT(c.bank, spec.org.banksPerGroup);
+        EXPECT_LT(c.row, spec.org.rowsPerBank);
+        EXPECT_LT(c.column, spec.org.columnsPerRow());
+        EXPECT_EQ(map.compose(c), aligned);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, AddressMappingParam,
+                         ::testing::Values(MappingPolicy::RoBaBgCo,
+                                           MappingPolicy::RoCoBaBg));
+
+TEST(AddressMapping, SequentialAddressesStayInRowForStreamPolicy)
+{
+    DramSpec spec = hbm3Spec();
+    AddressMapping map(spec.org, MappingPolicy::RoBaBgCo);
+    Coord first = map.decompose(0);
+    Coord second = map.decompose(spec.org.accessBytes);
+    EXPECT_EQ(first.row, second.row);
+    EXPECT_EQ(first.bankGroup, second.bankGroup);
+    EXPECT_EQ(first.bank, second.bank);
+    EXPECT_EQ(second.column, first.column + 1);
+}
+
+TEST(AddressMapping, SequentialAddressesRotateBanksForParallelPolicy)
+{
+    DramSpec spec = hbm3Spec();
+    AddressMapping map(spec.org, MappingPolicy::RoCoBaBg);
+    Coord first = map.decompose(0);
+    Coord second = map.decompose(spec.org.accessBytes);
+    EXPECT_NE(first.bankGroup, second.bankGroup);
+}
+
+TEST(AddressMapping, BeyondCapacityIsFatal)
+{
+    DramSpec spec = hbm3Spec();
+    AddressMapping map(spec.org, MappingPolicy::RoCoBaBg);
+    EXPECT_THROW(map.decompose(spec.org.capacityBytes()), FatalError);
+}
+
+} // namespace

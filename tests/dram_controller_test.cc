@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Unit and integration tests for the memory controller, HBM stack,
+ * and DRAM energy accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dram/controller.hh"
+#include "dram/energy.hh"
+#include "dram/hbm_stack.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace papi::dram;
+using papi::sim::EventQueue;
+using papi::sim::FatalError;
+using papi::sim::Tick;
+
+MemRequest
+readReq(std::uint64_t addr, std::vector<Tick> *completions = nullptr)
+{
+    MemRequest r;
+    r.addr = addr;
+    r.isWrite = false;
+    if (completions) {
+        r.onComplete = [completions](Tick t) {
+            completions->push_back(t);
+        };
+    }
+    return r;
+}
+
+TEST(MemController, SingleReadCompletes)
+{
+    EventQueue eq;
+    MemController ctrl(eq, hbm3Spec());
+    ctrl.setRefreshEnabled(false);
+    std::vector<Tick> done;
+    ASSERT_TRUE(ctrl.enqueue(readReq(0, &done)));
+    eq.run();
+    ASSERT_EQ(done.size(), 1u);
+    const auto &t = hbm3Spec().timing;
+    // Closed bank: ACT + tRCD + RD + tCL + tBURST.
+    EXPECT_EQ(done[0], t.tRCD + t.tCL + t.tBURST);
+    EXPECT_EQ(ctrl.completed(), 1u);
+}
+
+TEST(MemController, RowHitIsFasterThanMiss)
+{
+    EventQueue eq;
+    MemController ctrl(eq, hbm3Spec(), SchedulingPolicy::FrFcfs,
+                       MappingPolicy::RoBaBgCo);
+    ctrl.setRefreshEnabled(false);
+    std::vector<Tick> done;
+    DramSpec spec = hbm3Spec();
+    // Same row, consecutive columns under the streaming policy.
+    ASSERT_TRUE(ctrl.enqueue(readReq(0, &done)));
+    ASSERT_TRUE(ctrl.enqueue(readReq(spec.org.accessBytes, &done)));
+    eq.run();
+    ASSERT_EQ(done.size(), 2u);
+    // Second access hits the open row: only tCCD_L behind the first.
+    EXPECT_EQ(done[1] - done[0], spec.timing.tCCD_L);
+    EXPECT_GT(ctrl.rowHitRate(), 0.0);
+}
+
+TEST(MemController, QueueDepthBoundsAcceptance)
+{
+    EventQueue eq;
+    MemController ctrl(eq, hbm3Spec(), SchedulingPolicy::FrFcfs,
+                       MappingPolicy::RoCoBaBg, /*queue_depth=*/2);
+    ctrl.setRefreshEnabled(false);
+    EXPECT_TRUE(ctrl.enqueue(readReq(0)));
+    EXPECT_TRUE(ctrl.enqueue(readReq(64)));
+    EXPECT_FALSE(ctrl.enqueue(readReq(128)));
+    eq.run();
+    EXPECT_EQ(ctrl.completed(), 2u);
+}
+
+TEST(MemController, FrFcfsPrefersRowHits)
+{
+    EventQueue eq;
+    MemController ctrl(eq, hbm3Spec(), SchedulingPolicy::FrFcfs,
+                       MappingPolicy::RoBaBgCo);
+    ctrl.setRefreshEnabled(false);
+    DramSpec spec = hbm3Spec();
+    std::vector<Tick> done_conflict, done_hit;
+    // First open row 0, then queue a row conflict followed by a row
+    // hit; FR-FCFS should finish the hit first.
+    std::uint64_t row_stride = static_cast<std::uint64_t>(
+        spec.org.rowBytes);
+    std::uint64_t same_row_addr = spec.org.accessBytes;
+    std::uint64_t other_row_addr =
+        row_stride * spec.org.banksPerGroup * spec.org.bankGroups;
+    ASSERT_TRUE(ctrl.enqueue(readReq(0, nullptr)));
+    eq.run();
+    ASSERT_TRUE(ctrl.enqueue(readReq(other_row_addr, &done_conflict)));
+    ASSERT_TRUE(ctrl.enqueue(readReq(same_row_addr, &done_hit)));
+    eq.run();
+    ASSERT_EQ(done_hit.size(), 1u);
+    ASSERT_EQ(done_conflict.size(), 1u);
+    EXPECT_LT(done_hit[0], done_conflict[0]);
+}
+
+TEST(MemController, FcfsPreservesOrder)
+{
+    EventQueue eq;
+    MemController ctrl(eq, hbm3Spec(), SchedulingPolicy::Fcfs,
+                       MappingPolicy::RoBaBgCo);
+    ctrl.setRefreshEnabled(false);
+    DramSpec spec = hbm3Spec();
+    std::vector<Tick> done_first, done_second;
+    std::uint64_t other_row_addr =
+        static_cast<std::uint64_t>(spec.org.rowBytes) *
+        spec.org.banksPerGroup * spec.org.bankGroups;
+    ASSERT_TRUE(ctrl.enqueue(readReq(0, nullptr)));
+    eq.run();
+    ASSERT_TRUE(ctrl.enqueue(readReq(other_row_addr, &done_first)));
+    ASSERT_TRUE(ctrl.enqueue(
+        readReq(spec.org.accessBytes, &done_second)));
+    eq.run();
+    ASSERT_EQ(done_first.size(), 1u);
+    ASSERT_EQ(done_second.size(), 1u);
+    EXPECT_LT(done_first[0], done_second[0]);
+}
+
+TEST(MemController, ManyRequestsAllComplete)
+{
+    EventQueue eq;
+    MemController ctrl(eq, hbm3Spec(), SchedulingPolicy::FrFcfs,
+                       MappingPolicy::RoCoBaBg, /*queue_depth=*/0);
+    ctrl.setRefreshEnabled(false);
+    const int n = 500;
+    int completed = 0;
+    for (int i = 0; i < n; ++i) {
+        MemRequest r;
+        r.addr = static_cast<std::uint64_t>(i) * 64 * 1024 + i * 32;
+        r.onComplete = [&completed](Tick) { ++completed; };
+        ASSERT_TRUE(ctrl.enqueue(r));
+    }
+    eq.run();
+    EXPECT_EQ(completed, n);
+    EXPECT_EQ(ctrl.queued(), 0u);
+    EXPECT_GT(ctrl.achievedBandwidth(), 0.0);
+    EXPECT_GT(ctrl.meanLatency(), 0.0);
+}
+
+TEST(MemController, RefreshDoesNotLoseRequests)
+{
+    EventQueue eq;
+    MemController ctrl(eq, hbm3Spec());
+    // Leave refresh enabled; spread arrivals past several tREFI.
+    const auto &t = hbm3Spec().timing;
+    int completed = 0;
+    for (int i = 0; i < 20; ++i) {
+        eq.schedule(static_cast<Tick>(i) * t.tREFI / 3, [&, i] {
+            MemRequest r;
+            r.addr = static_cast<std::uint64_t>(i) * 4096;
+            r.onComplete = [&completed](Tick) { ++completed; };
+            ASSERT_TRUE(ctrl.enqueue(r));
+        });
+    }
+    eq.run(t.tREFI * 10);
+    EXPECT_EQ(completed, 20);
+}
+
+TEST(MemController, BandwidthBelowChannelPeak)
+{
+    EventQueue eq;
+    DramSpec spec = hbm3Spec();
+    MemController ctrl(eq, spec, SchedulingPolicy::FrFcfs,
+                       MappingPolicy::RoBaBgCo, 0);
+    ctrl.setRefreshEnabled(false);
+    for (int i = 0; i < 2000; ++i)
+        ASSERT_TRUE(ctrl.enqueue(readReq(i * 32)));
+    eq.run();
+    EXPECT_LE(ctrl.achievedBandwidth(),
+              spec.peakChannelBandwidth() * 1.01);
+    // Sequential streaming within one bank paces at tCCD_L (half
+    // the burst-rate peak), minus row-activation overheads.
+    EXPECT_GE(ctrl.achievedBandwidth(),
+              spec.peakChannelBandwidth() * 0.40);
+}
+
+TEST(HbmStack, CapacityAndBandwidth)
+{
+    HbmStack stack(hbm3Spec(), 16);
+    EXPECT_EQ(stack.numPseudoChannels(), 16u);
+    EXPECT_EQ(stack.capacityBytes(), 16ULL << 30); // 16 GB class
+    EXPECT_EQ(stack.totalBanks(), 128u);
+    // 16 pseudo-channels x ~20.8 GB/s ~= 333 GB/s per direction; the
+    // per-stack figure doubles with both pseudo-channel pairs but we
+    // model read bandwidth.
+    EXPECT_NEAR(stack.peakBandwidth(), 16 * 20.8e9, 16 * 0.2e9);
+    // Internal (near-bank) bandwidth is banks x 20.8 GB/s.
+    EXPECT_NEAR(stack.peakInternalBandwidth(), 128 * 20.8e9,
+                128 * 0.2e9);
+}
+
+TEST(HbmStack, FcPimVariantHasThreeQuarterCapacity)
+{
+    HbmStack full(hbm3Spec(), 16);
+    HbmStack fcpim(hbm3Spec(), 12);
+    EXPECT_EQ(fcpim.capacityBytes() * 4, full.capacityBytes() * 3);
+    EXPECT_EQ(fcpim.totalBanks(), 96u);
+}
+
+TEST(HbmStack, ZeroChannelsIsFatal)
+{
+    EXPECT_THROW(HbmStack(hbm3Spec(), 0), FatalError);
+}
+
+TEST(DramEnergy, ComponentsScaleWithCounts)
+{
+    DramEnergyParams p;
+    DramEnergyBreakdown e1 = dramEnergy(p, 100, 1000, 500, 1.0, 16);
+    DramEnergyBreakdown e2 = dramEnergy(p, 200, 2000, 1000, 2.0, 16);
+    EXPECT_NEAR(e2.actPre, 2.0 * e1.actPre, 1e-15);
+    EXPECT_NEAR(e2.cellAccess, 2.0 * e1.cellAccess, 1e-15);
+    EXPECT_NEAR(e2.externalIo, 2.0 * e1.externalIo, 1e-15);
+    EXPECT_NEAR(e2.background, 2.0 * e1.background, 1e-15);
+    EXPECT_NEAR(e1.total(),
+                e1.actPre + e1.cellAccess + e1.externalIo +
+                    e1.background,
+                1e-15);
+}
+
+TEST(DramEnergy, NegativeTimeIsFatal)
+{
+    DramEnergyParams p;
+    EXPECT_THROW(dramEnergy(p, 0, 0, 0, -1.0, 1), FatalError);
+}
+
+} // namespace

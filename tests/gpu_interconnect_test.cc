@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the GPU roofline model and interconnect links.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_model.hh"
+#include "interconnect/link.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace papi::gpu;
+using namespace papi::interconnect;
+using papi::sim::FatalError;
+
+TEST(GpuSpec, A100NumbersMatchPaper)
+{
+    GpuSpec a100 = a100Spec();
+    EXPECT_DOUBLE_EQ(a100.peakTflopsFp16, 312.0);
+    EXPECT_DOUBLE_EQ(a100.memBandwidthGBs, 1935.0);
+    EXPECT_EQ(a100.memCapacityBytes, 80ULL << 30);
+    // Ridge point ~161 FLOPs/byte: kernels below it on the roofline
+    // are memory-bound (Fig. 2's dividing line).
+    EXPECT_NEAR(a100.ridgeArithmeticIntensity(), 161.2, 1.0);
+}
+
+TEST(GpuModel, MemoryBoundKernelPacedByBandwidth)
+{
+    GpuModel gpu(a100Spec(), 1, 0.0);
+    // AI = 1 FLOP/byte: deeply memory-bound.
+    double bytes = 1e9;
+    GpuKernelResult r = gpu.kernel(bytes, bytes);
+    EXPECT_FALSE(r.computeBound);
+    EXPECT_NEAR(r.seconds,
+                bytes / a100Spec().effectiveBandwidth() +
+                    a100Spec().kernelLaunchSeconds,
+                1e-9);
+}
+
+TEST(GpuModel, ComputeBoundKernelPacedByFlops)
+{
+    GpuModel gpu(a100Spec(), 1, 0.0);
+    double bytes = 1e6;
+    double flops = bytes * 10000.0; // far above the ridge
+    GpuKernelResult r = gpu.kernel(flops, bytes);
+    EXPECT_TRUE(r.computeBound);
+    EXPECT_NEAR(r.seconds,
+                flops / a100Spec().effectiveFlops() +
+                    a100Spec().kernelLaunchSeconds,
+                1e-9);
+}
+
+TEST(GpuModel, FleetScalesBothRooflines)
+{
+    GpuModel one(a100Spec(), 1, 0.0);
+    GpuModel six(a100Spec(), 6, 0.0);
+    EXPECT_NEAR(six.fleetBandwidth(), 6.0 * one.fleetBandwidth(),
+                1.0);
+    EXPECT_NEAR(six.fleetFlops(), 6.0 * one.fleetFlops(), 1.0);
+    double bytes = 6e9;
+    EXPECT_NEAR(one.kernel(bytes, bytes).seconds /
+                    six.kernel(bytes, bytes).seconds,
+                6.0, 0.1);
+}
+
+TEST(GpuModel, AllReduceAddsTensorParallelCost)
+{
+    GpuModel six(a100Spec(), 6, 300.0);
+    double bytes = 1e9;
+    GpuKernelResult without = six.kernel(bytes, bytes, 0.0);
+    GpuKernelResult with = six.kernel(bytes, bytes, 1e8);
+    EXPECT_GT(with.seconds, without.seconds);
+    // Ring all-reduce: 2 (G-1)/G x output / link bandwidth.
+    EXPECT_NEAR(with.allReduceSeconds,
+                2.0 * 5.0 / 6.0 * 1e8 / 300e9, 1e-9);
+}
+
+TEST(GpuModel, SingleGpuSkipsAllReduce)
+{
+    GpuModel one(a100Spec(), 1, 300.0);
+    GpuKernelResult r = one.kernel(1e9, 1e9, 1e8);
+    EXPECT_DOUBLE_EQ(r.allReduceSeconds, 0.0);
+}
+
+TEST(GpuModel, EnergyHasDynamicAndStaticParts)
+{
+    GpuModel gpu(a100Spec(), 2, 0.0);
+    GpuKernelResult r = gpu.kernel(1e12, 1e9);
+    double dynamic = 1e12 * a100Spec().computeEnergyPerFlop +
+                     1e9 * a100Spec().memEnergyPerByte;
+    double static_e = 2 * a100Spec().idlePowerWatts * r.seconds;
+    EXPECT_NEAR(r.energyJoules, dynamic + static_e, 1e-6);
+}
+
+TEST(GpuModel, InvalidConstructionIsFatal)
+{
+    EXPECT_THROW(GpuModel(a100Spec(), 0), FatalError);
+    EXPECT_THROW(GpuModel(a100Spec(), 1, -1.0), FatalError);
+    GpuModel gpu(a100Spec(), 1);
+    EXPECT_THROW(gpu.kernel(-1.0, 0.0), FatalError);
+}
+
+TEST(Link, TransferTimeHasLatencyAndBandwidthTerms)
+{
+    Link l = pcie5();
+    double small = l.transferSeconds(64);
+    double large = l.transferSeconds(64 << 20);
+    // Small messages are latency-dominated.
+    EXPECT_NEAR(small, l.latencySeconds + l.messageOverheadSeconds,
+                1e-7);
+    // Large messages are bandwidth-dominated.
+    EXPECT_NEAR(large,
+                static_cast<double>(64 << 20) /
+                    l.bandwidthBytesPerSec,
+                1e-3);
+}
+
+TEST(Link, PresetOrdering)
+{
+    // NVLink is the fast fabric; PCIe/CXL are the commodity ones.
+    EXPECT_GT(nvlink().bandwidthBytesPerSec,
+              pcie5().bandwidthBytesPerSec);
+    EXPECT_GT(nvlink().bandwidthBytesPerSec,
+              cxl2().bandwidthBytesPerSec);
+    // CXL scales to far more devices than PCIe (paper Section 6.3).
+    EXPECT_GT(cxl2().maxDevices, pcie5().maxDevices);
+    EXPECT_EQ(cxl2().maxDevices, 4096u);
+    EXPECT_EQ(pcie5().maxDevices, 32u);
+}
+
+TEST(Link, TransferEnergyScalesWithBytes)
+{
+    Link l = nvlink();
+    EXPECT_NEAR(l.transferJoules(1000), 1000 * l.energyPerByte,
+                1e-15);
+}
+
+} // namespace

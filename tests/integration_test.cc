@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Integration tests: do the paper's headline comparisons hold in
+ * shape? (Absolute numbers depend on the simulated substrate; these
+ * tests assert orderings and rough factors, mirroring Section 7.)
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/decode_engine.hh"
+#include "core/metrics.hh"
+#include "core/platform.hh"
+#include "core/threshold_calibrator.hh"
+#include "llm/trace.hh"
+
+namespace {
+
+using namespace papi::core;
+namespace llm = papi::llm;
+
+class PaperShape : public ::testing::Test
+{
+  protected:
+    static RunResult
+    runOn(const PlatformConfig &cfg, const llm::ModelConfig &model,
+          std::uint32_t batch_size, std::uint32_t spec_len,
+          double alpha, llm::TraceCategory category)
+    {
+        Platform platform(cfg);
+        llm::TraceGenerator gen(category, 42);
+        llm::Batch batch(gen.generate(batch_size), model);
+        llm::SpeculativeConfig spec;
+        spec.length = spec_len;
+        RunOptions opt;
+        opt.alpha = alpha;
+        DecodeEngine engine(platform);
+        return engine.run(batch, spec, model, opt);
+    }
+
+    static double
+    calibratedAlpha(const llm::ModelConfig &model)
+    {
+        Platform papi(makePapiConfig());
+        return ThresholdCalibrator::calibrate(papi, model).alpha;
+    }
+};
+
+TEST_F(PaperShape, PapiBeatsA100AttAccOnCreativeWriting)
+{
+    // Paper Fig. 8: PAPI averages 1.8x over A100+AttAcc. Assert the
+    // geomean over a reduced grid lands clearly above 1.2x.
+    llm::ModelConfig model = llm::llama65b();
+    double alpha = calibratedAlpha(model);
+    std::vector<double> speedups;
+    for (std::uint32_t batch : {4u, 16u, 64u}) {
+        for (std::uint32_t spec : {1u, 2u, 4u}) {
+            RunResult papi = runOn(makePapiConfig(), model, batch,
+                                   spec, alpha,
+                                   llm::TraceCategory::CreativeWriting);
+            RunResult base = runOn(makeA100AttAccConfig(), model,
+                                   batch, spec, alpha,
+                                   llm::TraceCategory::CreativeWriting);
+            speedups.push_back(speedup(base, papi));
+        }
+    }
+    double gm = geomean(speedups);
+    EXPECT_GT(gm, 1.2);
+    EXPECT_LT(gm, 4.0);
+    // PAPI should never lose badly anywhere on the grid.
+    for (double s : speedups)
+        EXPECT_GT(s, 0.9);
+}
+
+TEST_F(PaperShape, PapiCrushesAttAccOnlyAtHighParallelism)
+{
+    // Paper Fig. 8: 11.1x average over AttAcc-only, driven by the
+    // high-parallelism corners where 1P1B PIM drowns in FC compute.
+    llm::ModelConfig model = llm::llama65b();
+    double alpha = calibratedAlpha(model);
+    RunResult papi = runOn(makePapiConfig(), model, 64, 4, alpha,
+                           llm::TraceCategory::CreativeWriting);
+    RunResult attacc = runOn(makeAttAccOnlyConfig(), model, 64, 4,
+                             alpha,
+                             llm::TraceCategory::CreativeWriting);
+    double s = speedup(attacc, papi);
+    EXPECT_GT(s, 5.0);
+}
+
+TEST_F(PaperShape, AttAccOnlyCompetitiveOnlyAtLowParallelism)
+{
+    // Paper Fig. 10(a): at batch 4, AttAcc-only beats A100+AttAcc;
+    // as RLP grows it falls behind dramatically.
+    llm::ModelConfig model = llm::llama65b();
+    double alpha = calibratedAlpha(model);
+    auto cw = llm::TraceCategory::CreativeWriting;
+    RunResult attacc_lo = runOn(makeAttAccOnlyConfig(), model, 4, 1,
+                                alpha, cw);
+    RunResult base_lo = runOn(makeA100AttAccConfig(), model, 4, 1,
+                              alpha, cw);
+    EXPECT_LT(attacc_lo.seconds(), base_lo.seconds());
+
+    RunResult attacc_hi = runOn(makeAttAccOnlyConfig(), model, 64, 1,
+                                alpha, cw);
+    RunResult base_hi = runOn(makeA100AttAccConfig(), model, 64, 1,
+                              alpha, cw);
+    EXPECT_GT(attacc_hi.seconds(), base_hi.seconds() * 2.0);
+}
+
+TEST_F(PaperShape, PapiMatchesBestStaticChoiceEverywhere)
+{
+    // The value proposition: dynamic scheduling tracks whichever
+    // static mapping is better at each parallelism level.
+    llm::ModelConfig model = llm::llama65b();
+    double alpha = calibratedAlpha(model);
+    auto cw = llm::TraceCategory::CreativeWriting;
+    for (std::uint32_t batch : {4u, 64u}) {
+        RunResult papi = runOn(makePapiConfig(), model, batch, 1,
+                               alpha, cw);
+        RunResult gpu_fc = runOn(makeA100AttAccConfig(), model, batch,
+                                 1, alpha, cw);
+        RunResult pim_fc = runOn(makePimOnlyPapiConfig(), model,
+                                 batch, 1, alpha, cw);
+        double best = std::min(gpu_fc.seconds(), pim_fc.seconds());
+        EXPECT_LT(papi.seconds(), best * 1.15) << "batch=" << batch;
+    }
+}
+
+TEST_F(PaperShape, HbmPimBaselineCloseToAttAccBaseline)
+{
+    // Paper Section 7.2: A100+AttAcc ~ A100+HBM-PIM because the
+    // attention kernel is a small share of the runtime.
+    llm::ModelConfig model = llm::llama65b();
+    double alpha = calibratedAlpha(model);
+    RunResult a = runOn(makeA100AttAccConfig(), model, 16, 2, alpha,
+                        llm::TraceCategory::CreativeWriting);
+    RunResult h = runOn(makeA100HbmPimConfig(), model, 16, 2, alpha,
+                        llm::TraceCategory::CreativeWriting);
+    double ratio = h.seconds() / a.seconds();
+    EXPECT_GT(ratio, 0.95);
+    EXPECT_LT(ratio, 1.3);
+}
+
+TEST_F(PaperShape, PimOnlyPapiBeatsAttAccOnlyInDecoding)
+{
+    // Paper Fig. 11: hybrid-PIM PAPI (no GPU) averages ~2.3x over
+    // AttAcc-only in the decoding phase, growing with parallelism.
+    llm::ModelConfig model = llm::llama65b();
+    auto cw = llm::TraceCategory::CreativeWriting;
+    RunOptions no_prefill;
+    no_prefill.includePrefill = false;
+
+    auto decode_run = [&](const PlatformConfig &cfg,
+                          std::uint32_t batch_size,
+                          std::uint32_t spec_len) {
+        Platform platform(cfg);
+        llm::TraceGenerator gen(cw, 42);
+        llm::Batch batch(gen.generate(batch_size), model);
+        llm::SpeculativeConfig spec;
+        spec.length = spec_len;
+        DecodeEngine engine(platform);
+        return engine.run(batch, spec, model, no_prefill);
+    };
+
+    double s_lo = speedup(decode_run(makeAttAccOnlyConfig(), 4, 1),
+                          decode_run(makePimOnlyPapiConfig(), 4, 1));
+    double s_hi = speedup(decode_run(makeAttAccOnlyConfig(), 64, 4),
+                          decode_run(makePimOnlyPapiConfig(), 64, 4));
+    EXPECT_GT(s_lo, 1.0);
+    EXPECT_GT(s_hi, s_lo); // benefit grows with parallelism
+    EXPECT_GT(s_hi, 2.0);
+    EXPECT_LT(s_hi, 6.0);
+}
+
+TEST_F(PaperShape, EnergyEfficiencyFavorsPapiOverGpuBaseline)
+{
+    // Paper Fig. 8(b): PAPI improves energy efficiency (3.4x avg)
+    // by moving memory-bound FC work off the energy-hungry GPUs.
+    llm::ModelConfig model = llm::llama65b();
+    double alpha = calibratedAlpha(model);
+    RunResult papi = runOn(makePapiConfig(), model, 4, 1, alpha,
+                           llm::TraceCategory::CreativeWriting);
+    RunResult base = runOn(makeA100AttAccConfig(), model, 4, 1,
+                           alpha,
+                           llm::TraceCategory::CreativeWriting);
+    EXPECT_GT(energyEfficiency(base, papi), 1.3);
+}
+
+TEST_F(PaperShape, CreativeWritingGainsExceedGeneralQa)
+{
+    // Paper Fig. 9: general-qa speedups (1.7x) trail
+    // creative-writing (1.8x) because shorter outputs shrink the
+    // decoding share that PAPI accelerates.
+    llm::ModelConfig model = llm::llama65b();
+    double alpha = calibratedAlpha(model);
+    auto gm_for = [&](llm::TraceCategory cat) {
+        std::vector<double> speedups;
+        for (std::uint32_t batch : {4u, 16u, 64u}) {
+            RunResult papi = runOn(makePapiConfig(), model, batch, 2,
+                                   alpha, cat);
+            RunResult base = runOn(makeA100AttAccConfig(), model,
+                                   batch, 2, alpha, cat);
+            speedups.push_back(speedup(base, papi));
+        }
+        return geomean(speedups);
+    };
+    double cw = gm_for(llm::TraceCategory::CreativeWriting);
+    double qa = gm_for(llm::TraceCategory::GeneralQa);
+    // The paper's margin is small (1.8x vs 1.7x, ~6%); with
+    // synthetic traces standing in for Dolly the ordering is within
+    // workload noise, so assert near-parity with creative-writing
+    // not materially behind.
+    EXPECT_GT(cw, qa * 0.90);
+    EXPECT_GT(cw, 1.2);
+}
+
+TEST_F(PaperShape, SpeedupOverBaselineShrinksAsTlpGrows)
+{
+    // Paper Fig. 10(b): as speculation length grows PAPI offloads
+    // more FC work to the GPU and converges toward A100+AttAcc.
+    llm::ModelConfig model = llm::llama65b();
+    double alpha = calibratedAlpha(model);
+    auto cw = llm::TraceCategory::CreativeWriting;
+    RunResult papi_s1 = runOn(makePapiConfig(), model, 4, 1, alpha,
+                              cw);
+    RunResult base_s1 = runOn(makeA100AttAccConfig(), model, 4, 1,
+                              alpha, cw);
+    RunResult papi_s8 = runOn(makePapiConfig(), model, 4, 8, alpha,
+                              cw);
+    RunResult base_s8 = runOn(makeA100AttAccConfig(), model, 4, 8,
+                              alpha, cw);
+    double s1 = speedup(base_s1, papi_s1);
+    double s8 = speedup(base_s8, papi_s8);
+    EXPECT_GT(s1, s8);
+    EXPECT_GE(s8, 0.95); // never worse than the baseline
+}
+
+/**
+ * Parameterized sweep across all three evaluation models: PAPI must
+ * beat or match both static baselines at every (batch, spec) corner.
+ */
+class ModelSweep : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    static llm::ModelConfig
+    modelFor(const std::string &name)
+    {
+        if (name == "llama-65b")
+            return llm::llama65b();
+        if (name == "gpt3-66b")
+            return llm::gpt3_66b();
+        return llm::gpt3_175b();
+    }
+};
+
+TEST_P(ModelSweep, PapiNeverLosesToEitherStaticBaseline)
+{
+    llm::ModelConfig model = modelFor(GetParam());
+    Platform papi_platform(makePapiConfig());
+    double alpha = ThresholdCalibrator::calibrate(papi_platform,
+                                                  model)
+                       .alpha;
+    auto cw = llm::TraceCategory::CreativeWriting;
+
+    auto run_cfg = [&](const PlatformConfig &cfg,
+                       std::uint32_t batch_size,
+                       std::uint32_t spec_len) {
+        Platform platform(cfg);
+        llm::TraceGenerator gen(cw, 7);
+        llm::Batch batch(gen.generate(batch_size), model);
+        llm::SpeculativeConfig spec;
+        spec.length = spec_len;
+        RunOptions opt;
+        opt.alpha = alpha;
+        DecodeEngine engine(platform);
+        return engine.run(batch, spec, model, opt);
+    };
+
+    for (std::uint32_t batch : {4u, 64u}) {
+        for (std::uint32_t spec : {1u, 4u}) {
+            double papi_s = run_cfg(makePapiConfig(), batch, spec)
+                                .seconds();
+            double gpu_s =
+                run_cfg(makeA100AttAccConfig(), batch, spec)
+                    .seconds();
+            double pim_s =
+                run_cfg(makeAttAccOnlyConfig(), batch, spec)
+                    .seconds();
+            EXPECT_LT(papi_s, gpu_s * 1.05)
+                << "batch=" << batch << " spec=" << spec;
+            EXPECT_LT(papi_s, pim_s * 1.05)
+                << "batch=" << batch << " spec=" << spec;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelSweep,
+                         ::testing::Values("llama-65b", "gpt3-66b",
+                                           "gpt3-175b"));
+
+} // namespace

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the block-granular KV-cache allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "llm/kv_cache.hh"
+#include "llm/model_config.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace papi::llm;
+using papi::sim::FatalError;
+using papi::sim::PanicError;
+
+class KvCacheTest : public ::testing::Test
+{
+  protected:
+    KvCacheTest()
+        : model(opt30b()),
+          mgr(model, /*devices=*/4, /*capacity=*/1ULL << 30,
+              /*block_tokens=*/16)
+    {}
+
+    ModelConfig model;
+    KvCacheManager mgr;
+};
+
+TEST_F(KvCacheTest, BlockGeometry)
+{
+    EXPECT_EQ(mgr.blockBytes(), 16 * model.kvBytesPerToken());
+    EXPECT_EQ(mgr.blocksForTokens(1), 1u);
+    EXPECT_EQ(mgr.blocksForTokens(16), 1u);
+    EXPECT_EQ(mgr.blocksForTokens(17), 2u);
+    EXPECT_EQ(mgr.blocksForTokens(0), 0u);
+}
+
+TEST_F(KvCacheTest, AdmitGrowRelease)
+{
+    std::uint64_t before = mgr.freeBlocks();
+    mgr.admit(1, 32); // 2 blocks
+    EXPECT_EQ(mgr.freeBlocks(), before - 2);
+    EXPECT_EQ(mgr.liveRequests(), 1u);
+    mgr.grow(1, 40); // still 3 blocks? 40 tokens -> 3 blocks
+    EXPECT_EQ(mgr.freeBlocks(), before - 3);
+    mgr.grow(1, 48); // exactly 3 blocks - no change
+    EXPECT_EQ(mgr.freeBlocks(), before - 3);
+    mgr.release(1);
+    EXPECT_EQ(mgr.freeBlocks(), before);
+    EXPECT_EQ(mgr.liveRequests(), 0u);
+}
+
+TEST_F(KvCacheTest, BlocksSpreadAcrossDevices)
+{
+    // Allocate many blocks; the least-loaded-first policy must keep
+    // devices balanced.
+    mgr.admit(1, 16 * 40); // 40 blocks across 4 devices
+    KvOccupancy occ = mgr.occupancy();
+    EXPECT_EQ(occ.usedBlocks, 40u);
+    EXPECT_NEAR(occ.deviceImbalance, 1.0, 1e-9);
+}
+
+TEST_F(KvCacheTest, AdmissionGating)
+{
+    std::uint64_t capacity_tokens = mgr.freeBlocks() * 16;
+    EXPECT_TRUE(mgr.canAdmit(capacity_tokens));
+    EXPECT_FALSE(mgr.canAdmit(capacity_tokens + 16));
+    mgr.admit(9, capacity_tokens);
+    EXPECT_FALSE(mgr.canAdmit(1));
+    EXPECT_EQ(mgr.occupancy().utilization(), 1.0);
+    mgr.release(9);
+    EXPECT_TRUE(mgr.canAdmit(1));
+}
+
+TEST_F(KvCacheTest, ExhaustionIsFatal)
+{
+    std::uint64_t capacity_tokens = mgr.freeBlocks() * 16;
+    mgr.admit(1, capacity_tokens);
+    EXPECT_THROW(mgr.admit(2, 16), FatalError);
+    EXPECT_THROW(mgr.grow(1, capacity_tokens + 16), FatalError);
+}
+
+TEST_F(KvCacheTest, MisuseIsFatal)
+{
+    mgr.admit(1, 16);
+    EXPECT_THROW(mgr.admit(1, 16), FatalError);  // duplicate id
+    EXPECT_THROW(mgr.grow(2, 16), FatalError);   // unknown id
+    EXPECT_THROW(mgr.grow(1, 8), FatalError);    // shrink
+    EXPECT_THROW(mgr.release(2), FatalError);    // unknown id
+}
+
+TEST_F(KvCacheTest, InvalidConstructionIsFatal)
+{
+    ModelConfig m = opt30b();
+    EXPECT_THROW(KvCacheManager(m, 0, 1ULL << 30), FatalError);
+    EXPECT_THROW(KvCacheManager(m, 4, 1ULL << 30, 0), FatalError);
+    // Block larger than a device.
+    EXPECT_THROW(KvCacheManager(m, 4, 1024, 16), FatalError);
+}
+
+TEST_F(KvCacheTest, ManyRequestsChurn)
+{
+    // Admit/grow/release a churn of requests; the pool must return
+    // to empty with no leaks. (Use a roomy pool: one OPT-30B block
+    // of 16 tokens is ~22 MB.)
+    KvCacheManager mgr(model, 8, 16ULL << 30, 16);
+    std::uint64_t before = mgr.freeBlocks();
+    for (std::uint64_t round = 0; round < 20; ++round) {
+        for (std::uint64_t id = 0; id < 10; ++id)
+            mgr.admit(round * 100 + id, 64 + id * 16);
+        for (std::uint64_t id = 0; id < 10; ++id)
+            mgr.grow(round * 100 + id, 256 + id * 16);
+        for (std::uint64_t id = 0; id < 10; ++id)
+            mgr.release(round * 100 + id);
+    }
+    EXPECT_EQ(mgr.freeBlocks(), before);
+    EXPECT_EQ(mgr.liveRequests(), 0u);
+    EXPECT_NEAR(mgr.occupancy().utilization(), 0.0, 1e-12);
+}
+
+/** Property sweep over block sizes: geometry invariants hold. */
+class KvBlockSizes : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(KvBlockSizes, GeometryInvariants)
+{
+    ModelConfig m = opt30b();
+    KvCacheManager mgr(m, 8, 4ULL << 30, GetParam());
+    // blocksForTokens is monotone and tight.
+    std::uint64_t prev = 0;
+    for (std::uint64_t t = 1; t <= 4096; t *= 2) {
+        std::uint64_t b = mgr.blocksForTokens(t);
+        EXPECT_GE(b, prev);
+        EXPECT_GE(b * GetParam(), t);
+        EXPECT_LT((b - 1) * GetParam(), t);
+        prev = b;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, KvBlockSizes,
+                         ::testing::Values(1u, 8u, 16u, 64u, 256u));
+
+} // namespace

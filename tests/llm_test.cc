@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Tests for model configs, kernel work characterization, batching,
+ * speculative decoding, and trace generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "llm/batch.hh"
+#include "llm/kernel_spec.hh"
+#include "llm/model_config.hh"
+#include "llm/speculative.hh"
+#include "llm/trace.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace papi::llm;
+using papi::sim::FatalError;
+
+TEST(ModelConfig, ParameterCountsMatchPublishedSizes)
+{
+    // Within 5% of the nominal parameter counts.
+    EXPECT_NEAR(llama65b().totalParams() / 1e9, 65.0, 65.0 * 0.05);
+    EXPECT_NEAR(gpt3_66b().totalParams() / 1e9, 66.0, 66.0 * 0.05);
+    EXPECT_NEAR(gpt3_175b().totalParams() / 1e9, 175.0, 175.0 * 0.05);
+    EXPECT_NEAR(opt30b().totalParams() / 1e9, 30.0, 30.0 * 0.08);
+}
+
+TEST(ModelConfig, Gpt3_175bNeeds350GBAsInPaper)
+{
+    // Paper Section 7.1: GPT-3 175B requires 350 GB in FP16.
+    EXPECT_NEAR(gpt3_175b().totalFcBytes() / 1e9, 350.0, 10.0);
+}
+
+TEST(ModelConfig, HeadDimDividesHiddenDim)
+{
+    for (const auto &m :
+         {llama65b(), gpt3_66b(), gpt3_175b(), opt30b()}) {
+        EXPECT_EQ(m.headDim() * m.numHeads, m.hiddenDim) << m.name;
+        EXPECT_GT(m.numLayers, 0u) << m.name;
+    }
+}
+
+TEST(ModelConfig, KvBytesPerToken)
+{
+    ModelConfig m = gpt3_175b();
+    // 2 vectors x h x 2 bytes x layers.
+    EXPECT_EQ(m.kvBytesPerToken(),
+              2ULL * 12288 * 2 * 96);
+}
+
+TEST(KernelSpec, FcFlopsScaleLinearlyWithTokens)
+{
+    ModelConfig m = gpt3_66b();
+    KernelWork w1 = fcTotalWork(m, 1);
+    KernelWork w8 = fcTotalWork(m, 8);
+    EXPECT_NEAR(w8.flops / w1.flops, 8.0, 1e-9);
+    // Weight traffic does not grow with tokens.
+    EXPECT_DOUBLE_EQ(w8.weightBytes, w1.weightBytes);
+    // Activation traffic does.
+    EXPECT_NEAR(w8.activationBytes / w1.activationBytes, 8.0, 1e-9);
+}
+
+TEST(KernelSpec, FcWeightBytesMatchModelTotal)
+{
+    ModelConfig m = llama65b();
+    KernelWork w = fcTotalWork(m, 1);
+    EXPECT_NEAR(w.weightBytes, static_cast<double>(m.totalFcBytes()),
+                1.0);
+}
+
+TEST(KernelSpec, SubKernelsSumToTotal)
+{
+    ModelConfig m = gpt3_175b();
+    KernelWork qkv = fcKernelWork(m, FcKernel::QkvGeneration, 4);
+    KernelWork proj = fcKernelWork(m, FcKernel::Projection, 4);
+    KernelWork ffn = fcKernelWork(m, FcKernel::FeedForward, 4);
+    KernelWork total = fcTotalWork(m, 4);
+    EXPECT_NEAR(qkv.flops + proj.flops + ffn.flops, total.flops, 1.0);
+    EXPECT_NEAR(qkv.weightBytes + proj.weightBytes + ffn.weightBytes,
+                total.weightBytes, 1.0);
+}
+
+TEST(KernelSpec, AttentionIntensityIndependentOfBatch)
+{
+    // Paper Fig. 2: batching does not increase attention arithmetic
+    // intensity (no KV reuse across requests).
+    ModelConfig m = opt30b();
+    double ai4 = attentionWorkUniform(m, 4, 512, 8)
+                     .arithmeticIntensity();
+    double ai128 = attentionWorkUniform(m, 128, 512, 8)
+                       .arithmeticIntensity();
+    EXPECT_NEAR(ai4, ai128, ai4 * 0.01);
+}
+
+TEST(KernelSpec, AttentionIntensityGrowsSlowlyWithTlp)
+{
+    ModelConfig m = opt30b();
+    double ai2 = attentionWorkUniform(m, 32, 512, 2)
+                     .arithmeticIntensity();
+    double ai8 = attentionWorkUniform(m, 32, 512, 8)
+                     .arithmeticIntensity();
+    EXPECT_GT(ai8, ai2);
+    EXPECT_LT(ai8, ai2 * 4.0); // sub-linear growth
+}
+
+TEST(KernelSpec, FcIntensityApproachesTokenCount)
+{
+    // Eq. 2: AI ~= RLP x TLP for large h.
+    for (std::uint32_t rlp : {4u, 16u, 64u}) {
+        for (std::uint32_t tlp : {2u, 8u}) {
+            double exact =
+                fcArithmeticIntensityExact(12288, rlp, tlp);
+            double est = fcArithmeticIntensityEstimate(rlp, tlp);
+            double tokens = static_cast<double>(rlp) * tlp;
+            EXPECT_NEAR(exact, tokens / (1.0 + 2.0 * tokens / 12288),
+                        1e-6);
+            EXPECT_LE(exact, est); // estimate is an upper bound
+            if (tokens <= 128)
+                EXPECT_NEAR(est / exact, 1.0, 0.03);
+        }
+    }
+}
+
+TEST(KernelSpec, PaperFig2OperatingPoints)
+{
+    // Paper Section 3.3: with batch 4 and speculation 8, FC AI is
+    // 31.7 FLOPs/byte and attention AI is 7.0 FLOPs/byte.
+    ModelConfig m = opt30b();
+    double fc_ai = fcTotalWork(m, 4 * 8).arithmeticIntensity();
+    EXPECT_NEAR(fc_ai, 31.7, 2.0);
+    double attn_ai = attentionWorkUniform(m, 4, 512, 8)
+                         .arithmeticIntensity();
+    EXPECT_NEAR(attn_ai, 7.0, 1.0);
+}
+
+TEST(KernelSpec, ZeroTokensIsFatal)
+{
+    ModelConfig m = opt30b();
+    EXPECT_THROW(fcTotalWork(m, 0), FatalError);
+    EXPECT_THROW(attentionWorkUniform(m, 4, 128, 0), FatalError);
+}
+
+TEST(Request, AdvanceClipsAtEos)
+{
+    Request r{0, 16, 10, 0};
+    EXPECT_EQ(r.advance(4), 4u);
+    EXPECT_EQ(r.advance(4), 4u);
+    EXPECT_EQ(r.advance(4), 2u); // clipped at output length
+    EXPECT_TRUE(r.finished());
+    EXPECT_EQ(r.contextLen(), 26u);
+}
+
+TEST(Batch, RlpDecaysAsRequestsFinish)
+{
+    ModelConfig m = opt30b();
+    std::vector<Request> reqs;
+    for (std::uint32_t i = 0; i < 4; ++i)
+        reqs.push_back(Request{i, 8, (i + 1) * 3, 0});
+    Batch batch(reqs, m);
+    EXPECT_EQ(batch.liveRlp(), 4u);
+
+    std::vector<std::uint32_t> rlp_history;
+    while (!batch.done()) {
+        DecodeStep s = batch.step(3);
+        rlp_history.push_back(s.rlpAfter);
+    }
+    // One request finishes every iteration (outputs 3,6,9,12).
+    EXPECT_EQ(rlp_history,
+              (std::vector<std::uint32_t>{3, 2, 1, 0}));
+    EXPECT_EQ(batch.iterations(), 4u);
+    EXPECT_EQ(batch.tokensGenerated(), 3u + 6 + 9 + 12);
+}
+
+TEST(Batch, EosCountMatchesRlpDrop)
+{
+    ModelConfig m = opt30b();
+    std::vector<Request> reqs;
+    for (std::uint32_t i = 0; i < 8; ++i)
+        reqs.push_back(Request{i, 8, 5, 0});
+    Batch batch(reqs, m);
+    DecodeStep s1 = batch.step(4);
+    EXPECT_EQ(s1.eosCount, 0u);
+    DecodeStep s2 = batch.step(4);
+    EXPECT_EQ(s2.eosCount, 8u);
+    EXPECT_TRUE(batch.done());
+}
+
+TEST(Batch, KvCacheTracksLiveContexts)
+{
+    ModelConfig m = opt30b();
+    std::vector<Request> reqs{{0, 10, 4, 0}, {1, 20, 8, 0}};
+    Batch batch(reqs, m);
+    EXPECT_EQ(batch.kvCacheBytes(),
+              (10 + 20) * m.kvBytesPerToken());
+    batch.step(4); // request 0 finishes
+    EXPECT_EQ(batch.liveRlp(), 1u);
+    EXPECT_EQ(batch.kvCacheBytes(), 24 * m.kvBytesPerToken());
+    EXPECT_EQ(batch.peakKvCacheBytes(),
+              (14 + 28) * m.kvBytesPerToken());
+}
+
+TEST(Batch, InvalidConstructionIsFatal)
+{
+    ModelConfig m = opt30b();
+    EXPECT_THROW(Batch({}, m), FatalError);
+    std::vector<Request> bad{{0, 8, 0, 0}};
+    EXPECT_THROW(Batch(bad, m), FatalError);
+}
+
+TEST(Speculative, FullAcceptanceConsumesWholeRun)
+{
+    SpeculativeConfig spec;
+    spec.length = 4;
+    papi::sim::Rng rng(1);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(spec.sampleAccepted(rng), 4u);
+}
+
+TEST(Speculative, PartialAcceptanceBounded)
+{
+    SpeculativeConfig spec;
+    spec.length = 8;
+    spec.acceptanceRate = 0.7;
+    papi::sim::Rng rng(2);
+    double sum = 0.0;
+    for (int i = 0; i < 5000; ++i) {
+        std::uint32_t a = spec.sampleAccepted(rng);
+        EXPECT_GE(a, 1u);
+        EXPECT_LE(a, 8u);
+        sum += a;
+    }
+    double mean = sum / 5000.0;
+    EXPECT_GT(mean, 2.0);
+    EXPECT_LT(mean, 4.0); // 1 + sum_{k=1..7} 0.7^k ~= 3.2
+}
+
+TEST(Speculative, InvalidConfigIsFatal)
+{
+    papi::sim::Rng rng(1);
+    SpeculativeConfig bad;
+    bad.length = 0;
+    EXPECT_THROW(bad.sampleAccepted(rng), FatalError);
+    bad.length = 2;
+    bad.acceptanceRate = 0.0;
+    EXPECT_THROW(bad.sampleAccepted(rng), FatalError);
+}
+
+TEST(Trace, DeterministicForFixedSeed)
+{
+    TraceGenerator a(TraceCategory::CreativeWriting, 7);
+    TraceGenerator b(TraceCategory::CreativeWriting, 7);
+    auto ra = a.generate(64);
+    auto rb = b.generate(64);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+        EXPECT_EQ(ra[i].inputLen, rb[i].inputLen);
+        EXPECT_EQ(ra[i].outputLen, rb[i].outputLen);
+    }
+}
+
+TEST(Trace, CreativeWritingHasLongerOutputsThanQa)
+{
+    TraceGenerator cw(TraceCategory::CreativeWriting, 11);
+    TraceGenerator qa(TraceCategory::GeneralQa, 11);
+    auto sum_out = [](const std::vector<Request> &rs) {
+        return std::accumulate(rs.begin(), rs.end(), 0.0,
+                               [](double acc, const Request &r) {
+                                   return acc + r.outputLen;
+                               });
+    };
+    auto r_cw = cw.generate(256);
+    auto r_qa = qa.generate(256);
+    EXPECT_GT(sum_out(r_cw), 2.5 * sum_out(r_qa));
+}
+
+TEST(Trace, LengthsWithinBounds)
+{
+    TraceGenerator gen(TraceCategory::CreativeWriting, 3);
+    for (const auto &r : gen.generate(500)) {
+        EXPECT_GE(r.inputLen, gen.params().minLen);
+        EXPECT_LE(r.inputLen, gen.params().maxLen);
+        EXPECT_GE(r.outputLen, gen.params().minLen);
+        EXPECT_LE(r.outputLen, gen.params().maxLen);
+    }
+}
+
+TEST(Trace, UniformGeneratorPinsLengths)
+{
+    TraceGenerator gen(TraceCategory::Uniform, 1);
+    auto rs = gen.generateUniform(16, 128, 256);
+    ASSERT_EQ(rs.size(), 16u);
+    for (const auto &r : rs) {
+        EXPECT_EQ(r.inputLen, 128u);
+        EXPECT_EQ(r.outputLen, 256u);
+    }
+    EXPECT_THROW(gen.generateUniform(4, 0, 8), FatalError);
+}
+
+TEST(Trace, IdsAreUnique)
+{
+    TraceGenerator gen(TraceCategory::GeneralQa, 5);
+    auto r1 = gen.generate(8);
+    auto r2 = gen.generate(8);
+    EXPECT_EQ(r2.front().id, r1.back().id + 1);
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the Section 6.4 tensor-to-PIM mapping: shards must tile
+ * the matrix exactly, stay balanced, and orient K^T and V as the
+ * paper specifies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pim/mapping.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace papi::pim;
+using papi::sim::FatalError;
+
+class MappingTest : public ::testing::Test
+{
+  protected:
+    MappingTest() : planner(attnPimConfig()) {}
+
+    /** Every matrix element appears in exactly one shard. */
+    static void
+    assertExactTiling(const DeviceMapping &m)
+    {
+        ASSERT_EQ(m.totalElements(), m.rows * m.cols);
+        // Spot-check coverage on a grid of sample points.
+        for (std::uint64_t r = 0; r < m.rows;
+             r += std::max<std::uint64_t>(1, m.rows / 7)) {
+            for (std::uint64_t c = 0; c < m.cols;
+                 c += std::max<std::uint64_t>(1, m.cols / 7)) {
+                int owners = 0;
+                for (const auto &s : m.shards) {
+                    if (r >= s.rowBegin && r < s.rowEnd &&
+                        c >= s.colBegin && c < s.colEnd)
+                        ++owners;
+                }
+                ASSERT_EQ(owners, 1)
+                    << "element (" << r << "," << c << ")";
+            }
+        }
+    }
+
+    MappingPlanner planner;
+};
+
+TEST_F(MappingTest, HeadsRoundRobinAcrossDevices)
+{
+    HeadPlacement p = planner.placeHeads(64, 60);
+    EXPECT_EQ(p.deviceOfHead.size(), 64u);
+    EXPECT_EQ(p.maxHeadsPerDevice(), 2u); // 64 over 60
+    HeadPlacement even = planner.placeHeads(60, 60);
+    EXPECT_EQ(even.maxHeadsPerDevice(), 1u);
+    EXPECT_THROW(planner.placeHeads(0, 60), FatalError);
+    EXPECT_THROW(planner.placeHeads(8, 0), FatalError);
+}
+
+TEST_F(MappingTest, KTransposeTilesExactly)
+{
+    DeviceMapping m = planner.mapKTranspose(128, 2048);
+    EXPECT_EQ(m.shards.size(),
+              attnPimConfig().totalBanks());
+    assertExactTiling(m);
+}
+
+TEST_F(MappingTest, VTilesExactly)
+{
+    DeviceMapping m = planner.mapV(2048, 128);
+    assertExactTiling(m);
+}
+
+TEST_F(MappingTest, WeightsTileExactly)
+{
+    DeviceMapping m = planner.mapWeights(8192, 8192);
+    assertExactTiling(m);
+    // Balanced to within one row/column of the mean.
+    double mean = static_cast<double>(m.totalElements()) /
+                  static_cast<double>(m.shards.size());
+    EXPECT_LT(static_cast<double>(m.maxShardElements()),
+              mean * 1.2);
+}
+
+TEST_F(MappingTest, KtAndVOrientationsAreConjugate)
+{
+    // Paper Section 6.4: K^T splits the sequence across channels and
+    // the head dim across banks; V does the converse. The sequence
+    // dimension must therefore vary across channels for K^T but
+    // across banks for V.
+    DeviceMapping kt = planner.mapKTranspose(128, 2048);
+    DeviceMapping v = planner.mapV(2048, 128);
+    EXPECT_EQ(kt.channelAxis, PartitionAxis::ColumnWise);
+    EXPECT_EQ(kt.bankAxis, PartitionAxis::RowWise);
+    EXPECT_EQ(v.channelAxis, PartitionAxis::RowWise);
+    EXPECT_EQ(v.bankAxis, PartitionAxis::ColumnWise);
+
+    // For K^T: two shards in the same channel/group but different
+    // banks share their column (sequence) range.
+    const auto &a = kt.shards[0];
+    const auto &b = kt.shards[1];
+    ASSERT_EQ(a.pseudoChannel, b.pseudoChannel);
+    ASSERT_EQ(a.bankGroup, b.bankGroup);
+    EXPECT_EQ(a.colBegin, b.colBegin);
+    EXPECT_NE(a.rowBegin, b.rowBegin);
+
+    // For V the same pair differs in columns (head dim) instead.
+    const auto &c = v.shards[0];
+    const auto &d = v.shards[1];
+    EXPECT_EQ(c.rowBegin, d.rowBegin);
+    EXPECT_NE(c.colBegin, d.colBegin);
+}
+
+TEST_F(MappingTest, SkinnyMatricesStillTile)
+{
+    // head_dim (128) smaller than the bank count per group split is
+    // fine; some shards may be empty but the tiling stays exact.
+    DeviceMapping m = planner.mapKTranspose(2, 17);
+    assertExactTiling(m);
+    EXPECT_THROW(planner.mapKTranspose(0, 8), FatalError);
+}
+
+TEST_F(MappingTest, ShardBytesAgreeWithDataLayoutScale)
+{
+    // The busiest bank's share of a big weight block matches the
+    // DataLayout mean within the one-row imbalance bound.
+    PimConfig cfg = fcPimConfig();
+    MappingPlanner fc_planner(cfg);
+    const std::uint64_t rows = 12288, cols = 12288;
+    DeviceMapping m = fc_planner.mapWeights(rows, cols);
+    double mean = static_cast<double>(rows * cols) /
+                  static_cast<double>(cfg.totalBanks());
+    EXPECT_NEAR(static_cast<double>(m.maxShardElements()), mean,
+                mean * 0.05);
+}
+
+} // namespace

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the configuration store and deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/config.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace papi::sim;
+
+TEST(Config, SetAndGetAllTypes)
+{
+    Config c;
+    c.set("s", std::string("hello"));
+    c.set("d", 2.5);
+    c.set("i", std::int64_t{-42});
+    c.set("b", true);
+    EXPECT_EQ(c.getString("s"), "hello");
+    EXPECT_DOUBLE_EQ(c.getDouble("d"), 2.5);
+    EXPECT_EQ(c.getInt("i"), -42);
+    EXPECT_TRUE(c.getBool("b"));
+}
+
+TEST(Config, MissingKeyIsFatal)
+{
+    Config c;
+    EXPECT_THROW(c.getString("missing"), FatalError);
+    EXPECT_THROW(c.getDouble("missing"), FatalError);
+    EXPECT_THROW(c.getInt("missing"), FatalError);
+    EXPECT_THROW(c.getBool("missing"), FatalError);
+}
+
+TEST(Config, DefaultsReturnedWhenAbsent)
+{
+    Config c;
+    EXPECT_EQ(c.getString("k", "def"), "def");
+    EXPECT_DOUBLE_EQ(c.getDouble("k", 1.5), 1.5);
+    EXPECT_EQ(c.getInt("k", 7), 7);
+    EXPECT_FALSE(c.getBool("k", false));
+}
+
+TEST(Config, TypeMismatchIsFatal)
+{
+    Config c;
+    c.set("x", std::string("not-a-number"));
+    EXPECT_THROW(c.getDouble("x"), FatalError);
+    EXPECT_THROW(c.getInt("x"), FatalError);
+    EXPECT_THROW(c.getBool("x"), FatalError);
+}
+
+TEST(Config, TrailingGarbageIsFatal)
+{
+    Config c;
+    c.set("x", std::string("12abc"));
+    EXPECT_THROW(c.getInt("x"), FatalError);
+}
+
+TEST(Config, ParseAssignment)
+{
+    Config c;
+    c.parseAssignment("gpu.peak_tflops=312");
+    EXPECT_EQ(c.getInt("gpu.peak_tflops"), 312);
+    EXPECT_THROW(c.parseAssignment("no-equals"), FatalError);
+    EXPECT_THROW(c.parseAssignment("=value"), FatalError);
+}
+
+TEST(Config, MergePrefersOther)
+{
+    Config a;
+    a.set("x", std::int64_t{1});
+    a.set("y", std::int64_t{2});
+    Config b;
+    b.set("y", std::int64_t{20});
+    b.set("z", std::int64_t{30});
+    a.merge(b);
+    EXPECT_EQ(a.getInt("x"), 1);
+    EXPECT_EQ(a.getInt("y"), 20);
+    EXPECT_EQ(a.getInt("z"), 30);
+    EXPECT_EQ(a.keys().size(), 3u);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1000), b.uniformInt(0, 1000));
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.uniformInt(0, 1u << 30) == b.uniformInt(0, 1u << 30);
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.uniformInt(5, 9);
+        EXPECT_GE(v, 5);
+        EXPECT_LE(v, 9);
+    }
+    EXPECT_THROW(r.uniformInt(10, 5), FatalError);
+}
+
+TEST(Rng, BernoulliEdgeProbabilities)
+{
+    Rng r(7);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(r.bernoulli(0.0));
+        EXPECT_TRUE(r.bernoulli(1.0));
+    }
+    EXPECT_THROW(r.bernoulli(-0.1), FatalError);
+    EXPECT_THROW(r.bernoulli(1.1), FatalError);
+}
+
+TEST(Rng, LogNormalMatchesTargetMoments)
+{
+    Rng r(99);
+    const double mean = 200.0, stddev = 120.0;
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double v = r.logNormalByMoments(mean, stddev);
+        EXPECT_GT(v, 0.0);
+        sum += v;
+        sum_sq += v * v;
+    }
+    double m = sum / n;
+    double s = std::sqrt(sum_sq / n - m * m);
+    EXPECT_NEAR(m, mean, mean * 0.02);
+    EXPECT_NEAR(s, stddev, stddev * 0.05);
+}
+
+TEST(Rng, LogNormalZeroStddevIsDeterministic)
+{
+    Rng r(1);
+    EXPECT_DOUBLE_EQ(r.logNormalByMoments(100.0, 0.0), 100.0);
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect)
+{
+    Rng r(5);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(50.0);
+    EXPECT_NEAR(sum / n, 50.0, 1.5);
+}
+
+TEST(Rng, InvalidParametersAreFatal)
+{
+    Rng r(1);
+    EXPECT_THROW(r.logNormalByMoments(-1.0, 1.0), FatalError);
+    EXPECT_THROW(r.exponential(0.0), FatalError);
+    EXPECT_THROW(r.geometric(0.0), FatalError);
+}
+
+} // namespace

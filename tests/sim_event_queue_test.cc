@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clocked.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace papi::sim;
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.executed(), 0u);
+}
+
+TEST(EventQueue, ExecutesEventAtScheduledTick)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(100, [&] { seen = eq.now(); });
+    eq.run();
+    EXPECT_EQ(seen, 100u);
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(300, [&] { order.push_back(3); });
+    eq.schedule(100, [&] { order.push_back(1); });
+    eq.schedule(200, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenInsertion)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(50, [&] { order.push_back(1); }, defaultPriority);
+    eq.schedule(50, [&] { order.push_back(2); }, defaultPriority);
+    eq.schedule(50, [&] { order.push_back(0); }, -5);
+    eq.schedule(50, [&] { order.push_back(3); }, statsPriority);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(50, [] {}), PanicError);
+}
+
+TEST(EventQueue, NullEventPanics)
+{
+    EventQueue eq;
+    EXPECT_THROW(eq.schedule(10, std::function<void()>{}), PanicError);
+}
+
+TEST(EventQueue, ReentrantScheduling)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            eq.scheduleAfter(10, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, HorizonStopsExecution)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&] { ++count; });
+    eq.schedule(20, [&] { ++count; });
+    eq.schedule(30, [&] { ++count; });
+    eq.run(20);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&] { ++count; });
+    eq.schedule(20, [&] { ++count; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, ClearDropsPendingEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&] { ++count; });
+    eq.clear();
+    eq.run();
+    EXPECT_EQ(count, 0);
+}
+
+TEST(EventQueue, ExecutedCounterAdvances)
+{
+    EventQueue eq;
+    for (Tick t = 1; t <= 7; ++t)
+        eq.schedule(t, [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 7u);
+}
+
+TEST(Clocked, PeriodConversionRoundTrip)
+{
+    Clocked c(periodFromMhz(666.0));
+    EXPECT_EQ(c.clockPeriod(), 1502u); // 1/666 MHz in ps, rounded
+    EXPECT_EQ(c.cyclesToTicks(10), 15020u);
+    EXPECT_EQ(c.ticksToCycles(15020), 10u);
+    EXPECT_EQ(c.ticksToCycles(15021), 11u); // rounds up
+}
+
+TEST(Clocked, NextCycleEdge)
+{
+    Clocked c(1000);
+    EXPECT_EQ(c.nextCycleEdge(0), 0u);
+    EXPECT_EQ(c.nextCycleEdge(1), 1000u);
+    EXPECT_EQ(c.nextCycleEdge(1000), 1000u);
+    EXPECT_EQ(c.nextCycleEdge(1001), 2000u);
+}
+
+TEST(Clocked, ZeroPeriodIsFatal)
+{
+    EXPECT_THROW(Clocked c(0), FatalError);
+}
+
+TEST(Clocked, FrequencyHz)
+{
+    Clocked c(oneNs); // 1 ns period = 1 GHz
+    EXPECT_NEAR(c.frequencyHz(), 1e9, 1e3);
+}
+
+} // namespace

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the logging/error-reporting facilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace papi::sim;
+
+TEST(Logging, PanicCarriesMessage)
+{
+    try {
+        panic("bad thing ", 42, " happened");
+        FAIL() << "panic returned";
+    } catch (const PanicError &e) {
+        EXPECT_EQ(std::string(e.what()),
+                  "panic: bad thing 42 happened");
+    }
+}
+
+TEST(Logging, FatalCarriesMessage)
+{
+    try {
+        fatal("user error: ", 3.5);
+        FAIL() << "fatal returned";
+    } catch (const FatalError &e) {
+        EXPECT_EQ(std::string(e.what()), "fatal: user error: 3.5");
+    }
+}
+
+TEST(Logging, PanicAndFatalAreDistinctTypes)
+{
+    // panic() signals simulator bugs, fatal() user errors - tests
+    // and embedders must be able to tell them apart.
+    EXPECT_THROW(panic("x"), PanicError);
+    EXPECT_THROW(fatal("x"), FatalError);
+    bool caught_logic = false;
+    try {
+        panic("x");
+    } catch (const std::logic_error &) {
+        caught_logic = true;
+    }
+    EXPECT_TRUE(caught_logic);
+    bool caught_runtime = false;
+    try {
+        fatal("x");
+    } catch (const std::runtime_error &) {
+        caught_runtime = true;
+    }
+    EXPECT_TRUE(caught_runtime);
+}
+
+TEST(Logging, EnableDisableToggle)
+{
+    EXPECT_TRUE(logEnabled());
+    setLogEnabled(false);
+    EXPECT_FALSE(logEnabled());
+    // warn/inform must be safe (and silent) while disabled.
+    warn("suppressed warning ", 1);
+    inform("suppressed info ", 2);
+    setLogEnabled(true);
+    EXPECT_TRUE(logEnabled());
+}
+
+TEST(Logging, StreamedArgumentsConcatenate)
+{
+    try {
+        fatal("a=", 1, " b=", 2.5, " c=", "three");
+    } catch (const FatalError &e) {
+        EXPECT_EQ(std::string(e.what()),
+                  "fatal: a=1 b=2.5 c=three");
+    }
+}
+
+} // namespace

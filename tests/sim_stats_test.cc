@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace {
+
+using namespace papi::sim;
+using namespace papi::sim::stats;
+
+TEST(Scalar, AccumulatesAndResets)
+{
+    StatGroup g("g");
+    auto &s = g.addScalar("s", "a scalar");
+    s += 2.5;
+    s += 1.5;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 5.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Vector, BinsAccumulateIndependently)
+{
+    StatGroup g("g");
+    auto &v = g.addVector("v", "a vector", {"a", "b", "c"});
+    v.add(0, 1.0);
+    v.add(2, 3.0);
+    v.add(2, 2.0);
+    EXPECT_DOUBLE_EQ(v.value(0), 1.0);
+    EXPECT_DOUBLE_EQ(v.value(1), 0.0);
+    EXPECT_DOUBLE_EQ(v.value(2), 5.0);
+    EXPECT_DOUBLE_EQ(v.total(), 6.0);
+}
+
+TEST(Vector, OutOfRangeBinPanics)
+{
+    StatGroup g("g");
+    auto &v = g.addVector("v", "a vector", {"a"});
+    EXPECT_THROW(v.add(1, 1.0), PanicError);
+    EXPECT_THROW(v.value(3), PanicError);
+}
+
+TEST(Histogram, MeanAndStddev)
+{
+    StatGroup g("g");
+    auto &h = g.addHistogram("h", "a histogram", 0.0, 10.0, 10);
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        h.sample(v);
+    EXPECT_EQ(h.samples(), 8u);
+    EXPECT_NEAR(h.mean(), 5.0, 1e-12);
+    // Sample stddev of {2,4,4,4,5,5,7,9}.
+    EXPECT_NEAR(h.stddev(), 2.1380899, 1e-6);
+    EXPECT_DOUBLE_EQ(h.minSample(), 2.0);
+    EXPECT_DOUBLE_EQ(h.maxSample(), 9.0);
+}
+
+TEST(Histogram, BucketingAndOverflow)
+{
+    StatGroup g("g");
+    auto &h = g.addHistogram("h", "hist", 0.0, 10.0, 5);
+    h.sample(-1.0); // underflow
+    h.sample(0.0);  // bucket 0
+    h.sample(1.9);  // bucket 0
+    h.sample(2.0);  // bucket 1
+    h.sample(9.99); // bucket 4
+    h.sample(10.0); // overflow
+    h.sample(50.0); // overflow
+    EXPECT_EQ(h.underflows(), 1u);
+    EXPECT_EQ(h.overflows(), 2u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+}
+
+TEST(Histogram, BadConstructionIsFatal)
+{
+    StatGroup g("g");
+    EXPECT_THROW(g.addHistogram("h1", "bad", 0.0, 10.0, 0),
+                 FatalError);
+    EXPECT_THROW(g.addHistogram("h2", "bad", 5.0, 5.0, 4), FatalError);
+}
+
+TEST(Histogram, ResetClearsEverything)
+{
+    StatGroup g("g");
+    auto &h = g.addHistogram("h", "hist", 0.0, 1.0, 2);
+    h.sample(0.5);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.bucketCount(0), 0u);
+}
+
+TEST(Formula, EvaluatesLazily)
+{
+    StatGroup g("g");
+    auto &a = g.addScalar("a", "numerator");
+    auto &b = g.addScalar("b", "denominator");
+    auto &f = g.addFormula("ratio", "a/b", [&] {
+        return b.value() != 0.0 ? a.value() / b.value() : 0.0;
+    });
+    EXPECT_DOUBLE_EQ(f.value(), 0.0);
+    a += 6.0;
+    b += 3.0;
+    EXPECT_DOUBLE_EQ(f.value(), 2.0);
+}
+
+TEST(StatGroup, DuplicateNameIsFatal)
+{
+    StatGroup g("g");
+    g.addScalar("x", "first");
+    EXPECT_THROW(g.addScalar("x", "second"), FatalError);
+}
+
+TEST(StatGroup, FindLocatesStats)
+{
+    StatGroup g("g");
+    g.addScalar("x", "a stat");
+    EXPECT_NE(g.find("x"), nullptr);
+    EXPECT_EQ(g.find("y"), nullptr);
+}
+
+TEST(StatGroup, DumpContainsAllStats)
+{
+    StatGroup g("grp");
+    g.addScalar("alpha", "first stat") += 1.0;
+    g.addVector("beta", "second stat", {"x", "y"}).add(0, 2.0);
+    std::ostringstream os;
+    g.dump(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("grp"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("beta::x"), std::string::npos);
+    EXPECT_NE(text.find("beta::total"), std::string::npos);
+}
+
+TEST(StatGroup, ResetAllResetsEveryStat)
+{
+    StatGroup g("g");
+    auto &s = g.addScalar("s", "scalar");
+    auto &v = g.addVector("v", "vector", {"a"});
+    s += 5.0;
+    v.add(0, 5.0);
+    g.resetAll();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    EXPECT_DOUBLE_EQ(v.total(), 0.0);
+}
+
+} // namespace
