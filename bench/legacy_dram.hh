@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Bench-only reconstruction of the pre-change DRAM service path, for
+ * the microbench's end-to-end A/B: the original MemController event
+ * loop (one command per service event, "retry at now+1" polling, and
+ * completion closures that capture the whole Pending record through
+ * std::function) running on the original binary-heap event queue
+ * (sim::LegacyEventQueue).
+ *
+ * The channel/bank substrate is the current (flattened) one, so this
+ * reconstruction is if anything *faster* than the true pre-change
+ * code - the measured speedup of the production path is conservative.
+ */
+
+#ifndef PAPI_BENCH_LEGACY_DRAM_HH
+#define PAPI_BENCH_LEGACY_DRAM_HH
+
+#include <algorithm>
+#include <list>
+
+#include "dram/address.hh"
+#include "dram/controller.hh" // for dram::SchedulingPolicy
+#include "dram/pseudo_channel.hh"
+#include "dram/request.hh"
+#include "sim/event_queue.hh"
+
+namespace papi::bench {
+
+/** Pre-change controller loop on the pre-change event queue. */
+class LegacyMemController
+{
+  public:
+    LegacyMemController(sim::LegacyEventQueue &eq,
+                        const dram::DramSpec &spec,
+                        std::size_t queue_depth = 64,
+                        dram::SchedulingPolicy policy =
+                            dram::SchedulingPolicy::FrFcfs)
+        : _eq(eq), _spec(spec), _channel(spec),
+          _mapping(spec.org, dram::MappingPolicy::RoCoBaBg),
+          _queueDepth(queue_depth), _policy(policy)
+    {}
+
+    bool
+    enqueue(dram::MemRequest req)
+    {
+        if (_queueDepth != 0 && _queue.size() >= _queueDepth)
+            return false;
+        req.arrival = _eq.now();
+        Pending p;
+        p.coord = _mapping.decompose(req.addr);
+        p.req = std::move(req);
+        _queue.push_back(std::move(p));
+        scheduleService(_eq.now());
+        return true;
+    }
+
+    std::uint64_t completed() const { return _completed; }
+
+  private:
+    struct Pending
+    {
+        dram::MemRequest req;
+        dram::Coord coord;
+        bool causedActivate = false;
+    };
+
+    void
+    scheduleService(sim::Tick when)
+    {
+        if (_servicePending && _servicePendingAt <= when)
+            return;
+        _servicePending = true;
+        _servicePendingAt = when;
+        _eq.schedule(when, [this] {
+            _servicePending = false;
+            service();
+        });
+    }
+
+    std::list<Pending>::iterator
+    pickNext()
+    {
+        if (_queue.empty())
+            return _queue.end();
+        if (_policy == dram::SchedulingPolicy::Fcfs)
+            return _queue.begin();
+        // FR-FCFS: oldest row hit wins, else oldest overall.
+        for (auto it = _queue.begin(); it != _queue.end(); ++it) {
+            const auto &b = _channel.bank(it->coord.bankGroup,
+                                          it->coord.bank);
+            if (b.openRow() && *b.openRow() == it->coord.row)
+                return it;
+        }
+        return _queue.begin();
+    }
+
+    void
+    service()
+    {
+        const sim::Tick now = _eq.now();
+
+        auto it = pickNext();
+        if (it == _queue.end())
+            return;
+
+        const dram::Coord &c = it->coord;
+        const auto &b = _channel.bank(c.bankGroup, c.bank);
+
+        dram::Command cmd;
+        cmd.coord = c;
+        if (b.openRow()) {
+            cmd.type = *b.openRow() == c.row
+                           ? (it->req.isWrite ? dram::CommandType::Wr
+                                              : dram::CommandType::Rd)
+                           : dram::CommandType::Pre;
+        } else {
+            cmd.type = dram::CommandType::Act;
+        }
+
+        sim::Tick earliest = _channel.earliestIssue(cmd, now);
+        if (earliest > now) {
+            scheduleService(earliest);
+            return;
+        }
+
+        sim::Tick done = _channel.issue(cmd, now);
+
+        if (cmd.type == dram::CommandType::Rd ||
+            cmd.type == dram::CommandType::Wr) {
+            Pending finished = std::move(*it);
+            _queue.erase(it);
+            _eq.schedule(done, [this, finished = std::move(finished),
+                                done]() mutable {
+                ++_completed;
+                _lastCompletion = std::max(_lastCompletion, done);
+                if (finished.req.onComplete)
+                    finished.req.onComplete(done);
+            });
+        } else if (cmd.type == dram::CommandType::Act) {
+            it->causedActivate = true;
+        }
+
+        // Pre-change behavior: poll again on the very next tick.
+        if (!_queue.empty())
+            scheduleService(now + 1);
+    }
+
+    sim::LegacyEventQueue &_eq;
+    dram::DramSpec _spec;
+    dram::PseudoChannel _channel;
+    dram::AddressMapping _mapping;
+    std::list<Pending> _queue;
+    std::size_t _queueDepth;
+    dram::SchedulingPolicy _policy;
+    std::uint64_t _completed = 0;
+    bool _servicePending = false;
+    sim::Tick _servicePendingAt = 0;
+    sim::Tick _lastCompletion = 0;
+};
+
+} // namespace papi::bench
+
+#endif // PAPI_BENCH_LEGACY_DRAM_HH

@@ -1,93 +1,663 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the simulator itself: event
- * queue throughput, DRAM command replay, GEMV engine, and a full
- * decode iteration. These guard the simulator's own performance so
- * the figure benches stay fast.
+ * Perf harness for the simulator itself.
+ *
+ * Measures the hot paths that bound every figure run - event queue
+ * throughput, DRAM command replay, and full decode/serving iterations
+ * - and emits one machine-readable JSON document (schema below) so CI
+ * can archive per-commit trajectories (BENCH_*.json).
+ *
+ * The event-queue section measures the production calendar queue
+ * (sim::EventQueue) and the original binary-heap implementation
+ * (sim::LegacyEventQueue) in the same process and reports the
+ * speedup, so a regression in the allocation-free path is visible
+ * without checking out an old revision.
+ *
+ * Usage:
+ *   microbench_simulator [--quick] [--legacy-queue] [--out FILE]
+ *
+ *   --quick         smaller problem sizes (CI smoke mode)
+ *   --legacy-queue  event-queue section runs only the legacy heap
+ *                   (for A/B against older checkouts)
+ *   --out FILE      also write the JSON document to FILE
+ *
+ * JSON schema (papi-microbench/1):
+ *   {
+ *     "schema": "papi-microbench/1",
+ *     "quick": bool,
+ *     "event_queue": {
+ *       "events_per_pattern": N,
+ *       "patterns": {
+ *         "<replay|controller|devices>": {
+ *           "new_events_per_sec": x,    // absent with --legacy-queue
+ *           "legacy_events_per_sec": x,
+ *           "speedup": x                // new / legacy
+ *         }, ...
+ *       },
+ *       "speedup_geomean": x
+ *     },
+ *     "dram": {
+ *       "<stream|pump>": {              // two workload shapes
+ *         "requests": n,
+ *         "new":    { "wall_seconds": s, "events": n,
+ *                     "events_per_sec": x, "requests_per_sec": x },
+ *         "legacy": { ... same fields ... },
+ *         "speedup": x                  // new/legacy requests_per_sec
+ *       }
+ *     },
+ *     "decode": { "simulated_tokens": n, "iterations": n,
+ *                 "wall_seconds": s, "tokens_per_sec": x },
+ *     "serving": { "simulated_tokens": n, "iterations": n,
+ *                  "wall_seconds": s, "tokens_per_sec": x },
+ *     "figure_cell": { "cells": n, "wall_seconds": s },
+ *     "summary": {                      // absent with --legacy-queue
+ *       "event_queue_speedup_geomean": x,
+ *       "dram_stream_speedup": x,
+ *       "dram_pump_speedup": x,
+ *       "overall_speedup_geomean": x    // all five speedups
+ *     }
+ *   }
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench/legacy_dram.hh"
 #include "core/decode_engine.hh"
 #include "core/platform.hh"
+#include "core/serving_engine.hh"
+#include "core/threshold_calibrator.hh"
 #include "dram/controller.hh"
 #include "llm/trace.hh"
-#include "pim/gemv_engine.hh"
 #include "sim/event_queue.hh"
+#include "sim/rng.hh"
 
 using namespace papi;
+using Clock = std::chrono::steady_clock;
 
 namespace {
 
-void
-BM_EventQueueScheduleRun(benchmark::State &state)
+double
+secondsSince(Clock::time_point start)
 {
-    const auto n = static_cast<std::uint64_t>(state.range(0));
-    for (auto _ : state) {
-        sim::EventQueue eq;
-        for (std::uint64_t i = 0; i < n; ++i)
-            eq.schedule(i * 10, [] {});
-        eq.run();
-        benchmark::DoNotOptimize(eq.executed());
-    }
-    state.SetItemsProcessed(static_cast<std::int64_t>(n) *
-                            state.iterations());
+    return std::chrono::duration<double>(Clock::now() - start).count();
 }
-BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
 
-void
-BM_DramControllerStreaming(benchmark::State &state)
+/**
+ * Event payload representative of device events: a few words of
+ * captured state (32 bytes) and a touch of an accumulator. Well
+ * inside EventCallback's inline buffer; past std::function's.
+ */
+struct Payload
 {
-    const int n = static_cast<int>(state.range(0));
-    for (auto _ : state) {
-        sim::EventQueue eq;
-        dram::MemController ctrl(eq, dram::hbm3Spec());
-        ctrl.setRefreshEnabled(false);
-        for (int i = 0; i < n; ++i) {
+    std::uint64_t *acc;
+    std::uint64_t a;
+    std::uint64_t b;
+    std::uint64_t c;
+};
+
+/**
+ * Command-replay pattern (GemvEngine-style): phases that schedule a
+ * burst of closely spaced commands from the current time and drain
+ * them before the next burst.
+ */
+template <typename Queue>
+double
+runReplay(std::uint64_t n)
+{
+    constexpr std::uint64_t phases = 16;
+    const std::uint64_t per_phase = n / phases;
+    std::uint64_t acc = 0;
+    auto start = Clock::now();
+    Queue q;
+    for (std::uint64_t ph = 0; ph < phases; ++ph) {
+        const sim::Tick base = q.now();
+        for (std::uint64_t i = 0; i < per_phase; ++i) {
+            Payload p{&acc, i, i ^ 0x9e3779b9, i * 3};
+            q.schedule(base + i * 8,
+                       [p] { *p.acc += p.a + p.b + p.c; });
+        }
+        q.run();
+    }
+    double wall = secondsSince(start);
+    if (q.executed() != phases * per_phase || acc == 0)
+        std::fprintf(stderr, "replay: bad drain\n");
+    return static_cast<double>(phases * per_phase) / wall;
+}
+
+/**
+ * Controller pattern: a fixed population of in-flight requests, each
+ * completion scheduling a successor at a random bounded offset (the
+ * same precomputed offset stream for both implementations). Like the
+ * production MemController, every completion event carries the
+ * request's user callback - a std::function - in its capture, which
+ * is exactly the event shape that dominates DRAM-heavy runs.
+ */
+template <typename Queue>
+struct ControllerDriver
+{
+    Queue *q;
+    const sim::Tick *offsets;
+    std::uint64_t next = 0;
+    std::uint64_t total = 0;
+    std::uint64_t acc = 0;
+
+    void
+    fire(sim::Tick arrival,
+         const std::function<void(sim::Tick)> &on_complete)
+    {
+        on_complete(q->now() - arrival);
+        if (next < total) {
+            sim::Tick off = offsets[next++];
+            ControllerDriver *d = this;
+            std::uint64_t *acc_p = &acc;
+            std::function<void(sim::Tick)> cb =
+                [acc_p](sim::Tick lat) { *acc_p += lat; };
+            q->scheduleAfter(
+                off, [d, arrival = q->now(),
+                      cb = std::move(cb)] { d->fire(arrival, cb); });
+        }
+    }
+};
+
+template <typename Queue>
+double
+runController(std::uint64_t n)
+{
+    // In-flight population sized to the modeled platform: 90 HBM
+    // devices x 16 pseudo-channel controllers keeping requests in flight.
+    constexpr std::uint64_t inflight = 1024;
+    sim::Rng rng(12345);
+    std::vector<sim::Tick> offsets(n);
+    for (auto &t : offsets)
+        t = static_cast<sim::Tick>(rng.uniformInt(64, 1 << 15));
+
+    auto start = Clock::now();
+    Queue q;
+    ControllerDriver<Queue> d{&q, offsets.data()};
+    d.total = n > inflight ? n - inflight : 0;
+    std::uint64_t *acc_p = &d.acc;
+    std::function<void(sim::Tick)> cb = [acc_p](sim::Tick lat) {
+        *acc_p += lat;
+    };
+    for (std::uint64_t i = 0; i < inflight && i < n; ++i) {
+        ControllerDriver<Queue> *dp = &d;
+        q.schedule(i, [dp, i, cb] { dp->fire(i, cb); });
+    }
+    q.run();
+    double wall = secondsSince(start);
+    if (q.executed() != n)
+        std::fprintf(stderr, "controller: bad drain\n");
+    return static_cast<double>(n) / wall;
+}
+
+/**
+ * Device pattern: 1024 clocked devices (the platform models 90 HBM
+ * stacks x 16 pseudo-channel sequencers) each re-scheduling
+ * themselves at a device-specific period, the way engines drive the
+ * queue.
+ */
+template <typename Queue>
+struct DeviceChain
+{
+    Queue *q;
+    std::uint64_t left;
+    sim::Tick period;
+    std::uint64_t acc;
+
+    void
+    fire(std::uint64_t salt)
+    {
+        acc += period + salt;
+        if (--left > 0) {
+            DeviceChain *c = this;
+            Payload p{&acc, period, left, salt};
+            q->scheduleAfter(period, [c, p] { c->fire(p.c + 1); });
+        }
+    }
+};
+
+template <typename Queue>
+double
+runDevices(std::uint64_t n)
+{
+    constexpr std::uint64_t chains = 1024;
+    auto start = Clock::now();
+    Queue q;
+    std::vector<DeviceChain<Queue>> cs(chains);
+    for (std::uint64_t i = 0; i < chains; ++i) {
+        cs[i] = DeviceChain<Queue>{&q, n / chains, 100 + 37 * i, 0};
+        DeviceChain<Queue> *c = &cs[i];
+        q.schedule(i, [c] { c->fire(0); });
+    }
+    q.run();
+    double wall = secondsSince(start);
+    return static_cast<double>(q.executed()) / wall;
+}
+
+/** Results of one DRAM streaming run (new or legacy path). */
+struct DramResult
+{
+    double wall = 0.0;
+    std::uint64_t events = 0;
+    double eventsPerSec = 0.0;
+    double reqsPerSec = 0.0;
+};
+
+/**
+ * End-to-end DRAM comparison: the same request stream through the
+ * production path (calendar EventQueue + batched MemController) and
+ * through the reconstructed pre-change path (binary-heap queue +
+ * polling controller, bench::LegacyMemController). Same simulated
+ * work, so requests/sec compares the simulator implementations
+ * directly. Two workload shapes:
+ *
+ *  - "stream": the whole request list enqueued up front (FCFS,
+ *    unbounded queue), the shape kernel replays produce. Exercises
+ *    the per-command event path.
+ *  - "pump": a completion-driven client keeping the 64-deep FR-FCFS
+ *    queue full, the shape online serving produces. Exercises
+ *    service-event management (the pre-change implementation's
+ *    superseded-event pathology shows up here).
+ */
+void
+benchDram(std::uint64_t n, DramResult &stream_new,
+          DramResult &stream_legacy, DramResult &pump_new,
+          DramResult &pump_legacy)
+{
+    // The pump shape simulates far more events per request on the
+    // pre-change path, so it runs a smaller request count.
+    const std::uint64_t pump_n = n / 8;
+
+    auto finish = [](auto &eq, std::uint64_t done, std::uint64_t want,
+                     DramResult &out, Clock::time_point start,
+                     const char *label) {
+        out.wall = secondsSince(start);
+        if (done != want)
+            std::fprintf(stderr, "%s: bad drain (%llu)\n", label,
+                         static_cast<unsigned long long>(done));
+        out.events = eq.executed();
+        out.eventsPerSec =
+            static_cast<double>(eq.executed()) / out.wall;
+        out.reqsPerSec = static_cast<double>(want) / out.wall;
+    };
+
+    auto stream = [&](auto &ctrl, auto &eq, DramResult &out,
+                      const char *label) {
+        auto start = Clock::now();
+        std::uint64_t done = 0;
+        for (std::uint64_t i = 0; i < n; ++i) {
             dram::MemRequest r;
-            r.addr = static_cast<std::uint64_t>(i) * 32;
+            r.addr = i * 32;
+            r.isWrite = (i % 7 == 0);
+            r.onComplete = [&done](sim::Tick) { ++done; };
             ctrl.enqueue(std::move(r));
         }
         eq.run();
-        benchmark::DoNotOptimize(ctrl.completed());
-    }
-    state.SetItemsProcessed(static_cast<std::int64_t>(n) *
-                            state.iterations());
-}
-BENCHMARK(BM_DramControllerStreaming)->Arg(256)->Arg(2048);
+        finish(eq, done, n, out, start, label);
+    };
 
-void
-BM_GemvEngineExact(benchmark::State &state)
-{
-    pim::GemvEngine engine(pim::fcPimConfig());
-    const auto reuse = static_cast<std::uint32_t>(state.range(0));
-    // Attaching a trace recorder bypasses the memo cache, so this
-    // measures the real command-replay cost per kernel.
-    pim::CommandTrace trace;
-    engine.setTraceRecorder(&trace);
-    for (auto _ : state) {
-        trace.clear();
-        auto r = engine.run(16 * 1024, reuse);
-        benchmark::DoNotOptimize(r.ticks);
-    }
-    state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_GemvEngineExact)->Arg(1)->Arg(64);
+    auto pump = [&](auto &ctrl, auto &eq, DramResult &out,
+                    const char *label) {
+        auto start = Clock::now();
+        std::uint64_t next = 0;
+        std::uint64_t done = 0;
+        std::function<void()> refill = [&] {
+            while (next < pump_n) {
+                dram::MemRequest r;
+                r.addr = next * 32;
+                r.isWrite = (next % 7 == 0);
+                r.onComplete = [&](sim::Tick) {
+                    ++done;
+                    refill();
+                };
+                if (!ctrl.enqueue(std::move(r)))
+                    break;
+                ++next;
+            }
+        };
+        refill();
+        eq.run();
+        finish(eq, done, pump_n, out, start, label);
+    };
 
+    {
+        sim::EventQueue eq;
+        dram::MemController ctrl(eq, dram::hbm3Spec(),
+                                 dram::SchedulingPolicy::Fcfs,
+                                 dram::MappingPolicy::RoCoBaBg, 0);
+        ctrl.setRefreshEnabled(false);
+        stream(ctrl, eq, stream_new, "dram stream new");
+    }
+    {
+        sim::LegacyEventQueue eq;
+        bench::LegacyMemController ctrl(
+            eq, dram::hbm3Spec(), 0, dram::SchedulingPolicy::Fcfs);
+        stream(ctrl, eq, stream_legacy, "dram stream legacy");
+    }
+    {
+        sim::EventQueue eq;
+        dram::MemController ctrl(eq, dram::hbm3Spec(),
+                                 dram::SchedulingPolicy::FrFcfs,
+                                 dram::MappingPolicy::RoCoBaBg, 64);
+        ctrl.setRefreshEnabled(false);
+        pump(ctrl, eq, pump_new, "dram pump new");
+    }
+    {
+        sim::LegacyEventQueue eq;
+        bench::LegacyMemController ctrl(eq, dram::hbm3Spec(), 64);
+        pump(ctrl, eq, pump_legacy, "dram pump legacy");
+    }
+}
+
+/** Static-batch decode loop throughput in simulated tokens/sec. */
 void
-BM_DecodeIterationPapi(benchmark::State &state)
+benchDecode(std::uint32_t reps, std::uint64_t &tokens,
+            std::uint64_t &iters, double &wall)
 {
-    core::Platform papi(core::makePapiConfig());
+    core::Platform papi_sys(core::makePapiConfig());
     llm::ModelConfig model = llm::llama65b();
-    std::vector<std::uint32_t> ctx(16, 512);
-    for (auto _ : state) {
-        auto fc = papi.fcExec(model, 16, core::FcTarget::FcPim);
-        auto at = papi.attnExec(model, ctx, 1);
-        benchmark::DoNotOptimize(fc.seconds + at.seconds);
+    double alpha =
+        core::ThresholdCalibrator::calibrate(papi_sys, model).alpha;
+    core::DecodeEngine engine(papi_sys);
+    llm::SpeculativeConfig spec;
+    spec.length = 2;
+
+    tokens = 0;
+    iters = 0;
+    auto start = Clock::now();
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+        llm::TraceGenerator gen(llm::TraceCategory::CreativeWriting,
+                                42 + rep);
+        llm::Batch batch(gen.generate(64), model);
+        core::RunOptions opt;
+        opt.alpha = alpha;
+        opt.seed = rep + 1;
+        core::RunResult r = engine.run(batch, spec, model, opt);
+        tokens += r.tokensGenerated;
+        iters += r.iterations;
     }
+    wall = secondsSince(start);
 }
-BENCHMARK(BM_DecodeIterationPapi);
+
+/** Arrival-driven serving loop throughput in simulated tokens/sec. */
+void
+benchServing(std::uint32_t reps, std::uint64_t &tokens,
+             std::uint64_t &iters, double &wall)
+{
+    core::Platform papi_sys(core::makePapiConfig());
+    llm::ModelConfig model = llm::llama65b();
+    core::ServingEngine engine(papi_sys);
+    llm::SpeculativeConfig spec;
+    spec.length = 4;
+
+    tokens = 0;
+    iters = 0;
+    auto start = Clock::now();
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+        llm::TraceGenerator gen(llm::TraceCategory::GeneralQa,
+                                7 + rep);
+        auto reqs = gen.generate(96);
+        std::vector<llm::TimedRequest> stream;
+        stream.reserve(reqs.size());
+        double t = 0.0;
+        for (auto &r : reqs) {
+            llm::TimedRequest tr;
+            tr.request = r;
+            tr.arrivalSeconds = t;
+            t += 0.02;
+            stream.push_back(tr);
+        }
+        core::ServingOptions opt;
+        opt.maxRlp = 32;
+        opt.alpha = 24.0;
+        opt.seed = rep + 1;
+        core::ServingResult r =
+            engine.run(stream, spec, model, opt);
+        tokens += r.tokensGenerated;
+        iters += r.iterations;
+    }
+    wall = secondsSince(start);
+}
+
+/** Wall-clock of representative figure cells (fig08-style). */
+void
+benchFigureCells(std::uint32_t &cells, double &wall)
+{
+    core::Platform base(core::makeA100AttAccConfig());
+    core::Platform papi_sys(core::makePapiConfig());
+    core::DecodeEngine e_base(base), e_papi(papi_sys);
+    llm::ModelConfig model = llm::llama65b();
+    double alpha =
+        core::ThresholdCalibrator::calibrate(papi_sys, model).alpha;
+
+    cells = 0;
+    auto start = Clock::now();
+    for (std::uint32_t spec_len : {1u, 2u, 4u}) {
+        for (std::uint32_t batch_size : {4u, 16u, 64u}) {
+            llm::SpeculativeConfig spec;
+            spec.length = spec_len;
+            for (auto *engine : {&e_base, &e_papi}) {
+                llm::TraceGenerator gen(
+                    llm::TraceCategory::CreativeWriting, 42);
+                llm::Batch batch(gen.generate(batch_size), model);
+                core::RunOptions opt;
+                opt.alpha = alpha;
+                engine->run(batch, spec, model, opt);
+                ++cells;
+            }
+        }
+    }
+    wall = secondsSince(start);
+}
+
+struct PatternResult
+{
+    const char *name;
+    double newRate = 0.0;
+    double legacyRate = 0.0;
+};
+
+void
+writeJson(std::FILE *f, bool quick, bool legacy_only,
+          std::uint64_t eq_events,
+          const std::vector<PatternResult> &patterns,
+          double geomean, std::uint64_t dram_n,
+          const DramResult &stream_new,
+          const DramResult &stream_legacy, const DramResult &pump_new,
+          const DramResult &pump_legacy, std::uint64_t dec_tokens,
+          std::uint64_t dec_iters, double dec_wall,
+          std::uint64_t srv_tokens, std::uint64_t srv_iters,
+          double srv_wall, std::uint32_t fig_cells, double fig_wall)
+{
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": \"papi-microbench/1\",\n");
+    std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(f, "  \"event_queue\": {\n");
+    std::fprintf(f, "    \"events_per_pattern\": %llu,\n",
+                 static_cast<unsigned long long>(eq_events));
+    std::fprintf(f, "    \"patterns\": {\n");
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+        const auto &p = patterns[i];
+        std::fprintf(f, "      \"%s\": {", p.name);
+        if (!legacy_only) {
+            std::fprintf(f, "\"new_events_per_sec\": %.6e, ",
+                         p.newRate);
+        }
+        std::fprintf(f, "\"legacy_events_per_sec\": %.6e",
+                     p.legacyRate);
+        if (!legacy_only) {
+            std::fprintf(f, ", \"speedup\": %.3f",
+                         p.newRate / p.legacyRate);
+        }
+        std::fprintf(f, "}%s\n",
+                     i + 1 < patterns.size() ? "," : "");
+    }
+    std::fprintf(f, "    }%s\n", legacy_only ? "" : ",");
+    if (!legacy_only)
+        std::fprintf(f, "    \"speedup_geomean\": %.3f\n", geomean);
+    std::fprintf(f, "  },\n");
+    auto dram_shape = [f](const char *name, std::uint64_t reqs,
+                          const DramResult &nw, const DramResult &lg,
+                          const char *trailer) {
+        std::fprintf(
+            f,
+            "    \"%s\": {\"requests\": %llu,\n"
+            "      \"new\": {\"wall_seconds\": %.6f, \"events\": "
+            "%llu, \"events_per_sec\": %.6e, \"requests_per_sec\": "
+            "%.6e},\n"
+            "      \"legacy\": {\"wall_seconds\": %.6f, \"events\": "
+            "%llu, \"events_per_sec\": %.6e, \"requests_per_sec\": "
+            "%.6e},\n"
+            "      \"speedup\": %.3f}%s\n",
+            name, static_cast<unsigned long long>(reqs), nw.wall,
+            static_cast<unsigned long long>(nw.events),
+            nw.eventsPerSec, nw.reqsPerSec, lg.wall,
+            static_cast<unsigned long long>(lg.events),
+            lg.eventsPerSec, lg.reqsPerSec,
+            nw.reqsPerSec / lg.reqsPerSec, trailer);
+    };
+    std::fprintf(f, "  \"dram\": {\n");
+    dram_shape("stream", dram_n, stream_new, stream_legacy, ",");
+    dram_shape("pump", dram_n / 8, pump_new, pump_legacy, "");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f,
+                 "  \"decode\": {\"simulated_tokens\": %llu, "
+                 "\"iterations\": %llu, \"wall_seconds\": %.6f, "
+                 "\"tokens_per_sec\": %.6e},\n",
+                 static_cast<unsigned long long>(dec_tokens),
+                 static_cast<unsigned long long>(dec_iters), dec_wall,
+                 static_cast<double>(dec_tokens) / dec_wall);
+    std::fprintf(f,
+                 "  \"serving\": {\"simulated_tokens\": %llu, "
+                 "\"iterations\": %llu, \"wall_seconds\": %.6f, "
+                 "\"tokens_per_sec\": %.6e},\n",
+                 static_cast<unsigned long long>(srv_tokens),
+                 static_cast<unsigned long long>(srv_iters), srv_wall,
+                 static_cast<double>(srv_tokens) / srv_wall);
+    std::fprintf(f,
+                 "  \"figure_cell\": {\"cells\": %u, "
+                 "\"wall_seconds\": %.6f}%s\n",
+                 fig_cells, fig_wall, legacy_only ? "" : ",");
+    if (!legacy_only) {
+        double stream_speedup =
+            stream_new.reqsPerSec / stream_legacy.reqsPerSec;
+        double pump_speedup =
+            pump_new.reqsPerSec / pump_legacy.reqsPerSec;
+        double overall = stream_speedup * pump_speedup;
+        for (const auto &p : patterns)
+            overall *= p.newRate / p.legacyRate;
+        overall = std::pow(overall,
+                           1.0 / (patterns.size() + 2.0));
+        std::fprintf(f,
+                     "  \"summary\": {"
+                     "\"event_queue_speedup_geomean\": %.3f, "
+                     "\"dram_stream_speedup\": %.3f, "
+                     "\"dram_pump_speedup\": %.3f, "
+                     "\"overall_speedup_geomean\": %.3f}\n",
+                     geomean, stream_speedup, pump_speedup, overall);
+    }
+    std::fprintf(f, "}\n");
+}
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    bool legacy_only = false;
+    const char *out_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--legacy-queue") == 0) {
+            legacy_only = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 &&
+                   i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--legacy-queue] "
+                         "[--out FILE]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    const std::uint64_t eq_events = quick ? 1u << 16 : 1u << 19;
+    const std::uint64_t dram_n = quick ? 2048 : 16384;
+    const std::uint32_t decode_reps = quick ? 2 : 8;
+    const std::uint32_t serving_reps = quick ? 1 : 4;
+
+    // Event-queue patterns: run each three times, keep the best rate
+    // (minimizes scheduler noise), alternating implementations.
+    std::vector<PatternResult> patterns = {
+        {"replay"}, {"controller"}, {"devices"}};
+    for (int rep = 0; rep < 3; ++rep) {
+        if (!legacy_only) {
+            patterns[0].newRate = std::max(
+                patterns[0].newRate,
+                runReplay<sim::EventQueue>(eq_events));
+            patterns[1].newRate = std::max(
+                patterns[1].newRate,
+                runController<sim::EventQueue>(eq_events));
+            patterns[2].newRate = std::max(
+                patterns[2].newRate,
+                runDevices<sim::EventQueue>(eq_events));
+        }
+        patterns[0].legacyRate = std::max(
+            patterns[0].legacyRate,
+            runReplay<sim::LegacyEventQueue>(eq_events));
+        patterns[1].legacyRate = std::max(
+            patterns[1].legacyRate,
+            runController<sim::LegacyEventQueue>(eq_events));
+        patterns[2].legacyRate = std::max(
+            patterns[2].legacyRate,
+            runDevices<sim::LegacyEventQueue>(eq_events));
+    }
+    double geomean = 1.0;
+    for (const auto &p : patterns)
+        geomean *= p.newRate / p.legacyRate;
+    geomean = std::pow(geomean, 1.0 / patterns.size());
+
+    DramResult stream_new, stream_legacy, pump_new, pump_legacy;
+    benchDram(dram_n, stream_new, stream_legacy, pump_new,
+              pump_legacy);
+
+    std::uint64_t dec_tokens = 0, dec_iters = 0;
+    double dec_wall = 0;
+    benchDecode(decode_reps, dec_tokens, dec_iters, dec_wall);
+
+    std::uint64_t srv_tokens = 0, srv_iters = 0;
+    double srv_wall = 0;
+    benchServing(serving_reps, srv_tokens, srv_iters, srv_wall);
+
+    std::uint32_t fig_cells = 0;
+    double fig_wall = 0;
+    benchFigureCells(fig_cells, fig_wall);
+
+    writeJson(stdout, quick, legacy_only, eq_events, patterns,
+              geomean, dram_n, stream_new, stream_legacy, pump_new,
+              pump_legacy, dec_tokens, dec_iters, dec_wall,
+              srv_tokens, srv_iters, srv_wall, fig_cells, fig_wall);
+    if (out_path) {
+        std::FILE *f = std::fopen(out_path, "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", out_path);
+            return 1;
+        }
+        writeJson(f, quick, legacy_only, eq_events, patterns, geomean,
+                  dram_n, stream_new, stream_legacy, pump_new,
+                  pump_legacy, dec_tokens, dec_iters, dec_wall,
+                  srv_tokens, srv_iters, srv_wall, fig_cells,
+                  fig_wall);
+        std::fclose(f);
+    }
+    return 0;
+}

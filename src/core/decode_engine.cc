@@ -73,6 +73,10 @@ DecodeEngine::run(llm::Batch &batch, const llm::SpeculativeConfig &spec,
 
     const bool tracks_rlp = _platform.config().tracksRuntimeRlp;
 
+    // Reused across iterations; refilled in place each step.
+    std::vector<std::uint32_t> ctx_lens;
+    ctx_lens.reserve(batch.initialRlp());
+
     while (!batch.done()) {
         const std::uint32_t rlp = batch.liveRlp();
         const std::uint32_t tlp = spec.length;
@@ -87,8 +91,8 @@ DecodeEngine::run(llm::Batch &batch, const llm::SpeculativeConfig &spec,
                                        decision);
 
         KernelExec fc = _platform.fcExec(model, tokens, target);
-        KernelExec at = _platform.attnExec(
-            model, batch.liveContextLens(), tlp);
+        batch.liveContextLens(ctx_lens);
+        KernelExec at = _platform.attnExec(model, ctx_lens, tlp);
         double other = _platform.otherSeconds(model);
         // The draft model's serial proposal pass (speculative
         // decoding): charged as a fraction of the verification cost.

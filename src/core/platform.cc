@@ -30,6 +30,71 @@ fcTargetName(FcTarget target)
     return "unknown";
 }
 
+namespace {
+
+/** FNV-1a folding of one 64-bit word. */
+constexpr std::uint64_t
+hashCombine(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v;
+    return h * 0x100000001b3ULL;
+}
+
+/** Kernel-cache query kinds. */
+enum KernelKind : std::uint32_t
+{
+    kindFcGpu = 0,
+    kindFcPim = 1,
+    kindAttn = 2,
+    kindPrefill = 3,
+};
+
+/** Entry count at which the kernel cache is discarded wholesale. */
+constexpr std::size_t kernelCacheMaxEntries = 1u << 20;
+
+} // namespace
+
+std::size_t
+Platform::KernelKeyHash::operator()(const KernelKey &k) const
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    h = hashCombine(h, k.model);
+    h = hashCombine(h, k.shape0);
+    h = hashCombine(h, k.shape1);
+    h = hashCombine(h, k.shape2);
+    h = hashCombine(h, k.kind);
+    return static_cast<std::size_t>(h);
+}
+
+std::uint64_t
+Platform::modelShapeHash(const llm::ModelConfig &model)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    h = hashCombine(h, model.hiddenDim);
+    h = hashCombine(h, model.numLayers);
+    h = hashCombine(h, model.numHeads);
+    h = hashCombine(h, model.ffnDim);
+    h = hashCombine(h, model.ffnMatrices);
+    h = hashCombine(h, model.maxSeqLen);
+    h = hashCombine(h, model.bytesPerParam);
+    h = hashCombine(h, model.moeExperts);
+    h = hashCombine(h, model.moeTopK);
+    return h;
+}
+
+template <typename ComputeFn>
+KernelExec
+Platform::cached(const KernelKey &key, ComputeFn &&compute) const
+{
+    if (auto it = _kernelCache.find(key); it != _kernelCache.end())
+        return it->second;
+    KernelExec out = compute();
+    if (_kernelCache.size() >= kernelCacheMaxEntries)
+        _kernelCache.clear();
+    _kernelCache.emplace(key, out);
+    return out;
+}
+
 Platform::Platform(const PlatformConfig &config) : _config(config)
 {
     if (_config.numFcDevices == 0 || _config.numAttnDevices == 0)
@@ -186,8 +251,15 @@ Platform::fcExec(const llm::ModelConfig &model, std::uint32_t tokens,
 {
     if (tokens == 0)
         sim::fatal("Platform::fcExec: zero tokens");
-    return target == FcTarget::Gpu ? fcOnGpu(model, tokens)
-                                   : fcOnPim(model, tokens);
+
+    KernelKey key;
+    key.model = modelShapeHash(model);
+    key.shape0 = tokens;
+    key.kind = target == FcTarget::Gpu ? kindFcGpu : kindFcPim;
+    return cached(key, [&] {
+        return target == FcTarget::Gpu ? fcOnGpu(model, tokens)
+                                       : fcOnPim(model, tokens);
+    });
 }
 
 double
@@ -218,14 +290,32 @@ Platform::attnExec(const llm::ModelConfig &model,
     if (ctx_lens.empty())
         sim::fatal("Platform::attnExec: no live requests");
 
-    std::uint64_t kv_bytes = 0;
-    std::uint64_t score_elems = 0;
-    for (std::uint32_t len : ctx_lens) {
-        kv_bytes += static_cast<std::uint64_t>(len) *
-                    model.kvBytesPerToken();
-        score_elems += static_cast<std::uint64_t>(len) * tlp *
-                       model.numHeads * model.numLayers;
-    }
+    std::uint64_t total_len = 0;
+    for (std::uint32_t len : ctx_lens)
+        total_len += len;
+
+    // The result depends on ctx_lens only through the total context
+    // length and the request count, so the cache key is exact.
+    KernelKey key;
+    key.model = modelShapeHash(model);
+    key.shape0 = total_len;
+    key.shape1 = (static_cast<std::uint64_t>(ctx_lens.size()) << 32) |
+                 tlp;
+    key.kind = kindAttn;
+    return cached(key, [&] {
+        return attnExecUncached(model, ctx_lens, total_len, tlp);
+    });
+}
+
+KernelExec
+Platform::attnExecUncached(const llm::ModelConfig &model,
+                           const std::vector<std::uint32_t> &ctx_lens,
+                           std::uint64_t total_len,
+                           std::uint32_t tlp) const
+{
+    std::uint64_t kv_bytes = total_len * model.kvBytesPerToken();
+    std::uint64_t score_elems = total_len * tlp * model.numHeads *
+                                model.numLayers;
 
     pim::PimKernelResult p = _attnDevice->attention(
         kv_bytes, model.numHeads, tlp, score_elems,
@@ -260,6 +350,30 @@ Platform::prefillExec(const llm::ModelConfig &model,
     if (input_lens.empty())
         sim::fatal("Platform::prefillExec: no requests");
 
+    // The result depends on input_lens only through the total length,
+    // the sum of squared lengths (prefill attention FLOPs), and the
+    // request count.
+    std::uint64_t sum = 0;
+    std::uint64_t sum_sq = 0;
+    for (std::uint32_t len : input_lens) {
+        sum += len;
+        sum_sq += static_cast<std::uint64_t>(len) * len;
+    }
+    KernelKey key;
+    key.model = modelShapeHash(model);
+    key.shape0 = sum;
+    key.shape1 = input_lens.size();
+    key.shape2 = sum_sq;
+    key.kind = kindPrefill;
+    return cached(key,
+                  [&] { return prefillExecUncached(model, input_lens); });
+}
+
+KernelExec
+Platform::prefillExecUncached(const llm::ModelConfig &model,
+                              const std::vector<std::uint32_t>
+                                  &input_lens) const
+{
     std::uint64_t total_tokens = std::accumulate(
         input_lens.begin(), input_lens.end(), std::uint64_t{0});
     // Prefill attention: per request, L x L score work per layer.
@@ -295,9 +409,7 @@ Platform::prefillExec(const llm::ModelConfig &model,
         // approximate with the mean prompt length as TLP.
         std::uint32_t mean_len = static_cast<std::uint32_t>(
             total_tokens / input_lens.size());
-        std::vector<std::uint32_t> lens(input_lens.begin(),
-                                        input_lens.end());
-        KernelExec at = attnExec(model, lens,
+        KernelExec at = attnExec(model, input_lens,
                                  std::max<std::uint32_t>(mean_len, 1));
         out.seconds = fc.seconds + at.seconds;
         out.commSeconds = fc.commSeconds + at.commSeconds;

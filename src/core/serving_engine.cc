@@ -60,9 +60,15 @@ ServingEngine::run(const std::vector<llm::TimedRequest> &stream,
     bool sched_started = false;
     FcTarget prev_target = FcTarget::FcPim;
 
+    // Reused across iterations; refilled in place.
+    std::vector<std::uint32_t> prefill_lens;
+    std::vector<std::uint32_t> ctx;
+    prefill_lens.reserve(options.maxRlp);
+    ctx.reserve(options.maxRlp);
+
     auto admit = [&]() {
         std::uint32_t admitted = 0;
-        std::vector<std::uint32_t> prefill_lens;
+        prefill_lens.clear();
         // Batch-level scheduling admits only into an empty batch.
         if (options.admission == AdmissionPolicy::BatchLevel &&
             !active.empty())
@@ -159,8 +165,7 @@ ServingEngine::run(const std::vector<llm::TimedRequest> &stream,
             sched_started = true;
         }
 
-        std::vector<std::uint32_t> ctx;
-        ctx.reserve(active.size());
+        ctx.clear();
         for (const auto &a : active)
             ctx.push_back(a.request.contextLen());
 

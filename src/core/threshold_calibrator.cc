@@ -18,6 +18,8 @@ ThresholdCalibrator::calibrate(const Platform &platform,
         sim::fatal("ThresholdCalibrator: max_tokens must be >= 1");
 
     CalibrationResult out;
+    // Geometric sweep + binary refinement: ~2 log2(max_tokens) points.
+    out.points.reserve(64);
 
     auto sample = [&](std::uint32_t tokens) {
         CalibrationPoint p;

@@ -1,8 +1,25 @@
 #include "dram/bank.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace papi::dram {
+
+BankTimingTable::BankTimingTable(const TimingParams &t)
+    : actToCol(t.tRCD), actToPre(t.tRAS), actToAct(t.tRC),
+      preToAct(t.tRP), rdDataDone(t.tCL + t.tBURST),
+      wrDataDone(t.tWL + t.tBURST), rdToPre(t.tRTP), wrRecovery(t.tWR),
+      refCycle(t.tRFC), colCadence{}
+{
+    // Near-bank PIM reads use the per-bank prefetch datapath and
+    // pipeline at burst cadence (AttAcc-style 20.8 GB/s per bank);
+    // external reads/writes pace at the same-bank-group tCCD_L.
+    colCadence[static_cast<std::size_t>(CommandType::Rd)] = t.tCCD_L;
+    colCadence[static_cast<std::size_t>(CommandType::Wr)] = t.tCCD_L;
+    colCadence[static_cast<std::size_t>(CommandType::PimMac)] =
+        t.tCCD_S;
+}
 
 Bank::State
 Bank::state(Tick now) const
@@ -10,24 +27,6 @@ Bank::state(Tick now) const
     if (!_openRow)
         return State::Closed;
     return now >= _rowOpenAt ? State::Open : State::Opening;
-}
-
-Tick
-Bank::earliestIssue(CommandType type) const
-{
-    switch (type) {
-      case CommandType::Act:
-        return _nextAct;
-      case CommandType::Pre:
-        return _nextPre;
-      case CommandType::Rd:
-      case CommandType::Wr:
-      case CommandType::PimMac:
-        return std::max(_nextRdWr, _rowOpenAt);
-      case CommandType::Ref:
-        return _nextAct; // refresh needs the bank closed, like ACT
-    }
-    sim::panic("Bank::earliestIssue: bad command type");
 }
 
 bool
@@ -60,48 +59,65 @@ Bank::issue(CommandType type, std::uint32_t row, Tick now)
                    earliestIssue(type), ")");
     }
 
+    const BankTimingTable &tt = *_tt;
     switch (type) {
-      case CommandType::Act:
+      case CommandType::Act: {
         _openRow = row;
-        _rowOpenAt = now + _t.tRCD;
-        _nextPre = now + _t.tRAS;
-        _nextAct = now + _t.tRC;
+        _rowOpenAt = now + tt.actToCol;
+        _earliest[commandIndex(CommandType::Pre)] = now + tt.actToPre;
+        _earliest[commandIndex(CommandType::Act)] = now + tt.actToAct;
+        _earliest[commandIndex(CommandType::Ref)] = now + tt.actToAct;
+        // Columns wait for the row to open; a cadence gate left over
+        // from the previous row carries across the ACT.
+        setColumnEarliest(std::max(
+            _earliest[commandIndex(CommandType::Rd)], _rowOpenAt));
         ++_activations;
         return _rowOpenAt;
+      }
 
-      case CommandType::Pre:
+      case CommandType::Pre: {
         _openRow.reset();
-        _nextAct = std::max(_nextAct, now + _t.tRP);
-        return now + _t.tRP;
+        Tick next_act = std::max(
+            _earliest[commandIndex(CommandType::Act)],
+            now + tt.preToAct);
+        _earliest[commandIndex(CommandType::Act)] = next_act;
+        _earliest[commandIndex(CommandType::Ref)] = next_act;
+        return now + tt.preToAct;
+      }
 
       case CommandType::Rd:
       case CommandType::PimMac: {
-        // Near-bank PIM reads use the per-bank prefetch datapath and
-        // pipeline at burst cadence (AttAcc-style 20.8 GB/s per
-        // bank); external reads pace at the same-bank-group tCCD_L.
-        _nextRdWr = now + (type == CommandType::PimMac ? _t.tCCD_S
-                                                       : _t.tCCD_L);
+        setColumnEarliest(now + tt.colCadence[commandIndex(type)]);
         // Read-to-precharge and keep tRAS.
-        _nextPre = std::max(_nextPre, now + _t.tRTP);
+        _earliest[commandIndex(CommandType::Pre)] = std::max(
+            _earliest[commandIndex(CommandType::Pre)],
+            now + tt.rdToPre);
         if (type == CommandType::Rd)
             ++_reads;
         else
             ++_pimMacs;
-        return now + _t.tCL + _t.tBURST;
+        return now + tt.rdDataDone;
       }
 
       case CommandType::Wr: {
-        _nextRdWr = now + _t.tCCD_L;
-        Tick data_end = now + _t.tWL + _t.tBURST;
-        _nextPre = std::max(_nextPre, data_end + _t.tWR);
+        setColumnEarliest(now + tt.colCadence[commandIndex(type)]);
+        Tick data_end = now + tt.wrDataDone;
+        _earliest[commandIndex(CommandType::Pre)] = std::max(
+            _earliest[commandIndex(CommandType::Pre)],
+            data_end + tt.wrRecovery);
         ++_writes;
         return data_end;
       }
 
-      case CommandType::Ref:
+      case CommandType::Ref: {
         // Handled at channel scope; the bank just blocks ACTs.
-        _nextAct = std::max(_nextAct, now + _t.tRFC);
-        return now + _t.tRFC;
+        Tick next_act = std::max(
+            _earliest[commandIndex(CommandType::Act)],
+            now + tt.refCycle);
+        _earliest[commandIndex(CommandType::Act)] = next_act;
+        _earliest[commandIndex(CommandType::Ref)] = next_act;
+        return now + tt.refCycle;
+      }
     }
     sim::panic("Bank::issue: bad command type");
 }

@@ -18,6 +18,29 @@ namespace papi::dram {
 using sim::Tick;
 
 /**
+ * Per-command-type timing increments, derived once from TimingParams
+ * so the per-command hot path is table lookups instead of parameter
+ * chasing and branching. Shared by every bank of a pseudo-channel.
+ */
+struct BankTimingTable
+{
+    explicit BankTimingTable(const TimingParams &t);
+
+    Tick actToCol;     ///< tRCD: row usable after ACT.
+    Tick actToPre;     ///< tRAS.
+    Tick actToAct;     ///< tRC.
+    Tick preToAct;     ///< tRP.
+    Tick rdDataDone;   ///< tCL + tBURST.
+    Tick wrDataDone;   ///< tWL + tBURST.
+    Tick rdToPre;      ///< tRTP.
+    Tick wrRecovery;   ///< tWR (from data end).
+    Tick refCycle;     ///< tRFC.
+    /** Same-bank column cadence, indexed by CommandType (Rd/Wr use
+     *  tCCD_L, near-bank PimMac pipelines at tCCD_S). */
+    Tick colCadence[commandTypeCount];
+};
+
+/**
  * One DRAM bank: row-buffer state plus the earliest ticks at which
  * each command class may legally be issued to this bank.
  *
@@ -25,11 +48,15 @@ using sim::Tick;
  * tWR, tRTP, same-bank column cadence). Inter-bank constraints
  * (tRRD, tFAW, bus occupancy, tCCD across banks) live in
  * PseudoChannel.
+ *
+ * Earliest-issue times are maintained as a flat per-CommandType array
+ * updated on issue, so the (hot) earliestIssue query is a single
+ * indexed load.
  */
 class Bank
 {
   public:
-    explicit Bank(const TimingParams &timing) : _t(timing) {}
+    explicit Bank(const BankTimingTable &table) : _tt(&table) {}
 
     /** State of the bank's row buffer. */
     enum class State : std::uint8_t { Closed, Opening, Open };
@@ -40,7 +67,11 @@ class Bank
     std::optional<std::uint32_t> openRow() const { return _openRow; }
 
     /** Earliest tick at which @p type may be issued to this bank. */
-    Tick earliestIssue(CommandType type) const;
+    Tick
+    earliestIssue(CommandType type) const
+    {
+        return _earliest[commandIndex(type)];
+    }
 
     /**
      * True if issuing @p type at @p now respects intra-bank timing and
@@ -66,14 +97,28 @@ class Bank
     std::uint64_t pimMacs() const { return _pimMacs; }
 
   private:
-    const TimingParams &_t;
+    static constexpr std::size_t
+    commandIndex(CommandType type)
+    {
+        return static_cast<std::size_t>(type);
+    }
+
+    /** Set the earliest-issue tick for all three column classes. */
+    void
+    setColumnEarliest(Tick when)
+    {
+        _earliest[commandIndex(CommandType::Rd)] = when;
+        _earliest[commandIndex(CommandType::Wr)] = when;
+        _earliest[commandIndex(CommandType::PimMac)] = when;
+    }
+
+    const BankTimingTable *_tt;
 
     std::optional<std::uint32_t> _openRow;
     Tick _rowOpenAt = 0; ///< Tick at which the activating row is usable.
 
-    Tick _nextAct = 0;
-    Tick _nextPre = 0;
-    Tick _nextRdWr = 0;
+    /** Earliest legal issue tick per CommandType. */
+    Tick _earliest[commandTypeCount] = {};
 
     std::uint64_t _activations = 0;
     std::uint64_t _reads = 0;

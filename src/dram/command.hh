@@ -6,6 +6,7 @@
 #ifndef PAPI_DRAM_COMMAND_HH
 #define PAPI_DRAM_COMMAND_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -21,6 +22,9 @@ enum class CommandType : std::uint8_t
     Ref,   ///< All-bank refresh.
     PimMac ///< Near-bank column read feeding the bank's FPUs.
 };
+
+/** Number of CommandType values (for per-type timing tables). */
+constexpr std::size_t commandTypeCount = 6;
 
 /** Printable command name. */
 const char *commandName(CommandType type);

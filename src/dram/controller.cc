@@ -96,7 +96,16 @@ MemController::scheduleService(Tick when)
         return;
     _servicePending = true;
     _servicePendingAt = when;
-    _eq.schedule(when, [this] {
+    // Superseding an already-scheduled (later) service event must
+    // neutralize it, or every completion-driven enqueue would leave a
+    // stale event that re-runs service() and re-schedules itself -
+    // event counts then grow superlinearly with request count (the
+    // original implementation had exactly that pathology). The token
+    // makes stale events fire once as cheap no-ops.
+    const std::uint64_t token = ++_serviceToken;
+    _eq.schedule(when, [this, token] {
+        if (token != _serviceToken)
+            return; // superseded by a newer service event
         _servicePending = false;
         service();
     });
@@ -127,77 +136,94 @@ MemController::service()
 {
     const Tick now = _eq.now();
 
-    if (_refreshDue) {
-        doRefresh();
-        return;
-    }
+    // Issue everything legal at this tick in one pass, then schedule
+    // the next service event directly at the earliest tick the next
+    // command could go out. (The command bus spaces commands by tCK,
+    // so in practice one command issues per tick; the point is to
+    // avoid the tick-by-tick polling events a naive "retry at now+1"
+    // would generate - they used to double the event count.)
+    while (true) {
+        if (_refreshDue) {
+            doRefresh();
+            return;
+        }
 
-    auto it = pickNext();
-    if (it == _queue.end())
-        return;
+        auto it = pickNext();
+        if (it == _queue.end())
+            return;
 
-    const Coord &c = it->coord;
-    const auto &b = _channel.bank(c.bankGroup, c.bank);
+        const Coord &c = it->coord;
+        const auto &b = _channel.bank(c.bankGroup, c.bank);
 
-    // Decide the next command for this request under open-page policy.
-    Command cmd;
-    cmd.coord = c;
-    if (b.openRow()) {
-        if (*b.openRow() == c.row) {
-            cmd.type = it->req.isWrite ? CommandType::Wr
-                                       : CommandType::Rd;
+        // Decide the next command for this request under open-page
+        // policy.
+        Command cmd;
+        cmd.coord = c;
+        if (b.openRow()) {
+            if (*b.openRow() == c.row) {
+                cmd.type = it->req.isWrite ? CommandType::Wr
+                                           : CommandType::Rd;
+            } else {
+                cmd.type = CommandType::Pre;
+            }
         } else {
-            cmd.type = CommandType::Pre;
+            cmd.type = CommandType::Act;
         }
-    } else {
-        cmd.type = CommandType::Act;
-    }
 
-    Tick earliest = _channel.earliestIssue(cmd, now);
-    if (earliest > now) {
-        scheduleService(earliest);
-        return;
-    }
-
-    Tick done = _channel.issue(cmd, now);
-
-    if (cmd.type == CommandType::Rd || cmd.type == CommandType::Wr) {
-        // A hit means this request needed no activate of its own.
-        if (!it->causedActivate) {
-            ++_rowHits;
-            _statRowHits += 1;
+        Tick earliest = _channel.earliestIssue(cmd, now);
+        if (earliest > now) {
+            scheduleService(earliest);
+            return;
         }
-        if (cmd.type == CommandType::Rd)
-            _statReads += 1;
-        else
-            _statWrites += 1;
 
-        Pending finished = std::move(*it);
-        _queue.erase(it);
-        _bytesTransferred += _spec.org.accessBytes;
+        Tick done = _channel.issue(cmd, now);
 
-        _eq.schedule(done, [this, finished = std::move(finished),
-                            done]() mutable {
-            ++_completed;
-            _latencySumTicks += done - finished.req.arrival;
-            _lastCompletion = std::max(_lastCompletion, done);
-            if (finished.req.onComplete)
-                finished.req.onComplete(done);
-        });
-    } else if (cmd.type == CommandType::Act) {
-        ++_rowMisses;
-        _statRowMisses += 1;
-        it->causedActivate = true;
-    } else if (cmd.type == CommandType::Pre) {
-        ++_rowConflicts;
-        _statRowConflicts += 1;
+        if (cmd.type == CommandType::Rd ||
+            cmd.type == CommandType::Wr) {
+            // A hit means this request needed no activate of its own.
+            if (!it->causedActivate) {
+                ++_rowHits;
+                _statRowHits += 1;
+            }
+            if (cmd.type == CommandType::Rd)
+                _statReads += 1;
+            else
+                _statWrites += 1;
+
+            // Keep the completion capture small (<= the event queue's
+            // inline buffer): only the arrival tick and the user
+            // callback ride along; the completion tick is the event's
+            // own execution time.
+            Tick arrival = it->req.arrival;
+            auto on_complete = std::move(it->req.onComplete);
+            _queue.erase(it);
+            _bytesTransferred += _spec.org.accessBytes;
+
+            _eq.schedule(done, [this, arrival,
+                                on_complete =
+                                    std::move(on_complete)]() mutable {
+                const Tick t = _eq.now();
+                ++_completed;
+                _latencySumTicks += t - arrival;
+                _lastCompletion = std::max(_lastCompletion, t);
+                if (on_complete)
+                    on_complete(t);
+            });
+        } else if (cmd.type == CommandType::Act) {
+            ++_rowMisses;
+            _statRowMisses += 1;
+            it->causedActivate = true;
+        } else if (cmd.type == CommandType::Pre) {
+            ++_rowConflicts;
+            _statRowConflicts += 1;
+        }
+
+        if (_queue.empty())
+            return;
+        // Loop: more work may be issueable at this very tick; if not,
+        // the next iteration computes its exact earliest tick and
+        // schedules the service event there.
     }
-
-    // More work may be issueable immediately (e.g. a column command
-    // right after this one elsewhere); try again at the earliest
-    // possible opportunity.
-    if (!_queue.empty())
-        scheduleService(now + 1);
 }
 
 void

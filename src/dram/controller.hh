@@ -104,6 +104,7 @@ class MemController
     std::uint64_t _completed = 0;
     bool _servicePending = false;
     sim::Tick _servicePendingAt = 0;
+    std::uint64_t _serviceToken = 0; ///< Invalidates stale events.
 
     bool _refreshEnabled = true;
     bool _refreshDue = false;

@@ -8,12 +8,17 @@ namespace papi::dram {
 
 using sim::Tick;
 
-PseudoChannel::PseudoChannel(const DramSpec &spec) : _spec(spec)
+PseudoChannel::PseudoChannel(const DramSpec &spec)
+    : _spec(spec), _bankTiming(_spec.timing)
 {
     const auto n = _spec.org.banks();
     _banks.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i)
-        _banks.emplace_back(_spec.timing);
+        _banks.emplace_back(_bankTiming);
+    _ccd[0] = _spec.timing.tCCD_S;
+    _ccd[1] = _spec.timing.tCCD_L;
+    _rrd[0] = _spec.timing.tRRD_S;
+    _rrd[1] = _spec.timing.tRRD_L;
 }
 
 Bank &
@@ -51,25 +56,22 @@ PseudoChannel::earliestIssue(const Command &cmd, Tick now) const
     switch (cmd.type) {
       case CommandType::Act: {
         if (_anyActIssued) {
-            Tick rrd = (cmd.coord.bankGroup == _lastActGroup)
-                           ? t.tRRD_L
-                           : t.tRRD_S;
+            Tick rrd = _rrd[cmd.coord.bankGroup == _lastActGroup];
             earliest = std::max(earliest, _lastActAt + rrd);
         }
-        if (_actWindow.size() >= 4) {
-            // Fifth activate must wait out the four-activate window.
+        if (_actCount >= 4) {
+            // Fifth activate must wait out the four-activate window;
+            // the ring slot about to be overwritten is the oldest of
+            // the last four ACTs.
             earliest = std::max(earliest,
-                                _actWindow[_actWindow.size() - 4] +
-                                    t.tFAW);
+                                _actRing[_actRingPos] + t.tFAW);
         }
         break;
       }
       case CommandType::Rd:
       case CommandType::Wr: {
         if (_anyColumnIssued) {
-            Tick ccd = (cmd.coord.bankGroup == _lastColumnGroup)
-                           ? t.tCCD_L
-                           : t.tCCD_S;
+            Tick ccd = _ccd[cmd.coord.bankGroup == _lastColumnGroup];
             earliest = std::max(earliest, _lastColumnAt + ccd);
         }
         // The data burst of this command (starting tCL/tWL after
@@ -130,9 +132,9 @@ PseudoChannel::issue(const Command &cmd, Tick now)
         _lastActAt = now;
         _lastActGroup = cmd.coord.bankGroup;
         _anyActIssued = true;
-        _actWindow.push_back(now);
-        while (_actWindow.size() > 8)
-            _actWindow.pop_front();
+        _actRing[_actRingPos] = now;
+        _actRingPos = (_actRingPos + 1) & 3;
+        ++_actCount;
         break;
       case CommandType::Rd:
       case CommandType::Wr:

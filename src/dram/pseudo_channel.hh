@@ -13,7 +13,6 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "dram/bank.hh"
@@ -28,6 +27,10 @@ class PseudoChannel
 {
   public:
     explicit PseudoChannel(const DramSpec &spec);
+
+    // Banks point at this channel's timing table.
+    PseudoChannel(const PseudoChannel &) = delete;
+    PseudoChannel &operator=(const PseudoChannel &) = delete;
 
     const DramSpec &spec() const { return _spec; }
 
@@ -85,7 +88,12 @@ class PseudoChannel
 
   private:
     DramSpec _spec;
+    BankTimingTable _bankTiming;
     std::vector<Bank> _banks;
+
+    // Pair tables indexed by (bank group == previous command's group).
+    sim::Tick _ccd[2];  ///< {tCCD_S, tCCD_L}.
+    sim::Tick _rrd[2];  ///< {tRRD_S, tRRD_L}.
 
     // Channel-scope timing state.
     sim::Tick _lastColumnAt = 0;
@@ -96,7 +104,11 @@ class PseudoChannel
     std::uint32_t _lastActGroup = 0;
     bool _anyActIssued = false;
 
-    std::deque<sim::Tick> _actWindow; ///< Recent ACT ticks for tFAW.
+    /** Last four ACT ticks (fixed ring, oldest at _actRingPos). */
+    sim::Tick _actRing[4] = {};
+    std::uint32_t _actRingPos = 0;
+    std::uint32_t _actCount = 0;
+
     sim::Tick _busFreeAt = 0;         ///< Data bus becomes free.
     sim::Tick _refreshUntil = 0;      ///< Channel blocked by refresh.
     sim::Tick _lastCommandAt = 0;     ///< Command-bus occupancy.

@@ -49,12 +49,19 @@ std::vector<std::uint32_t>
 Batch::liveContextLens() const
 {
     std::vector<std::uint32_t> lens;
-    lens.reserve(_live);
+    liveContextLens(lens);
+    return lens;
+}
+
+void
+Batch::liveContextLens(std::vector<std::uint32_t> &out) const
+{
+    out.clear();
+    out.reserve(_live);
     for (const auto &r : _requests) {
         if (!r.finished())
-            lens.push_back(r.contextLen());
+            out.push_back(r.contextLen());
     }
-    return lens;
 }
 
 std::uint64_t

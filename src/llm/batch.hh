@@ -64,6 +64,13 @@ class Batch
     /** Context lengths of the live requests (for attention work). */
     std::vector<std::uint32_t> liveContextLens() const;
 
+    /**
+     * Allocation-free variant: overwrite @p out with the live context
+     * lengths. Decode loops call this every iteration and reuse one
+     * buffer instead of allocating a fresh vector per token.
+     */
+    void liveContextLens(std::vector<std::uint32_t> &out) const;
+
     /** Total KV-cache bytes currently resident for live requests. */
     std::uint64_t kvCacheBytes() const;
 

@@ -18,9 +18,10 @@ using papi::sim::Tick;
 class BankTest : public ::testing::Test
 {
   protected:
-    BankTest() : spec(hbm3Spec()), bank(spec.timing) {}
+    BankTest() : spec(hbm3Spec()), table(spec.timing), bank(table) {}
 
     DramSpec spec;
+    BankTimingTable table;
     Bank bank;
 };
 

@@ -119,8 +119,9 @@ TEST(KernelSpec, FcIntensityApproachesTokenCount)
             EXPECT_NEAR(exact, tokens / (1.0 + 2.0 * tokens / 12288),
                         1e-6);
             EXPECT_LE(exact, est); // estimate is an upper bound
-            if (tokens <= 128)
+            if (tokens <= 128) {
                 EXPECT_NEAR(est / exact, 1.0, 0.03);
+            }
         }
     }
 }
