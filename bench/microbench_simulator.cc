@@ -50,12 +50,36 @@
  *     "serving": { "simulated_tokens": n, "iterations": n,
  *                  "wall_seconds": s, "tokens_per_sec": x },
  *     "figure_cell": { "cells": n, "wall_seconds": s },
+ *     "cluster": { ... },               // papi-cluster/1, see below
  *     "summary": {                      // absent with --legacy-queue
  *       "event_queue_speedup_geomean": x,
  *       "dram_stream_speedup": x,
  *       "dram_pump_speedup": x,
  *       "overall_speedup_geomean": x    // all five speedups
  *     }
+ *   }
+ *
+ * The "cluster" section is its own sub-schema (papi-cluster/1): a
+ * strong-scaling study of the cluster serving layer, one shared
+ * arrival stream fanned across N in {1,2,4,8} platforms under
+ * least-outstanding routing (docs/BENCHMARKS.md documents every
+ * field):
+ *   {
+ *     "schema": "papi-cluster/1",
+ *     "model": str, "policy": str, "tp_degree": n,
+ *     "arrival": { "trace": str, "rate_rps": x, "requests": n,
+ *                  "seed": n, "max_rlp": n },
+ *     "n1_matches_serving_engine": bool, // bit-identity check
+ *     "scaling": [
+ *       { "platforms": n, "groups": n,
+ *         "makespan_seconds": x, "sim_tokens_per_sec": x,
+ *         "ttft_p50_seconds": x, "ttft_p95_seconds": x,
+ *         "ttft_p99_seconds": x, "tpot_p50_seconds": x,
+ *         "tpot_p95_seconds": x, "tpot_p99_seconds": x,
+ *         "queueing_mean_seconds": x, "queueing_p99_seconds": x,
+ *         "mean_utilization": x, "energy_joules": x,
+ *         "wall_seconds": s }, ...      // one entry per N
+ *     ]
  *   }
  */
 
@@ -68,11 +92,13 @@
 #include <vector>
 
 #include "bench/legacy_dram.hh"
+#include "cluster/cluster_engine.hh"
 #include "core/decode_engine.hh"
 #include "core/platform.hh"
 #include "core/serving_engine.hh"
 #include "core/threshold_calibrator.hh"
 #include "dram/controller.hh"
+#include "llm/arrival.hh"
 #include "llm/trace.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
@@ -463,6 +489,82 @@ struct PatternResult
     double legacyRate = 0.0;
 };
 
+/** One strong-scaling cell of the papi-cluster/1 section. */
+struct ClusterCell
+{
+    std::uint32_t platforms = 0;
+    cluster::ClusterResult result;
+    double wall = 0.0;
+};
+
+/** Inputs and outcomes of the cluster scaling study. */
+struct ClusterBench
+{
+    double rateRps = 0.0;
+    std::uint32_t requests = 0;
+    std::uint32_t maxRlp = 0;
+    std::uint64_t seed = 0;
+    bool n1Match = false;
+    std::vector<ClusterCell> cells;
+};
+
+/**
+ * Strong scaling of the cluster serving layer: one shared GeneralQa
+ * Poisson stream across N in {1,2,4,8} platforms under
+ * least-outstanding routing, plus the N=1 bit-identity check
+ * against the bare ServingEngine (the contract that anchors the
+ * scale axis to the validated single-platform simulation).
+ */
+ClusterBench
+benchCluster(bool quick)
+{
+    ClusterBench out;
+    out.rateRps = 120.0;
+    out.requests = quick ? 96 : 256;
+    out.maxRlp = 32;
+    out.seed = 7;
+
+    core::PlatformConfig cfg = core::makePapiConfig();
+    llm::ModelConfig model = llm::llama65b();
+    core::Platform reference(cfg);
+    double alpha =
+        core::ThresholdCalibrator::calibrate(reference, model).alpha;
+
+    llm::ArrivalProcess arrivals(llm::TraceCategory::GeneralQa,
+                                 out.rateRps, out.seed);
+    auto stream = arrivals.generate(out.requests);
+    llm::SpeculativeConfig spec;
+
+    cluster::ClusterOptions opt;
+    opt.policy = cluster::RouterPolicy::LeastOutstanding;
+    opt.serving.alpha = alpha;
+    opt.serving.maxRlp = out.maxRlp;
+
+    for (std::uint32_t n : {1u, 2u, 4u, 8u}) {
+        opt.numPlatforms = n;
+        cluster::ClusterEngine engine(cfg, opt);
+        auto start = Clock::now();
+        ClusterCell cell;
+        cell.platforms = n;
+        cell.result = engine.run(stream, spec, model);
+        cell.wall = secondsSince(start);
+        out.cells.push_back(std::move(cell));
+    }
+
+    core::ServingResult single =
+        core::ServingEngine(reference).run(stream, spec, model,
+                                           opt.serving);
+    const core::ServingResult &n1 = out.cells[0].result.perGroup[0];
+    out.n1Match = single.makespanSeconds == n1.makespanSeconds &&
+                  single.energyJoules == n1.energyJoules &&
+                  single.tokensGenerated == n1.tokensGenerated &&
+                  single.iterations == n1.iterations &&
+                  single.meanLatencySeconds ==
+                      n1.meanLatencySeconds &&
+                  single.p95LatencySeconds == n1.p95LatencySeconds;
+    return out;
+}
+
 void
 writeJson(std::FILE *f, bool quick, bool legacy_only,
           std::uint64_t eq_events,
@@ -473,7 +575,8 @@ writeJson(std::FILE *f, bool quick, bool legacy_only,
           const DramResult &pump_legacy, std::uint64_t dec_tokens,
           std::uint64_t dec_iters, double dec_wall,
           std::uint64_t srv_tokens, std::uint64_t srv_iters,
-          double srv_wall, std::uint32_t fig_cells, double fig_wall)
+          double srv_wall, std::uint32_t fig_cells, double fig_wall,
+          const ClusterBench &cb)
 {
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"schema\": \"papi-microbench/1\",\n");
@@ -542,8 +645,53 @@ writeJson(std::FILE *f, bool quick, bool legacy_only,
                  static_cast<double>(srv_tokens) / srv_wall);
     std::fprintf(f,
                  "  \"figure_cell\": {\"cells\": %u, "
-                 "\"wall_seconds\": %.6f}%s\n",
-                 fig_cells, fig_wall, legacy_only ? "" : ",");
+                 "\"wall_seconds\": %.6f},\n",
+                 fig_cells, fig_wall);
+    std::fprintf(f, "  \"cluster\": {\n");
+    std::fprintf(f, "    \"schema\": \"papi-cluster/1\",\n");
+    std::fprintf(f,
+                 "    \"model\": \"llama-65b\", \"policy\": "
+                 "\"least-outstanding\", \"tp_degree\": 1,\n");
+    std::fprintf(f,
+                 "    \"arrival\": {\"trace\": \"general-qa\", "
+                 "\"rate_rps\": %.1f, \"requests\": %u, \"seed\": "
+                 "%llu, \"max_rlp\": %u},\n",
+                 cb.rateRps, cb.requests,
+                 static_cast<unsigned long long>(cb.seed), cb.maxRlp);
+    std::fprintf(f, "    \"n1_matches_serving_engine\": %s,\n",
+                 cb.n1Match ? "true" : "false");
+    std::fprintf(f, "    \"scaling\": [\n");
+    for (std::size_t i = 0; i < cb.cells.size(); ++i) {
+        const ClusterCell &c = cb.cells[i];
+        const cluster::ClusterResult &r = c.result;
+        double util = 0.0;
+        for (double u : r.groupUtilization)
+            util += u;
+        util /= static_cast<double>(r.groupUtilization.size());
+        std::fprintf(
+            f,
+            "      {\"platforms\": %u, \"groups\": %u,\n"
+            "       \"makespan_seconds\": %.6f, "
+            "\"sim_tokens_per_sec\": %.6e,\n"
+            "       \"ttft_p50_seconds\": %.6f, "
+            "\"ttft_p95_seconds\": %.6f, "
+            "\"ttft_p99_seconds\": %.6f,\n"
+            "       \"tpot_p50_seconds\": %.6f, "
+            "\"tpot_p95_seconds\": %.6f, "
+            "\"tpot_p99_seconds\": %.6f,\n"
+            "       \"queueing_mean_seconds\": %.6f, "
+            "\"queueing_p99_seconds\": %.6f,\n"
+            "       \"mean_utilization\": %.4f, "
+            "\"energy_joules\": %.4f, \"wall_seconds\": %.6f}%s\n",
+            c.platforms, r.numGroups, r.makespanSeconds,
+            r.throughputTokensPerSecond(), r.ttft.p50, r.ttft.p95,
+            r.ttft.p99, r.tpot.p50, r.tpot.p95, r.tpot.p99,
+            r.meanQueueingSeconds, r.queueing.p99, util,
+            r.energyJoules, c.wall,
+            i + 1 < cb.cells.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  }%s\n", legacy_only ? "" : ",");
     if (!legacy_only) {
         double stream_speedup =
             stream_new.reqsPerSec / stream_legacy.reqsPerSec;
@@ -642,10 +790,13 @@ main(int argc, char **argv)
     double fig_wall = 0;
     benchFigureCells(fig_cells, fig_wall);
 
+    ClusterBench cb = benchCluster(quick);
+
     writeJson(stdout, quick, legacy_only, eq_events, patterns,
               geomean, dram_n, stream_new, stream_legacy, pump_new,
               pump_legacy, dec_tokens, dec_iters, dec_wall,
-              srv_tokens, srv_iters, srv_wall, fig_cells, fig_wall);
+              srv_tokens, srv_iters, srv_wall, fig_cells, fig_wall,
+              cb);
     if (out_path) {
         std::FILE *f = std::fopen(out_path, "w");
         if (!f) {
@@ -656,7 +807,7 @@ main(int argc, char **argv)
                   dram_n, stream_new, stream_legacy, pump_new,
                   pump_legacy, dec_tokens, dec_iters, dec_wall,
                   srv_tokens, srv_iters, srv_wall, fig_cells,
-                  fig_wall);
+                  fig_wall, cb);
         std::fclose(f);
     }
     return 0;

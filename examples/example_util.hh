@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared helpers for the example programs: model lookup by name and
+ * result equality, so each example stays a focused walkthrough
+ * instead of repeating argument plumbing.
+ */
+
+#ifndef PAPI_EXAMPLES_EXAMPLE_UTIL_HH
+#define PAPI_EXAMPLES_EXAMPLE_UTIL_HH
+
+#include <string>
+
+#include "llm/model_config.hh"
+#include "llm/moe.hh"
+#include "sim/logging.hh"
+
+namespace papi::examples {
+
+/**
+ * Resolve a model by CLI name. Fatal on unknown names, listing the
+ * valid ones.
+ */
+inline llm::ModelConfig
+modelByName(const std::string &name)
+{
+    if (name == "llama-65b")
+        return llm::llama65b();
+    if (name == "gpt3-66b")
+        return llm::gpt3_66b();
+    if (name == "gpt3-175b")
+        return llm::gpt3_175b();
+    if (name == "mixtral-8x22b")
+        return llm::mixtral8x22b();
+    sim::fatal("unknown model '", name,
+               "' (llama-65b | gpt3-66b | gpt3-175b | "
+               "mixtral-8x22b)");
+}
+
+} // namespace papi::examples
+
+#endif // PAPI_EXAMPLES_EXAMPLE_UTIL_HH

@@ -5,6 +5,12 @@
  * customized) via key=value arguments - the deployment scenario the
  * paper's introduction motivates.
  *
+ * Internally this drives the cluster layer at N=1, which is
+ * bit-identical to the bare single-platform ServingEngine (pinned
+ * by tests/cluster_engine_test.cc) and additionally reports the
+ * SLO metrics (TTFT/TPOT/queueing percentiles) the cluster layer
+ * aggregates. See cluster_serving for the multi-platform sweep.
+ *
  * Usage:
  *   online_serving [key=value ...]
  * e.g.
@@ -17,12 +23,12 @@
 
 #include <iostream>
 
+#include "cluster/cluster_engine.hh"
 #include "core/config_loader.hh"
 #include "core/metrics.hh"
-#include "core/serving_engine.hh"
 #include "core/threshold_calibrator.hh"
+#include "example_util.hh"
 #include "llm/arrival.hh"
-#include "llm/moe.hh"
 
 using namespace papi;
 
@@ -33,18 +39,9 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i)
         config.parseAssignment(argv[i]);
 
-    llm::ModelConfig model = llm::llama65b();
-    std::string model_name = config.getString("model", "llama-65b");
-    if (model_name == "gpt3-66b")
-        model = llm::gpt3_66b();
-    else if (model_name == "gpt3-175b")
-        model = llm::gpt3_175b();
-    else if (model_name == "mixtral-8x22b")
-        model = llm::mixtral8x22b();
-    else if (model_name != "llama-65b")
-        sim::fatal("unknown model '", model_name, "'");
-
-    core::Platform platform(core::platformFromConfig(config));
+    llm::ModelConfig model = examples::modelByName(
+        config.getString("model", "llama-65b"));
+    core::PlatformConfig cfg = core::platformFromConfig(config);
 
     // Calibrate alpha on a reference PAPI platform (the threshold is
     // a hardware property of the GPU/FC-PIM pair).
@@ -62,15 +59,18 @@ main(int argc, char **argv)
     llm::SpeculativeConfig spec;
     spec.length =
         static_cast<std::uint32_t>(config.getInt("spec_len", 1));
-    core::ServingOptions opt;
-    opt.alpha = alpha;
-    opt.maxRlp =
+
+    cluster::ClusterOptions opt;
+    opt.numPlatforms = 1;
+    opt.serving.alpha = alpha;
+    opt.serving.maxRlp =
         static_cast<std::uint32_t>(config.getInt("max_rlp", 64));
 
-    core::ServingEngine engine(platform);
-    core::ServingResult r = engine.run(reqs, spec, model, opt);
+    cluster::ClusterEngine engine(cfg, opt);
+    cluster::ClusterResult c = engine.run(reqs, spec, model);
+    const core::ServingResult &r = c.perGroup[0];
 
-    std::cout << "platform      : " << platform.name() << "\n";
+    std::cout << "platform      : " << cfg.name << "\n";
     std::cout << "model         : " << model.name << "\n";
     std::cout << "alpha         : " << alpha << "\n";
     std::cout << "requests      : " << r.admissions << "\n";
@@ -80,6 +80,14 @@ main(int argc, char **argv)
               << core::formatSeconds(r.meanLatencySeconds) << "\n";
     std::cout << "p95 latency   : "
               << core::formatSeconds(r.p95LatencySeconds) << "\n";
+    std::cout << "TTFT p50/p99  : "
+              << core::formatSeconds(c.ttft.p50) << " / "
+              << core::formatSeconds(c.ttft.p99) << "\n";
+    std::cout << "TPOT p50/p99  : "
+              << core::formatSeconds(c.tpot.p50) << " / "
+              << core::formatSeconds(c.tpot.p99) << "\n";
+    std::cout << "queueing p99  : "
+              << core::formatSeconds(c.queueing.p99) << "\n";
     std::cout << "throughput    : "
               << r.throughputTokensPerSecond() << " tok/s\n";
     std::cout << "energy        : "

@@ -6,16 +6,16 @@
  * (paper Section 3.2's motivation).
  *
  * Usage: serving_sweep [model]   model in {llama-65b, gpt3-66b,
- * gpt3-175b}; default llama-65b.
+ * gpt3-175b, mixtral-8x22b}; default llama-65b.
  */
 
-#include <cstring>
 #include <iostream>
 
 #include "core/decode_engine.hh"
 #include "core/metrics.hh"
 #include "core/platform.hh"
 #include "core/threshold_calibrator.hh"
+#include "example_util.hh"
 #include "llm/batch.hh"
 #include "llm/trace.hh"
 
@@ -24,17 +24,8 @@ using namespace papi;
 int
 main(int argc, char **argv)
 {
-    llm::ModelConfig model = llm::llama65b();
-    if (argc > 1) {
-        if (std::strcmp(argv[1], "gpt3-66b") == 0)
-            model = llm::gpt3_66b();
-        else if (std::strcmp(argv[1], "gpt3-175b") == 0)
-            model = llm::gpt3_175b();
-        else if (std::strcmp(argv[1], "llama-65b") != 0) {
-            std::cerr << "unknown model '" << argv[1] << "'\n";
-            return 1;
-        }
-    }
+    llm::ModelConfig model = examples::modelByName(
+        argc > 1 ? argv[1] : "llama-65b");
 
     core::Platform papi(core::makePapiConfig());
     core::CalibrationResult cal =

@@ -1,0 +1,254 @@
+#include "cluster/cluster_engine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/metrics.hh"
+#include "sim/logging.hh"
+
+namespace papi::cluster {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+LatencyPercentiles
+summarize(std::vector<double> &values, double &mean_out)
+{
+    LatencyPercentiles out;
+    if (values.empty()) {
+        mean_out = 0.0;
+        return out;
+    }
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    mean_out = sum / static_cast<double>(values.size());
+    std::sort(values.begin(), values.end());
+    out.p50 = core::percentileSorted(values, 0.50);
+    out.p95 = core::percentileSorted(values, 0.95);
+    out.p99 = core::percentileSorted(values, 0.99);
+    return out;
+}
+
+} // namespace
+
+ClusterEngine::ClusterEngine(const core::PlatformConfig &config,
+                             const ClusterOptions &options)
+    : _options(options)
+{
+    if (options.numPlatforms == 0)
+        sim::fatal("ClusterEngine: need at least one platform");
+    if (options.tensorParallelDegree == 0 ||
+        options.numPlatforms % options.tensorParallelDegree != 0)
+        sim::fatal("ClusterEngine: tensorParallelDegree (",
+                   options.tensorParallelDegree,
+                   ") must divide numPlatforms (",
+                   options.numPlatforms, ")");
+    _numGroups =
+        options.numPlatforms / options.tensorParallelDegree;
+    _platforms.reserve(_numGroups);
+    for (std::uint32_t g = 0; g < _numGroups; ++g)
+        _platforms.push_back(
+            std::make_unique<core::Platform>(config));
+}
+
+ClusterResult
+ClusterEngine::run(const std::vector<llm::TimedRequest> &stream,
+                   const llm::SpeculativeConfig &spec,
+                   const llm::ModelConfig &model)
+{
+    if (stream.empty())
+        sim::fatal("ClusterEngine: empty request stream");
+    for (std::size_t i = 1; i < stream.size(); ++i) {
+        if (stream[i].arrivalSeconds < stream[i - 1].arrivalSeconds)
+            sim::fatal("ClusterEngine: arrivals must be sorted");
+    }
+    if (_options.serving.admission != core::AdmissionPolicy::TokenLevel)
+        sim::fatal("ClusterEngine: only token-level admission is "
+                   "supported (batch-level needs lookahead over "
+                   "undelivered arrivals)");
+
+    TensorParallelModel tp;
+    tp.degree = _options.tensorParallelDegree;
+    tp.fabric = _options.tpFabric;
+    const core::IterationCostModel cost =
+        tp.iterationCostModel(model);
+
+    std::vector<std::unique_ptr<core::ServingSim>> sims;
+    sims.reserve(_numGroups);
+    for (std::uint32_t g = 0; g < _numGroups; ++g)
+        sims.push_back(std::make_unique<core::ServingSim>(
+            *_platforms[g], spec, model, _options.serving, cost));
+
+    Router router(_options.policy, _numGroups);
+    std::vector<BackendLoad> loads(_numGroups);
+    std::size_t next = 0;
+
+    // Route and deliver every arrival with time <= t. Loads are
+    // snapshotted per decision so a burst spreads across replicas
+    // even under least-outstanding.
+    auto deliver_up_to = [&](double t) {
+        while (next < stream.size() &&
+               stream[next].arrivalSeconds <= t) {
+            for (std::uint32_t g = 0; g < _numGroups; ++g)
+                loads[g].outstanding = sims[g]->outstanding();
+            std::uint32_t pick = router.route(stream[next], loads);
+            sims[pick]->deliver(stream[next]);
+            ++next;
+        }
+    };
+
+    // Global event loop: backend iteration boundaries and arrival
+    // events interleave in deterministic time order (arrival wins
+    // ties so boundary admissions see it; backend ties break toward
+    // the lowest index). A backend's boundary time only changes
+    // when its batch does (stepIdle/stepDecode/admit), so it is
+    // cached across loop passes (< 0 = stale); deliveries alone
+    // never invalidate it.
+    std::vector<double> boundary(_numGroups, -1.0);
+    while (true) {
+        for (std::uint32_t g = 0; g < _numGroups; ++g) {
+            if (!sims[g]->hasActive() && sims[g]->hasPending()) {
+                sims[g]->stepIdle();
+                boundary[g] = -1.0;
+            }
+        }
+        const double t_arr = next < stream.size()
+                                 ? stream[next].arrivalSeconds
+                                 : kInf;
+        double t_step = kInf;
+        std::int64_t best = -1;
+        for (std::uint32_t g = 0; g < _numGroups; ++g) {
+            if (!sims[g]->hasActive())
+                continue;
+            if (boundary[g] < 0.0)
+                boundary[g] = sims[g]->now() +
+                              sims[g]->peekIterationSeconds();
+            if (boundary[g] < t_step) {
+                t_step = boundary[g];
+                best = g;
+            }
+        }
+        if (best < 0 && next >= stream.size())
+            break;
+        if (best < 0 || t_arr <= t_step) {
+            deliver_up_to(t_arr);
+            continue;
+        }
+        sims[best]->stepDecode();
+        sims[best]->admit();
+        boundary[best] = -1.0;
+    }
+
+    ClusterResult out;
+    out.numGroups = _numGroups;
+    out.perGroup.reserve(_numGroups);
+    out.groupUtilization.resize(_numGroups, 0.0);
+    double t_end = stream.front().arrivalSeconds;
+    for (std::uint32_t g = 0; g < _numGroups; ++g) {
+        core::ServingResult r = sims[g]->finish();
+        out.energyJoules += r.energyJoules;
+        out.tokensGenerated += r.tokensGenerated;
+        out.perGroup.push_back(std::move(r));
+        t_end = std::max(t_end, sims[g]->now());
+        const auto &recs = sims[g]->records();
+        out.records.insert(out.records.end(), recs.begin(),
+                           recs.end());
+    }
+    out.makespanSeconds = t_end - stream.front().arrivalSeconds;
+    out.requestsServed = out.records.size();
+    for (std::uint32_t g = 0; g < _numGroups; ++g) {
+        out.groupUtilization[g] =
+            out.makespanSeconds > 0.0
+                ? sims[g]->busySeconds() / out.makespanSeconds
+                : 0.0;
+    }
+
+    std::vector<double> ttft, tpot, latency, queueing;
+    ttft.reserve(out.records.size());
+    tpot.reserve(out.records.size());
+    latency.reserve(out.records.size());
+    queueing.reserve(out.records.size());
+    for (const auto &rec : out.records) {
+        ttft.push_back(rec.ttftSeconds());
+        tpot.push_back(rec.tpotSeconds());
+        latency.push_back(rec.finishSeconds - rec.arrivalSeconds);
+        queueing.push_back(rec.queueingSeconds());
+    }
+    out.ttft = summarize(ttft, out.meanTtftSeconds);
+    out.tpot = summarize(tpot, out.meanTpotSeconds);
+    out.latency = summarize(latency, out.meanLatencySeconds);
+    out.queueing = summarize(queueing, out.meanQueueingSeconds);
+    return out;
+}
+
+void
+ClusterResult::populateStats(sim::stats::StatGroup &group) const
+{
+    group.addScalar("makespan_seconds",
+                    "first arrival to last completion")
+        .set(makespanSeconds);
+    group.addScalar("energy_joules", "total cluster energy")
+        .set(energyJoules);
+    group.addScalar("requests_served", "requests run to <eos>")
+        .set(static_cast<double>(requestsServed));
+    group.addScalar("tokens_generated", "output tokens produced")
+        .set(static_cast<double>(tokensGenerated));
+    group.addScalar("throughput_tokens_per_second",
+                    "tokens over the makespan")
+        .set(throughputTokensPerSecond());
+
+    auto add_percentiles = [&group](const char *prefix,
+                                    const LatencyPercentiles &p,
+                                    const char *desc) {
+        group.addScalar(std::string(prefix) + "_p50_seconds", desc)
+            .set(p.p50);
+        group.addScalar(std::string(prefix) + "_p95_seconds", desc)
+            .set(p.p95);
+        group.addScalar(std::string(prefix) + "_p99_seconds", desc)
+            .set(p.p99);
+    };
+    add_percentiles("ttft", ttft, "arrival to first token");
+    add_percentiles("tpot", tpot, "per-token decode interval");
+    add_percentiles("latency", latency, "arrival to completion");
+    add_percentiles("queueing", queueing, "arrival to admission");
+    group.addScalar("ttft_mean_seconds", "arrival to first token")
+        .set(meanTtftSeconds);
+    group.addScalar("latency_mean_seconds", "arrival to completion")
+        .set(meanLatencySeconds);
+    group.addScalar("tpot_mean_seconds", "per-token decode interval")
+        .set(meanTpotSeconds);
+    group.addScalar("queueing_mean_seconds", "arrival to admission")
+        .set(meanQueueingSeconds);
+
+    std::vector<std::string> bins;
+    bins.reserve(groupUtilization.size());
+    for (std::size_t g = 0; g < groupUtilization.size(); ++g)
+        bins.push_back("group" + std::to_string(g));
+    auto &util = group.addVector(
+        "group_utilization", "busy fraction of the makespan", bins);
+    for (std::size_t g = 0; g < groupUtilization.size(); ++g)
+        util.add(g, groupUtilization[g]);
+
+    if (!records.empty()) {
+        double ttft_max = 0.0, tpot_max = 0.0;
+        for (const auto &rec : records) {
+            ttft_max = std::max(ttft_max, rec.ttftSeconds());
+            tpot_max = std::max(tpot_max, rec.tpotSeconds());
+        }
+        auto &h_ttft = group.addHistogram(
+            "ttft_histogram", "arrival to first token, seconds",
+            0.0, std::nextafter(std::max(ttft_max, 1e-9), kInf), 20);
+        auto &h_tpot = group.addHistogram(
+            "tpot_histogram", "per-token decode interval, seconds",
+            0.0, std::nextafter(std::max(tpot_max, 1e-9), kInf), 20);
+        for (const auto &rec : records) {
+            h_ttft.sample(rec.ttftSeconds());
+            h_tpot.sample(rec.tpotSeconds());
+        }
+    }
+}
+
+} // namespace papi::cluster

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Cluster-scale serving: N platforms behind one request router.
+ *
+ * This is the scale-out layer above core::ServingEngine. A shared
+ * arrival stream (the traffic of many users) enters a front-end
+ * Router, which fans requests out to independent core::Platform
+ * instances - optionally stitched into tensor-parallel groups with
+ * an explicit all-reduce cost over an interconnect::Link. Each
+ * backend keeps its own DynamicScheduler state and threshold, so
+ * the GPU <-> PIM reschedule dynamics the paper studies stay
+ * per-shard, while latency SLO metrics (TTFT/TPOT percentiles,
+ * queueing delay, per-platform utilization) aggregate across the
+ * cluster.
+ *
+ * Simulation model: the cluster loop owns global time. Arrival
+ * events and backend iteration boundaries interleave in
+ * deterministic time order (ties broken by backend index), with
+ * each backend advanced through its ServingSim stepwise API. With
+ * one backend the loop reduces exactly to ServingEngine::run - a
+ * property pinned by tests/cluster_engine_test.cc.
+ */
+
+#ifndef PAPI_CLUSTER_CLUSTER_ENGINE_HH
+#define PAPI_CLUSTER_CLUSTER_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/router.hh"
+#include "cluster/tensor_parallel.hh"
+#include "core/platform.hh"
+#include "core/serving_engine.hh"
+#include "interconnect/link.hh"
+#include "llm/arrival.hh"
+#include "sim/stats.hh"
+
+namespace papi::cluster {
+
+/** Cluster shape and per-backend serving options. */
+struct ClusterOptions
+{
+    /** Total core::Platform instances in the cluster. */
+    std::uint32_t numPlatforms = 1;
+    /**
+     * Platforms stitched into one tensor-parallel replica; must
+     * divide numPlatforms. Degree 1 = every platform an independent
+     * replica.
+     */
+    std::uint32_t tensorParallelDegree = 1;
+    /** Front-end load-balancing policy. */
+    RouterPolicy policy = RouterPolicy::RoundRobin;
+    /** Link class inside tensor-parallel groups (all-reduce). */
+    interconnect::Link tpFabric = interconnect::nvlink();
+    /** Per-backend admission/scheduling options. */
+    core::ServingOptions serving;
+};
+
+/** p50/p95/p99 of one latency population, seconds. */
+struct LatencyPercentiles
+{
+    double p50 = 0.0; ///< Median.
+    double p95 = 0.0; ///< 95th percentile.
+    double p99 = 0.0; ///< 99th percentile (the SLO tail).
+};
+
+/** Aggregate outcome of a cluster serving run. */
+struct ClusterResult
+{
+    /** Replica count (numPlatforms / tensorParallelDegree). */
+    std::uint32_t numGroups = 0;
+    /** Per-replica serving results, by backend index. */
+    std::vector<core::ServingResult> perGroup;
+    /** Per-replica busy fraction of the cluster makespan. */
+    std::vector<double> groupUtilization;
+
+    double makespanSeconds = 0.0; ///< First arrival to last finish.
+    double energyJoules = 0.0;    ///< Summed over all replicas.
+    std::uint64_t requestsServed = 0;  ///< Requests run to <eos>.
+    std::uint64_t tokensGenerated = 0; ///< Summed over all replicas.
+
+    LatencyPercentiles ttft;     ///< Arrival to first token.
+    LatencyPercentiles tpot;     ///< Per-token decode interval.
+    LatencyPercentiles latency;  ///< Arrival to completion.
+    LatencyPercentiles queueing; ///< Arrival to admission.
+    double meanTtftSeconds = 0.0;     ///< Mean of the TTFT population.
+    double meanTpotSeconds = 0.0;     ///< Mean of the TPOT population.
+    double meanLatencySeconds = 0.0;  ///< Mean arrival-to-completion.
+    double meanQueueingSeconds = 0.0; ///< Mean queueing delay.
+
+    /** Cluster decode throughput over the makespan. */
+    double
+    throughputTokensPerSecond() const
+    {
+        return makespanSeconds > 0.0
+                   ? static_cast<double>(tokensGenerated) /
+                         makespanSeconds
+                   : 0.0;
+    }
+
+    /**
+     * Register the cluster metrics (scalars for the aggregates and
+     * percentiles, a per-replica utilization vector, TTFT/TPOT
+     * histograms sampled from the per-request records) into @p
+     * group for stats-file style dumping.
+     */
+    void populateStats(sim::stats::StatGroup &group) const;
+
+    /**
+     * Per-request timelines across all replicas, grouped by replica
+     * index (completion order within each replica).
+     */
+    std::vector<core::RequestRecord> records;
+};
+
+/** Multi-platform serving simulator behind a request router. */
+class ClusterEngine
+{
+  public:
+    /**
+     * Build numPlatforms platform instances from @p config.
+     * Fatal if tensorParallelDegree does not divide numPlatforms.
+     */
+    ClusterEngine(const core::PlatformConfig &config,
+                  const ClusterOptions &options);
+
+    /** Replica (backend) count. */
+    std::uint32_t numGroups() const { return _numGroups; }
+
+    /** The cluster shape this engine was built with. */
+    const ClusterOptions &options() const { return _options; }
+
+    /**
+     * Serve @p stream to completion across the cluster. Only
+     * token-level admission is supported (batch-level admission
+     * needs lookahead over undelivered arrivals; fatal).
+     */
+    ClusterResult run(const std::vector<llm::TimedRequest> &stream,
+                      const llm::SpeculativeConfig &spec,
+                      const llm::ModelConfig &model);
+
+  private:
+    ClusterOptions _options;
+    std::uint32_t _numGroups;
+    /**
+     * One platform model per replica group: the group's
+     * tensorParallelDegree physical platforms are identical, so one
+     * instance (plus the TP cost model) carries the whole group.
+     */
+    std::vector<std::unique_ptr<core::Platform>> _platforms;
+};
+
+} // namespace papi::cluster
+
+#endif // PAPI_CLUSTER_CLUSTER_ENGINE_HH

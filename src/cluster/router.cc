@@ -1,0 +1,78 @@
+#include "cluster/router.hh"
+
+#include "sim/logging.hh"
+
+namespace papi::cluster {
+
+const char *
+routerPolicyName(RouterPolicy policy)
+{
+    switch (policy) {
+      case RouterPolicy::RoundRobin:
+        return "round-robin";
+      case RouterPolicy::LeastOutstanding:
+        return "least-outstanding";
+      case RouterPolicy::SessionAffinity:
+        return "session-affinity";
+    }
+    return "unknown";
+}
+
+RouterPolicy
+routerPolicyByName(const std::string &name)
+{
+    if (name == "round-robin")
+        return RouterPolicy::RoundRobin;
+    if (name == "least-outstanding")
+        return RouterPolicy::LeastOutstanding;
+    if (name == "session-affinity")
+        return RouterPolicy::SessionAffinity;
+    sim::fatal("unknown router policy '", name,
+               "' (round-robin | least-outstanding | "
+               "session-affinity)");
+}
+
+Router::Router(RouterPolicy policy, std::uint32_t num_backends)
+    : _policy(policy), _numBackends(num_backends)
+{
+    if (num_backends == 0)
+        sim::fatal("Router: need at least one backend");
+}
+
+std::uint32_t
+Router::route(const llm::TimedRequest &request,
+              const std::vector<BackendLoad> &loads)
+{
+    if (loads.size() != _numBackends)
+        sim::panic("Router: ", loads.size(), " loads for ",
+                   _numBackends, " backends");
+    switch (_policy) {
+      case RouterPolicy::RoundRobin: {
+        std::uint32_t pick = _rrNext;
+        _rrNext = (_rrNext + 1) % _numBackends;
+        return pick;
+      }
+      case RouterPolicy::LeastOutstanding: {
+        std::uint32_t best = 0;
+        for (std::uint32_t i = 1; i < _numBackends; ++i) {
+            if (loads[i].outstanding < loads[best].outstanding)
+                best = i;
+        }
+        return best;
+      }
+      case RouterPolicy::SessionAffinity: {
+        // splitmix64 finalizer: avalanches consecutive session ids
+        // across backends while staying deterministic.
+        std::uint64_t h = request.sessionId;
+        h ^= h >> 30;
+        h *= 0xbf58476d1ce4e5b9ULL;
+        h ^= h >> 27;
+        h *= 0x94d049bb133111ebULL;
+        h ^= h >> 31;
+        return static_cast<std::uint32_t>(h % _numBackends);
+      }
+    }
+    sim::panic("Router: unhandled policy");
+}
+
+} // namespace papi::cluster

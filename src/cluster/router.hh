@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Front-end request routing for a multi-platform serving cluster.
+ *
+ * A production LLM service places a stateless router between the
+ * user-facing API and a fleet of model replicas. This module models
+ * the routing policies that matter for PIM-backed serving:
+ *
+ *  - Round-robin ignores backend state and is the fairness baseline.
+ *  - Least-outstanding-RLP routes to the replica with the fewest
+ *    live-plus-queued requests; because PAPI's FC latency scales
+ *    with RLP x TLP (paper Section 5), outstanding RLP is the
+ *    direct proxy for a replica's marginal service rate.
+ *  - Session affinity pins every request of one conversation to one
+ *    replica so its KV-cache prefix stays resident on that
+ *    replica's Attn-PIM fleet (Section 6.2's disaggregated pool is
+ *    per-platform, not global).
+ */
+
+#ifndef PAPI_CLUSTER_ROUTER_HH
+#define PAPI_CLUSTER_ROUTER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "llm/arrival.hh"
+
+/**
+ * @namespace papi::cluster
+ * Cluster-scale serving: request routing, tensor-parallel groups,
+ * and multi-platform co-simulation.
+ */
+namespace papi::cluster {
+
+/** Load-balancing policy of the cluster front-end. */
+enum class RouterPolicy : std::uint8_t
+{
+    RoundRobin,       ///< Cycle through backends in index order.
+    LeastOutstanding, ///< Fewest live + queued requests (RLP proxy).
+    SessionAffinity,  ///< Hash the session id to a fixed backend.
+};
+
+/** Printable policy name ("round-robin", ...). */
+const char *routerPolicyName(RouterPolicy policy);
+
+/** Parse a policy name; fatal on unknown names. */
+RouterPolicy routerPolicyByName(const std::string &name);
+
+/** A backend's load as the router observes it at routing time. */
+struct BackendLoad
+{
+    /** Live (decoding) plus queued (pending admission) requests. */
+    std::uint32_t outstanding = 0;
+};
+
+/**
+ * The routing decision function. Stateless except for the
+ * round-robin cursor, so one Router serves a whole simulation
+ * deterministically.
+ */
+class Router
+{
+  public:
+    /**
+     * @param policy Load-balancing policy.
+     * @param num_backends Backends behind the router; must be >= 1.
+     */
+    Router(RouterPolicy policy, std::uint32_t num_backends);
+
+    /** The configured load-balancing policy. */
+    RouterPolicy policy() const { return _policy; }
+    /** Number of backends behind the router. */
+    std::uint32_t numBackends() const { return _numBackends; }
+
+    /**
+     * Pick the backend for @p request given per-backend @p loads
+     * (size must equal numBackends()). Least-outstanding breaks
+     * ties toward the lowest index, keeping runs deterministic.
+     */
+    std::uint32_t route(const llm::TimedRequest &request,
+                        const std::vector<BackendLoad> &loads);
+
+  private:
+    RouterPolicy _policy;
+    std::uint32_t _numBackends;
+    std::uint32_t _rrNext = 0; ///< Round-robin cursor.
+};
+
+} // namespace papi::cluster
+
+#endif // PAPI_CLUSTER_ROUTER_HH

@@ -1,0 +1,66 @@
+#include "cluster/tensor_parallel.hh"
+
+#include "sim/logging.hh"
+
+namespace papi::cluster {
+
+double
+TensorParallelModel::allReduceSeconds(std::uint64_t bytes) const
+{
+    if (degree <= 1)
+        return 0.0;
+    const double chunk = static_cast<double>(bytes) /
+                         static_cast<double>(degree);
+    const double per_step = fabric.latencySeconds +
+                            fabric.messageOverheadSeconds +
+                            chunk / fabric.bandwidthBytesPerSec;
+    return 2.0 * static_cast<double>(degree - 1) * per_step;
+}
+
+double
+TensorParallelModel::allReduceJoules(std::uint64_t bytes) const
+{
+    if (degree <= 1)
+        return 0.0;
+    // Each rank sends 2(g-1) chunks of bytes/g; total wire traffic
+    // across the ring is 2(g-1)/g * bytes per rank, g ranks.
+    const double wire_bytes =
+        2.0 * static_cast<double>(degree - 1) *
+        static_cast<double>(bytes);
+    return wire_bytes * fabric.energyPerByte;
+}
+
+std::uint64_t
+TensorParallelModel::activationBytes(const llm::ModelConfig &model,
+                                     std::uint32_t tokens) const
+{
+    return static_cast<std::uint64_t>(tokens) * model.hiddenDim *
+           model.bytesPerParam;
+}
+
+core::IterationCostModel
+TensorParallelModel::iterationCostModel(
+    const llm::ModelConfig &model) const
+{
+    if (degree == 0)
+        sim::fatal("TensorParallelModel: degree must be >= 1");
+    core::IterationCostModel cost;
+    if (degree == 1)
+        return cost; // Trivial: single-platform arithmetic untouched.
+    cost.computeScale = static_cast<double>(degree);
+    // Two all-reduces per decoder layer (post-attention and
+    // post-FFN), every iteration. activationBytes() is the single
+    // source of truth for the tile size.
+    const TensorParallelModel tp = *this;
+    cost.extraSeconds = [tp, model](std::uint32_t tokens) {
+        return 2.0 * model.numLayers *
+               tp.allReduceSeconds(tp.activationBytes(model, tokens));
+    };
+    cost.extraJoules = [tp, model](std::uint32_t tokens) {
+        return 2.0 * model.numLayers *
+               tp.allReduceJoules(tp.activationBytes(model, tokens));
+    };
+    return cost;
+}
+
+} // namespace papi::cluster

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tensor-parallel group cost model for multi-platform serving.
+ *
+ * When one model replica is sharded across g platforms (Megatron
+ * column/row parallelism), every decoder layer ends its attention
+ * and FFN blocks with an all-reduce of the activation tile across
+ * the group - two all-reduces per layer per iteration. The kernel
+ * phases scale near-ideally (each platform holds 1/g of the weight
+ * and KV working set), so the group behaves like one platform with
+ * kernel time divided by g plus an interconnect term that grows
+ * with g. C2CServe-style elastic serving (PAPERS.md) makes exactly
+ * this trade: more shards cut per-iteration compute but pay the
+ * fabric, and past the crossover TPOT is fabric-bound.
+ */
+
+#ifndef PAPI_CLUSTER_TENSOR_PARALLEL_HH
+#define PAPI_CLUSTER_TENSOR_PARALLEL_HH
+
+#include <cstdint>
+
+#include "core/serving_engine.hh"
+#include "interconnect/link.hh"
+#include "llm/model_config.hh"
+
+namespace papi::cluster {
+
+/** Ring all-reduce timing/energy over a tensor-parallel group. */
+struct TensorParallelModel
+{
+    /** Platforms stitched into one model replica (g >= 1). */
+    std::uint32_t degree = 1;
+    /** Link class connecting the group's platforms. */
+    interconnect::Link fabric = interconnect::nvlink();
+
+    /**
+     * Ring all-reduce of @p bytes across the group: 2(g-1) steps,
+     * each moving a bytes/g chunk per rank. Zero for degree 1.
+     */
+    double allReduceSeconds(std::uint64_t bytes) const;
+
+    /** Transfer energy of the same all-reduce. */
+    double allReduceJoules(std::uint64_t bytes) const;
+
+    /** Activation bytes all-reduced per layer for @p tokens. */
+    std::uint64_t activationBytes(const llm::ModelConfig &model,
+                                  std::uint32_t tokens) const;
+
+    /**
+     * The per-iteration cost hook ServingSim applies: kernel time
+     * divided by the degree, plus two all-reduces per layer of the
+     * iteration's activation tile. Trivial (a no-op model) for
+     * degree 1, preserving single-platform bit-identity.
+     */
+    core::IterationCostModel
+    iterationCostModel(const llm::ModelConfig &model) const;
+};
+
+} // namespace papi::cluster
+
+#endif // PAPI_CLUSTER_TENSOR_PARALLEL_HH

@@ -24,6 +24,7 @@ namespace papi::core {
 class ArithmeticIntensityEstimator
 {
   public:
+    /** @param model Model whose FC kernels are estimated. */
     explicit ArithmeticIntensityEstimator(const llm::ModelConfig &model)
         : _model(model)
     {}

@@ -25,12 +25,13 @@ namespace papi::core {
 /** Per-component time/energy accumulation of one run. */
 struct RunBreakdown
 {
-    double prefillSeconds = 0.0;
+    double prefillSeconds = 0.0; ///< Prompt-processing phase.
     double fcSeconds = 0.0;   ///< Decode FC (GEMV only).
     double attnSeconds = 0.0; ///< Decode attention (GEMV+softmax).
     double commSeconds = 0.0; ///< All activation/KV movement.
-    double otherSeconds = 0.0;
+    double otherSeconds = 0.0; ///< Layernorm/residual/sampling.
 
+    /** Sum of all components, end to end. */
     double
     totalSeconds() const
     {
@@ -42,13 +43,13 @@ struct RunBreakdown
 /** Outcome of an end-to-end run. */
 struct RunResult
 {
-    RunBreakdown time;
-    double energyJoules = 0.0;
-    std::uint64_t iterations = 0;
-    std::uint64_t tokensGenerated = 0;
-    std::uint64_t fcOnGpuIterations = 0;
-    std::uint64_t fcOnPimIterations = 0;
-    std::uint64_t reschedules = 0;
+    RunBreakdown time;           ///< Per-component time split.
+    double energyJoules = 0.0;   ///< Total device + fabric energy.
+    std::uint64_t iterations = 0; ///< Decode iterations executed.
+    std::uint64_t tokensGenerated = 0; ///< Output tokens produced.
+    std::uint64_t fcOnGpuIterations = 0; ///< Iterations with FC on GPU.
+    std::uint64_t fcOnPimIterations = 0; ///< Iterations with FC on PIM.
+    std::uint64_t reschedules = 0; ///< FC target changes.
 
     /** End-to-end seconds. */
     double seconds() const { return time.totalSeconds(); }
@@ -76,14 +77,14 @@ struct RunResult
 /** One row of the optional per-iteration schedule trace. */
 struct IterationTrace
 {
-    std::uint64_t iteration = 0;
-    std::uint32_t rlp = 0;
-    std::uint32_t tlp = 0;
-    double estimatedAi = 0.0;
-    FcTarget fcTarget = FcTarget::Gpu;
-    bool rescheduled = false;
-    std::uint32_t eosCount = 0;
-    double iterationSeconds = 0.0;
+    std::uint64_t iteration = 0; ///< Iteration index (0-based).
+    std::uint32_t rlp = 0;       ///< Live request-level parallelism.
+    std::uint32_t tlp = 0;       ///< Speculation length.
+    double estimatedAi = 0.0;    ///< Scheduler's RLP x TLP estimate.
+    FcTarget fcTarget = FcTarget::Gpu; ///< Chosen FC target.
+    bool rescheduled = false;    ///< Target changed vs last iteration.
+    std::uint32_t eosCount = 0;  ///< Requests that finished here.
+    double iterationSeconds = 0.0; ///< Wall time of the iteration.
 };
 
 /** Options for a run. */
@@ -103,6 +104,7 @@ struct RunOptions
 class DecodeEngine
 {
   public:
+    /** @param platform Timing/energy model runs execute against. */
     explicit DecodeEngine(const Platform &platform)
         : _platform(platform)
     {}

@@ -70,4 +70,15 @@ formatJoules(double joules)
     return os.str();
 }
 
+
+double
+percentileSorted(const std::vector<double> &sorted_values, double q)
+{
+    if (sorted_values.empty())
+        return 0.0;
+    auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted_values.size() - 1));
+    return sorted_values[idx];
+}
+
 } // namespace papi::core

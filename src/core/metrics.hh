@@ -24,6 +24,15 @@ double energyEfficiency(const RunResult &baseline,
 /** Geometric mean of a set of positive ratios. */
 double geomean(const std::vector<double> &values);
 
+/**
+ * Quantile @p q (in [0,1]) of an ascending-sorted sample by the
+ * repo-wide convention `idx = floor(q * (n - 1))` - shared by
+ * ServingResult's p95 and the cluster percentiles so the two layers
+ * stay comparable. Returns 0 for an empty sample.
+ */
+double percentileSorted(const std::vector<double> &sorted_values,
+                        double q);
+
 /** Format seconds with an adaptive unit (s / ms / us). */
 std::string formatSeconds(double seconds);
 

@@ -34,10 +34,22 @@
 #include "llm/model_config.hh"
 #include "pim/pim_device.hh"
 
+/**
+ * @namespace papi
+ * PAPI reproduction: GPU/PIM LLM-serving simulation.
+ */
+/**
+ * @namespace papi::core
+ * Platform composition, dynamic scheduling, and serving engines.
+ */
 namespace papi::core {
 
 /** Where an FC kernel may execute. */
-enum class FcTarget : std::uint8_t { Gpu, FcPim };
+enum class FcTarget : std::uint8_t
+{
+    Gpu,   ///< The GPU's processing units.
+    FcPim, ///< The near-bank FC-PIM devices.
+};
 
 /** FC scheduling policy of a platform. */
 enum class FcPolicy : std::uint8_t
@@ -48,14 +60,16 @@ enum class FcPolicy : std::uint8_t
     Oracle,    ///< Ablation: pick the faster target with hindsight.
 };
 
+/** Printable policy name ("always-gpu", "dynamic", ...). */
 const char *fcPolicyName(FcPolicy policy);
+/** Printable target name ("gpu" or "fc-pim"). */
 const char *fcTargetName(FcTarget target);
 
 /** Structural description of a platform. */
 struct PlatformConfig
 {
-    std::string name = "platform";
-    FcPolicy fcPolicy = FcPolicy::Dynamic;
+    std::string name = "platform"; ///< Display/report name.
+    FcPolicy fcPolicy = FcPolicy::Dynamic; ///< FC scheduling policy.
 
     /**
      * True if the system tracks runtime RLP (PAPI's token-level
@@ -68,21 +82,21 @@ struct PlatformConfig
      */
     bool tracksRuntimeRlp = false;
 
-    bool hasGpu = true;
-    std::uint32_t numGpus = 6;
-    gpu::GpuSpec gpuSpec;
+    bool hasGpu = true;        ///< False for PIM-only systems.
+    std::uint32_t numGpus = 6; ///< GPUs in the tensor-parallel group.
+    gpu::GpuSpec gpuSpec;      ///< Per-GPU roofline parameters.
 
     /** Devices holding FC weights (GPU-attached). */
     pim::PimConfig fcDeviceConfig;
-    std::uint32_t numFcDevices = 30;
+    std::uint32_t numFcDevices = 30; ///< Devices in the FC fleet.
     /** True if the FC devices have usable near-bank compute. */
     bool fcDevicesCompute = true;
 
     /** Disaggregated devices holding KV caches. */
     pim::PimConfig attnDeviceConfig;
-    std::uint32_t numAttnDevices = 60;
+    std::uint32_t numAttnDevices = 60; ///< Devices in the KV fleet.
 
-    interconnect::Topology topology;
+    interconnect::Topology topology; ///< Fabric link classes.
     /** Parallel links aggregating the FC fabric. */
     std::uint32_t fcFabricLinks = 6;
     /** Parallel links aggregating the attention fabric. */
@@ -104,31 +118,38 @@ struct PlatformConfig
     /** Per-iteration overhead (sampling, token gather), seconds. */
     double otherPerIterationSeconds = 30.0e-6;
 
-    pim::PimEnergyParams pimEnergyParams;
+    pim::PimEnergyParams pimEnergyParams; ///< PIM energy constants.
 };
 
 /** Timing/energy outcome of one kernel phase on the platform. */
 struct KernelExec
 {
-    double seconds = 0.0;
+    double seconds = 0.0;     ///< Total phase time.
     double commSeconds = 0.0; ///< Included in seconds.
-    double energyJoules = 0.0;
+    double energyJoules = 0.0; ///< Total phase energy.
     double commJoules = 0.0; ///< Included in energyJoules.
-    bool computeBound = false;
+    bool computeBound = false; ///< Roofline regime of the kernel.
 };
 
 /** An instantiated platform with its device models. */
 class Platform
 {
   public:
+    /** Instantiate the device models @p config describes. */
     explicit Platform(const PlatformConfig &config);
 
+    /** The structural description this platform was built from. */
     const PlatformConfig &config() const { return _config; }
+    /** Display name (from the config). */
     const std::string &name() const { return _config.name; }
+    /** True if the platform has GPU processing units. */
     bool hasGpu() const { return _config.hasGpu; }
 
+    /** The FC-weight device model. */
     const pim::PimDevice &fcDevice() const { return *_fcDevice; }
+    /** The KV-cache (attention) device model. */
     const pim::PimDevice &attnDevice() const { return *_attnDevice; }
+    /** The GPU model, or nullptr for PIM-only platforms. */
     const gpu::GpuModel *gpuModel() const { return _gpu.get(); }
 
     /**

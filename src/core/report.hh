@@ -17,12 +17,18 @@
 namespace papi::core {
 
 /** Output format for tabular reports. */
-enum class ReportFormat : std::uint8_t { Text, Markdown, Csv };
+enum class ReportFormat : std::uint8_t
+{
+    Text,     ///< Fixed-width console columns.
+    Markdown, ///< GitHub-flavoured pipe table.
+    Csv,      ///< Comma-separated values.
+};
 
 /** A simple column-oriented table builder. */
 class ReportTable
 {
   public:
+    /** @param headers Column titles, fixing the column count. */
     explicit ReportTable(std::vector<std::string> headers);
 
     /** Append a row; must match the header count. */
@@ -31,6 +37,7 @@ class ReportTable
     /** Convenience: format a double with fixed precision. */
     static std::string num(double value, int precision = 3);
 
+    /** Number of data rows added so far. */
     std::size_t rows() const { return _rows.size(); }
 
     /** Render in the requested format. */

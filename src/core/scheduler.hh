@@ -37,8 +37,8 @@ using AiEstimateFn =
 /** One scheduling decision plus bookkeeping. */
 struct ScheduleDecision
 {
-    FcTarget target = FcTarget::Gpu;
-    double estimatedAi = 0.0;
+    FcTarget target = FcTarget::Gpu; ///< Where FC runs next.
+    double estimatedAi = 0.0; ///< AI estimate behind the decision.
     bool rescheduled = false; ///< Target changed vs previous decision.
 };
 
@@ -56,8 +56,11 @@ class DynamicScheduler
                      std::uint32_t initial_tlp,
                      AiEstimateFn estimator = {});
 
+    /** The calibrated scheduling threshold. */
     double alpha() const { return _alpha; }
+    /** Current tracked request-level parallelism. */
     std::uint32_t rlp() const { return _rlp; }
+    /** Current tracked token-level parallelism. */
     std::uint32_t tlp() const { return _tlp; }
 
     /** Initial scheduling before serving starts (Section 5.2.1). */

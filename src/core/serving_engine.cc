@@ -1,24 +1,301 @@
 #include "core/serving_engine.hh"
 
 #include <algorithm>
-#include <deque>
 
-#include "llm/kv_cache.hh"
+#include "core/metrics.hh"
 #include "sim/logging.hh"
-#include "sim/rng.hh"
 
 namespace papi::core {
 
-namespace {
+// --------------------------------------------------------------- ServingSim
 
-/** A request being decoded, with serving-side bookkeeping. */
-struct ActiveRequest
+ServingSim::ServingSim(const Platform &platform,
+                       const llm::SpeculativeConfig &spec,
+                       const llm::ModelConfig &model,
+                       const ServingOptions &options,
+                       IterationCostModel cost)
+    : _platform(platform), _spec(spec), _model(model),
+      _options(options), _cost(std::move(cost)),
+      _kv(model, platform.config().numAttnDevices,
+          platform.config().attnDeviceConfig.capacityBytes()),
+      _rng(options.seed), _sched(options.alpha, 1, spec.length),
+      _dynamic(platform.config().fcPolicy == FcPolicy::Dynamic)
 {
-    llm::Request request;
-    double arrivalSeconds = 0.0;
-};
+    spec.validate();
+    if (options.maxRlp == 0)
+        sim::fatal("ServingSim: maxRlp must be >= 1");
+    if (_cost.computeScale <= 0.0)
+        sim::fatal("ServingSim: computeScale must be positive");
+    _prefillLens.reserve(options.maxRlp);
+    _ctx.reserve(options.maxRlp);
+}
 
-} // namespace
+void
+ServingSim::deliver(const llm::TimedRequest &request)
+{
+    if (_anchored && request.arrivalSeconds < _lastDelivered)
+        sim::fatal("ServingSim: deliveries must be time-ordered");
+    if (!_anchored) {
+        _firstArrival = request.arrivalSeconds;
+        _now = request.arrivalSeconds;
+        _anchored = true;
+    }
+    _lastDelivered = request.arrivalSeconds;
+    _pending.push_back(request);
+}
+
+FcTarget
+ServingSim::selectTarget(std::uint32_t rlp, std::uint32_t tlp) const
+{
+    const std::uint32_t tokens = rlp * tlp;
+    switch (_platform.config().fcPolicy) {
+      case FcPolicy::AlwaysGpu:
+        return FcTarget::Gpu;
+      case FcPolicy::AlwaysPim:
+        return FcTarget::FcPim;
+      case FcPolicy::Oracle: {
+        double g =
+            _platform.fcExec(_model, tokens, FcTarget::Gpu).seconds;
+        double p =
+            _platform.fcExec(_model, tokens, FcTarget::FcPim).seconds;
+        return g <= p ? FcTarget::Gpu : FcTarget::FcPim;
+      }
+      case FcPolicy::Dynamic:
+      default:
+        return _sched.peek(rlp, tlp).target;
+    }
+}
+
+double
+ServingSim::scaledSeconds(double kernel_seconds, double other_seconds,
+                          std::uint32_t tokens) const
+{
+    // The trivial path must not be routed through here: callers keep
+    // the original single-platform arithmetic bit-identical.
+    double seconds =
+        kernel_seconds / _cost.computeScale + other_seconds;
+    if (_cost.extraSeconds)
+        seconds += _cost.extraSeconds(tokens);
+    return seconds;
+}
+
+std::uint32_t
+ServingSim::admit()
+{
+    std::uint32_t admitted = 0;
+    _prefillLens.clear();
+    // Batch-level scheduling admits only into an empty batch.
+    if (_options.admission == AdmissionPolicy::BatchLevel &&
+        !_active.empty())
+        return admitted;
+    const double decision_time = _now;
+    while (!_pending.empty() &&
+           _pending.front().arrivalSeconds <= _now &&
+           _active.size() < _options.maxRlp) {
+        const llm::Request &req = _pending.front().request;
+        // Reserve the worst case so growth can never fail.
+        std::uint64_t worst =
+            static_cast<std::uint64_t>(req.inputLen) + req.outputLen;
+        if (!_kv.canAdmit(worst))
+            break;
+        _kv.admit(req.id, worst);
+        ActiveRequest a;
+        a.request = req;
+        a.arrivalSeconds = _pending.front().arrivalSeconds;
+        a.admissionSeconds = decision_time;
+        _prefillLens.push_back(a.request.inputLen);
+        _active.push_back(a);
+        _pending.pop_front();
+        ++admitted;
+    }
+    if (admitted > 0) {
+        // Prefill the newcomers before the next decode step.
+        KernelExec pre = _platform.prefillExec(_model, _prefillLens);
+        double pre_seconds = pre.seconds;
+        double pre_joules = pre.energyJoules;
+        if (!_cost.trivial()) {
+            std::uint64_t prompt_tokens = 0;
+            for (std::uint32_t len : _prefillLens)
+                prompt_tokens += len;
+            const auto tokens =
+                static_cast<std::uint32_t>(prompt_tokens);
+            pre_seconds = scaledSeconds(pre.seconds, 0.0, tokens);
+            if (_cost.extraJoules)
+                pre_joules += _cost.extraJoules(tokens);
+        }
+        _now += pre_seconds;
+        _busySeconds += pre_seconds;
+        _out.energyJoules += pre_joules;
+        _out.admissions += admitted;
+    }
+    return admitted;
+}
+
+void
+ServingSim::stepIdle()
+{
+    if (hasActive())
+        sim::panic("ServingSim::stepIdle with a live batch");
+    if (_pending.empty())
+        sim::panic("ServingSim::stepIdle with nothing pending");
+
+    // Idle until the next arrival.
+    _now = std::max(_now, _pending.front().arrivalSeconds);
+    if (_options.admission == AdmissionPolicy::BatchLevel &&
+        _pending.size() >= _options.maxRlp) {
+        // Dynamic batching: if a full batch is already waiting,
+        // start once the last member has arrived.
+        _now = std::max(
+            _now, _pending[_options.maxRlp - 1].arrivalSeconds);
+    } else if (_options.admission == AdmissionPolicy::BatchLevel) {
+        // Otherwise wait out the fill timeout (or until the batch
+        // fills, whichever comes first).
+        double deadline = _pending.front().arrivalSeconds +
+                          _options.batchTimeoutSeconds;
+        std::size_t fills = std::min<std::size_t>(
+            _pending.size(), _options.maxRlp);
+        double full_at = _pending[fills - 1].arrivalSeconds;
+        _now = std::max(_now, std::min(deadline, full_at));
+    }
+    if (admit() == 0 && !hasActive())
+        sim::fatal("ServingSim: request ", _pending.front().request.id,
+                   " cannot be admitted into an empty batch (KV "
+                   "worst-case footprint exceeds the Attn-PIM pool)");
+}
+
+ServingSim::IterationTiming
+ServingSim::iterationTiming(FcTarget target, std::uint32_t tokens,
+                            std::uint32_t tlp) const
+{
+    _ctx.clear();
+    for (const auto &a : _active)
+        _ctx.push_back(a.request.contextLen());
+
+    IterationTiming t;
+    t.fc = _platform.fcExec(_model, tokens, target);
+    t.at = _platform.attnExec(_model, _ctx, tlp);
+    t.other = _platform.otherSeconds(_model);
+    t.seconds = _cost.trivial()
+                    ? t.fc.seconds + t.at.seconds + t.other
+                    : scaledSeconds(t.fc.seconds + t.at.seconds,
+                                    t.other, tokens);
+    return t;
+}
+
+double
+ServingSim::peekIterationSeconds() const
+{
+    if (_active.empty())
+        sim::panic("ServingSim::peekIterationSeconds without a batch");
+    const auto rlp = static_cast<std::uint32_t>(_active.size());
+    const std::uint32_t tlp = _spec.length;
+    return iterationTiming(selectTarget(rlp, tlp), rlp * tlp, tlp)
+        .seconds;
+}
+
+void
+ServingSim::stepDecode()
+{
+    if (_active.empty())
+        sim::panic("ServingSim::stepDecode without a batch");
+    const auto rlp = static_cast<std::uint32_t>(_active.size());
+    const std::uint32_t tlp = _spec.length;
+    const std::uint32_t tokens = rlp * tlp;
+
+    // Per-iteration decisions are stateless threshold checks
+    // (peek); RLP transitions in both directions are counted here.
+    FcTarget target = selectTarget(rlp, tlp);
+    if (_dynamic) {
+        if (_schedStarted && target != _prevTarget)
+            ++_out.reschedules;
+        if (_schedStarted && target == FcTarget::Gpu &&
+            _prevTarget == FcTarget::FcPim)
+            ++_out.reschedulesToGpu;
+        _prevTarget = target;
+        _schedStarted = true;
+    }
+
+    IterationTiming t = iterationTiming(target, tokens, tlp);
+    double iter_seconds = t.seconds;
+    double iter_joules =
+        t.fc.energyJoules + t.at.energyJoules + t.other * 50.0;
+    if (!_cost.trivial() && _cost.extraJoules)
+        iter_joules += _cost.extraJoules(tokens);
+
+    _rlpTimeIntegral += iter_seconds * rlp;
+    _busySeconds += iter_seconds;
+    _now += iter_seconds;
+    _out.energyJoules += iter_joules;
+    ++_out.iterations;
+    if (target == FcTarget::Gpu)
+        ++_out.fcOnGpuIterations;
+    else
+        ++_out.fcOnPimIterations;
+
+    _out.peakKvUtilization = std::max(
+        _out.peakKvUtilization, _kv.occupancy().utilization());
+
+    // Advance generation; retire finished requests.
+    std::uint32_t accepted = _spec.sampleAccepted(_rng);
+    for (auto it = _active.begin(); it != _active.end();) {
+        std::uint32_t used = it->request.advance(accepted);
+        _out.tokensGenerated += used;
+        if (used > 0 && !it->firstTokenSeen) {
+            it->firstTokenSeconds = _now;
+            it->firstTokenSeen = true;
+        }
+        if (it->request.finished()) {
+            _latencies.push_back(_now - it->arrivalSeconds);
+            RequestRecord rec;
+            rec.id = it->request.id;
+            rec.arrivalSeconds = it->arrivalSeconds;
+            rec.admissionSeconds = it->admissionSeconds;
+            rec.firstTokenSeconds =
+                it->firstTokenSeen ? it->firstTokenSeconds : _now;
+            rec.finishSeconds = _now;
+            rec.outputTokens = it->request.outputLen;
+            _records.push_back(rec);
+            _kv.release(it->request.id);
+            it = _active.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+ServingSim::step()
+{
+    if (!hasActive()) {
+        stepIdle();
+        return;
+    }
+    stepDecode();
+    // Token-level scheduling: admit newcomers immediately.
+    admit();
+}
+
+ServingResult
+ServingSim::finish()
+{
+    _out.makespanSeconds = _now - _firstArrival;
+    _out.meanRlp = _busySeconds > 0.0
+                       ? _rlpTimeIntegral / _busySeconds
+                       : 0.0;
+
+    if (!_latencies.empty()) {
+        double sum = 0.0;
+        for (double l : _latencies)
+            sum += l;
+        _out.meanLatencySeconds =
+            sum / static_cast<double>(_latencies.size());
+        std::sort(_latencies.begin(), _latencies.end());
+        _out.p95LatencySeconds = percentileSorted(_latencies, 0.95);
+    }
+    return _out;
+}
+
+// ------------------------------------------------------------ ServingEngine
 
 ServingResult
 ServingEngine::run(const std::vector<llm::TimedRequest> &stream,
@@ -36,191 +313,12 @@ ServingEngine::run(const std::vector<llm::TimedRequest> &stream,
             sim::fatal("ServingEngine: arrivals must be sorted");
     }
 
-    llm::KvCacheManager kv(model, _platform.config().numAttnDevices,
-                           _platform.config()
-                               .attnDeviceConfig.capacityBytes());
-
-    ServingResult out;
-    sim::Rng rng(options.seed);
-    std::deque<llm::TimedRequest> pending(stream.begin(),
-                                          stream.end());
-    std::vector<ActiveRequest> active;
-    std::vector<double> latencies;
-    latencies.reserve(stream.size());
-
-    double now = stream.front().arrivalSeconds;
-    double rlp_time_integral = 0.0;
-    double busy_time = 0.0;
-
-    // Per-iteration decisions are stateless threshold checks
-    // (peek); RLP transitions in both directions are counted here.
-    const bool dynamic =
-        _platform.config().fcPolicy == FcPolicy::Dynamic;
-    DynamicScheduler sched(options.alpha, 1, spec.length);
-    bool sched_started = false;
-    FcTarget prev_target = FcTarget::FcPim;
-
-    // Reused across iterations; refilled in place.
-    std::vector<std::uint32_t> prefill_lens;
-    std::vector<std::uint32_t> ctx;
-    prefill_lens.reserve(options.maxRlp);
-    ctx.reserve(options.maxRlp);
-
-    auto admit = [&]() {
-        std::uint32_t admitted = 0;
-        prefill_lens.clear();
-        // Batch-level scheduling admits only into an empty batch.
-        if (options.admission == AdmissionPolicy::BatchLevel &&
-            !active.empty())
-            return admitted;
-        while (!pending.empty() &&
-               pending.front().arrivalSeconds <= now &&
-               active.size() < options.maxRlp) {
-            const llm::Request &req = pending.front().request;
-            // Reserve the worst case so growth can never fail.
-            std::uint64_t worst = static_cast<std::uint64_t>(
-                req.inputLen) + req.outputLen;
-            if (!kv.canAdmit(worst))
-                break;
-            kv.admit(req.id, worst);
-            ActiveRequest a;
-            a.request = req;
-            a.arrivalSeconds = pending.front().arrivalSeconds;
-            prefill_lens.push_back(a.request.inputLen);
-            active.push_back(a);
-            pending.pop_front();
-            ++admitted;
-        }
-        if (admitted > 0) {
-            // Prefill the newcomers before the next decode step.
-            KernelExec pre =
-                _platform.prefillExec(model, prefill_lens);
-            now += pre.seconds;
-            busy_time += pre.seconds;
-            out.energyJoules += pre.energyJoules;
-            out.admissions += admitted;
-        }
-        return admitted;
-    };
-
-    while (!pending.empty() || !active.empty()) {
-        if (active.empty()) {
-            // Idle until the next arrival.
-            now = std::max(now, pending.front().arrivalSeconds);
-            if (options.admission == AdmissionPolicy::BatchLevel &&
-                pending.size() >= options.maxRlp) {
-                // Dynamic batching: if a full batch is already
-                // waiting, start once the last member has arrived.
-                now = std::max(
-                    now,
-                    pending[options.maxRlp - 1].arrivalSeconds);
-            } else if (options.admission ==
-                       AdmissionPolicy::BatchLevel) {
-                // Otherwise wait out the fill timeout (or until the
-                // batch fills, whichever comes first).
-                double deadline = pending.front().arrivalSeconds +
-                                  options.batchTimeoutSeconds;
-                std::size_t fills = std::min<std::size_t>(
-                    pending.size(), options.maxRlp);
-                double full_at =
-                    pending[fills - 1].arrivalSeconds;
-                now = std::max(now, std::min(deadline, full_at));
-            }
-            admit();
-            continue;
-        }
-
-        const auto rlp = static_cast<std::uint32_t>(active.size());
-        const std::uint32_t tlp = spec.length;
-        const std::uint32_t tokens = rlp * tlp;
-
-        FcTarget target;
-        switch (_platform.config().fcPolicy) {
-          case FcPolicy::AlwaysGpu:
-            target = FcTarget::Gpu;
-            break;
-          case FcPolicy::AlwaysPim:
-            target = FcTarget::FcPim;
-            break;
-          case FcPolicy::Oracle: {
-            double g = _platform.fcExec(model, tokens,
-                                        FcTarget::Gpu).seconds;
-            double p = _platform.fcExec(model, tokens,
-                                        FcTarget::FcPim).seconds;
-            target = g <= p ? FcTarget::Gpu : FcTarget::FcPim;
-            break;
-          }
-          case FcPolicy::Dynamic:
-          default:
-            target = sched.peek(rlp, tlp).target;
-            break;
-        }
-        if (dynamic) {
-            if (sched_started && target != prev_target)
-                ++out.reschedules;
-            if (sched_started && target == FcTarget::Gpu &&
-                prev_target == FcTarget::FcPim)
-                ++out.reschedulesToGpu;
-            prev_target = target;
-            sched_started = true;
-        }
-
-        ctx.clear();
-        for (const auto &a : active)
-            ctx.push_back(a.request.contextLen());
-
-        KernelExec fc = _platform.fcExec(model, tokens, target);
-        KernelExec at = _platform.attnExec(model, ctx, tlp);
-        double other = _platform.otherSeconds(model);
-        double iter_seconds = fc.seconds + at.seconds + other;
-
-        rlp_time_integral += iter_seconds * rlp;
-        busy_time += iter_seconds;
-        now += iter_seconds;
-        out.energyJoules +=
-            fc.energyJoules + at.energyJoules + other * 50.0;
-        ++out.iterations;
-        if (target == FcTarget::Gpu)
-            ++out.fcOnGpuIterations;
-        else
-            ++out.fcOnPimIterations;
-
-        out.peakKvUtilization = std::max(
-            out.peakKvUtilization, kv.occupancy().utilization());
-
-        // Advance generation; retire finished requests.
-        std::uint32_t accepted = spec.sampleAccepted(rng);
-        for (auto it = active.begin(); it != active.end();) {
-            out.tokensGenerated += it->request.advance(accepted);
-            if (it->request.finished()) {
-                latencies.push_back(now - it->arrivalSeconds);
-                kv.release(it->request.id);
-                it = active.erase(it);
-            } else {
-                ++it;
-            }
-        }
-
-        // Token-level scheduling: admit newcomers immediately.
-        admit();
-    }
-
-    out.makespanSeconds = now - stream.front().arrivalSeconds;
-    out.meanRlp = busy_time > 0.0 ? rlp_time_integral / busy_time
-                                  : 0.0;
-
-    if (!latencies.empty()) {
-        double sum = 0.0;
-        for (double l : latencies)
-            sum += l;
-        out.meanLatencySeconds =
-            sum / static_cast<double>(latencies.size());
-        std::sort(latencies.begin(), latencies.end());
-        auto idx = static_cast<std::size_t>(
-            0.95 * static_cast<double>(latencies.size() - 1));
-        out.p95LatencySeconds = latencies[idx];
-    }
-    return out;
+    ServingSim sim(_platform, spec, model, options);
+    for (const auto &tr : stream)
+        sim.deliver(tr);
+    while (sim.canStep())
+        sim.step();
+    return sim.finish();
 }
 
 } // namespace papi::core

@@ -8,20 +8,33 @@
  * Section 2.2.1), so runtime RLP rises on admissions and falls on
  * <eos>. PAPI's scheduler sees both transitions, exercising
  * reschedules in both directions (GPU -> PIM and PIM -> GPU).
+ *
+ * Two entry points share one simulation core (ServingSim):
+ *  - ServingEngine::run() serves a complete stream on one platform,
+ *    the single-platform path used by tests and figure benchmarks.
+ *  - cluster::ClusterEngine drives one ServingSim per platform
+ *    group in lockstep, delivering arrivals incrementally through a
+ *    front-end router. With the whole stream delivered up front the
+ *    stepwise core executes exactly the operation sequence of the
+ *    original monolithic loop, so single-platform results are
+ *    bit-identical across both paths.
  */
 
 #ifndef PAPI_CORE_SERVING_ENGINE_HH
 #define PAPI_CORE_SERVING_ENGINE_HH
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <vector>
 
 #include "core/platform.hh"
 #include "core/scheduler.hh"
 #include "llm/arrival.hh"
+#include "llm/kv_cache.hh"
 #include "llm/model_config.hh"
 #include "llm/speculative.hh"
-#include "sim/stats.hh"
+#include "sim/rng.hh"
 
 namespace papi::core {
 
@@ -60,21 +73,22 @@ struct ServingOptions
 struct ServingResult
 {
     double makespanSeconds = 0.0; ///< First arrival to last finish.
-    double energyJoules = 0.0;
-    std::uint64_t iterations = 0;
-    std::uint64_t tokensGenerated = 0;
-    std::uint64_t admissions = 0;
-    std::uint64_t reschedules = 0;
+    double energyJoules = 0.0;    ///< Total device + fabric energy.
+    std::uint64_t iterations = 0; ///< Decode iterations executed.
+    std::uint64_t tokensGenerated = 0; ///< Output tokens produced.
+    std::uint64_t admissions = 0; ///< Requests admitted (prefilled).
+    std::uint64_t reschedules = 0; ///< FC target changes.
     std::uint64_t reschedulesToGpu = 0; ///< PIM -> GPU transitions.
-    std::uint64_t fcOnGpuIterations = 0;
-    std::uint64_t fcOnPimIterations = 0;
+    std::uint64_t fcOnGpuIterations = 0; ///< Iterations with FC on GPU.
+    std::uint64_t fcOnPimIterations = 0; ///< Iterations with FC on PIM.
 
     double meanLatencySeconds = 0.0; ///< Arrival to completion.
-    double p95LatencySeconds = 0.0;
+    double p95LatencySeconds = 0.0;  ///< Tail of the same population.
     double meanRlp = 0.0; ///< Time-weighted mean live RLP.
     /** Peak fraction of the Attn-PIM KV pool in use. */
     double peakKvUtilization = 0.0;
 
+    /** Simulated decode throughput over the run's makespan. */
     double
     throughputTokensPerSecond() const
     {
@@ -85,10 +99,264 @@ struct ServingResult
     }
 };
 
+/**
+ * Per-iteration cost transform for a serving backend that is really a
+ * tensor-parallel group of platforms rather than a single one.
+ *
+ * A trivial model (the default) leaves the single-platform arithmetic
+ * untouched - ServingSim skips the transform entirely, keeping
+ * single-platform runs bit-identical. A non-trivial model divides the
+ * kernel-phase time by @ref computeScale (ideal intra-group scaling
+ * of the FC and attention phases) and adds per-iteration communication
+ * cost (the group's all-reduce; see cluster::TensorParallelModel).
+ * Device energy is left unscaled - the same arithmetic work is done,
+ * just spread over the group - and communication energy is added on
+ * top.
+ */
+struct IterationCostModel
+{
+    /** Kernel-phase (FC + attention, and prefill) time divisor. */
+    double computeScale = 1.0;
+    /** Extra seconds per decode iteration of @p tokens tokens. */
+    std::function<double(std::uint32_t tokens)> extraSeconds;
+    /** Extra joules per decode iteration of @p tokens tokens. */
+    std::function<double(std::uint32_t tokens)> extraJoules;
+
+    /** True if the model changes nothing (single-platform backend). */
+    bool
+    trivial() const
+    {
+        return computeScale == 1.0 && !extraSeconds && !extraJoules;
+    }
+};
+
+/**
+ * Timeline of one served request, recorded by ServingSim for
+ * latency-percentile aggregation (TTFT/TPOT/queueing delay at the
+ * cluster level).
+ */
+struct RequestRecord
+{
+    std::uint64_t id = 0;        ///< The request's id.
+    double arrivalSeconds = 0.0; ///< When it entered the system.
+    /** Admission decision time (end of the pending-queue wait). */
+    double admissionSeconds = 0.0;
+    /**
+     * End of the decode iteration that produced the request's first
+     * output token (prefill itself generates no output tokens in
+     * this simulator's accounting).
+     */
+    double firstTokenSeconds = 0.0;
+    /** Final token (<eos>) produced; request retired. */
+    double finishSeconds = 0.0;
+    std::uint32_t outputTokens = 0; ///< Tokens generated in total.
+
+    /** Queueing delay: arrival to admission decision. */
+    double
+    queueingSeconds() const
+    {
+        return admissionSeconds - arrivalSeconds;
+    }
+
+    /**
+     * Time to first token: arrival to first output token (end of
+     * the first advancing decode iteration).
+     */
+    double
+    ttftSeconds() const
+    {
+        return firstTokenSeconds - arrivalSeconds;
+    }
+
+    /** Time per output token over the decode phase. */
+    double
+    tpotSeconds() const
+    {
+        return outputTokens > 1
+                   ? (finishSeconds - firstTokenSeconds) /
+                         static_cast<double>(outputTokens - 1)
+                   : 0.0;
+    }
+};
+
+/**
+ * The stepwise serving-simulation core: one platform (or one
+ * tensor-parallel group) serving a stream of timed requests.
+ *
+ * Requests are delivered into the pending queue (all up front for a
+ * standalone run, incrementally by a cluster router) and the owner
+ * advances the simulation step by step:
+ *
+ *  - stepIdle(): no live batch; fast-forward to the next pending
+ *    arrival (honouring the admission policy's wait rules) and admit.
+ *  - stepDecode(): run one decode iteration over the live batch and
+ *    retire finished requests. Does NOT admit, so a cluster driver
+ *    can deliver arrivals that landed inside the iteration before
+ *    the boundary admission runs.
+ *  - admit(): the iteration-boundary admission (prefill newcomers).
+ *
+ * step() composes these exactly as the original monolithic loop did,
+ * which is what makes single-platform results bit-identical.
+ */
+class ServingSim
+{
+  public:
+    /**
+     * @param platform Timing/energy model of this backend.
+     * @param spec Speculative-decoding configuration (validated).
+     * @param model Model being served.
+     * @param options Admission and scheduling options.
+     * @param cost Per-iteration transform for tensor-parallel
+     *        groups; the default leaves timing untouched.
+     */
+    ServingSim(const Platform &platform,
+               const llm::SpeculativeConfig &spec,
+               const llm::ModelConfig &model,
+               const ServingOptions &options,
+               IterationCostModel cost = {});
+
+    /**
+     * Append @p request to the pending queue. Deliveries must be in
+     * non-decreasing arrival order; the first delivery anchors the
+     * makespan origin.
+     */
+    void deliver(const llm::TimedRequest &request);
+
+    /** Current simulated time, seconds. */
+    double now() const { return _now; }
+
+    /** True if requests are decoding. */
+    bool hasActive() const { return !_active.empty(); }
+
+    /** True if delivered requests await admission. */
+    bool hasPending() const { return !_pending.empty(); }
+
+    /** True if any delivered work remains (pending or active). */
+    bool canStep() const { return hasActive() || hasPending(); }
+
+    /** Live plus queued requests (the router's load signal). */
+    std::uint32_t
+    outstanding() const
+    {
+        return static_cast<std::uint32_t>(_active.size() +
+                                          _pending.size());
+    }
+
+    /**
+     * Duration of the next decode iteration, computed without
+     * advancing state (requires hasActive()). Deterministically
+     * equal to the time stepDecode() will charge, so a cluster
+     * driver can order platform steps against arrival times.
+     */
+    double peekIterationSeconds() const;
+
+    /**
+     * One step of the original serving loop: idle fast-forward +
+     * admission when the batch is empty, otherwise one decode
+     * iteration, retirement, and boundary admission.
+     */
+    void step();
+
+    /** Idle branch: fast-forward to pending work and admit. */
+    void stepIdle();
+
+    /** One decode iteration + retirement (no admission). */
+    void stepDecode();
+
+    /**
+     * Iteration-boundary admission: prefill eligible newcomers.
+     * @return Number of requests admitted.
+     */
+    std::uint32_t admit();
+
+    /** Finalize and return the aggregate result. */
+    ServingResult finish();
+
+    /** Timelines of all retired requests, in completion order. */
+    const std::vector<RequestRecord> &records() const
+    {
+        return _records;
+    }
+
+    /** Seconds spent computing (prefill + decode), for utilization. */
+    double busySeconds() const { return _busySeconds; }
+
+  private:
+    /** A request being decoded, with serving-side bookkeeping. */
+    struct ActiveRequest
+    {
+        llm::Request request;        ///< Generation progress.
+        double arrivalSeconds = 0.0; ///< From the TimedRequest.
+        double admissionSeconds = 0.0;  ///< Admission decision time.
+        double firstTokenSeconds = 0.0; ///< First advancing iteration.
+        bool firstTokenSeen = false;    ///< firstTokenSeconds valid.
+    };
+
+    /** The FC target the platform's policy picks for RLP x TLP. */
+    FcTarget selectTarget(std::uint32_t rlp, std::uint32_t tlp) const;
+
+    /** Apply the TP cost model to a kernel-phase duration. */
+    double scaledSeconds(double kernel_seconds, double other_seconds,
+                         std::uint32_t tokens) const;
+
+    /** One decode iteration's kernel-phase costs. */
+    struct IterationTiming
+    {
+        KernelExec fc;        ///< FC phase on the chosen target.
+        KernelExec at;        ///< Attention phase.
+        double other = 0.0;   ///< Non-GEMV overhead.
+        double seconds = 0.0; ///< Total charged duration.
+    };
+
+    /**
+     * Compute the next iteration's timing for @p target without
+     * advancing state (refills _ctx). The single source of truth
+     * shared by peekIterationSeconds() and stepDecode() - the
+     * cluster event loop's ordering depends on peeked and charged
+     * durations being exactly equal.
+     */
+    IterationTiming iterationTiming(FcTarget target,
+                                    std::uint32_t tokens,
+                                    std::uint32_t tlp) const;
+
+    const Platform &_platform;
+    llm::SpeculativeConfig _spec; ///< Copied: callers may pass temporaries.
+    llm::ModelConfig _model;      ///< Copied: callers may pass temporaries.
+    ServingOptions _options;
+    IterationCostModel _cost;
+
+    llm::KvCacheManager _kv;
+    sim::Rng _rng;
+    DynamicScheduler _sched;
+    bool _dynamic;
+    bool _schedStarted = false;
+    FcTarget _prevTarget = FcTarget::FcPim;
+
+    std::deque<llm::TimedRequest> _pending;
+    std::vector<ActiveRequest> _active;
+    std::vector<double> _latencies;
+    std::vector<RequestRecord> _records;
+
+    double _now = 0.0;
+    bool _anchored = false;   ///< First delivery seen.
+    double _firstArrival = 0.0;
+    /** Latest delivered arrival time (delivery-order guard). */
+    double _lastDelivered = -1.0;
+    double _rlpTimeIntegral = 0.0;
+    double _busySeconds = 0.0;
+
+    // Reused across iterations; refilled in place.
+    mutable std::vector<std::uint32_t> _prefillLens;
+    mutable std::vector<std::uint32_t> _ctx;
+
+    ServingResult _out;
+};
+
 /** Arrival-driven serving simulator over one platform. */
 class ServingEngine
 {
   public:
+    /** @param platform Timing/energy model runs execute against. */
     explicit ServingEngine(const Platform &platform)
         : _platform(platform)
     {}

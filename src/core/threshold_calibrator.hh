@@ -24,15 +24,15 @@ namespace papi::core {
 struct CalibrationPoint
 {
     std::uint32_t tokens = 0; ///< RLP x TLP.
-    double gpuSeconds = 0.0;
-    double pimSeconds = 0.0;
+    double gpuSeconds = 0.0; ///< FC latency on the GPU path.
+    double pimSeconds = 0.0; ///< FC latency on the FC-PIM path.
 };
 
 /** Result of an alpha calibration sweep. */
 struct CalibrationResult
 {
-    double alpha = 0.0;
-    std::vector<CalibrationPoint> points;
+    double alpha = 0.0; ///< The calibrated threshold.
+    std::vector<CalibrationPoint> points; ///< The sweep behind it.
 };
 
 /** Offline alpha calibration against a platform's FC targets. */

@@ -24,9 +24,23 @@ ArrivalProcess::generate(std::uint32_t count)
         TimedRequest t;
         t.request = r;
         t.arrivalSeconds = _clock;
+        t.sessionId = r.id;
         out.push_back(t);
     }
     return out;
+}
+
+void
+assignSessions(std::vector<TimedRequest> &stream,
+               std::uint32_t num_sessions, std::uint64_t seed)
+{
+    if (num_sessions == 0)
+        sim::fatal("assignSessions: num_sessions must be >= 1");
+    // A dedicated RNG keeps the arrival process itself untouched.
+    sim::Rng rng(seed ^ 0xa24baed4963ee407ULL);
+    for (auto &t : stream)
+        t.sessionId = static_cast<std::uint64_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(num_sessions) - 1));
 }
 
 } // namespace papi::llm

@@ -25,7 +25,26 @@ struct TimedRequest
 {
     Request request;
     double arrivalSeconds = 0.0;
+    /**
+     * Conversation/user identity for session-affinity routing: a
+     * cluster router can pin all requests of one session to one
+     * platform so the session's KV prefix stays local. Defaults to
+     * the request id (every request its own session); use
+     * assignSessions() to model multi-turn users.
+     */
+    std::uint64_t sessionId = 0;
 };
+
+/**
+ * Overwrite the session ids of an existing stream, modelling
+ * @p num_sessions concurrent multi-turn users: each request is
+ * attributed to one session uniformly at random (deterministic in
+ * @p seed). Arrival times and lengths are untouched, so streams
+ * remain comparable across routing policies. Fatal if
+ * @p num_sessions is zero.
+ */
+void assignSessions(std::vector<TimedRequest> &stream,
+                    std::uint32_t num_sessions, std::uint64_t seed);
 
 /** Generates a timed request stream. */
 class ArrivalProcess

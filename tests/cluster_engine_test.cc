@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for cluster-scale serving: the N=1 bit-identity contract
+ * against the single-platform ServingEngine, tensor-parallel cost
+ * modelling, metric aggregation, and configuration validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_engine.hh"
+#include "cluster/tensor_parallel.hh"
+#include "core/serving_engine.hh"
+#include "llm/arrival.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace {
+
+using namespace papi::cluster;
+namespace llm = papi::llm;
+namespace core = papi::core;
+using papi::sim::FatalError;
+
+std::vector<llm::TimedRequest>
+stream(double rate_rps, std::uint32_t count, std::uint64_t seed = 5)
+{
+    llm::ArrivalProcess arrivals(llm::TraceCategory::GeneralQa,
+                                 rate_rps, seed);
+    return arrivals.generate(count);
+}
+
+/** Every ServingResult field, compared exactly (no tolerance). */
+void
+expectByteIdentical(const core::ServingResult &a,
+                    const core::ServingResult &b)
+{
+    EXPECT_EQ(a.makespanSeconds, b.makespanSeconds);
+    EXPECT_EQ(a.energyJoules, b.energyJoules);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.tokensGenerated, b.tokensGenerated);
+    EXPECT_EQ(a.admissions, b.admissions);
+    EXPECT_EQ(a.reschedules, b.reschedules);
+    EXPECT_EQ(a.reschedulesToGpu, b.reschedulesToGpu);
+    EXPECT_EQ(a.fcOnGpuIterations, b.fcOnGpuIterations);
+    EXPECT_EQ(a.fcOnPimIterations, b.fcOnPimIterations);
+    EXPECT_EQ(a.meanLatencySeconds, b.meanLatencySeconds);
+    EXPECT_EQ(a.p95LatencySeconds, b.p95LatencySeconds);
+    EXPECT_EQ(a.meanRlp, b.meanRlp);
+    EXPECT_EQ(a.peakKvUtilization, b.peakKvUtilization);
+}
+
+/**
+ * The scale-out layer's foundational contract: one platform behind
+ * the router is the same simulation as the bare ServingEngine, down
+ * to the last bit of every metric, for every routing policy.
+ */
+TEST(ClusterEngine, N1ByteIdenticalToServingEngine)
+{
+    core::PlatformConfig cfg = core::makePapiConfig();
+    llm::ModelConfig model = llm::llama65b();
+    llm::SpeculativeConfig spec;
+    spec.length = 2;
+    auto reqs = stream(40.0, 48);
+
+    core::ServingOptions sopt;
+    sopt.maxRlp = 16;
+    sopt.alpha = 24.0;
+    sopt.seed = 7;
+    core::Platform bare(cfg);
+    core::ServingResult single =
+        core::ServingEngine(bare).run(reqs, spec, model, sopt);
+
+    for (RouterPolicy policy : {RouterPolicy::RoundRobin,
+                                RouterPolicy::LeastOutstanding,
+                                RouterPolicy::SessionAffinity}) {
+        ClusterOptions copt;
+        copt.numPlatforms = 1;
+        copt.policy = policy;
+        copt.serving = sopt;
+        ClusterResult r =
+            ClusterEngine(cfg, copt).run(reqs, spec, model);
+        ASSERT_EQ(r.perGroup.size(), 1u);
+        expectByteIdentical(r.perGroup[0], single);
+        EXPECT_EQ(r.makespanSeconds, single.makespanSeconds);
+        EXPECT_EQ(r.tokensGenerated, single.tokensGenerated);
+        EXPECT_EQ(r.energyJoules, single.energyJoules);
+    }
+}
+
+TEST(ClusterEngine, EveryRequestServedOnceAcrossPlatforms)
+{
+    core::PlatformConfig cfg = core::makePapiConfig();
+    llm::ModelConfig model = llm::llama65b();
+    llm::SpeculativeConfig spec;
+    auto reqs = stream(80.0, 64);
+    std::uint64_t expected_tokens = 0;
+    for (const auto &t : reqs)
+        expected_tokens += t.request.outputLen;
+
+    for (std::uint32_t n : {2u, 4u, 8u}) {
+        ClusterOptions opt;
+        opt.numPlatforms = n;
+        opt.policy = RouterPolicy::LeastOutstanding;
+        opt.serving.maxRlp = 16;
+        ClusterResult r =
+            ClusterEngine(cfg, opt).run(reqs, spec, model);
+        EXPECT_EQ(r.requestsServed, 64u) << "n=" << n;
+        EXPECT_EQ(r.tokensGenerated, expected_tokens) << "n=" << n;
+        EXPECT_EQ(r.numGroups, n);
+        // Record invariants: admission after arrival, first token
+        // after admission, finish after first token.
+        for (const auto &rec : r.records) {
+            EXPECT_GE(rec.queueingSeconds(), 0.0);
+            EXPECT_GE(rec.ttftSeconds(), 0.0);
+            EXPECT_GE(rec.finishSeconds, rec.firstTokenSeconds);
+        }
+    }
+}
+
+TEST(ClusterEngine, MorePlatformsCutLatencyUnderLoad)
+{
+    core::PlatformConfig cfg = core::makePapiConfig();
+    llm::ModelConfig model = llm::llama65b();
+    llm::SpeculativeConfig spec;
+    auto reqs = stream(100.0, 64);
+
+    ClusterOptions opt;
+    opt.policy = RouterPolicy::LeastOutstanding;
+    opt.serving.maxRlp = 8;
+    opt.numPlatforms = 1;
+    ClusterResult one = ClusterEngine(cfg, opt).run(reqs, spec, model);
+    opt.numPlatforms = 4;
+    ClusterResult four =
+        ClusterEngine(cfg, opt).run(reqs, spec, model);
+
+    EXPECT_LT(four.latency.p99, one.latency.p99);
+    EXPECT_LT(four.meanQueueingSeconds, one.meanQueueingSeconds);
+    EXPECT_LT(four.makespanSeconds, one.makespanSeconds);
+}
+
+TEST(TensorParallel, AllReduceCostShape)
+{
+    TensorParallelModel tp;
+    tp.degree = 1;
+    EXPECT_DOUBLE_EQ(tp.allReduceSeconds(1 << 20), 0.0);
+    EXPECT_DOUBLE_EQ(tp.allReduceJoules(1 << 20), 0.0);
+
+    tp.degree = 4;
+    double small = tp.allReduceSeconds(1 << 10);
+    double large = tp.allReduceSeconds(1 << 24);
+    EXPECT_GT(small, 0.0);
+    EXPECT_GT(large, small); // bandwidth term grows with bytes
+    // Latency floor: more ranks = more ring steps even at 0 bytes.
+    tp.degree = 8;
+    EXPECT_GT(tp.allReduceSeconds(0), 0.0);
+
+    // Degree 1 yields the trivial cost model (bit-identity path).
+    tp.degree = 1;
+    EXPECT_TRUE(
+        tp.iterationCostModel(papi::llm::llama65b()).trivial());
+    tp.degree = 2;
+    EXPECT_FALSE(
+        tp.iterationCostModel(papi::llm::llama65b()).trivial());
+}
+
+TEST(TensorParallel, ShardingTradesComputeForFabric)
+{
+    core::PlatformConfig cfg = core::makePapiConfig();
+    llm::ModelConfig model = llm::llama65b();
+    llm::SpeculativeConfig spec;
+    auto reqs = stream(30.0, 32);
+
+    // 2 platforms as two independent replicas vs one TP pair: the
+    // TP pair halves per-iteration kernel time, so per-token decode
+    // intervals (TPOT) must drop despite the all-reduce tax.
+    ClusterOptions opt;
+    opt.numPlatforms = 2;
+    opt.serving.maxRlp = 16;
+    opt.tensorParallelDegree = 1;
+    ClusterResult replicas =
+        ClusterEngine(cfg, opt).run(reqs, spec, model);
+    opt.tensorParallelDegree = 2;
+    ClusterResult tp_pair =
+        ClusterEngine(cfg, opt).run(reqs, spec, model);
+
+    EXPECT_EQ(tp_pair.numGroups, 1u);
+    EXPECT_EQ(replicas.numGroups, 2u);
+    EXPECT_LT(tp_pair.tpot.p50, replicas.tpot.p50);
+    // The all-reduce is not free: energy includes a fabric term.
+    EXPECT_GT(tp_pair.energyJoules, 0.0);
+}
+
+TEST(ClusterEngine, StatsAggregationPopulatesGroup)
+{
+    core::PlatformConfig cfg = core::makePapiConfig();
+    llm::ModelConfig model = llm::llama65b();
+    llm::SpeculativeConfig spec;
+    auto reqs = stream(60.0, 32);
+
+    ClusterOptions opt;
+    opt.numPlatforms = 2;
+    ClusterResult r = ClusterEngine(cfg, opt).run(reqs, spec, model);
+
+    papi::sim::stats::StatGroup g("cluster");
+    r.populateStats(g);
+    ASSERT_NE(g.find("ttft_p99_seconds"), nullptr);
+    ASSERT_NE(g.find("tpot_p50_seconds"), nullptr);
+    ASSERT_NE(g.find("queueing_mean_seconds"), nullptr);
+    ASSERT_NE(g.find("group_utilization"), nullptr);
+    ASSERT_NE(g.find("ttft_histogram"), nullptr);
+    auto *tokens = dynamic_cast<const papi::sim::stats::Scalar *>(
+        g.find("tokens_generated"));
+    ASSERT_NE(tokens, nullptr);
+    EXPECT_DOUBLE_EQ(tokens->value(),
+                     static_cast<double>(r.tokensGenerated));
+    // Percentile ordering sanity.
+    EXPECT_LE(r.ttft.p50, r.ttft.p95);
+    EXPECT_LE(r.ttft.p95, r.ttft.p99);
+    EXPECT_LE(r.tpot.p50, r.tpot.p99);
+}
+
+TEST(ClusterEngine, InvalidConfigurationsAreFatal)
+{
+    core::PlatformConfig cfg = core::makePapiConfig();
+    llm::ModelConfig model = llm::llama65b();
+    llm::SpeculativeConfig spec;
+
+    ClusterOptions opt;
+    opt.numPlatforms = 0;
+    EXPECT_THROW(ClusterEngine(cfg, opt), FatalError);
+
+    opt.numPlatforms = 4;
+    opt.tensorParallelDegree = 3; // does not divide 4
+    EXPECT_THROW(ClusterEngine(cfg, opt), FatalError);
+
+    opt.tensorParallelDegree = 1;
+    ClusterEngine ok(cfg, opt);
+    EXPECT_THROW(ok.run({}, spec, model), FatalError);
+
+    auto reqs = stream(10.0, 4);
+    std::swap(reqs[0], reqs[3]); // unsorted
+    EXPECT_THROW(ok.run(reqs, spec, model), FatalError);
+
+    auto sorted = stream(10.0, 4);
+    ClusterOptions batch = opt;
+    batch.serving.admission = core::AdmissionPolicy::BatchLevel;
+    EXPECT_THROW(ClusterEngine(cfg, batch).run(sorted, spec, model),
+                 FatalError);
+}
+
+} // namespace

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation.
+
+Verifies that every relative link and image target in the given
+markdown files (or directories of them) resolves to an existing file
+or directory, and that intra-document anchors (#section) point at a
+real heading. External links (http/https/mailto) are recognised but
+not fetched - CI must not depend on the network.
+
+Usage:
+    tools/check_links.py README.md docs
+
+Exit status 1 on any broken link.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug: lowercase, spaces to dashes."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    text = CODE_FENCE.sub("", path.read_text())
+    return {slugify(h) for h in HEADING.findall(text)}
+
+
+def check_file(path: Path) -> list:
+    problems = []
+    text = CODE_FENCE.sub("", path.read_text())
+    for target in LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if not base:
+            # Intra-document anchor.
+            if fragment and slugify(fragment) not in anchors_of(path):
+                problems.append(f"broken anchor '#{fragment}'")
+            continue
+        resolved = (path.parent / base).resolve()
+        if not resolved.exists():
+            problems.append(f"broken link '{target}'")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if slugify(fragment) not in anchors_of(resolved):
+                problems.append(
+                    f"broken anchor '{target}' (no such heading)")
+    return problems
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    files = []
+    for arg in argv[1:]:
+        p = Path(arg)
+        files.extend(sorted(p.glob("**/*.md")) if p.is_dir() else [p])
+    failures = 0
+    for path in files:
+        for problem in check_file(path):
+            print(f"{path}: {problem}")
+            failures += 1
+    if failures:
+        print(f"\n{failures} broken link(s)")
+        return 1
+    print(f"all links resolve across {len(files)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
