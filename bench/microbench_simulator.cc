@@ -50,6 +50,7 @@
  *     "serving": { "simulated_tokens": n, "iterations": n,
  *                  "wall_seconds": s, "tokens_per_sec": x },
  *     "figure_cell": { "cells": n, "wall_seconds": s },
+ *     "policy": { ... },                // papi-policy/1, see below
  *     "cluster": { ... },               // papi-cluster/1, see below
  *     "summary": {                      // absent with --legacy-queue
  *       "event_queue_speedup_geomean": x,
@@ -57,6 +58,30 @@
  *       "dram_pump_speedup": x,
  *       "overall_speedup_geomean": x    // all five speedups
  *     }
+ *   }
+ *
+ * The "policy" section is its own sub-schema (papi-policy/1): the
+ * paper's FC scheduling-policy comparison on the serving workload -
+ * identical PAPI hardware, one shared GeneralQa stream, FC dispatch
+ * swept over dynamic / always-gpu / always-pim / oracle
+ * (docs/BENCHMARKS.md documents every field):
+ *   {
+ *     "schema": "papi-policy/1",
+ *     "model": str,
+ *     "arrival": { "trace": str, "rate_rps": x, "requests": n,
+ *                  "seed": n, "max_rlp": n, "spec_length": n },
+ *     "alpha": x,                       // calibrated threshold
+ *     "policies": [
+ *       { "policy": str, "dispatch": str,
+ *         "makespan_seconds": x, "sim_tokens_per_sec": x,
+ *         "mean_latency_seconds": x, "p95_latency_seconds": x,
+ *         "reschedules": n, "fc_gpu_iterations": n,
+ *         "fc_pim_iterations": n, "energy_joules": x,
+ *         "wall_seconds": x }, ...      // dynamic, always-gpu,
+ *     ],                                // always-pim, oracle
+ *     "dynamic_speedup_vs_always_gpu": x,
+ *     "dynamic_speedup_vs_always_pim": x,
+ *     "oracle_over_dynamic": x          // <= 1; 1 = oracle-equal
  *   }
  *
  * The "cluster" section is its own sub-schema (papi-cluster/1): a
@@ -489,6 +514,81 @@ struct PatternResult
     double legacyRate = 0.0;
 };
 
+/** One FC-policy cell of the papi-policy/1 section. */
+struct PolicyCell
+{
+    const char *policy = nullptr; ///< fcPolicyName of the cell.
+    std::string dispatch;         ///< Resolved dispatch policy.
+    core::ServingResult result;
+    double wall = 0.0;
+};
+
+/** Inputs and outcomes of the FC-policy sweep. */
+struct PolicyBench
+{
+    double rateRps = 0.0;
+    std::uint32_t requests = 0;
+    std::uint32_t maxRlp = 0;
+    std::uint32_t specLength = 0;
+    std::uint64_t seed = 0;
+    double alpha = 0.0;
+    std::vector<PolicyCell> cells;
+};
+
+/**
+ * The paper's scheduling-policy comparison on the serving workload:
+ * identical PAPI hardware, one shared GeneralQa Poisson stream, FC
+ * dispatch swept over Dynamic / AlwaysGpu / AlwaysPim / Oracle.
+ * Reports simulated serving quality per policy (the dynamic
+ * threshold should sit between the static extremes and track the
+ * oracle) plus harness wall-clock per cell.
+ */
+PolicyBench
+benchPolicy(bool quick)
+{
+    PolicyBench out;
+    out.rateRps = 80.0;
+    out.requests = quick ? 64 : 192;
+    out.maxRlp = 32;
+    out.specLength = 2;
+    out.seed = 11;
+
+    llm::ModelConfig model = llm::llama65b();
+    {
+        core::Platform reference(core::makePapiConfig());
+        out.alpha = core::ThresholdCalibrator::calibrate(reference,
+                                                         model)
+                        .alpha;
+    }
+    llm::ArrivalProcess arrivals(llm::TraceCategory::GeneralQa,
+                                 out.rateRps, out.seed);
+    auto stream = arrivals.generate(out.requests);
+    llm::SpeculativeConfig spec;
+    spec.length = out.specLength;
+    core::ServingOptions opt;
+    opt.maxRlp = out.maxRlp;
+    opt.alpha = out.alpha;
+    opt.seed = 3;
+
+    for (core::FcPolicy policy :
+         {core::FcPolicy::Dynamic, core::FcPolicy::AlwaysGpu,
+          core::FcPolicy::AlwaysPim, core::FcPolicy::Oracle}) {
+        core::PlatformConfig cfg = core::makePapiConfig();
+        cfg.fcPolicy = policy;
+        core::Platform platform(cfg);
+        auto start = Clock::now();
+        PolicyCell cell;
+        cell.policy = core::fcPolicyName(policy);
+        cell.dispatch = core::dispatchPolicyName(
+            platform.dispatchPolicy(core::Phase::Fc));
+        cell.result = core::ServingEngine(platform).run(stream, spec,
+                                                        model, opt);
+        cell.wall = secondsSince(start);
+        out.cells.push_back(std::move(cell));
+    }
+    return out;
+}
+
 /** One strong-scaling cell of the papi-cluster/1 section. */
 struct ClusterCell
 {
@@ -576,7 +676,7 @@ writeJson(std::FILE *f, bool quick, bool legacy_only,
           std::uint64_t dec_iters, double dec_wall,
           std::uint64_t srv_tokens, std::uint64_t srv_iters,
           double srv_wall, std::uint32_t fig_cells, double fig_wall,
-          const ClusterBench &cb)
+          const PolicyBench &pb, const ClusterBench &cb)
 {
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"schema\": \"papi-microbench/1\",\n");
@@ -647,6 +747,56 @@ writeJson(std::FILE *f, bool quick, bool legacy_only,
                  "  \"figure_cell\": {\"cells\": %u, "
                  "\"wall_seconds\": %.6f},\n",
                  fig_cells, fig_wall);
+    std::fprintf(f, "  \"policy\": {\n");
+    std::fprintf(f, "    \"schema\": \"papi-policy/1\",\n");
+    std::fprintf(f, "    \"model\": \"llama-65b\",\n");
+    std::fprintf(f,
+                 "    \"arrival\": {\"trace\": \"general-qa\", "
+                 "\"rate_rps\": %.1f, \"requests\": %u, \"seed\": "
+                 "%llu, \"max_rlp\": %u, \"spec_length\": %u},\n",
+                 pb.rateRps, pb.requests,
+                 static_cast<unsigned long long>(pb.seed), pb.maxRlp,
+                 pb.specLength);
+    std::fprintf(f, "    \"alpha\": %.1f,\n", pb.alpha);
+    std::fprintf(f, "    \"policies\": [\n");
+    for (std::size_t i = 0; i < pb.cells.size(); ++i) {
+        const PolicyCell &c = pb.cells[i];
+        const core::ServingResult &r = c.result;
+        std::fprintf(
+            f,
+            "      {\"policy\": \"%s\", \"dispatch\": \"%s\",\n"
+            "       \"makespan_seconds\": %.6f, "
+            "\"sim_tokens_per_sec\": %.6e,\n"
+            "       \"mean_latency_seconds\": %.6f, "
+            "\"p95_latency_seconds\": %.6f,\n"
+            "       \"reschedules\": %llu, "
+            "\"fc_gpu_iterations\": %llu, "
+            "\"fc_pim_iterations\": %llu,\n"
+            "       \"energy_joules\": %.4f, "
+            "\"wall_seconds\": %.6f}%s\n",
+            c.policy, c.dispatch.c_str(), r.makespanSeconds,
+            r.throughputTokensPerSecond(), r.meanLatencySeconds,
+            r.p95LatencySeconds,
+            static_cast<unsigned long long>(r.reschedules),
+            static_cast<unsigned long long>(r.fcOnGpuIterations),
+            static_cast<unsigned long long>(r.fcOnPimIterations),
+            r.energyJoules, c.wall,
+            i + 1 < pb.cells.size() ? "," : "");
+    }
+    std::fprintf(f, "    ],\n");
+    // Cells are ordered dynamic, always-gpu, always-pim, oracle.
+    std::fprintf(
+        f,
+        "    \"dynamic_speedup_vs_always_gpu\": %.3f,\n"
+        "    \"dynamic_speedup_vs_always_pim\": %.3f,\n"
+        "    \"oracle_over_dynamic\": %.4f\n",
+        pb.cells[1].result.makespanSeconds /
+            pb.cells[0].result.makespanSeconds,
+        pb.cells[2].result.makespanSeconds /
+            pb.cells[0].result.makespanSeconds,
+        pb.cells[0].result.makespanSeconds /
+            pb.cells[3].result.makespanSeconds);
+    std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"cluster\": {\n");
     std::fprintf(f, "    \"schema\": \"papi-cluster/1\",\n");
     std::fprintf(f,
@@ -790,13 +940,14 @@ main(int argc, char **argv)
     double fig_wall = 0;
     benchFigureCells(fig_cells, fig_wall);
 
+    PolicyBench pb = benchPolicy(quick);
     ClusterBench cb = benchCluster(quick);
 
     writeJson(stdout, quick, legacy_only, eq_events, patterns,
               geomean, dram_n, stream_new, stream_legacy, pump_new,
               pump_legacy, dec_tokens, dec_iters, dec_wall,
               srv_tokens, srv_iters, srv_wall, fig_cells, fig_wall,
-              cb);
+              pb, cb);
     if (out_path) {
         std::FILE *f = std::fopen(out_path, "w");
         if (!f) {
@@ -807,7 +958,7 @@ main(int argc, char **argv)
                   dram_n, stream_new, stream_legacy, pump_new,
                   pump_legacy, dec_tokens, dec_iters, dec_wall,
                   srv_tokens, srv_iters, srv_wall, fig_cells,
-                  fig_wall, cb);
+                  fig_wall, pb, cb);
         std::fclose(f);
     }
     return 0;

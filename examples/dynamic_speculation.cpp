@@ -32,8 +32,13 @@ main()
     llm::TraceGenerator gen(llm::TraceCategory::Uniform, 9);
     llm::Batch batch(gen.generateUniform(8, 64, 96), model);
 
+    // Schedule between the platform's FC threshold pair (the
+    // registry ids of fc-pim and gpu).
     std::uint32_t tlp = 1;
-    core::DynamicScheduler sched(alpha, batch.liveRlp(), tlp);
+    core::TargetPair pair =
+        papi.dispatcher(core::Phase::Fc, alpha).pair();
+    core::DynamicScheduler sched(alpha, batch.liveRlp(), tlp, {},
+                                 pair);
     core::ScheduleDecision decision = sched.initialSchedule();
 
     double total_seconds = 0.0;
@@ -70,7 +75,7 @@ main()
             std::printf("%-6lu %-5u %-5u %-9.0f %-7s %.3f ms%s\n",
                         static_cast<unsigned long>(iter),
                         batch.liveRlp(), tlp, decision.estimatedAi,
-                        core::fcTargetName(decision.target),
+                        papi.targets().at(decision.target).name.c_str(),
                         iter_seconds * 1e3,
                         decision.rescheduled ? "   <-- reschedule"
                                              : "");

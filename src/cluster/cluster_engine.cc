@@ -34,14 +34,37 @@ summarize(std::vector<double> &values, double &mean_out)
 
 } // namespace
 
+namespace {
+
+/**
+ * Shared constructor-time configuration validation. Batch-level
+ * admission is rejected here - at construction, not mid-run - so a
+ * misconfigured cluster fails before any simulation work happens.
+ */
+void
+validateClusterOptions(const ClusterOptions &options)
+{
+    if (options.serving.admission != core::AdmissionPolicy::TokenLevel)
+        sim::fatal("ClusterEngine: batch-level admission is not "
+                   "supported under the cluster driver (boundary "
+                   "admission would need lookahead over undelivered "
+                   "arrivals); configure "
+                   "AdmissionPolicy::TokenLevel");
+    if (options.tensorParallelDegree == 0)
+        sim::fatal("ClusterEngine: tensorParallelDegree must be "
+                   ">= 1");
+}
+
+} // namespace
+
 ClusterEngine::ClusterEngine(const core::PlatformConfig &config,
                              const ClusterOptions &options)
     : _options(options)
 {
+    validateClusterOptions(options);
     if (options.numPlatforms == 0)
         sim::fatal("ClusterEngine: need at least one platform");
-    if (options.tensorParallelDegree == 0 ||
-        options.numPlatforms % options.tensorParallelDegree != 0)
+    if (options.numPlatforms % options.tensorParallelDegree != 0)
         sim::fatal("ClusterEngine: tensorParallelDegree (",
                    options.tensorParallelDegree,
                    ") must divide numPlatforms (",
@@ -52,6 +75,23 @@ ClusterEngine::ClusterEngine(const core::PlatformConfig &config,
     for (std::uint32_t g = 0; g < _numGroups; ++g)
         _platforms.push_back(
             std::make_unique<core::Platform>(config));
+}
+
+ClusterEngine::ClusterEngine(
+    const std::vector<core::PlatformConfig> &groupConfigs,
+    const ClusterOptions &options)
+    : _options(options)
+{
+    validateClusterOptions(options);
+    if (groupConfigs.empty())
+        sim::fatal("ClusterEngine: need at least one replica "
+                   "config");
+    _numGroups = static_cast<std::uint32_t>(groupConfigs.size());
+    _options.numPlatforms =
+        _numGroups * _options.tensorParallelDegree;
+    _platforms.reserve(_numGroups);
+    for (const auto &cfg : groupConfigs)
+        _platforms.push_back(std::make_unique<core::Platform>(cfg));
 }
 
 ClusterResult
@@ -65,11 +105,6 @@ ClusterEngine::run(const std::vector<llm::TimedRequest> &stream,
         if (stream[i].arrivalSeconds < stream[i - 1].arrivalSeconds)
             sim::fatal("ClusterEngine: arrivals must be sorted");
     }
-    if (_options.serving.admission != core::AdmissionPolicy::TokenLevel)
-        sim::fatal("ClusterEngine: only token-level admission is "
-                   "supported (batch-level needs lookahead over "
-                   "undelivered arrivals)");
-
     TensorParallelModel tp;
     tp.degree = _options.tensorParallelDegree;
     tp.fabric = _options.tpFabric;
@@ -146,6 +181,13 @@ ClusterEngine::run(const std::vector<llm::TimedRequest> &stream,
     out.numGroups = _numGroups;
     out.perGroup.reserve(_numGroups);
     out.groupUtilization.resize(_numGroups, 0.0);
+    out.groupNames.reserve(_numGroups);
+    out.groupPolicies.reserve(_numGroups);
+    for (std::uint32_t g = 0; g < _numGroups; ++g) {
+        out.groupNames.push_back(_platforms[g]->name());
+        out.groupPolicies.push_back(core::dispatchPolicyName(
+            _platforms[g]->dispatchPolicy(core::Phase::Fc)));
+    }
     double t_end = stream.front().arrivalSeconds;
     for (std::uint32_t g = 0; g < _numGroups; ++g) {
         core::ServingResult r = sims[g]->finish();

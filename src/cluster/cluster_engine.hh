@@ -89,6 +89,11 @@ struct ClusterResult
     double meanLatencySeconds = 0.0;  ///< Mean arrival-to-completion.
     double meanQueueingSeconds = 0.0; ///< Mean queueing delay.
 
+    /** Per-replica platform names (heterogeneous clusters). */
+    std::vector<std::string> groupNames;
+    /** Per-replica FC dispatch policies (dispatchPolicyName form). */
+    std::vector<std::string> groupPolicies;
+
     /** Cluster decode throughput over the makespan. */
     double
     throughputTokensPerSecond() const
@@ -119,10 +124,27 @@ class ClusterEngine
 {
   public:
     /**
-     * Build numPlatforms platform instances from @p config.
-     * Fatal if tensorParallelDegree does not divide numPlatforms.
+     * Build numPlatforms platform instances from @p config (a
+     * homogeneous cluster). Fatal if tensorParallelDegree does not
+     * divide numPlatforms, or if the serving options request
+     * batch-level admission (a configuration error: the cluster
+     * driver delivers arrivals incrementally, and batch-level
+     * boundary admission would need lookahead over undelivered
+     * arrivals - use AdmissionPolicy::TokenLevel).
      */
     ClusterEngine(const core::PlatformConfig &config,
+                  const ClusterOptions &options);
+
+    /**
+     * Heterogeneous cluster: one PlatformConfig per replica group
+     * (e.g. dynamic PAPI replicas alongside always-GPU baselines
+     * behind one router). The replica count is groupConfigs.size();
+     * options.numPlatforms is derived as groups x
+     * tensorParallelDegree and any caller-set value is ignored.
+     * Admission-policy validation is as for the homogeneous
+     * constructor.
+     */
+    ClusterEngine(const std::vector<core::PlatformConfig> &groupConfigs,
                   const ClusterOptions &options);
 
     /** Replica (backend) count. */

@@ -25,20 +25,6 @@ platformConfigByName(const std::string &name)
 
 namespace {
 
-FcPolicy
-policyFromString(const std::string &name)
-{
-    if (name == "always-gpu")
-        return FcPolicy::AlwaysGpu;
-    if (name == "always-pim")
-        return FcPolicy::AlwaysPim;
-    if (name == "dynamic")
-        return FcPolicy::Dynamic;
-    if (name == "oracle")
-        return FcPolicy::Oracle;
-    sim::fatal("config: unknown fc_policy '", name, "'");
-}
-
 interconnect::Link
 linkFromString(const std::string &name)
 {
@@ -66,7 +52,16 @@ platformFromConfig(const sim::Config &config)
     cfg.numAttnDevices = static_cast<std::uint32_t>(
         config.getInt("num_attn_devices", cfg.numAttnDevices));
     if (config.has("fc_policy"))
-        cfg.fcPolicy = policyFromString(config.getString("fc_policy"));
+        cfg.fcPolicy = fcPolicyFromName(config.getString("fc_policy"));
+    if (config.has("fc_dispatch"))
+        cfg.fcDispatch =
+            dispatchPolicyFromName(config.getString("fc_dispatch"));
+    if (config.has("attn_dispatch"))
+        cfg.attnDispatch =
+            dispatchPolicyFromName(config.getString("attn_dispatch"));
+    if (config.has("prefill_dispatch"))
+        cfg.prefillDispatch = dispatchPolicyFromName(
+            config.getString("prefill_dispatch"));
     if (config.has("attn_fabric"))
         cfg.topology.attnFabric =
             linkFromString(config.getString("attn_fabric"));

@@ -14,6 +14,16 @@
  *   num_fc_devices        FC-weight PIM/HBM devices
  *   num_attn_devices      Attention PIM devices
  *   fc_policy             always-gpu | always-pim | dynamic | oracle
+ *   fc_dispatch           explicit FC dispatch policy, overriding
+ *                         fc_policy: "static:<target>",
+ *                         "threshold:<below>-><above>", or
+ *                         "oracle:<t1>,<t2>,..." over the registry
+ *                         target names (gpu, fc-pim, attn-pim)
+ *   attn_dispatch         attention-phase dispatch policy (static or
+ *                         oracle; threshold is fc-only - no runtime
+ *                         alpha is plumbed for other phases)
+ *   prefill_dispatch      prefill-phase dispatch policy (same rules
+ *                         as attn_dispatch)
  *   attn_fabric           pcie5 | cxl2 | nvlink
  *   fc_fabric_links       parallel links on the FC fabric
  *   attn_fabric_links     parallel links on the attention fabric

@@ -1,37 +1,10 @@
 #include "core/decode_engine.hh"
 
-#include <algorithm>
-
 #include "llm/moe.hh"
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 
 namespace papi::core {
-
-FcTarget
-DecodeEngine::chooseTarget(const llm::ModelConfig &model,
-                           std::uint32_t tokens, DynamicScheduler *sched,
-                           const ScheduleDecision &decision) const
-{
-    switch (_platform.config().fcPolicy) {
-      case FcPolicy::AlwaysGpu:
-        return FcTarget::Gpu;
-      case FcPolicy::AlwaysPim:
-        return FcTarget::FcPim;
-      case FcPolicy::Dynamic:
-        if (!sched)
-            sim::panic("DecodeEngine: dynamic policy without a "
-                       "scheduler");
-        return decision.target;
-      case FcPolicy::Oracle: {
-        double gpu_s =
-            _platform.fcExec(model, tokens, FcTarget::Gpu).seconds;
-        double pim_s =
-            _platform.fcExec(model, tokens, FcTarget::FcPim).seconds;
-        return gpu_s <= pim_s ? FcTarget::Gpu : FcTarget::FcPim;
-      }
-    }
-    sim::panic("DecodeEngine: bad policy");
-}
 
 RunResult
 DecodeEngine::run(llm::Batch &batch, const llm::SpeculativeConfig &spec,
@@ -42,124 +15,56 @@ DecodeEngine::run(llm::Batch &batch, const llm::SpeculativeConfig &spec,
     _platform.validateFit(model, batch.peakKvCacheBytes());
     _trace.clear();
 
-    RunResult out;
-    sim::Rng rng(options.seed);
+    // A static batch is a stream whose requests all arrive at t=0:
+    // batch-level admission over the full batch, then decode to
+    // drain with no further arrivals.
+    ServingOptions sopt;
+    sopt.maxRlp = batch.initialRlp();
+    sopt.alpha = options.alpha;
+    sopt.seed = options.seed;
+    sopt.admission = AdmissionPolicy::BatchLevel;
 
-    // ---- Prefill ----
-    if (options.includePrefill) {
-        std::vector<std::uint32_t> input_lens;
-        input_lens.reserve(batch.requests().size());
-        for (const auto &r : batch.requests())
-            input_lens.push_back(r.inputLen);
-        KernelExec pre = _platform.prefillExec(model, input_lens);
-        out.time.prefillSeconds = pre.seconds;
-        out.energyJoules += pre.energyJoules;
-    }
+    StaticBatchMode mode;
+    mode.enabled = true;
+    mode.includePrefill = options.includePrefill;
+    mode.recordTrace = options.recordTrace;
 
-    // ---- Decode loop ----
-    const bool dynamic =
-        _platform.config().fcPolicy == FcPolicy::Dynamic;
     AiEstimateFn estimator;
     if (model.isMoe()) {
         estimator = [&model](std::uint32_t r, std::uint32_t t) {
             return llm::moeFcIntensityEstimate(model, r, t);
         };
     }
-    DynamicScheduler sched(options.alpha, batch.liveRlp(), spec.length,
-                           std::move(estimator));
-    ScheduleDecision decision;
-    if (dynamic)
-        decision = sched.initialSchedule();
 
-    const bool tracks_rlp = _platform.config().tracksRuntimeRlp;
-
-    // Reused across iterations; refilled in place each step.
-    std::vector<std::uint32_t> ctx_lens;
-    ctx_lens.reserve(batch.initialRlp());
-
-    while (!batch.done()) {
-        const std::uint32_t rlp = batch.liveRlp();
-        const std::uint32_t tlp = spec.length;
-        // Systems without PAPI's <eos>-tracking execute the padded
-        // batch; PAPI shrinks the FC work to the live requests.
-        const std::uint32_t fc_rlp =
-            tracks_rlp ? rlp : batch.initialRlp();
-        const std::uint32_t tokens = fc_rlp * tlp;
-
-        FcTarget target = chooseTarget(model, tokens,
-                                       dynamic ? &sched : nullptr,
-                                       decision);
-
-        KernelExec fc = _platform.fcExec(model, tokens, target);
-        batch.liveContextLens(ctx_lens);
-        KernelExec at = _platform.attnExec(model, ctx_lens, tlp);
-        double other = _platform.otherSeconds(model);
-        // The draft model's serial proposal pass (speculative
-        // decoding): charged as a fraction of the verification cost.
-        if (spec.length > 1 && spec.draftCostFraction > 0.0)
-            other += spec.draftCostFraction *
-                     (fc.seconds + at.seconds);
-
-        // Kernels within a layer are dependent, so by default the
-        // phases serialize (FC -> attention -> FC ...). Platforms
-        // with sub-batch interleaving can hide a fraction of the
-        // shorter phase under the longer one. Communication is
-        // already embedded in the phase results.
-        double overlap = _platform.config().phaseOverlapFraction;
-        double hidden =
-            overlap * std::min(fc.seconds, at.seconds);
-        double iter_seconds =
-            fc.seconds + at.seconds - hidden + other;
-
-        // The hidden time executes under the longer phase, so the
-        // shorter phase's contributions shrink (compute first, then
-        // its communication share).
-        double fc_part = fc.seconds - fc.commSeconds;
-        double at_part = at.seconds - at.commSeconds;
-        double comm_part = fc.commSeconds + at.commSeconds;
-        if (hidden > 0.0) {
-            double &shorter =
-                fc.seconds <= at.seconds ? fc_part : at_part;
-            double deduct = std::min(hidden, shorter);
-            shorter -= deduct;
-            comm_part -= hidden - deduct;
-        }
-        out.time.fcSeconds += fc_part;
-        out.time.attnSeconds += at_part;
-        out.time.commSeconds += comm_part;
-        out.time.otherSeconds += other;
-        out.energyJoules += fc.energyJoules + at.energyJoules;
-        // Charge the "other" work at host/system power.
-        out.energyJoules += other * 50.0;
-
-        if (target == FcTarget::Gpu)
-            ++out.fcOnGpuIterations;
-        else
-            ++out.fcOnPimIterations;
-
-        std::uint32_t accepted = spec.sampleAccepted(rng);
-        llm::DecodeStep step = batch.step(accepted);
-        out.tokensGenerated += step.tokensGenerated;
-        ++out.iterations;
-
-        if (options.recordTrace) {
-            IterationTrace t;
-            t.iteration = out.iterations;
-            t.rlp = rlp;
-            t.tlp = tlp;
-            t.estimatedAi = dynamic ? decision.estimatedAi : 0.0;
-            t.fcTarget = target;
-            t.rescheduled = dynamic && decision.rescheduled;
-            t.eosCount = step.eosCount;
-            t.iterationSeconds = iter_seconds;
-            _trace.push_back(t);
-        }
-
-        if (dynamic && !batch.done())
-            decision = sched.observeStep(step.eosCount);
+    ServingSim sim(_platform, spec, model, sopt, {},
+                   std::move(estimator), mode);
+    for (const auto &r : batch.requests()) {
+        llm::TimedRequest tr;
+        tr.request = r;
+        tr.arrivalSeconds = 0.0;
+        sim.deliver(tr);
     }
+    while (sim.canStep())
+        sim.step();
 
-    out.reschedules = dynamic ? sched.reschedules() : 0;
+    ServingResult s = sim.finish();
+    RunResult out;
+    out.time = sim.breakdown();
+    out.energyJoules = s.energyJoules;
+    out.iterations = s.iterations;
+    out.tokensGenerated = s.tokensGenerated;
+    out.fcOnGpuIterations = s.fcOnGpuIterations;
+    out.fcOnPimIterations = s.fcOnPimIterations;
+    out.reschedules = s.reschedules;
+    _trace = sim.trace();
+
+    // The caller's batch is consumed, as the pre-fold loop did:
+    // replay the acceptance sequence (same seed, one sample per
+    // iteration) against the batch object itself.
+    sim::Rng rng(options.seed);
+    while (!batch.done())
+        batch.step(spec.sampleAccepted(rng));
+
     return out;
 }
 

@@ -1,11 +1,17 @@
 /**
  * @file
- * End-to-end LLM inference execution on a platform.
+ * End-to-end static-batch LLM inference on a platform.
  *
- * The engine drives a batch through prefill and the decode loop,
- * dispatching the FC phase per the platform's scheduling policy
- * (static, PAPI-dynamic, or oracle) and the attention phase to the
- * attention PIM devices, accumulating per-component time and energy.
+ * DecodeEngine is the paper's evaluation harness shape: one batch,
+ * prefill, decode to drain. Since the execution-target refactor it
+ * is a thin adapter over the shared ServingSim core - a static batch
+ * is a stream whose requests all arrive at t=0 under batch-level
+ * admission with no further arrivals (StaticBatchMode carries the
+ * decode-loop semantics: padded FC work on non-RLP-tracking
+ * baselines, phase-overlap hiding, the speculative draft charge,
+ * per-iteration traces). RunResult/RunBreakdown remain this layer's
+ * result vocabulary; the adapter reproduces the pre-fold decode loop
+ * bit-for-bit (pinned by tests/dispatch_identity_test.cc).
  */
 
 #ifndef PAPI_CORE_DECODE_ENGINE_HH
@@ -15,30 +21,11 @@
 #include <vector>
 
 #include "core/platform.hh"
-#include "core/scheduler.hh"
+#include "core/serving_engine.hh"
 #include "llm/batch.hh"
 #include "llm/speculative.hh"
-#include "sim/rng.hh"
 
 namespace papi::core {
-
-/** Per-component time/energy accumulation of one run. */
-struct RunBreakdown
-{
-    double prefillSeconds = 0.0; ///< Prompt-processing phase.
-    double fcSeconds = 0.0;   ///< Decode FC (GEMV only).
-    double attnSeconds = 0.0; ///< Decode attention (GEMV+softmax).
-    double commSeconds = 0.0; ///< All activation/KV movement.
-    double otherSeconds = 0.0; ///< Layernorm/residual/sampling.
-
-    /** Sum of all components, end to end. */
-    double
-    totalSeconds() const
-    {
-        return prefillSeconds + fcSeconds + attnSeconds + commSeconds +
-               otherSeconds;
-    }
-};
 
 /** Outcome of an end-to-end run. */
 struct RunResult
@@ -74,19 +61,6 @@ struct RunResult
     }
 };
 
-/** One row of the optional per-iteration schedule trace. */
-struct IterationTrace
-{
-    std::uint64_t iteration = 0; ///< Iteration index (0-based).
-    std::uint32_t rlp = 0;       ///< Live request-level parallelism.
-    std::uint32_t tlp = 0;       ///< Speculation length.
-    double estimatedAi = 0.0;    ///< Scheduler's RLP x TLP estimate.
-    FcTarget fcTarget = FcTarget::Gpu; ///< Chosen FC target.
-    bool rescheduled = false;    ///< Target changed vs last iteration.
-    std::uint32_t eosCount = 0;  ///< Requests that finished here.
-    double iterationSeconds = 0.0; ///< Wall time of the iteration.
-};
-
 /** Options for a run. */
 struct RunOptions
 {
@@ -100,7 +74,7 @@ struct RunOptions
     std::uint64_t seed = 1;
 };
 
-/** Drives batches through a platform. */
+/** Drives static batches through a platform (ServingSim adapter). */
 class DecodeEngine
 {
   public:
@@ -121,11 +95,6 @@ class DecodeEngine
     const std::vector<IterationTrace> &trace() const { return _trace; }
 
   private:
-    FcTarget chooseTarget(const llm::ModelConfig &model,
-                          std::uint32_t tokens,
-                          DynamicScheduler *sched,
-                          const ScheduleDecision &decision) const;
-
     const Platform &_platform;
     std::vector<IterationTrace> _trace;
 };

@@ -8,28 +8,6 @@
 
 namespace papi::core {
 
-const char *
-fcPolicyName(FcPolicy policy)
-{
-    switch (policy) {
-      case FcPolicy::AlwaysGpu: return "always-gpu";
-      case FcPolicy::AlwaysPim: return "always-pim";
-      case FcPolicy::Dynamic: return "dynamic";
-      case FcPolicy::Oracle: return "oracle";
-    }
-    return "unknown";
-}
-
-const char *
-fcTargetName(FcTarget target)
-{
-    switch (target) {
-      case FcTarget::Gpu: return "gpu";
-      case FcTarget::FcPim: return "fc-pim";
-    }
-    return "unknown";
-}
-
 namespace {
 
 /** FNV-1a folding of one 64-bit word. */
@@ -40,14 +18,14 @@ hashCombine(std::uint64_t h, std::uint64_t v)
     return h * 0x100000001b3ULL;
 }
 
-/** Kernel-cache query kinds. */
-enum KernelKind : std::uint32_t
-{
-    kindFcGpu = 0,
-    kindFcPim = 1,
-    kindAttn = 2,
-    kindPrefill = 3,
-};
+/**
+ * Kernel-cache query kinds: the phase in the high byte, the registry
+ * target id below it. Target ids are small dense indexes, so the two
+ * never collide.
+ */
+constexpr std::uint32_t kindFcBase = 0x100;
+constexpr std::uint32_t kindAttnBase = 0x200;
+constexpr std::uint32_t kindPrefillBase = 0x300;
 
 /** Entry count at which the kernel cache is discarded wholesale. */
 constexpr std::size_t kernelCacheMaxEntries = 1u << 20;
@@ -100,9 +78,6 @@ Platform::Platform(const PlatformConfig &config) : _config(config)
     if (_config.numFcDevices == 0 || _config.numAttnDevices == 0)
         sim::fatal("Platform '", _config.name, "': device counts must "
                    "be nonzero");
-    if (!_config.hasGpu && _config.fcPolicy != FcPolicy::AlwaysPim)
-        sim::fatal("Platform '", _config.name, "': GPU-less platforms "
-                   "must use the always-pim policy");
     if (!_config.hasGpu && !_config.fcDevicesCompute)
         sim::fatal("Platform '", _config.name, "': no compute at all "
                    "for FC kernels");
@@ -116,6 +91,165 @@ Platform::Platform(const PlatformConfig &config) : _config(config)
             _config.gpuSpec, _config.numGpus,
             _config.topology.gpuFabric.bandwidthBytesPerSec / 1e9);
     }
+
+    buildRegistry();
+    resolveDispatch();
+    _attnDispatcher.emplace(*this, Phase::Attention);
+    _prefillDispatcher.emplace(*this, Phase::Prefill);
+}
+
+void
+Platform::buildRegistry()
+{
+    if (_config.hasGpu) {
+        ExecTarget t;
+        t.name = "gpu";
+        t.kind = TargetKind::Gpu;
+        t.fcCost = [this](const llm::ModelConfig &m,
+                          std::uint32_t tokens) {
+            return fcOnGpu(m, tokens);
+        };
+        t.prefillCost = [this](const llm::ModelConfig &m,
+                               const std::vector<std::uint32_t> &l) {
+            return prefillOnGpu(m, l);
+        };
+        _gpuId = _registry.add(std::move(t));
+    }
+    if (_config.fcDevicesCompute) {
+        ExecTarget t;
+        t.name = "fc-pim";
+        t.kind = TargetKind::FcPim;
+        t.fcCost = [this](const llm::ModelConfig &m,
+                          std::uint32_t tokens) {
+            return fcOnPim(m, tokens);
+        };
+        t.prefillCost = [this](const llm::ModelConfig &m,
+                               const std::vector<std::uint32_t> &l) {
+            return prefillOnPim(m, l);
+        };
+        _fcPimId = _registry.add(std::move(t));
+    }
+    {
+        ExecTarget t;
+        t.name = "attn-pim";
+        t.kind = TargetKind::AttnPim;
+        t.attnCost = [this](const llm::ModelConfig &m,
+                            const std::vector<std::uint32_t> &ctx,
+                            std::uint32_t tlp) {
+            return attnOnPim(m, ctx, tlp);
+        };
+        _attnPimId = _registry.add(std::move(t));
+    }
+}
+
+void
+Platform::validatePolicy(Phase phase,
+                         const DispatchPolicy &policy) const
+{
+    if (policy.targets.empty())
+        sim::fatal("Platform '", _config.name, "': ", phaseName(phase),
+                   " dispatch policy has no targets");
+    if (policy.rule == DispatchRule::Static &&
+        policy.targets.size() != 1)
+        sim::fatal("Platform '", _config.name, "': static ",
+                   phaseName(phase), " dispatch pins exactly one "
+                   "target, got ", policy.targets.size());
+    if (policy.rule == DispatchRule::Threshold &&
+        policy.targets.size() != 2)
+        sim::fatal("Platform '", _config.name, "': threshold ",
+                   phaseName(phase), " dispatch needs a target pair, "
+                   "got ", policy.targets.size());
+    if (policy.rule == DispatchRule::Threshold &&
+        policy.targets[0] == policy.targets[1])
+        sim::fatal("Platform '", _config.name, "': threshold ",
+                   phaseName(phase), " dispatch pair must name two "
+                   "different targets ('", policy.targets[0], "')");
+    // The threshold rule needs the runtime-calibrated alpha, which
+    // engines plumb for the FC phase only; a threshold policy on the
+    // alpha-free phases would silently degrade to a static pin.
+    if (policy.rule == DispatchRule::Threshold && phase != Phase::Fc)
+        sim::fatal("Platform '", _config.name, "': threshold "
+                   "dispatch is only supported for the fc phase "
+                   "(no runtime alpha is plumbed for ",
+                   phaseName(phase), "); use static or oracle");
+    if (policy.rule == DispatchRule::Oracle &&
+        policy.targets.size() < 2)
+        sim::fatal("Platform '", _config.name, "': oracle ",
+                   phaseName(phase), " dispatch races two or more "
+                   "targets, got ", policy.targets.size());
+    for (const std::string &name : policy.targets) {
+        auto id = _registry.find(name);
+        if (!id)
+            sim::fatal("Platform '", _config.name, "': ",
+                       phaseName(phase), " dispatch names target '",
+                       name, "', which this platform does not "
+                       "provide");
+        if (!_registry.at(*id).supports(phase))
+            sim::fatal("Platform '", _config.name, "': target '",
+                       name, "' cannot run the ", phaseName(phase),
+                       " phase");
+    }
+}
+
+void
+Platform::resolveDispatch()
+{
+    _fcDispatch = _config.fcDispatch.configured()
+                      ? _config.fcDispatch
+                      : dispatchFromFcPolicy(_config.fcPolicy);
+    _attnDispatch = _config.attnDispatch.configured()
+                        ? _config.attnDispatch
+                        : staticDispatch("attn-pim");
+    _prefillDispatch =
+        _config.prefillDispatch.configured()
+            ? _config.prefillDispatch
+            : staticDispatch(_config.hasGpu ? "gpu" : "fc-pim");
+
+    validatePolicy(Phase::Fc, _fcDispatch);
+    validatePolicy(Phase::Attention, _attnDispatch);
+    validatePolicy(Phase::Prefill, _prefillDispatch);
+}
+
+TargetId
+Platform::targetId(std::string_view name) const
+{
+    return _registry.require(name);
+}
+
+const DispatchPolicy &
+Platform::dispatchPolicy(Phase phase) const
+{
+    switch (phase) {
+      case Phase::Prefill: return _prefillDispatch;
+      case Phase::Fc: return _fcDispatch;
+      case Phase::Attention: return _attnDispatch;
+    }
+    sim::panic("Platform: bad phase");
+}
+
+PhaseDispatcher
+Platform::dispatcher(Phase phase, double alpha,
+                     AiEstimateFn estimator) const
+{
+    return PhaseDispatcher(*this, phase, alpha, std::move(estimator));
+}
+
+TargetId
+Platform::targetIdFor(FcTarget target) const
+{
+    TargetId id = target == FcTarget::Gpu ? _gpuId : _fcPimId;
+    if (id == kInvalidTargetId)
+        sim::fatal("Platform '", _config.name, "': no '",
+                   fcTargetName(target),
+                   "' execution target registered");
+    return id;
+}
+
+FcTarget
+Platform::legacyFcTarget(TargetId id) const
+{
+    return _registry.at(id).kind == TargetKind::Gpu ? FcTarget::Gpu
+                                                    : FcTarget::FcPim;
 }
 
 void
@@ -142,17 +276,11 @@ Platform::validateFit(const llm::ModelConfig &model,
 FcTarget
 Platform::staticFcTarget() const
 {
-    switch (_config.fcPolicy) {
-      case FcPolicy::AlwaysGpu:
-        return FcTarget::Gpu;
-      case FcPolicy::AlwaysPim:
-        return FcTarget::FcPim;
-      case FcPolicy::Dynamic:
-      case FcPolicy::Oracle:
+    if (_fcDispatch.rule != DispatchRule::Static)
         sim::fatal("Platform '", _config.name, "': no static FC "
-                   "target for a dynamic policy");
-    }
-    return FcTarget::Gpu;
+                   "target for a ", dispatchRuleName(_fcDispatch.rule),
+                   " dispatch policy");
+    return legacyFcTarget(_registry.require(_fcDispatch.targets[0]));
 }
 
 KernelExec
@@ -247,19 +375,29 @@ Platform::fcOnPim(const llm::ModelConfig &model,
 
 KernelExec
 Platform::fcExec(const llm::ModelConfig &model, std::uint32_t tokens,
-                 FcTarget target) const
+                 TargetId id) const
 {
     if (tokens == 0)
         sim::fatal("Platform::fcExec: zero tokens");
+    const ExecTarget &target = _registry.at(id);
+    if (!target.fcCost)
+        sim::fatal("Platform '", _config.name, "': target '",
+                   target.name, "' cannot run the fc phase");
 
     KernelKey key;
     key.model = modelShapeHash(model);
     key.shape0 = tokens;
-    key.kind = target == FcTarget::Gpu ? kindFcGpu : kindFcPim;
-    return cached(key, [&] {
-        return target == FcTarget::Gpu ? fcOnGpu(model, tokens)
-                                       : fcOnPim(model, tokens);
-    });
+    key.kind = kindFcBase + id;
+    return cached(key, [&] { return target.fcCost(model, tokens); });
+}
+
+KernelExec
+Platform::fcExec(const llm::ModelConfig &model, std::uint32_t tokens,
+                 FcTarget target) const
+{
+    if (tokens == 0)
+        sim::fatal("Platform::fcExec: zero tokens");
+    return fcExec(model, tokens, targetIdFor(target));
 }
 
 double
@@ -285,10 +423,14 @@ Platform::attnCommSeconds(const llm::ModelConfig &model,
 KernelExec
 Platform::attnExec(const llm::ModelConfig &model,
                    const std::vector<std::uint32_t> &ctx_lens,
-                   std::uint32_t tlp) const
+                   std::uint32_t tlp, TargetId id) const
 {
     if (ctx_lens.empty())
         sim::fatal("Platform::attnExec: no live requests");
+    const ExecTarget &target = _registry.at(id);
+    if (!target.attnCost)
+        sim::fatal("Platform '", _config.name, "': target '",
+                   target.name, "' cannot run the attention phase");
 
     std::uint64_t total_len = 0;
     for (std::uint32_t len : ctx_lens)
@@ -301,18 +443,33 @@ Platform::attnExec(const llm::ModelConfig &model,
     key.shape0 = total_len;
     key.shape1 = (static_cast<std::uint64_t>(ctx_lens.size()) << 32) |
                  tlp;
-    key.kind = kindAttn;
+    key.kind = kindAttnBase + id;
     return cached(key, [&] {
-        return attnExecUncached(model, ctx_lens, total_len, tlp);
+        return target.attnCost(model, ctx_lens, tlp);
     });
 }
 
 KernelExec
-Platform::attnExecUncached(const llm::ModelConfig &model,
-                           const std::vector<std::uint32_t> &ctx_lens,
-                           std::uint64_t total_len,
-                           std::uint32_t tlp) const
+Platform::attnExec(const llm::ModelConfig &model,
+                   const std::vector<std::uint32_t> &ctx_lens,
+                   std::uint32_t tlp) const
 {
+    if (ctx_lens.empty())
+        sim::fatal("Platform::attnExec: no live requests");
+    return attnExec(
+        model, ctx_lens, tlp,
+        _attnDispatcher->selectAttention(model, ctx_lens, tlp).target);
+}
+
+KernelExec
+Platform::attnOnPim(const llm::ModelConfig &model,
+                    const std::vector<std::uint32_t> &ctx_lens,
+                    std::uint32_t tlp) const
+{
+    std::uint64_t total_len = 0;
+    for (std::uint32_t len : ctx_lens)
+        total_len += len;
+
     std::uint64_t kv_bytes = total_len * model.kvBytesPerToken();
     std::uint64_t score_elems = total_len * tlp * model.numHeads *
                                 model.numLayers;
@@ -344,11 +501,15 @@ Platform::attnExecUncached(const llm::ModelConfig &model,
 
 KernelExec
 Platform::prefillExec(const llm::ModelConfig &model,
-                      const std::vector<std::uint32_t> &input_lens)
-    const
+                      const std::vector<std::uint32_t> &input_lens,
+                      TargetId id) const
 {
     if (input_lens.empty())
         sim::fatal("Platform::prefillExec: no requests");
+    const ExecTarget &target = _registry.at(id);
+    if (!target.prefillCost)
+        sim::fatal("Platform '", _config.name, "': target '",
+                   target.name, "' cannot run the prefill phase");
 
     // The result depends on input_lens only through the total length,
     // the sum of squared lengths (prefill attention FLOPs), and the
@@ -364,59 +525,27 @@ Platform::prefillExec(const llm::ModelConfig &model,
     key.shape0 = sum;
     key.shape1 = input_lens.size();
     key.shape2 = sum_sq;
-    key.kind = kindPrefill;
-    return cached(key,
-                  [&] { return prefillExecUncached(model, input_lens); });
+    key.kind = kindPrefillBase + id;
+    return cached(key, [&] {
+        return target.prefillCost(model, input_lens);
+    });
 }
 
 KernelExec
-Platform::prefillExecUncached(const llm::ModelConfig &model,
-                              const std::vector<std::uint32_t>
-                                  &input_lens) const
+Platform::prefillExec(const llm::ModelConfig &model,
+                      const std::vector<std::uint32_t> &input_lens)
+    const
 {
-    std::uint64_t total_tokens = std::accumulate(
-        input_lens.begin(), input_lens.end(), std::uint64_t{0});
-    // Prefill attention: per request, L x L score work per layer.
-    double attn_flops = 0.0;
-    std::uint64_t kv_bytes = 0;
-    for (std::uint32_t len : input_lens) {
-        double L = len;
-        attn_flops += 4.0 * L * L * model.hiddenDim * model.numLayers;
-        kv_bytes += static_cast<std::uint64_t>(len) *
-                    model.kvBytesPerToken();
-    }
+    if (input_lens.empty())
+        sim::fatal("Platform::prefillExec: no requests");
+    return prefillExec(
+        model, input_lens,
+        _prefillDispatcher->selectPrefill(model, input_lens).target);
+}
 
-    KernelExec out;
-    if (_gpu) {
-        llm::KernelWork w = llm::fcTotalWork(
-            model,
-            static_cast<std::uint32_t>(std::min<std::uint64_t>(
-                total_tokens, 1u << 20)));
-        gpu::GpuKernelResult g = _gpu->kernel(
-            w.flops + attn_flops,
-            w.weightBytes + w.activationBytes +
-                static_cast<double>(kv_bytes),
-            0.0);
-        out.seconds = g.seconds;
-        out.energyJoules = g.energyJoules;
-        out.computeBound = g.computeBound;
-    } else {
-        // PIM-only platforms must prefill on the PIM fleet.
-        std::uint32_t tokens = static_cast<std::uint32_t>(
-            std::min<std::uint64_t>(total_tokens, 1u << 20));
-        KernelExec fc = fcOnPim(model, tokens);
-        // Attention prefill: reuse grows with the average context;
-        // approximate with the mean prompt length as TLP.
-        std::uint32_t mean_len = static_cast<std::uint32_t>(
-            total_tokens / input_lens.size());
-        KernelExec at = attnExec(model, input_lens,
-                                 std::max<std::uint32_t>(mean_len, 1));
-        out.seconds = fc.seconds + at.seconds;
-        out.commSeconds = fc.commSeconds + at.commSeconds;
-        out.energyJoules = fc.energyJoules + at.energyJoules;
-        out.commJoules = fc.commJoules + at.commJoules;
-    }
-
+void
+Platform::addKvWriteout(std::uint64_t kv_bytes, KernelExec &out) const
+{
     // KV cache write-out to the attention devices.
     const auto &link = _config.topology.attnFabric;
     double agg_bw =
@@ -429,6 +558,76 @@ Platform::prefillExecUncached(const llm::ModelConfig &model,
                       link.energyPerByte;
     out.energyJoules += static_cast<double>(kv_bytes) *
                         link.energyPerByte;
+}
+
+KernelExec
+Platform::prefillOnGpu(const llm::ModelConfig &model,
+                       const std::vector<std::uint32_t> &input_lens)
+    const
+{
+    if (!_gpu)
+        sim::panic("Platform '", _config.name, "': prefillOnGpu "
+                   "without a GPU");
+
+    std::uint64_t total_tokens = std::accumulate(
+        input_lens.begin(), input_lens.end(), std::uint64_t{0});
+    // Prefill attention: per request, L x L score work per layer.
+    double attn_flops = 0.0;
+    std::uint64_t kv_bytes = 0;
+    for (std::uint32_t len : input_lens) {
+        double L = len;
+        attn_flops += 4.0 * L * L * model.hiddenDim * model.numLayers;
+        kv_bytes += static_cast<std::uint64_t>(len) *
+                    model.kvBytesPerToken();
+    }
+
+    llm::KernelWork w = llm::fcTotalWork(
+        model,
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(
+            total_tokens, 1u << 20)));
+    gpu::GpuKernelResult g = _gpu->kernel(
+        w.flops + attn_flops,
+        w.weightBytes + w.activationBytes +
+            static_cast<double>(kv_bytes),
+        0.0);
+    KernelExec out;
+    out.seconds = g.seconds;
+    out.energyJoules = g.energyJoules;
+    out.computeBound = g.computeBound;
+
+    addKvWriteout(kv_bytes, out);
+    return out;
+}
+
+KernelExec
+Platform::prefillOnPim(const llm::ModelConfig &model,
+                       const std::vector<std::uint32_t> &input_lens)
+    const
+{
+    std::uint64_t total_tokens = std::accumulate(
+        input_lens.begin(), input_lens.end(), std::uint64_t{0});
+    std::uint64_t kv_bytes = 0;
+    for (std::uint32_t len : input_lens)
+        kv_bytes += static_cast<std::uint64_t>(len) *
+                    model.kvBytesPerToken();
+
+    // PIM-only platforms prefill on the PIM fleet.
+    std::uint32_t tokens = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(total_tokens, 1u << 20));
+    KernelExec fc = fcOnPim(model, tokens);
+    // Attention prefill: reuse grows with the average context;
+    // approximate with the mean prompt length as TLP.
+    std::uint32_t mean_len = static_cast<std::uint32_t>(
+        total_tokens / input_lens.size());
+    KernelExec at = attnExec(model, input_lens,
+                             std::max<std::uint32_t>(mean_len, 1));
+    KernelExec out;
+    out.seconds = fc.seconds + at.seconds;
+    out.commSeconds = fc.commSeconds + at.commSeconds;
+    out.energyJoules = fc.energyJoules + at.energyJoules;
+    out.commJoules = fc.commJoules + at.commJoules;
+
+    addKvWriteout(kv_bytes, out);
     return out;
 }
 

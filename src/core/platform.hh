@@ -16,6 +16,14 @@
  *    (4P1B, 12 GB) devices; attention on Attn-PIM (1P2B) devices.
  *  - PIM-only PAPI: FC always on FC-PIM, attention on Attn-PIM
  *    (the ablation of Fig. 11/12).
+ *
+ * Each Platform owns an execution-target registry (core::ExecTarget)
+ * describing every compute resource it can run a kernel phase on -
+ * "gpu", "fc-pim", "attn-pim" as configured - and one DispatchPolicy
+ * per phase (prefill, FC, attention) selecting over that registry.
+ * The paper-level FcPolicy enum remains the configuration shorthand;
+ * it is translated into a registry policy at construction, and
+ * explicit per-phase policies in PlatformConfig override it.
  */
 
 #ifndef PAPI_CORE_PLATFORM_HH
@@ -28,6 +36,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/dispatch_policy.hh"
+#include "core/exec_target.hh"
 #include "gpu/gpu_model.hh"
 #include "interconnect/link.hh"
 #include "llm/kernel_spec.hh"
@@ -44,32 +54,23 @@
  */
 namespace papi::core {
 
-/** Where an FC kernel may execute. */
-enum class FcTarget : std::uint8_t
-{
-    Gpu,   ///< The GPU's processing units.
-    FcPim, ///< The near-bank FC-PIM devices.
-};
-
-/** FC scheduling policy of a platform. */
-enum class FcPolicy : std::uint8_t
-{
-    AlwaysGpu, ///< Static: FC on the GPU (AttAcc/HBM-PIM baselines).
-    AlwaysPim, ///< Static: FC on PIM (AttAcc-only, PIM-only PAPI).
-    Dynamic,   ///< PAPI: AI-threshold dynamic scheduling.
-    Oracle,    ///< Ablation: pick the faster target with hindsight.
-};
-
-/** Printable policy name ("always-gpu", "dynamic", ...). */
-const char *fcPolicyName(FcPolicy policy);
-/** Printable target name ("gpu" or "fc-pim"). */
-const char *fcTargetName(FcTarget target);
-
 /** Structural description of a platform. */
 struct PlatformConfig
 {
     std::string name = "platform"; ///< Display/report name.
     FcPolicy fcPolicy = FcPolicy::Dynamic; ///< FC scheduling policy.
+
+    /**
+     * Per-phase dispatch policies over the target registry. Unset
+     * (empty-target) policies are derived at Platform construction:
+     * FC from @ref fcPolicy, attention pinned to "attn-pim", prefill
+     * pinned to "gpu" when present else "fc-pim". Setting these
+     * explicitly overrides the legacy enum and admits shapes the
+     * enum cannot express (e.g. oracle attention offload).
+     */
+    DispatchPolicy fcDispatch;      ///< FC phase policy.
+    DispatchPolicy attnDispatch;    ///< Attention phase policy.
+    DispatchPolicy prefillDispatch; ///< Prefill phase policy.
 
     /**
      * True if the system tracks runtime RLP (PAPI's token-level
@@ -121,22 +122,20 @@ struct PlatformConfig
     pim::PimEnergyParams pimEnergyParams; ///< PIM energy constants.
 };
 
-/** Timing/energy outcome of one kernel phase on the platform. */
-struct KernelExec
-{
-    double seconds = 0.0;     ///< Total phase time.
-    double commSeconds = 0.0; ///< Included in seconds.
-    double energyJoules = 0.0; ///< Total phase energy.
-    double commJoules = 0.0; ///< Included in energyJoules.
-    bool computeBound = false; ///< Roofline regime of the kernel.
-};
-
 /** An instantiated platform with its device models. */
 class Platform
 {
   public:
     /** Instantiate the device models @p config describes. */
     explicit Platform(const PlatformConfig &config);
+
+    /**
+     * Non-copyable: the target registry's cost callbacks bind
+     * `this`, so a copied or moved platform would dangle.
+     */
+    Platform(const Platform &) = delete;
+    /** Non-copyable (see the copy constructor). */
+    Platform &operator=(const Platform &) = delete;
 
     /** The structural description this platform was built from. */
     const PlatformConfig &config() const { return _config; }
@@ -152,6 +151,30 @@ class Platform
     /** The GPU model, or nullptr for PIM-only platforms. */
     const gpu::GpuModel *gpuModel() const { return _gpu.get(); }
 
+    // ------------------------------------------ target registry
+
+    /** The platform's execution targets, in registration order. */
+    const TargetRegistry &targets() const { return _registry; }
+
+    /** Id of the target named @p name; fatal if absent. */
+    TargetId targetId(std::string_view name) const;
+
+    /** The resolved dispatch policy for @p phase. */
+    const DispatchPolicy &dispatchPolicy(Phase phase) const;
+
+    /**
+     * Bind @p phase's policy into a dispatcher with runtime
+     * threshold @p alpha and optional AI-estimate override.
+     */
+    PhaseDispatcher dispatcher(Phase phase, double alpha = 0.0,
+                               AiEstimateFn estimator = {}) const;
+
+    /** Registry id of the legacy two-way FC target; fatal if absent. */
+    TargetId targetIdFor(FcTarget target) const;
+
+    /** Two-way view of a registry target (Gpu kind vs everything else). */
+    FcTarget legacyFcTarget(TargetId id) const;
+
     /**
      * Verify the model's weights fit the FC devices and a batch's
      * peak KV cache fits the attention devices; fatal otherwise.
@@ -159,25 +182,39 @@ class Platform
     void validateFit(const llm::ModelConfig &model,
                      std::uint64_t peak_kv_bytes) const;
 
+    // ------------------------------------------ phase execution
+
     /**
      * One decode iteration's FC phase (all layers, all sub-kernels)
-     * with @p tokens = RLP x TLP tokens, on @p target.
+     * with @p tokens = RLP x TLP tokens, on registry target @p id.
      */
+    KernelExec fcExec(const llm::ModelConfig &model,
+                      std::uint32_t tokens, TargetId id) const;
+
+    /** Legacy two-way overload of @ref fcExec. */
     KernelExec fcExec(const llm::ModelConfig &model,
                       std::uint32_t tokens, FcTarget target) const;
 
     /**
      * One decode iteration's attention phase over live contexts
-     * @p ctx_lens with speculation length @p tlp.
+     * @p ctx_lens with speculation length @p tlp, on registry
+     * target @p id.
      */
+    KernelExec attnExec(const llm::ModelConfig &model,
+                        const std::vector<std::uint32_t> &ctx_lens,
+                        std::uint32_t tlp, TargetId id) const;
+
+    /** Attention phase on the platform's attention dispatch policy. */
     KernelExec attnExec(const llm::ModelConfig &model,
                         const std::vector<std::uint32_t> &ctx_lens,
                         std::uint32_t tlp) const;
 
-    /**
-     * Prefill phase for @p input_lens prompt lengths. Runs on the
-     * GPU when present, otherwise on the PIM fleet.
-     */
+    /** Prefill phase for @p input_lens on registry target @p id. */
+    KernelExec prefillExec(const llm::ModelConfig &model,
+                           const std::vector<std::uint32_t> &input_lens,
+                           TargetId id) const;
+
+    /** Prefill phase on the platform's prefill dispatch policy. */
     KernelExec prefillExec(const llm::ModelConfig &model,
                            const std::vector<std::uint32_t> &input_lens)
         const;
@@ -185,10 +222,17 @@ class Platform
     /** Non-GEMV overhead of one decode iteration. */
     double otherSeconds(const llm::ModelConfig &model) const;
 
-    /** The FC target a static policy implies (fatal for Dynamic). */
+    /** The FC target a static policy implies (fatal otherwise). */
     FcTarget staticFcTarget() const;
 
   private:
+    void buildRegistry();
+    void resolveDispatch();
+
+    /** Validate one resolved policy against the registry. */
+    void validatePolicy(Phase phase,
+                        const DispatchPolicy &policy) const;
+
     KernelExec fcOnGpu(const llm::ModelConfig &model,
                        std::uint32_t tokens) const;
     KernelExec fcOnPim(const llm::ModelConfig &model,
@@ -198,14 +242,19 @@ class Platform
     double attnCommSeconds(const llm::ModelConfig &model,
                            std::uint32_t tokens) const;
 
-    KernelExec attnExecUncached(
-        const llm::ModelConfig &model,
-        const std::vector<std::uint32_t> &ctx_lens,
-        std::uint64_t total_len, std::uint32_t tlp) const;
+    KernelExec attnOnPim(const llm::ModelConfig &model,
+                         const std::vector<std::uint32_t> &ctx_lens,
+                         std::uint32_t tlp) const;
 
-    KernelExec prefillExecUncached(
-        const llm::ModelConfig &model,
-        const std::vector<std::uint32_t> &input_lens) const;
+    KernelExec prefillOnGpu(const llm::ModelConfig &model,
+                            const std::vector<std::uint32_t>
+                                &input_lens) const;
+    KernelExec prefillOnPim(const llm::ModelConfig &model,
+                            const std::vector<std::uint32_t>
+                                &input_lens) const;
+
+    /** KV-cache write-out to the attention fleet (shared tail). */
+    void addKvWriteout(std::uint64_t kv_bytes, KernelExec &out) const;
 
     /**
      * Memoization of kernel-phase results. Every query above is a
@@ -223,7 +272,7 @@ class Platform
         std::uint64_t shape0 = 0; ///< tokens / total context length.
         std::uint64_t shape1 = 0; ///< request count, TLP, ...
         std::uint64_t shape2 = 0; ///< prefill sum of squared lengths.
-        std::uint32_t kind = 0;   ///< Which query (fc-gpu/fc-pim/...).
+        std::uint32_t kind = 0;   ///< (phase, target id) of the query.
 
         bool operator==(const KernelKey &) const = default;
     };
@@ -243,6 +292,18 @@ class Platform
     std::unique_ptr<pim::PimDevice> _fcDevice;
     std::unique_ptr<pim::PimDevice> _attnDevice;
     std::unique_ptr<gpu::GpuModel> _gpu;
+
+    TargetRegistry _registry;
+    TargetId _gpuId = kInvalidTargetId;
+    TargetId _fcPimId = kInvalidTargetId;
+    TargetId _attnPimId = kInvalidTargetId;
+    DispatchPolicy _fcDispatch;      ///< Resolved FC policy.
+    DispatchPolicy _attnDispatch;    ///< Resolved attention policy.
+    DispatchPolicy _prefillDispatch; ///< Resolved prefill policy.
+    /** Pre-bound dispatchers for the alpha-free phases (hot path). */
+    std::optional<PhaseDispatcher> _attnDispatcher;
+    std::optional<PhaseDispatcher> _prefillDispatcher;
+
     mutable std::unordered_map<KernelKey, KernelExec, KernelKeyHash>
         _kernelCache;
 };

@@ -1,6 +1,5 @@
 #include "core/scheduler.hh"
 
-#include "llm/kernel_spec.hh"
 #include "sim/logging.hh"
 
 namespace papi::core {
@@ -8,32 +7,29 @@ namespace papi::core {
 DynamicScheduler::DynamicScheduler(double alpha,
                                    std::uint32_t initial_rlp,
                                    std::uint32_t initial_tlp,
-                                   AiEstimateFn estimator)
+                                   AiEstimateFn estimator,
+                                   TargetPair pair)
     : _alpha(alpha), _rlp(initial_rlp), _tlp(initial_tlp),
-      _estimator(std::move(estimator))
+      _estimator(std::move(estimator)), _pair(pair),
+      _prev(pair.below)
 {
     if (alpha <= 0.0)
         sim::fatal("DynamicScheduler: alpha must be positive");
     if (initial_rlp == 0 || initial_tlp == 0)
         sim::fatal("DynamicScheduler: RLP and TLP must be >= 1");
-}
-
-double
-DynamicScheduler::estimateAi(std::uint32_t rlp,
-                             std::uint32_t tlp) const
-{
-    return _estimator
-               ? _estimator(rlp, tlp)
-               : llm::fcArithmeticIntensityEstimate(rlp, tlp);
+    if (pair.below == pair.above)
+        sim::fatal("DynamicScheduler: the target pair must name two "
+                   "different targets");
 }
 
 ScheduleDecision
 DynamicScheduler::decide()
 {
+    DispatchDecision pick =
+        thresholdDecision(_alpha, _rlp, _tlp, _estimator, _pair);
     ScheduleDecision d;
-    d.estimatedAi = estimateAi(_rlp, _tlp);
-    d.target = d.estimatedAi > _alpha ? FcTarget::Gpu
-                                      : FcTarget::FcPim;
+    d.target = pick.target;
+    d.estimatedAi = pick.estimatedAi;
     d.rescheduled = _hasPrev && d.target != _prev;
     if (d.rescheduled)
         ++_reschedules;
@@ -84,10 +80,11 @@ DynamicScheduler::setTlp(std::uint32_t tlp)
 ScheduleDecision
 DynamicScheduler::peek(std::uint32_t rlp, std::uint32_t tlp) const
 {
+    DispatchDecision pick =
+        thresholdDecision(_alpha, rlp, tlp, _estimator, _pair);
     ScheduleDecision d;
-    d.estimatedAi = estimateAi(rlp, tlp);
-    d.target = d.estimatedAi > _alpha ? FcTarget::Gpu
-                                      : FcTarget::FcPim;
+    d.target = pick.target;
+    d.estimatedAi = pick.estimatedAi;
     return d;
 }
 

@@ -11,33 +11,29 @@
  *  3. The next iteration's FC arithmetic intensity is predicted as
  *     RLP x TLP.
  *  4. The prediction is compared against the offline-calibrated
- *     threshold alpha to decide whether the FC kernels run on the
- *     processing units (compute-bound) or the FC-PIM devices
- *     (memory-bound).
+ *     threshold alpha to decide which side of a target pair the FC
+ *     kernels run on.
+ *
+ * The paper evaluates the pair (GPU processing units, FC-PIM); this
+ * implementation is generic over any TargetPair drawn from a
+ * platform's execution-target registry, so the same state machine
+ * schedules between e.g. two PIM device classes, or an attention
+ * offload pair, without modification.
  */
 
 #ifndef PAPI_CORE_SCHEDULER_HH
 #define PAPI_CORE_SCHEDULER_HH
 
 #include <cstdint>
-#include <functional>
 
-#include "core/platform.hh"
+#include "core/dispatch_policy.hh"
 
 namespace papi::core {
-
-/**
- * Pluggable arithmetic-intensity estimate for the scheduler. The
- * default is the paper's Eq. 2 (RLP x TLP); MoE deployments supply
- * llm::moeFcIntensityEstimate (Section 6.5).
- */
-using AiEstimateFn =
-    std::function<double(std::uint32_t rlp, std::uint32_t tlp)>;
 
 /** One scheduling decision plus bookkeeping. */
 struct ScheduleDecision
 {
-    FcTarget target = FcTarget::Gpu; ///< Where FC runs next.
+    TargetId target = 0;      ///< Where FC runs next.
     double estimatedAi = 0.0; ///< AI estimate behind the decision.
     bool rescheduled = false; ///< Target changed vs previous decision.
 };
@@ -48,13 +44,19 @@ class DynamicScheduler
   public:
     /**
      * @param alpha Memory-boundedness threshold: estimated AI values
-     *        strictly greater than alpha are compute-bound -> GPU.
+     *        strictly greater than alpha are compute-bound ->
+     *        pair.above.
      * @param initial_rlp Batch size at admission.
      * @param initial_tlp System-configured speculation length.
+     * @param estimator AI-estimate override (MoE deployments).
+     * @param pair The target pair the threshold separates; defaults
+     *        to {below=0, above=1} for pair-agnostic unit use.
+     *        Engines pass the platform's resolved FC pair.
      */
     DynamicScheduler(double alpha, std::uint32_t initial_rlp,
                      std::uint32_t initial_tlp,
-                     AiEstimateFn estimator = {});
+                     AiEstimateFn estimator = {},
+                     TargetPair pair = {});
 
     /** The calibrated scheduling threshold. */
     double alpha() const { return _alpha; }
@@ -62,6 +64,8 @@ class DynamicScheduler
     std::uint32_t rlp() const { return _rlp; }
     /** Current tracked token-level parallelism. */
     std::uint32_t tlp() const { return _tlp; }
+    /** The target pair the threshold separates. */
+    TargetPair pair() const { return _pair; }
 
     /** Initial scheduling before serving starts (Section 5.2.1). */
     ScheduleDecision initialSchedule();
@@ -79,7 +83,7 @@ class DynamicScheduler
     /**
      * Mixed continuous batching admitted @p count new requests into
      * the running batch (Section 2.2.1): RLP rises, and the next
-     * decision may move FC back to the GPU.
+     * decision may move FC back to the compute-bound target.
      */
     ScheduleDecision observeAdmission(std::uint32_t count);
 
@@ -93,14 +97,14 @@ class DynamicScheduler
 
   private:
     ScheduleDecision decide();
-    double estimateAi(std::uint32_t rlp, std::uint32_t tlp) const;
 
     double _alpha;
     std::uint32_t _rlp;
     std::uint32_t _tlp;
     AiEstimateFn _estimator;
+    TargetPair _pair;
     bool _hasPrev = false;
-    FcTarget _prev = FcTarget::Gpu;
+    TargetId _prev;
     std::uint64_t _decisions = 0;
     std::uint64_t _reschedules = 0;
 };

@@ -13,17 +13,24 @@ ServingSim::ServingSim(const Platform &platform,
                        const llm::SpeculativeConfig &spec,
                        const llm::ModelConfig &model,
                        const ServingOptions &options,
-                       IterationCostModel cost)
+                       IterationCostModel cost,
+                       AiEstimateFn fc_estimator,
+                       StaticBatchMode static_mode)
     : _platform(platform), _spec(spec), _model(model),
-      _options(options), _cost(std::move(cost)),
+      _options(options), _cost(std::move(cost)), _static(static_mode),
       _kv(model, platform.config().numAttnDevices,
           platform.config().attnDeviceConfig.capacityBytes()),
-      _rng(options.seed), _sched(options.alpha, 1, spec.length),
-      _dynamic(platform.config().fcPolicy == FcPolicy::Dynamic)
+      _rng(options.seed),
+      _fcDispatch(platform.dispatcher(Phase::Fc, options.alpha,
+                                      std::move(fc_estimator))),
+      _dynamic(_fcDispatch.rule() == DispatchRule::Threshold),
+      _targetIters(platform.targets().size(), 0)
 {
     spec.validate();
     if (options.maxRlp == 0)
         sim::fatal("ServingSim: maxRlp must be >= 1");
+    if (options.alpha <= 0.0)
+        sim::fatal("ServingSim: alpha must be positive");
     if (_cost.computeScale <= 0.0)
         sim::fatal("ServingSim: computeScale must be positive");
     _prefillLens.reserve(options.maxRlp);
@@ -44,26 +51,16 @@ ServingSim::deliver(const llm::TimedRequest &request)
     _pending.push_back(request);
 }
 
-FcTarget
-ServingSim::selectTarget(std::uint32_t rlp, std::uint32_t tlp) const
+std::uint32_t
+ServingSim::fcTokens(std::uint32_t rlp, std::uint32_t tlp) const
 {
-    const std::uint32_t tokens = rlp * tlp;
-    switch (_platform.config().fcPolicy) {
-      case FcPolicy::AlwaysGpu:
-        return FcTarget::Gpu;
-      case FcPolicy::AlwaysPim:
-        return FcTarget::FcPim;
-      case FcPolicy::Oracle: {
-        double g =
-            _platform.fcExec(_model, tokens, FcTarget::Gpu).seconds;
-        double p =
-            _platform.fcExec(_model, tokens, FcTarget::FcPim).seconds;
-        return g <= p ? FcTarget::Gpu : FcTarget::FcPim;
-      }
-      case FcPolicy::Dynamic:
-      default:
-        return _sched.peek(rlp, tlp).target;
-    }
+    std::uint32_t fc_rlp = rlp;
+    // The paper's Shortcoming 1: static-batching systems without
+    // runtime-RLP tracking execute the padded batch until it drains.
+    if (_static.enabled && !_platform.config().tracksRuntimeRlp &&
+        _staticInitialRlp > 0)
+        fc_rlp = _staticInitialRlp;
+    return fc_rlp * tlp;
 }
 
 double
@@ -93,12 +90,15 @@ ServingSim::admit()
            _pending.front().arrivalSeconds <= _now &&
            _active.size() < _options.maxRlp) {
         const llm::Request &req = _pending.front().request;
-        // Reserve the worst case so growth can never fail.
-        std::uint64_t worst =
-            static_cast<std::uint64_t>(req.inputLen) + req.outputLen;
-        if (!_kv.canAdmit(worst))
-            break;
-        _kv.admit(req.id, worst);
+        if (!_static.enabled) {
+            // Reserve the worst case so growth can never fail.
+            std::uint64_t worst =
+                static_cast<std::uint64_t>(req.inputLen) +
+                req.outputLen;
+            if (!_kv.canAdmit(worst))
+                break;
+            _kv.admit(req.id, worst);
+        }
         ActiveRequest a;
         a.request = req;
         a.arrivalSeconds = _pending.front().arrivalSeconds;
@@ -109,23 +109,29 @@ ServingSim::admit()
         ++admitted;
     }
     if (admitted > 0) {
-        // Prefill the newcomers before the next decode step.
-        KernelExec pre = _platform.prefillExec(_model, _prefillLens);
-        double pre_seconds = pre.seconds;
-        double pre_joules = pre.energyJoules;
-        if (!_cost.trivial()) {
-            std::uint64_t prompt_tokens = 0;
-            for (std::uint32_t len : _prefillLens)
-                prompt_tokens += len;
-            const auto tokens =
-                static_cast<std::uint32_t>(prompt_tokens);
-            pre_seconds = scaledSeconds(pre.seconds, 0.0, tokens);
-            if (_cost.extraJoules)
-                pre_joules += _cost.extraJoules(tokens);
+        if (_static.enabled)
+            _staticInitialRlp = admitted;
+        if (!_static.enabled || _static.includePrefill) {
+            // Prefill the newcomers before the next decode step.
+            KernelExec pre =
+                _platform.prefillExec(_model, _prefillLens);
+            double pre_seconds = pre.seconds;
+            double pre_joules = pre.energyJoules;
+            if (!_cost.trivial()) {
+                std::uint64_t prompt_tokens = 0;
+                for (std::uint32_t len : _prefillLens)
+                    prompt_tokens += len;
+                const auto tokens =
+                    static_cast<std::uint32_t>(prompt_tokens);
+                pre_seconds = scaledSeconds(pre.seconds, 0.0, tokens);
+                if (_cost.extraJoules)
+                    pre_joules += _cost.extraJoules(tokens);
+            }
+            _now += pre_seconds;
+            _busySeconds += pre_seconds;
+            _breakdown.prefillSeconds += pre_seconds;
+            _out.energyJoules += pre_joules;
         }
-        _now += pre_seconds;
-        _busySeconds += pre_seconds;
-        _out.energyJoules += pre_joules;
         _out.admissions += admitted;
     }
     return admitted;
@@ -164,7 +170,7 @@ ServingSim::stepIdle()
 }
 
 ServingSim::IterationTiming
-ServingSim::iterationTiming(FcTarget target, std::uint32_t tokens,
+ServingSim::iterationTiming(TargetId target, std::uint32_t tokens,
                             std::uint32_t tlp) const
 {
     _ctx.clear();
@@ -175,10 +181,24 @@ ServingSim::iterationTiming(FcTarget target, std::uint32_t tokens,
     t.fc = _platform.fcExec(_model, tokens, target);
     t.at = _platform.attnExec(_model, _ctx, tlp);
     t.other = _platform.otherSeconds(_model);
-    t.seconds = _cost.trivial()
-                    ? t.fc.seconds + t.at.seconds + t.other
-                    : scaledSeconds(t.fc.seconds + t.at.seconds,
-                                    t.other, tokens);
+    if (_static.enabled) {
+        // The draft model's serial proposal pass (speculative
+        // decoding): charged as a fraction of the verification cost.
+        if (_spec.length > 1 && _spec.draftCostFraction > 0.0)
+            t.other += _spec.draftCostFraction *
+                       (t.fc.seconds + t.at.seconds);
+        // Kernels within a layer are dependent, so by default the
+        // phases serialize (FC -> attention -> FC ...). Platforms
+        // with sub-batch interleaving can hide a fraction of the
+        // shorter phase under the longer one.
+        t.hidden = _platform.config().phaseOverlapFraction *
+                   std::min(t.fc.seconds, t.at.seconds);
+    }
+    t.seconds =
+        _cost.trivial()
+            ? t.fc.seconds + t.at.seconds - t.hidden + t.other
+            : scaledSeconds(t.fc.seconds + t.at.seconds, t.other,
+                            tokens);
     return t;
 }
 
@@ -189,7 +209,10 @@ ServingSim::peekIterationSeconds() const
         sim::panic("ServingSim::peekIterationSeconds without a batch");
     const auto rlp = static_cast<std::uint32_t>(_active.size());
     const std::uint32_t tlp = _spec.length;
-    return iterationTiming(selectTarget(rlp, tlp), rlp * tlp, tlp)
+    const std::uint32_t tokens = fcTokens(rlp, tlp);
+    return iterationTiming(
+               _fcDispatch.select(_model, rlp, tlp, tokens).target,
+               tokens, tlp)
         .seconds;
 }
 
@@ -200,43 +223,92 @@ ServingSim::stepDecode()
         sim::panic("ServingSim::stepDecode without a batch");
     const auto rlp = static_cast<std::uint32_t>(_active.size());
     const std::uint32_t tlp = _spec.length;
-    const std::uint32_t tokens = rlp * tlp;
+    const std::uint32_t tokens = fcTokens(rlp, tlp);
 
-    // Per-iteration decisions are stateless threshold checks
-    // (peek); RLP transitions in both directions are counted here.
-    FcTarget target = selectTarget(rlp, tlp);
+    // Per-iteration decisions are stateless threshold checks; RLP
+    // transitions in both directions are counted here.
+    DispatchDecision decision =
+        _fcDispatch.select(_model, rlp, tlp, tokens);
+    const TargetId target = decision.target;
+    bool rescheduled = false;
     if (_dynamic) {
-        if (_schedStarted && target != _prevTarget)
+        const bool was_gpu =
+            _schedStarted &&
+            _platform.targets().at(_prevTarget).kind ==
+                TargetKind::Gpu;
+        const bool is_gpu =
+            _platform.targets().at(target).kind == TargetKind::Gpu;
+        rescheduled = _schedStarted && target != _prevTarget;
+        if (rescheduled)
             ++_out.reschedules;
-        if (_schedStarted && target == FcTarget::Gpu &&
-            _prevTarget == FcTarget::FcPim)
+        if (_schedStarted && is_gpu && !was_gpu)
             ++_out.reschedulesToGpu;
         _prevTarget = target;
         _schedStarted = true;
     }
 
     IterationTiming t = iterationTiming(target, tokens, tlp);
-    double iter_seconds = t.seconds;
-    double iter_joules =
-        t.fc.energyJoules + t.at.energyJoules + t.other * 50.0;
-    if (!_cost.trivial() && _cost.extraJoules)
-        iter_joules += _cost.extraJoules(tokens);
+    const double iter_seconds = t.seconds;
+
+    // Per-component accounting. The overlap-hidden time executes
+    // under the longer phase, so the shorter phase's contributions
+    // shrink (compute first, then its communication share).
+    double fc_part = t.fc.seconds - t.fc.commSeconds;
+    double at_part = t.at.seconds - t.at.commSeconds;
+    double comm_part = t.fc.commSeconds + t.at.commSeconds;
+    if (t.hidden > 0.0) {
+        double &shorter =
+            t.fc.seconds <= t.at.seconds ? fc_part : at_part;
+        double deduct = std::min(t.hidden, shorter);
+        shorter -= deduct;
+        comm_part -= t.hidden - deduct;
+    }
+    // Under a tensor-parallel cost model the charged duration is the
+    // scaled one; keep the breakdown in the same units (the group's
+    // all-reduce counts as communication) so it still sums to the
+    // busy time.
+    if (!_cost.trivial()) {
+        fc_part /= _cost.computeScale;
+        at_part /= _cost.computeScale;
+        comm_part /= _cost.computeScale;
+        if (_cost.extraSeconds)
+            comm_part += _cost.extraSeconds(tokens);
+    }
+    _breakdown.fcSeconds += fc_part;
+    _breakdown.attnSeconds += at_part;
+    _breakdown.commSeconds += comm_part;
+    _breakdown.otherSeconds += t.other;
 
     _rlpTimeIntegral += iter_seconds * rlp;
     _busySeconds += iter_seconds;
     _now += iter_seconds;
-    _out.energyJoules += iter_joules;
+    // Energy accumulation preserves each pre-fold loop's exact
+    // floating-point association: the decode loop added the device
+    // and host terms separately, the serving loop added one sum.
+    if (_static.enabled) {
+        _out.energyJoules += t.fc.energyJoules + t.at.energyJoules;
+        _out.energyJoules += t.other * 50.0;
+    } else {
+        double iter_joules = t.fc.energyJoules + t.at.energyJoules +
+                             t.other * 50.0;
+        if (!_cost.trivial() && _cost.extraJoules)
+            iter_joules += _cost.extraJoules(tokens);
+        _out.energyJoules += iter_joules;
+    }
     ++_out.iterations;
-    if (target == FcTarget::Gpu)
+    ++_targetIters[target];
+    if (_platform.targets().at(target).kind == TargetKind::Gpu)
         ++_out.fcOnGpuIterations;
     else
         ++_out.fcOnPimIterations;
 
-    _out.peakKvUtilization = std::max(
-        _out.peakKvUtilization, _kv.occupancy().utilization());
+    if (!_static.enabled)
+        _out.peakKvUtilization = std::max(
+            _out.peakKvUtilization, _kv.occupancy().utilization());
 
     // Advance generation; retire finished requests.
     std::uint32_t accepted = _spec.sampleAccepted(_rng);
+    std::uint32_t eos = 0;
     for (auto it = _active.begin(); it != _active.end();) {
         std::uint32_t used = it->request.advance(accepted);
         _out.tokensGenerated += used;
@@ -245,6 +317,7 @@ ServingSim::stepDecode()
             it->firstTokenSeen = true;
         }
         if (it->request.finished()) {
+            ++eos;
             _latencies.push_back(_now - it->arrivalSeconds);
             RequestRecord rec;
             rec.id = it->request.id;
@@ -255,11 +328,26 @@ ServingSim::stepDecode()
             rec.finishSeconds = _now;
             rec.outputTokens = it->request.outputLen;
             _records.push_back(rec);
-            _kv.release(it->request.id);
+            if (!_static.enabled)
+                _kv.release(it->request.id);
             it = _active.erase(it);
         } else {
             ++it;
         }
+    }
+
+    if (_static.recordTrace) {
+        IterationTrace tr;
+        tr.iteration = _out.iterations;
+        tr.rlp = rlp;
+        tr.tlp = tlp;
+        tr.estimatedAi = _dynamic ? decision.estimatedAi : 0.0;
+        tr.targetId = target;
+        tr.fcTarget = _platform.legacyFcTarget(target);
+        tr.rescheduled = rescheduled;
+        tr.eosCount = eos;
+        tr.iterationSeconds = iter_seconds;
+        _trace.push_back(tr);
     }
 }
 

@@ -2,22 +2,31 @@
  * @file
  * Online serving simulation with mixed continuous batching.
  *
- * Unlike DecodeEngine (one static batch to drain), ServingEngine
- * simulates an arrival-driven timeline: requests join the running
- * batch as soon as capacity permits (token-level scheduling, paper
- * Section 2.2.1), so runtime RLP rises on admissions and falls on
- * <eos>. PAPI's scheduler sees both transitions, exercising
- * reschedules in both directions (GPU -> PIM and PIM -> GPU).
+ * ServingSim is the single simulation core for every execution shape
+ * in the repository:
  *
- * Two entry points share one simulation core (ServingSim):
- *  - ServingEngine::run() serves a complete stream on one platform,
- *    the single-platform path used by tests and figure benchmarks.
+ *  - ServingEngine::run() serves a complete arrival stream on one
+ *    platform, the single-platform path used by tests and figure
+ *    benchmarks.
  *  - cluster::ClusterEngine drives one ServingSim per platform
  *    group in lockstep, delivering arrivals incrementally through a
  *    front-end router. With the whole stream delivered up front the
  *    stepwise core executes exactly the operation sequence of the
  *    original monolithic loop, so single-platform results are
  *    bit-identical across both paths.
+ *  - DecodeEngine::run() (the paper's static-batch evaluation) is an
+ *    adapter over the same core: a static batch is a stream whose
+ *    requests all arrive at t=0 under batch-level admission with no
+ *    further arrivals. StaticBatchMode carries the decode-loop
+ *    semantics the arrival-driven path does not use (padded FC work
+ *    on non-RLP-tracking baselines, phase-overlap hiding, the
+ *    speculative draft charge, per-iteration traces).
+ *
+ * The FC phase target of each iteration is picked by the platform's
+ * per-phase DispatchPolicy bound into a PhaseDispatcher (static pin,
+ * AI-threshold pair, or oracle race over the target registry);
+ * runtime RLP rises on admissions and falls on <eos>, so PAPI's
+ * threshold rule reschedules in both directions.
  */
 
 #ifndef PAPI_CORE_SERVING_ENGINE_HH
@@ -28,8 +37,8 @@
 #include <functional>
 #include <vector>
 
+#include "core/dispatch_policy.hh"
 #include "core/platform.hh"
-#include "core/scheduler.hh"
 #include "llm/arrival.hh"
 #include "llm/kv_cache.hh"
 #include "llm/model_config.hh"
@@ -67,6 +76,38 @@ struct ServingOptions
      * pending arrival for the batch to fill before starting.
      */
     double batchTimeoutSeconds = 0.1;
+};
+
+/** Per-component time/energy accumulation of one run. */
+struct RunBreakdown
+{
+    double prefillSeconds = 0.0; ///< Prompt-processing phase.
+    double fcSeconds = 0.0;   ///< Decode FC (GEMV only).
+    double attnSeconds = 0.0; ///< Decode attention (GEMV+softmax).
+    double commSeconds = 0.0; ///< All activation/KV movement.
+    double otherSeconds = 0.0; ///< Layernorm/residual/sampling.
+
+    /** Sum of all components, end to end. */
+    double
+    totalSeconds() const
+    {
+        return prefillSeconds + fcSeconds + attnSeconds + commSeconds +
+               otherSeconds;
+    }
+};
+
+/** One row of the optional per-iteration schedule trace. */
+struct IterationTrace
+{
+    std::uint64_t iteration = 0; ///< Iteration index (1-based).
+    std::uint32_t rlp = 0;       ///< Live request-level parallelism.
+    std::uint32_t tlp = 0;       ///< Speculation length.
+    double estimatedAi = 0.0;    ///< Scheduler's RLP x TLP estimate.
+    TargetId targetId = 0;       ///< Chosen FC registry target.
+    FcTarget fcTarget = FcTarget::Gpu; ///< Two-way view of targetId.
+    bool rescheduled = false;    ///< Target changed vs last iteration.
+    std::uint32_t eosCount = 0;  ///< Requests that finished here.
+    double iterationSeconds = 0.0; ///< Wall time of the iteration.
 };
 
 /** Outcome of a serving run. */
@@ -128,6 +169,25 @@ struct IterationCostModel
     {
         return computeScale == 1.0 && !extraSeconds && !extraJoules;
     }
+};
+
+/**
+ * DecodeEngine-compat extensions: drive ServingSim as the paper's
+ * static-batch decode loop. With @ref enabled the simulation admits
+ * the whole t=0 batch once, pads the FC token count to the initial
+ * RLP on platforms without runtime-RLP tracking (the paper's
+ * Shortcoming 1), applies the platform's phase-overlap hiding and
+ * the speculative draft charge, optionally skips the prefill charge,
+ * bypasses the KV admission gate (DecodeEngine::run validates fit up
+ * front instead), and can record a per-iteration trace. All of this
+ * is off on the arrival-driven serving path, whose results remain
+ * bit-identical to the pre-fold ServingEngine.
+ */
+struct StaticBatchMode
+{
+    bool enabled = false;      ///< Static-batch semantics on/off.
+    bool includePrefill = true; ///< Charge the prefill phase.
+    bool recordTrace = false;  ///< Record IterationTrace rows.
 };
 
 /**
@@ -208,12 +268,17 @@ class ServingSim
      * @param options Admission and scheduling options.
      * @param cost Per-iteration transform for tensor-parallel
      *        groups; the default leaves timing untouched.
+     * @param fc_estimator AI-estimate override for the FC threshold
+     *        rule (MoE deployments); default is the paper's Eq. 2.
+     * @param static_mode DecodeEngine-compat extensions; default off.
      */
     ServingSim(const Platform &platform,
                const llm::SpeculativeConfig &spec,
                const llm::ModelConfig &model,
                const ServingOptions &options,
-               IterationCostModel cost = {});
+               IterationCostModel cost = {},
+               AiEstimateFn fc_estimator = {},
+               StaticBatchMode static_mode = {});
 
     /**
      * Append @p request to the pending queue. Deliveries must be in
@@ -281,6 +346,21 @@ class ServingSim
     /** Seconds spent computing (prefill + decode), for utilization. */
     double busySeconds() const { return _busySeconds; }
 
+    /** Per-component time split accumulated so far. */
+    const RunBreakdown &breakdown() const { return _breakdown; }
+
+    /** Iteration trace (StaticBatchMode::recordTrace only). */
+    const std::vector<IterationTrace> &trace() const { return _trace; }
+
+    /**
+     * Decode iterations per registry target id (indexed by
+     * TargetId; same length as the platform's registry).
+     */
+    const std::vector<std::uint64_t> &perTargetIterations() const
+    {
+        return _targetIters;
+    }
+
   private:
     /** A request being decoded, with serving-side bookkeeping. */
     struct ActiveRequest
@@ -292,8 +372,12 @@ class ServingSim
         bool firstTokenSeen = false;    ///< firstTokenSeconds valid.
     };
 
-    /** The FC target the platform's policy picks for RLP x TLP. */
-    FcTarget selectTarget(std::uint32_t rlp, std::uint32_t tlp) const;
+    /**
+     * FC tokens of the next iteration: live RLP x TLP, padded to the
+     * static batch's initial RLP on non-tracking platforms.
+     */
+    std::uint32_t fcTokens(std::uint32_t rlp,
+                           std::uint32_t tlp) const;
 
     /** Apply the TP cost model to a kernel-phase duration. */
     double scaledSeconds(double kernel_seconds, double other_seconds,
@@ -304,7 +388,8 @@ class ServingSim
     {
         KernelExec fc;        ///< FC phase on the chosen target.
         KernelExec at;        ///< Attention phase.
-        double other = 0.0;   ///< Non-GEMV overhead.
+        double other = 0.0;   ///< Non-GEMV overhead (+ draft charge).
+        double hidden = 0.0;  ///< Overlap-hidden seconds (static mode).
         double seconds = 0.0; ///< Total charged duration.
     };
 
@@ -315,7 +400,7 @@ class ServingSim
      * cluster event loop's ordering depends on peeked and charged
      * durations being exactly equal.
      */
-    IterationTiming iterationTiming(FcTarget target,
+    IterationTiming iterationTiming(TargetId target,
                                     std::uint32_t tokens,
                                     std::uint32_t tlp) const;
 
@@ -324,13 +409,14 @@ class ServingSim
     llm::ModelConfig _model;      ///< Copied: callers may pass temporaries.
     ServingOptions _options;
     IterationCostModel _cost;
+    StaticBatchMode _static;
 
     llm::KvCacheManager _kv;
     sim::Rng _rng;
-    DynamicScheduler _sched;
-    bool _dynamic;
+    PhaseDispatcher _fcDispatch; ///< The platform's FC policy, bound.
+    bool _dynamic;               ///< FC rule is Threshold.
     bool _schedStarted = false;
-    FcTarget _prevTarget = FcTarget::FcPim;
+    TargetId _prevTarget = kInvalidTargetId;
 
     std::deque<llm::TimedRequest> _pending;
     std::vector<ActiveRequest> _active;
@@ -344,6 +430,12 @@ class ServingSim
     double _lastDelivered = -1.0;
     double _rlpTimeIntegral = 0.0;
     double _busySeconds = 0.0;
+    /** Static mode: batch size at the t=0 admission (FC padding). */
+    std::uint32_t _staticInitialRlp = 0;
+
+    RunBreakdown _breakdown;
+    std::vector<IterationTrace> _trace;
+    std::vector<std::uint64_t> _targetIters;
 
     // Reused across iterations; refilled in place.
     mutable std::vector<std::uint32_t> _prefillLens;

@@ -9,25 +9,48 @@ ThresholdCalibrator::calibrate(const Platform &platform,
                                const llm::ModelConfig &model,
                                std::uint32_t max_tokens)
 {
-    if (!platform.hasGpu())
-        sim::fatal("ThresholdCalibrator: platform has no GPU");
-    if (!platform.config().fcDevicesCompute)
-        sim::fatal("ThresholdCalibrator: platform's FC devices cannot "
-                   "compute");
+    TargetPair pair;
+    if (platform.dispatchPolicy(Phase::Fc).rule ==
+        DispatchRule::Threshold) {
+        pair = platform.dispatcher(Phase::Fc, 1.0).pair();
+    } else {
+        // Legacy default: the paper's (FC-PIM, GPU) pair.
+        pair.below = platform.targetId("fc-pim");
+        pair.above = platform.targetId("gpu");
+    }
+    return calibratePair(platform, model, pair, max_tokens);
+}
+
+CalibrationResult
+ThresholdCalibrator::calibratePair(const Platform &platform,
+                                   const llm::ModelConfig &model,
+                                   TargetPair pair,
+                                   std::uint32_t max_tokens)
+{
+    const TargetRegistry &reg = platform.targets();
+    if (pair.below == pair.above)
+        sim::fatal("ThresholdCalibrator: the pair must name two "
+                   "different targets");
+    for (TargetId id : {pair.below, pair.above}) {
+        if (!reg.at(id).supports(Phase::Fc))
+            sim::fatal("ThresholdCalibrator: target '",
+                       reg.at(id).name, "' cannot run the FC phase");
+    }
     if (max_tokens == 0)
         sim::fatal("ThresholdCalibrator: max_tokens must be >= 1");
 
     CalibrationResult out;
+    out.pair = pair;
     // Geometric sweep + binary refinement: ~2 log2(max_tokens) points.
     out.points.reserve(64);
 
     auto sample = [&](std::uint32_t tokens) {
         CalibrationPoint p;
         p.tokens = tokens;
-        p.gpuSeconds =
-            platform.fcExec(model, tokens, FcTarget::Gpu).seconds;
-        p.pimSeconds =
-            platform.fcExec(model, tokens, FcTarget::FcPim).seconds;
+        p.belowSeconds =
+            platform.fcExec(model, tokens, pair.below).seconds;
+        p.aboveSeconds =
+            platform.fcExec(model, tokens, pair.above).seconds;
         out.points.push_back(p);
         return p;
     };
@@ -36,15 +59,15 @@ ThresholdCalibrator::calibrate(const Platform &platform,
     std::uint32_t lo = 1;
     std::uint32_t hi = 0;
     CalibrationPoint prev = sample(1);
-    if (prev.gpuSeconds < prev.pimSeconds) {
-        // GPU already wins at tokens=1: everything is compute-bound
-        // from the scheduler's perspective.
+    if (prev.aboveSeconds < prev.belowSeconds) {
+        // The compute side already wins at tokens=1: everything is
+        // compute-bound from the scheduler's perspective.
         out.alpha = 0.5;
         return out;
     }
     for (std::uint32_t t = 2; t <= max_tokens; t *= 2) {
         CalibrationPoint p = sample(t);
-        if (p.gpuSeconds < p.pimSeconds) {
+        if (p.aboveSeconds < p.belowSeconds) {
             lo = t / 2;
             hi = t;
             break;
@@ -52,7 +75,7 @@ ThresholdCalibrator::calibrate(const Platform &platform,
         prev = p;
     }
     if (hi == 0) {
-        // PIM wins over the whole sweep range.
+        // The memory side wins over the whole sweep range.
         out.alpha = static_cast<double>(max_tokens);
         return out;
     }
@@ -61,14 +84,15 @@ ThresholdCalibrator::calibrate(const Platform &platform,
     while (hi - lo > 1) {
         std::uint32_t mid = lo + (hi - lo) / 2;
         CalibrationPoint p = sample(mid);
-        if (p.gpuSeconds < p.pimSeconds)
+        if (p.aboveSeconds < p.belowSeconds)
             hi = mid;
         else
             lo = mid;
     }
 
-    // PIM still wins at `lo`; GPU wins from `hi`. The scheduler maps
-    // estimated AI > alpha to the GPU, so alpha sits on `lo`.
+    // The below target still wins at `lo`; the above target wins
+    // from `hi`. The scheduler maps estimated AI > alpha to the
+    // above target, so alpha sits on `lo`.
     out.alpha = static_cast<double>(lo);
     return out;
 }

@@ -7,6 +7,11 @@
  * evaluation, where we run the FC kernel on both PIM and PU units
  * under varying parallelization levels, using the observed execution
  * times to establish the best alpha."
+ *
+ * The sweep is generic over any pair of FC-capable execution targets
+ * from a platform's registry: the paper's (FC-PIM, GPU) pair is the
+ * default, resolved from the platform's threshold dispatch policy
+ * when it has one.
  */
 
 #ifndef PAPI_CORE_THRESHOLD_CALIBRATOR_HH
@@ -24,14 +29,17 @@ namespace papi::core {
 struct CalibrationPoint
 {
     std::uint32_t tokens = 0; ///< RLP x TLP.
-    double gpuSeconds = 0.0; ///< FC latency on the GPU path.
-    double pimSeconds = 0.0; ///< FC latency on the FC-PIM path.
+    /** FC latency on the pair's memory-bound (below) side. */
+    double belowSeconds = 0.0;
+    /** FC latency on the pair's compute-bound (above) side. */
+    double aboveSeconds = 0.0;
 };
 
 /** Result of an alpha calibration sweep. */
 struct CalibrationResult
 {
     double alpha = 0.0; ///< The calibrated threshold.
+    TargetPair pair;    ///< The calibrated target pair.
     std::vector<CalibrationPoint> points; ///< The sweep behind it.
 };
 
@@ -40,15 +48,25 @@ class ThresholdCalibrator
 {
   public:
     /**
-     * Sweep tokens = 1..max_tokens (geometric grid plus boundary
-     * refinement) measuring FC latency on GPU and FC-PIM; alpha is
-     * the largest token count at which PIM still wins.
-     *
-     * The platform must have both a GPU and computing FC devices.
+     * Calibrate the platform's own threshold pair: the FC dispatch
+     * policy's pair when its rule is Threshold, otherwise the legacy
+     * (fc-pim, gpu) pair. Fatal if the platform lacks either target.
      */
     static CalibrationResult calibrate(const Platform &platform,
                                        const llm::ModelConfig &model,
                                        std::uint32_t max_tokens = 512);
+
+    /**
+     * Sweep tokens = 1..max_tokens (geometric grid plus boundary
+     * refinement) measuring FC latency on both targets of @p pair;
+     * alpha is the largest token count at which the pair's below
+     * (memory-bound) target still wins. Both targets must support
+     * the FC phase.
+     */
+    static CalibrationResult
+    calibratePair(const Platform &platform,
+                  const llm::ModelConfig &model, TargetPair pair,
+                  std::uint32_t max_tokens = 512);
 };
 
 } // namespace papi::core

@@ -241,11 +241,107 @@ TEST(ClusterEngine, InvalidConfigurationsAreFatal)
     std::swap(reqs[0], reqs[3]); // unsorted
     EXPECT_THROW(ok.run(reqs, spec, model), FatalError);
 
-    auto sorted = stream(10.0, 4);
+    // Batch-level admission is a configuration error caught at
+    // construction - no simulation work happens first - with a
+    // message that names the fix.
     ClusterOptions batch = opt;
     batch.serving.admission = core::AdmissionPolicy::BatchLevel;
-    EXPECT_THROW(ClusterEngine(cfg, batch).run(sorted, spec, model),
+    try {
+        ClusterEngine bad(cfg, batch);
+        FAIL() << "batch-level admission must fail at construction";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("batch-level admission"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("TokenLevel"),
+                  std::string::npos);
+    }
+    // Same validation on the heterogeneous constructor.
+    EXPECT_THROW(ClusterEngine(
+                     std::vector<core::PlatformConfig>{cfg}, batch),
                  FatalError);
+    EXPECT_THROW(ClusterEngine(std::vector<core::PlatformConfig>{},
+                               opt),
+                 FatalError);
+}
+
+/**
+ * Heterogeneous replica mixes: dynamic PAPI replicas next to an
+ * always-GPU baseline behind one router. The registry refactor
+ * removed the shared policy enum, so each replica carries its own
+ * dispatch policy; the cluster must run deterministically end to end
+ * and report per-replica identity.
+ */
+TEST(ClusterEngine, MixedPlatformsRunDeterministically)
+{
+    std::vector<core::PlatformConfig> groups = {
+        core::makePapiConfig(), core::makeA100AttAccConfig()};
+    llm::ModelConfig model = llm::llama65b();
+    llm::SpeculativeConfig spec;
+    ClusterOptions opt;
+    opt.policy = RouterPolicy::RoundRobin;
+    opt.serving.maxRlp = 16;
+    opt.serving.alpha = 24.0;
+    auto reqs = stream(80.0, 48);
+
+    ClusterEngine a(groups, opt);
+    ClusterEngine b(groups, opt);
+    ClusterResult ra = a.run(reqs, spec, model);
+    ClusterResult rb = b.run(reqs, spec, model);
+
+    ASSERT_EQ(ra.numGroups, 2u);
+    ASSERT_EQ(ra.groupNames.size(), 2u);
+    EXPECT_EQ(ra.groupNames[0], "papi");
+    EXPECT_EQ(ra.groupNames[1], "a100+attacc");
+    EXPECT_EQ(ra.groupPolicies[0], "threshold:fc-pim->gpu");
+    EXPECT_EQ(ra.groupPolicies[1], "static:gpu");
+
+    // Deterministic: two engines over the same stream agree exactly.
+    EXPECT_EQ(ra.makespanSeconds, rb.makespanSeconds);
+    EXPECT_EQ(ra.energyJoules, rb.energyJoules);
+    EXPECT_EQ(ra.tokensGenerated, rb.tokensGenerated);
+    ASSERT_EQ(ra.perGroup.size(), rb.perGroup.size());
+    for (std::size_t g = 0; g < ra.perGroup.size(); ++g)
+        expectByteIdentical(ra.perGroup[g], rb.perGroup[g]);
+
+    // All work served; both replica types did some of it, and only
+    // the dynamic replica ever moved FC onto PIM.
+    std::uint64_t expected_tokens = 0;
+    for (const auto &t : reqs)
+        expected_tokens += t.request.outputLen;
+    EXPECT_EQ(ra.tokensGenerated, expected_tokens);
+    EXPECT_EQ(ra.requestsServed, reqs.size());
+    EXPECT_GT(ra.perGroup[0].iterations, 0u);
+    EXPECT_GT(ra.perGroup[1].iterations, 0u);
+    EXPECT_EQ(ra.perGroup[1].fcOnPimIterations, 0u);
+    EXPECT_GT(ra.perGroup[0].fcOnPimIterations, 0u);
+}
+
+/**
+ * A homogeneous mix through the heterogeneous constructor reduces
+ * exactly to the homogeneous constructor - the per-replica config
+ * path adds nothing to the simulation itself.
+ */
+TEST(ClusterEngine, HeterogeneousCtorWithEqualConfigsMatches)
+{
+    core::PlatformConfig cfg = core::makePapiConfig();
+    llm::ModelConfig model = llm::llama65b();
+    llm::SpeculativeConfig spec;
+    ClusterOptions opt;
+    opt.numPlatforms = 2;
+    opt.serving.maxRlp = 16;
+    opt.serving.alpha = 24.0;
+    auto reqs = stream(60.0, 32);
+
+    ClusterEngine homo(cfg, opt);
+    ClusterEngine hetero(
+        std::vector<core::PlatformConfig>{cfg, cfg}, opt);
+    ClusterResult rh = homo.run(reqs, spec, model);
+    ClusterResult rx = hetero.run(reqs, spec, model);
+    EXPECT_EQ(rh.makespanSeconds, rx.makespanSeconds);
+    EXPECT_EQ(rh.energyJoules, rx.energyJoules);
+    ASSERT_EQ(rh.perGroup.size(), rx.perGroup.size());
+    for (std::size_t g = 0; g < rh.perGroup.size(); ++g)
+        expectByteIdentical(rh.perGroup[g], rx.perGroup[g]);
 }
 
 } // namespace

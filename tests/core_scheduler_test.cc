@@ -54,32 +54,53 @@ TEST(AiEstimator, EstimateOverpredictsAtExtremeParallelism)
     EXPECT_GT(est.measured(128, 8), 500.0); // still clearly compute-bound
 }
 
+// The default scheduler pair is {below=0, above=1}: target ids are
+// opaque labels drawn from a platform's registry.
+constexpr TargetId kBelow = 0; // memory-bound side (the paper's PIM)
+constexpr TargetId kAbove = 1; // compute-bound side (the paper's GPU)
+
 TEST(Scheduler, RoutesByThreshold)
 {
     DynamicScheduler sched(/*alpha=*/24.0, /*rlp=*/64, /*tlp=*/1);
     ScheduleDecision d = sched.initialSchedule();
-    EXPECT_EQ(d.target, FcTarget::Gpu); // 64 > 24
+    EXPECT_EQ(d.target, kAbove); // 64 > 24
     EXPECT_DOUBLE_EQ(d.estimatedAi, 64.0);
 
     DynamicScheduler low(24.0, 4, 2);
-    EXPECT_EQ(low.initialSchedule().target, FcTarget::FcPim); // 8 < 24
+    EXPECT_EQ(low.initialSchedule().target, kBelow); // 8 < 24
+}
+
+TEST(Scheduler, GenericOverArbitraryTargetPairs)
+{
+    // The threshold rule is pair-agnostic: any two registry ids -
+    // e.g. two PIM device classes - schedule exactly like the
+    // paper's (FC-PIM, GPU) pair.
+    TargetPair pair;
+    pair.below = 7;
+    pair.above = 3;
+    DynamicScheduler sched(24.0, 64, 1, {}, pair);
+    EXPECT_EQ(sched.initialSchedule().target, 3u);
+    EXPECT_EQ(sched.observeStep(40).target, 7u); // RLP 24 <= alpha
+    EXPECT_EQ(sched.reschedules(), 1u);
+    EXPECT_THROW(DynamicScheduler(24.0, 4, 1, {}, TargetPair{2, 2}),
+                 FatalError);
 }
 
 TEST(Scheduler, ReschedulesWhenRlpDecaysPastThreshold)
 {
     DynamicScheduler sched(24.0, 32, 1);
-    EXPECT_EQ(sched.initialSchedule().target, FcTarget::Gpu);
+    EXPECT_EQ(sched.initialSchedule().target, kAbove);
 
     // 8 requests finish: RLP 32 -> 24; 24 <= alpha -> move to PIM.
     ScheduleDecision d = sched.observeStep(8);
     EXPECT_EQ(sched.rlp(), 24u);
-    EXPECT_EQ(d.target, FcTarget::FcPim);
+    EXPECT_EQ(d.target, kBelow);
     EXPECT_TRUE(d.rescheduled);
     EXPECT_EQ(sched.reschedules(), 1u);
 
     // Further decay keeps the target stable - no more switches.
     d = sched.observeStep(10);
-    EXPECT_EQ(d.target, FcTarget::FcPim);
+    EXPECT_EQ(d.target, kBelow);
     EXPECT_FALSE(d.rescheduled);
     EXPECT_EQ(sched.reschedules(), 1u);
 }
@@ -87,11 +108,11 @@ TEST(Scheduler, ReschedulesWhenRlpDecaysPastThreshold)
 TEST(Scheduler, TlpRegisterUpdateChangesDecision)
 {
     DynamicScheduler sched(24.0, 8, 1);
-    EXPECT_EQ(sched.initialSchedule().target, FcTarget::FcPim); // 8
+    EXPECT_EQ(sched.initialSchedule().target, kBelow); // 8
     sched.setTlp(4); // host software raised speculation length
     ScheduleDecision d = sched.observeStep(0);
     EXPECT_DOUBLE_EQ(d.estimatedAi, 32.0);
-    EXPECT_EQ(d.target, FcTarget::Gpu);
+    EXPECT_EQ(d.target, kAbove);
     EXPECT_TRUE(d.rescheduled);
 }
 
@@ -105,10 +126,10 @@ TEST(Scheduler, EosBeyondRlpPanics)
 TEST(Scheduler, DrainedBatchReturnsLastTarget)
 {
     DynamicScheduler sched(24.0, 2, 1);
-    EXPECT_EQ(sched.initialSchedule().target, FcTarget::FcPim);
+    EXPECT_EQ(sched.initialSchedule().target, kBelow);
     ScheduleDecision d = sched.observeStep(2);
     EXPECT_EQ(sched.rlp(), 0u);
-    EXPECT_EQ(d.target, FcTarget::FcPim);
+    EXPECT_EQ(d.target, kBelow);
 }
 
 TEST(Scheduler, InvalidConstructionIsFatal)
@@ -124,7 +145,7 @@ TEST(Scheduler, PeekDoesNotMutate)
     sched.initialSchedule();
     std::uint64_t before = sched.decisions();
     ScheduleDecision d = sched.peek(64, 2);
-    EXPECT_EQ(d.target, FcTarget::Gpu);
+    EXPECT_EQ(d.target, kAbove);
     EXPECT_EQ(sched.decisions(), before);
     EXPECT_EQ(sched.rlp(), 16u);
 }
@@ -171,9 +192,12 @@ TEST_F(CalibratorTest, SweepRecordsPoints)
         platform, llm::gpt3_66b());
     EXPECT_GE(cal.points.size(), 4u);
     for (const auto &p : cal.points) {
-        EXPECT_GT(p.gpuSeconds, 0.0);
-        EXPECT_GT(p.pimSeconds, 0.0);
+        EXPECT_GT(p.aboveSeconds, 0.0);
+        EXPECT_GT(p.belowSeconds, 0.0);
     }
+    // The calibrated pair is the platform's FC threshold pair.
+    EXPECT_EQ(cal.pair.below, platform.targetId("fc-pim"));
+    EXPECT_EQ(cal.pair.above, platform.targetId("gpu"));
 }
 
 TEST_F(CalibratorTest, AlphaSimilarAcrossModels)

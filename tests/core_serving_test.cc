@@ -308,6 +308,81 @@ TEST(ConfigLoader, OverridesApply)
     EXPECT_EQ(cfg.numFcDevices, 30u);
 }
 
+TEST(ConfigLoader, PolicyAndTargetNamesRoundTrip)
+{
+    // Every name the printers can emit must parse back to the same
+    // value - config files written from report output stay loadable.
+    for (FcPolicy p : {FcPolicy::AlwaysGpu, FcPolicy::AlwaysPim,
+                       FcPolicy::Dynamic, FcPolicy::Oracle})
+        EXPECT_EQ(fcPolicyFromName(fcPolicyName(p)), p);
+    for (FcTarget t : {FcTarget::Gpu, FcTarget::FcPim})
+        EXPECT_EQ(fcTargetFromName(fcTargetName(t)), t);
+    for (DispatchRule r : {DispatchRule::Static,
+                           DispatchRule::Threshold,
+                           DispatchRule::Oracle})
+        EXPECT_EQ(dispatchRuleFromName(dispatchRuleName(r)), r);
+
+    EXPECT_THROW(fcPolicyFromName("sometimes"), FatalError);
+    EXPECT_THROW(fcTargetFromName("tpu"), FatalError);
+    EXPECT_THROW(dispatchRuleFromName("vibes"), FatalError);
+}
+
+TEST(ConfigLoader, DispatchPolicyStringsRoundTrip)
+{
+    // Every printable DispatchPolicy form parses back identically,
+    // including for every policy a platform can resolve.
+    std::vector<DispatchPolicy> policies = {
+        staticDispatch("gpu"),
+        staticDispatch("fc-pim"),
+        staticDispatch("attn-pim"),
+        thresholdDispatch("fc-pim", "gpu"),
+        thresholdDispatch("gpu", "fc-pim"),
+        oracleDispatch({"gpu", "fc-pim"}),
+        oracleDispatch({"gpu", "fc-pim", "attn-pim"}),
+        dispatchFromFcPolicy(FcPolicy::AlwaysGpu),
+        dispatchFromFcPolicy(FcPolicy::AlwaysPim),
+        dispatchFromFcPolicy(FcPolicy::Dynamic),
+        dispatchFromFcPolicy(FcPolicy::Oracle),
+    };
+    for (const auto &p : policies) {
+        DispatchPolicy back =
+            dispatchPolicyFromName(dispatchPolicyName(p));
+        EXPECT_EQ(back.rule, p.rule) << dispatchPolicyName(p);
+        EXPECT_EQ(back.targets, p.targets) << dispatchPolicyName(p);
+    }
+
+    EXPECT_THROW(dispatchPolicyFromName("static"), FatalError);
+    EXPECT_THROW(dispatchPolicyFromName("threshold:gpu"), FatalError);
+    EXPECT_THROW(dispatchPolicyFromName("oracle:gpu,,fc-pim"),
+                 FatalError);
+    EXPECT_THROW(dispatchPolicyFromName("banana:gpu"), FatalError);
+    EXPECT_THROW(dispatchPolicyFromName("static:gpu,fc-pim"),
+                 FatalError);
+}
+
+TEST(ConfigLoader, DispatchKeysApply)
+{
+    papi::sim::Config c;
+    c.set("platform", std::string("papi"));
+    c.set("fc_dispatch", std::string("oracle:gpu,fc-pim"));
+    PlatformConfig cfg = platformFromConfig(c);
+    EXPECT_EQ(cfg.fcDispatch.rule, DispatchRule::Oracle);
+    Platform p(cfg);
+    EXPECT_EQ(dispatchPolicyName(p.dispatchPolicy(Phase::Fc)),
+              "oracle:gpu,fc-pim");
+
+    papi::sim::Config bad;
+    bad.set("fc_dispatch", std::string("nonsense"));
+    EXPECT_THROW(platformFromConfig(bad), FatalError);
+
+    // An unknown target name in a well-formed policy survives
+    // parsing but fails platform construction.
+    papi::sim::Config unknown;
+    unknown.set("fc_dispatch", std::string("static:tpu"));
+    PlatformConfig cfg2 = platformFromConfig(unknown);
+    EXPECT_THROW(Platform{cfg2}, FatalError);
+}
+
 TEST(ConfigLoader, BadPolicyOrLinkIsFatal)
 {
     papi::sim::Config c;

@@ -99,7 +99,12 @@ def check_header(path: Path) -> list:
             if decl_balance < 0:
                 in_decl = False
                 decl_balance = 0
-            elif decl_balance == 0 and (";" in code or closes > 0):
+            # A declaration continues across lines until a semicolon
+            # or a net-closing brace line. Lines whose braces balance
+            # (e.g. brace-initialized default arguments, `= {},`) do
+            # not terminate it.
+            elif decl_balance == 0 and (";" in code
+                                        or closes > opens):
                 in_decl = False
             prev_doc = False
             continue
