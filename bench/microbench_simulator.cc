@@ -52,6 +52,7 @@
  *     "figure_cell": { "cells": n, "wall_seconds": s },
  *     "policy": { ... },                // papi-policy/1, see below
  *     "cluster": { ... },               // papi-cluster/1, see below
+ *     "continuous": { ... },            // papi-continuous/1, below
  *     "summary": {                      // absent with --legacy-queue
  *       "event_queue_speedup_geomean": x,
  *       "dram_stream_speedup": x,
@@ -105,6 +106,33 @@
  *         "mean_utilization": x, "energy_joules": x,
  *         "wall_seconds": s }, ...      // one entry per N
  *     ]
+ *   }
+ *
+ * The "continuous" section is its own sub-schema
+ * (papi-continuous/1): the serving-mode comparison the event-driven
+ * core unlocked - static batching (batch-level admission) vs
+ * continuous batching (token-level admission + chunked prefill) vs
+ * continuous batching under KV pressure with preemption/resume, on
+ * one shared stream and one PAPI platform
+ * (docs/BENCHMARKS.md documents every field):
+ *   {
+ *     "schema": "papi-continuous/1",
+ *     "model": str,
+ *     "arrival": { "trace": str, "rate_rps": x, "requests": n,
+ *                  "seed": n, "max_rlp": n },
+ *     "prefill_chunk_tokens": n,        // continuous modes
+ *     "kv_pool_tokens": n,              // preemption mode only
+ *     "modes": [
+ *       { "mode": "static|continuous|continuous+preemption",
+ *         "admission": "batch-level|token-level",
+ *         "makespan_seconds": x, "sim_tokens_per_sec": x,
+ *         "ttft_p50_seconds": x, "ttft_p99_seconds": x,
+ *         "queueing_mean_seconds": x, "preemptions": n,
+ *         "preemption_stall_p99_seconds": x,
+ *         "wall_seconds": s }, ...
+ *     ],
+ *     "continuous_ttft_p99_speedup_vs_static": x,  // > 1 = win
+ *     "preemption_count": n             // preemption mode total
  *   }
  */
 
@@ -665,6 +693,97 @@ benchCluster(bool quick)
     return out;
 }
 
+/** One serving-mode cell of the papi-continuous/1 section. */
+struct ContinuousCell
+{
+    const char *mode = nullptr;      ///< Section mode label.
+    const char *admission = nullptr; ///< Admission-policy label.
+    cluster::ClusterResult result;
+    double wall = 0.0;
+};
+
+/** Inputs and outcomes of the serving-mode comparison. */
+struct ContinuousBench
+{
+    double rateRps = 0.0;
+    std::uint32_t requests = 0;
+    std::uint32_t maxRlp = 0;
+    std::uint32_t chunkTokens = 0;
+    std::uint64_t seed = 0;
+    std::uint64_t kvPoolTokens = 0;
+    std::vector<ContinuousCell> cells;
+};
+
+/**
+ * The serving-mode comparison the event-driven core unlocked:
+ * static batching (batch-level admission, the paper's Section
+ * 3.2(c) baseline) vs continuous batching (token-level admission
+ * with chunked prefill) vs continuous batching under forced KV
+ * pressure with preemption/resume. One shared GeneralQa stream, one
+ * PAPI platform behind the cluster driver (N=1), so TTFT/queueing
+ * percentiles come from the same aggregation path production runs
+ * use. Continuous batching must beat static on p99 TTFT - the
+ * headline ratio is emitted as its own key.
+ */
+ContinuousBench
+benchContinuous(bool quick)
+{
+    ContinuousBench out;
+    out.rateRps = 150.0;
+    out.requests = quick ? 64 : 192;
+    out.maxRlp = 16;
+    out.chunkTokens = 64;
+    out.seed = 13;
+    out.kvPoolTokens = 2048;
+
+    core::PlatformConfig cfg = core::makePapiConfig();
+    llm::ModelConfig model = llm::llama65b();
+    core::Platform reference(cfg);
+    // Threshold calibrated once; shared by all three modes.
+    double alpha =
+        core::ThresholdCalibrator::calibrate(reference, model).alpha;
+    llm::ArrivalProcess arrivals(llm::TraceCategory::GeneralQa,
+                                 out.rateRps, out.seed);
+    auto stream = arrivals.generate(out.requests);
+    llm::SpeculativeConfig spec;
+
+    auto run_mode = [&](const char *mode, const char *admission,
+                        const core::ServingOptions &sopt) {
+        cluster::ClusterOptions copt;
+        copt.numPlatforms = 1;
+        copt.serving = sopt;
+        cluster::ClusterEngine engine(cfg, copt);
+        auto start = Clock::now();
+        ContinuousCell cell;
+        cell.mode = mode;
+        cell.admission = admission;
+        cell.result = engine.run(stream, spec, model);
+        cell.wall = secondsSince(start);
+        out.cells.push_back(std::move(cell));
+    };
+
+    core::ServingOptions base;
+    base.maxRlp = out.maxRlp;
+    base.alpha = alpha;
+    base.seed = 3;
+
+    core::ServingOptions stat = base;
+    stat.admission = core::AdmissionPolicy::BatchLevel;
+    stat.batchTimeoutSeconds = 0.05;
+    run_mode("static", "batch-level", stat);
+
+    core::ServingOptions cont = base;
+    cont.prefillChunkTokens = out.chunkTokens;
+    run_mode("continuous", "token-level", cont);
+
+    core::ServingOptions preempt = cont;
+    preempt.preemptOnKvPressure = true;
+    preempt.kvCapacityOverrideBytes = llm::kvPoolBytesPerDevice(
+        model, out.kvPoolTokens, cfg.numAttnDevices);
+    run_mode("continuous+preemption", "token-level", preempt);
+    return out;
+}
+
 void
 writeJson(std::FILE *f, bool quick, bool legacy_only,
           std::uint64_t eq_events,
@@ -676,7 +795,8 @@ writeJson(std::FILE *f, bool quick, bool legacy_only,
           std::uint64_t dec_iters, double dec_wall,
           std::uint64_t srv_tokens, std::uint64_t srv_iters,
           double srv_wall, std::uint32_t fig_cells, double fig_wall,
-          const PolicyBench &pb, const ClusterBench &cb)
+          const PolicyBench &pb, const ClusterBench &cb,
+          const ContinuousBench &nb)
 {
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"schema\": \"papi-microbench/1\",\n");
@@ -841,6 +961,51 @@ writeJson(std::FILE *f, bool quick, bool legacy_only,
             i + 1 < cb.cells.size() ? "," : "");
     }
     std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"continuous\": {\n");
+    std::fprintf(f, "    \"schema\": \"papi-continuous/1\",\n");
+    std::fprintf(f, "    \"model\": \"llama-65b\",\n");
+    std::fprintf(f,
+                 "    \"arrival\": {\"trace\": \"general-qa\", "
+                 "\"rate_rps\": %.1f, \"requests\": %u, \"seed\": "
+                 "%llu, \"max_rlp\": %u},\n",
+                 nb.rateRps, nb.requests,
+                 static_cast<unsigned long long>(nb.seed), nb.maxRlp);
+    std::fprintf(f, "    \"prefill_chunk_tokens\": %u,\n",
+                 nb.chunkTokens);
+    std::fprintf(f, "    \"kv_pool_tokens\": %llu,\n",
+                 static_cast<unsigned long long>(nb.kvPoolTokens));
+    std::fprintf(f, "    \"modes\": [\n");
+    for (std::size_t i = 0; i < nb.cells.size(); ++i) {
+        const ContinuousCell &c = nb.cells[i];
+        const cluster::ClusterResult &r = c.result;
+        std::fprintf(
+            f,
+            "      {\"mode\": \"%s\", \"admission\": \"%s\",\n"
+            "       \"makespan_seconds\": %.6f, "
+            "\"sim_tokens_per_sec\": %.6e,\n"
+            "       \"ttft_p50_seconds\": %.6f, "
+            "\"ttft_p99_seconds\": %.6f,\n"
+            "       \"queueing_mean_seconds\": %.6f, "
+            "\"preemptions\": %llu,\n"
+            "       \"preemption_stall_p99_seconds\": %.6f, "
+            "\"wall_seconds\": %.6f}%s\n",
+            c.mode, c.admission, r.makespanSeconds,
+            r.throughputTokensPerSecond(), r.ttft.p50, r.ttft.p99,
+            r.meanQueueingSeconds,
+            static_cast<unsigned long long>(r.preemptions),
+            r.preemptionStall.p99, c.wall,
+            i + 1 < nb.cells.size() ? "," : "");
+    }
+    std::fprintf(f, "    ],\n");
+    // Cells are ordered static, continuous, continuous+preemption.
+    std::fprintf(
+        f,
+        "    \"continuous_ttft_p99_speedup_vs_static\": %.3f,\n"
+        "    \"preemption_count\": %llu\n",
+        nb.cells[0].result.ttft.p99 / nb.cells[1].result.ttft.p99,
+        static_cast<unsigned long long>(
+            nb.cells[2].result.preemptions));
     std::fprintf(f, "  }%s\n", legacy_only ? "" : ",");
     if (!legacy_only) {
         double stream_speedup =
@@ -942,12 +1107,13 @@ main(int argc, char **argv)
 
     PolicyBench pb = benchPolicy(quick);
     ClusterBench cb = benchCluster(quick);
+    ContinuousBench nb = benchContinuous(quick);
 
     writeJson(stdout, quick, legacy_only, eq_events, patterns,
               geomean, dram_n, stream_new, stream_legacy, pump_new,
               pump_legacy, dec_tokens, dec_iters, dec_wall,
               srv_tokens, srv_iters, srv_wall, fig_cells, fig_wall,
-              pb, cb);
+              pb, cb, nb);
     if (out_path) {
         std::FILE *f = std::fopen(out_path, "w");
         if (!f) {
@@ -958,7 +1124,7 @@ main(int argc, char **argv)
                   dram_n, stream_new, stream_legacy, pump_new,
                   pump_legacy, dec_tokens, dec_iters, dec_wall,
                   srv_tokens, srv_iters, srv_wall, fig_cells,
-                  fig_wall, pb, cb);
+                  fig_wall, pb, cb, nb);
         std::fclose(f);
     }
     return 0;

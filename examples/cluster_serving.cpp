@@ -19,6 +19,15 @@
  * sessions (multi-turn users for affinity), model, seed. Platform
  * keys (platform=..., num_gpus=..., ...) are documented in
  * core/config_loader.hh.
+ *
+ * Continuous-batching keys (the event-driven core's serving modes):
+ *   continuous=1         token-level admission + chunked prefill
+ *                        (chunk size via prefill_chunk, default 64)
+ *   prefill_chunk=N      prefill-chunk token budget per iteration
+ *   preempt=1            KV-pressure preemption/resume (Recompute)
+ *   kv_pool_tokens=N     shrink the KV pool to ~N tokens to force
+ *                        pressure (demo/testing knob)
+ * With any of these set, the report adds preemption counts/stalls.
  */
 
 #include <cstdio>
@@ -106,6 +115,9 @@ main(int argc, char **argv)
     base.serving.alpha = alpha;
     base.serving.maxRlp =
         static_cast<std::uint32_t>(config.getInt("max_rlp", 32));
+    examples::applyContinuousBatchingFlags(config, base.serving,
+                                           model,
+                                           cfg.numAttnDevices);
 
     std::cout << "PAPI cluster serving: " << model.name << " on "
               << cfg.name << ", " << requests << " requests @ "
@@ -135,6 +147,16 @@ main(int argc, char **argv)
                     core::formatSeconds(r.tpot.p99).c_str());
         std::printf("queueing p99  : %s\n",
                     core::formatSeconds(r.queueing.p99).c_str());
+        if (base.serving.prefillChunkTokens > 0 ||
+            base.serving.preemptOnKvPressure) {
+            std::printf("preemptions   : %llu (%llu resumed), "
+                        "stall p99 %s\n",
+                        static_cast<unsigned long long>(
+                            r.preemptions),
+                        static_cast<unsigned long long>(r.resumes),
+                        core::formatSeconds(r.preemptionStall.p99)
+                            .c_str());
+        }
         std::printf("utilization   :");
         for (double u : r.groupUtilization)
             std::printf(" %.0f%%", 100.0 * u);
@@ -164,6 +186,12 @@ main(int argc, char **argv)
             core::formatSeconds(r.tpot.p99).c_str(),
             core::formatSeconds(r.queueing.p99).c_str(),
             100.0 * meanUtilization(r));
+        if (base.serving.prefillChunkTokens > 0 ||
+            base.serving.preemptOnKvPressure)
+            std::printf("     ^ preemptions=%llu resumes=%llu\n",
+                        static_cast<unsigned long long>(
+                            r.preemptions),
+                        static_cast<unsigned long long>(r.resumes));
         if (n == 1) {
             // The scale axis is only trustworthy if N=1 is the old
             // single-platform simulation exactly.

@@ -10,8 +10,11 @@
 
 #include <string>
 
+#include "core/serving_engine.hh"
+#include "llm/kv_cache.hh"
 #include "llm/model_config.hh"
 #include "llm/moe.hh"
+#include "sim/config.hh"
 #include "sim/logging.hh"
 
 namespace papi::examples {
@@ -34,6 +37,34 @@ modelByName(const std::string &name)
     sim::fatal("unknown model '", name,
                "' (llama-65b | gpt3-66b | gpt3-175b | "
                "mixtral-8x22b)");
+}
+
+/**
+ * Apply the shared continuous-batching CLI keys to @p serving:
+ * continuous=1 (token-level + chunked prefill; chunk size via
+ * prefill_chunk, default 64), prefill_chunk=N, preempt=1
+ * (KV-pressure preemption, Recompute policy), and kv_pool_tokens=N
+ * (shrink the KV pool to ~N tokens of @p model across
+ * @p num_attn_devices devices, to force pressure in demos).
+ */
+inline void
+applyContinuousBatchingFlags(const sim::Config &config,
+                             core::ServingOptions &serving,
+                             const llm::ModelConfig &model,
+                             std::uint32_t num_attn_devices)
+{
+    const bool continuous = config.getInt("continuous", 0) != 0;
+    if (continuous || config.has("prefill_chunk"))
+        serving.prefillChunkTokens = static_cast<std::uint32_t>(
+            config.getInt("prefill_chunk", 64));
+    if (config.getInt("preempt", 0) != 0)
+        serving.preemptOnKvPressure = true;
+    if (config.has("kv_pool_tokens"))
+        serving.kvCapacityOverrideBytes = llm::kvPoolBytesPerDevice(
+            model,
+            static_cast<std::uint64_t>(
+                config.getInt("kv_pool_tokens")),
+            num_attn_devices);
 }
 
 } // namespace papi::examples

@@ -23,7 +23,11 @@
  * Keys: mix (comma-separated platform names; default
  * "papi,attacc-only"), policy (round-robin | least-outstanding |
  * session-affinity), rate (req/s), requests, max_rlp, spec_len,
- * model, seed.
+ * model, seed. Continuous-batching keys: continuous=1 (token-level
+ * admission + chunked prefill; chunk via prefill_chunk, default
+ * 64), preempt=1 (KV-pressure preemption), kv_pool_tokens=N
+ * (shrink the KV pool to force pressure). The per-replica table
+ * and the aggregate then include preemption counts.
  */
 
 #include <cstdio>
@@ -89,6 +93,8 @@ main(int argc, char **argv)
         cfg.getInt("max_rlp", 32));
     opt.serving.alpha = alpha;
     opt.serving.seed = seed;
+    examples::applyContinuousBatchingFlags(
+        cfg, opt.serving, model, groups.front().numAttnDevices);
 
     llm::SpeculativeConfig spec;
     spec.length = static_cast<std::uint32_t>(
@@ -112,9 +118,9 @@ main(int argc, char **argv)
     // list is grouped by replica (each replica contributes exactly
     // its admitted requests, in completion order), so per-replica
     // slices fall out of the admission counts.
-    std::printf("%-3s %-14s %-22s %-9s %-8s %-9s %-10s\n", "id",
-                "platform", "fc dispatch", "requests", "util",
-                "tokens/s", "p99 TTFT");
+    std::printf("%-3s %-14s %-22s %-9s %-8s %-9s %-11s %-8s\n",
+                "id", "platform", "fc dispatch", "requests", "util",
+                "tokens/s", "p99TTFT(s)", "preempt");
     std::size_t rec_base = 0;
     for (std::uint32_t g = 0; g < r.numGroups; ++g) {
         const core::ServingResult &pr = r.perGroup[g];
@@ -133,11 +139,13 @@ main(int argc, char **argv)
                 ? static_cast<double>(pr.tokensGenerated) /
                       r.makespanSeconds
                 : 0.0;
-        std::printf("%-3u %-14s %-22s %-9llu %-8.3f %-9.0f %.3f s\n",
+        std::printf("%-3u %-14s %-22s %-9llu %-8.3f %-9.0f "
+                    "%-11.3f %llu\n",
                     g, r.groupNames[g].c_str(),
                     r.groupPolicies[g].c_str(),
                     static_cast<unsigned long long>(pr.admissions),
-                    r.groupUtilization[g], replica_tps, p99);
+                    r.groupUtilization[g], replica_tps, p99,
+                    static_cast<unsigned long long>(pr.preemptions));
     }
 
     std::printf("\ncluster aggregate:\n");
@@ -150,6 +158,11 @@ main(int argc, char **argv)
                 r.tpot.p99);
     std::printf("  queueing mean/p99  %.3f / %.3f s\n",
                 r.meanQueueingSeconds, r.queueing.p99);
+    std::printf("  preemptions   %llu (%llu resumed), stall p99 "
+                "%.3f s\n",
+                static_cast<unsigned long long>(r.preemptions),
+                static_cast<unsigned long long>(r.resumes),
+                r.preemptionStall.p99);
     std::printf("  energy        %.0f J\n", r.energyJoules);
     return 0;
 }

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/metrics.hh"
+#include "core/serving_events.hh"
 #include "sim/logging.hh"
 
 namespace papi::cluster {
@@ -36,20 +37,10 @@ summarize(std::vector<double> &values, double &mean_out)
 
 namespace {
 
-/**
- * Shared constructor-time configuration validation. Batch-level
- * admission is rejected here - at construction, not mid-run - so a
- * misconfigured cluster fails before any simulation work happens.
- */
+/** Shared constructor-time configuration validation. */
 void
 validateClusterOptions(const ClusterOptions &options)
 {
-    if (options.serving.admission != core::AdmissionPolicy::TokenLevel)
-        sim::fatal("ClusterEngine: batch-level admission is not "
-                   "supported under the cluster driver (boundary "
-                   "admission would need lookahead over undelivered "
-                   "arrivals); configure "
-                   "AdmissionPolicy::TokenLevel");
     if (options.tensorParallelDegree == 0)
         sim::fatal("ClusterEngine: tensorParallelDegree must be "
                    ">= 1");
@@ -117,65 +108,24 @@ ClusterEngine::run(const std::vector<llm::TimedRequest> &stream,
         sims.push_back(std::make_unique<core::ServingSim>(
             *_platforms[g], spec, model, _options.serving, cost));
 
+    // All replicas compose on one shared event queue: arrivals are
+    // routed at delivery time against per-backend load snapshots,
+    // and each replica schedules its own admission/boundary
+    // lifecycle events (core::ServingEventDriver preserves the
+    // historical arrival-first, lowest-index tie order exactly).
     Router router(_options.policy, _numGroups);
     std::vector<BackendLoad> loads(_numGroups);
-    std::size_t next = 0;
-
-    // Route and deliver every arrival with time <= t. Loads are
-    // snapshotted per decision so a burst spreads across replicas
-    // even under least-outstanding.
-    auto deliver_up_to = [&](double t) {
-        while (next < stream.size() &&
-               stream[next].arrivalSeconds <= t) {
+    std::vector<core::ServingSim *> replicas;
+    replicas.reserve(_numGroups);
+    for (auto &s : sims)
+        replicas.push_back(s.get());
+    core::ServingEventDriver driver(std::move(replicas));
+    driver.runStream(
+        stream, [&](const llm::TimedRequest &request) {
             for (std::uint32_t g = 0; g < _numGroups; ++g)
                 loads[g].outstanding = sims[g]->outstanding();
-            std::uint32_t pick = router.route(stream[next], loads);
-            sims[pick]->deliver(stream[next]);
-            ++next;
-        }
-    };
-
-    // Global event loop: backend iteration boundaries and arrival
-    // events interleave in deterministic time order (arrival wins
-    // ties so boundary admissions see it; backend ties break toward
-    // the lowest index). A backend's boundary time only changes
-    // when its batch does (stepIdle/stepDecode/admit), so it is
-    // cached across loop passes (< 0 = stale); deliveries alone
-    // never invalidate it.
-    std::vector<double> boundary(_numGroups, -1.0);
-    while (true) {
-        for (std::uint32_t g = 0; g < _numGroups; ++g) {
-            if (!sims[g]->hasActive() && sims[g]->hasPending()) {
-                sims[g]->stepIdle();
-                boundary[g] = -1.0;
-            }
-        }
-        const double t_arr = next < stream.size()
-                                 ? stream[next].arrivalSeconds
-                                 : kInf;
-        double t_step = kInf;
-        std::int64_t best = -1;
-        for (std::uint32_t g = 0; g < _numGroups; ++g) {
-            if (!sims[g]->hasActive())
-                continue;
-            if (boundary[g] < 0.0)
-                boundary[g] = sims[g]->now() +
-                              sims[g]->peekIterationSeconds();
-            if (boundary[g] < t_step) {
-                t_step = boundary[g];
-                best = g;
-            }
-        }
-        if (best < 0 && next >= stream.size())
-            break;
-        if (best < 0 || t_arr <= t_step) {
-            deliver_up_to(t_arr);
-            continue;
-        }
-        sims[best]->stepDecode();
-        sims[best]->admit();
-        boundary[best] = -1.0;
-    }
+            return router.route(request, loads);
+        });
 
     ClusterResult out;
     out.numGroups = _numGroups;
@@ -193,6 +143,8 @@ ClusterEngine::run(const std::vector<llm::TimedRequest> &stream,
         core::ServingResult r = sims[g]->finish();
         out.energyJoules += r.energyJoules;
         out.tokensGenerated += r.tokensGenerated;
+        out.preemptions += r.preemptions;
+        out.resumes += r.resumes;
         out.perGroup.push_back(std::move(r));
         t_end = std::max(t_end, sims[g]->now());
         const auto &recs = sims[g]->records();
@@ -208,21 +160,25 @@ ClusterEngine::run(const std::vector<llm::TimedRequest> &stream,
                 : 0.0;
     }
 
-    std::vector<double> ttft, tpot, latency, queueing;
+    std::vector<double> ttft, tpot, latency, queueing, stall;
     ttft.reserve(out.records.size());
     tpot.reserve(out.records.size());
     latency.reserve(out.records.size());
     queueing.reserve(out.records.size());
+    stall.reserve(out.records.size());
     for (const auto &rec : out.records) {
         ttft.push_back(rec.ttftSeconds());
         tpot.push_back(rec.tpotSeconds());
         latency.push_back(rec.finishSeconds - rec.arrivalSeconds);
         queueing.push_back(rec.queueingSeconds());
+        stall.push_back(rec.stallSeconds);
     }
     out.ttft = summarize(ttft, out.meanTtftSeconds);
     out.tpot = summarize(tpot, out.meanTpotSeconds);
     out.latency = summarize(latency, out.meanLatencySeconds);
     out.queueing = summarize(queueing, out.meanQueueingSeconds);
+    out.preemptionStall =
+        summarize(stall, out.meanPreemptionStallSeconds);
     return out;
 }
 
@@ -256,6 +212,17 @@ ClusterResult::populateStats(sim::stats::StatGroup &group) const
     add_percentiles("tpot", tpot, "per-token decode interval");
     add_percentiles("latency", latency, "arrival to completion");
     add_percentiles("queueing", queueing, "arrival to admission");
+    add_percentiles("preemption_stall", preemptionStall,
+                    "seconds spent evicted under KV pressure");
+    group.addScalar("preemptions", "KV-pressure evictions")
+        .set(static_cast<double>(preemptions));
+    group.addScalar("preemption_resumes",
+                    "preempted requests re-admitted")
+        .set(static_cast<double>(resumes));
+    group
+        .addScalar("preemption_stall_mean_seconds",
+                   "mean eviction stall across served requests")
+        .set(meanPreemptionStallSeconds);
     group.addScalar("ttft_mean_seconds", "arrival to first token")
         .set(meanTtftSeconds);
     group.addScalar("latency_mean_seconds", "arrival to completion")

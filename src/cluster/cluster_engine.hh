@@ -13,12 +13,25 @@
  * queueing delay, per-platform utilization) aggregate across the
  * cluster.
  *
- * Simulation model: the cluster loop owns global time. Arrival
- * events and backend iteration boundaries interleave in
- * deterministic time order (ties broken by backend index), with
- * each backend advanced through its ServingSim stepwise API. With
- * one backend the loop reduces exactly to ServingEngine::run - a
- * property pinned by tests/cluster_engine_test.cc.
+ * Simulation model: all backends compose on one shared
+ * sim::EventQueue through core::ServingEventDriver. Arrival events,
+ * batch-level admission deadlines, and backend iteration boundaries
+ * interleave in deterministic (time, kind, backend-index, sequence)
+ * order, with each backend advanced through its ServingSim stepwise
+ * API. Under token-level admission, one backend's event order
+ * reduces exactly to ServingEngine::run - a property pinned by
+ * tests/cluster_engine_test.cc (and it continues to hold with
+ * chunked prefill and KV preemption enabled). Because the queue
+ * gives arrival lookahead for free, batch-level admission,
+ * continuous batching with chunked prefill, and KV-pressure
+ * preemption (all core::ServingOptions knobs) work under the
+ * cluster. Batch-level admission is the one deliberate semantic
+ * difference from the standalone engine: ServingEngine::run sees
+ * the whole future stream, so its fill rule may wait for a batch
+ * that only fills after the timeout, while the cluster driver -
+ * which cannot know where undelivered arrivals will route - starts
+ * a batch at fill, timeout expiry, or stream exhaustion, whichever
+ * event fires first.
  */
 
 #ifndef PAPI_CLUSTER_CLUSTER_ENGINE_HH
@@ -84,10 +97,19 @@ struct ClusterResult
     LatencyPercentiles tpot;     ///< Per-token decode interval.
     LatencyPercentiles latency;  ///< Arrival to completion.
     LatencyPercentiles queueing; ///< Arrival to admission.
+    /** Per-request preemption stall (seconds evicted; 0 for
+     *  never-preempted requests). */
+    LatencyPercentiles preemptionStall;
     double meanTtftSeconds = 0.0;     ///< Mean of the TTFT population.
     double meanTpotSeconds = 0.0;     ///< Mean of the TPOT population.
     double meanLatencySeconds = 0.0;  ///< Mean arrival-to-completion.
     double meanQueueingSeconds = 0.0; ///< Mean queueing delay.
+    /** Mean preemption stall across all served requests. */
+    double meanPreemptionStallSeconds = 0.0;
+    /** KV-pressure evictions summed over all replicas. */
+    std::uint64_t preemptions = 0;
+    /** Preempted-request resumes summed over all replicas. */
+    std::uint64_t resumes = 0;
 
     /** Per-replica platform names (heterogeneous clusters). */
     std::vector<std::string> groupNames;
@@ -126,11 +148,10 @@ class ClusterEngine
     /**
      * Build numPlatforms platform instances from @p config (a
      * homogeneous cluster). Fatal if tensorParallelDegree does not
-     * divide numPlatforms, or if the serving options request
-     * batch-level admission (a configuration error: the cluster
-     * driver delivers arrivals incrementally, and batch-level
-     * boundary admission would need lookahead over undelivered
-     * arrivals - use AdmissionPolicy::TokenLevel).
+     * divide numPlatforms. Every core::AdmissionPolicy is
+     * supported: the event-driven timeline gives batch-level
+     * admission the arrival lookahead the retired peek-and-step
+     * loop could not provide.
      */
     ClusterEngine(const core::PlatformConfig &config,
                   const ClusterOptions &options);
@@ -141,8 +162,6 @@ class ClusterEngine
      * behind one router). The replica count is groupConfigs.size();
      * options.numPlatforms is derived as groups x
      * tensorParallelDegree and any caller-set value is ignored.
-     * Admission-policy validation is as for the homogeneous
-     * constructor.
      */
     ClusterEngine(const std::vector<core::PlatformConfig> &groupConfigs,
                   const ClusterOptions &options);
@@ -154,9 +173,8 @@ class ClusterEngine
     const ClusterOptions &options() const { return _options; }
 
     /**
-     * Serve @p stream to completion across the cluster. Only
-     * token-level admission is supported (batch-level admission
-     * needs lookahead over undelivered arrivals; fatal).
+     * Serve @p stream to completion across the cluster on one
+     * shared event queue (see core::ServingEventDriver).
      */
     ClusterResult run(const std::vector<llm::TimedRequest> &stream,
                       const llm::SpeculativeConfig &spec,

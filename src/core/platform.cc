@@ -543,6 +543,49 @@ Platform::prefillExec(const llm::ModelConfig &model,
         _prefillDispatcher->selectPrefill(model, input_lens).target);
 }
 
+KernelExec
+Platform::prefillChunkExec(
+    const llm::ModelConfig &model,
+    const std::vector<std::uint32_t> &prior_lens,
+    const std::vector<std::uint32_t> &chunk_lens) const
+{
+    if (prior_lens.size() != chunk_lens.size())
+        sim::fatal("Platform::prefillChunkExec: prior/chunk length "
+                   "mismatch");
+    std::vector<std::uint32_t> before;
+    std::vector<std::uint32_t> after;
+    before.reserve(prior_lens.size());
+    after.reserve(prior_lens.size());
+    for (std::size_t i = 0; i < prior_lens.size(); ++i) {
+        if (chunk_lens[i] == 0)
+            continue;
+        after.push_back(prior_lens[i] + chunk_lens[i]);
+        if (prior_lens[i] > 0)
+            before.push_back(prior_lens[i]);
+    }
+    KernelExec out;
+    if (after.empty())
+        return out;
+    // Both endpoints are costed on the SAME target - the one the
+    // prefill dispatcher picks for the full (after) batch -
+    // otherwise a non-static prefill policy could dispatch the two
+    // batches differently and make the difference meaningless.
+    const TargetId target =
+        _prefillDispatcher->selectPrefill(model, after).target;
+    out = prefillExec(model, after, target);
+    if (!before.empty()) {
+        KernelExec prior = prefillExec(model, before, target);
+        out.seconds = std::max(out.seconds - prior.seconds, 0.0);
+        out.commSeconds =
+            std::max(out.commSeconds - prior.commSeconds, 0.0);
+        out.energyJoules =
+            std::max(out.energyJoules - prior.energyJoules, 0.0);
+        out.commJoules =
+            std::max(out.commJoules - prior.commJoules, 0.0);
+    }
+    return out;
+}
+
 void
 Platform::addKvWriteout(std::uint64_t kv_bytes, KernelExec &out) const
 {

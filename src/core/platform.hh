@@ -219,6 +219,22 @@ class Platform
                            const std::vector<std::uint32_t> &input_lens)
         const;
 
+    /**
+     * Incremental cost of one chunked-prefill step: each request i
+     * has already prefilled @p prior_lens[i] prompt tokens and now
+     * processes @p chunk_lens[i] more. Charged as the difference
+     * between the full prefill of (prior + chunk) and of prior
+     * alone, so prefill attention stays quadratic in the total
+     * prompt (later chunks attend over earlier ones) and the chunks
+     * of one prompt sum exactly to its monolithic prefill cost.
+     * Vectors must be the same length; requests whose chunk is 0
+     * contribute nothing.
+     */
+    KernelExec prefillChunkExec(
+        const llm::ModelConfig &model,
+        const std::vector<std::uint32_t> &prior_lens,
+        const std::vector<std::uint32_t> &chunk_lens) const;
+
     /** Non-GEMV overhead of one decode iteration. */
     double otherSeconds(const llm::ModelConfig &model) const;
 

@@ -3,9 +3,17 @@
 #include <algorithm>
 
 #include "core/metrics.hh"
+#include "core/serving_events.hh"
 #include "sim/logging.hh"
 
 namespace papi::core {
+
+namespace {
+
+/** Host power charged against non-GEMV iteration time, watts. */
+constexpr double kHostWatts = 50.0;
+
+} // namespace
 
 // --------------------------------------------------------------- ServingSim
 
@@ -19,7 +27,9 @@ ServingSim::ServingSim(const Platform &platform,
     : _platform(platform), _spec(spec), _model(model),
       _options(options), _cost(std::move(cost)), _static(static_mode),
       _kv(model, platform.config().numAttnDevices,
-          platform.config().attnDeviceConfig.capacityBytes()),
+          options.kvCapacityOverrideBytes
+              ? options.kvCapacityOverrideBytes
+              : platform.config().attnDeviceConfig.capacityBytes()),
       _rng(options.seed),
       _fcDispatch(platform.dispatcher(Phase::Fc, options.alpha,
                                       std::move(fc_estimator))),
@@ -33,6 +43,14 @@ ServingSim::ServingSim(const Platform &platform,
         sim::fatal("ServingSim: alpha must be positive");
     if (_cost.computeScale <= 0.0)
         sim::fatal("ServingSim: computeScale must be positive");
+    _chunked = options.prefillChunkTokens > 0;
+    _preempt = options.preemptOnKvPressure;
+    if (_static.enabled && (_chunked || _preempt))
+        sim::fatal("ServingSim: chunked prefill / KV preemption are "
+                   "serving-path features; static-batch (decode) "
+                   "runs use the monolithic prefill");
+    if (_preempt && _options.kvSwapGBps <= 0.0)
+        sim::fatal("ServingSim: kvSwapGBps must be positive");
     _prefillLens.reserve(options.maxRlp);
     _ctx.reserve(options.maxRlp);
 }
@@ -79,6 +97,7 @@ ServingSim::scaledSeconds(double kernel_seconds, double other_seconds,
 std::uint32_t
 ServingSim::admit()
 {
+    _planValid = false; // batch may change; a peeked plan is stale
     std::uint32_t admitted = 0;
     _prefillLens.clear();
     // Batch-level scheduling admits only into an empty batch.
@@ -86,55 +105,146 @@ ServingSim::admit()
         !_active.empty())
         return admitted;
     const double decision_time = _now;
+
+    // Preemption mode: re-admit evicted requests first (oldest
+    // arrival wins), before any newcomer - an evicted request
+    // already holds its admission timestamp and must not starve.
+    std::uint32_t resumed = 0;
+    double swap_seconds = 0.0;
+    while (_preempt && !_preempted.empty() &&
+           _active.size() < _options.maxRlp) {
+        auto best = _preempted.begin();
+        for (auto it = std::next(best); it != _preempted.end();
+             ++it) {
+            if (it->state.arrivalSeconds <
+                    best->state.arrivalSeconds ||
+                (it->state.arrivalSeconds ==
+                     best->state.arrivalSeconds &&
+                 it->state.request.id < best->state.request.id))
+                best = it;
+        }
+        const std::uint32_t ctx = best->state.request.contextLen();
+        const bool recompute =
+            _options.preemptPolicy == KvPreemptPolicy::Recompute;
+        const std::uint64_t footprint =
+            recompute ? ctx : std::max<std::uint32_t>(
+                                  best->kvTokens, 1);
+        // Reserve the candidate's footprint plus its own first
+        // iteration's growth on top of the existing batch's
+        // headroom, so admission can never force an eviction.
+        const std::uint64_t reserve = _kv.blocksForTokens(
+            footprint + std::max<std::uint32_t>(
+                            _spec.length,
+                            _options.prefillChunkTokens));
+        if (_kv.freeBlocks() < reserve + worstGrowthBlocks())
+            break;
+        ActiveRequest a = best->state;
+        a.admitSeq = _admitSeqNext++;
+        a.stallSeconds += _now - best->preemptSeconds;
+        if (recompute) {
+            _out.recomputedPrefillTokens += best->kvTokens;
+            if (_chunked) {
+                a.prefillRemaining = ctx;
+                a.kvTokens = 0;
+                _kv.admit(a.request.id, 0);
+            } else {
+                a.prefillRemaining = 0;
+                a.kvTokens = ctx;
+                _kv.admit(a.request.id, ctx);
+                _prefillLens.push_back(ctx);
+            }
+        } else {
+            // SwapRestore: the KV content survives off-device; pay
+            // the transfer back over the attention fabric.
+            a.kvTokens = best->kvTokens;
+            _kv.admit(a.request.id,
+                      std::max<std::uint32_t>(a.kvTokens, 1));
+            swap_seconds +=
+                static_cast<double>(a.kvTokens) *
+                static_cast<double>(_model.kvBytesPerToken()) /
+                (_options.kvSwapGBps * 1e9);
+        }
+        _active.push_back(a);
+        _preempted.erase(best);
+        ++resumed;
+    }
+
     while (!_pending.empty() &&
            _pending.front().arrivalSeconds <= _now &&
            _active.size() < _options.maxRlp) {
         const llm::Request &req = _pending.front().request;
         if (!_static.enabled) {
-            // Reserve the worst case so growth can never fail.
-            std::uint64_t worst =
-                static_cast<std::uint64_t>(req.inputLen) +
-                req.outputLen;
-            if (!_kv.canAdmit(worst))
-                break;
-            _kv.admit(req.id, worst);
+            if (!_preempt) {
+                // Reserve the worst case so growth can never fail.
+                std::uint64_t worst =
+                    static_cast<std::uint64_t>(req.inputLen) +
+                    req.outputLen;
+                if (!_kv.canAdmit(worst))
+                    break;
+                _kv.admit(req.id, worst);
+            } else {
+                // Reserve the prompt footprint plus this request's
+                // own first-iteration growth, and keep headroom for
+                // the existing batch's next iteration - admission
+                // must never trigger an eviction by itself.
+                const std::uint64_t reserve = _kv.blocksForTokens(
+                    static_cast<std::uint64_t>(req.inputLen) +
+                    std::max<std::uint32_t>(
+                        _spec.length,
+                        _options.prefillChunkTokens));
+                if (_kv.freeBlocks() <
+                    reserve + worstGrowthBlocks())
+                    break;
+                _kv.admit(req.id, _chunked ? 0 : req.inputLen);
+            }
         }
         ActiveRequest a;
         a.request = req;
         a.arrivalSeconds = _pending.front().arrivalSeconds;
         a.admissionSeconds = decision_time;
-        _prefillLens.push_back(a.request.inputLen);
+        a.admitSeq = _admitSeqNext++;
+        if (_chunked) {
+            a.prefillRemaining = req.inputLen;
+        } else {
+            a.kvTokens = req.inputLen;
+            _prefillLens.push_back(a.request.inputLen);
+        }
         _active.push_back(a);
         _pending.pop_front();
         ++admitted;
     }
-    if (admitted > 0) {
-        if (_static.enabled)
-            _staticInitialRlp = admitted;
-        if (!_static.enabled || _static.includePrefill) {
-            // Prefill the newcomers before the next decode step.
-            KernelExec pre =
-                _platform.prefillExec(_model, _prefillLens);
-            double pre_seconds = pre.seconds;
-            double pre_joules = pre.energyJoules;
-            if (!_cost.trivial()) {
-                std::uint64_t prompt_tokens = 0;
-                for (std::uint32_t len : _prefillLens)
-                    prompt_tokens += len;
-                const auto tokens =
-                    static_cast<std::uint32_t>(prompt_tokens);
-                pre_seconds = scaledSeconds(pre.seconds, 0.0, tokens);
-                if (_cost.extraJoules)
-                    pre_joules += _cost.extraJoules(tokens);
-            }
-            _now += pre_seconds;
-            _busySeconds += pre_seconds;
-            _breakdown.prefillSeconds += pre_seconds;
-            _out.energyJoules += pre_joules;
+    if (admitted > 0 && _static.enabled)
+        _staticInitialRlp = admitted;
+    if (!_prefillLens.empty() &&
+        (!_static.enabled || _static.includePrefill)) {
+        // Prefill the newcomers before the next decode step.
+        KernelExec pre = _platform.prefillExec(_model, _prefillLens);
+        double pre_seconds = pre.seconds;
+        double pre_joules = pre.energyJoules;
+        if (!_cost.trivial()) {
+            std::uint64_t prompt_tokens = 0;
+            for (std::uint32_t len : _prefillLens)
+                prompt_tokens += len;
+            const auto tokens =
+                static_cast<std::uint32_t>(prompt_tokens);
+            pre_seconds = scaledSeconds(pre.seconds, 0.0, tokens);
+            if (_cost.extraJoules)
+                pre_joules += _cost.extraJoules(tokens);
         }
-        _out.admissions += admitted;
+        _now += pre_seconds;
+        _busySeconds += pre_seconds;
+        _breakdown.prefillSeconds += pre_seconds;
+        _out.energyJoules += pre_joules;
     }
-    return admitted;
+    if (swap_seconds > 0.0) {
+        _now += swap_seconds;
+        _busySeconds += swap_seconds;
+        _breakdown.commSeconds += swap_seconds;
+    }
+    if (admitted > 0)
+        _out.admissions += admitted;
+    _out.resumes += resumed;
+    return admitted + resumed;
 }
 
 void
@@ -202,34 +312,101 @@ ServingSim::iterationTiming(TargetId target, std::uint32_t tokens,
     return t;
 }
 
-double
-ServingSim::peekIterationSeconds() const
+void
+ServingSim::planChunks(std::vector<std::uint32_t> &chunks) const
 {
-    if (_active.empty())
-        sim::panic("ServingSim::peekIterationSeconds without a batch");
-    const auto rlp = static_cast<std::uint32_t>(_active.size());
+    chunks.assign(_active.size(), 0);
+    std::uint32_t budget = _options.prefillChunkTokens;
+    // _active is kept in admission order, so the shared chunk
+    // budget drains oldest-admission-first.
+    for (std::size_t i = 0; i < _active.size() && budget > 0; ++i) {
+        const ActiveRequest &a = _active[i];
+        if (a.prefillRemaining == 0)
+            continue;
+        const std::uint32_t c =
+            std::min(a.prefillRemaining, budget);
+        chunks[i] = c;
+        budget -= c;
+    }
+}
+
+ServingSim::IterationPlan
+ServingSim::planIteration() const
+{
+    IterationPlan p;
+    planChunks(_chunkPlan);
+    _ctx.clear();
+    _chunkPrior.clear();
+    _chunkNow.clear();
+    std::uint32_t chunk_tokens = 0;
+    for (std::size_t i = 0; i < _active.size(); ++i) {
+        const ActiveRequest &a = _active[i];
+        if (a.prefillRemaining == 0) {
+            _ctx.push_back(a.request.contextLen());
+            ++p.decodeRlp;
+        } else if (_chunkPlan[i] > 0) {
+            // Prefill total for costing is the full context being
+            // (re)built - contextLen() is constant while a request
+            // prefills, and covers recompute resumes.
+            _chunkPrior.push_back(a.request.contextLen() -
+                                  a.prefillRemaining);
+            _chunkNow.push_back(_chunkPlan[i]);
+            chunk_tokens += _chunkPlan[i];
+        }
+    }
     const std::uint32_t tlp = _spec.length;
-    const std::uint32_t tokens = fcTokens(rlp, tlp);
-    return iterationTiming(
-               _fcDispatch.select(_model, rlp, tlp, tokens).target,
-               tokens, tlp)
-        .seconds;
+    p.tokens = fcTokens(p.decodeRlp, tlp);
+    p.chunkTokens = chunk_tokens;
+    double kernel = 0.0;
+    double other = 0.0;
+    if (p.decodeRlp > 0) {
+        p.decision =
+            _fcDispatch.select(_model, p.decodeRlp, tlp, p.tokens);
+        p.dispatched = true;
+        p.timing.fc = _platform.fcExec(_model, p.tokens,
+                                       p.decision.target);
+        p.timing.at = _platform.attnExec(_model, _ctx, tlp);
+        other = _platform.otherSeconds(_model);
+        p.timing.other = other;
+        kernel = p.timing.fc.seconds + p.timing.at.seconds;
+    }
+    if (!_chunkNow.empty())
+        p.chunk = _platform.prefillChunkExec(_model, _chunkPrior,
+                                             _chunkNow);
+    kernel += p.chunk.seconds;
+    p.seconds = _cost.trivial()
+                    ? kernel + other
+                    : scaledSeconds(kernel, other,
+                                    p.tokens + chunk_tokens);
+    return p;
 }
 
 void
-ServingSim::stepDecode()
+ServingSim::refreshPlan() const
 {
-    if (_active.empty())
-        sim::panic("ServingSim::stepDecode without a batch");
-    const auto rlp = static_cast<std::uint32_t>(_active.size());
-    const std::uint32_t tlp = _spec.length;
-    const std::uint32_t tokens = fcTokens(rlp, tlp);
+    if (_planValid)
+        return;
+    if (_chunked) {
+        _plan = planIteration();
+    } else {
+        const auto rlp = static_cast<std::uint32_t>(_active.size());
+        const std::uint32_t tlp = _spec.length;
+        const std::uint32_t tokens = fcTokens(rlp, tlp);
+        IterationPlan p;
+        p.decodeRlp = rlp;
+        p.tokens = tokens;
+        p.decision = _fcDispatch.select(_model, rlp, tlp, tokens);
+        p.dispatched = true;
+        p.timing = iterationTiming(p.decision.target, tokens, tlp);
+        p.seconds = p.timing.seconds;
+        _plan = p;
+    }
+    _planValid = true;
+}
 
-    // Per-iteration decisions are stateless threshold checks; RLP
-    // transitions in both directions are counted here.
-    DispatchDecision decision =
-        _fcDispatch.select(_model, rlp, tlp, tokens);
-    const TargetId target = decision.target;
+bool
+ServingSim::noteDispatch(TargetId target)
+{
     bool rescheduled = false;
     if (_dynamic) {
         const bool was_gpu =
@@ -246,8 +423,61 @@ ServingSim::stepDecode()
         _prevTarget = target;
         _schedStarted = true;
     }
+    return rescheduled;
+}
 
-    IterationTiming t = iterationTiming(target, tokens, tlp);
+void
+ServingSim::recordRetirement(const ActiveRequest &a)
+{
+    _latencies.push_back(_now - a.arrivalSeconds);
+    RequestRecord rec;
+    rec.id = a.request.id;
+    rec.arrivalSeconds = a.arrivalSeconds;
+    rec.admissionSeconds = a.admissionSeconds;
+    rec.firstTokenSeconds =
+        a.firstTokenSeen ? a.firstTokenSeconds : _now;
+    rec.finishSeconds = _now;
+    rec.outputTokens = a.request.outputLen;
+    rec.preemptions = a.preemptions;
+    rec.stallSeconds = a.stallSeconds;
+    _records.push_back(rec);
+}
+
+double
+ServingSim::peekIterationSeconds() const
+{
+    if (_active.empty())
+        sim::panic("ServingSim::peekIterationSeconds without a batch");
+    refreshPlan();
+    return _plan.seconds;
+}
+
+void
+ServingSim::stepDecode()
+{
+    if (_active.empty())
+        sim::panic("ServingSim::stepDecode without a batch");
+    if (_chunked)
+        stepDecodeChunked();
+    else
+        stepDecodeLegacy();
+}
+
+void
+ServingSim::stepDecodeLegacy()
+{
+    // Per-iteration decisions are stateless threshold checks (so
+    // the plan a driver peeked is the plan executed here); RLP
+    // transitions in both directions are counted below.
+    refreshPlan();
+    const IterationPlan plan = _plan;
+    _planValid = false;
+    const std::uint32_t rlp = plan.decodeRlp;
+    const std::uint32_t tokens = plan.tokens;
+    const TargetId target = plan.decision.target;
+    const bool rescheduled = noteDispatch(target);
+
+    IterationTiming t = plan.timing;
     const double iter_seconds = t.seconds;
 
     // Per-component accounting. The overlap-hidden time executes
@@ -287,10 +517,10 @@ ServingSim::stepDecode()
     // and host terms separately, the serving loop added one sum.
     if (_static.enabled) {
         _out.energyJoules += t.fc.energyJoules + t.at.energyJoules;
-        _out.energyJoules += t.other * 50.0;
+        _out.energyJoules += t.other * kHostWatts;
     } else {
         double iter_joules = t.fc.energyJoules + t.at.energyJoules +
-                             t.other * 50.0;
+                             t.other * kHostWatts;
         if (!_cost.trivial() && _cost.extraJoules)
             iter_joules += _cost.extraJoules(tokens);
         _out.energyJoules += iter_joules;
@@ -318,16 +548,7 @@ ServingSim::stepDecode()
         }
         if (it->request.finished()) {
             ++eos;
-            _latencies.push_back(_now - it->arrivalSeconds);
-            RequestRecord rec;
-            rec.id = it->request.id;
-            rec.arrivalSeconds = it->arrivalSeconds;
-            rec.admissionSeconds = it->admissionSeconds;
-            rec.firstTokenSeconds =
-                it->firstTokenSeen ? it->firstTokenSeconds : _now;
-            rec.finishSeconds = _now;
-            rec.outputTokens = it->request.outputLen;
-            _records.push_back(rec);
+            recordRetirement(*it);
             if (!_static.enabled)
                 _kv.release(it->request.id);
             it = _active.erase(it);
@@ -336,12 +557,28 @@ ServingSim::stepDecode()
         }
     }
 
+    if (_preempt) {
+        // On-demand accounting: materialize the tokens this
+        // iteration appended, then restore the next iteration's
+        // worst-case growth headroom (evicting if pressure hit).
+        for (auto &a : _active) {
+            const std::uint32_t ctx = a.request.contextLen();
+            if (ctx > a.kvTokens) {
+                a.kvTokens = ctx;
+                _kv.grow(a.request.id, ctx);
+            }
+        }
+        ensureKvHeadroom();
+        _out.peakKvUtilization = std::max(
+            _out.peakKvUtilization, _kv.occupancy().utilization());
+    }
+
     if (_static.recordTrace) {
         IterationTrace tr;
         tr.iteration = _out.iterations;
         tr.rlp = rlp;
-        tr.tlp = tlp;
-        tr.estimatedAi = _dynamic ? decision.estimatedAi : 0.0;
+        tr.tlp = _spec.length;
+        tr.estimatedAi = _dynamic ? plan.decision.estimatedAi : 0.0;
         tr.targetId = target;
         tr.fcTarget = _platform.legacyFcTarget(target);
         tr.rescheduled = rescheduled;
@@ -349,6 +586,199 @@ ServingSim::stepDecode()
         tr.iterationSeconds = iter_seconds;
         _trace.push_back(tr);
     }
+}
+
+void
+ServingSim::stepDecodeChunked()
+{
+    // refreshPlan also refilled _chunkPlan (via planIteration),
+    // which the progress loop below consumes; any mutation since a
+    // peek would have invalidated the cache.
+    refreshPlan();
+    const IterationPlan plan = _plan;
+    _planValid = false;
+
+    if (plan.dispatched)
+        noteDispatch(plan.decision.target);
+
+    // Per-component accounting: decode FC/attention split as the
+    // legacy path does, prompt chunks under prefill.
+    double fc_part =
+        plan.timing.fc.seconds - plan.timing.fc.commSeconds;
+    double at_part =
+        plan.timing.at.seconds - plan.timing.at.commSeconds;
+    double comm_part =
+        plan.timing.fc.commSeconds + plan.timing.at.commSeconds;
+    double chunk_part = plan.chunk.seconds;
+    if (!_cost.trivial()) {
+        fc_part /= _cost.computeScale;
+        at_part /= _cost.computeScale;
+        comm_part /= _cost.computeScale;
+        chunk_part /= _cost.computeScale;
+        if (_cost.extraSeconds)
+            comm_part += plan.seconds -
+                         (fc_part + at_part + comm_part +
+                          chunk_part + plan.timing.other);
+    }
+    _breakdown.fcSeconds += fc_part;
+    _breakdown.attnSeconds += at_part;
+    _breakdown.commSeconds += comm_part;
+    _breakdown.prefillSeconds += chunk_part;
+    _breakdown.otherSeconds += plan.timing.other;
+
+    const auto live = static_cast<std::uint32_t>(_active.size());
+    _rlpTimeIntegral += plan.seconds * live;
+    _busySeconds += plan.seconds;
+    _now += plan.seconds;
+
+    double iter_joules =
+        plan.chunk.energyJoules + plan.timing.other * kHostWatts;
+    if (plan.dispatched)
+        iter_joules += plan.timing.fc.energyJoules +
+                       plan.timing.at.energyJoules;
+    // Tokens in the fabric-energy term mirror the ones in the
+    // fabric-time term (scaledSeconds): decode plus prefill chunks.
+    if (!_cost.trivial() && _cost.extraJoules)
+        iter_joules +=
+            _cost.extraJoules(plan.tokens + plan.chunkTokens);
+    _out.energyJoules += iter_joules;
+    ++_out.iterations;
+    if (plan.dispatched) {
+        ++_targetIters[plan.decision.target];
+        if (_platform.targets().at(plan.decision.target).kind ==
+            TargetKind::Gpu)
+            ++_out.fcOnGpuIterations;
+        else
+            ++_out.fcOnPimIterations;
+    }
+
+    // Freeze the decode set before prefill progress: a request
+    // whose prefill completes in THIS iteration starts decoding at
+    // the NEXT one (its chunk was costed, its decode was not).
+    _decoding.assign(_active.size(), 0);
+    for (std::size_t i = 0; i < _active.size(); ++i)
+        _decoding[i] = _active[i].prefillRemaining == 0;
+
+    // Prefill progress; materialize the chunk's KV.
+    for (std::size_t i = 0; i < _active.size(); ++i) {
+        if (_chunkPlan[i] == 0)
+            continue;
+        ActiveRequest &a = _active[i];
+        a.prefillRemaining -= _chunkPlan[i];
+        if (_preempt) {
+            a.kvTokens += _chunkPlan[i];
+            _kv.grow(a.request.id,
+                     std::max<std::uint32_t>(a.kvTokens, 1));
+        }
+    }
+
+    // Advance the decoders; requests still prefilling produce no
+    // tokens this iteration (their TTFT reflects the chunk delay).
+    std::uint32_t accepted =
+        plan.decodeRlp > 0 ? _spec.sampleAccepted(_rng) : 0;
+    std::size_t idx = 0;
+    for (auto it = _active.begin(); it != _active.end(); ++idx) {
+        if (!_decoding[idx]) {
+            ++it;
+            continue;
+        }
+        std::uint32_t used = it->request.advance(accepted);
+        _out.tokensGenerated += used;
+        if (used > 0 && !it->firstTokenSeen) {
+            it->firstTokenSeconds = _now;
+            it->firstTokenSeen = true;
+        }
+        if (_preempt && used > 0) {
+            it->kvTokens += used;
+            _kv.grow(it->request.id, it->kvTokens);
+        }
+        if (it->request.finished()) {
+            recordRetirement(*it);
+            _kv.release(it->request.id);
+            it = _active.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    if (_preempt)
+        ensureKvHeadroom();
+    _out.peakKvUtilization = std::max(
+        _out.peakKvUtilization, _kv.occupancy().utilization());
+}
+
+std::uint64_t
+ServingSim::worstGrowthBlocks() const
+{
+    std::uint64_t need = 0;
+    if (_chunked)
+        planChunks(_chunkPlan);
+    for (std::size_t i = 0; i < _active.size(); ++i) {
+        const ActiveRequest &a = _active[i];
+        std::uint64_t target;
+        if (_chunked && a.prefillRemaining > 0) {
+            target = std::max<std::uint64_t>(
+                a.kvTokens + _chunkPlan[i], 1);
+        } else {
+            // Next decode iteration appends at most TLP tokens,
+            // clipped at the request's remaining output.
+            const std::uint32_t rem =
+                a.request.outputLen - a.request.generated;
+            target = a.request.contextLen() +
+                     std::min(_spec.length, rem);
+        }
+        need += _kv.growthBlocks(a.request.id, target);
+    }
+    return need;
+}
+
+void
+ServingSim::preemptYoungest()
+{
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < _active.size(); ++i) {
+        if (_active[i].admitSeq > _active[victim].admitSeq)
+            victim = i;
+    }
+    ActiveRequest a = _active[victim];
+    _active.erase(_active.begin() +
+                  static_cast<std::ptrdiff_t>(victim));
+    _kv.release(a.request.id);
+    if (_options.preemptPolicy == KvPreemptPolicy::SwapRestore) {
+        // The swap-out leg of the transfer is paid here; the
+        // swap-in leg at resume (admit). Recompute frees for free -
+        // its cost is the re-prefill.
+        const double out_seconds =
+            static_cast<double>(a.kvTokens) *
+            static_cast<double>(_model.kvBytesPerToken()) /
+            (_options.kvSwapGBps * 1e9);
+        _now += out_seconds;
+        _busySeconds += out_seconds;
+        _breakdown.commSeconds += out_seconds;
+    }
+    ++a.preemptions;
+    PreemptedRequest pr;
+    pr.kvTokens = a.kvTokens;
+    pr.preemptSeconds = _now;
+    pr.state = std::move(a);
+    _out.evictionOrder.push_back(pr.state.request.id);
+    ++_out.preemptions;
+    _preempted.push_back(std::move(pr));
+}
+
+void
+ServingSim::ensureKvHeadroom()
+{
+    while (_active.size() > 1 &&
+           worstGrowthBlocks() > _kv.freeBlocks())
+        preemptYoungest();
+    if (!_active.empty() &&
+        worstGrowthBlocks() > _kv.freeBlocks())
+        sim::fatal("ServingSim: KV pool cannot hold even a single "
+                   "request's next-iteration growth (request ",
+                   _active.front().request.id,
+                   "); the Attn-PIM capacity is too small for this "
+                   "workload");
 }
 
 void
@@ -401,11 +831,15 @@ ServingEngine::run(const std::vector<llm::TimedRequest> &stream,
             sim::fatal("ServingEngine: arrivals must be sorted");
     }
 
+    // The stream is delivered up front (admission sees the full
+    // arrival schedule, which the batch-level fill rule's lookahead
+    // needs) and the lifecycle runs as events on a sim::EventQueue -
+    // executing exactly the historical step() sequence.
     ServingSim sim(_platform, spec, model, options);
     for (const auto &tr : stream)
         sim.deliver(tr);
-    while (sim.canStep())
-        sim.step();
+    ServingEventDriver driver({&sim});
+    driver.runPredelivered();
     return sim.finish();
 }
 

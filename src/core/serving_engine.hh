@@ -7,13 +7,15 @@
  *
  *  - ServingEngine::run() serves a complete arrival stream on one
  *    platform, the single-platform path used by tests and figure
- *    benchmarks.
- *  - cluster::ClusterEngine drives one ServingSim per platform
- *    group in lockstep, delivering arrivals incrementally through a
- *    front-end router. With the whole stream delivered up front the
- *    stepwise core executes exactly the operation sequence of the
- *    original monolithic loop, so single-platform results are
- *    bit-identical across both paths.
+ *    benchmarks (event-driven via core::ServingEventDriver in
+ *    pre-delivered mode).
+ *  - cluster::ClusterEngine composes one ServingSim per platform
+ *    group on a shared sim::EventQueue, delivering arrivals
+ *    incrementally through a front-end router
+ *    (core::ServingEventDriver in streamed mode). The event order
+ *    reproduces the operation sequence of the original monolithic
+ *    loop exactly, so single-platform results are bit-identical
+ *    across both paths.
  *  - DecodeEngine::run() (the paper's static-batch evaluation) is an
  *    adapter over the same core: a static batch is a stream whose
  *    requests all arrive at t=0 under batch-level admission with no
@@ -27,6 +29,14 @@
  * AI-threshold pair, or oracle race over the target registry);
  * runtime RLP rises on admissions and falls on <eos>, so PAPI's
  * threshold rule reschedules in both directions.
+ *
+ * Two serving-path extensions (off by default; both excluded from
+ * the static-batch adapter): chunked prefill
+ * (ServingOptions::prefillChunkTokens) splits each admitted prompt
+ * across iterations so decode is never starved, and KV-pressure
+ * preemption (ServingOptions::preemptOnKvPressure) switches the KV
+ * gate from worst-case reservation to on-demand growth with
+ * evict-youngest/resume semantics (KvPreemptPolicy).
  */
 
 #ifndef PAPI_CORE_SERVING_ENGINE_HH
@@ -60,6 +70,24 @@ enum class AdmissionPolicy : std::uint8_t
     BatchLevel,
 };
 
+/** What happens to a request's KV state when it is preempted. */
+enum class KvPreemptPolicy : std::uint8_t
+{
+    /**
+     * Drop the KV blocks entirely; on resume, re-prefill the whole
+     * context (prompt plus tokens generated so far). Costs compute,
+     * frees the most capacity (vLLM's recompute policy).
+     */
+    Recompute,
+    /**
+     * Swap the KV blocks out over the attention fabric and swap
+     * them back on resume (charged at @ref
+     * ServingOptions::kvSwapGBps). Costs communication instead of
+     * recompute; device blocks are freed while swapped out.
+     */
+    SwapRestore,
+};
+
 /** Serving-run configuration. */
 struct ServingOptions
 {
@@ -76,6 +104,38 @@ struct ServingOptions
      * pending arrival for the batch to fill before starting.
      */
     double batchTimeoutSeconds = 0.1;
+
+    /**
+     * Continuous batching with chunked prefill: when non-zero, an
+     * admitted request's prompt is processed at most this many
+     * tokens per decode iteration (shared budget across all
+     * still-prefilling requests, oldest admission first) instead of
+     * as one synchronous charge at admission - so a long prompt
+     * never stalls the decoding batch. 0 keeps the legacy
+     * stop-the-world prefill.
+     */
+    std::uint32_t prefillChunkTokens = 0;
+    /**
+     * KV-pressure preemption: when true, admission reserves only a
+     * request's *current* KV footprint (not the worst case) and the
+     * cache grows on demand as decoding extends contexts; when the
+     * next iteration's worst-case growth no longer fits, the
+     * youngest-admitted requests are evicted (per @ref
+     * preemptPolicy) and re-admitted once capacity frees up. When
+     * false (default), the legacy worst-case reservation makes
+     * pressure impossible.
+     */
+    bool preemptOnKvPressure = false;
+    /** Eviction/resume policy used under @ref preemptOnKvPressure. */
+    KvPreemptPolicy preemptPolicy = KvPreemptPolicy::Recompute;
+    /** KV swap-out/in bandwidth for KvPreemptPolicy::SwapRestore. */
+    double kvSwapGBps = 64.0;
+    /**
+     * Test/bench hook: override the per-device Attn-PIM KV capacity
+     * (bytes) so KV pressure can be forced without perturbing the
+     * platform's timing model. 0 = use the platform's capacity.
+     */
+    std::uint64_t kvCapacityOverrideBytes = 0;
 };
 
 /** Per-component time/energy accumulation of one run. */
@@ -128,6 +188,19 @@ struct ServingResult
     double meanRlp = 0.0; ///< Time-weighted mean live RLP.
     /** Peak fraction of the Attn-PIM KV pool in use. */
     double peakKvUtilization = 0.0;
+
+    /** KV-pressure evictions performed (preemption mode only). */
+    std::uint64_t preemptions = 0;
+    /** Preempted requests re-admitted (each finishes eventually). */
+    std::uint64_t resumes = 0;
+    /** Context tokens re-prefilled by Recompute resumes. */
+    std::uint64_t recomputedPrefillTokens = 0;
+    /**
+     * Request ids in eviction order - the determinism witness for
+     * KV-pressure runs (two fixed-seed runs must produce identical
+     * sequences).
+     */
+    std::vector<std::uint64_t> evictionOrder;
 
     /** Simulated decode throughput over the run's makespan. */
     double
@@ -210,6 +283,10 @@ struct RequestRecord
     /** Final token (<eos>) produced; request retired. */
     double finishSeconds = 0.0;
     std::uint32_t outputTokens = 0; ///< Tokens generated in total.
+    /** Times this request was evicted under KV pressure. */
+    std::uint32_t preemptions = 0;
+    /** Total seconds spent evicted (preempt to re-admission). */
+    double stallSeconds = 0.0;
 
     /** Queueing delay: arrival to admission decision. */
     double
@@ -303,8 +380,27 @@ class ServingSim
     std::uint32_t
     outstanding() const
     {
-        return static_cast<std::uint32_t>(_active.size() +
-                                          _pending.size());
+        return static_cast<std::uint32_t>(
+            _active.size() + _pending.size() + _preempted.size());
+    }
+
+    /** The admission/scheduling options this sim runs under. */
+    const ServingOptions &servingOptions() const { return _options; }
+
+    /** Delivered requests awaiting admission. */
+    std::size_t pendingCount() const { return _pending.size(); }
+
+    /** Requests evicted under KV pressure, awaiting re-admission. */
+    std::size_t preemptedCount() const { return _preempted.size(); }
+
+    /**
+     * Arrival time of the oldest pending request (requires
+     * hasPending()) - the anchor of a batch-level fill timeout.
+     */
+    double
+    firstPendingArrivalSeconds() const
+    {
+        return _pending.front().arrivalSeconds;
     }
 
     /**
@@ -370,6 +466,26 @@ class ServingSim
         double admissionSeconds = 0.0;  ///< Admission decision time.
         double firstTokenSeconds = 0.0; ///< First advancing iteration.
         bool firstTokenSeen = false;    ///< firstTokenSeconds valid.
+        /** Chunked mode: prefill tokens still to process before this
+         *  request can decode (0 = decoding). */
+        std::uint32_t prefillRemaining = 0;
+        /** KV tokens materialized (preemption mode accounting). */
+        std::uint32_t kvTokens = 0;
+        /** Global admission sequence; the preemption victim order
+         *  (youngest admitted evicts first). */
+        std::uint64_t admitSeq = 0;
+        std::uint32_t preemptions = 0; ///< Evictions suffered so far.
+        double stallSeconds = 0.0;     ///< Total time spent evicted.
+    };
+
+    /** A request evicted under KV pressure, awaiting re-admission. */
+    struct PreemptedRequest
+    {
+        ActiveRequest state;         ///< Progress at eviction.
+        double preemptSeconds = 0.0; ///< When it was evicted.
+        /** KV tokens held at eviction (SwapRestore restores these;
+         *  Recompute re-prefills the whole context). */
+        std::uint32_t kvTokens = 0;
     };
 
     /**
@@ -404,6 +520,71 @@ class ServingSim
                                     std::uint32_t tokens,
                                     std::uint32_t tlp) const;
 
+    /**
+     * The full plan of the next iteration under continuous batching
+     * (chunked prefill): which requests decode, which prompt chunks
+     * are processed, the dispatch decision over the decode tokens,
+     * and the total charged duration. Pure with respect to sim state
+     * (scratch vectors aside) so peeks and steps agree exactly.
+     */
+    struct IterationPlan
+    {
+        std::uint32_t decodeRlp = 0; ///< Requests decoding.
+        std::uint32_t tokens = 0;    ///< FC tokens (decodeRlp x TLP).
+        /** Prompt tokens prefilled this iteration (chunk total). */
+        std::uint32_t chunkTokens = 0;
+        bool dispatched = false;     ///< decision/timing valid.
+        DispatchDecision decision;   ///< FC dispatch (decoders > 0).
+        IterationTiming timing;      ///< Decode-phase costs.
+        KernelExec chunk;            ///< Prefill-chunk costs.
+        double seconds = 0.0;        ///< Total charged duration.
+    };
+
+    /** Build the chunked-mode plan (requires hasActive()). */
+    IterationPlan planIteration() const;
+
+    /**
+     * Ensure _plan describes the next iteration (computing it once
+     * for both paths). The plan computed by a peek is cached and
+     * consumed by the following stepDecode(), so the cost model
+     * runs once per iteration even when a driver peeks to schedule
+     * the boundary; state mutations (admission, decode, idle
+     * fast-forward) invalidate it. Deliveries do not - the plan
+     * depends only on the live batch.
+     */
+    void refreshPlan() const;
+
+    /**
+     * Dynamic-dispatch reschedule accounting (shared by both decode
+     * paths). @return true if the target changed vs last iteration.
+     */
+    bool noteDispatch(TargetId target);
+
+    /** Push the finished request's record/latency (shared by both
+     *  decode paths; caller releases KV and erases). */
+    void recordRetirement(const ActiveRequest &a);
+
+    /** Legacy (non-chunked) decode iteration; the pre-refactor body
+     *  of stepDecode(), bit-identical. */
+    void stepDecodeLegacy();
+
+    /** Chunked-mode decode/prefill iteration. */
+    void stepDecodeChunked();
+
+    /**
+     * Preemption-mode helpers: blocks the next iteration could need
+     * beyond current holdings, and the evict-youngest loop that
+     * restores headroom (records eviction order and stats).
+     */
+    std::uint64_t worstGrowthBlocks() const;
+    void ensureKvHeadroom();
+    /** Evict the youngest-admitted active request. */
+    void preemptYoungest();
+
+    /** Per-request next-iteration chunk budget, admission order
+     *  (chunked mode; fills @p chunks aligned with _active). */
+    void planChunks(std::vector<std::uint32_t> &chunks) const;
+
     const Platform &_platform;
     llm::SpeculativeConfig _spec; ///< Copied: callers may pass temporaries.
     llm::ModelConfig _model;      ///< Copied: callers may pass temporaries.
@@ -420,8 +601,14 @@ class ServingSim
 
     std::deque<llm::TimedRequest> _pending;
     std::vector<ActiveRequest> _active;
+    /** Evicted requests awaiting re-admission (preemption mode). */
+    std::deque<PreemptedRequest> _preempted;
     std::vector<double> _latencies;
     std::vector<RequestRecord> _records;
+
+    bool _chunked = false;  ///< prefillChunkTokens > 0.
+    bool _preempt = false;  ///< preemptOnKvPressure.
+    std::uint64_t _admitSeqNext = 0; ///< Admission sequence counter.
 
     double _now = 0.0;
     bool _anchored = false;   ///< First delivery seen.
@@ -440,6 +627,16 @@ class ServingSim
     // Reused across iterations; refilled in place.
     mutable std::vector<std::uint32_t> _prefillLens;
     mutable std::vector<std::uint32_t> _ctx;
+    mutable std::vector<std::uint32_t> _chunkPlan;
+    mutable std::vector<std::uint32_t> _chunkPrior;
+    mutable std::vector<std::uint32_t> _chunkNow;
+    /** Decode-set snapshot of the running iteration (see
+     *  stepDecodeChunked). */
+    std::vector<std::uint8_t> _decoding;
+
+    /** Cached next-iteration plan (see refreshPlan). */
+    mutable IterationPlan _plan;
+    mutable bool _planValid = false;
 
     ServingResult _out;
 };

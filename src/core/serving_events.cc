@@ -1,0 +1,171 @@
+#include "core/serving_events.hh"
+
+#include "sim/logging.hh"
+
+namespace papi::core {
+
+ServingEventDriver::ServingEventDriver(std::vector<ServingSim *> sims)
+    : _sims(std::move(sims)), _timeline(_queue)
+{
+    if (_sims.empty())
+        sim::fatal("ServingEventDriver: need at least one replica");
+    for (const ServingSim *s : _sims) {
+        if (!s)
+            sim::fatal("ServingEventDriver: null replica");
+    }
+    _deadlineGen.assign(_sims.size(), 0);
+    _deadlineArmed.assign(_sims.size(), false);
+}
+
+void
+ServingEventDriver::runStream(
+    const std::vector<llm::TimedRequest> &stream,
+    const RouteFn &route)
+{
+    if (!route)
+        sim::fatal("ServingEventDriver: no routing function");
+    _streamed = true;
+    _undelivered = stream.size();
+
+    // One event per distinct arrival timestamp: the whole burst is
+    // delivered (in stream order) before any replica reacts, exactly
+    // as the retired loop's deliver_up_to() did - so two same-time
+    // arrivals to one idle replica prefill as one batch.
+    for (std::size_t i = 0; i < stream.size();) {
+        std::size_t j = i + 1;
+        while (j < stream.size() &&
+               stream[j].arrivalSeconds == stream[i].arrivalSeconds)
+            ++j;
+        const llm::TimedRequest *reqs = stream.data();
+        _timeline.at(
+            stream[i].arrivalSeconds, kArrivalPriority,
+            [this, reqs, i, j, &route] {
+                for (std::size_t k = i; k < j; ++k) {
+                    const std::uint32_t g = route(reqs[k]);
+                    if (g >= _sims.size())
+                        sim::fatal("ServingEventDriver: route "
+                                   "returned replica ", g, " of ",
+                                   _sims.size());
+                    _sims[g]->deliver(reqs[k]);
+                    --_undelivered;
+                }
+                pokeIdleReplicas();
+            });
+        i = j;
+    }
+    _timeline.run();
+    checkDrained();
+}
+
+void
+ServingEventDriver::runPredelivered()
+{
+    _streamed = false;
+    _undelivered = 0;
+    pokeIdleReplicas();
+    _timeline.run();
+    checkDrained();
+}
+
+void
+ServingEventDriver::pokeIdleReplicas()
+{
+    // Index order mirrors the retired loop's top-of-pass sweep.
+    for (std::uint32_t g = 0; g < _sims.size(); ++g) {
+        if (!_sims[g]->hasActive() &&
+            (_sims[g]->hasPending() ||
+             _sims[g]->preemptedCount() > 0))
+            idlePoke(g);
+    }
+}
+
+void
+ServingEventDriver::idlePoke(std::uint32_t g)
+{
+    ServingSim &s = *_sims[g];
+    if (s.hasActive())
+        return;
+    if (!s.hasPending()) {
+        // Only parked (preempted) work remains: resume immediately;
+        // there is no arrival to wait for.
+        if (s.preemptedCount() > 0 && s.admit() > 0)
+            scheduleBoundary(g);
+        return;
+    }
+    const bool batch_level =
+        s.servingOptions().admission == AdmissionPolicy::BatchLevel;
+    if (!_streamed || !batch_level) {
+        // Token-level admission (or the pre-delivered path, where
+        // stepIdle sees the full stream): start right away.
+        startBatch(g);
+        return;
+    }
+    // Streamed batch-level admission: start once the batch is full
+    // or no further arrival can ever join, otherwise arm the fill
+    // timeout for this idle spell.
+    if (s.pendingCount() >= s.servingOptions().maxRlp ||
+        _undelivered == 0) {
+        startBatch(g);
+        return;
+    }
+    if (_deadlineArmed[g])
+        return;
+    _deadlineArmed[g] = true;
+    const std::uint64_t gen = ++_deadlineGen[g];
+    const double deadline = s.firstPendingArrivalSeconds() +
+                            s.servingOptions().batchTimeoutSeconds;
+    _timeline.at(deadline, kDeadlinePriority, [this, g, gen] {
+        if (gen != _deadlineGen[g])
+            return; // a batch started since; stale deadline
+        _deadlineArmed[g] = false;
+        if (!_sims[g]->hasActive() && _sims[g]->hasPending())
+            startBatch(g);
+    });
+}
+
+void
+ServingEventDriver::startBatch(std::uint32_t g)
+{
+    ++_deadlineGen[g]; // invalidate any outstanding deadline
+    _deadlineArmed[g] = false;
+    _sims[g]->stepIdle();
+    scheduleBoundary(g);
+}
+
+void
+ServingEventDriver::scheduleBoundary(std::uint32_t g)
+{
+    ServingSim &s = *_sims[g];
+    const double when = s.now() + s.peekIterationSeconds();
+    _timeline.at(when,
+                 kBoundaryPriority + static_cast<sim::Priority>(g),
+                 [this, g] { boundary(g); });
+}
+
+void
+ServingEventDriver::boundary(std::uint32_t g)
+{
+    ServingSim &s = *_sims[g];
+    s.stepDecode();
+    s.admit();
+    if (s.hasActive()) {
+        scheduleBoundary(g);
+        return;
+    }
+    if (s.hasPending() || s.preemptedCount() > 0)
+        idlePoke(g);
+}
+
+void
+ServingEventDriver::checkDrained() const
+{
+    for (std::size_t g = 0; g < _sims.size(); ++g) {
+        if (_sims[g]->canStep() || _sims[g]->preemptedCount() > 0)
+            sim::fatal("ServingEventDriver: replica ", g,
+                       " still holds work after the event queue "
+                       "drained (preempted requests could not be "
+                       "re-admitted - KV pool too small?)");
+    }
+}
+
+} // namespace papi::core

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The event-driven serving core: ServingSim lifecycles on one
+ * sim::EventQueue.
+ *
+ * ServingEventDriver composes N event-driven replicas (each a
+ * core::ServingSim) on a single shared event queue, exposing the
+ * serving lifecycle - arrival delivery, admission (including
+ * batch-level fill timeouts), iteration boundaries, preemption
+ * resume, completion - as scheduled events instead of a hand-rolled
+ * peek-and-step co-simulation loop. Seconds map onto the queue's
+ * tick axis through sim::Timeline's order-preserving encoding, so
+ * the event order is *exactly* the (time, kind, replica-index,
+ * sequence) order the retired manual loop produced:
+ *
+ *  - arrival events fire before a same-time iteration boundary
+ *    (priority 0 vs 10+g), so boundary admissions see them;
+ *  - same-time boundaries of different replicas fire lowest index
+ *    first (priority 10+g);
+ *  - batch-level admission deadlines fire after same-time arrivals
+ *    and before boundaries (priority 5).
+ *
+ * Two drive modes share the machinery:
+ *
+ *  - runStream(): arrivals are delivered at their timestamps
+ *    through a caller-supplied routing function (the cluster path).
+ *    Batch-level admission works here because the queue gives the
+ *    needed lookahead for free: a batch starts when it fills
+ *    (maxRlp pending), when the fill timeout expires, or when the
+ *    stream is exhausted - whichever event fires first.
+ *  - runPredelivered(): the whole stream is already in the sims'
+ *    pending queues (the single-platform ServingEngine::run path);
+ *    only idle-admission and boundary events are scheduled, and the
+ *    executed operation sequence is exactly the historical
+ *    while(canStep) step() loop - which is what keeps the
+ *    fixed-seed serving pins bit-identical.
+ */
+
+#ifndef PAPI_CORE_SERVING_EVENTS_HH
+#define PAPI_CORE_SERVING_EVENTS_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/serving_engine.hh"
+#include "llm/arrival.hh"
+#include "sim/timeline.hh"
+
+namespace papi::core {
+
+/** Routing decision: the replica index an arrival is delivered to. */
+using RouteFn =
+    std::function<std::uint32_t(const llm::TimedRequest &)>;
+
+/** N event-driven serving replicas composed on one event queue. */
+class ServingEventDriver
+{
+  public:
+    /**
+     * @param sims The replica simulations to drive; borrowed, must
+     *        outlive the driver. At least one.
+     */
+    explicit ServingEventDriver(std::vector<ServingSim *> sims);
+
+    /**
+     * Serve @p stream to completion: every arrival is scheduled at
+     * its timestamp, routed through @p route at delivery time, and
+     * the replicas' admission/boundary events interleave with the
+     * arrivals on the shared queue. Arrivals must be sorted;
+     * @p route must return an index < the replica count.
+     */
+    void runStream(const std::vector<llm::TimedRequest> &stream,
+                   const RouteFn &route);
+
+    /**
+     * Drive replicas whose pending queues were filled up front
+     * (no arrival events; admission sees the full stream, which is
+     * what the batch-level fill rule's lookahead semantics and the
+     * historical single-platform pins require).
+     */
+    void runPredelivered();
+
+  private:
+    /** Arrival events (delivery + routing). */
+    static constexpr sim::Priority kArrivalPriority = 0;
+    /** Batch-level fill-timeout deadlines. */
+    static constexpr sim::Priority kDeadlinePriority = 5;
+    /** Iteration boundaries; +replica index breaks same-time ties
+     *  toward the lowest index. */
+    static constexpr sim::Priority kBoundaryPriority = 10;
+
+    /** Resolve an idle replica with pending/parked work. */
+    void idlePoke(std::uint32_t g);
+    /** Start (or restart) a batch on an idle replica. */
+    void startBatch(std::uint32_t g);
+    /** Schedule replica @p g's next iteration-boundary event. */
+    void scheduleBoundary(std::uint32_t g);
+    /** One iteration boundary: decode, admit, reschedule. */
+    void boundary(std::uint32_t g);
+    /** After any delivery burst: resolve all idle replicas. */
+    void pokeIdleReplicas();
+    /** Verify every replica drained completely (post-run). */
+    void checkDrained() const;
+
+    std::vector<ServingSim *> _sims;
+    sim::EventQueue _queue;
+    sim::Timeline _timeline;
+    bool _streamed = false;     ///< runStream vs runPredelivered.
+    std::size_t _undelivered = 0; ///< Arrivals not yet delivered.
+    /** Per-replica deadline generation; stale events no-op. */
+    std::vector<std::uint64_t> _deadlineGen;
+    /** Per-replica: a live deadline event is outstanding. */
+    std::vector<bool> _deadlineArmed;
+};
+
+} // namespace papi::core
+
+#endif // PAPI_CORE_SERVING_EVENTS_HH

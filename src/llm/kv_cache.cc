@@ -95,6 +95,24 @@ KvCacheManager::grow(std::uint64_t id, std::uint64_t new_tokens)
     state.tokens = new_tokens;
 }
 
+std::uint64_t
+KvCacheManager::requestBlocks(std::uint64_t id) const
+{
+    auto it = _requests.find(id);
+    if (it == _requests.end())
+        sim::fatal("KvCacheManager: unknown request ", id);
+    return it->second.blocks;
+}
+
+std::uint64_t
+KvCacheManager::growthBlocks(std::uint64_t id,
+                             std::uint64_t new_tokens) const
+{
+    std::uint64_t held = requestBlocks(id);
+    std::uint64_t need = blocksForTokens(new_tokens);
+    return need > held ? need - held : 0;
+}
+
 void
 KvCacheManager::release(std::uint64_t id)
 {

@@ -7,7 +7,12 @@
  * capacity the way a serving system would: per-request block lists
  * allocated from per-device free pools, grown as decoding extends
  * the context, and released at <eos>. It provides the admission
- * signal for continuous batching (canAdmit) and occupancy stats.
+ * signal for continuous batching (canAdmit) and occupancy stats,
+ * plus the growth-headroom query (growthBlocks vs freeBlocks) a
+ * KV-pressure preemption policy needs to decide *before* an
+ * iteration whether the batch's worst-case growth still fits or a
+ * victim must be evicted (release doubles as the eviction
+ * primitive - preempted requests simply return their blocks).
  */
 
 #ifndef PAPI_LLM_KV_CACHE_HH
@@ -39,6 +44,20 @@ struct KvOccupancy
                    : 0.0;
     }
 };
+
+/**
+ * Per-device capacity (bytes) that gives a fleet of
+ * @p num_devices attention devices a pool of roughly @p tokens
+ * tokens of @p model context - the conversion behind
+ * core::ServingOptions::kvCapacityOverrideBytes, shared by the
+ * tests/bench/examples that force KV pressure.
+ */
+inline std::uint64_t
+kvPoolBytesPerDevice(const ModelConfig &model, std::uint64_t tokens,
+                     std::uint32_t num_devices)
+{
+    return tokens * model.kvBytesPerToken() / num_devices;
+}
 
 /** KV-cache capacity manager for a fleet of attention devices. */
 class KvCacheManager
@@ -82,8 +101,23 @@ class KvCacheManager
      */
     void grow(std::uint64_t id, std::uint64_t new_tokens);
 
-    /** Release all blocks of request @p id (at <eos>). */
+    /** Release all blocks of request @p id (at <eos>, or when the
+     *  request is preempted under KV pressure). */
     void release(std::uint64_t id);
+
+    /** Blocks currently held by request @p id (fatal if the id is
+     *  not live). */
+    std::uint64_t requestBlocks(std::uint64_t id) const;
+
+    /**
+     * Additional blocks a grow of request @p id to @p new_tokens
+     * would allocate (0 if the new context still fits the held
+     * blocks) - summed against freeBlocks(), this is the
+     * per-iteration headroom check of a preemption policy. Fatal if
+     * the id is not live.
+     */
+    std::uint64_t growthBlocks(std::uint64_t id,
+                               std::uint64_t new_tokens) const;
 
     /** Live request count. */
     std::uint64_t liveRequests() const { return _requests.size(); }

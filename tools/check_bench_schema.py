@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_microbench.json document's schema keys.
+
+Dependency-free smoke check for CI: after `microbench_simulator
+--quick --out FILE`, this script asserts that every section the
+papi-microbench/1 schema promises is present with its required keys,
+including the papi-policy/1, papi-cluster/1, and papi-continuous/1
+sub-schemas. It does not judge the performance numbers themselves -
+it exists so a refactor that silently drops or renames a JSON field
+fails the build rather than producing an unreadable trajectory.
+
+Usage: check_bench_schema.py BENCH_microbench.json
+"""
+
+import json
+import sys
+
+FAILURES = []
+
+
+def need(obj, path, keys):
+    for key in keys:
+        if key not in obj:
+            FAILURES.append(f"{path}: missing key '{key}'")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1], "r", encoding="utf-8") as f:
+        doc = json.load(f)
+
+    need(doc, "$", ["schema", "quick", "event_queue", "dram",
+                    "decode", "serving", "figure_cell", "policy",
+                    "cluster", "continuous", "summary"])
+    if doc.get("schema") != "papi-microbench/1":
+        FAILURES.append(f"$.schema: unexpected '{doc.get('schema')}'")
+
+    eq = doc.get("event_queue", {})
+    need(eq, "$.event_queue",
+         ["events_per_pattern", "patterns", "speedup_geomean"])
+    for name, pat in eq.get("patterns", {}).items():
+        need(pat, f"$.event_queue.patterns.{name}",
+             ["new_events_per_sec", "legacy_events_per_sec",
+              "speedup"])
+
+    for shape in ("stream", "pump"):
+        d = doc.get("dram", {}).get(shape, {})
+        need(d, f"$.dram.{shape}",
+             ["requests", "new", "legacy", "speedup"])
+        for impl in ("new", "legacy"):
+            need(d.get(impl, {}), f"$.dram.{shape}.{impl}",
+                 ["wall_seconds", "events", "events_per_sec",
+                  "requests_per_sec"])
+
+    for sec in ("decode", "serving"):
+        need(doc.get(sec, {}), f"$.{sec}",
+             ["simulated_tokens", "iterations", "wall_seconds",
+              "tokens_per_sec"])
+
+    policy = doc.get("policy", {})
+    need(policy, "$.policy",
+         ["schema", "model", "arrival", "alpha", "policies",
+          "dynamic_speedup_vs_always_gpu",
+          "dynamic_speedup_vs_always_pim", "oracle_over_dynamic"])
+    for i, cell in enumerate(policy.get("policies", [])):
+        need(cell, f"$.policy.policies[{i}]",
+             ["policy", "dispatch", "makespan_seconds",
+              "sim_tokens_per_sec", "mean_latency_seconds",
+              "p95_latency_seconds", "reschedules",
+              "fc_gpu_iterations", "fc_pim_iterations",
+              "energy_joules", "wall_seconds"])
+
+    clus = doc.get("cluster", {})
+    need(clus, "$.cluster",
+         ["schema", "model", "policy", "tp_degree", "arrival",
+          "n1_matches_serving_engine", "scaling"])
+    if clus.get("n1_matches_serving_engine") is not True:
+        FAILURES.append(
+            "$.cluster.n1_matches_serving_engine: the N=1 cluster "
+            "must stay bit-identical to ServingEngine")
+    for i, cell in enumerate(clus.get("scaling", [])):
+        need(cell, f"$.cluster.scaling[{i}]",
+             ["platforms", "groups", "makespan_seconds",
+              "sim_tokens_per_sec", "ttft_p50_seconds",
+              "ttft_p99_seconds", "tpot_p50_seconds",
+              "queueing_mean_seconds", "mean_utilization",
+              "energy_joules", "wall_seconds"])
+
+    cont = doc.get("continuous", {})
+    need(cont, "$.continuous",
+         ["schema", "model", "arrival", "prefill_chunk_tokens",
+          "kv_pool_tokens", "modes",
+          "continuous_ttft_p99_speedup_vs_static",
+          "preemption_count"])
+    if cont.get("schema") != "papi-continuous/1":
+        FAILURES.append("$.continuous.schema: unexpected "
+                        f"'{cont.get('schema')}'")
+    modes = [c.get("mode") for c in cont.get("modes", [])]
+    if modes != ["static", "continuous", "continuous+preemption"]:
+        FAILURES.append(f"$.continuous.modes: unexpected set {modes}")
+    for i, cell in enumerate(cont.get("modes", [])):
+        need(cell, f"$.continuous.modes[{i}]",
+             ["mode", "admission", "makespan_seconds",
+              "sim_tokens_per_sec", "ttft_p50_seconds",
+              "ttft_p99_seconds", "queueing_mean_seconds",
+              "preemptions", "preemption_stall_p99_seconds",
+              "wall_seconds"])
+    speedup = cont.get("continuous_ttft_p99_speedup_vs_static", 0)
+    if not isinstance(speedup, (int, float)) or speedup <= 1.0:
+        FAILURES.append(
+            "$.continuous.continuous_ttft_p99_speedup_vs_static: "
+            f"continuous batching must beat static batching on p99 "
+            f"TTFT (got {speedup})")
+    if not isinstance(cont.get("preemption_count"), int) or \
+            cont.get("preemption_count", 0) <= 0:
+        FAILURES.append(
+            "$.continuous.preemption_count: the preemption mode "
+            "must actually preempt under the forced KV pool")
+
+    need(doc.get("summary", {}), "$.summary",
+         ["event_queue_speedup_geomean", "dram_stream_speedup",
+          "dram_pump_speedup", "overall_speedup_geomean"])
+
+    if FAILURES:
+        for f_ in FAILURES:
+            print(f"FAIL {f_}")
+        print(f"{len(FAILURES)} schema failure(s)")
+        return 1
+    print(f"OK {sys.argv[1]}: papi-microbench/1 schema valid "
+          "(incl. policy, cluster, continuous sub-schemas)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
