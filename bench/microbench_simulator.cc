@@ -53,6 +53,7 @@
  *     "policy": { ... },                // papi-policy/1, see below
  *     "cluster": { ... },               // papi-cluster/1, see below
  *     "continuous": { ... },            // papi-continuous/1, below
+ *     "disagg": { ... },                // papi-disagg/1, below
  *     "summary": {                      // absent with --legacy-queue
  *       "event_queue_speedup_geomean": x,
  *       "dram_stream_speedup": x,
@@ -133,6 +134,36 @@
  *     ],
  *     "continuous_ttft_p99_speedup_vs_static": x,  // > 1 = win
  *     "preemption_count": n             // preemption mode total
+ *   }
+ *
+ * The "disagg" section is its own sub-schema (papi-disagg/1):
+ * disaggregated prefill/decode serving vs a colocated cluster of
+ * the same total hardware, both running continuous batching with
+ * chunked prefill, on a prefill-heavy trace; completed prefills
+ * migrate their KV to the decode pool over a modeled link
+ * (docs/BENCHMARKS.md documents every field):
+ *   {
+ *     "schema": "papi-disagg/1",
+ *     "model": str,
+ *     "arrival": { "trace": "prefill-heavy", "rate_rps": x,
+ *                  "requests": n, "seed": n, "max_rlp": n },
+ *     "prefill_chunk_tokens": n,
+ *     "replicas": n,                    // both modes' total
+ *     "prefill_replicas": n, "decode_replicas": n,
+ *     "transfer_link": { "name": str, "bandwidth_gbps": x,
+ *                        "latency_us": x },
+ *     "modes": [
+ *       { "mode": "colocated|disaggregated",
+ *         "makespan_seconds": x, "sim_tokens_per_sec": x,
+ *         "ttft_p50_seconds": x, "ttft_p99_seconds": x,
+ *         "tpot_p50_seconds": x, "tpot_p99_seconds": x,
+ *         "queueing_mean_seconds": x, "energy_joules": x,
+ *         "kv_transfers": n, "kv_transfer_gb": x,
+ *         "kv_transfer_seconds": x, "wall_seconds": s }, ...
+ *     ],
+ *     "disagg_ttft_p99_speedup_vs_colocated": x,  // > 1 = win
+ *     "disagg_tpot_p99_speedup_vs_colocated": x,
+ *     "kv_transfer_count": n            // disagg-mode migrations
  *   }
  */
 
@@ -784,6 +815,101 @@ benchContinuous(bool quick)
     return out;
 }
 
+/** One serving-mode cell of the papi-disagg/1 section. */
+struct DisaggCell
+{
+    const char *mode = nullptr; ///< "colocated" | "disaggregated".
+    cluster::ClusterResult result;
+    double wall = 0.0;
+};
+
+/** Inputs and outcomes of the disaggregation comparison. */
+struct DisaggBench
+{
+    double rateRps = 0.0;
+    std::uint32_t requests = 0;
+    std::uint32_t maxRlp = 0;
+    std::uint32_t chunkTokens = 0;
+    std::uint64_t seed = 0;
+    std::uint32_t replicas = 0;        ///< Total platforms, both modes.
+    std::uint32_t prefillReplicas = 0; ///< Disagg prefill pool.
+    std::uint32_t decodeReplicas = 0;  ///< Disagg decode pool.
+    interconnect::Link transferLink;
+    std::vector<DisaggCell> cells;     ///< colocated, disaggregated.
+};
+
+/**
+ * Disaggregated vs colocated serving on a prefill-heavy trace
+ * (long documents in, terse answers out), same total hardware and
+ * the same production serving mode (continuous batching with
+ * chunked prefill) on both sides - the only delta is the pool
+ * split (routing is least-outstanding in both modes). Colocated
+ * replicas interleave prompt chunks with decode iterations, so
+ * every prompt's completion stretches by the decode work sharing
+ * its iterations and every decode iteration carries prefill
+ * chunks; dedicated pools remove both interferences at the price
+ * of a per-request KV migration costed over the transfer link.
+ * Disaggregated must win p99 TTFT - that ratio is enforced by
+ * tools/check_bench_schema.py; the TPOT ratio is informational
+ * (median improves, the tail is set by decode batch depth).
+ */
+DisaggBench
+benchDisagg(bool quick)
+{
+    DisaggBench out;
+    out.rateRps = 45.0;
+    out.requests = quick ? 96 : 192;
+    out.maxRlp = 16;
+    out.chunkTokens = 32;
+    out.seed = 7;
+    out.replicas = 4;
+    out.prefillReplicas = 2;
+    out.decodeReplicas = 2;
+
+    core::PlatformConfig cfg = core::makePapiConfig();
+    llm::ModelConfig model = llm::llama65b();
+    core::Platform reference(cfg);
+    double alpha =
+        core::ThresholdCalibrator::calibrate(reference, model).alpha;
+    llm::ArrivalProcess arrivals(llm::TraceCategory::PrefillHeavy,
+                                 out.rateRps, out.seed);
+    auto stream = arrivals.generate(out.requests);
+    llm::SpeculativeConfig spec;
+
+    cluster::ClusterOptions base;
+    base.policy = cluster::RouterPolicy::LeastOutstanding;
+    base.serving.alpha = alpha;
+    base.serving.maxRlp = out.maxRlp;
+    base.serving.prefillChunkTokens = out.chunkTokens;
+
+    auto run_mode = [&](const char *mode,
+                        const cluster::ClusterOptions &opt) {
+        cluster::ClusterEngine engine(cfg, opt);
+        auto start = Clock::now();
+        DisaggCell cell;
+        cell.mode = mode;
+        cell.result = engine.run(stream, spec, model);
+        cell.wall = secondsSince(start);
+        out.cells.push_back(std::move(cell));
+    };
+
+    cluster::ClusterOptions coloc = base;
+    coloc.numPlatforms = out.replicas;
+    run_mode("colocated", coloc);
+
+    cluster::ClusterOptions disagg = base;
+    disagg.disagg.enabled = true;
+    disagg.disagg.prefillReplicas = out.prefillReplicas;
+    disagg.disagg.decodeReplicas = out.decodeReplicas;
+    // Hold routing equal to the colocated baseline: the pool split
+    // must be the only delta between the two modes.
+    disagg.disagg.prefillPolicy =
+        cluster::RouterPolicy::LeastOutstanding;
+    out.transferLink = disagg.disagg.transferLink;
+    run_mode("disaggregated", disagg);
+    return out;
+}
+
 void
 writeJson(std::FILE *f, bool quick, bool legacy_only,
           std::uint64_t eq_events,
@@ -796,7 +922,7 @@ writeJson(std::FILE *f, bool quick, bool legacy_only,
           std::uint64_t srv_tokens, std::uint64_t srv_iters,
           double srv_wall, std::uint32_t fig_cells, double fig_wall,
           const PolicyBench &pb, const ClusterBench &cb,
-          const ContinuousBench &nb)
+          const ContinuousBench &nb, const DisaggBench &db)
 {
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"schema\": \"papi-microbench/1\",\n");
@@ -1006,6 +1132,69 @@ writeJson(std::FILE *f, bool quick, bool legacy_only,
         nb.cells[0].result.ttft.p99 / nb.cells[1].result.ttft.p99,
         static_cast<unsigned long long>(
             nb.cells[2].result.preemptions));
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"disagg\": {\n");
+    std::fprintf(f, "    \"schema\": \"papi-disagg/1\",\n");
+    std::fprintf(f, "    \"model\": \"llama-65b\",\n");
+    std::fprintf(f,
+                 "    \"arrival\": {\"trace\": \"prefill-heavy\", "
+                 "\"rate_rps\": %.1f, \"requests\": %u, \"seed\": "
+                 "%llu, \"max_rlp\": %u},\n",
+                 db.rateRps, db.requests,
+                 static_cast<unsigned long long>(db.seed), db.maxRlp);
+    std::fprintf(f, "    \"prefill_chunk_tokens\": %u,\n",
+                 db.chunkTokens);
+    std::fprintf(f,
+                 "    \"replicas\": %u, \"prefill_replicas\": %u, "
+                 "\"decode_replicas\": %u,\n",
+                 db.replicas, db.prefillReplicas, db.decodeReplicas);
+    std::fprintf(f,
+                 "    \"transfer_link\": {\"name\": \"%s\", "
+                 "\"bandwidth_gbps\": %.1f, \"latency_us\": %.2f},\n",
+                 db.transferLink.name.c_str(),
+                 db.transferLink.bandwidthBytesPerSec / 1e9,
+                 (db.transferLink.latencySeconds +
+                  db.transferLink.messageOverheadSeconds) *
+                     1e6);
+    std::fprintf(f, "    \"modes\": [\n");
+    for (std::size_t i = 0; i < db.cells.size(); ++i) {
+        const DisaggCell &c = db.cells[i];
+        const cluster::ClusterResult &r = c.result;
+        std::fprintf(
+            f,
+            "      {\"mode\": \"%s\",\n"
+            "       \"makespan_seconds\": %.6f, "
+            "\"sim_tokens_per_sec\": %.6e,\n"
+            "       \"ttft_p50_seconds\": %.6f, "
+            "\"ttft_p99_seconds\": %.6f,\n"
+            "       \"tpot_p50_seconds\": %.6f, "
+            "\"tpot_p99_seconds\": %.6f,\n"
+            "       \"queueing_mean_seconds\": %.6f, "
+            "\"energy_joules\": %.4f,\n"
+            "       \"kv_transfers\": %llu, "
+            "\"kv_transfer_gb\": %.3f, "
+            "\"kv_transfer_seconds\": %.6f,\n"
+            "       \"wall_seconds\": %.6f}%s\n",
+            c.mode, r.makespanSeconds,
+            r.throughputTokensPerSecond(), r.ttft.p50, r.ttft.p99,
+            r.tpot.p50, r.tpot.p99, r.meanQueueingSeconds,
+            r.energyJoules,
+            static_cast<unsigned long long>(r.kvTransfers),
+            static_cast<double>(r.kvTransferBytes) / 1e9,
+            r.kvTransferSeconds, c.wall,
+            i + 1 < db.cells.size() ? "," : "");
+    }
+    std::fprintf(f, "    ],\n");
+    // Cells are ordered colocated, disaggregated.
+    std::fprintf(
+        f,
+        "    \"disagg_ttft_p99_speedup_vs_colocated\": %.3f,\n"
+        "    \"disagg_tpot_p99_speedup_vs_colocated\": %.3f,\n"
+        "    \"kv_transfer_count\": %llu\n",
+        db.cells[0].result.ttft.p99 / db.cells[1].result.ttft.p99,
+        db.cells[0].result.tpot.p99 / db.cells[1].result.tpot.p99,
+        static_cast<unsigned long long>(
+            db.cells[1].result.kvTransfers));
     std::fprintf(f, "  }%s\n", legacy_only ? "" : ",");
     if (!legacy_only) {
         double stream_speedup =
@@ -1108,12 +1297,13 @@ main(int argc, char **argv)
     PolicyBench pb = benchPolicy(quick);
     ClusterBench cb = benchCluster(quick);
     ContinuousBench nb = benchContinuous(quick);
+    DisaggBench db = benchDisagg(quick);
 
     writeJson(stdout, quick, legacy_only, eq_events, patterns,
               geomean, dram_n, stream_new, stream_legacy, pump_new,
               pump_legacy, dec_tokens, dec_iters, dec_wall,
               srv_tokens, srv_iters, srv_wall, fig_cells, fig_wall,
-              pb, cb, nb);
+              pb, cb, nb, db);
     if (out_path) {
         std::FILE *f = std::fopen(out_path, "w");
         if (!f) {
@@ -1124,7 +1314,7 @@ main(int argc, char **argv)
                   dram_n, stream_new, stream_legacy, pump_new,
                   pump_legacy, dec_tokens, dec_iters, dec_wall,
                   srv_tokens, srv_iters, srv_wall, fig_cells,
-                  fig_wall, pb, cb, nb);
+                  fig_wall, pb, cb, nb, db);
         std::fclose(f);
     }
     return 0;

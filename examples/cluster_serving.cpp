@@ -28,6 +28,17 @@
  *   kv_pool_tokens=N     shrink the KV pool to ~N tokens to force
  *                        pressure (demo/testing knob)
  * With any of these set, the report adds preemption counts/stalls.
+ *
+ * Disaggregated prefill/decode keys (DistServe/Splitwise style):
+ *   disagg=1             split the replicas into a prefill pool and
+ *                        a decode pool; completed prefills migrate
+ *                        their KV to the least-loaded decode replica
+ *                        as timed transfers over a modeled link
+ *   prefill_replicas=N   prefill-pool size (default 1)
+ *   decode_replicas=N    decode-pool size (default 1)
+ *   trace=NAME           arrival length mix: general-qa (default) |
+ *                        prefill-heavy | creative-writing
+ * The report adds KV-migration counts/bytes/fabric time.
  */
 
 #include <cstdio>
@@ -94,8 +105,9 @@ main(int argc, char **argv)
     const double rate = config.getDouble("rate", 120.0);
     const auto seed =
         static_cast<std::uint64_t>(config.getInt("seed", 7));
-    llm::ArrivalProcess arrivals(llm::TraceCategory::GeneralQa, rate,
-                                 seed);
+    llm::TraceCategory trace = llm::traceCategoryFromName(
+        config.getString("trace", "general-qa"));
+    llm::ArrivalProcess arrivals(trace, rate, seed);
     auto stream = arrivals.generate(requests);
     if (config.has("sessions"))
         llm::assignSessions(stream,
@@ -118,6 +130,16 @@ main(int argc, char **argv)
     examples::applyContinuousBatchingFlags(config, base.serving,
                                            model,
                                            cfg.numAttnDevices);
+    if (config.getInt("disagg", 0) != 0) {
+        base.disagg.enabled = true;
+        base.disagg.prefillReplicas = static_cast<std::uint32_t>(
+            config.getInt("prefill_replicas", 1));
+        base.disagg.decodeReplicas = static_cast<std::uint32_t>(
+            config.getInt("decode_replicas", 1));
+        // The policy= flag governs the admission edge, which in
+        // disaggregated mode is the prefill pool's router.
+        base.disagg.prefillPolicy = base.policy;
+    }
 
     std::cout << "PAPI cluster serving: " << model.name << " on "
               << cfg.name << ", " << requests << " requests @ "
@@ -125,14 +147,32 @@ main(int argc, char **argv)
               << cluster::routerPolicyName(base.policy) << ", tp="
               << base.tensorParallelDegree << "\n\n";
 
-    if (config.has("platforms")) {
-        // Single configuration, detailed report.
+    if (config.has("platforms") || base.disagg.enabled) {
+        // Single configuration, detailed report. Disaggregated mode
+        // always lands here: the pool sizes fix the replica count.
         const auto n = static_cast<std::uint32_t>(
-            config.getInt("platforms"));
+            base.disagg.enabled
+                ? (base.disagg.prefillReplicas +
+                   base.disagg.decodeReplicas) *
+                      base.tensorParallelDegree
+                : config.getInt("platforms"));
         cluster::ClusterResult r =
             runCluster(cfg, n, base, stream, spec, model);
         std::printf("platforms     : %u (%u replica group%s)\n", n,
                     r.numGroups, r.numGroups == 1 ? "" : "s");
+        if (base.disagg.enabled) {
+            std::printf("pools         : %u prefill + %u decode, "
+                        "KV over %s\n",
+                        r.prefillGroups, r.decodeGroups,
+                        base.disagg.transferLink.describe().c_str());
+            std::printf("kv migrations : %llu (%.2f GB total, "
+                        "%s fabric time)\n",
+                        static_cast<unsigned long long>(
+                            r.kvTransfers),
+                        static_cast<double>(r.kvTransferBytes) / 1e9,
+                        core::formatSeconds(r.kvTransferSeconds)
+                            .c_str());
+        }
         std::printf("makespan      : %s\n",
                     core::formatSeconds(r.makespanSeconds).c_str());
         std::printf("throughput    : %.0f tok/s\n",

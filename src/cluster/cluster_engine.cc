@@ -19,7 +19,11 @@ summarize(std::vector<double> &values, double &mean_out)
 {
     LatencyPercentiles out;
     if (values.empty()) {
-        mean_out = 0.0;
+        // An empty population (e.g. a pool that completed zero
+        // requests) has no percentiles: NaN, not a fabricated 0.
+        // populateStats skips non-finite scalars on export.
+        mean_out = std::numeric_limits<double>::quiet_NaN();
+        out.p50 = out.p95 = out.p99 = mean_out;
         return out;
     }
     double sum = 0.0;
@@ -44,6 +48,26 @@ validateClusterOptions(const ClusterOptions &options)
     if (options.tensorParallelDegree == 0)
         sim::fatal("ClusterEngine: tensorParallelDegree must be "
                    ">= 1");
+    if (options.disagg.enabled) {
+        if (options.disagg.prefillReplicas == 0 ||
+            options.disagg.decodeReplicas == 0)
+            sim::fatal("ClusterEngine: disaggregation needs at "
+                       "least one prefill and one decode replica "
+                       "(got ", options.disagg.prefillReplicas,
+                       " + ", options.disagg.decodeReplicas, ")");
+        if (options.serving.admission ==
+            core::AdmissionPolicy::BatchLevel)
+            sim::fatal("ClusterEngine: disaggregated serving "
+                       "requires token-level admission");
+    }
+}
+
+/** Disaggregated replica count (prefill + decode pools). */
+std::uint32_t
+disaggGroups(const ClusterOptions &options)
+{
+    return options.disagg.prefillReplicas +
+           options.disagg.decodeReplicas;
 }
 
 } // namespace
@@ -53,15 +77,23 @@ ClusterEngine::ClusterEngine(const core::PlatformConfig &config,
     : _options(options)
 {
     validateClusterOptions(options);
-    if (options.numPlatforms == 0)
-        sim::fatal("ClusterEngine: need at least one platform");
-    if (options.numPlatforms % options.tensorParallelDegree != 0)
-        sim::fatal("ClusterEngine: tensorParallelDegree (",
-                   options.tensorParallelDegree,
-                   ") must divide numPlatforms (",
-                   options.numPlatforms, ")");
-    _numGroups =
-        options.numPlatforms / options.tensorParallelDegree;
+    if (options.disagg.enabled) {
+        // Pool sizes define the replica count; any caller-set
+        // numPlatforms is derived, not read.
+        _numGroups = disaggGroups(options);
+        _options.numPlatforms =
+            _numGroups * options.tensorParallelDegree;
+    } else {
+        if (options.numPlatforms == 0)
+            sim::fatal("ClusterEngine: need at least one platform");
+        if (options.numPlatforms % options.tensorParallelDegree != 0)
+            sim::fatal("ClusterEngine: tensorParallelDegree (",
+                       options.tensorParallelDegree,
+                       ") must divide numPlatforms (",
+                       options.numPlatforms, ")");
+        _numGroups =
+            options.numPlatforms / options.tensorParallelDegree;
+    }
     _platforms.reserve(_numGroups);
     for (std::uint32_t g = 0; g < _numGroups; ++g)
         _platforms.push_back(
@@ -77,6 +109,13 @@ ClusterEngine::ClusterEngine(
     if (groupConfigs.empty())
         sim::fatal("ClusterEngine: need at least one replica "
                    "config");
+    if (options.disagg.enabled &&
+        groupConfigs.size() != disaggGroups(options))
+        sim::fatal("ClusterEngine: disaggregated pools need one "
+                   "config per replica (", disaggGroups(options),
+                   " = ", options.disagg.prefillReplicas,
+                   " prefill + ", options.disagg.decodeReplicas,
+                   " decode, got ", groupConfigs.size(), ")");
     _numGroups = static_cast<std::uint32_t>(groupConfigs.size());
     _options.numPlatforms =
         _numGroups * _options.tensorParallelDegree;
@@ -102,28 +141,60 @@ ClusterEngine::run(const std::vector<llm::TimedRequest> &stream,
     const core::IterationCostModel cost =
         tp.iterationCostModel(model);
 
+    const bool disagg = _options.disagg.enabled;
+    const std::uint32_t prefill_pool =
+        disagg ? _options.disagg.prefillReplicas : 0;
+
     std::vector<std::unique_ptr<core::ServingSim>> sims;
     sims.reserve(_numGroups);
-    for (std::uint32_t g = 0; g < _numGroups; ++g)
+    for (std::uint32_t g = 0; g < _numGroups; ++g) {
+        core::ServingOptions sopt = _options.serving;
+        if (disagg) {
+            sopt.role = g < prefill_pool ? core::ServingRole::Prefill
+                                         : core::ServingRole::Decode;
+            // A prefill replica frees its KV at handoff, so
+            // pressure preemption is a decode-pool concern.
+            if (sopt.role == core::ServingRole::Prefill)
+                sopt.preemptOnKvPressure = false;
+        }
         sims.push_back(std::make_unique<core::ServingSim>(
-            *_platforms[g], spec, model, _options.serving, cost));
+            *_platforms[g], spec, model, sopt, cost));
+    }
 
     // All replicas compose on one shared event queue: arrivals are
     // routed at delivery time against per-backend load snapshots,
     // and each replica schedules its own admission/boundary
     // lifecycle events (core::ServingEventDriver preserves the
     // historical arrival-first, lowest-index tie order exactly).
-    Router router(_options.policy, _numGroups);
-    std::vector<BackendLoad> loads(_numGroups);
+    // Disaggregated mode routes arrivals over the prefill pool only;
+    // completed prefills migrate to the decode pool as timed KV
+    // transfers scheduled by the driver.
+    const std::uint32_t route_width =
+        disagg ? prefill_pool : _numGroups;
+    Router router(disagg ? _options.disagg.prefillPolicy
+                         : _options.policy,
+                  route_width);
+    std::vector<BackendLoad> loads(route_width);
     std::vector<core::ServingSim *> replicas;
     replicas.reserve(_numGroups);
     for (auto &s : sims)
         replicas.push_back(s.get());
     core::ServingEventDriver driver(std::move(replicas));
+    if (disagg)
+        driver.enableDisaggregation(
+            {prefill_pool, _options.disagg.transferLink});
     driver.runStream(
         stream, [&](const llm::TimedRequest &request) {
-            for (std::uint32_t g = 0; g < _numGroups; ++g)
+            for (std::uint32_t g = 0; g < route_width; ++g) {
                 loads[g].outstanding = sims[g]->outstanding();
+                // Prefill replicas retire work synchronously (each
+                // completed prompt hands off inside admit), so
+                // outstanding alone cannot see a mid-prefill
+                // replica; feed the backlog tie-break. Colocated
+                // routing stays bit-stable (field left 0).
+                if (disagg)
+                    loads[g].busyUntilSeconds = sims[g]->now();
+            }
             return router.route(request, loads);
         });
 
@@ -133,10 +204,24 @@ ClusterEngine::run(const std::vector<llm::TimedRequest> &stream,
     out.groupUtilization.resize(_numGroups, 0.0);
     out.groupNames.reserve(_numGroups);
     out.groupPolicies.reserve(_numGroups);
+    out.groupRoles.reserve(_numGroups);
     for (std::uint32_t g = 0; g < _numGroups; ++g) {
         out.groupNames.push_back(_platforms[g]->name());
         out.groupPolicies.push_back(core::dispatchPolicyName(
             _platforms[g]->dispatchPolicy(core::Phase::Fc)));
+        out.groupRoles.push_back(
+            !disagg ? "colocated"
+                    : (g < prefill_pool ? "prefill" : "decode"));
+    }
+    if (disagg) {
+        out.prefillGroups = prefill_pool;
+        out.decodeGroups = _numGroups - prefill_pool;
+        const core::KvTransferStats &xfer = driver.transferStats();
+        out.kvTransfers = xfer.transfers;
+        out.kvTransferBytes = xfer.bytes;
+        out.kvTransferSeconds = xfer.linkSeconds;
+        out.kvTransferJoules = xfer.joules;
+        out.energyJoules += xfer.joules;
     }
     double t_end = stream.front().arrivalSeconds;
     for (std::uint32_t g = 0; g < _numGroups; ++g) {
@@ -198,15 +283,19 @@ ClusterResult::populateStats(sim::stats::StatGroup &group) const
                     "tokens over the makespan")
         .set(throughputTokensPerSecond());
 
-    auto add_percentiles = [&group](const char *prefix,
-                                    const LatencyPercentiles &p,
-                                    const char *desc) {
-        group.addScalar(std::string(prefix) + "_p50_seconds", desc)
-            .set(p.p50);
-        group.addScalar(std::string(prefix) + "_p95_seconds", desc)
-            .set(p.p95);
-        group.addScalar(std::string(prefix) + "_p99_seconds", desc)
-            .set(p.p99);
+    // Empty populations aggregate to NaN (see core::percentileSorted);
+    // such stats are skipped on export rather than fabricated as 0.
+    auto add_finite = [&group](const std::string &name,
+                               const char *desc, double v) {
+        if (std::isfinite(v))
+            group.addScalar(name, desc).set(v);
+    };
+    auto add_percentiles = [&add_finite](const char *prefix,
+                                         const LatencyPercentiles &p,
+                                         const char *desc) {
+        add_finite(std::string(prefix) + "_p50_seconds", desc, p.p50);
+        add_finite(std::string(prefix) + "_p95_seconds", desc, p.p95);
+        add_finite(std::string(prefix) + "_p99_seconds", desc, p.p99);
     };
     add_percentiles("ttft", ttft, "arrival to first token");
     add_percentiles("tpot", tpot, "per-token decode interval");
@@ -219,18 +308,37 @@ ClusterResult::populateStats(sim::stats::StatGroup &group) const
     group.addScalar("preemption_resumes",
                     "preempted requests re-admitted")
         .set(static_cast<double>(resumes));
-    group
-        .addScalar("preemption_stall_mean_seconds",
-                   "mean eviction stall across served requests")
-        .set(meanPreemptionStallSeconds);
-    group.addScalar("ttft_mean_seconds", "arrival to first token")
-        .set(meanTtftSeconds);
-    group.addScalar("latency_mean_seconds", "arrival to completion")
-        .set(meanLatencySeconds);
-    group.addScalar("tpot_mean_seconds", "per-token decode interval")
-        .set(meanTpotSeconds);
-    group.addScalar("queueing_mean_seconds", "arrival to admission")
-        .set(meanQueueingSeconds);
+    add_finite("preemption_stall_mean_seconds",
+               "mean eviction stall across served requests",
+               meanPreemptionStallSeconds);
+    add_finite("ttft_mean_seconds", "arrival to first token",
+               meanTtftSeconds);
+    add_finite("latency_mean_seconds", "arrival to completion",
+               meanLatencySeconds);
+    add_finite("tpot_mean_seconds", "per-token decode interval",
+               meanTpotSeconds);
+    add_finite("queueing_mean_seconds", "arrival to admission",
+               meanQueueingSeconds);
+    if (prefillGroups > 0) {
+        group.addScalar("prefill_groups",
+                        "replicas in the prefill pool")
+            .set(static_cast<double>(prefillGroups));
+        group.addScalar("decode_groups",
+                        "replicas in the decode pool")
+            .set(static_cast<double>(decodeGroups));
+        group.addScalar("kv_transfers",
+                        "prefill->decode KV migrations")
+            .set(static_cast<double>(kvTransfers));
+        group.addScalar("kv_transfer_bytes",
+                        "KV block bytes moved across the link")
+            .set(static_cast<double>(kvTransferBytes));
+        group.addScalar("kv_transfer_seconds",
+                        "summed per-migration link occupancy")
+            .set(kvTransferSeconds);
+        group.addScalar("kv_transfer_joules",
+                        "link energy of all KV migrations")
+            .set(kvTransferJoules);
+    }
 
     std::vector<std::string> bins;
     bins.reserve(groupUtilization.size());

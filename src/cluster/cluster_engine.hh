@@ -51,6 +51,32 @@
 
 namespace papi::cluster {
 
+/**
+ * Disaggregated prefill/decode serving (DistServe OSDI'24 /
+ * Splitwise ISCA'24 style): dedicated prefill replicas run only the
+ * prompt phase and migrate each request's KV footprint to a decode
+ * replica over a modeled interconnect link, so decode iterations
+ * are never stalled by stop-the-world prefills and prompt
+ * processing never waits behind decode work. Replica groups
+ * [0, prefillReplicas) form the prefill pool, the remaining
+ * decodeReplicas groups the decode pool.
+ */
+struct DisaggConfig
+{
+    /** Off by default: the cluster serves colocated, byte-identical
+     *  to the pre-disaggregation engine. */
+    bool enabled = false;
+    /** Replica groups dedicated to prompt processing (>= 1). */
+    std::uint32_t prefillReplicas = 1;
+    /** Replica groups dedicated to decoding (>= 1). */
+    std::uint32_t decodeReplicas = 1;
+    /** Fabric the per-request KV migration is costed over. */
+    interconnect::Link transferLink = interconnect::pcie5();
+    /** Router policy over the prefill pool (the admission edge;
+     *  decode placement is always least-loaded). */
+    RouterPolicy prefillPolicy = RouterPolicy::RoundRobin;
+};
+
 /** Cluster shape and per-backend serving options. */
 struct ClusterOptions
 {
@@ -68,6 +94,14 @@ struct ClusterOptions
     interconnect::Link tpFabric = interconnect::nvlink();
     /** Per-backend admission/scheduling options. */
     core::ServingOptions serving;
+    /**
+     * Disaggregated prefill/decode pools. When enabled, the replica
+     * count is prefillReplicas + decodeReplicas (numPlatforms is
+     * derived as that times tensorParallelDegree), admission must
+     * be token-level, and @ref policy is superseded by
+     * DisaggConfig::prefillPolicy on the admission edge.
+     */
+    DisaggConfig disagg;
 };
 
 /** p50/p95/p99 of one latency population, seconds. */
@@ -115,6 +149,22 @@ struct ClusterResult
     std::vector<std::string> groupNames;
     /** Per-replica FC dispatch policies (dispatchPolicyName form). */
     std::vector<std::string> groupPolicies;
+    /** Per-replica serving roles ("colocated"|"prefill"|"decode"). */
+    std::vector<std::string> groupRoles;
+
+    /** Prefill-pool replica count (0 when serving colocated). */
+    std::uint32_t prefillGroups = 0;
+    /** Decode-pool replica count (0 when serving colocated). */
+    std::uint32_t decodeGroups = 0;
+    /** KV migrations performed (disaggregated mode only). */
+    std::uint64_t kvTransfers = 0;
+    /** KV block bytes moved across the transfer link in total. */
+    std::uint64_t kvTransferBytes = 0;
+    /** Summed per-migration link occupancy, seconds (transfers
+     *  overlap with compute; this is fabric time, not makespan). */
+    double kvTransferSeconds = 0.0;
+    /** Link energy of all KV migrations (included in energyJoules). */
+    double kvTransferJoules = 0.0;
 
     /** Cluster decode throughput over the makespan. */
     double

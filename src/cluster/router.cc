@@ -55,12 +55,27 @@ Router::route(const llm::TimedRequest &request,
       case RouterPolicy::LeastOutstanding: {
         std::uint32_t best = 0;
         for (std::uint32_t i = 1; i < _numBackends; ++i) {
-            if (loads[i].outstanding < loads[best].outstanding)
+            // Fewest outstanding wins; equal-outstanding ties break
+            // toward the earliest-free backend (busyUntilSeconds,
+            // when provided), then the lowest index.
+            if (loads[i].outstanding < loads[best].outstanding ||
+                (loads[i].outstanding == loads[best].outstanding &&
+                 loads[i].busyUntilSeconds <
+                     loads[best].busyUntilSeconds))
                 best = i;
         }
         return best;
       }
       case RouterPolicy::SessionAffinity: {
+        // Unset sessions (the TimedRequest default, 0) carry no
+        // affinity: hashing them would collapse all session-less
+        // traffic onto one replica, so they fall back to the
+        // round-robin cursor instead.
+        if (request.sessionId == 0) {
+            std::uint32_t pick = _rrNext;
+            _rrNext = (_rrNext + 1) % _numBackends;
+            return pick;
+        }
         // splitmix64 finalizer: avalanches consecutive session ids
         // across backends while staying deterministic.
         std::uint64_t h = request.sessionId;

@@ -38,7 +38,11 @@ enum class RouterPolicy : std::uint8_t
 {
     RoundRobin,       ///< Cycle through backends in index order.
     LeastOutstanding, ///< Fewest live + queued requests (RLP proxy).
-    SessionAffinity,  ///< Hash the session id to a fixed backend.
+    /** Hash the session id to a fixed backend. Requests with an
+     *  unset session (sessionId == 0) carry no affinity and fall
+     *  back to round-robin so they spread instead of collapsing
+     *  onto one replica. */
+    SessionAffinity,
 };
 
 /** Printable policy name ("round-robin", ...). */
@@ -52,6 +56,17 @@ struct BackendLoad
 {
     /** Live (decoding) plus queued (pending admission) requests. */
     std::uint32_t outstanding = 0;
+    /**
+     * Optional backlog tie-break for least-outstanding routing: the
+     * time this backend is busy until (its local clock, which runs
+     * ahead of the global order while it computes). A replica that
+     * retires work synchronously - a disaggregated prefill replica
+     * handing off each completed prompt - reports outstanding == 0
+     * even mid-prefill, so equal-outstanding ties are broken toward
+     * the earliest-free backend. Leave 0 to ignore (the colocated
+     * cluster does, keeping its routing bit-stable).
+     */
+    double busyUntilSeconds = 0.0;
 };
 
 /**

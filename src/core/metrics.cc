@@ -1,6 +1,7 @@
 #include "core/metrics.hh"
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "sim/logging.hh"
@@ -31,8 +32,11 @@ energyEfficiency(const RunResult &baseline, const RunResult &candidate)
 double
 geomean(const std::vector<double> &values)
 {
+    // An empty sample has no geometric mean: return NaN rather than
+    // aborting, so aggregation over pools/replicas that completed
+    // zero requests degrades to a skipped stat instead of a fatal.
     if (values.empty())
-        sim::fatal("geomean: empty input");
+        return std::numeric_limits<double>::quiet_NaN();
     double log_sum = 0.0;
     for (double v : values) {
         if (v <= 0.0)
@@ -74,8 +78,9 @@ formatJoules(double joules)
 double
 percentileSorted(const std::vector<double> &sorted_values, double q)
 {
+    // No sample, no quantile: NaN (callers skip the stat export).
     if (sorted_values.empty())
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     auto idx = static_cast<std::size_t>(
         q * static_cast<double>(sorted_values.size() - 1));
     return sorted_values[idx];

@@ -21,14 +21,19 @@ double speedup(const RunResult &baseline, const RunResult &candidate);
 double energyEfficiency(const RunResult &baseline,
                         const RunResult &candidate);
 
-/** Geometric mean of a set of positive ratios. */
+/**
+ * Geometric mean of a set of positive ratios. An empty sample has
+ * no mean: returns NaN (callers skip the stat) rather than aborting,
+ * so aggregation over pools/replicas with zero completions survives.
+ */
 double geomean(const std::vector<double> &values);
 
 /**
  * Quantile @p q (in [0,1]) of an ascending-sorted sample by the
  * repo-wide convention `idx = floor(q * (n - 1))` - shared by
  * ServingResult's p95 and the cluster percentiles so the two layers
- * stay comparable. Returns 0 for an empty sample.
+ * stay comparable. Returns NaN for an empty sample (no quantile
+ * exists; exporters skip non-finite stats).
  */
 double percentileSorted(const std::vector<double> &sorted_values,
                         double q);

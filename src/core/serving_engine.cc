@@ -45,10 +45,25 @@ ServingSim::ServingSim(const Platform &platform,
         sim::fatal("ServingSim: computeScale must be positive");
     _chunked = options.prefillChunkTokens > 0;
     _preempt = options.preemptOnKvPressure;
+    _role = options.role;
     if (_static.enabled && (_chunked || _preempt))
         sim::fatal("ServingSim: chunked prefill / KV preemption are "
                    "serving-path features; static-batch (decode) "
                    "runs use the monolithic prefill");
+    if (_role != ServingRole::Colocated) {
+        if (_static.enabled)
+            sim::fatal("ServingSim: static-batch (decode) runs are "
+                       "colocated; disaggregated roles are a "
+                       "serving-path feature");
+        if (options.admission != AdmissionPolicy::TokenLevel)
+            sim::fatal("ServingSim: disaggregated roles require "
+                       "token-level admission (batch-level fill "
+                       "rules have no meaning on a phase pool)");
+    }
+    if (_role == ServingRole::Prefill && _preempt)
+        sim::fatal("ServingSim: KV preemption is a decode-side "
+                   "feature; a prefill replica frees its KV at "
+                   "handoff, so pressure never builds");
     if (_preempt && _options.kvSwapGBps <= 0.0)
         sim::fatal("ServingSim: kvSwapGBps must be positive");
     _prefillLens.reserve(options.maxRlp);
@@ -67,6 +82,64 @@ ServingSim::deliver(const llm::TimedRequest &request)
     }
     _lastDelivered = request.arrivalSeconds;
     _pending.push_back(request);
+}
+
+void
+ServingSim::deliverPrefilled(const llm::TimedRequest &request,
+                             double ready_seconds,
+                             std::uint64_t kv_tokens)
+{
+    if (_role == ServingRole::Prefill)
+        sim::fatal("ServingSim: a prefill-pool replica cannot "
+                   "accept migrated KV (request ",
+                   request.request.id, ")");
+    if (_anchored && ready_seconds < _lastDelivered)
+        sim::fatal("ServingSim: deliveries must be time-ordered");
+    if (!_anchored) {
+        _firstArrival = ready_seconds;
+        _now = ready_seconds;
+        _anchored = true;
+    }
+    _lastDelivered = ready_seconds;
+    _pendingPrefilled.push_back({request, ready_seconds, kv_tokens});
+}
+
+std::vector<HandoffRecord>
+ServingSim::takeHandoffs()
+{
+    std::vector<HandoffRecord> out;
+    out.swap(_handoffs);
+    return out;
+}
+
+void
+ServingSim::handoffPrefilled(const ActiveRequest &a)
+{
+    HandoffRecord h;
+    h.request.request = a.request;
+    h.request.arrivalSeconds = a.arrivalSeconds;
+    h.readySeconds = _now;
+    h.kvTokens = a.request.contextLen();
+    const llm::KvExport kv = _kv.exportRequest(a.request.id);
+    h.kvBlocks = kv.blocks;
+    h.kvBytes = kv.bytes;
+    ++_out.handoffs;
+    _out.prefillHandoffTokens += a.request.inputLen;
+    _handoffs.push_back(h);
+}
+
+void
+ServingSim::handoffCompletedPrefills()
+{
+    _planValid = false; // the live batch shrinks
+    for (auto it = _active.begin(); it != _active.end();) {
+        if (it->prefillRemaining == 0) {
+            handoffPrefilled(*it);
+            it = _active.erase(it);
+        } else {
+            ++it;
+        }
+    }
 }
 
 std::uint32_t
@@ -141,6 +214,7 @@ ServingSim::admit()
         ActiveRequest a = best->state;
         a.admitSeq = _admitSeqNext++;
         a.stallSeconds += _now - best->preemptSeconds;
+        _out.evictionStallSeconds += _now - best->preemptSeconds;
         if (recompute) {
             _out.recomputedPrefillTokens += best->kvTokens;
             if (_chunked) {
@@ -169,6 +243,45 @@ ServingSim::admit()
         ++resumed;
     }
 
+    // Disaggregated decode pool: migrated-in prefills join with
+    // their context already materialized - a KV reservation but no
+    // prefill charge (the prompt phase ran on the prefill pool).
+    while (!_pendingPrefilled.empty() &&
+           _pendingPrefilled.front().readySeconds <= _now &&
+           _active.size() < _options.maxRlp) {
+        const PrefilledPending &pp = _pendingPrefilled.front();
+        const llm::Request &req = pp.request.request;
+        if (!_preempt) {
+            // Migration-aware reservation: the migrated footprint
+            // is already real, the worst case adds the full output.
+            const std::uint64_t worst =
+                pp.kvTokens + req.outputLen;
+            if (!_kv.canAdmit(worst))
+                break;
+            _kv.admit(req.id, worst);
+        } else {
+            // On-demand mode: import the migrated footprint plus
+            // this request's own first-iteration growth, keeping
+            // headroom for the existing batch (admission must never
+            // force an eviction by itself).
+            const std::uint64_t reserve = _kv.blocksForTokens(
+                pp.kvTokens + _spec.length);
+            if (_kv.freeBlocks() < reserve + worstGrowthBlocks())
+                break;
+            _kv.importRequest(req.id, pp.kvTokens);
+        }
+        ActiveRequest a;
+        a.request = req;
+        a.arrivalSeconds = pp.request.arrivalSeconds;
+        a.admissionSeconds = decision_time;
+        a.admitSeq = _admitSeqNext++;
+        a.prefillRemaining = 0;
+        a.kvTokens = static_cast<std::uint32_t>(pp.kvTokens);
+        _active.push_back(a);
+        _pendingPrefilled.pop_front();
+        ++admitted;
+    }
+
     while (!_pending.empty() &&
            _pending.front().arrivalSeconds <= _now &&
            _active.size() < _options.maxRlp) {
@@ -176,9 +289,12 @@ ServingSim::admit()
         if (!_static.enabled) {
             if (!_preempt) {
                 // Reserve the worst case so growth can never fail.
+                // A prefill-pool replica never decodes, so its
+                // worst case is the prompt footprint alone.
                 std::uint64_t worst =
                     static_cast<std::uint64_t>(req.inputLen) +
-                    req.outputLen;
+                    (_role == ServingRole::Prefill ? 0
+                                                   : req.outputLen);
                 if (!_kv.canAdmit(worst))
                     break;
                 _kv.admit(req.id, worst);
@@ -240,7 +356,20 @@ ServingSim::admit()
         _now += swap_seconds;
         _busySeconds += swap_seconds;
         _breakdown.commSeconds += swap_seconds;
+        // The lump-sum swap-in advance delays every live request at
+        // this admit boundary, not just the resumed ones; attribute
+        // the induced stall to all of them so preemption-stall
+        // percentiles stay conservative.
+        for (auto &a : _active)
+            a.stallSeconds += swap_seconds;
+        _out.swapInducedStallSeconds +=
+            swap_seconds * static_cast<double>(_active.size());
     }
+    // Prefill-pool replica: every request whose prompt phase just
+    // completed (the whole non-chunked admission wave) retires into
+    // the handoff queue instead of decoding here.
+    if (_role == ServingRole::Prefill && !_active.empty())
+        handoffCompletedPrefills();
     if (admitted > 0)
         _out.admissions += admitted;
     _out.resumes += resumed;
@@ -252,11 +381,21 @@ ServingSim::stepIdle()
 {
     if (hasActive())
         sim::panic("ServingSim::stepIdle with a live batch");
-    if (_pending.empty())
+    if (!hasPending())
         sim::panic("ServingSim::stepIdle with nothing pending");
 
-    // Idle until the next arrival.
-    _now = std::max(_now, _pending.front().arrivalSeconds);
+    // Idle until the next deliverable work item (a plain arrival or
+    // a migrated-in prefill, whichever is earlier).
+    double next_work;
+    if (_pendingPrefilled.empty()) {
+        next_work = _pending.front().arrivalSeconds;
+    } else if (_pending.empty()) {
+        next_work = _pendingPrefilled.front().readySeconds;
+    } else {
+        next_work = std::min(_pending.front().arrivalSeconds,
+                             _pendingPrefilled.front().readySeconds);
+    }
+    _now = std::max(_now, next_work);
     if (_options.admission == AdmissionPolicy::BatchLevel &&
         _pending.size() >= _options.maxRlp) {
         // Dynamic batching: if a full batch is already waiting,
@@ -273,10 +412,15 @@ ServingSim::stepIdle()
         double full_at = _pending[fills - 1].arrivalSeconds;
         _now = std::max(_now, std::min(deadline, full_at));
     }
-    if (admit() == 0 && !hasActive())
-        sim::fatal("ServingSim: request ", _pending.front().request.id,
+    if (admit() == 0 && !hasActive()) {
+        const std::uint64_t id =
+            !_pending.empty()
+                ? _pending.front().request.id
+                : _pendingPrefilled.front().request.request.id;
+        sim::fatal("ServingSim: request ", id,
                    " cannot be admitted into an empty batch (KV "
                    "worst-case footprint exceeds the Attn-PIM pool)");
+    }
 }
 
 ServingSim::IterationTiming
@@ -705,6 +849,12 @@ ServingSim::stepDecodeChunked()
         ensureKvHeadroom();
     _out.peakKvUtilization = std::max(
         _out.peakKvUtilization, _kv.occupancy().utilization());
+
+    // Prefill-pool replica: requests whose last chunk just ran are
+    // done here - retire them into the handoff queue for migration
+    // instead of letting them join the decode set.
+    if (_role == ServingRole::Prefill)
+        handoffCompletedPrefills();
 }
 
 std::uint64_t
@@ -755,6 +905,13 @@ ServingSim::preemptYoungest()
         _now += out_seconds;
         _busySeconds += out_seconds;
         _breakdown.commSeconds += out_seconds;
+        // The lump-sum swap-out delays every surviving request;
+        // attribute the induced stall (the victim's own stall clock
+        // starts at the post-swap _now, so it is not double-counted).
+        for (auto &s : _active)
+            s.stallSeconds += out_seconds;
+        _out.swapInducedStallSeconds +=
+            out_seconds * static_cast<double>(_active.size());
     }
     ++a.preemptions;
     PreemptedRequest pr;

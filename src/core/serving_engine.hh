@@ -70,6 +70,25 @@ enum class AdmissionPolicy : std::uint8_t
     BatchLevel,
 };
 
+/**
+ * A replica's role in a disaggregated prefill/decode deployment
+ * (DistServe / Splitwise style). Colocated replicas run the full
+ * request lifecycle and are byte-identical to the pre-disaggregation
+ * engine. A Prefill replica runs only the prompt phase: when a
+ * request's prefill completes, the request is retired into a handoff
+ * queue (see HandoffRecord) with its KV footprint, for the owning
+ * driver to migrate to a decode replica over the transfer fabric. A
+ * Decode replica accepts such migrated requests through
+ * deliverPrefilled() and admits them with their context already
+ * materialized - no prefill charge, only the KV reservation.
+ */
+enum class ServingRole : std::uint8_t
+{
+    Colocated, ///< Full lifecycle on one replica (the default).
+    Prefill,   ///< Prompt phase only; hand off at prefill completion.
+    Decode,    ///< Decode phase only; admits migrated prefills.
+};
+
 /** What happens to a request's KV state when it is preempted. */
 enum class KvPreemptPolicy : std::uint8_t
 {
@@ -136,6 +155,14 @@ struct ServingOptions
      * platform's timing model. 0 = use the platform's capacity.
      */
     std::uint64_t kvCapacityOverrideBytes = 0;
+    /**
+     * Disaggregated-serving role of this replica (see ServingRole).
+     * Non-colocated roles require token-level admission and are
+     * incompatible with StaticBatchMode; Prefill additionally
+     * excludes KV preemption (a prefill replica frees its KV at
+     * handoff, so pressure never builds across requests).
+     */
+    ServingRole role = ServingRole::Colocated;
 };
 
 /** Per-component time/energy accumulation of one run. */
@@ -195,6 +222,29 @@ struct ServingResult
     std::uint64_t resumes = 0;
     /** Context tokens re-prefilled by Recompute resumes. */
     std::uint64_t recomputedPrefillTokens = 0;
+    /**
+     * Direct eviction stall: seconds summed over every
+     * preempt-to-re-admission gap (the stall a request suffers
+     * while parked off-device).
+     */
+    double evictionStallSeconds = 0.0;
+    /**
+     * SwapRestore-induced stall: every lump-sum KV swap-out/in
+     * advance delays the whole live batch, not just the swapped
+     * request; this accumulates (lump seconds x delayed requests)
+     * so preemption-stall percentiles stay conservative. The
+     * accounting identity - the sum of RequestRecord::stallSeconds
+     * over a run equals evictionStallSeconds +
+     * swapInducedStallSeconds - is pinned by a test.
+     */
+    double swapInducedStallSeconds = 0.0;
+    /**
+     * Prefill-role replicas: requests whose prefill completed here
+     * and were retired into the handoff queue for KV migration.
+     */
+    std::uint64_t handoffs = 0;
+    /** Prompt tokens prefilled and handed off (Prefill role). */
+    std::uint64_t prefillHandoffTokens = 0;
     /**
      * Request ids in eviction order - the determinism witness for
      * KV-pressure runs (two fixed-seed runs must produce identical
@@ -317,6 +367,29 @@ struct RequestRecord
 };
 
 /**
+ * A request retired from a Prefill-role replica with its prompt
+ * fully processed, awaiting KV migration to a decode replica. The
+ * prefill replica's KV blocks are released when the record is
+ * created (the transfer fabric buffers the data); the recorded
+ * block/byte footprint is what the migration is costed on.
+ */
+struct HandoffRecord
+{
+    /** The request, with its ORIGINAL arrival time preserved (the
+     *  decode replica's RequestRecord must span the whole
+     *  prefill -> transfer -> decode pipeline). */
+    llm::TimedRequest request;
+    /** When the prefill completed (transfer earliest-start time). */
+    double readySeconds = 0.0;
+    /** KV tokens materialized by the prefill (== the prompt). */
+    std::uint64_t kvTokens = 0;
+    /** KV blocks held at handoff (llm::KvCacheManager granularity). */
+    std::uint64_t kvBlocks = 0;
+    /** Bytes the migration moves: kvBlocks x blockBytes. */
+    std::uint64_t kvBytes = 0;
+};
+
+/**
  * The stepwise serving-simulation core: one platform (or one
  * tensor-parallel group) serving a stream of timed requests.
  *
@@ -364,6 +437,30 @@ class ServingSim
      */
     void deliver(const llm::TimedRequest &request);
 
+    /**
+     * Deliver a request whose prefill already ran on another
+     * (Prefill-role) replica and whose KV arrived here at
+     * @p ready_seconds (the migration-complete time), carrying
+     * @p kv_tokens of materialized context (the HandoffRecord's
+     * figure - the single source of truth admission reserves for).
+     * The request's own arrivalSeconds keeps its original value so
+     * latency records span the whole disaggregated pipeline;
+     * admission eligibility and delivery ordering use
+     * @p ready_seconds. Fatal on Prefill-role replicas.
+     */
+    void deliverPrefilled(const llm::TimedRequest &request,
+                          double ready_seconds,
+                          std::uint64_t kv_tokens);
+
+    /** This replica's disaggregated-serving role. */
+    ServingRole role() const { return _role; }
+
+    /** True if handed-off prefills await collection by the driver. */
+    bool hasHandoffs() const { return !_handoffs.empty(); }
+
+    /** Drain the handoff queue (Prefill role; driver-facing). */
+    std::vector<HandoffRecord> takeHandoffs();
+
     /** Current simulated time, seconds. */
     double now() const { return _now; }
 
@@ -371,7 +468,11 @@ class ServingSim
     bool hasActive() const { return !_active.empty(); }
 
     /** True if delivered requests await admission. */
-    bool hasPending() const { return !_pending.empty(); }
+    bool
+    hasPending() const
+    {
+        return !_pending.empty() || !_pendingPrefilled.empty();
+    }
 
     /** True if any delivered work remains (pending or active). */
     bool canStep() const { return hasActive() || hasPending(); }
@@ -381,14 +482,19 @@ class ServingSim
     outstanding() const
     {
         return static_cast<std::uint32_t>(
-            _active.size() + _pending.size() + _preempted.size());
+            _active.size() + _pending.size() +
+            _pendingPrefilled.size() + _preempted.size());
     }
 
     /** The admission/scheduling options this sim runs under. */
     const ServingOptions &servingOptions() const { return _options; }
 
-    /** Delivered requests awaiting admission. */
-    std::size_t pendingCount() const { return _pending.size(); }
+    /** Delivered requests awaiting admission (incl. migrated-in). */
+    std::size_t
+    pendingCount() const
+    {
+        return _pending.size() + _pendingPrefilled.size();
+    }
 
     /** Requests evicted under KV pressure, awaiting re-admission. */
     std::size_t preemptedCount() const { return _preempted.size(); }
@@ -585,6 +691,22 @@ class ServingSim
      *  (chunked mode; fills @p chunks aligned with _active). */
     void planChunks(std::vector<std::uint32_t> &chunks) const;
 
+    /** A migrated-in request awaiting admission (Decode role). */
+    struct PrefilledPending
+    {
+        llm::TimedRequest request;  ///< Original arrival preserved.
+        double readySeconds = 0.0;  ///< KV landed here (transfer end).
+        std::uint64_t kvTokens = 0; ///< Migrated context tokens.
+    };
+
+    /** Retire @p a into the handoff queue (Prefill role): snapshot
+     *  and release its KV blocks, record the migration footprint. */
+    void handoffPrefilled(const ActiveRequest &a);
+
+    /** Prefill-role sweep: hand off every active request whose
+     *  prefill has completed. */
+    void handoffCompletedPrefills();
+
     const Platform &_platform;
     llm::SpeculativeConfig _spec; ///< Copied: callers may pass temporaries.
     llm::ModelConfig _model;      ///< Copied: callers may pass temporaries.
@@ -600,6 +722,11 @@ class ServingSim
     TargetId _prevTarget = kInvalidTargetId;
 
     std::deque<llm::TimedRequest> _pending;
+    /** Migrated-in prefilled requests awaiting admission. */
+    std::deque<PrefilledPending> _pendingPrefilled;
+    /** Completed prefills awaiting driver collection (Prefill). */
+    std::vector<HandoffRecord> _handoffs;
+    ServingRole _role = ServingRole::Colocated;
     std::vector<ActiveRequest> _active;
     /** Evicted requests awaiting re-admission (preemption mode). */
     std::deque<PreemptedRequest> _preempted;

@@ -1,5 +1,7 @@
 #include "core/serving_events.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace papi::core {
@@ -15,6 +17,98 @@ ServingEventDriver::ServingEventDriver(std::vector<ServingSim *> sims)
     }
     _deadlineGen.assign(_sims.size(), 0);
     _deadlineArmed.assign(_sims.size(), false);
+}
+
+void
+ServingEventDriver::enableDisaggregation(
+    const DisaggTopology &topology)
+{
+    if (topology.prefillReplicas == 0 ||
+        topology.prefillReplicas >= _sims.size())
+        sim::fatal("ServingEventDriver: a disaggregated topology "
+                   "needs at least one prefill and one decode "
+                   "replica (got ", topology.prefillReplicas,
+                   " prefill of ", _sims.size(), " total)");
+    for (std::uint32_t g = 0; g < _sims.size(); ++g) {
+        const ServingRole want = g < topology.prefillReplicas
+                                     ? ServingRole::Prefill
+                                     : ServingRole::Decode;
+        if (_sims[g]->role() != want)
+            sim::fatal("ServingEventDriver: replica ", g,
+                       " role does not match the disaggregated "
+                       "topology (pool split at ",
+                       topology.prefillReplicas, ")");
+    }
+    _disagg = true;
+    _topology = topology;
+    _inFlightTo.assign(_sims.size(), 0);
+}
+
+std::uint32_t
+ServingEventDriver::pickDecodeReplica() const
+{
+    std::uint32_t best = _topology.prefillReplicas;
+    std::uint64_t best_load = ~std::uint64_t{0};
+    for (std::uint32_t d = _topology.prefillReplicas;
+         d < _sims.size(); ++d) {
+        const std::uint64_t load =
+            _sims[d]->outstanding() + _inFlightTo[d];
+        if (load < best_load) {
+            best = d;
+            best_load = load;
+        }
+    }
+    return best;
+}
+
+void
+ServingEventDriver::drainHandoffs(std::uint32_t g)
+{
+    if (!_sims[g]->hasHandoffs())
+        return;
+    if (!_disagg)
+        sim::fatal("ServingEventDriver: replica ", g,
+                   " handed off prefilled requests but no "
+                   "disaggregated topology is configured");
+    for (HandoffRecord &h : _sims[g]->takeHandoffs()) {
+        // The migration is a timed transfer on the fabric: one
+        // message of the handoff's KV block bytes, overlappable
+        // with compute on both pools but SERIALIZED on the shared
+        // link (a busy-until cursor queues concurrent migrations,
+        // so aggregate transfer throughput can never exceed the
+        // link's bandwidth). Link slots are reserved in
+        // handoff-drain (event) order; a transfer drained later but
+        // ready earlier waits its turn, so the model is
+        // conservative - it never grants more fabric than exists,
+        // at the price of occasional idle gaps. The destination is
+        // chosen at handoff time (deterministic: least loaded,
+        // lowest index).
+        const std::uint32_t d = pickDecodeReplica();
+        const double link_seconds =
+            _topology.transferLink.transferSeconds(h.kvBytes);
+        const double start =
+            std::max(h.readySeconds, _linkBusyUntil);
+        const double done = start + link_seconds;
+        _linkBusyUntil = done;
+        ++_xfer.transfers;
+        _xfer.bytes += h.kvBytes;
+        _xfer.linkSeconds += link_seconds;
+        _xfer.joules +=
+            _topology.transferLink.transferJoules(h.kvBytes);
+        ++_inFlightTo[d];
+        const std::size_t idx = _transferStore.size();
+        _transferStore.push_back(
+            {h.request, done, h.kvTokens, d});
+        _timeline.at(done, kTransferPriority, [this, idx] {
+            const PendingTransfer &t = _transferStore[idx];
+            --_inFlightTo[t.target];
+            _sims[t.target]->deliverPrefilled(t.request,
+                                              t.doneSeconds,
+                                              t.kvTokens);
+            if (!_sims[t.target]->hasActive())
+                idlePoke(t.target);
+        });
+    }
 }
 
 void
@@ -129,7 +223,17 @@ ServingEventDriver::startBatch(std::uint32_t g)
     ++_deadlineGen[g]; // invalidate any outstanding deadline
     _deadlineArmed[g] = false;
     _sims[g]->stepIdle();
-    scheduleBoundary(g);
+    drainHandoffs(g);
+    if (_sims[g]->hasActive()) {
+        scheduleBoundary(g);
+        return;
+    }
+    // Prefill-pool replica with non-chunked prefill: the whole
+    // admission wave was handed off synchronously. Keep admitting
+    // while already-delivered work remains (each pass admits at
+    // least one request or stepIdle diagnoses the KV fit).
+    if (_sims[g]->hasPending())
+        idlePoke(g);
 }
 
 void
@@ -148,6 +252,7 @@ ServingEventDriver::boundary(std::uint32_t g)
     ServingSim &s = *_sims[g];
     s.stepDecode();
     s.admit();
+    drainHandoffs(g);
     if (s.hasActive()) {
         scheduleBoundary(g);
         return;
@@ -160,7 +265,8 @@ void
 ServingEventDriver::checkDrained() const
 {
     for (std::size_t g = 0; g < _sims.size(); ++g) {
-        if (_sims[g]->canStep() || _sims[g]->preemptedCount() > 0)
+        if (_sims[g]->canStep() || _sims[g]->preemptedCount() > 0 ||
+            _sims[g]->hasHandoffs())
             sim::fatal("ServingEventDriver: replica ", g,
                        " still holds work after the event queue "
                        "drained (preempted requests could not be "

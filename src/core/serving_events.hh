@@ -18,7 +18,11 @@
  *  - same-time boundaries of different replicas fire lowest index
  *    first (priority 10+g);
  *  - batch-level admission deadlines fire after same-time arrivals
- *    and before boundaries (priority 5).
+ *    and before boundaries (priority 5);
+ *  - KV-transfer completions (disaggregated prefill -> decode
+ *    migration) fire after same-time arrivals and before deadlines
+ *    and boundaries (priority 2), so a decode replica's same-instant
+ *    admission sees the migrated request.
  *
  * Two drive modes share the machinery:
  *
@@ -40,10 +44,12 @@
 #define PAPI_CORE_SERVING_EVENTS_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <vector>
 
 #include "core/serving_engine.hh"
+#include "interconnect/link.hh"
 #include "llm/arrival.hh"
 #include "sim/timeline.hh"
 
@@ -52,6 +58,34 @@ namespace papi::core {
 /** Routing decision: the replica index an arrival is delivered to. */
 using RouteFn =
     std::function<std::uint32_t(const llm::TimedRequest &)>;
+
+/**
+ * Static shape of a disaggregated prefill/decode deployment on one
+ * driver: the first @ref prefillReplicas sims form the prefill pool
+ * (arrivals route there; their completed prefills hand off), the
+ * rest form the decode pool (handoffs migrate there as timed KV
+ * transfers costed over @ref transferLink).
+ */
+struct DisaggTopology
+{
+    /** sims[0 .. prefillReplicas) are the prefill pool; must leave
+     *  at least one decode replica. */
+    std::uint32_t prefillReplicas = 0;
+    /** Fabric the KV migration is costed over (latency + message
+     *  overhead + bytes/bandwidth per transfer). */
+    interconnect::Link transferLink;
+};
+
+/** Aggregate KV-migration accounting of one disaggregated run. */
+struct KvTransferStats
+{
+    std::uint64_t transfers = 0; ///< Migrations performed.
+    std::uint64_t bytes = 0;     ///< KV block bytes moved in total.
+    /** Summed per-transfer link occupancy (transfers overlap with
+     *  compute on both pools, so this is fabric time, not makespan). */
+    double linkSeconds = 0.0;
+    double joules = 0.0;         ///< Link transfer energy.
+};
 
 /** N event-driven serving replicas composed on one event queue. */
 class ServingEventDriver
@@ -62,6 +96,22 @@ class ServingEventDriver
      *        outlive the driver. At least one.
      */
     explicit ServingEventDriver(std::vector<ServingSim *> sims);
+
+    /**
+     * Split the replicas into a prefill and a decode pool (see
+     * DisaggTopology) before running. Completed prefills become
+     * timed KV-transfer events: the handoff's block bytes are
+     * costed over the topology's link and delivered to the
+     * least-loaded decode replica (outstanding work plus in-flight
+     * migrations; ties toward the lowest index) when the transfer
+     * completes - overlapping with ongoing compute on both pools,
+     * but serialized against other migrations on the shared link
+     * (aggregate transfer throughput is capped at its bandwidth).
+     */
+    void enableDisaggregation(const DisaggTopology &topology);
+
+    /** KV-migration totals of the finished run. */
+    const KvTransferStats &transferStats() const { return _xfer; }
 
     /**
      * Serve @p stream to completion: every arrival is scheduled at
@@ -84,6 +134,10 @@ class ServingEventDriver
   private:
     /** Arrival events (delivery + routing). */
     static constexpr sim::Priority kArrivalPriority = 0;
+    /** KV-transfer completions (prefill -> decode migration): after
+     *  same-time arrivals, before any boundary, so a decode
+     *  replica's same-instant admission sees the migrated request. */
+    static constexpr sim::Priority kTransferPriority = 2;
     /** Batch-level fill-timeout deadlines. */
     static constexpr sim::Priority kDeadlinePriority = 5;
     /** Iteration boundaries; +replica index breaks same-time ties
@@ -103,6 +157,21 @@ class ServingEventDriver
     /** Verify every replica drained completely (post-run). */
     void checkDrained() const;
 
+    /** Collect replica @p g's completed prefills and schedule their
+     *  KV-transfer events (no-op without handoffs). */
+    void drainHandoffs(std::uint32_t g);
+    /** Least-loaded decode replica (outstanding + in-flight). */
+    std::uint32_t pickDecodeReplica() const;
+
+    /** A KV migration in flight on the transfer fabric. */
+    struct PendingTransfer
+    {
+        llm::TimedRequest request;  ///< Original arrival preserved.
+        double doneSeconds = 0.0;   ///< Transfer-complete time.
+        std::uint64_t kvTokens = 0; ///< Migrated context tokens.
+        std::uint32_t target = 0;   ///< Destination decode replica.
+    };
+
     std::vector<ServingSim *> _sims;
     sim::EventQueue _queue;
     sim::Timeline _timeline;
@@ -112,6 +181,19 @@ class ServingEventDriver
     std::vector<std::uint64_t> _deadlineGen;
     /** Per-replica: a live deadline event is outstanding. */
     std::vector<bool> _deadlineArmed;
+
+    bool _disagg = false;       ///< Disaggregated topology active.
+    DisaggTopology _topology;
+    KvTransferStats _xfer;
+    /** In-flight migration payloads; events capture stable indices
+     *  into this store (entries outlive their events). */
+    std::deque<PendingTransfer> _transferStore;
+    /** Per-replica migrations in flight toward it (load signal). */
+    std::vector<std::uint32_t> _inFlightTo;
+    /** The shared transfer link frees up at this time: concurrent
+     *  migrations queue (aggregate throughput is capped at the
+     *  link's bandwidth, not multiplied by transfer count). */
+    double _linkBusyUntil = 0.0;
 };
 
 } // namespace papi::core

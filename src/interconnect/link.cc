@@ -1,6 +1,18 @@
 #include "interconnect/link.hh"
 
+#include <cstdio>
+
 namespace papi::interconnect {
+
+std::string
+Link::describe() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%s (%.0f GB/s, %.1f us)",
+                  name.c_str(), bandwidthBytesPerSec / 1e9,
+                  (latencySeconds + messageOverheadSeconds) * 1e6);
+    return buf;
+}
 
 Link
 nvlink()

@@ -45,6 +45,9 @@ struct Link
     {
         return static_cast<double>(bytes) * energyPerByte;
     }
+
+    /** Human-readable one-liner: "name (X GB/s, Y us)". */
+    std::string describe() const;
 };
 
 /** NVLink 3-class link: 300 GB/s per direction, sub-microsecond. */

@@ -24,7 +24,9 @@ ArrivalProcess::generate(std::uint32_t count)
         TimedRequest t;
         t.request = r;
         t.arrivalSeconds = _clock;
-        t.sessionId = r.id;
+        // 1-based: sessionId 0 is the "unset" sentinel (a router's
+        // session-affinity mode falls back to round-robin for it).
+        t.sessionId = r.id + 1;
         out.push_back(t);
     }
     return out;
@@ -37,9 +39,10 @@ assignSessions(std::vector<TimedRequest> &stream,
     if (num_sessions == 0)
         sim::fatal("assignSessions: num_sessions must be >= 1");
     // A dedicated RNG keeps the arrival process itself untouched.
+    // Ids are 1-based: 0 is the "unset session" sentinel.
     sim::Rng rng(seed ^ 0xa24baed4963ee407ULL);
     for (auto &t : stream)
-        t.sessionId = static_cast<std::uint64_t>(
+        t.sessionId = 1 + static_cast<std::uint64_t>(
             rng.uniformInt(0, static_cast<std::int64_t>(num_sessions) - 1));
 }
 

@@ -28,9 +28,11 @@ struct TimedRequest
     /**
      * Conversation/user identity for session-affinity routing: a
      * cluster router can pin all requests of one session to one
-     * platform so the session's KV prefix stays local. Defaults to
-     * the request id (every request its own session); use
-     * assignSessions() to model multi-turn users.
+     * platform so the session's KV prefix stays local. 0 means
+     * "unset" (no affinity; session-affinity routers fall back to
+     * round-robin). ArrivalProcess assigns 1 + request id (every
+     * request its own session); use assignSessions() to model
+     * multi-turn users (also 1-based).
      */
     std::uint64_t sessionId = 0;
 };

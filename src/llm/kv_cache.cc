@@ -105,6 +105,35 @@ KvCacheManager::requestBlocks(std::uint64_t id) const
 }
 
 std::uint64_t
+KvCacheManager::requestTokens(std::uint64_t id) const
+{
+    auto it = _requests.find(id);
+    if (it == _requests.end())
+        sim::fatal("KvCacheManager: unknown request ", id);
+    return it->second.tokens;
+}
+
+KvExport
+KvCacheManager::exportRequest(std::uint64_t id)
+{
+    auto it = _requests.find(id);
+    if (it == _requests.end())
+        sim::fatal("KvCacheManager: unknown request ", id);
+    KvExport out;
+    out.tokens = it->second.tokens;
+    out.blocks = it->second.blocks;
+    out.bytes = it->second.blocks * _blockBytes;
+    release(id);
+    return out;
+}
+
+void
+KvCacheManager::importRequest(std::uint64_t id, std::uint64_t tokens)
+{
+    admit(id, tokens);
+}
+
+std::uint64_t
 KvCacheManager::growthBlocks(std::uint64_t id,
                              std::uint64_t new_tokens) const
 {

@@ -59,6 +59,18 @@ kvPoolBytesPerDevice(const ModelConfig &model, std::uint64_t tokens,
     return tokens * model.kvBytesPerToken() / num_devices;
 }
 
+/**
+ * Snapshot of one request's KV holdings, taken when the request
+ * migrates to another pool (disaggregated prefill -> decode
+ * handoff). The byte count is what the transfer fabric moves.
+ */
+struct KvExport
+{
+    std::uint64_t tokens = 0; ///< Context tokens materialized.
+    std::uint64_t blocks = 0; ///< Blocks held at export.
+    std::uint64_t bytes = 0;  ///< blocks x blockBytes().
+};
+
 /** KV-cache capacity manager for a fleet of attention devices. */
 class KvCacheManager
 {
@@ -108,6 +120,26 @@ class KvCacheManager
     /** Blocks currently held by request @p id (fatal if the id is
      *  not live). */
     std::uint64_t requestBlocks(std::uint64_t id) const;
+
+    /** Tokens currently materialized for request @p id (fatal if
+     *  the id is not live). */
+    std::uint64_t requestTokens(std::uint64_t id) const;
+
+    /**
+     * Export a live request's blocks for migration to another pool:
+     * snapshot its token/block/byte footprint, then release the
+     * blocks here (the transfer fabric buffers the data in flight).
+     * Fatal if the id is not live.
+     */
+    KvExport exportRequest(std::uint64_t id);
+
+    /**
+     * Import a migrated request into this pool: admit @p id with
+     * @p tokens of context already materialized. Fatal if the id is
+     * already live or the pool cannot hold the footprint - callers
+     * gate with canAdmit()/freeBlocks() first.
+     */
+    void importRequest(std::uint64_t id, std::uint64_t tokens);
 
     /**
      * Additional blocks a grow of request @p id to @p new_tokens

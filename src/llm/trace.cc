@@ -13,9 +13,26 @@ traceCategoryName(TraceCategory category)
     switch (category) {
       case TraceCategory::CreativeWriting: return "creative-writing";
       case TraceCategory::GeneralQa: return "general-qa";
+      case TraceCategory::PrefillHeavy: return "prefill-heavy";
       case TraceCategory::Uniform: return "uniform";
     }
     return "unknown";
+}
+
+TraceCategory
+traceCategoryFromName(const std::string &name)
+{
+    if (name == "creative-writing")
+        return TraceCategory::CreativeWriting;
+    if (name == "general-qa")
+        return TraceCategory::GeneralQa;
+    if (name == "prefill-heavy")
+        return TraceCategory::PrefillHeavy;
+    if (name == "uniform")
+        return TraceCategory::Uniform;
+    sim::fatal("unknown trace category '", name,
+               "' (creative-writing | general-qa | prefill-heavy | "
+               "uniform)");
 }
 
 TraceParams
@@ -36,6 +53,14 @@ traceParams(TraceCategory category)
         p.inputStddev = 64.0;
         p.outputMean = 96.0;
         p.outputStddev = 64.0;
+        break;
+      case TraceCategory::PrefillHeavy:
+        // Long documents in, terse answers out (summarization/RAG):
+        // prompt processing dominates end-to-end compute.
+        p.inputMean = 640.0;
+        p.inputStddev = 320.0;
+        p.outputMean = 48.0;
+        p.outputStddev = 24.0;
         break;
       case TraceCategory::Uniform:
         p.inputMean = 128.0;

@@ -29,11 +29,18 @@ enum class TraceCategory : std::uint8_t
 {
     CreativeWriting, ///< Long outputs; decoding dominates.
     GeneralQa,       ///< Short outputs.
+    /** Long prompts, short answers (summarization/RAG style);
+     *  prompt processing dominates - the workload disaggregated
+     *  prefill/decode serving targets. */
+    PrefillHeavy,
     Uniform,         ///< Fixed lengths (for controlled experiments).
 };
 
 /** Printable category name. */
 const char *traceCategoryName(TraceCategory category);
+
+/** Parse a printable category name; fatal on unknown names. */
+TraceCategory traceCategoryFromName(const std::string &name);
 
 /** Length-distribution parameters of a trace category. */
 struct TraceParams

@@ -52,7 +52,7 @@ TEST(Router, SessionAffinityIsStickyAndSpreads)
 {
     Router r(RouterPolicy::SessionAffinity, 4);
     std::set<std::uint32_t> used;
-    for (std::uint64_t s = 0; s < 64; ++s) {
+    for (std::uint64_t s = 1; s <= 64; ++s) {
         llm::TimedRequest req;
         req.sessionId = s;
         std::uint32_t first = r.route(req, loads({0, 0, 0, 0}));
@@ -62,6 +62,27 @@ TEST(Router, SessionAffinityIsStickyAndSpreads)
     }
     // 64 sessions over 4 backends must touch them all.
     EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(Router, SessionAffinityUnsetSessionsFallBackToRoundRobin)
+{
+    // Regression: requests with the default sessionId == 0 used to
+    // hash onto one fixed replica - all session-less traffic
+    // collapsed there. Unset sessions must spread round-robin.
+    Router r(RouterPolicy::SessionAffinity, 4);
+    auto l = loads({0, 0, 0, 0});
+    for (std::uint32_t i = 0; i < 12; ++i) {
+        llm::TimedRequest req; // sessionId stays the 0 default
+        EXPECT_EQ(r.route(req, l), i % 4);
+    }
+    // Set sessions remain sticky and do not consume the cursor
+    // deterministically differently across repeats.
+    llm::TimedRequest pinned;
+    pinned.sessionId = 17;
+    const std::uint32_t home = r.route(pinned, l);
+    llm::TimedRequest unset;
+    EXPECT_EQ(r.route(unset, l), 0u); // cursor continues at 12 % 4
+    EXPECT_EQ(r.route(pinned, l), home);
 }
 
 TEST(Router, PolicyNamesRoundTrip)
@@ -85,7 +106,9 @@ TEST(Router, AssignSessionsIsDeterministicAndBounded)
     std::set<std::uint64_t> sessions;
     for (std::size_t i = 0; i < a.size(); ++i) {
         EXPECT_EQ(a[i].sessionId, b[i].sessionId);
-        EXPECT_LT(a[i].sessionId, 8u);
+        // 1-based: 0 is reserved as the "unset session" sentinel.
+        EXPECT_GE(a[i].sessionId, 1u);
+        EXPECT_LE(a[i].sessionId, 8u);
         // Arrival process untouched.
         EXPECT_DOUBLE_EQ(a[i].arrivalSeconds, b[i].arrivalSeconds);
         sessions.insert(a[i].sessionId);

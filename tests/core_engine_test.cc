@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/decode_engine.hh"
 #include "core/metrics.hh"
 #include "core/platform.hh"
@@ -261,8 +263,18 @@ TEST(Metrics, GeomeanBasics)
 {
     EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
     EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
-    EXPECT_THROW(geomean({}), FatalError);
     EXPECT_THROW(geomean({1.0, -1.0}), FatalError);
+}
+
+TEST(Metrics, EmptyAggregationsYieldNaNNotFatal)
+{
+    // Regression: a pool/replica that completes zero requests must
+    // aggregate to NaN (skipped on stat export), not abort the run.
+    EXPECT_TRUE(std::isnan(geomean({})));
+    EXPECT_TRUE(std::isnan(percentileSorted({}, 0.5)));
+    EXPECT_TRUE(std::isnan(percentileSorted({}, 0.99)));
+    const std::vector<double> one{3.0};
+    EXPECT_DOUBLE_EQ(percentileSorted(one, 0.99), 3.0);
 }
 
 TEST(Metrics, Formatters)

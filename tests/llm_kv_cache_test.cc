@@ -120,6 +120,37 @@ TEST_F(KvCacheTest, ManyRequestsChurn)
     EXPECT_NEAR(mgr.occupancy().utilization(), 0.0, 1e-12);
 }
 
+TEST_F(KvCacheTest, ExportImportMigratesBlocksAcrossPools)
+{
+    // The disaggregated handoff: export snapshots the footprint and
+    // frees the source pool; import re-admits the same context into
+    // a destination pool with identical block arithmetic.
+    KvCacheManager dest(model, 4, 1ULL << 30, 16);
+    const std::uint64_t before = mgr.freeBlocks();
+    mgr.admit(7, 100);
+    EXPECT_EQ(mgr.requestTokens(7), 100u);
+    EXPECT_EQ(mgr.requestBlocks(7), mgr.blocksForTokens(100));
+
+    KvExport x = mgr.exportRequest(7);
+    EXPECT_EQ(x.tokens, 100u);
+    EXPECT_EQ(x.blocks, mgr.blocksForTokens(100));
+    EXPECT_EQ(x.bytes, x.blocks * mgr.blockBytes());
+    // Source pool fully freed; the id is gone.
+    EXPECT_EQ(mgr.freeBlocks(), before);
+    EXPECT_EQ(mgr.liveRequests(), 0u);
+    EXPECT_THROW(mgr.requestTokens(7), FatalError);
+
+    dest.importRequest(7, x.tokens);
+    EXPECT_EQ(dest.requestTokens(7), x.tokens);
+    EXPECT_EQ(dest.requestBlocks(7), x.blocks);
+    // Imported requests grow like any other.
+    dest.grow(7, x.tokens + 64);
+    EXPECT_EQ(dest.requestTokens(7), x.tokens + 64);
+    // Double-import of a live id is a ledger error.
+    EXPECT_THROW(dest.importRequest(7, 10), FatalError);
+    EXPECT_THROW(mgr.exportRequest(99), FatalError);
+}
+
 /** Property sweep over block sizes: geometry invariants hold. */
 class KvBlockSizes : public ::testing::TestWithParam<std::uint32_t>
 {

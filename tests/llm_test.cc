@@ -278,6 +278,27 @@ TEST(Trace, CreativeWritingHasLongerOutputsThanQa)
     EXPECT_GT(sum_out(r_cw), 2.5 * sum_out(r_qa));
 }
 
+TEST(Trace, PrefillHeavyHasLongerInputsThanOutputs)
+{
+    TraceGenerator ph(TraceCategory::PrefillHeavy, 11);
+    double in_sum = 0.0, out_sum = 0.0;
+    for (const auto &r : ph.generate(256)) {
+        in_sum += r.inputLen;
+        out_sum += r.outputLen;
+    }
+    // Prompt processing dominates: the disaggregation workload.
+    EXPECT_GT(in_sum, 5.0 * out_sum);
+}
+
+TEST(Trace, CategoryNamesRoundTrip)
+{
+    for (TraceCategory c :
+         {TraceCategory::CreativeWriting, TraceCategory::GeneralQa,
+          TraceCategory::PrefillHeavy, TraceCategory::Uniform})
+        EXPECT_EQ(traceCategoryFromName(traceCategoryName(c)), c);
+    EXPECT_THROW(traceCategoryFromName("unknown"), FatalError);
+}
+
 TEST(Trace, LengthsWithinBounds)
 {
     TraceGenerator gen(TraceCategory::CreativeWriting, 3);

@@ -258,6 +258,55 @@ TEST(KvPreemption, SwapRestoreAvoidsRecompute)
     EXPECT_EQ(rr.tokensGenerated, rs.tokensGenerated);
 }
 
+TEST(KvPreemption, SwapStallAttributionIdentity)
+{
+    // The lump-sum swap-out/in advances of SwapRestore delay every
+    // live request, not just the swapped one. The per-request stall
+    // records must account for exactly that: the sum of all
+    // RequestRecord::stallSeconds equals the direct eviction stall
+    // (preempt -> re-admission gaps) plus the batch-wide
+    // swap-induced stall, both exported on ServingResult.
+    PlatformConfig cfg = makePapiConfig();
+    llm::ModelConfig model = llm::llama65b();
+    llm::SpeculativeConfig spec;
+    auto reqs =
+        stream(llm::TraceCategory::CreativeWriting, 300.0, 24, 11);
+
+    cluster::ClusterOptions copt;
+    copt.numPlatforms = 1;
+    copt.serving = pressureOptions(model, cfg, 2048);
+    copt.serving.preemptPolicy = KvPreemptPolicy::SwapRestore;
+    cluster::ClusterResult r =
+        cluster::ClusterEngine(cfg, copt).run(reqs, spec, model);
+
+    ASSERT_EQ(r.perGroup.size(), 1u);
+    const ServingResult &g = r.perGroup[0];
+    EXPECT_GT(g.preemptions, 0u);
+    EXPECT_GT(g.evictionStallSeconds, 0.0);
+    // Swap lumps delayed a live batch at least once.
+    EXPECT_GT(g.swapInducedStallSeconds, 0.0);
+
+    double record_stall = 0.0;
+    for (const auto &rec : r.records)
+        record_stall += rec.stallSeconds;
+    const double accounted =
+        g.evictionStallSeconds + g.swapInducedStallSeconds;
+    EXPECT_NEAR(record_stall, accounted, 1e-9 * accounted);
+
+    // Recompute has no swap lumps: its identity reduces to the
+    // direct eviction stall alone.
+    cluster::ClusterOptions rec_opt = copt;
+    rec_opt.serving.preemptPolicy = KvPreemptPolicy::Recompute;
+    cluster::ClusterResult rr =
+        cluster::ClusterEngine(cfg, rec_opt).run(reqs, spec, model);
+    EXPECT_EQ(rr.perGroup[0].swapInducedStallSeconds, 0.0);
+    double rec_stall = 0.0;
+    for (const auto &x : rr.records)
+        rec_stall += x.stallSeconds;
+    EXPECT_NEAR(rec_stall, rr.perGroup[0].evictionStallSeconds,
+                1e-9 * rr.perGroup[0].evictionStallSeconds);
+}
+
 TEST(KvPreemption, WorksCombinedWithChunkedPrefillUnderCluster)
 {
     PlatformConfig cfg = makePapiConfig();

@@ -4,8 +4,8 @@
 Dependency-free smoke check for CI: after `microbench_simulator
 --quick --out FILE`, this script asserts that every section the
 papi-microbench/1 schema promises is present with its required keys,
-including the papi-policy/1, papi-cluster/1, and papi-continuous/1
-sub-schemas. It does not judge the performance numbers themselves -
+including the papi-policy/1, papi-cluster/1, papi-continuous/1, and
+papi-disagg/1 sub-schemas. It does not judge the performance numbers themselves -
 it exists so a refactor that silently drops or renames a JSON field
 fails the build rather than producing an unreadable trajectory.
 
@@ -33,7 +33,7 @@ def main():
 
     need(doc, "$", ["schema", "quick", "event_queue", "dram",
                     "decode", "serving", "figure_cell", "policy",
-                    "cluster", "continuous", "summary"])
+                    "cluster", "continuous", "disagg", "summary"])
     if doc.get("schema") != "papi-microbench/1":
         FAILURES.append(f"$.schema: unexpected '{doc.get('schema')}'")
 
@@ -119,6 +119,56 @@ def main():
             "$.continuous.preemption_count: the preemption mode "
             "must actually preempt under the forced KV pool")
 
+    dis = doc.get("disagg", {})
+    need(dis, "$.disagg",
+         ["schema", "model", "arrival", "prefill_chunk_tokens",
+          "replicas", "prefill_replicas", "decode_replicas",
+          "transfer_link", "modes",
+          "disagg_ttft_p99_speedup_vs_colocated",
+          "disagg_tpot_p99_speedup_vs_colocated",
+          "kv_transfer_count"])
+    if dis.get("schema") != "papi-disagg/1":
+        FAILURES.append("$.disagg.schema: unexpected "
+                        f"'{dis.get('schema')}'")
+    if dis.get("arrival", {}).get("trace") != "prefill-heavy":
+        FAILURES.append("$.disagg.arrival.trace: the comparison "
+                        "runs on the prefill-heavy trace")
+    dmodes = [c.get("mode") for c in dis.get("modes", [])]
+    if dmodes != ["colocated", "disaggregated"]:
+        FAILURES.append(f"$.disagg.modes: unexpected set {dmodes}")
+    for i, cell in enumerate(dis.get("modes", [])):
+        need(cell, f"$.disagg.modes[{i}]",
+             ["mode", "makespan_seconds", "sim_tokens_per_sec",
+              "ttft_p50_seconds", "ttft_p99_seconds",
+              "tpot_p50_seconds", "tpot_p99_seconds",
+              "queueing_mean_seconds", "energy_joules",
+              "kv_transfers", "kv_transfer_gb",
+              "kv_transfer_seconds", "wall_seconds"])
+    ttft_win = dis.get("disagg_ttft_p99_speedup_vs_colocated", 0)
+    if not isinstance(ttft_win, (int, float)) or ttft_win <= 1.0:
+        FAILURES.append(
+            "$.disagg.disagg_ttft_p99_speedup_vs_colocated: "
+            "disaggregated serving must beat colocated p99 TTFT on "
+            f"the committed prefill-heavy trace (got {ttft_win})")
+    if not isinstance(dis.get("kv_transfer_count"), int) or \
+            dis.get("kv_transfer_count", 0) <= 0:
+        FAILURES.append(
+            "$.disagg.kv_transfer_count: the disaggregated mode "
+            "must actually migrate KV across the link")
+    dreqs = dis.get("arrival", {}).get("requests")
+    if isinstance(dreqs, int) and \
+            dis.get("kv_transfer_count") != dreqs:
+        FAILURES.append(
+            "$.disagg.kv_transfer_count: every request must cross "
+            f"the link exactly once (got "
+            f"{dis.get('kv_transfer_count')} transfers for {dreqs} "
+            "requests)")
+    if dis.get("modes") and \
+            dis["modes"][0].get("kv_transfers", -1) != 0:
+        FAILURES.append(
+            "$.disagg.modes[0].kv_transfers: the colocated baseline "
+            "must not migrate KV")
+
     need(doc.get("summary", {}), "$.summary",
          ["event_queue_speedup_geomean", "dram_stream_speedup",
           "dram_pump_speedup", "overall_speedup_geomean"])
@@ -129,7 +179,7 @@ def main():
         print(f"{len(FAILURES)} schema failure(s)")
         return 1
     print(f"OK {sys.argv[1]}: papi-microbench/1 schema valid "
-          "(incl. policy, cluster, continuous sub-schemas)")
+          "(incl. policy, cluster, continuous, disagg sub-schemas)")
     return 0
 
 
