@@ -54,6 +54,7 @@
  *     "cluster": { ... },               // papi-cluster/1, see below
  *     "continuous": { ... },            // papi-continuous/1, below
  *     "disagg": { ... },                // papi-disagg/1, below
+ *     "faults": { ... },                // papi-faults/1, below
  *     "summary": {                      // absent with --legacy-queue
  *       "event_queue_speedup_geomean": x,
  *       "dram_stream_speedup": x,
@@ -164,6 +165,38 @@
  *     "disagg_ttft_p99_speedup_vs_colocated": x,  // > 1 = win
  *     "disagg_tpot_p99_speedup_vs_colocated": x,
  *     "kv_transfer_count": n            // disagg-mode migrations
+ *   }
+ *
+ * The "faults" section is its own sub-schema (papi-faults/1): one
+ * shared GeneralQa stream on a disaggregated cluster, served under
+ * four recovery policies against the same deterministic FaultPlan
+ * (a mid-run decode-replica crash with a cold restart): no faults
+ * at all, fail-stop (losses dropped), retry with failover, and
+ * retry plus SLO-aware load shedding
+ * (docs/BENCHMARKS.md documents every field):
+ *   {
+ *     "schema": "papi-faults/1",
+ *     "model": str,
+ *     "arrival": { "trace": "general-qa", "rate_rps": x,
+ *                  "requests": n, "seed": n, "max_rlp": n },
+ *     "prefill_replicas": n, "decode_replicas": n,
+ *     "plan": { "victim_replica": n, "crash_seconds": x,
+ *               "restart_seconds": x },
+ *     "recovery": { "max_attempts": n,
+ *                   "retry_backoff_seconds": x,
+ *                   "deadline_seconds": x },  // retry+shed only
+ *     "no_fault_matches_baseline": bool, // bit-identity check
+ *     "modes": [
+ *       { "mode": "no-fault|fail-stop|retry|retry+shed",
+ *         "requests_offered": n, "requests_served": n,
+ *         "failed_requests": n, "shed_requests": n,
+ *         "retried_requests": n, "retry_recomputed_tokens": n,
+ *         "injected_crashes": n, "replica_restarts": n,
+ *         "kv_transfer_fallbacks": n, "makespan_seconds": x,
+ *         "goodput_tokens_per_sec": x, "slo_attainment": x,
+ *         "ttft_p99_seconds": x, "wall_seconds": s }, ...
+ *     ],
+ *     "retry_goodput_speedup_vs_failstop": x  // > 1 = win
  *   }
  */
 
@@ -910,6 +943,143 @@ benchDisagg(bool quick)
     return out;
 }
 
+/** One recovery-policy cell of the papi-faults/1 section. */
+struct FaultCell
+{
+    /** "no-fault" | "fail-stop" | "retry" | "retry+shed". */
+    const char *mode = nullptr;
+    cluster::ClusterResult result;
+    double wall = 0.0;
+};
+
+/** Inputs and outcomes of the failure-recovery comparison. */
+struct FaultBench
+{
+    double rateRps = 0.0;
+    std::uint32_t requests = 0;
+    std::uint32_t maxRlp = 0;
+    std::uint32_t chunkTokens = 0;
+    std::uint64_t seed = 0;
+    std::uint32_t prefillReplicas = 0;
+    std::uint32_t decodeReplicas = 0;
+    std::uint32_t victimReplica = 0; ///< Crashed replica index.
+    double crashSeconds = 0.0;
+    double restartSeconds = 0.0;
+    double deadlineSeconds = 0.0; ///< retry+shed TTFT deadline.
+    cluster::FaultRecoveryOptions recovery;
+    /** Bitwise: arming a never-engaged crash-free plan changed
+     *  nothing (the fault machinery is free until a fault fires). */
+    bool noFaultMatchesBaseline = false;
+    std::vector<FaultCell> cells; ///< no-fault, fail-stop, retry,
+                                  ///< retry+shed.
+};
+
+/** Key cluster aggregates compared bitwise (no tolerance). */
+bool
+clusterBitwiseEqual(const cluster::ClusterResult &a,
+                    const cluster::ClusterResult &b)
+{
+    return a.makespanSeconds == b.makespanSeconds &&
+           a.energyJoules == b.energyJoules &&
+           a.tokensGenerated == b.tokensGenerated &&
+           a.requestsServed == b.requestsServed &&
+           a.ttft.p99 == b.ttft.p99 && a.tpot.p99 == b.tpot.p99 &&
+           a.kvTransferSeconds == b.kvTransferSeconds &&
+           a.goodputTokensPerSecond == b.goodputTokensPerSecond &&
+           a.sloAttainment == b.sloAttainment;
+}
+
+/**
+ * Failure recovery under one deterministic FaultPlan: the same
+ * GeneralQa stream on a disaggregated 2+2 cluster, with the first
+ * decode replica fail-stopping mid-run and cold-restarting half a
+ * second later. Four recovery policies serve the identical fault
+ * schedule: no plan at all (the baseline, plus a bitwise check that
+ * arming a never-engaged crash-free plan changes nothing),
+ * fail-stop (every request the crash harvests is dropped - lowest
+ * goodput), retry with failover (losses re-prefill through the
+ * prefill pool and migrate to the surviving decode replica), and
+ * retry with an SLO deadline that sheds requests whose TTFT target
+ * already passed while queued. Retry must beat fail-stop on goodput
+ * - that ratio is enforced by tools/check_bench_schema.py.
+ */
+FaultBench
+benchFaults(bool quick)
+{
+    FaultBench out;
+    out.rateRps = 60.0;
+    out.requests = quick ? 96 : 192;
+    out.maxRlp = 16;
+    out.chunkTokens = 32;
+    out.seed = 11;
+    out.prefillReplicas = 2;
+    out.decodeReplicas = 2;
+    out.victimReplica = 2; // first decode replica
+    out.crashSeconds = 0.7;
+    out.restartSeconds = 1.0;
+    out.deadlineSeconds = 1.5;
+    out.recovery.retryBackoffSeconds = 0.02;
+
+    core::PlatformConfig cfg = core::makePapiConfig();
+    llm::ModelConfig model = llm::llama65b();
+    core::Platform reference(cfg);
+    double alpha =
+        core::ThresholdCalibrator::calibrate(reference, model).alpha;
+    llm::ArrivalProcess arrivals(llm::TraceCategory::GeneralQa,
+                                 out.rateRps, out.seed);
+    auto stream = arrivals.generate(out.requests);
+    llm::SpeculativeConfig spec;
+
+    cluster::ClusterOptions base;
+    base.serving.alpha = alpha;
+    base.serving.maxRlp = out.maxRlp;
+    base.serving.prefillChunkTokens = out.chunkTokens;
+    base.disagg.enabled = true;
+    base.disagg.prefillReplicas = out.prefillReplicas;
+    base.disagg.decodeReplicas = out.decodeReplicas;
+    base.disagg.prefillPolicy =
+        cluster::RouterPolicy::LeastOutstanding;
+    base.recovery = out.recovery;
+
+    auto run_mode = [&](const char *mode,
+                        const cluster::ClusterOptions &opt) {
+        cluster::ClusterEngine engine(cfg, opt);
+        auto start = Clock::now();
+        FaultCell cell;
+        cell.mode = mode;
+        cell.result = engine.run(stream, spec, model);
+        cell.wall = secondsSince(start);
+        out.cells.push_back(std::move(cell));
+    };
+
+    run_mode("no-fault", base);
+
+    // Crash-free plan whose single link window sits far past the
+    // run: the injector arms but nothing ever fires, so the result
+    // must stay bitwise equal to the unarmed baseline.
+    cluster::ClusterOptions ghost = base;
+    ghost.faults.linkFaults.push_back({1.0e6, 1.0e6 + 1.0, 0.0});
+    cluster::ClusterResult armed =
+        cluster::ClusterEngine(cfg, ghost).run(stream, spec, model);
+    out.noFaultMatchesBaseline =
+        clusterBitwiseEqual(out.cells[0].result, armed);
+
+    cluster::ClusterOptions faulty = base;
+    faulty.faults.replicaFaults.push_back(
+        {out.victimReplica, out.crashSeconds, out.restartSeconds});
+
+    cluster::ClusterOptions failstop = faulty;
+    failstop.recovery.retryFailedRequests = false;
+    run_mode("fail-stop", failstop);
+
+    run_mode("retry", faulty);
+
+    cluster::ClusterOptions shed = faulty;
+    shed.serving.deadlineSeconds = out.deadlineSeconds;
+    run_mode("retry+shed", shed);
+    return out;
+}
+
 void
 writeJson(std::FILE *f, bool quick, bool legacy_only,
           std::uint64_t eq_events,
@@ -922,7 +1092,8 @@ writeJson(std::FILE *f, bool quick, bool legacy_only,
           std::uint64_t srv_tokens, std::uint64_t srv_iters,
           double srv_wall, std::uint32_t fig_cells, double fig_wall,
           const PolicyBench &pb, const ClusterBench &cb,
-          const ContinuousBench &nb, const DisaggBench &db)
+          const ContinuousBench &nb, const DisaggBench &db,
+          const FaultBench &fb)
 {
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"schema\": \"papi-microbench/1\",\n");
@@ -1195,6 +1366,75 @@ writeJson(std::FILE *f, bool quick, bool legacy_only,
         db.cells[0].result.tpot.p99 / db.cells[1].result.tpot.p99,
         static_cast<unsigned long long>(
             db.cells[1].result.kvTransfers));
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"faults\": {\n");
+    std::fprintf(f, "    \"schema\": \"papi-faults/1\",\n");
+    std::fprintf(f, "    \"model\": \"llama-65b\",\n");
+    std::fprintf(f,
+                 "    \"arrival\": {\"trace\": \"general-qa\", "
+                 "\"rate_rps\": %.1f, \"requests\": %u, \"seed\": "
+                 "%llu, \"max_rlp\": %u},\n",
+                 fb.rateRps, fb.requests,
+                 static_cast<unsigned long long>(fb.seed), fb.maxRlp);
+    std::fprintf(f,
+                 "    \"prefill_replicas\": %u, "
+                 "\"decode_replicas\": %u,\n",
+                 fb.prefillReplicas, fb.decodeReplicas);
+    std::fprintf(f,
+                 "    \"plan\": {\"victim_replica\": %u, "
+                 "\"crash_seconds\": %.3f, "
+                 "\"restart_seconds\": %.3f},\n",
+                 fb.victimReplica, fb.crashSeconds,
+                 fb.restartSeconds);
+    std::fprintf(f,
+                 "    \"recovery\": {\"max_attempts\": %u, "
+                 "\"retry_backoff_seconds\": %.3f, "
+                 "\"deadline_seconds\": %.3f},\n",
+                 fb.recovery.maxAttempts,
+                 fb.recovery.retryBackoffSeconds, fb.deadlineSeconds);
+    std::fprintf(f, "    \"no_fault_matches_baseline\": %s,\n",
+                 fb.noFaultMatchesBaseline ? "true" : "false");
+    std::fprintf(f, "    \"modes\": [\n");
+    for (std::size_t i = 0; i < fb.cells.size(); ++i) {
+        const FaultCell &c = fb.cells[i];
+        const cluster::ClusterResult &r = c.result;
+        std::fprintf(
+            f,
+            "      {\"mode\": \"%s\",\n"
+            "       \"requests_offered\": %llu, "
+            "\"requests_served\": %llu, "
+            "\"failed_requests\": %llu,\n"
+            "       \"shed_requests\": %llu, "
+            "\"retried_requests\": %llu, "
+            "\"retry_recomputed_tokens\": %llu,\n"
+            "       \"injected_crashes\": %llu, "
+            "\"replica_restarts\": %llu, "
+            "\"kv_transfer_fallbacks\": %llu,\n"
+            "       \"makespan_seconds\": %.6f, "
+            "\"goodput_tokens_per_sec\": %.6e,\n"
+            "       \"slo_attainment\": %.6f, "
+            "\"ttft_p99_seconds\": %.6f, "
+            "\"wall_seconds\": %.6f}%s\n",
+            c.mode,
+            static_cast<unsigned long long>(r.requestsOffered),
+            static_cast<unsigned long long>(r.requestsServed),
+            static_cast<unsigned long long>(r.failedRequests),
+            static_cast<unsigned long long>(r.shedRequests),
+            static_cast<unsigned long long>(r.retriedRequests),
+            static_cast<unsigned long long>(r.retryRecomputedTokens),
+            static_cast<unsigned long long>(r.injectedCrashes),
+            static_cast<unsigned long long>(r.replicaRestarts),
+            static_cast<unsigned long long>(r.kvTransferFallbacks),
+            r.makespanSeconds, r.goodputTokensPerSecond,
+            r.sloAttainment, r.ttft.p99, c.wall,
+            i + 1 < fb.cells.size() ? "," : "");
+    }
+    std::fprintf(f, "    ],\n");
+    // Cells are ordered no-fault, fail-stop, retry, retry+shed.
+    std::fprintf(
+        f, "    \"retry_goodput_speedup_vs_failstop\": %.3f\n",
+        fb.cells[2].result.goodputTokensPerSecond /
+            fb.cells[1].result.goodputTokensPerSecond);
     std::fprintf(f, "  }%s\n", legacy_only ? "" : ",");
     if (!legacy_only) {
         double stream_speedup =
@@ -1298,12 +1538,13 @@ main(int argc, char **argv)
     ClusterBench cb = benchCluster(quick);
     ContinuousBench nb = benchContinuous(quick);
     DisaggBench db = benchDisagg(quick);
+    FaultBench fb = benchFaults(quick);
 
     writeJson(stdout, quick, legacy_only, eq_events, patterns,
               geomean, dram_n, stream_new, stream_legacy, pump_new,
               pump_legacy, dec_tokens, dec_iters, dec_wall,
               srv_tokens, srv_iters, srv_wall, fig_cells, fig_wall,
-              pb, cb, nb, db);
+              pb, cb, nb, db, fb);
     if (out_path) {
         std::FILE *f = std::fopen(out_path, "w");
         if (!f) {
@@ -1314,7 +1555,7 @@ main(int argc, char **argv)
                   dram_n, stream_new, stream_legacy, pump_new,
                   pump_legacy, dec_tokens, dec_iters, dec_wall,
                   srv_tokens, srv_iters, srv_wall, fig_cells,
-                  fig_wall, pb, cb, nb, db);
+                  fig_wall, pb, cb, nb, db, fb);
         std::fclose(f);
     }
     return 0;

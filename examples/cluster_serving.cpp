@@ -51,6 +51,7 @@
 #include "core/threshold_calibrator.hh"
 #include "example_util.hh"
 #include "llm/arrival.hh"
+#include "sim/logging.hh"
 
 using namespace papi;
 
@@ -83,8 +84,8 @@ meanUtilization(const cluster::ClusterResult &r)
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     sim::Config config;
     for (int i = 1; i < argc; ++i)
@@ -260,4 +261,19 @@ main(int argc, char **argv)
                  "tp=<g> trades per-iteration compute\nfor "
                  "all-reduce fabric time within each group.\n";
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // Bad flags (unknown platform/policy/model names, degenerate
+    // link or fault parameters) raise sim::FatalError deep inside
+    // the engine; surface them as a clean CLI error instead of an
+    // uncaught-exception abort.
+    try {
+        return run(argc, argv);
+    } catch (const sim::FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
 }

@@ -43,11 +43,12 @@
 #include "example_util.hh"
 #include "llm/arrival.hh"
 #include "sim/config.hh"
+#include "sim/logging.hh"
 
 using namespace papi;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     sim::Config cfg;
     for (int i = 1; i < argc; ++i)
@@ -165,4 +166,19 @@ main(int argc, char **argv)
                 r.preemptionStall.p99);
     std::printf("  energy        %.0f J\n", r.energyJoules);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // Bad flags (unknown platform/policy/model names, degenerate
+    // link or fault parameters) raise sim::FatalError deep inside
+    // the engine; surface them as a clean CLI error instead of an
+    // uncaught-exception abort.
+    try {
+        return run(argc, argv);
+    } catch (const sim::FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
 }

@@ -21,6 +21,7 @@
  * keys: rate (req/s), requests, max_rlp, spec_len, model.
  */
 
+#include <cstdio>
 #include <iostream>
 
 #include "cluster/cluster_engine.hh"
@@ -29,11 +30,12 @@
 #include "core/threshold_calibrator.hh"
 #include "example_util.hh"
 #include "llm/arrival.hh"
+#include "sim/logging.hh"
 
 using namespace papi;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     sim::Config config;
     for (int i = 1; i < argc; ++i)
@@ -98,4 +100,19 @@ main(int argc, char **argv)
               << r.reschedules << " reschedules ("
               << r.reschedulesToGpu << " toward GPU)\n";
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // Bad flags (unknown platform/policy/model names, degenerate
+    // link or fault parameters) raise sim::FatalError deep inside
+    // the engine; surface them as a clean CLI error instead of an
+    // uncaught-exception abort.
+    try {
+        return run(argc, argv);
+    } catch (const sim::FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
 }

@@ -48,6 +48,7 @@ validateClusterOptions(const ClusterOptions &options)
     if (options.tensorParallelDegree == 0)
         sim::fatal("ClusterEngine: tensorParallelDegree must be "
                    ">= 1");
+    options.tpFabric.validate();
     if (options.disagg.enabled) {
         if (options.disagg.prefillReplicas == 0 ||
             options.disagg.decodeReplicas == 0)
@@ -183,6 +184,22 @@ ClusterEngine::run(const std::vector<llm::TimedRequest> &stream,
     if (disagg)
         driver.enableDisaggregation(
             {prefill_pool, _options.disagg.transferLink});
+
+    // Fault injection: an empty plan builds no injector and
+    // schedules nothing - the run is byte-identical to the
+    // pre-fault engine (pinned). Link faults degrade the disagg
+    // KV-migration fabric (the driver rejects them without one).
+    std::unique_ptr<FaultInjector> injector;
+    if (!_options.faults.empty()) {
+        injector = std::make_unique<FaultInjector>(
+            driver, _options.faults, _options.recovery);
+        injector->arm();
+        if (!_options.faults.linkFaults.empty())
+            driver.setLinkFaults(
+                _options.faults.linkFaults,
+                _options.recovery.transferTimeoutSeconds);
+    }
+
     driver.runStream(
         stream, [&](const llm::TimedRequest &request) {
             for (std::uint32_t g = 0; g < route_width; ++g) {
@@ -194,6 +211,7 @@ ClusterEngine::run(const std::vector<llm::TimedRequest> &stream,
                 // routing stays bit-stable (field left 0).
                 if (disagg)
                     loads[g].busyUntilSeconds = sims[g]->now();
+                loads[g].alive = !driver.isDown(g);
             }
             return router.route(request, loads);
         });
@@ -224,6 +242,24 @@ ClusterEngine::run(const std::vector<llm::TimedRequest> &stream,
         out.energyJoules += xfer.joules;
     }
     double t_end = stream.front().arrivalSeconds;
+    for (std::uint32_t g = 0; g < _numGroups; ++g)
+        t_end = std::max(t_end, sims[g]->now());
+    if (injector) {
+        // Close downtime windows and harvest requests stranded on
+        // never-restarted replicas (counted failed) before the
+        // per-replica results are read.
+        injector->finalize(t_end);
+        const FaultStats &fs = injector->stats();
+        out.failedRequests = fs.failedRequests;
+        out.retriedRequests = fs.retriesScheduled;
+        out.retryRecomputedTokens = fs.retryRecomputedTokens;
+        out.injectedCrashes = fs.crashes;
+        out.replicaRestarts = fs.restarts;
+        out.replicaDowntimeSeconds = fs.downtimeSeconds;
+    } else {
+        out.replicaDowntimeSeconds.assign(_numGroups, 0.0);
+    }
+    out.kvTransferFallbacks = driver.transferStats().fallbacks;
     for (std::uint32_t g = 0; g < _numGroups; ++g) {
         core::ServingResult r = sims[g]->finish();
         out.energyJoules += r.energyJoules;
@@ -238,6 +274,41 @@ ClusterEngine::run(const std::vector<llm::TimedRequest> &stream,
     }
     out.makespanSeconds = t_end - stream.front().arrivalSeconds;
     out.requestsServed = out.records.size();
+    out.requestsOffered = stream.size();
+    for (const core::ServingResult &r : out.perGroup)
+        out.shedRequests += r.shedRequests;
+    if (out.requestsServed + out.failedRequests +
+            out.shedRequests != out.requestsOffered)
+        sim::panic("ClusterEngine: request conservation violated "
+                   "(offered ", out.requestsOffered, " != served ",
+                   out.requestsServed, " + failed ",
+                   out.failedRequests, " + shed ",
+                   out.shedRequests, ")");
+    std::uint64_t served_tokens = 0;
+    for (const auto &rec : out.records)
+        served_tokens += rec.outputTokens;
+    out.goodputTokensPerSecond =
+        out.makespanSeconds > 0.0
+            ? static_cast<double>(served_tokens) /
+                  out.makespanSeconds
+            : 0.0;
+    const double deadline = _options.serving.deadlineSeconds;
+    if (deadline > 0.0) {
+        std::uint64_t met = 0;
+        for (const auto &rec : out.records) {
+            if (rec.ttftSeconds() <= deadline)
+                ++met;
+        }
+        out.sloAttainment =
+            static_cast<double>(met) /
+            static_cast<double>(out.requestsOffered);
+    } else {
+        // No deadline configured: SLO attainment degrades to the
+        // completion rate (every served request "meets" it).
+        out.sloAttainment =
+            static_cast<double>(out.requestsServed) /
+            static_cast<double>(out.requestsOffered);
+    }
     for (std::uint32_t g = 0; g < _numGroups; ++g) {
         out.groupUtilization[g] =
             out.makespanSeconds > 0.0
@@ -338,6 +409,54 @@ ClusterResult::populateStats(sim::stats::StatGroup &group) const
         group.addScalar("kv_transfer_joules",
                         "link energy of all KV migrations")
             .set(kvTransferJoules);
+    }
+
+    group.addScalar("requests_offered",
+                    "arrival stream size (served + failed + shed)")
+        .set(static_cast<double>(requestsOffered));
+    group.addScalar("goodput_tokens_per_second",
+                    "completed-request tokens over the makespan")
+        .set(goodputTokensPerSecond);
+    group.addScalar("slo_attainment",
+                    "offered requests meeting the TTFT deadline "
+                    "(completion rate when no deadline is set)")
+        .set(sloAttainment);
+    const bool faulty = injectedCrashes > 0 || failedRequests > 0 ||
+                        shedRequests > 0 || retriedRequests > 0 ||
+                        kvTransferFallbacks > 0;
+    if (faulty) {
+        group.addScalar("failed_requests",
+                        "requests dropped for good under faults")
+            .set(static_cast<double>(failedRequests));
+        group.addScalar("shed_requests",
+                        "requests shed at admission past deadline")
+            .set(static_cast<double>(shedRequests));
+        group.addScalar("retried_requests",
+                        "retry resubmissions issued")
+            .set(static_cast<double>(retriedRequests));
+        group.addScalar("retry_recomputed_tokens",
+                        "tokens recomputed from scratch by retries")
+            .set(static_cast<double>(retryRecomputedTokens));
+        group.addScalar("injected_crashes",
+                        "replica crashes executed")
+            .set(static_cast<double>(injectedCrashes));
+        group.addScalar("replica_restarts",
+                        "replica restarts executed")
+            .set(static_cast<double>(replicaRestarts));
+        group.addScalar("kv_transfer_fallbacks",
+                        "KV migrations fallen back to recompute")
+            .set(static_cast<double>(kvTransferFallbacks));
+        std::vector<std::string> down_bins;
+        down_bins.reserve(replicaDowntimeSeconds.size());
+        for (std::size_t g = 0; g < replicaDowntimeSeconds.size();
+             ++g)
+            down_bins.push_back("group" + std::to_string(g));
+        auto &down = group.addVector("replica_downtime_seconds",
+                                     "seconds each replica was dark",
+                                     down_bins);
+        for (std::size_t g = 0; g < replicaDowntimeSeconds.size();
+             ++g)
+            down.add(g, replicaDowntimeSeconds[g]);
     }
 
     std::vector<std::string> bins;

@@ -41,12 +41,14 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/fault_injector.hh"
 #include "cluster/router.hh"
 #include "cluster/tensor_parallel.hh"
 #include "core/platform.hh"
 #include "core/serving_engine.hh"
 #include "interconnect/link.hh"
 #include "llm/arrival.hh"
+#include "sim/fault_plan.hh"
 #include "sim/stats.hh"
 
 namespace papi::cluster {
@@ -102,6 +104,16 @@ struct ClusterOptions
      * DisaggConfig::prefillPolicy on the admission edge.
      */
     DisaggConfig disagg;
+    /**
+     * Deterministic fault schedule (replica crashes/restarts, link
+     * degradation windows). Empty by default: no injector is built
+     * and the run is byte-identical to the pre-fault engine (pinned
+     * by tests). Link faults require disaggregation (they degrade
+     * the KV-migration fabric).
+     */
+    sim::FaultPlan faults;
+    /** Recovery policy for requests lost to injected faults. */
+    FaultRecoveryOptions recovery;
 };
 
 /** p50/p95/p99 of one latency population, seconds. */
@@ -165,6 +177,42 @@ struct ClusterResult
     double kvTransferSeconds = 0.0;
     /** Link energy of all KV migrations (included in energyJoules). */
     double kvTransferJoules = 0.0;
+
+    // ---- Fault injection, recovery, and SLO accounting. All zero
+    // ---- (or trivially derived) in fault-free runs, so a run with
+    // ---- no FaultPlan stays byte-identical to the pre-fault engine.
+
+    /** Requests offered to the cluster (the arrival stream size).
+     *  Conserved: offered = served + failed + shed. */
+    std::uint64_t requestsOffered = 0;
+    /** Requests dropped for good (retries exhausted, fail-stop
+     *  losses, or stranded on a never-restarted replica). */
+    std::uint64_t failedRequests = 0;
+    /** Requests shed at admission because their deadline had
+     *  already passed (ServingOptions::deadlineSeconds). */
+    std::uint64_t shedRequests = 0;
+    /** Retry resubmissions issued by the recovery policy. */
+    std::uint64_t retriedRequests = 0;
+    /** Prefill + decode tokens recomputed from scratch by retries
+     *  (work paid twice; the price of recovery). */
+    std::uint64_t retryRecomputedTokens = 0;
+    std::uint64_t injectedCrashes = 0;  ///< Replica crashes executed.
+    std::uint64_t replicaRestarts = 0;  ///< Replica restarts executed.
+    /** KV migrations that fell back to decode-pool recompute (link
+     *  timeout or destination died in flight). */
+    std::uint64_t kvTransferFallbacks = 0;
+    /** Per-replica seconds spent dark (always sized numGroups). */
+    std::vector<double> replicaDowntimeSeconds;
+    /**
+     * With a TTFT deadline configured: fraction of *offered*
+     * requests whose first token landed inside it (failed and shed
+     * requests count against it). Without one: served / offered.
+     */
+    double sloAttainment = 0.0;
+    /** Output tokens of *completed* requests over the makespan -
+     *  excludes crash-lost generation and retry recompute, unlike
+     *  throughputTokensPerSecond(). */
+    double goodputTokensPerSecond = 0.0;
 
     /** Cluster decode throughput over the makespan. */
     double

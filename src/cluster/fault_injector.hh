@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Fault injection and failure recovery over the serving cluster.
+ *
+ * A FaultInjector arms a deterministic sim::FaultPlan onto the
+ * cluster's shared event queue: replica crashes fail-stop a backend
+ * mid-run (every in-flight request loses its KV), restarts bring it
+ * back after the plan's cold-start delay, and link-degradation
+ * windows are handed to the driver's KV-migration fabric. Recovery
+ * is a per-request retry policy: each harvested request is
+ * resubmitted to the least-loaded alive replica after an exponential
+ * backoff, up to a maximum attempt count - or dropped immediately in
+ * fail-stop mode, which is the baseline recovery policies are
+ * measured against. Everything is scheduled at a dedicated event
+ * priority, so a fixed plan yields a byte-deterministic run and an
+ * empty plan schedules nothing at all (fault-free byte-identity is
+ * pinned by tests).
+ */
+
+#ifndef PAPI_CLUSTER_FAULT_INJECTOR_HH
+#define PAPI_CLUSTER_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "llm/arrival.hh"
+#include "sim/fault_plan.hh"
+
+namespace papi::core {
+class ServingEventDriver;
+} // namespace papi::core
+
+namespace papi::cluster {
+
+/** Recovery policy applied to requests lost to an injected fault. */
+struct FaultRecoveryOptions
+{
+    /**
+     * Resubmit requests harvested from a crash. False models
+     * fail-stop serving (no recovery): every lost request counts
+     * failed - the baseline any retry policy is compared against.
+     */
+    bool retryFailedRequests = true;
+    /** Attempts per request including the first (>= 1). */
+    std::uint32_t maxAttempts = 3;
+    /** Backoff before a request's first retry, seconds. */
+    double retryBackoffSeconds = 0.05;
+    /** Backoff growth per additional loss of the same request. */
+    double retryBackoffMultiplier = 2.0;
+    /**
+     * Abandon a disaggregated KV migration whose link time exceeds
+     * this (a partitioned fabric would otherwise stall it forever);
+     * the request falls back to decode-pool prompt recompute.
+     */
+    double transferTimeoutSeconds = 1.0;
+};
+
+/** Fault and recovery accounting of one cluster run. */
+struct FaultStats
+{
+    std::uint64_t crashes = 0;  ///< Replica crashes executed.
+    std::uint64_t restarts = 0; ///< Replica restarts executed.
+    /** Requests harvested from crashed replicas (per loss event; a
+     *  twice-crashed request counts twice). */
+    std::uint64_t lostRequests = 0;
+    std::uint64_t retriesScheduled = 0; ///< Resubmissions issued.
+    /** Requests dropped for good: retries exhausted, fail-stop
+     *  losses, or still queued on a dark replica at run end. */
+    std::uint64_t failedRequests = 0;
+    /** Prefill + decode tokens whose work must be redone because a
+     *  retry recomputes from scratch (the price of recovery). */
+    std::uint64_t retryRecomputedTokens = 0;
+    /** Per-replica seconds spent dark (crash to restart, or to the
+     *  end of the run for replicas that never came back). */
+    std::vector<double> downtimeSeconds;
+};
+
+/**
+ * Executes a sim::FaultPlan against a core::ServingEventDriver and
+ * recovers (or drops) the requests each fault kills.
+ */
+class FaultInjector
+{
+  public:
+    /**
+     * @param driver The cluster's event driver; borrowed, must
+     *        outlive the injector. Installs the driver's
+     *        unrecoverable-migration handler.
+     * @param plan Validated against the driver's replica count.
+     * @param recovery Retry/backoff policy; validated here.
+     */
+    FaultInjector(core::ServingEventDriver &driver,
+                  const sim::FaultPlan &plan,
+                  const FaultRecoveryOptions &recovery);
+
+    /** Schedule every plan event onto the queue (call before the
+     *  driver runs; an empty plan schedules nothing). */
+    void arm();
+
+    /** True while replica @p g is up (the router's health mask). */
+    bool alive(std::uint32_t g) const;
+
+    /**
+     * Close the books after the queue drained: charge open downtime
+     * windows through @p end_seconds and harvest anything still
+     * queued on never-restarted replicas as failed.
+     */
+    void finalize(double end_seconds);
+
+    /** Accounting so far (complete after finalize). */
+    const FaultStats &stats() const { return _stats; }
+
+  private:
+    void onCrash(std::uint32_t g, double when);
+    void onRestart(std::uint32_t g, double when);
+    /** One request lost to a fault: retry it (backoff, failover) or
+     *  count it failed, per the recovery policy. */
+    void onLost(const llm::TimedRequest &request, double when,
+                std::uint64_t recompute_tokens);
+    /** Deliver a scheduled retry to the least-loaded alive replica
+     *  (or park it until the next planned restart). */
+    void resubmit(const llm::TimedRequest &request, double when);
+    /** Earliest planned restart strictly after @p t (inf if none). */
+    double nextRestartAfter(double t) const;
+
+    core::ServingEventDriver &_driver;
+    sim::FaultPlan _plan;
+    FaultRecoveryOptions _recovery;
+    FaultStats _stats;
+    /** Per-replica crash time of the open downtime window (< 0 when
+     *  the replica is up). */
+    std::vector<double> _downSince;
+    /** Times each request id has been lost to a fault. */
+    std::unordered_map<std::uint64_t, std::uint32_t> _losses;
+};
+
+} // namespace papi::cluster
+
+#endif // PAPI_CLUSTER_FAULT_INJECTOR_HH

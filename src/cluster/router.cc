@@ -46,18 +46,48 @@ Router::route(const llm::TimedRequest &request,
     if (loads.size() != _numBackends)
         sim::panic("Router: ", loads.size(), " loads for ",
                    _numBackends, " backends");
-    switch (_policy) {
-      case RouterPolicy::RoundRobin: {
-        std::uint32_t pick = _rrNext;
+    // Round-robin pick skipping dead backends: the cursor lands
+    // where it always did, then probes forward past the dead (the
+    // cursor follows the probe so rotation stays fair). With every
+    // backend alive this is exactly the pre-fault cursor walk.
+    auto round_robin = [this, &loads]() -> std::uint32_t {
+        const std::uint32_t pick = _rrNext;
         _rrNext = (_rrNext + 1) % _numBackends;
-        return pick;
-      }
+        if (loads[pick].alive)
+            return pick;
+        for (std::uint32_t k = 1; k < _numBackends; ++k) {
+            const std::uint32_t cand = (pick + k) % _numBackends;
+            if (loads[cand].alive) {
+                _rrNext = (cand + 1) % _numBackends;
+                return cand;
+            }
+        }
+        return pick; // total outage: deterministic fallback
+    };
+    switch (_policy) {
+      case RouterPolicy::RoundRobin:
+        return round_robin();
       case RouterPolicy::LeastOutstanding: {
-        std::uint32_t best = 0;
-        for (std::uint32_t i = 1; i < _numBackends; ++i) {
-            // Fewest outstanding wins; equal-outstanding ties break
+        constexpr std::uint32_t kNone = ~std::uint32_t{0};
+        std::uint32_t best = kNone;
+        for (std::uint32_t i = 0; i < _numBackends; ++i) {
+            // Fewest outstanding wins among the alive; ties break
             // toward the earliest-free backend (busyUntilSeconds,
             // when provided), then the lowest index.
+            if (!loads[i].alive)
+                continue;
+            if (best == kNone ||
+                loads[i].outstanding < loads[best].outstanding ||
+                (loads[i].outstanding == loads[best].outstanding &&
+                 loads[i].busyUntilSeconds <
+                     loads[best].busyUntilSeconds))
+                best = i;
+        }
+        if (best != kNone)
+            return best;
+        // Total outage: the healthy-cluster scan, ignoring health.
+        best = 0;
+        for (std::uint32_t i = 1; i < _numBackends; ++i) {
             if (loads[i].outstanding < loads[best].outstanding ||
                 (loads[i].outstanding == loads[best].outstanding &&
                  loads[i].busyUntilSeconds <
@@ -71,11 +101,8 @@ Router::route(const llm::TimedRequest &request,
         // affinity: hashing them would collapse all session-less
         // traffic onto one replica, so they fall back to the
         // round-robin cursor instead.
-        if (request.sessionId == 0) {
-            std::uint32_t pick = _rrNext;
-            _rrNext = (_rrNext + 1) % _numBackends;
-            return pick;
-        }
+        if (request.sessionId == 0)
+            return round_robin();
         // splitmix64 finalizer: avalanches consecutive session ids
         // across backends while staying deterministic.
         std::uint64_t h = request.sessionId;
@@ -84,7 +111,19 @@ Router::route(const llm::TimedRequest &request,
         h ^= h >> 27;
         h *= 0x94d049bb133111ebULL;
         h ^= h >> 31;
-        return static_cast<std::uint32_t>(h % _numBackends);
+        const std::uint32_t home =
+            static_cast<std::uint32_t>(h % _numBackends);
+        if (loads[home].alive)
+            return home;
+        // Dead home replica: linear-probe upward so all requests of
+        // one session share the same fallback (affinity survives
+        // the failover; the session's KV re-forms on one replica).
+        for (std::uint32_t k = 1; k < _numBackends; ++k) {
+            const std::uint32_t cand = (home + k) % _numBackends;
+            if (loads[cand].alive)
+                return cand;
+        }
+        return home; // total outage
       }
     }
     sim::panic("Router: unhandled policy");

@@ -67,6 +67,14 @@ struct BackendLoad
      * cluster does, keeping its routing bit-stable).
      */
     double busyUntilSeconds = 0.0;
+    /**
+     * Health mark: every policy skips dead (crashed, not yet
+     * restarted) backends. When no backend is alive the router
+     * falls back to its healthy-cluster pick deterministically -
+     * the request queues on a dark replica and drains at restart.
+     * All-alive routing is bit-identical to the pre-fault router.
+     */
+    bool alive = true;
 };
 
 /**

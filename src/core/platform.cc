@@ -81,6 +81,11 @@ Platform::Platform(const PlatformConfig &config) : _config(config)
     if (!_config.hasGpu && !_config.fcDevicesCompute)
         sim::fatal("Platform '", _config.name, "': no compute at all "
                    "for FC kernels");
+    // FC/attention kernel timings divide by these links' bandwidth;
+    // a degenerate link would poison every timestamp downstream.
+    _config.topology.gpuFabric.validate();
+    _config.topology.attnFabric.validate();
+    _config.topology.hostLink.validate();
 
     _fcDevice = std::make_unique<pim::PimDevice>(
         _config.fcDeviceConfig, _config.pimEnergyParams);

@@ -66,6 +66,12 @@ ServingSim::ServingSim(const Platform &platform,
                    "handoff, so pressure never builds");
     if (_preempt && _options.kvSwapGBps <= 0.0)
         sim::fatal("ServingSim: kvSwapGBps must be positive");
+    if (_options.deadlineSeconds < 0.0)
+        sim::fatal("ServingSim: deadlineSeconds cannot be negative");
+    if (_static.enabled && _options.deadlineSeconds > 0.0)
+        sim::fatal("ServingSim: deadlines/load shedding are "
+                   "serving-path features; static-batch (decode) "
+                   "runs admit the whole batch once");
     _prefillLens.reserve(options.maxRlp);
     _ctx.reserve(options.maxRlp);
 }
@@ -81,7 +87,30 @@ ServingSim::deliver(const llm::TimedRequest &request)
         _anchored = true;
     }
     _lastDelivered = request.arrivalSeconds;
-    _pending.push_back(request);
+    _pending.push_back({request, request.arrivalSeconds});
+}
+
+void
+ServingSim::redeliver(const llm::TimedRequest &request,
+                      double ready_seconds)
+{
+    if (_static.enabled ||
+        _options.admission != AdmissionPolicy::TokenLevel)
+        sim::fatal("ServingSim: retry redelivery requires the "
+                   "token-level serving path");
+    if (ready_seconds < request.arrivalSeconds)
+        sim::fatal("ServingSim: retry of request ",
+                   request.request.id,
+                   " cannot precede its original arrival");
+    if (_anchored && ready_seconds < _lastDelivered)
+        sim::fatal("ServingSim: deliveries must be time-ordered");
+    if (!_anchored) {
+        _firstArrival = ready_seconds;
+        _now = ready_seconds;
+        _anchored = true;
+    }
+    _lastDelivered = ready_seconds;
+    _pending.push_back({request, ready_seconds});
 }
 
 void
@@ -110,6 +139,92 @@ ServingSim::takeHandoffs()
     std::vector<HandoffRecord> out;
     out.swap(_handoffs);
     return out;
+}
+
+std::vector<LostRequest>
+ServingSim::crash(double when)
+{
+    if (_static.enabled)
+        sim::fatal("ServingSim: static-batch (decode) runs have no "
+                   "fault model");
+    std::vector<LostRequest> lost;
+    lost.reserve(_active.size() + _handoffs.size() +
+                 _preempted.size() + _pendingPrefilled.size() +
+                 _pending.size());
+    // Harvest in a fixed order (active, handed off, preempted,
+    // migrated-in, queued) so retry schedules are deterministic.
+    for (const ActiveRequest &a : _active) {
+        LostRequest l;
+        l.request.request = a.request;
+        l.request.request.generated = 0;
+        l.request.arrivalSeconds = a.arrivalSeconds;
+        l.request.sessionId = a.sessionId;
+        l.admitted = true;
+        l.generatedLost = a.request.generated;
+        l.prefillLostTokens =
+            a.request.inputLen - a.prefillRemaining;
+        _kv.release(a.request.id);
+        lost.push_back(l);
+    }
+    _active.clear();
+    // Handed-off prefills not yet collected by the driver die with
+    // the replica (their KV was released at handoff; the buffered
+    // transfer payload is lost).
+    for (const HandoffRecord &h : _handoffs) {
+        LostRequest l;
+        l.request = h.request;
+        l.request.request.generated = 0;
+        l.admitted = true;
+        l.prefillLostTokens = h.request.request.inputLen;
+        lost.push_back(l);
+    }
+    _handoffs.clear();
+    // Preempted requests released their device KV at eviction; any
+    // swapped-out copy lived on this replica's host and is gone too.
+    for (const PreemptedRequest &p : _preempted) {
+        LostRequest l;
+        l.request.request = p.state.request;
+        l.request.request.generated = 0;
+        l.request.arrivalSeconds = p.state.arrivalSeconds;
+        l.request.sessionId = p.state.sessionId;
+        l.admitted = true;
+        l.generatedLost = p.state.request.generated;
+        l.prefillLostTokens =
+            p.state.request.inputLen - p.state.prefillRemaining;
+        lost.push_back(l);
+    }
+    _preempted.clear();
+    // Migrated-in prefills awaiting admission: the prompt phase ran
+    // on the prefill pool and its product died here unadmitted.
+    for (const PrefilledPending &pp : _pendingPrefilled) {
+        LostRequest l;
+        l.request = pp.request;
+        l.request.request.generated = 0;
+        l.admitted = false;
+        l.prefillLostTokens =
+            static_cast<std::uint32_t>(pp.kvTokens);
+        lost.push_back(l);
+    }
+    _pendingPrefilled.clear();
+    for (const PendingRequest &p : _pending) {
+        LostRequest l;
+        l.request = p.request;
+        l.request.request.generated = 0;
+        l.admitted = false;
+        lost.push_back(l);
+    }
+    _pending.clear();
+    _planValid = false;
+    _now = std::max(_now, when);
+    return lost;
+}
+
+void
+ServingSim::restartAt(double when)
+{
+    // The replica comes back empty and cold; only its clock moves
+    // (work charged before the crash stays charged).
+    _now = std::max(_now, when);
 }
 
 void
@@ -250,6 +365,16 @@ ServingSim::admit()
            _pendingPrefilled.front().readySeconds <= _now &&
            _active.size() < _options.maxRlp) {
         const PrefilledPending &pp = _pendingPrefilled.front();
+        if (_options.deadlineSeconds > 0.0 &&
+            pp.request.arrivalSeconds + _options.deadlineSeconds <=
+                _now) {
+            // SLO-aware shedding: its first token can no longer
+            // land inside the deadline, so admitting it would only
+            // burn compute no user is waiting for.
+            ++_out.shedRequests;
+            _pendingPrefilled.pop_front();
+            continue;
+        }
         const llm::Request &req = pp.request.request;
         if (!_preempt) {
             // Migration-aware reservation: the migrated footprint
@@ -277,15 +402,23 @@ ServingSim::admit()
         a.admitSeq = _admitSeqNext++;
         a.prefillRemaining = 0;
         a.kvTokens = static_cast<std::uint32_t>(pp.kvTokens);
+        a.sessionId = pp.request.sessionId;
         _active.push_back(a);
         _pendingPrefilled.pop_front();
         ++admitted;
     }
 
     while (!_pending.empty() &&
-           _pending.front().arrivalSeconds <= _now &&
+           _pending.front().readySeconds <= _now &&
            _active.size() < _options.maxRlp) {
-        const llm::Request &req = _pending.front().request;
+        if (_options.deadlineSeconds > 0.0 &&
+            _pending.front().request.arrivalSeconds +
+                    _options.deadlineSeconds <= _now) {
+            ++_out.shedRequests;
+            _pending.pop_front();
+            continue;
+        }
+        const llm::Request &req = _pending.front().request.request;
         if (!_static.enabled) {
             if (!_preempt) {
                 // Reserve the worst case so growth can never fail.
@@ -316,9 +449,10 @@ ServingSim::admit()
         }
         ActiveRequest a;
         a.request = req;
-        a.arrivalSeconds = _pending.front().arrivalSeconds;
+        a.arrivalSeconds = _pending.front().request.arrivalSeconds;
         a.admissionSeconds = decision_time;
         a.admitSeq = _admitSeqNext++;
+        a.sessionId = _pending.front().request.sessionId;
         if (_chunked) {
             a.prefillRemaining = req.inputLen;
         } else {
@@ -384,42 +518,63 @@ ServingSim::stepIdle()
     if (!hasPending())
         sim::panic("ServingSim::stepIdle with nothing pending");
 
-    // Idle until the next deliverable work item (a plain arrival or
-    // a migrated-in prefill, whichever is earlier).
-    double next_work;
-    if (_pendingPrefilled.empty()) {
-        next_work = _pending.front().arrivalSeconds;
-    } else if (_pending.empty()) {
-        next_work = _pendingPrefilled.front().readySeconds;
-    } else {
-        next_work = std::min(_pending.front().arrivalSeconds,
-                             _pendingPrefilled.front().readySeconds);
-    }
-    _now = std::max(_now, next_work);
-    if (_options.admission == AdmissionPolicy::BatchLevel &&
-        _pending.size() >= _options.maxRlp) {
-        // Dynamic batching: if a full batch is already waiting,
-        // start once the last member has arrived.
-        _now = std::max(
-            _now, _pending[_options.maxRlp - 1].arrivalSeconds);
-    } else if (_options.admission == AdmissionPolicy::BatchLevel) {
-        // Otherwise wait out the fill timeout (or until the batch
-        // fills, whichever comes first).
-        double deadline = _pending.front().arrivalSeconds +
-                          _options.batchTimeoutSeconds;
-        std::size_t fills = std::min<std::size_t>(
-            _pending.size(), _options.maxRlp);
-        double full_at = _pending[fills - 1].arrivalSeconds;
-        _now = std::max(_now, std::min(deadline, full_at));
-    }
-    if (admit() == 0 && !hasActive()) {
-        const std::uint64_t id =
-            !_pending.empty()
-                ? _pending.front().request.id
-                : _pendingPrefilled.front().request.request.id;
-        sim::fatal("ServingSim: request ", id,
-                   " cannot be admitted into an empty batch (KV "
-                   "worst-case footprint exceeds the Attn-PIM pool)");
+    // Shedding can drain the entire eligible prefix inside admit()
+    // without forming a batch, so fast-forward / admit loops until a
+    // batch forms or nothing is left to try.
+    for (;;) {
+        // Idle until the next deliverable work item (a plain arrival
+        // or a migrated-in prefill, whichever is earlier). Retries
+        // become eligible at their backoff-delayed ready time, not
+        // their original arrival.
+        double next_work;
+        if (_pendingPrefilled.empty()) {
+            next_work = _pending.front().readySeconds;
+        } else if (_pending.empty()) {
+            next_work = _pendingPrefilled.front().readySeconds;
+        } else {
+            next_work =
+                std::min(_pending.front().readySeconds,
+                         _pendingPrefilled.front().readySeconds);
+        }
+        _now = std::max(_now, next_work);
+        if (_options.admission == AdmissionPolicy::BatchLevel &&
+            _pending.size() >= _options.maxRlp) {
+            // Dynamic batching: if a full batch is already waiting,
+            // start once the last member has arrived.
+            _now = std::max(_now, _pending[_options.maxRlp - 1]
+                                      .request.arrivalSeconds);
+        } else if (_options.admission == AdmissionPolicy::BatchLevel) {
+            // Otherwise wait out the fill timeout (or until the
+            // batch fills, whichever comes first).
+            double deadline =
+                _pending.front().request.arrivalSeconds +
+                _options.batchTimeoutSeconds;
+            std::size_t fills = std::min<std::size_t>(
+                _pending.size(), _options.maxRlp);
+            double full_at =
+                _pending[fills - 1].request.arrivalSeconds;
+            _now = std::max(_now, std::min(deadline, full_at));
+        }
+        if (admit() > 0 || hasActive())
+            return;
+        if (!hasPending())
+            return; // everything eligible was shed
+        const bool eligible_front =
+            (!_pending.empty() &&
+             _pending.front().readySeconds <= _now) ||
+            (!_pendingPrefilled.empty() &&
+             _pendingPrefilled.front().readySeconds <= _now);
+        if (eligible_front) {
+            const std::uint64_t id =
+                !_pending.empty()
+                    ? _pending.front().request.request.id
+                    : _pendingPrefilled.front().request.request.id;
+            sim::fatal("ServingSim: request ", id,
+                       " cannot be admitted into an empty batch (KV "
+                       "worst-case footprint exceeds the Attn-PIM "
+                       "pool)");
+        }
+        // Only not-yet-ready work remains; idle forward to it.
     }
 }
 

@@ -163,6 +163,15 @@ struct ServingOptions
      * handoff, so pressure never builds across requests).
      */
     ServingRole role = ServingRole::Colocated;
+    /**
+     * Time-to-first-token deadline, seconds after arrival (0 = no
+     * deadline). When set, admission sheds queued requests whose
+     * deadline has already passed instead of spending compute on
+     * work no user is waiting for (SLO-aware load shedding); the
+     * cluster layer also scores SLO attainment against it. Serving
+     * path only (excluded from static-batch runs).
+     */
+    double deadlineSeconds = 0.0;
 };
 
 /** Per-component time/energy accumulation of one run. */
@@ -245,6 +254,9 @@ struct ServingResult
     std::uint64_t handoffs = 0;
     /** Prompt tokens prefilled and handed off (Prefill role). */
     std::uint64_t prefillHandoffTokens = 0;
+    /** Queued requests shed because their TTFT deadline passed
+     *  before admission (ServingOptions::deadlineSeconds). */
+    std::uint64_t shedRequests = 0;
     /**
      * Request ids in eviction order - the determinism witness for
      * KV-pressure runs (two fixed-seed runs must produce identical
@@ -390,6 +402,27 @@ struct HandoffRecord
 };
 
 /**
+ * A request harvested from a crashed replica (ServingSim::crash):
+ * everything the replica held - decoding, preempted, queued, handed
+ * off, or migrated-in - with generation progress reset so a recovery
+ * layer can resubmit it elsewhere (or count it failed). The
+ * lost-work counters price what a retry must recompute.
+ */
+struct LostRequest
+{
+    /** The request, progress reset, original arrival and session
+     *  preserved (honest TTFT spans crash and retry). */
+    llm::TimedRequest request;
+    /** The crashed replica had invested work in it (admitted or
+     *  prefilled), as opposed to merely holding it queued. */
+    bool admitted = false;
+    /** Output tokens that had been generated and are now lost. */
+    std::uint32_t generatedLost = 0;
+    /** Prompt tokens that had been prefilled and are now lost. */
+    std::uint32_t prefillLostTokens = 0;
+};
+
+/**
  * The stepwise serving-simulation core: one platform (or one
  * tensor-parallel group) serving a stream of timed requests.
  *
@@ -452,6 +485,30 @@ class ServingSim
                           double ready_seconds,
                           std::uint64_t kv_tokens);
 
+    /**
+     * Deliver a retried request: eligible for admission from
+     * @p ready_seconds (the retry time) while keeping the request's
+     * original arrivalSeconds for honest TTFT/latency accounting.
+     * Prefill (and any lost generation) is recomputed here at full
+     * charge. Token-level admission only; fatal elsewhere.
+     */
+    void redeliver(const llm::TimedRequest &request,
+                   double ready_seconds);
+
+    /**
+     * Fail-stop this replica at @p when: every request it holds -
+     * active, handed off, preempted, migrated-in, or queued - is
+     * harvested into LostRequests (KV footprints released,
+     * generation progress reset) for a recovery layer to retry
+     * elsewhere or count failed. Time/energy already charged stays
+     * charged: a crash wastes real work. Serving path only.
+     */
+    std::vector<LostRequest> crash(double when);
+
+    /** Bring a crashed replica back at @p when (cold start done);
+     *  it accepts deliveries and admissions again. */
+    void restartAt(double when);
+
     /** This replica's disaggregated-serving role. */
     ServingRole role() const { return _role; }
 
@@ -506,7 +563,7 @@ class ServingSim
     double
     firstPendingArrivalSeconds() const
     {
-        return _pending.front().arrivalSeconds;
+        return _pending.front().request.arrivalSeconds;
     }
 
     /**
@@ -582,6 +639,9 @@ class ServingSim
         std::uint64_t admitSeq = 0;
         std::uint32_t preemptions = 0; ///< Evictions suffered so far.
         double stallSeconds = 0.0;     ///< Total time spent evicted.
+        /** Session identity from the TimedRequest, preserved so a
+         *  crash harvest can re-route with affinity intact. */
+        std::uint64_t sessionId = 0;
     };
 
     /** A request evicted under KV pressure, awaiting re-admission. */
@@ -721,7 +781,16 @@ class ServingSim
     bool _schedStarted = false;
     TargetId _prevTarget = kInvalidTargetId;
 
-    std::deque<llm::TimedRequest> _pending;
+    /** A queued request: delivered, awaiting admission. */
+    struct PendingRequest
+    {
+        llm::TimedRequest request; ///< Original arrival preserved.
+        /** Admission eligibility time: the arrival for a first
+         *  delivery, the retry time for a redelivery. */
+        double readySeconds = 0.0;
+    };
+
+    std::deque<PendingRequest> _pending;
     /** Migrated-in prefilled requests awaiting admission. */
     std::deque<PrefilledPending> _pendingPrefilled;
     /** Completed prefills awaiting driver collection (Prefill). */

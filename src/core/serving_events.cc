@@ -17,6 +17,77 @@ ServingEventDriver::ServingEventDriver(std::vector<ServingSim *> sims)
     }
     _deadlineGen.assign(_sims.size(), 0);
     _deadlineArmed.assign(_sims.size(), false);
+    _down.assign(_sims.size(), false);
+    _boundaryGen.assign(_sims.size(), 0);
+}
+
+std::vector<LostRequest>
+ServingEventDriver::crashReplica(std::uint32_t g, double when)
+{
+    if (g >= _sims.size())
+        sim::fatal("ServingEventDriver: crash targets replica ", g,
+                   " of ", _sims.size());
+    if (_down[g])
+        return {}; // already dark; nothing further to lose
+    _down[g] = true;
+    // Strand every event the dead batch had in flight: its next
+    // iteration boundary and any armed fill deadline must no-op.
+    ++_boundaryGen[g];
+    ++_deadlineGen[g];
+    _deadlineArmed[g] = false;
+    return _sims[g]->crash(when);
+}
+
+void
+ServingEventDriver::restartReplica(std::uint32_t g, double when)
+{
+    if (g >= _sims.size())
+        sim::fatal("ServingEventDriver: restart targets replica ", g,
+                   " of ", _sims.size());
+    if (!_down[g])
+        return;
+    _down[g] = false;
+    _sims[g]->restartAt(when);
+    // Arrivals routed here while it was dark (total-outage fallback)
+    // queued in its pending list; start draining them now.
+    if (!_sims[g]->hasActive() &&
+        (_sims[g]->hasPending() || _sims[g]->preemptedCount() > 0))
+        idlePoke(g);
+}
+
+void
+ServingEventDriver::redeliver(std::uint32_t g,
+                              const llm::TimedRequest &request,
+                              double ready_seconds)
+{
+    if (g >= _sims.size())
+        sim::fatal("ServingEventDriver: redeliver targets replica ",
+                   g, " of ", _sims.size());
+    _sims[g]->redeliver(request, ready_seconds);
+    if (!_down[g] && !_sims[g]->hasActive())
+        idlePoke(g);
+}
+
+void
+ServingEventDriver::scheduleAt(double seconds,
+                               std::function<void()> fn)
+{
+    _timeline.at(seconds, kFaultPriority, std::move(fn));
+}
+
+void
+ServingEventDriver::setLinkFaults(
+    std::vector<sim::LinkFault> windows, double timeout_seconds)
+{
+    if (!_disagg)
+        sim::fatal("ServingEventDriver: link faults degrade the KV "
+                   "migration fabric; there is none without a "
+                   "disaggregated topology");
+    if (!(timeout_seconds > 0.0))
+        sim::fatal("ServingEventDriver: transfer timeout must be "
+                   "positive (got ", timeout_seconds, ")");
+    _linkFaults = std::move(windows);
+    _transferTimeoutSeconds = timeout_seconds;
 }
 
 void
@@ -29,6 +100,7 @@ ServingEventDriver::enableDisaggregation(
                    "needs at least one prefill and one decode "
                    "replica (got ", topology.prefillReplicas,
                    " prefill of ", _sims.size(), " total)");
+    topology.transferLink.validate();
     for (std::uint32_t g = 0; g < _sims.size(); ++g) {
         const ServingRole want = g < topology.prefillReplicas
                                      ? ServingRole::Prefill
@@ -47,6 +119,11 @@ ServingEventDriver::enableDisaggregation(
 std::uint32_t
 ServingEventDriver::pickDecodeReplica() const
 {
+    const std::uint32_t alive = pickAliveDecodeReplica();
+    if (alive != kNoReplica)
+        return alive;
+    // Whole decode pool down: pick as if healthy (deterministic);
+    // the completion event sees the dead target and falls back.
     std::uint32_t best = _topology.prefillReplicas;
     std::uint64_t best_load = ~std::uint64_t{0};
     for (std::uint32_t d = _topology.prefillReplicas;
@@ -59,6 +136,45 @@ ServingEventDriver::pickDecodeReplica() const
         }
     }
     return best;
+}
+
+std::uint32_t
+ServingEventDriver::pickAliveDecodeReplica() const
+{
+    std::uint32_t best = kNoReplica;
+    std::uint64_t best_load = ~std::uint64_t{0};
+    for (std::uint32_t d = _topology.prefillReplicas;
+         d < _sims.size(); ++d) {
+        if (_down[d])
+            continue;
+        const std::uint64_t load =
+            _sims[d]->outstanding() + _inFlightTo[d];
+        if (load < best_load) {
+            best = d;
+            best_load = load;
+        }
+    }
+    return best;
+}
+
+void
+ServingEventDriver::fallbackRecompute(
+    const llm::TimedRequest &request, double when)
+{
+    ++_xfer.fallbacks;
+    const std::uint32_t d = pickAliveDecodeReplica();
+    if (d == kNoReplica) {
+        if (!_onUnrecoverable)
+            sim::fatal("ServingEventDriver: request ",
+                       request.request.id,
+                       " lost its KV migration with no alive decode "
+                       "replica and no recovery handler installed");
+        _onUnrecoverable(request, when);
+        return;
+    }
+    // The decode replica's plain pending path charges the full
+    // prompt prefill - the recompute is paid honestly there.
+    redeliver(d, request, when);
 }
 
 void
@@ -84,11 +200,43 @@ ServingEventDriver::drainHandoffs(std::uint32_t g)
         // chosen at handoff time (deterministic: least loaded,
         // lowest index).
         const std::uint32_t d = pickDecodeReplica();
-        const double link_seconds =
-            _topology.transferLink.transferSeconds(h.kvBytes);
         const double start =
             std::max(h.readySeconds, _linkBusyUntil);
-        const double done = start + link_seconds;
+        double link_seconds =
+            _topology.transferLink.transferSeconds(h.kvBytes);
+        double done = start + link_seconds;
+        // Only a window overlapping the transfer changes anything;
+        // untouched transfers keep the nominal arithmetic bit-for-
+        // bit (a crash-free plan whose windows never engage is
+        // byte-identical to no injector at all - pinned).
+        for (const sim::LinkFault &w : _linkFaults) {
+            if (w.endSeconds > start && w.startSeconds < done) {
+                done = sim::degradedTransferEnd(
+                    start,
+                    _topology.transferLink.latencySeconds +
+                        _topology.transferLink
+                            .messageOverheadSeconds,
+                    static_cast<double>(h.kvBytes),
+                    _topology.transferLink.bandwidthBytesPerSec,
+                    _linkFaults);
+                link_seconds = done - start;
+                break;
+            }
+        }
+        if (done - start > _transferTimeoutSeconds) {
+            // The fabric is too degraded (or partitioned) to move
+            // this KV block in time: abandon the migration, free the
+            // link at the timeout, and recompute the prompt on the
+            // decode pool instead.
+            _linkBusyUntil = start + _transferTimeoutSeconds;
+            _xfer.linkSeconds += _transferTimeoutSeconds;
+            const llm::TimedRequest req = h.request;
+            const double when = start + _transferTimeoutSeconds;
+            _timeline.at(when, kTransferPriority, [this, req, when] {
+                fallbackRecompute(req, when);
+            });
+            continue;
+        }
         _linkBusyUntil = done;
         ++_xfer.transfers;
         _xfer.bytes += h.kvBytes;
@@ -102,6 +250,12 @@ ServingEventDriver::drainHandoffs(std::uint32_t g)
         _timeline.at(done, kTransferPriority, [this, idx] {
             const PendingTransfer &t = _transferStore[idx];
             --_inFlightTo[t.target];
+            if (_down[t.target]) {
+                // The destination died while the KV was in flight;
+                // the migrated bytes landed nowhere.
+                fallbackRecompute(t.request, t.doneSeconds);
+                return;
+            }
             _sims[t.target]->deliverPrefilled(t.request,
                                               t.doneSeconds,
                                               t.kvTokens);
@@ -166,7 +320,7 @@ ServingEventDriver::pokeIdleReplicas()
 {
     // Index order mirrors the retired loop's top-of-pass sweep.
     for (std::uint32_t g = 0; g < _sims.size(); ++g) {
-        if (!_sims[g]->hasActive() &&
+        if (!_down[g] && !_sims[g]->hasActive() &&
             (_sims[g]->hasPending() ||
              _sims[g]->preemptedCount() > 0))
             idlePoke(g);
@@ -177,7 +331,7 @@ void
 ServingEventDriver::idlePoke(std::uint32_t g)
 {
     ServingSim &s = *_sims[g];
-    if (s.hasActive())
+    if (_down[g] || s.hasActive())
         return;
     if (!s.hasPending()) {
         // Only parked (preempted) work remains: resume immediately;
@@ -240,10 +394,15 @@ void
 ServingEventDriver::scheduleBoundary(std::uint32_t g)
 {
     ServingSim &s = *_sims[g];
+    const std::uint64_t gen = _boundaryGen[g];
     const double when = s.now() + s.peekIterationSeconds();
     _timeline.at(when,
                  kBoundaryPriority + static_cast<sim::Priority>(g),
-                 [this, g] { boundary(g); });
+                 [this, g, gen] {
+                     if (gen != _boundaryGen[g])
+                         return; // replica crashed since; stale
+                     boundary(g);
+                 });
 }
 
 void
@@ -265,6 +424,9 @@ void
 ServingEventDriver::checkDrained() const
 {
     for (std::size_t g = 0; g < _sims.size(); ++g) {
+        if (_down[g])
+            continue; // never restarted; FaultInjector::finalize
+                      // harvests anything still queued as failed
         if (_sims[g]->canStep() || _sims[g]->preemptedCount() > 0 ||
             _sims[g]->hasHandoffs())
             sim::fatal("ServingEventDriver: replica ", g,

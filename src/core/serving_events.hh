@@ -46,11 +46,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "core/serving_engine.hh"
 #include "interconnect/link.hh"
 #include "llm/arrival.hh"
+#include "sim/fault_plan.hh"
 #include "sim/timeline.hh"
 
 namespace papi::core {
@@ -82,9 +84,14 @@ struct KvTransferStats
     std::uint64_t transfers = 0; ///< Migrations performed.
     std::uint64_t bytes = 0;     ///< KV block bytes moved in total.
     /** Summed per-transfer link occupancy (transfers overlap with
-     *  compute on both pools, so this is fabric time, not makespan). */
+     *  compute on both pools, so this is fabric time, not makespan).
+     *  Includes the occupancy of timed-out (abandoned) transfers. */
     double linkSeconds = 0.0;
     double joules = 0.0;         ///< Link transfer energy.
+    /** Migrations that fell back to decode-pool prompt recompute:
+     *  the transfer timed out under a link fault, or its destination
+     *  replica died while the KV was in flight. */
+    std::uint64_t fallbacks = 0;
 };
 
 /** N event-driven serving replicas composed on one event queue. */
@@ -131,9 +138,108 @@ class ServingEventDriver
      */
     void runPredelivered();
 
+    // ---- Fault-injection hooks (driven by cluster::FaultInjector;
+    // ---- unused = zero behavioral change, pinned byte-identical).
+
+    /**
+     * Fail-stop replica @p g at @p when: mark it down (no boundary,
+     * poke, or deadline fires for it until restart), harvest every
+     * in-flight and queued request (see ServingSim::crash), and
+     * return the harvest for the caller's retry policy. A crash on
+     * an already-down replica is a no-op (empty harvest).
+     */
+    std::vector<LostRequest> crashReplica(std::uint32_t g,
+                                          double when);
+
+    /**
+     * Bring replica @p g back at @p when (cold start complete):
+     * clears the down mark and starts draining anything that queued
+     * on it while it was dark. No-op if not down.
+     */
+    void restartReplica(std::uint32_t g, double when);
+
+    /**
+     * Resubmit @p request to replica @p g, eligible for admission at
+     * @p ready_seconds (the retry-backoff time; the original arrival
+     * is preserved for latency accounting). The prompt is recomputed
+     * from scratch - crashed KV is gone.
+     */
+    void redeliver(std::uint32_t g,
+                   const llm::TimedRequest &request,
+                   double ready_seconds);
+
+    /** True while replica @p g is crashed and not yet restarted. */
+    bool
+    isDown(std::uint32_t g) const
+    {
+        return _down[g];
+    }
+
+    /** Number of replicas on this driver. */
+    std::size_t replicaCount() const { return _sims.size(); }
+
+    /** Replica @p g (borrowed; for stats/occupancy inspection). */
+    ServingSim &replica(std::uint32_t g) { return *_sims[g]; }
+
+    /**
+     * How many leading replicas arrivals may be routed to: the
+     * prefill pool under disaggregation, every replica otherwise.
+     */
+    std::uint32_t
+    routeWidth() const
+    {
+        return _disagg ? _topology.prefillReplicas
+                       : static_cast<std::uint32_t>(_sims.size());
+    }
+
+    /** The queue's current position on the seconds axis. */
+    double
+    nowSeconds() const
+    {
+        return sim::orderedSeconds(_queue.now());
+    }
+
+    /**
+     * Schedule @p fn at @p seconds with the fault priority: after
+     * same-time arrivals (faults see a consistent delivered state),
+     * before transfers, deadlines, and boundaries (a same-instant
+     * boundary on a crashing replica must not execute first).
+     */
+    void scheduleAt(double seconds, std::function<void()> fn);
+
+    /**
+     * Degrade the disaggregated KV-migration fabric per @p windows
+     * (sorted, non-overlapping; see sim::LinkFault). A migration
+     * whose link time would exceed @p timeout_seconds is abandoned
+     * and falls back to decode-pool prompt recompute. Requires a
+     * disaggregated topology; an empty window list keeps the
+     * byte-identical nominal transfer path.
+     */
+    void setLinkFaults(std::vector<sim::LinkFault> windows,
+                       double timeout_seconds);
+
+    /** Called when a KV-migration fallback finds no alive decode
+     *  replica: the request cannot make progress here. */
+    using UnrecoverableFn =
+        std::function<void(const llm::TimedRequest &, double)>;
+
+    /** Install the no-alive-decode-replica handler (fatal without
+     *  one if the case ever fires). */
+    void
+    setUnrecoverableHandler(UnrecoverableFn fn)
+    {
+        _onUnrecoverable = std::move(fn);
+    }
+
   private:
     /** Arrival events (delivery + routing). */
     static constexpr sim::Priority kArrivalPriority = 0;
+    /** Fault events (crash/restart/retry resubmission): after
+     *  same-time arrivals, before everything else - a crash beats a
+     *  same-instant boundary, and a restart armed from the plan
+     *  fires before a dynamically-scheduled same-time resubmit
+     *  (insertion order breaks the tie). */
+    static constexpr sim::Priority kFaultPriority = 1;
     /** KV-transfer completions (prefill -> decode migration): after
      *  same-time arrivals, before any boundary, so a decode
      *  replica's same-instant admission sees the migrated request. */
@@ -160,8 +266,19 @@ class ServingEventDriver
     /** Collect replica @p g's completed prefills and schedule their
      *  KV-transfer events (no-op without handoffs). */
     void drainHandoffs(std::uint32_t g);
-    /** Least-loaded decode replica (outstanding + in-flight). */
+    /** Least-loaded decode replica (outstanding + in-flight),
+     *  preferring alive ones; falls back to the full scan when the
+     *  whole decode pool is down (caught again at completion). */
     std::uint32_t pickDecodeReplica() const;
+    /** Least-loaded *alive* decode replica, or kNoReplica. */
+    std::uint32_t pickAliveDecodeReplica() const;
+    /** KV lost in flight: recompute the prompt from scratch on an
+     *  alive decode replica, or hand to the unrecoverable handler. */
+    void fallbackRecompute(const llm::TimedRequest &request,
+                           double when);
+
+    /** Sentinel: no replica qualifies. */
+    static constexpr std::uint32_t kNoReplica = ~std::uint32_t{0};
 
     /** A KV migration in flight on the transfer fabric. */
     struct PendingTransfer
@@ -181,6 +298,11 @@ class ServingEventDriver
     std::vector<std::uint64_t> _deadlineGen;
     /** Per-replica: a live deadline event is outstanding. */
     std::vector<bool> _deadlineArmed;
+    /** Per-replica down mark (crashed, awaiting restart). */
+    std::vector<bool> _down;
+    /** Per-replica boundary generation: bumped at crash so a
+     *  scheduled boundary of the dead batch no-ops. */
+    std::vector<std::uint64_t> _boundaryGen;
 
     bool _disagg = false;       ///< Disaggregated topology active.
     DisaggTopology _topology;
@@ -194,6 +316,12 @@ class ServingEventDriver
      *  migrations queue (aggregate throughput is capped at the
      *  link's bandwidth, not multiplied by transfer count). */
     double _linkBusyUntil = 0.0;
+    /** Link degradation windows (empty = nominal fabric). */
+    std::vector<sim::LinkFault> _linkFaults;
+    /** Abandon a migration whose link time exceeds this. */
+    double _transferTimeoutSeconds =
+        std::numeric_limits<double>::infinity();
+    UnrecoverableFn _onUnrecoverable;
 };
 
 } // namespace papi::core

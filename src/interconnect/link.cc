@@ -1,8 +1,37 @@
 #include "interconnect/link.hh"
 
+#include <cmath>
 #include <cstdio>
 
+#include "sim/logging.hh"
+
 namespace papi::interconnect {
+
+void
+Link::validate() const
+{
+    if (!(bandwidthBytesPerSec > 0.0) ||
+        !std::isfinite(bandwidthBytesPerSec))
+        sim::fatal("Link '", name, "': bandwidth must be positive "
+                   "and finite (got ", bandwidthBytesPerSec,
+                   " B/s; transfers would take infinite or negative "
+                   "time)");
+    if (latencySeconds < 0.0 || !std::isfinite(latencySeconds))
+        sim::fatal("Link '", name, "': latency must be finite and "
+                   "non-negative (got ", latencySeconds, " s)");
+    if (messageOverheadSeconds < 0.0 ||
+        !std::isfinite(messageOverheadSeconds))
+        sim::fatal("Link '", name, "': message overhead must be "
+                   "finite and non-negative (got ",
+                   messageOverheadSeconds, " s)");
+    if (energyPerByte < 0.0 || !std::isfinite(energyPerByte))
+        sim::fatal("Link '", name, "': energy per byte must be "
+                   "finite and non-negative (got ", energyPerByte,
+                   " J/B)");
+    if (maxDevices == 0)
+        sim::fatal("Link '", name,
+                   "': must address at least one device");
+}
 
 std::string
 Link::describe() const

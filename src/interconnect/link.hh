@@ -46,6 +46,16 @@ struct Link
         return static_cast<double>(bytes) * energyPerByte;
     }
 
+    /**
+     * Fatal unless the link is physically meaningful: positive
+     * finite bandwidth, non-negative finite latency/overhead/energy,
+     * at least one addressable device. Without this, a non-positive
+     * bandwidth silently yields infinite (or negative) transfer
+     * times that poison every downstream timestamp. Called wherever
+     * a caller-supplied link enters an engine.
+     */
+    void validate() const;
+
     /** Human-readable one-liner: "name (X GB/s, Y us)". */
     std::string describe() const;
 };

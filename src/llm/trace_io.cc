@@ -30,11 +30,11 @@ writeTraceCsv(std::ostream &os, const std::vector<Request> &trace)
 }
 
 std::vector<TimedRequest>
-readTraceCsv(std::istream &is)
+readTraceCsv(std::istream &is, const std::string &source)
 {
     std::string header;
     if (!std::getline(is, header))
-        sim::fatal("readTraceCsv: empty input");
+        sim::fatal("readTraceCsv: ", source, ": empty input");
 
     bool timed;
     if (header == "id,input_len,output_len,arrival_s") {
@@ -42,8 +42,8 @@ readTraceCsv(std::istream &is)
     } else if (header == "id,input_len,output_len") {
         timed = false;
     } else {
-        sim::fatal("readTraceCsv: unrecognized header '", header,
-                   "'");
+        sim::fatal("readTraceCsv: ", source,
+                   ":1: unrecognized header '", header, "'");
     }
 
     std::vector<TimedRequest> out;
@@ -67,17 +67,17 @@ readTraceCsv(std::istream &is)
         }
         if (row.fail() || c1 != ',' || c2 != ',' ||
             (timed && c3 != ','))
-            sim::fatal("readTraceCsv: malformed row at line ",
-                       line_no);
+            sim::fatal("readTraceCsv: ", source, ":", line_no,
+                       ": malformed row '", line, "'");
         if (t.request.outputLen == 0)
-            sim::fatal("readTraceCsv: zero output length at line ",
-                       line_no);
+            sim::fatal("readTraceCsv: ", source, ":", line_no,
+                       ": zero output length");
         if (!seen_ids.insert(t.request.id).second)
-            sim::fatal("readTraceCsv: duplicate id ", t.request.id,
-                       " at line ", line_no);
+            sim::fatal("readTraceCsv: ", source, ":", line_no,
+                       ": duplicate id ", t.request.id);
         if (t.arrivalSeconds < last_arrival)
-            sim::fatal("readTraceCsv: unsorted arrivals at line ",
-                       line_no);
+            sim::fatal("readTraceCsv: ", source, ":", line_no,
+                       ": unsorted arrivals");
         last_arrival = t.arrivalSeconds;
         out.push_back(t);
     }
@@ -102,7 +102,7 @@ loadTraceFile(const std::string &path)
     std::ifstream in(path);
     if (!in)
         sim::fatal("loadTraceFile: cannot open '", path, "'");
-    return readTraceCsv(in);
+    return readTraceCsv(in, path);
 }
 
 } // namespace papi::llm

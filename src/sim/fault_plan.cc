@@ -1,0 +1,119 @@
+#include "sim/fault_plan.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace papi::sim {
+
+void
+FaultPlan::validate(std::uint32_t num_replicas) const
+{
+    for (const ReplicaFault &f : replicaFaults) {
+        if (f.replica >= num_replicas)
+            fatal("FaultPlan: crash targets replica ", f.replica,
+                  " of ", num_replicas);
+        if (!std::isfinite(f.crashSeconds) || f.crashSeconds < 0.0)
+            fatal("FaultPlan: crash time must be finite and "
+                  "non-negative (got ", f.crashSeconds, ")");
+        if (!(f.restartSeconds > f.crashSeconds))
+            fatal("FaultPlan: replica ", f.replica,
+                  " restart (", f.restartSeconds,
+                  ") must come after its crash (", f.crashSeconds,
+                  ")");
+    }
+    for (std::size_t i = 0; i < linkFaults.size(); ++i) {
+        const LinkFault &w = linkFaults[i];
+        if (!std::isfinite(w.startSeconds) || w.startSeconds < 0.0 ||
+            !std::isfinite(w.endSeconds))
+            fatal("FaultPlan: link-fault window must have finite "
+                  "non-negative bounds");
+        if (!(w.endSeconds > w.startSeconds))
+            fatal("FaultPlan: link-fault window must have positive "
+                  "duration (", w.startSeconds, " .. ",
+                  w.endSeconds, ")");
+        if (!(w.bandwidthFactor >= 0.0) || w.bandwidthFactor > 1.0)
+            fatal("FaultPlan: link bandwidth factor must be in "
+                  "[0, 1] (got ", w.bandwidthFactor, ")");
+        if (i > 0 &&
+            w.startSeconds < linkFaults[i - 1].endSeconds)
+            fatal("FaultPlan: link-fault windows must be sorted and "
+                  "non-overlapping");
+    }
+}
+
+FaultPlan
+FaultPlan::generate(const FaultPlanParams &params)
+{
+    if (params.numReplicas == 0)
+        fatal("FaultPlan::generate: need at least one replica");
+    if (!(params.horizonSeconds > 0.0))
+        fatal("FaultPlan::generate: horizon must be positive");
+    if (params.coldStartSeconds < 0.0)
+        fatal("FaultPlan::generate: cold start cannot be negative");
+
+    Rng rng(params.seed);
+    FaultPlan plan;
+    plan.replicaFaults.reserve(params.crashes);
+    for (std::uint32_t i = 0; i < params.crashes; ++i) {
+        ReplicaFault f;
+        // Crashes never land at t=0 (the system must first exist):
+        // uniform over the last 90% of the horizon.
+        f.crashSeconds = rng.uniformReal(
+            0.1 * params.horizonSeconds, params.horizonSeconds);
+        f.replica = static_cast<std::uint32_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(params.numReplicas) - 1));
+        if (params.restart)
+            f.restartSeconds =
+                f.crashSeconds + params.coldStartSeconds;
+        plan.replicaFaults.push_back(f);
+    }
+    std::sort(plan.replicaFaults.begin(), plan.replicaFaults.end(),
+              [](const ReplicaFault &a, const ReplicaFault &b) {
+                  if (a.crashSeconds != b.crashSeconds)
+                      return a.crashSeconds < b.crashSeconds;
+                  return a.replica < b.replica;
+              });
+    return plan;
+}
+
+double
+degradedTransferEnd(double start_seconds, double fixed_seconds,
+                    double bytes, double bandwidth_bytes_per_sec,
+                    const std::vector<LinkFault> &windows)
+{
+    // The fixed term (latency + message overhead) is not
+    // bandwidth-limited; it is paid regardless of degradation.
+    double t = start_seconds + fixed_seconds;
+    double remaining = bytes;
+    for (const LinkFault &w : windows) {
+        if (w.endSeconds <= t)
+            continue; // window already closed
+        if (w.startSeconds > t) {
+            // Nominal-rate stretch before this window opens.
+            const double span = w.startSeconds - t;
+            const double need = remaining / bandwidth_bytes_per_sec;
+            if (need <= span)
+                return t + need;
+            remaining -= span * bandwidth_bytes_per_sec;
+            t = w.startSeconds;
+        }
+        // Inside the window: degraded rate; a partition (factor 0)
+        // makes no progress until the window closes.
+        const double rate =
+            bandwidth_bytes_per_sec * w.bandwidthFactor;
+        const double span = w.endSeconds - t;
+        if (rate > 0.0) {
+            const double need = remaining / rate;
+            if (need <= span)
+                return t + need;
+            remaining -= span * rate;
+        }
+        t = w.endSeconds;
+    }
+    return t + remaining / bandwidth_bytes_per_sec;
+}
+
+} // namespace papi::sim

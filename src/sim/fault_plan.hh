@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Deterministic fault schedules for failure-recovery simulation.
+ *
+ * A FaultPlan is a fixed, seed-reproducible schedule of fault events
+ * decided *before* the simulation runs: replica crashes (with an
+ * optional restart after a cold-start delay) and link degradation or
+ * partition windows. Because the plan is data, not a runtime random
+ * process, two runs with the same plan execute byte-identical event
+ * sequences - which is what makes recovery policies (retry, failover,
+ * load shedding) comparable under the same failures. An empty plan
+ * injects nothing and must leave a run byte-identical to one with no
+ * fault machinery at all (pinned by tests).
+ */
+
+#ifndef PAPI_SIM_FAULT_PLAN_HH
+#define PAPI_SIM_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace papi::sim {
+
+/** One replica fail-stop event, with an optional restart. */
+struct ReplicaFault
+{
+    /** Replica (backend group) index the crash hits. */
+    std::uint32_t replica = 0;
+    /** When the replica fail-stops, seconds. */
+    double crashSeconds = 0.0;
+    /**
+     * When the replica is back (cold start complete) and accepts
+     * work again. Infinity (the default) means it never restarts.
+     */
+    double restartSeconds = std::numeric_limits<double>::infinity();
+};
+
+/**
+ * One link-degradation window: while active, the transfer fabric
+ * runs at @ref bandwidthFactor of its nominal bandwidth. A factor of
+ * 0 is a partition - no bytes move until the window closes.
+ */
+struct LinkFault
+{
+    double startSeconds = 0.0; ///< Window opens.
+    double endSeconds = 0.0;   ///< Window closes (exclusive).
+    /** Fraction of nominal bandwidth available in [0, 1]. */
+    double bandwidthFactor = 0.0;
+};
+
+/** Parameters of FaultPlan::generate (seed-driven synthesis). */
+struct FaultPlanParams
+{
+    std::uint64_t seed = 1;        ///< RNG seed.
+    std::uint32_t numReplicas = 1; ///< Replicas crashes spread over.
+    std::uint32_t crashes = 1;     ///< Crash events to draw.
+    /** Crash times are uniform in [0.1 * horizon, horizon). */
+    double horizonSeconds = 10.0;
+    /** Restart delay after each crash (cold start). */
+    double coldStartSeconds = 1.0;
+    /** False = fail-stop forever (no restart events). */
+    bool restart = true;
+};
+
+/** A deterministic schedule of replica and link faults. */
+struct FaultPlan
+{
+    /** Replica crash/restart events. */
+    std::vector<ReplicaFault> replicaFaults;
+    /** Link degradation windows, sorted and non-overlapping. */
+    std::vector<LinkFault> linkFaults;
+
+    /** True if the plan injects nothing at all. */
+    bool
+    empty() const
+    {
+        return replicaFaults.empty() && linkFaults.empty();
+    }
+
+    /** True if no replica ever crashes (link faults may exist). */
+    bool crashFree() const { return replicaFaults.empty(); }
+
+    /**
+     * Validate against a deployment of @p num_replicas replicas:
+     * replica indices in range, finite non-negative crash times,
+     * restarts after their crash, link windows ordered,
+     * non-overlapping, with factors in [0, 1]. Fatal on violation.
+     */
+    void validate(std::uint32_t num_replicas) const;
+
+    /**
+     * Synthesize a plan from @p params: crash times uniform over the
+     * horizon, victims uniform over the replicas, each crash
+     * followed by a restart after the cold-start delay (when
+     * enabled). Same params, same plan - byte for byte.
+     */
+    static FaultPlan generate(const FaultPlanParams &params);
+};
+
+/**
+ * Completion time of a transfer that starts at @p start_seconds,
+ * pays @p fixed_seconds up front (latency + message overhead), and
+ * then drains @p bytes at @p bandwidth_bytes_per_sec scaled by any
+ * active LinkFault window (no progress inside a partition). With no
+ * windows this reduces exactly to start + fixed + bytes/bandwidth.
+ * @p windows must be sorted and non-overlapping (see
+ * FaultPlan::validate).
+ */
+double degradedTransferEnd(double start_seconds, double fixed_seconds,
+                           double bytes,
+                           double bandwidth_bytes_per_sec,
+                           const std::vector<LinkFault> &windows);
+
+} // namespace papi::sim
+
+#endif // PAPI_SIM_FAULT_PLAN_HH

@@ -1,0 +1,618 @@
+/**
+ * @file
+ * Tests for deterministic fault injection and failure recovery:
+ * FaultPlan synthesis/validation, the degraded-transfer fabric
+ * model, health-aware routing, crash/retry/shed accounting, and the
+ * two byte-identity contracts - a crash-free plan is byte-identical
+ * to running with no injector at all, and a fixed faulty plan is
+ * byte-deterministic across runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "cluster/cluster_engine.hh"
+#include "cluster/router.hh"
+#include "core/serving_engine.hh"
+#include "llm/arrival.hh"
+#include "sim/fault_plan.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace {
+
+using namespace papi::cluster;
+namespace core = papi::core;
+namespace llm = papi::llm;
+namespace sim = papi::sim;
+using papi::sim::FatalError;
+
+std::vector<llm::TimedRequest>
+stream(double rate_rps, std::uint32_t count, std::uint64_t seed = 5)
+{
+    llm::ArrivalProcess arrivals(llm::TraceCategory::GeneralQa,
+                                 rate_rps, seed);
+    return arrivals.generate(count);
+}
+
+/** Every ServingResult field, compared exactly (no tolerance). */
+void
+expectByteIdentical(const core::ServingResult &a,
+                    const core::ServingResult &b)
+{
+    EXPECT_EQ(a.makespanSeconds, b.makespanSeconds);
+    EXPECT_EQ(a.energyJoules, b.energyJoules);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.tokensGenerated, b.tokensGenerated);
+    EXPECT_EQ(a.admissions, b.admissions);
+    EXPECT_EQ(a.shedRequests, b.shedRequests);
+    EXPECT_EQ(a.meanLatencySeconds, b.meanLatencySeconds);
+    EXPECT_EQ(a.p95LatencySeconds, b.p95LatencySeconds);
+    EXPECT_EQ(a.meanRlp, b.meanRlp);
+    EXPECT_EQ(a.peakKvUtilization, b.peakKvUtilization);
+}
+
+/** Every ClusterResult aggregate, compared exactly. */
+void
+expectClusterByteIdentical(const ClusterResult &a,
+                           const ClusterResult &b)
+{
+    EXPECT_EQ(a.makespanSeconds, b.makespanSeconds);
+    EXPECT_EQ(a.energyJoules, b.energyJoules);
+    EXPECT_EQ(a.requestsServed, b.requestsServed);
+    EXPECT_EQ(a.tokensGenerated, b.tokensGenerated);
+    EXPECT_EQ(a.requestsOffered, b.requestsOffered);
+    EXPECT_EQ(a.failedRequests, b.failedRequests);
+    EXPECT_EQ(a.shedRequests, b.shedRequests);
+    EXPECT_EQ(a.retriedRequests, b.retriedRequests);
+    EXPECT_EQ(a.retryRecomputedTokens, b.retryRecomputedTokens);
+    EXPECT_EQ(a.injectedCrashes, b.injectedCrashes);
+    EXPECT_EQ(a.replicaRestarts, b.replicaRestarts);
+    EXPECT_EQ(a.kvTransfers, b.kvTransfers);
+    EXPECT_EQ(a.kvTransferBytes, b.kvTransferBytes);
+    EXPECT_EQ(a.kvTransferSeconds, b.kvTransferSeconds);
+    EXPECT_EQ(a.kvTransferFallbacks, b.kvTransferFallbacks);
+    EXPECT_EQ(a.sloAttainment, b.sloAttainment);
+    EXPECT_EQ(a.goodputTokensPerSecond, b.goodputTokensPerSecond);
+    EXPECT_EQ(a.ttft.p50, b.ttft.p50);
+    EXPECT_EQ(a.ttft.p99, b.ttft.p99);
+    EXPECT_EQ(a.tpot.p50, b.tpot.p50);
+    EXPECT_EQ(a.latency.p99, b.latency.p99);
+    EXPECT_EQ(a.meanQueueingSeconds, b.meanQueueingSeconds);
+    ASSERT_EQ(a.replicaDowntimeSeconds.size(),
+              b.replicaDowntimeSeconds.size());
+    for (std::size_t g = 0; g < a.replicaDowntimeSeconds.size(); ++g)
+        EXPECT_EQ(a.replicaDowntimeSeconds[g],
+                  b.replicaDowntimeSeconds[g]);
+    ASSERT_EQ(a.perGroup.size(), b.perGroup.size());
+    for (std::size_t g = 0; g < a.perGroup.size(); ++g)
+        expectByteIdentical(a.perGroup[g], b.perGroup[g]);
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+        EXPECT_EQ(a.records[i].id, b.records[i].id);
+        EXPECT_EQ(a.records[i].firstTokenSeconds,
+                  b.records[i].firstTokenSeconds);
+        EXPECT_EQ(a.records[i].finishSeconds,
+                  b.records[i].finishSeconds);
+    }
+}
+
+// ------------------------------------------------------------------
+// FaultPlan synthesis and validation.
+
+TEST(FaultPlan, GenerateIsDeterministicAndValid)
+{
+    sim::FaultPlanParams p;
+    p.seed = 42;
+    p.numReplicas = 4;
+    p.crashes = 6;
+    p.horizonSeconds = 20.0;
+    p.coldStartSeconds = 0.5;
+
+    sim::FaultPlan a = sim::FaultPlan::generate(p);
+    sim::FaultPlan b = sim::FaultPlan::generate(p);
+    ASSERT_EQ(a.replicaFaults.size(), 6u);
+    ASSERT_EQ(b.replicaFaults.size(), 6u);
+    for (std::size_t i = 0; i < a.replicaFaults.size(); ++i) {
+        EXPECT_EQ(a.replicaFaults[i].replica,
+                  b.replicaFaults[i].replica);
+        EXPECT_EQ(a.replicaFaults[i].crashSeconds,
+                  b.replicaFaults[i].crashSeconds);
+        EXPECT_EQ(a.replicaFaults[i].restartSeconds,
+                  b.replicaFaults[i].restartSeconds);
+    }
+    EXPECT_NO_THROW(a.validate(4));
+    EXPECT_FALSE(a.empty());
+    EXPECT_FALSE(a.crashFree());
+    for (std::size_t i = 0; i < a.replicaFaults.size(); ++i) {
+        const auto &f = a.replicaFaults[i];
+        EXPECT_LT(f.replica, 4u);
+        EXPECT_GE(f.crashSeconds, 0.1 * p.horizonSeconds);
+        EXPECT_LT(f.crashSeconds, p.horizonSeconds);
+        EXPECT_DOUBLE_EQ(f.restartSeconds,
+                         f.crashSeconds + p.coldStartSeconds);
+        if (i > 0) {
+            EXPECT_GE(f.crashSeconds,
+                      a.replicaFaults[i - 1].crashSeconds);
+        }
+    }
+
+    // Different seed, different plan.
+    p.seed = 43;
+    sim::FaultPlan c = sim::FaultPlan::generate(p);
+    bool differs = false;
+    for (std::size_t i = 0; i < c.replicaFaults.size(); ++i)
+        differs |= c.replicaFaults[i].crashSeconds !=
+                   a.replicaFaults[i].crashSeconds;
+    EXPECT_TRUE(differs);
+
+    // Fail-stop synthesis: no restart events.
+    p.restart = false;
+    sim::FaultPlan d = sim::FaultPlan::generate(p);
+    for (const auto &f : d.replicaFaults)
+        EXPECT_TRUE(std::isinf(f.restartSeconds));
+}
+
+TEST(FaultPlan, ValidateRejectsMalformedPlans)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    {
+        sim::FaultPlan p;
+        p.replicaFaults.push_back({2, 1.0, inf}); // replica 2 of 2
+        EXPECT_THROW(p.validate(2), FatalError);
+        EXPECT_NO_THROW(p.validate(3));
+    }
+    {
+        sim::FaultPlan p;
+        p.replicaFaults.push_back({0, -1.0, inf}); // negative time
+        EXPECT_THROW(p.validate(1), FatalError);
+    }
+    {
+        sim::FaultPlan p;
+        p.replicaFaults.push_back({0, 2.0, 1.5}); // restart < crash
+        EXPECT_THROW(p.validate(1), FatalError);
+    }
+    {
+        sim::FaultPlan p; // overlapping link windows
+        p.linkFaults.push_back({0.0, 2.0, 0.5});
+        p.linkFaults.push_back({1.0, 3.0, 0.5});
+        EXPECT_THROW(p.validate(1), FatalError);
+    }
+    {
+        sim::FaultPlan p; // unsorted link windows
+        p.linkFaults.push_back({5.0, 6.0, 0.5});
+        p.linkFaults.push_back({1.0, 2.0, 0.5});
+        EXPECT_THROW(p.validate(1), FatalError);
+    }
+    {
+        sim::FaultPlan p; // empty window
+        p.linkFaults.push_back({2.0, 2.0, 0.5});
+        EXPECT_THROW(p.validate(1), FatalError);
+    }
+    {
+        sim::FaultPlan p; // factor outside [0, 1]
+        p.linkFaults.push_back({0.0, 1.0, 1.5});
+        EXPECT_THROW(p.validate(1), FatalError);
+        p.linkFaults[0].bandwidthFactor = -0.1;
+        EXPECT_THROW(p.validate(1), FatalError);
+        p.linkFaults[0].bandwidthFactor = 0.0; // partition is legal
+        EXPECT_NO_THROW(p.validate(1));
+    }
+}
+
+// ------------------------------------------------------------------
+// Degraded-transfer fabric model.
+
+TEST(FaultPlan, DegradedTransferEndMatchesNominalWithoutWindows)
+{
+    // No windows: exactly start + fixed + bytes/bandwidth.
+    EXPECT_DOUBLE_EQ(sim::degradedTransferEnd(2.0, 0.1, 1e9, 1e9,
+                                              {}),
+                     2.0 + 0.1 + 1.0);
+    // A window that closed before the transfer starts is inert.
+    std::vector<sim::LinkFault> past{{0.0, 1.0, 0.0}};
+    EXPECT_DOUBLE_EQ(sim::degradedTransferEnd(2.0, 0.1, 1e9, 1e9,
+                                              past),
+                     2.0 + 0.1 + 1.0);
+}
+
+TEST(FaultPlan, PartitionStallsAndDegradationStretches)
+{
+    // Partition [0, 5): a transfer starting at 1 with 1 s of drain
+    // makes no progress until 5, then drains: ends at 6 (+fixed).
+    std::vector<sim::LinkFault> part{{0.0, 5.0, 0.0}};
+    EXPECT_DOUBLE_EQ(sim::degradedTransferEnd(1.0, 0.0, 1e9, 1e9,
+                                              part),
+                     6.0);
+    // Half bandwidth across the whole drain: twice the drain time.
+    std::vector<sim::LinkFault> slow{{0.0, 100.0, 0.5}};
+    EXPECT_DOUBLE_EQ(sim::degradedTransferEnd(1.0, 0.0, 1e9, 1e9,
+                                              slow),
+                     1.0 + 2.0);
+    // Window covering only the first half of the drain: 1 s of
+    // half-rate (0.5 GB) + 0.5 s nominal for the rest.
+    std::vector<sim::LinkFault> half{{0.0, 2.0, 0.5}};
+    EXPECT_DOUBLE_EQ(sim::degradedTransferEnd(1.0, 0.0, 1e9, 1e9,
+                                              half),
+                     1.0 + 1.0 + 0.5);
+}
+
+// ------------------------------------------------------------------
+// Health-aware routing.
+
+TEST(Router, AllPoliciesSkipDeadBackends)
+{
+    llm::TimedRequest req;
+
+    // Round-robin probes forward past dead replicas and the cursor
+    // follows, so the cycle continues from the substitute.
+    Router rr(RouterPolicy::RoundRobin, 3);
+    std::vector<BackendLoad> l(3);
+    l[1].alive = false;
+    EXPECT_EQ(rr.route(req, l), 0u);
+    EXPECT_EQ(rr.route(req, l), 2u); // 1 is dead, probe lands on 2
+    EXPECT_EQ(rr.route(req, l), 0u);
+
+    // Least-outstanding only considers alive replicas.
+    Router lo(RouterPolicy::LeastOutstanding, 3);
+    std::vector<BackendLoad> l2(3);
+    l2[0].outstanding = 0;
+    l2[0].alive = false;
+    l2[1].outstanding = 9;
+    l2[2].outstanding = 4;
+    EXPECT_EQ(lo.route(req, l2), 2u);
+
+    // Session affinity fails over off a dead home replica but the
+    // session stays sticky to the substitute while the home is dark.
+    Router sa(RouterPolicy::SessionAffinity, 4);
+    llm::TimedRequest pinned;
+    pinned.sessionId = 77;
+    std::vector<BackendLoad> l3(4);
+    std::uint32_t home = sa.route(pinned, l3);
+    l3[home].alive = false;
+    std::uint32_t failover = sa.route(pinned, l3);
+    EXPECT_NE(failover, home);
+    EXPECT_EQ(sa.route(pinned, l3), failover);
+    // Home restored: affinity snaps back.
+    l3[home].alive = true;
+    EXPECT_EQ(sa.route(pinned, l3), home);
+}
+
+TEST(Router, TotalOutageFallsBackDeterministically)
+{
+    llm::TimedRequest req;
+    Router rr(RouterPolicy::RoundRobin, 3);
+    std::vector<BackendLoad> dark(3);
+    for (auto &b : dark)
+        b.alive = false;
+    // With nobody alive the pick degrades to the healthy-cluster
+    // choice (requests queue on a dark replica and drain at restart).
+    EXPECT_EQ(rr.route(req, dark), 0u);
+    EXPECT_EQ(rr.route(req, dark), 1u);
+
+    Router lo(RouterPolicy::LeastOutstanding, 3);
+    std::vector<BackendLoad> dark2(3);
+    dark2[0].outstanding = 5;
+    dark2[1].outstanding = 1;
+    dark2[2].outstanding = 3;
+    for (auto &b : dark2)
+        b.alive = false;
+    EXPECT_EQ(lo.route(req, dark2), 1u);
+}
+
+// ------------------------------------------------------------------
+// Cluster-level byte-identity and determinism contracts.
+
+TEST(FaultCluster, CrashFreePlanByteIdenticalToNoInjector)
+{
+    // A crash-free plan whose link window never engages any transfer
+    // must leave the run byte-identical to no injector at all - the
+    // whole fault subsystem costs nothing unless a fault fires.
+    core::PlatformConfig cfg = core::makePapiConfig();
+    llm::ModelConfig model = llm::llama65b();
+    llm::SpeculativeConfig spec;
+    auto reqs = stream(60.0, 48);
+
+    ClusterOptions opt;
+    opt.serving.maxRlp = 16;
+    opt.serving.alpha = 24.0;
+    opt.disagg.enabled = true;
+    opt.disagg.prefillReplicas = 1;
+    opt.disagg.decodeReplicas = 1;
+    ClusterResult plain =
+        ClusterEngine(cfg, opt).run(reqs, spec, model);
+
+    ClusterOptions armed = opt;
+    armed.faults.linkFaults.push_back({1.0e6, 1.0e6 + 1.0, 0.0});
+    ClusterResult with_injector =
+        ClusterEngine(cfg, armed).run(reqs, spec, model);
+
+    expectClusterByteIdentical(plain, with_injector);
+    EXPECT_EQ(with_injector.injectedCrashes, 0u);
+    EXPECT_EQ(with_injector.failedRequests, 0u);
+    EXPECT_EQ(with_injector.kvTransferFallbacks, 0u);
+    ASSERT_EQ(with_injector.replicaDowntimeSeconds.size(), 2u);
+    EXPECT_EQ(with_injector.replicaDowntimeSeconds[0], 0.0);
+}
+
+TEST(FaultCluster, FixedPlanIsByteDeterministic)
+{
+    core::PlatformConfig cfg = core::makePapiConfig();
+    llm::ModelConfig model = llm::llama65b();
+    llm::SpeculativeConfig spec;
+    auto reqs = stream(80.0, 48);
+
+    ClusterOptions opt;
+    opt.numPlatforms = 2;
+    opt.policy = RouterPolicy::LeastOutstanding;
+    opt.serving.maxRlp = 16;
+    opt.serving.alpha = 24.0;
+    opt.faults.replicaFaults.push_back({0, 0.5, 0.9});
+    opt.recovery.retryBackoffSeconds = 0.02;
+
+    ClusterResult a = ClusterEngine(cfg, opt).run(reqs, spec, model);
+    ClusterResult b = ClusterEngine(cfg, opt).run(reqs, spec, model);
+    expectClusterByteIdentical(a, b);
+    EXPECT_EQ(a.injectedCrashes, 1u);
+    EXPECT_EQ(a.replicaRestarts, 1u);
+}
+
+// ------------------------------------------------------------------
+// Crash, retry, fail-stop, and conservation.
+
+TEST(FaultCluster, RetryRecoversWhatFailStopDrops)
+{
+    core::PlatformConfig cfg = core::makePapiConfig();
+    llm::ModelConfig model = llm::llama65b();
+    llm::SpeculativeConfig spec;
+    auto reqs = stream(80.0, 48);
+
+    ClusterOptions opt;
+    opt.numPlatforms = 2;
+    opt.policy = RouterPolicy::LeastOutstanding;
+    opt.serving.maxRlp = 16;
+    opt.serving.alpha = 24.0;
+    // Crash replica 0 mid-stream; it comes back 0.3 s later.
+    opt.faults.replicaFaults.push_back({0, 0.4, 0.7});
+    opt.recovery.retryBackoffSeconds = 0.02;
+
+    ClusterOptions failstop = opt;
+    failstop.recovery.retryFailedRequests = false;
+
+    ClusterResult retry =
+        ClusterEngine(cfg, opt).run(reqs, spec, model);
+    ClusterResult drop =
+        ClusterEngine(cfg, failstop).run(reqs, spec, model);
+
+    // The crash hit live work in both runs.
+    EXPECT_EQ(drop.injectedCrashes, 1u);
+    EXPECT_GT(drop.failedRequests, 0u);
+    EXPECT_LT(drop.requestsServed, reqs.size());
+
+    // Retry resubmits every loss and serves the whole stream; the
+    // recomputed prefill/decode work is charged and visible.
+    EXPECT_GT(retry.retriedRequests, 0u);
+    EXPECT_EQ(retry.failedRequests, 0u);
+    EXPECT_EQ(retry.requestsServed, reqs.size());
+    EXPECT_GT(retry.retryRecomputedTokens, 0u);
+
+    // Conservation: offered = served + failed + shed, both modes.
+    EXPECT_EQ(retry.requestsOffered, reqs.size());
+    EXPECT_EQ(retry.requestsOffered,
+              retry.requestsServed + retry.failedRequests +
+                  retry.shedRequests);
+    EXPECT_EQ(drop.requestsOffered,
+              drop.requestsServed + drop.failedRequests +
+                  drop.shedRequests);
+
+    // The headline robustness claim: recovery converts failed
+    // requests into goodput.
+    EXPECT_GT(retry.goodputTokensPerSecond,
+              drop.goodputTokensPerSecond);
+    EXPECT_GT(retry.sloAttainment, drop.sloAttainment);
+
+    // Downtime accounting: the victim was dark exactly the planned
+    // window; the survivor never went down.
+    ASSERT_EQ(retry.replicaDowntimeSeconds.size(), 2u);
+    EXPECT_DOUBLE_EQ(retry.replicaDowntimeSeconds[0], 0.7 - 0.4);
+    EXPECT_DOUBLE_EQ(retry.replicaDowntimeSeconds[1], 0.0);
+}
+
+TEST(FaultCluster, NeverRestartedReplicaStillConserves)
+{
+    core::PlatformConfig cfg = core::makePapiConfig();
+    llm::ModelConfig model = llm::llama65b();
+    llm::SpeculativeConfig spec;
+    auto reqs = stream(80.0, 32);
+
+    ClusterOptions opt;
+    opt.numPlatforms = 2;
+    opt.policy = RouterPolicy::LeastOutstanding;
+    opt.serving.maxRlp = 16;
+    opt.faults.replicaFaults.push_back({0, 0.3}); // never restarts
+    opt.recovery.retryBackoffSeconds = 0.02;
+
+    ClusterResult r = ClusterEngine(cfg, opt).run(reqs, spec, model);
+    EXPECT_EQ(r.injectedCrashes, 1u);
+    EXPECT_EQ(r.replicaRestarts, 0u);
+    EXPECT_EQ(r.requestsOffered,
+              r.requestsServed + r.failedRequests + r.shedRequests);
+    // The survivor carried the recovered load.
+    EXPECT_GT(r.retriedRequests, 0u);
+    EXPECT_GT(r.perGroup[1].tokensGenerated, 0u);
+    // Open downtime window is charged through the end of the run.
+    ASSERT_EQ(r.replicaDowntimeSeconds.size(), 2u);
+    EXPECT_GT(r.replicaDowntimeSeconds[0], 0.0);
+}
+
+TEST(FaultCluster, RetriesExhaustAgainstRepeatedCrashes)
+{
+    core::PlatformConfig cfg = core::makePapiConfig();
+    llm::ModelConfig model = llm::llama65b();
+    llm::SpeculativeConfig spec;
+    auto reqs = stream(60.0, 24);
+
+    // Single replica that keeps crashing: with maxAttempts = 2 a
+    // request lost twice is dropped for good.
+    ClusterOptions opt;
+    opt.numPlatforms = 1;
+    opt.serving.maxRlp = 16;
+    opt.faults.replicaFaults.push_back({0, 0.2, 0.3});
+    opt.faults.replicaFaults.push_back({0, 0.4, 0.5});
+    opt.faults.replicaFaults.push_back({0, 0.6, 0.7});
+    opt.recovery.maxAttempts = 2;
+    opt.recovery.retryBackoffSeconds = 0.01;
+
+    ClusterResult r = ClusterEngine(cfg, opt).run(reqs, spec, model);
+    EXPECT_EQ(r.injectedCrashes, 3u);
+    EXPECT_EQ(r.requestsOffered,
+              r.requestsServed + r.failedRequests + r.shedRequests);
+}
+
+// ------------------------------------------------------------------
+// SLO-aware load shedding.
+
+TEST(FaultCluster, DeadlineShedsLateRequestsAndConserves)
+{
+    core::PlatformConfig cfg = core::makePapiConfig();
+    llm::ModelConfig model = llm::llama65b();
+    llm::SpeculativeConfig spec;
+    // Overload one replica hard so the queue outruns the deadline.
+    auto reqs = stream(400.0, 64);
+
+    ClusterOptions opt;
+    opt.numPlatforms = 1;
+    opt.serving.maxRlp = 8;
+    opt.serving.deadlineSeconds = 0.2;
+    ClusterResult r = ClusterEngine(cfg, opt).run(reqs, spec, model);
+
+    EXPECT_GT(r.shedRequests, 0u);
+    EXPECT_LT(r.requestsServed, reqs.size());
+    EXPECT_EQ(r.requestsOffered,
+              r.requestsServed + r.failedRequests + r.shedRequests);
+    // Shed requests count against SLO attainment.
+    EXPECT_LT(r.sloAttainment, 1.0);
+    EXPECT_GE(r.sloAttainment, 0.0);
+
+    // Without a deadline nothing is shed on the same stream.
+    opt.serving.deadlineSeconds = 0.0;
+    ClusterResult all = ClusterEngine(cfg, opt).run(reqs, spec,
+                                                    model);
+    EXPECT_EQ(all.shedRequests, 0u);
+    EXPECT_EQ(all.requestsServed, reqs.size());
+
+    // A negative deadline is a configuration error.
+    opt.serving.deadlineSeconds = -1.0;
+    EXPECT_THROW(ClusterEngine(cfg, opt).run(reqs, spec, model),
+                 FatalError);
+}
+
+// ------------------------------------------------------------------
+// Link faults over the disaggregated KV-migration fabric.
+
+TEST(FaultCluster, LinkPartitionFallsBackToRecompute)
+{
+    core::PlatformConfig cfg = core::makePapiConfig();
+    llm::ModelConfig model = llm::llama65b();
+    llm::SpeculativeConfig spec;
+    auto reqs = stream(60.0, 32);
+
+    ClusterOptions opt;
+    opt.serving.maxRlp = 16;
+    opt.disagg.enabled = true;
+    opt.disagg.prefillReplicas = 1;
+    opt.disagg.decodeReplicas = 1;
+    // Partition the fabric for the whole run; every migration times
+    // out and falls back to decode-pool prompt recompute.
+    opt.faults.linkFaults.push_back({0.0, 1.0e6, 0.0});
+    opt.recovery.transferTimeoutSeconds = 0.05;
+
+    ClusterResult r = ClusterEngine(cfg, opt).run(reqs, spec, model);
+    EXPECT_GT(r.kvTransferFallbacks, 0u);
+    EXPECT_EQ(r.requestsServed, reqs.size());
+    EXPECT_EQ(r.requestsOffered,
+              r.requestsServed + r.failedRequests + r.shedRequests);
+    EXPECT_EQ(r.tokensGenerated,
+              [&] {
+                  std::uint64_t t = 0;
+                  for (const auto &tr : reqs)
+                      t += tr.request.outputLen;
+                  return t;
+              }());
+
+    // A degraded (but connected) fabric stretches migrations instead
+    // of dropping them: no fallbacks, but more link time than the
+    // healthy fabric needs.
+    ClusterOptions slow = opt;
+    slow.faults.linkFaults.clear();
+    slow.faults.linkFaults.push_back({0.0, 1.0e6, 0.2});
+    slow.recovery.transferTimeoutSeconds = 1.0e5;
+    ClusterResult degraded =
+        ClusterEngine(cfg, slow).run(reqs, spec, model);
+    ClusterOptions healthy = opt;
+    healthy.faults.linkFaults.clear();
+    ClusterResult nominal =
+        ClusterEngine(cfg, healthy).run(reqs, spec, model);
+    EXPECT_EQ(degraded.kvTransferFallbacks, 0u);
+    EXPECT_EQ(degraded.requestsServed, reqs.size());
+    EXPECT_GT(degraded.kvTransferSeconds,
+              nominal.kvTransferSeconds);
+}
+
+TEST(FaultCluster, LinkFaultsRequireDisaggregation)
+{
+    core::PlatformConfig cfg = core::makePapiConfig();
+    llm::ModelConfig model = llm::llama65b();
+    llm::SpeculativeConfig spec;
+    auto reqs = stream(60.0, 8);
+
+    ClusterOptions opt;
+    opt.numPlatforms = 2;
+    opt.faults.linkFaults.push_back({0.0, 1.0, 0.5});
+    EXPECT_THROW(ClusterEngine(cfg, opt).run(reqs, spec, model),
+                 FatalError);
+}
+
+// ------------------------------------------------------------------
+// Stats export.
+
+TEST(FaultCluster, PopulateStatsCarriesFaultAccounting)
+{
+    core::PlatformConfig cfg = core::makePapiConfig();
+    llm::ModelConfig model = llm::llama65b();
+    llm::SpeculativeConfig spec;
+    auto reqs = stream(80.0, 32);
+
+    ClusterOptions opt;
+    opt.numPlatforms = 2;
+    opt.serving.maxRlp = 16;
+    opt.faults.replicaFaults.push_back({0, 0.3, 0.5});
+    opt.recovery.retryBackoffSeconds = 0.02;
+    ClusterResult r = ClusterEngine(cfg, opt).run(reqs, spec, model);
+
+    papi::sim::stats::StatGroup g("faults");
+    r.populateStats(g);
+    EXPECT_NE(g.find("requests_offered"), nullptr);
+    EXPECT_NE(g.find("goodput_tokens_per_second"), nullptr);
+    EXPECT_NE(g.find("slo_attainment"), nullptr);
+    EXPECT_NE(g.find("failed_requests"), nullptr);
+    EXPECT_NE(g.find("retried_requests"), nullptr);
+    EXPECT_NE(g.find("injected_crashes"), nullptr);
+    EXPECT_NE(g.find("replica_downtime_seconds"), nullptr);
+
+    // Fault-free runs do not emit the fault-only counters.
+    ClusterOptions clean;
+    clean.numPlatforms = 2;
+    clean.serving.maxRlp = 16;
+    ClusterResult rc =
+        ClusterEngine(cfg, clean).run(reqs, spec, model);
+    papi::sim::stats::StatGroup gc("clean");
+    rc.populateStats(gc);
+    EXPECT_NE(gc.find("requests_offered"), nullptr);
+    EXPECT_NE(gc.find("goodput_tokens_per_second"), nullptr);
+    EXPECT_EQ(gc.find("injected_crashes"), nullptr);
+}
+
+} // namespace

@@ -117,6 +117,35 @@ TEST(Link, TransferTimeHasLatencyAndBandwidthTerms)
                 1e-3);
 }
 
+TEST(Link, ValidateRejectsDegenerateParameters)
+{
+    // A non-positive bandwidth silently yields infinite (or
+    // negative) transfer times; validate() must refuse it and every
+    // other physically meaningless parameter before it can poison
+    // downstream timestamps.
+    Link l = pcie5();
+    l.bandwidthBytesPerSec = 0.0;
+    EXPECT_THROW(l.validate(), FatalError);
+    l.bandwidthBytesPerSec = -64.0e9;
+    EXPECT_THROW(l.validate(), FatalError);
+    l = pcie5();
+    l.latencySeconds = -1.0e-6;
+    EXPECT_THROW(l.validate(), FatalError);
+    l = pcie5();
+    l.messageOverheadSeconds = -0.5e-6;
+    EXPECT_THROW(l.validate(), FatalError);
+    l = pcie5();
+    l.energyPerByte = -1.0e-12;
+    EXPECT_THROW(l.validate(), FatalError);
+    l = pcie5();
+    l.maxDevices = 0;
+    EXPECT_THROW(l.validate(), FatalError);
+    // All presets are valid as shipped.
+    EXPECT_NO_THROW(nvlink().validate());
+    EXPECT_NO_THROW(pcie5().validate());
+    EXPECT_NO_THROW(cxl2().validate());
+}
+
 TEST(Link, PresetOrdering)
 {
     // NVLink is the fast fabric; PCIe/CXL are the commodity ones.

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "core/decode_engine.hh"
@@ -84,6 +85,49 @@ TEST(TraceIo, MalformedInputIsFatal)
         std::stringstream buf("");
         EXPECT_THROW(llm::readTraceCsv(buf), FatalError);
     }
+}
+
+TEST(TraceIo, MalformedInputErrorsCiteSourceAndLine)
+{
+    // Row 3 (line 3 counting the header) is the malformed one; the
+    // error must cite it as "source:line" so a bad multi-thousand
+    // row trace file is debuggable.
+    std::stringstream buf(
+        "id,input_len,output_len\n1,2,3\n2,oops,5\n");
+    try {
+        llm::readTraceCsv(buf, "bad.csv");
+        FAIL() << "malformed row did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("bad.csv:3"),
+                  std::string::npos)
+            << "error lacks source:line context: " << e.what();
+    }
+    // The default source tag marks in-memory streams.
+    std::stringstream buf2("id,input_len,output_len\n1,2,0\n");
+    try {
+        llm::readTraceCsv(buf2);
+        FAIL() << "zero output length did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("<trace>:2"),
+                  std::string::npos)
+            << "error lacks source:line context: " << e.what();
+    }
+    // File loads cite the path.
+    const std::string path =
+        ::testing::TempDir() + "papi_trace_malformed.csv";
+    {
+        std::ofstream out(path);
+        out << "id,input_len,output_len\n1,2,3\n1,9,9\n";
+    }
+    try {
+        llm::loadTraceFile(path);
+        FAIL() << "duplicate id did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find(path + ":3"),
+                  std::string::npos)
+            << "error lacks file:line context: " << e.what();
+    }
+    std::remove(path.c_str());
 }
 
 TEST(TraceIo, FileRoundTripAndErrors)

@@ -4,10 +4,15 @@
 Dependency-free smoke check for CI: after `microbench_simulator
 --quick --out FILE`, this script asserts that every section the
 papi-microbench/1 schema promises is present with its required keys,
-including the papi-policy/1, papi-cluster/1, papi-continuous/1, and
-papi-disagg/1 sub-schemas. It does not judge the performance numbers themselves -
-it exists so a refactor that silently drops or renames a JSON field
-fails the build rather than producing an unreadable trajectory.
+including the papi-policy/1, papi-cluster/1, papi-continuous/1,
+papi-disagg/1, and papi-faults/1 sub-schemas. It does not judge the
+performance numbers themselves - it exists so a refactor that
+silently drops or renames a JSON field fails the build rather than
+producing an unreadable trajectory. The exceptions are ordering
+invariants the simulation must uphold (continuous beats static TTFT,
+disagg beats colocated TTFT, retry beats fail-stop goodput, request
+conservation), which are checked because they are correctness
+properties, not performance judgements.
 
 Usage: check_bench_schema.py BENCH_microbench.json
 """
@@ -33,7 +38,8 @@ def main():
 
     need(doc, "$", ["schema", "quick", "event_queue", "dram",
                     "decode", "serving", "figure_cell", "policy",
-                    "cluster", "continuous", "disagg", "summary"])
+                    "cluster", "continuous", "disagg", "faults",
+                    "summary"])
     if doc.get("schema") != "papi-microbench/1":
         FAILURES.append(f"$.schema: unexpected '{doc.get('schema')}'")
 
@@ -169,6 +175,74 @@ def main():
             "$.disagg.modes[0].kv_transfers: the colocated baseline "
             "must not migrate KV")
 
+    flt = doc.get("faults", {})
+    need(flt, "$.faults",
+         ["schema", "model", "arrival", "prefill_replicas",
+          "decode_replicas", "plan", "recovery",
+          "no_fault_matches_baseline", "modes",
+          "retry_goodput_speedup_vs_failstop"])
+    if flt.get("schema") != "papi-faults/1":
+        FAILURES.append("$.faults.schema: unexpected "
+                        f"'{flt.get('schema')}'")
+    need(flt.get("plan", {}), "$.faults.plan",
+         ["victim_replica", "crash_seconds", "restart_seconds"])
+    need(flt.get("recovery", {}), "$.faults.recovery",
+         ["max_attempts", "retry_backoff_seconds",
+          "deadline_seconds"])
+    if flt.get("no_fault_matches_baseline") is not True:
+        FAILURES.append(
+            "$.faults.no_fault_matches_baseline: arming a crash-"
+            "free FaultPlan must stay bit-identical to no injector")
+    fmodes = [c.get("mode") for c in flt.get("modes", [])]
+    if fmodes != ["no-fault", "fail-stop", "retry", "retry+shed"]:
+        FAILURES.append(f"$.faults.modes: unexpected set {fmodes}")
+    for i, cell in enumerate(flt.get("modes", [])):
+        need(cell, f"$.faults.modes[{i}]",
+             ["mode", "requests_offered", "requests_served",
+              "failed_requests", "shed_requests",
+              "retried_requests", "retry_recomputed_tokens",
+              "injected_crashes", "replica_restarts",
+              "kv_transfer_fallbacks", "makespan_seconds",
+              "goodput_tokens_per_sec", "slo_attainment",
+              "ttft_p99_seconds", "wall_seconds"])
+        served = cell.get("requests_served", 0)
+        failed = cell.get("failed_requests", 0)
+        shed = cell.get("shed_requests", 0)
+        offered = cell.get("requests_offered", -1)
+        if served + failed + shed != offered:
+            FAILURES.append(
+                f"$.faults.modes[{i}]: request conservation broken "
+                f"({served} served + {failed} failed + {shed} shed "
+                f"!= {offered} offered)")
+        injected = cell.get("injected_crashes", 0)
+        if cell.get("mode") == "no-fault" and injected != 0:
+            FAILURES.append(
+                "$.faults.modes[0].injected_crashes: the no-fault "
+                "baseline must not crash")
+        if cell.get("mode") != "no-fault" and injected <= 0:
+            FAILURES.append(
+                f"$.faults.modes[{i}].injected_crashes: the fault "
+                "modes must actually execute the planned crash")
+    if len(flt.get("modes", [])) == 4:
+        if flt["modes"][1].get("failed_requests", 0) <= 0:
+            FAILURES.append(
+                "$.faults.modes[1].failed_requests: fail-stop must "
+                "drop the requests the crash harvests")
+        if flt["modes"][2].get("retried_requests", 0) <= 0:
+            FAILURES.append(
+                "$.faults.modes[2].retried_requests: the retry mode "
+                "must actually resubmit lost requests")
+        if flt["modes"][3].get("shed_requests", 0) <= 0:
+            FAILURES.append(
+                "$.faults.modes[3].shed_requests: the retry+shed "
+                "mode must actually shed past-deadline requests")
+    win = flt.get("retry_goodput_speedup_vs_failstop", 0)
+    if not isinstance(win, (int, float)) or win <= 1.0:
+        FAILURES.append(
+            "$.faults.retry_goodput_speedup_vs_failstop: retry with "
+            "failover must convert fail-stop's dropped requests "
+            f"into goodput (got {win})")
+
     need(doc.get("summary", {}), "$.summary",
          ["event_queue_speedup_geomean", "dram_stream_speedup",
           "dram_pump_speedup", "overall_speedup_geomean"])
@@ -179,7 +253,8 @@ def main():
         print(f"{len(FAILURES)} schema failure(s)")
         return 1
     print(f"OK {sys.argv[1]}: papi-microbench/1 schema valid "
-          "(incl. policy, cluster, continuous, disagg sub-schemas)")
+          "(incl. policy, cluster, continuous, disagg, faults "
+          "sub-schemas)")
     return 0
 
 
