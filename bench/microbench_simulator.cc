@@ -55,6 +55,7 @@
  *     "continuous": { ... },            // papi-continuous/1, below
  *     "disagg": { ... },                // papi-disagg/1, below
  *     "faults": { ... },                // papi-faults/1, below
+ *     "parallel": { ... },              // papi-parallel/1, below
  *     "summary": {                      // absent with --legacy-queue
  *       "event_queue_speedup_geomean": x,
  *       "dram_stream_speedup": x,
@@ -198,6 +199,33 @@
  *     ],
  *     "retry_goodput_speedup_vs_failstop": x  // > 1 = win
  *   }
+ *
+ * The "parallel" section is its own sub-schema (papi-parallel/1):
+ * self-speedup of the sharded cluster simulation - one 64-replica
+ * round-robin cluster serving one GeneralQa stream at 1, 2, 4, and
+ * 8 worker threads, with a bit-identity check of every parallel
+ * run against the serial one (the determinism contract
+ * tests/parallel_identity_test.cc proves across the feature grid).
+ * hardware_threads records what the host can actually run
+ * concurrently: tools/check_bench_schema.py requires > 2x
+ * self-speedup at 8 workers only when the host has >= 8 hardware
+ * threads, but requires parallel_matches_serial unconditionally
+ * (docs/BENCHMARKS.md documents every field):
+ *   {
+ *     "schema": "papi-parallel/1",
+ *     "model": str,
+ *     "arrival": { "trace": "general-qa", "rate_rps": x,
+ *                  "requests": n, "seed": n, "max_rlp": n },
+ *     "replicas": n,
+ *     "hardware_threads": n,            // host concurrency
+ *     "parallel_matches_serial": bool,  // AND over all cells
+ *     "workers": [
+ *       { "workers": n, "wall_seconds": s,
+ *         "speedup_vs_serial": x,       // serial wall / this wall
+ *         "matches_serial": bool }, ...
+ *     ],
+ *     "speedup_at_8_workers": x
+ *   }
  */
 
 #include <chrono>
@@ -206,6 +234,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/legacy_dram.hh"
@@ -1080,6 +1109,88 @@ benchFaults(bool quick)
     return out;
 }
 
+/** One worker-count cell of the papi-parallel/1 section. */
+struct ParallelCell
+{
+    unsigned workers = 0;
+    double wall = 0.0;
+    bool matchesSerial = false;
+};
+
+/** Inputs and outcomes of the parallel self-speedup study. */
+struct ParallelBench
+{
+    double rateRps = 0.0;
+    std::uint32_t requests = 0;
+    std::uint32_t replicas = 0;
+    std::uint32_t maxRlp = 0;
+    std::uint64_t seed = 0;
+    unsigned hardwareThreads = 0;
+    bool parallelMatchesSerial = false;
+    std::vector<ParallelCell> cells;
+};
+
+/**
+ * Self-speedup of the sharded cluster simulation: the same
+ * 64-replica round-robin cluster and GeneralQa stream at 1, 2, 4,
+ * and 8 worker threads. Round-robin routing with no faults takes
+ * the driver's pre-routed fast path (zero window barriers), so
+ * this measures the parallel ceiling; every parallel cell is also
+ * bit-compared against the serial run - the determinism contract
+ * the identity harness proves feature-by-feature, re-checked here
+ * at bench scale on every run.
+ */
+ParallelBench
+benchParallel(bool quick)
+{
+    ParallelBench out;
+    out.rateRps = 600.0;
+    out.requests = quick ? 384 : 1536;
+    out.replicas = 64;
+    out.maxRlp = 16;
+    out.seed = 13;
+    out.hardwareThreads = std::thread::hardware_concurrency();
+
+    core::PlatformConfig cfg = core::makePapiConfig();
+    llm::ModelConfig model = llm::llama65b();
+    core::Platform reference(cfg);
+    double alpha =
+        core::ThresholdCalibrator::calibrate(reference, model).alpha;
+
+    llm::ArrivalProcess arrivals(llm::TraceCategory::GeneralQa,
+                                 out.rateRps, out.seed);
+    auto stream = arrivals.generate(out.requests);
+    llm::SpeculativeConfig spec;
+
+    cluster::ClusterOptions opt;
+    opt.numPlatforms = out.replicas;
+    opt.policy = cluster::RouterPolicy::RoundRobin;
+    opt.serving.alpha = alpha;
+    opt.serving.maxRlp = out.maxRlp;
+
+    cluster::ClusterResult serial;
+    out.parallelMatchesSerial = true;
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+        opt.workerThreads = workers;
+        cluster::ClusterEngine engine(cfg, opt);
+        auto start = Clock::now();
+        cluster::ClusterResult r = engine.run(stream, spec, model);
+        ParallelCell cell;
+        cell.workers = workers;
+        cell.wall = secondsSince(start);
+        if (workers == 1) {
+            cell.matchesSerial = true;
+            serial = std::move(r);
+        } else {
+            cell.matchesSerial = clusterBitwiseEqual(serial, r);
+            out.parallelMatchesSerial =
+                out.parallelMatchesSerial && cell.matchesSerial;
+        }
+        out.cells.push_back(cell);
+    }
+    return out;
+}
+
 void
 writeJson(std::FILE *f, bool quick, bool legacy_only,
           std::uint64_t eq_events,
@@ -1093,7 +1204,7 @@ writeJson(std::FILE *f, bool quick, bool legacy_only,
           double srv_wall, std::uint32_t fig_cells, double fig_wall,
           const PolicyBench &pb, const ClusterBench &cb,
           const ContinuousBench &nb, const DisaggBench &db,
-          const FaultBench &fb)
+          const FaultBench &fb, const ParallelBench &xb)
 {
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"schema\": \"papi-microbench/1\",\n");
@@ -1435,6 +1546,39 @@ writeJson(std::FILE *f, bool quick, bool legacy_only,
         f, "    \"retry_goodput_speedup_vs_failstop\": %.3f\n",
         fb.cells[2].result.goodputTokensPerSecond /
             fb.cells[1].result.goodputTokensPerSecond);
+    std::fprintf(f, "  },\n");
+
+    std::fprintf(f, "  \"parallel\": {\n");
+    std::fprintf(f, "    \"schema\": \"papi-parallel/1\",\n");
+    std::fprintf(f, "    \"model\": \"llama-65b\",\n");
+    std::fprintf(f,
+                 "    \"arrival\": {\"trace\": \"general-qa\", "
+                 "\"rate_rps\": %.1f, \"requests\": %u, "
+                 "\"seed\": %llu, \"max_rlp\": %u},\n",
+                 xb.rateRps, xb.requests,
+                 static_cast<unsigned long long>(xb.seed),
+                 xb.maxRlp);
+    std::fprintf(f, "    \"replicas\": %u,\n", xb.replicas);
+    std::fprintf(f, "    \"hardware_threads\": %u,\n",
+                 xb.hardwareThreads);
+    std::fprintf(f, "    \"parallel_matches_serial\": %s,\n",
+                 xb.parallelMatchesSerial ? "true" : "false");
+    std::fprintf(f, "    \"workers\": [\n");
+    const double serial_wall = xb.cells[0].wall;
+    for (std::size_t i = 0; i < xb.cells.size(); ++i) {
+        const ParallelCell &c = xb.cells[i];
+        std::fprintf(f,
+                     "      {\"workers\": %u, "
+                     "\"wall_seconds\": %.6f, "
+                     "\"speedup_vs_serial\": %.3f, "
+                     "\"matches_serial\": %s}%s\n",
+                     c.workers, c.wall, serial_wall / c.wall,
+                     c.matchesSerial ? "true" : "false",
+                     i + 1 < xb.cells.size() ? "," : "");
+    }
+    std::fprintf(f, "    ],\n");
+    std::fprintf(f, "    \"speedup_at_8_workers\": %.3f\n",
+                 serial_wall / xb.cells.back().wall);
     std::fprintf(f, "  }%s\n", legacy_only ? "" : ",");
     if (!legacy_only) {
         double stream_speedup =
@@ -1539,12 +1683,13 @@ main(int argc, char **argv)
     ContinuousBench nb = benchContinuous(quick);
     DisaggBench db = benchDisagg(quick);
     FaultBench fb = benchFaults(quick);
+    ParallelBench xb = benchParallel(quick);
 
     writeJson(stdout, quick, legacy_only, eq_events, patterns,
               geomean, dram_n, stream_new, stream_legacy, pump_new,
               pump_legacy, dec_tokens, dec_iters, dec_wall,
               srv_tokens, srv_iters, srv_wall, fig_cells, fig_wall,
-              pb, cb, nb, db, fb);
+              pb, cb, nb, db, fb, xb);
     if (out_path) {
         std::FILE *f = std::fopen(out_path, "w");
         if (!f) {
@@ -1555,7 +1700,7 @@ main(int argc, char **argv)
                   dram_n, stream_new, stream_legacy, pump_new,
                   pump_legacy, dec_tokens, dec_iters, dec_wall,
                   srv_tokens, srv_iters, srv_wall, fig_cells,
-                  fig_wall, pb, cb, nb, db, fb);
+                  fig_wall, pb, cb, nb, db, fb, xb);
         std::fclose(f);
     }
     return 0;

@@ -39,6 +39,13 @@
  *   trace=NAME           arrival length mix: general-qa (default) |
  *                        prefill-heavy | creative-writing
  * The report adds KV-migration counts/bytes/fabric time.
+ *
+ * Parallel execution:
+ *   threads=N            shard the replica simulations across N
+ *                        worker threads (default 1, the serial
+ *                        schedule). Results are byte-identical at
+ *                        every N; see the threading-model section of
+ *                        docs/ARCHITECTURE.md.
  */
 
 #include <cstdio>
@@ -128,6 +135,8 @@ run(int argc, char **argv)
     base.serving.alpha = alpha;
     base.serving.maxRlp =
         static_cast<std::uint32_t>(config.getInt("max_rlp", 32));
+    base.workerThreads =
+        static_cast<unsigned>(config.getInt("threads", 1));
     examples::applyContinuousBatchingFlags(config, base.serving,
                                            model,
                                            cfg.numAttnDevices);

@@ -181,6 +181,16 @@ ClusterEngine::run(const std::vector<llm::TimedRequest> &stream,
     for (auto &s : sims)
         replicas.push_back(s.get());
     core::ServingEventDriver driver(std::move(replicas));
+    driver.setWorkerThreads(_options.workerThreads);
+    // RoundRobin and SessionAffinity decisions depend only on the
+    // request and the router's own cursor/hash - never on the load
+    // snapshots - so with liveness constant (no fault plan) and no
+    // disaggregation the driver may pre-route the stream and skip
+    // every arrival barrier (the parallel fast path). The result is
+    // byte-identical either way; this only removes synchronization.
+    driver.setStateIndependentRouting(
+        !disagg && _options.faults.empty() &&
+        _options.policy != RouterPolicy::LeastOutstanding);
     if (disagg)
         driver.enableDisaggregation(
             {prefill_pool, _options.disagg.transferLink});

@@ -114,6 +114,15 @@ struct ClusterOptions
     sim::FaultPlan faults;
     /** Recovery policy for requests lost to injected faults. */
     FaultRecoveryOptions recovery;
+    /**
+     * Concurrent simulation executors (including the calling
+     * thread) the replicas shard across; 1 (the default) runs the
+     * historical serial schedule. Any value produces byte-for-byte
+     * the workerThreads == 1 result - the driver's conservative
+     * window protocol preserves the serial event order exactly (see
+     * core::ServingEventDriver and tests/parallel_identity_test.cc).
+     */
+    unsigned workerThreads = 1;
 };
 
 /** p50/p95/p99 of one latency population, seconds. */

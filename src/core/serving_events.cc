@@ -7,7 +7,8 @@
 namespace papi::core {
 
 ServingEventDriver::ServingEventDriver(std::vector<ServingSim *> sims)
-    : _sims(std::move(sims)), _timeline(_queue)
+    : _sims(std::move(sims)),
+      _timeline(std::max<std::size_t>(_sims.size(), 1))
 {
     if (_sims.empty())
         sim::fatal("ServingEventDriver: need at least one replica");
@@ -16,9 +17,15 @@ ServingEventDriver::ServingEventDriver(std::vector<ServingSim *> sims)
             sim::fatal("ServingEventDriver: null replica");
     }
     _deadlineGen.assign(_sims.size(), 0);
-    _deadlineArmed.assign(_sims.size(), false);
-    _down.assign(_sims.size(), false);
+    _deadlineArmed.assign(_sims.size(), 0);
+    _down.assign(_sims.size(), 0);
     _boundaryGen.assign(_sims.size(), 0);
+}
+
+void
+ServingEventDriver::setWorkerThreads(unsigned threads)
+{
+    _workerThreads = threads == 0 ? 1 : threads;
 }
 
 std::vector<LostRequest>
@@ -29,12 +36,12 @@ ServingEventDriver::crashReplica(std::uint32_t g, double when)
                    " of ", _sims.size());
     if (_down[g])
         return {}; // already dark; nothing further to lose
-    _down[g] = true;
+    _down[g] = 1;
     // Strand every event the dead batch had in flight: its next
     // iteration boundary and any armed fill deadline must no-op.
     ++_boundaryGen[g];
     ++_deadlineGen[g];
-    _deadlineArmed[g] = false;
+    _deadlineArmed[g] = 0;
     return _sims[g]->crash(when);
 }
 
@@ -46,7 +53,7 @@ ServingEventDriver::restartReplica(std::uint32_t g, double when)
                    " of ", _sims.size());
     if (!_down[g])
         return;
-    _down[g] = false;
+    _down[g] = 0;
     _sims[g]->restartAt(when);
     // Arrivals routed here while it was dark (total-outage fallback)
     // queued in its pending list; start draining them now.
@@ -72,7 +79,7 @@ void
 ServingEventDriver::scheduleAt(double seconds,
                                std::function<void()> fn)
 {
-    _timeline.at(seconds, kFaultPriority, std::move(fn));
+    scheduleGlobal(seconds, kFaultPriority, std::move(fn));
 }
 
 void
@@ -232,9 +239,10 @@ ServingEventDriver::drainHandoffs(std::uint32_t g)
             _xfer.linkSeconds += _transferTimeoutSeconds;
             const llm::TimedRequest req = h.request;
             const double when = start + _transferTimeoutSeconds;
-            _timeline.at(when, kTransferPriority, [this, req, when] {
-                fallbackRecompute(req, when);
-            });
+            scheduleGlobal(when, kTransferPriority,
+                           [this, req, when] {
+                               fallbackRecompute(req, when);
+                           });
             continue;
         }
         _linkBusyUntil = done;
@@ -247,7 +255,7 @@ ServingEventDriver::drainHandoffs(std::uint32_t g)
         const std::size_t idx = _transferStore.size();
         _transferStore.push_back(
             {h.request, done, h.kvTokens, d});
-        _timeline.at(done, kTransferPriority, [this, idx] {
+        scheduleGlobal(done, kTransferPriority, [this, idx] {
             const PendingTransfer &t = _transferStore[idx];
             --_inFlightTo[t.target];
             if (_down[t.target]) {
@@ -265,6 +273,84 @@ ServingEventDriver::drainHandoffs(std::uint32_t g)
     }
 }
 
+bool
+ServingEventDriver::fastPathEligible() const
+{
+    // Pre-routing requires that routing decisions cannot observe
+    // replica state (the caller's declaration) and that no event
+    // needs the coordinator mid-stream: disaggregation migrates KV
+    // through global transfer events, and batch-level fill rules
+    // read the shared undelivered-arrivals counter.
+    if (!_routeIndependent || _disagg)
+        return false;
+    for (ServingSim *s : _sims) {
+        if (s->servingOptions().admission ==
+            AdmissionPolicy::BatchLevel)
+            return false;
+    }
+    return true;
+}
+
+void
+ServingEventDriver::preRouteStream(
+    const std::vector<llm::TimedRequest> &stream,
+    const RouteFn &route)
+{
+    // Route the whole stream up front, in stream order - the exact
+    // call sequence the delivery-time path makes, so stateful-but-
+    // state-independent routers (a round-robin cursor) decide
+    // identically. Each replica's arrivals then become events on
+    // its own shard: one event per burst timestamp delivering that
+    // replica's slice (in stream order) and resolving the replica,
+    // which is the per-replica projection of the global
+    // deliver-burst-then-poke-everyone rule - exact, because a poke
+    // of a replica that received nothing is a no-op under
+    // token-level admission.
+    _preRouted.assign(_sims.size(), {});
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        const std::uint32_t g = route(stream[i]);
+        if (g >= _sims.size())
+            sim::fatal("ServingEventDriver: route returned "
+                       "replica ", g, " of ", _sims.size());
+        _preRouted[g].push_back(static_cast<std::uint32_t>(i));
+    }
+    // All arrivals are accounted for before the clock starts; the
+    // shared counter stays untouched by the parallel shards (no
+    // batch-level admission on this path reads it).
+    _undelivered = 0;
+    const llm::TimedRequest *reqs = stream.data();
+    for (std::uint32_t g = 0; g < _sims.size(); ++g) {
+        const std::vector<std::uint32_t> &order = _preRouted[g];
+        const std::uint32_t *ids = order.data();
+        for (std::size_t a = 0; a < order.size();) {
+            std::size_t b = a + 1;
+            while (b < order.size() &&
+                   reqs[ids[b]].arrivalSeconds ==
+                       reqs[ids[a]].arrivalSeconds)
+                ++b;
+            scheduleReplica(
+                g, reqs[ids[a]].arrivalSeconds, kArrivalPriority,
+                [this, g, reqs, ids, a, b] {
+                    for (std::size_t k = a; k < b; ++k)
+                        _sims[g]->deliver(reqs[ids[k]]);
+                    idlePoke(g);
+                });
+            a = b;
+        }
+    }
+}
+
+void
+ServingEventDriver::runQueues()
+{
+    if (_workerThreads > 1 && _sims.size() > 1) {
+        sim::WorkerPool pool(_workerThreads);
+        _timeline.run(&pool);
+    } else {
+        _timeline.run(nullptr);
+    }
+}
+
 void
 ServingEventDriver::runStream(
     const std::vector<llm::TimedRequest> &stream,
@@ -275,34 +361,44 @@ ServingEventDriver::runStream(
     _streamed = true;
     _undelivered = stream.size();
 
-    // One event per distinct arrival timestamp: the whole burst is
-    // delivered (in stream order) before any replica reacts, exactly
-    // as the retired loop's deliver_up_to() did - so two same-time
-    // arrivals to one idle replica prefill as one batch.
-    for (std::size_t i = 0; i < stream.size();) {
-        std::size_t j = i + 1;
-        while (j < stream.size() &&
-               stream[j].arrivalSeconds == stream[i].arrivalSeconds)
-            ++j;
-        const llm::TimedRequest *reqs = stream.data();
-        _timeline.at(
-            stream[i].arrivalSeconds, kArrivalPriority,
-            [this, reqs, i, j, &route] {
-                for (std::size_t k = i; k < j; ++k) {
-                    const std::uint32_t g = route(reqs[k]);
-                    if (g >= _sims.size())
-                        sim::fatal("ServingEventDriver: route "
-                                   "returned replica ", g, " of ",
-                                   _sims.size());
-                    _sims[g]->deliver(reqs[k]);
-                    --_undelivered;
-                }
-                pokeIdleReplicas();
-            });
-        i = j;
+    if (fastPathEligible()) {
+        preRouteStream(stream, route);
+    } else {
+        // One global event per distinct arrival timestamp: the whole
+        // burst is delivered (in stream order) before any replica
+        // reacts, exactly as the retired loop's deliver_up_to() did
+        // - so two same-time arrivals to one idle replica prefill as
+        // one batch. Arrivals are window barriers: every shard is
+        // advanced to just below the burst's key first, so the
+        // routing function observes exactly the serial-order loads.
+        for (std::size_t i = 0; i < stream.size();) {
+            std::size_t j = i + 1;
+            while (j < stream.size() &&
+                   stream[j].arrivalSeconds ==
+                       stream[i].arrivalSeconds)
+                ++j;
+            const llm::TimedRequest *reqs = stream.data();
+            scheduleGlobal(
+                stream[i].arrivalSeconds, kArrivalPriority,
+                [this, reqs, i, j, &route] {
+                    for (std::size_t k = i; k < j; ++k) {
+                        const std::uint32_t g = route(reqs[k]);
+                        if (g >= _sims.size())
+                            sim::fatal("ServingEventDriver: route "
+                                       "returned replica ", g,
+                                       " of ", _sims.size());
+                        _sims[g]->deliver(reqs[k]);
+                        --_undelivered;
+                    }
+                    pokeIdleReplicas();
+                });
+            i = j;
+        }
     }
-    _timeline.run();
+    runQueues();
     checkDrained();
+    _preRouted.clear();
+    _preRouted.shrink_to_fit();
 }
 
 void
@@ -311,7 +407,7 @@ ServingEventDriver::runPredelivered()
     _streamed = false;
     _undelivered = 0;
     pokeIdleReplicas();
-    _timeline.run();
+    runQueues();
     checkDrained();
 }
 
@@ -358,14 +454,14 @@ ServingEventDriver::idlePoke(std::uint32_t g)
     }
     if (_deadlineArmed[g])
         return;
-    _deadlineArmed[g] = true;
+    _deadlineArmed[g] = 1;
     const std::uint64_t gen = ++_deadlineGen[g];
     const double deadline = s.firstPendingArrivalSeconds() +
                             s.servingOptions().batchTimeoutSeconds;
-    _timeline.at(deadline, kDeadlinePriority, [this, g, gen] {
+    scheduleReplica(g, deadline, kDeadlinePriority, [this, g, gen] {
         if (gen != _deadlineGen[g])
             return; // a batch started since; stale deadline
-        _deadlineArmed[g] = false;
+        _deadlineArmed[g] = 0;
         if (!_sims[g]->hasActive() && _sims[g]->hasPending())
             startBatch(g);
     });
@@ -375,7 +471,7 @@ void
 ServingEventDriver::startBatch(std::uint32_t g)
 {
     ++_deadlineGen[g]; // invalidate any outstanding deadline
-    _deadlineArmed[g] = false;
+    _deadlineArmed[g] = 0;
     _sims[g]->stepIdle();
     drainHandoffs(g);
     if (_sims[g]->hasActive()) {
@@ -396,13 +492,13 @@ ServingEventDriver::scheduleBoundary(std::uint32_t g)
     ServingSim &s = *_sims[g];
     const std::uint64_t gen = _boundaryGen[g];
     const double when = s.now() + s.peekIterationSeconds();
-    _timeline.at(when,
-                 kBoundaryPriority + static_cast<sim::Priority>(g),
-                 [this, g, gen] {
-                     if (gen != _boundaryGen[g])
-                         return; // replica crashed since; stale
-                     boundary(g);
-                 });
+    scheduleReplica(g, when,
+                    kBoundaryPriority + static_cast<sim::Priority>(g),
+                    [this, g, gen] {
+                        if (gen != _boundaryGen[g])
+                            return; // replica crashed since; stale
+                        boundary(g);
+                    });
 }
 
 void

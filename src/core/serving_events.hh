@@ -38,6 +38,21 @@
  *    executed operation sequence is exactly the historical
  *    while(canStep) step() loop - which is what keeps the
  *    fixed-seed serving pins bit-identical.
+ *
+ * Parallel execution (setWorkerThreads): replicas shard across a
+ * sim::ParallelTimeline - each replica's private lifecycle events
+ * (iteration boundaries, fill deadlines, pre-routed arrival
+ * deliveries) live on its own shard queue, while every event that
+ * reads or writes cross-replica state (dynamically-routed arrivals,
+ * KV-transfer completions, fault crash/restart/retry, and the whole
+ * lifecycle of disaggregated prefill replicas, whose handoffs probe
+ * decode loads) stays on the coordinator's global queue. Windows are
+ * committed in lockstep: shards advance strictly below the next
+ * global event's (tick, priority) key in parallel, then the global
+ * event runs at the barrier seeing exactly the serial state. Because
+ * global and shard priorities never collide at a tick, the executed
+ * order *per replica* - and therefore every ServingResult bit - is
+ * identical for any worker count, including 1 (the pinned oracle).
  */
 
 #ifndef PAPI_CORE_SERVING_EVENTS_HH
@@ -53,6 +68,7 @@
 #include "interconnect/link.hh"
 #include "llm/arrival.hh"
 #include "sim/fault_plan.hh"
+#include "sim/parallel_timeline.hh"
 #include "sim/timeline.hh"
 
 namespace papi::core {
@@ -119,6 +135,34 @@ class ServingEventDriver
 
     /** KV-migration totals of the finished run. */
     const KvTransferStats &transferStats() const { return _xfer; }
+
+    /**
+     * Shard the replicas across @p threads concurrent executors
+     * (including the caller; 1 = serial, the default). Any thread
+     * count produces byte-for-byte the run of threads == 1: the
+     * window protocol preserves each replica's event order exactly,
+     * and per-replica state is confined to its shard.
+     */
+    void setWorkerThreads(unsigned threads);
+
+    /**
+     * Declare that runStream's routing function is *state
+     * independent*: its decisions depend only on the request and the
+     * router's own internal state (e.g. a round-robin cursor or a
+     * session hash), never on replica load, clocks, or liveness.
+     * The driver may then call it for the whole stream up front and
+     * post each replica's arrivals directly onto its shard - the
+     * zero-barrier fast path that makes worker threads pay off.
+     * Precondition (the caller's to uphold): no disaggregation, no
+     * fault plan (liveness never changes), token-level admission.
+     * Off by default; dynamic routing stays exact via windowed
+     * barriers at every arrival burst.
+     */
+    void
+    setStateIndependentRouting(bool on)
+    {
+        _routeIndependent = on;
+    }
 
     /**
      * Serve @p stream to completion: every arrival is scheduled at
@@ -192,11 +236,11 @@ class ServingEventDriver
                        : static_cast<std::uint32_t>(_sims.size());
     }
 
-    /** The queue's current position on the seconds axis. */
+    /** The committed global position on the seconds axis. */
     double
     nowSeconds() const
     {
-        return sim::orderedSeconds(_queue.now());
+        return sim::orderedSeconds(_timeline.committedTick());
     }
 
     /**
@@ -250,6 +294,69 @@ class ServingEventDriver
      *  toward the lowest index. */
     static constexpr sim::Priority kBoundaryPriority = 10;
 
+    /** True when replica @p g's lifecycle events must run on the
+     *  coordinator's global queue: disaggregated prefill replicas
+     *  read decode-pool loads and write link/transfer state at every
+     *  boundary, so their windows are global by construction. */
+    bool
+    coordinatorOwned(std::uint32_t g) const
+    {
+        return _disagg && g < _topology.prefillReplicas;
+    }
+
+    /**
+     * Schedule @p fn for replica @p g at @p seconds. Coordinator-
+     * owned replicas go on the global queue (clamped to its now, the
+     * serial semantics); everything else goes on shard @p g, clamped
+     * to max(shard now, committed edge) - the exact clamp floor the
+     * single shared queue applied, whether the caller is a shard
+     * event (shard now == the serial now) or a barrier-side global
+     * event (committed edge == the serial now).
+     */
+    template <typename F>
+    void
+    scheduleReplica(std::uint32_t g, double seconds,
+                    sim::Priority prio, F &&fn)
+    {
+        sim::Tick when = sim::orderedTick(seconds);
+        if (coordinatorOwned(g)) {
+            sim::EventQueue &q = _timeline.global();
+            if (when < q.now())
+                when = q.now();
+            q.schedule(when, std::forward<F>(fn), prio);
+            return;
+        }
+        sim::EventQueue &q = _timeline.shard(g);
+        const sim::Tick edge = _timeline.committedTick();
+        if (when < edge)
+            when = edge;
+        if (when < q.now())
+            when = q.now();
+        q.schedule(when, std::forward<F>(fn), prio);
+    }
+
+    /** Schedule a cross-replica event on the coordinator's global
+     *  queue (clamped to its now). Coordinator context only. */
+    template <typename F>
+    void
+    scheduleGlobal(double seconds, sim::Priority prio, F &&fn)
+    {
+        sim::EventQueue &q = _timeline.global();
+        sim::Tick when = sim::orderedTick(seconds);
+        if (when < q.now())
+            when = q.now();
+        q.schedule(when, std::forward<F>(fn), prio);
+    }
+
+    /** True when this run can pre-route the whole stream onto the
+     *  shards (see setStateIndependentRouting). */
+    bool fastPathEligible() const;
+    /** Pre-route @p stream and post per-shard arrival events. */
+    void preRouteStream(const std::vector<llm::TimedRequest> &stream,
+                        const RouteFn &route);
+    /** Drain global + shard queues (builds the pool on demand). */
+    void runQueues();
+
     /** Resolve an idle replica with pending/parked work. */
     void idlePoke(std::uint32_t g);
     /** Start (or restart) a batch on an idle replica. */
@@ -290,16 +397,27 @@ class ServingEventDriver
     };
 
     std::vector<ServingSim *> _sims;
-    sim::EventQueue _queue;
-    sim::Timeline _timeline;
+    /** One shard queue per replica plus the coordinator's global
+     *  queue, advanced in lockstep windows. */
+    sim::ParallelTimeline _timeline;
+    unsigned _workerThreads = 1; ///< Executors incl. the caller.
+    bool _routeIndependent = false; ///< Pre-routing allowed.
+    /** Fast path: per-shard arrival indices into the caller's
+     *  stream, in stream order (cleared after the run). */
+    std::vector<std::vector<std::uint32_t>> _preRouted;
     bool _streamed = false;     ///< runStream vs runPredelivered.
     std::size_t _undelivered = 0; ///< Arrivals not yet delivered.
     /** Per-replica deadline generation; stale events no-op. */
     std::vector<std::uint64_t> _deadlineGen;
-    /** Per-replica: a live deadline event is outstanding. */
-    std::vector<bool> _deadlineArmed;
-    /** Per-replica down mark (crashed, awaiting restart). */
-    std::vector<bool> _down;
+    /** Per-replica: a live deadline event is outstanding. Stored as
+     *  bytes, not vector<bool>: shard events on distinct replicas
+     *  write their own flag concurrently, and vector<bool>'s packed
+     *  bits would make neighbouring replicas share a byte (a data
+     *  race under the window protocol). */
+    std::vector<std::uint8_t> _deadlineArmed;
+    /** Per-replica down mark (crashed, awaiting restart); bytes for
+     *  the same reason as _deadlineArmed. */
+    std::vector<std::uint8_t> _down;
     /** Per-replica boundary generation: bumped at crash so a
      *  scheduled boundary of the dead batch no-ops. */
     std::vector<std::uint64_t> _boundaryGen;

@@ -201,6 +201,35 @@ EventQueue::dispatch(const RunKey &key)
     }
 }
 
+bool
+EventQueue::peekNextKey(Tick &when, Priority &prio)
+{
+    if (_size == 0)
+        return false;
+    prepareNext();
+    const RunKey &key = _runOrder.back();
+    when = key.when;
+    prio = key.prio;
+    return true;
+}
+
+void
+EventQueue::runUntilKey(Tick when, Priority prio)
+{
+    while (_size > 0) {
+        prepareNext();
+        const RunKey key = _runOrder.back();
+        if (key.when > when ||
+            (key.when == when && key.prio >= prio))
+            break;
+        _runOrder.pop_back();
+        --_size;
+        _now = key.when;
+        ++_executed;
+        dispatch(key);
+    }
+}
+
 Tick
 EventQueue::run(Tick horizon)
 {

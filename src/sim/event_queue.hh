@@ -140,6 +140,28 @@ class EventQueue
      */
     Tick run(Tick horizon = maxTick);
 
+    /**
+     * Read the (tick, priority) key of the earliest pending event
+     * without executing it. Non-const because locating the head may
+     * drain calendar buckets into the sorted run buffer; the event
+     * order is unchanged.
+     *
+     * @retval true @p when / @p prio hold the head event's key.
+     * @retval false the queue is empty (outputs untouched).
+     */
+    bool peekNextKey(Tick &when, Priority &prio);
+
+    /**
+     * Run every event whose (tick, priority) key is strictly below
+     * (@p when, @p prio); the first event at or past the bound stays
+     * queued. This is the conservative-window primitive of
+     * sim::ParallelTimeline: a shard advances to (but never into)
+     * the next cross-shard event's key. now() is left at the last
+     * executed event, so later schedules between now() and the bound
+     * remain legal.
+     */
+    void runUntilKey(Tick when, Priority prio);
+
     /** Drop all pending events without executing them. */
     void clear();
 

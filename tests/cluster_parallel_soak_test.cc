@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Parallel-determinism soak: a 128-replica disaggregated cluster
+ * under a dense fault plan (replica crashes with retries, a
+ * degraded KV-migration fabric) serves a long arrival trace at 1,
+ * 2, 4, and 8 worker threads, and every run's full result hash -
+ * aggregates, per-replica results, and every per-request timeline -
+ * must be identical. This is the scale-out stress the quick grid in
+ * parallel_identity_test.cc cannot afford per-commit; it carries
+ * the "soak" ctest label and is excluded from the tier-1 gate
+ * (ctest -LE soak runs tier 1; ctest -L soak runs this).
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "cluster/cluster_engine.hh"
+#include "core/platform.hh"
+#include "llm/arrival.hh"
+#include "llm/model_config.hh"
+#include "sim/fault_plan.hh"
+
+namespace {
+
+using namespace papi::cluster;
+namespace core = papi::core;
+namespace llm = papi::llm;
+namespace sim = papi::sim;
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void
+fnvMix(std::uint64_t &h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= kFnvPrime;
+    }
+}
+
+void
+fnvMix(std::uint64_t &h, double v)
+{
+    fnvMix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+/** One hash over everything a run produced: if any field of any
+ *  record or any aggregate moves by one bit, the hash moves. */
+std::uint64_t
+resultHash(const ClusterResult &r)
+{
+    std::uint64_t h = kFnvOffset;
+    fnvMix(h, r.makespanSeconds);
+    fnvMix(h, r.energyJoules);
+    fnvMix(h, r.requestsServed);
+    fnvMix(h, r.tokensGenerated);
+    fnvMix(h, r.failedRequests);
+    fnvMix(h, r.shedRequests);
+    fnvMix(h, r.retriedRequests);
+    fnvMix(h, r.retryRecomputedTokens);
+    fnvMix(h, r.injectedCrashes);
+    fnvMix(h, r.replicaRestarts);
+    fnvMix(h, r.kvTransfers);
+    fnvMix(h, r.kvTransferBytes);
+    fnvMix(h, r.kvTransferSeconds);
+    fnvMix(h, r.kvTransferJoules);
+    fnvMix(h, r.kvTransferFallbacks);
+    fnvMix(h, r.preemptions);
+    fnvMix(h, r.resumes);
+    fnvMix(h, r.sloAttainment);
+    fnvMix(h, r.goodputTokensPerSecond);
+    fnvMix(h, r.meanTtftSeconds);
+    fnvMix(h, r.meanTpotSeconds);
+    fnvMix(h, r.meanLatencySeconds);
+    fnvMix(h, r.meanQueueingSeconds);
+    for (double u : r.groupUtilization)
+        fnvMix(h, u);
+    for (double d : r.replicaDowntimeSeconds)
+        fnvMix(h, d);
+    for (const core::ServingResult &g : r.perGroup) {
+        fnvMix(h, g.makespanSeconds);
+        fnvMix(h, g.energyJoules);
+        fnvMix(h, g.iterations);
+        fnvMix(h, g.tokensGenerated);
+        fnvMix(h, g.admissions);
+        fnvMix(h, g.preemptions);
+        fnvMix(h, g.resumes);
+        fnvMix(h, g.meanRlp);
+        fnvMix(h, g.peakKvUtilization);
+    }
+    for (const core::RequestRecord &rec : r.records) {
+        fnvMix(h, rec.id);
+        fnvMix(h, rec.arrivalSeconds);
+        fnvMix(h, rec.admissionSeconds);
+        fnvMix(h, rec.firstTokenSeconds);
+        fnvMix(h, rec.finishSeconds);
+        fnvMix(h, static_cast<std::uint64_t>(rec.outputTokens));
+        fnvMix(h, static_cast<std::uint64_t>(rec.preemptions));
+        fnvMix(h, rec.stallSeconds);
+    }
+    return h;
+}
+
+TEST(ClusterParallelSoak, FaultyDisagg128ReplicaHashesAgree)
+{
+    const core::PlatformConfig cfg = core::makePapiConfig();
+    const llm::ModelConfig model = llm::llama65b();
+    const llm::SpeculativeConfig spec;
+
+    ClusterOptions opt;
+    opt.disagg.enabled = true;
+    opt.disagg.prefillReplicas = 48;
+    opt.disagg.decodeReplicas = 80; // 128 replicas in total
+    opt.disagg.prefillPolicy = RouterPolicy::LeastOutstanding;
+    opt.serving.prefillChunkTokens = 128;
+    opt.serving.preemptOnKvPressure = true;
+    opt.serving.deadlineSeconds = 5.0;
+
+    sim::FaultPlanParams p;
+    p.seed = 20250807;
+    p.numReplicas = 128;
+    p.crashes = 12;
+    p.horizonSeconds = 8.0;
+    p.coldStartSeconds = 0.4;
+    opt.faults = sim::FaultPlan::generate(p);
+    opt.faults.linkFaults.push_back({1.0, 3.0, 0.3});
+    opt.faults.linkFaults.push_back({5.0, 6.5, 0.15});
+    opt.recovery.transferTimeoutSeconds = 0.4;
+
+    llm::ArrivalProcess arrivals(llm::TraceCategory::PrefillHeavy,
+                                 900.0, 77);
+    const auto stream = arrivals.generate(2000);
+
+    std::uint64_t serial_hash = 0;
+    std::uint64_t serial_served = 0;
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+        SCOPED_TRACE("workers=" + std::to_string(workers));
+        ClusterOptions run_opt = opt;
+        run_opt.workerThreads = workers;
+        const ClusterResult r =
+            ClusterEngine(cfg, run_opt).run(stream, spec, model);
+        // The workload must actually exercise the machinery it
+        // claims to soak - crashes, fabric fallbacks, migrations.
+        EXPECT_EQ(r.injectedCrashes, 12u);
+        EXPECT_GT(r.kvTransfers, 0u);
+        EXPECT_EQ(r.requestsOffered, 2000u);
+        if (workers == 1) {
+            serial_hash = resultHash(r);
+            serial_served = r.requestsServed;
+            EXPECT_GT(serial_served, 0u);
+        } else {
+            EXPECT_EQ(resultHash(r), serial_hash);
+            EXPECT_EQ(r.requestsServed, serial_served);
+        }
+    }
+}
+
+} // namespace

@@ -5,13 +5,15 @@ Dependency-free smoke check for CI: after `microbench_simulator
 --quick --out FILE`, this script asserts that every section the
 papi-microbench/1 schema promises is present with its required keys,
 including the papi-policy/1, papi-cluster/1, papi-continuous/1,
-papi-disagg/1, and papi-faults/1 sub-schemas. It does not judge the
-performance numbers themselves - it exists so a refactor that
-silently drops or renames a JSON field fails the build rather than
-producing an unreadable trajectory. The exceptions are ordering
-invariants the simulation must uphold (continuous beats static TTFT,
-disagg beats colocated TTFT, retry beats fail-stop goodput, request
-conservation), which are checked because they are correctness
+papi-disagg/1, papi-faults/1, and papi-parallel/1 sub-schemas. It
+does not judge the performance numbers themselves - it exists so a
+refactor that silently drops or renames a JSON field fails the build
+rather than producing an unreadable trajectory. The exceptions are
+ordering invariants the simulation must uphold (continuous beats
+static TTFT, disagg beats colocated TTFT, retry beats fail-stop
+goodput, request conservation, parallel runs bit-identical to
+serial - plus > 2x self-speedup at 8 workers on hosts with >= 8
+hardware threads), which are checked because they are correctness
 properties, not performance judgements.
 
 Usage: check_bench_schema.py BENCH_microbench.json
@@ -39,7 +41,7 @@ def main():
     need(doc, "$", ["schema", "quick", "event_queue", "dram",
                     "decode", "serving", "figure_cell", "policy",
                     "cluster", "continuous", "disagg", "faults",
-                    "summary"])
+                    "parallel", "summary"])
     if doc.get("schema") != "papi-microbench/1":
         FAILURES.append(f"$.schema: unexpected '{doc.get('schema')}'")
 
@@ -243,6 +245,44 @@ def main():
             "failover must convert fail-stop's dropped requests "
             f"into goodput (got {win})")
 
+    par = doc.get("parallel", {})
+    need(par, "$.parallel",
+         ["schema", "model", "arrival", "replicas",
+          "hardware_threads", "parallel_matches_serial", "workers",
+          "speedup_at_8_workers"])
+    if par.get("schema") != "papi-parallel/1":
+        FAILURES.append("$.parallel.schema: unexpected "
+                        f"'{par.get('schema')}'")
+    pworkers = [c.get("workers") for c in par.get("workers", [])]
+    if pworkers != [1, 2, 4, 8]:
+        FAILURES.append(
+            f"$.parallel.workers: unexpected worker set {pworkers}")
+    for i, cell in enumerate(par.get("workers", [])):
+        need(cell, f"$.parallel.workers[{i}]",
+             ["workers", "wall_seconds", "speedup_vs_serial",
+              "matches_serial"])
+        if cell.get("matches_serial") is not True:
+            FAILURES.append(
+                f"$.parallel.workers[{i}].matches_serial: every "
+                "worker count must reproduce the serial result "
+                "byte for byte")
+    # The determinism contract is unconditional; the speedup floor
+    # only binds when the host can actually run 8 shard advances
+    # concurrently (a 1- or 2-core CI runner cannot show scaling,
+    # and wall-clock there measures the scheduler, not the design).
+    if par.get("parallel_matches_serial") is not True:
+        FAILURES.append(
+            "$.parallel.parallel_matches_serial: parallel runs must "
+            "be bit-identical to the serial schedule")
+    hw = par.get("hardware_threads", 0)
+    s8 = par.get("speedup_at_8_workers", 0)
+    if isinstance(hw, int) and hw >= 8:
+        if not isinstance(s8, (int, float)) or s8 <= 2.0:
+            FAILURES.append(
+                "$.parallel.speedup_at_8_workers: with >= 8 "
+                "hardware threads, 8 workers must beat the serial "
+                f"schedule by more than 2x (got {s8})")
+
     need(doc.get("summary", {}), "$.summary",
          ["event_queue_speedup_geomean", "dram_stream_speedup",
           "dram_pump_speedup", "overall_speedup_geomean"])
@@ -253,8 +293,8 @@ def main():
         print(f"{len(FAILURES)} schema failure(s)")
         return 1
     print(f"OK {sys.argv[1]}: papi-microbench/1 schema valid "
-          "(incl. policy, cluster, continuous, disagg, faults "
-          "sub-schemas)")
+          "(incl. policy, cluster, continuous, disagg, faults, "
+          "parallel sub-schemas)")
     return 0
 
 
