@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Structure-of-arrays per-request state of the live serving batch.
+ *
+ * ServingSim's hot loops - the per-iteration context-sum / chunk-
+ * budget walk, the advance-and-retire pass, the KV-headroom gates -
+ * used to chase a std::vector<ActiveRequest> of 96-byte structs, so
+ * every pass touched far more cache than it used and none of it
+ * vectorized. BatchState flattens that state into parallel plain-
+ * old-data arrays, one per field, kept in ADMISSION ORDER (ascending
+ * admitSeq): hot passes become contiguous branch-light loops over
+ * exactly the fields they read, which GCC autovectorizes (see
+ * docs/ARCHITECTURE.md for the pass-by-pass walkthrough), and the
+ * admission-order invariant keeps every ordering the scalar loops
+ * defined - chunk budgets drain oldest-first by index, the
+ * preemption victim (youngest admitted) is simply the last element,
+ * and retirement compacts in place without reordering survivors.
+ *
+ * The arrays are public on purpose: ServingSim's loops index them
+ * directly. The mutating helpers (push / popBack / moveTo /
+ * truncate) keep the columns aligned; everything else is plain
+ * array arithmetic.
+ */
+
+#ifndef PAPI_CORE_BATCH_STATE_HH
+#define PAPI_CORE_BATCH_STATE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "llm/request.hh"
+
+namespace papi::core {
+
+/**
+ * One live request's state gathered back into a struct - the
+ * interchange format for the cold paths that move requests in and
+ * out of the batch (admission, preemption parking, crash harvest,
+ * prefill handoff). Field-for-field the old ActiveRequest, plus the
+ * KV block count the SoA headroom gate tracks in-line.
+ */
+struct ActiveSnapshot
+{
+    llm::Request request;        ///< Generation progress.
+    double arrivalSeconds = 0.0; ///< From the TimedRequest.
+    double admissionSeconds = 0.0;  ///< Admission decision time.
+    double firstTokenSeconds = 0.0; ///< First advancing iteration.
+    bool firstTokenSeen = false;    ///< firstTokenSeconds valid.
+    /** Chunked mode: prefill tokens still to process before this
+     *  request can decode (0 = decoding). */
+    std::uint32_t prefillRemaining = 0;
+    /** KV tokens materialized (preemption mode accounting). */
+    std::uint32_t kvTokens = 0;
+    /** Global admission sequence; the preemption victim order
+     *  (youngest admitted evicts first). */
+    std::uint64_t admitSeq = 0;
+    std::uint32_t preemptions = 0; ///< Evictions suffered so far.
+    double stallSeconds = 0.0;     ///< Total time spent evicted.
+    /** Session identity from the TimedRequest, preserved so a
+     *  crash harvest can re-route with affinity intact. */
+    std::uint64_t sessionId = 0;
+    /** KV blocks currently held in the KvCacheManager (mirrors
+     *  requestBlocks(); lets the headroom gate run without per-id
+     *  hash lookups). */
+    std::uint64_t kvBlocks = 0;
+};
+
+/** The live batch as parallel arrays in admission order. */
+class BatchState
+{
+  public:
+    // Parallel columns; index i is one request. Kept aligned by the
+    // helpers below, sorted ascending by admitSeq[i].
+    std::vector<std::uint64_t> id;       ///< Request id.
+    std::vector<std::uint32_t> inputLen; ///< Prompt tokens.
+    std::vector<std::uint32_t> outputLen; ///< Tokens until <eos>.
+    std::vector<std::uint32_t> generated; ///< Output tokens so far.
+    /** Chunked mode: prefill tokens left (0 = decoding). */
+    std::vector<std::uint32_t> prefillRemaining;
+    std::vector<std::uint32_t> kvTokens; ///< KV tokens materialized.
+    std::vector<std::uint32_t> preemptions; ///< Evictions suffered.
+    std::vector<std::uint64_t> admitSeq; ///< Admission sequence.
+    std::vector<std::uint64_t> sessionId; ///< Session identity.
+    std::vector<std::uint64_t> kvBlocks; ///< KV blocks held.
+    std::vector<double> arrivalSeconds;  ///< Stream arrival time.
+    std::vector<double> admissionSeconds; ///< Admission time.
+    std::vector<double> firstTokenSeconds; ///< First-advance time.
+    std::vector<double> stallSeconds; ///< Total time spent evicted.
+    /** 1 once firstTokenSeconds is valid. */
+    std::vector<std::uint8_t> firstTokenSeen;
+
+    /** Live request count (every column has this many elements). */
+    std::size_t size() const { return id.size(); }
+
+    /** True when no request is live. */
+    bool empty() const { return id.empty(); }
+
+    /** Context length of request @p i (prompt + generated). */
+    std::uint32_t
+    contextLen(std::size_t i) const
+    {
+        return inputLen[i] + generated[i];
+    }
+
+    /** Reserve capacity in every column. */
+    void reserve(std::size_t n);
+
+    /** Append @p s as the new youngest element (caller guarantees
+     *  s.admitSeq exceeds every present admitSeq). */
+    void push(const ActiveSnapshot &s);
+
+    /** Gather request @p i back into a snapshot (cold paths). */
+    ActiveSnapshot snapshot(std::size_t i) const;
+
+    /** Drop the last (youngest-admitted) element. */
+    void popBack();
+
+    /** Copy element @p from into slot @p to (to <= from); the
+     *  retirement compaction step. No-op when equal. */
+    void moveTo(std::size_t to, std::size_t from);
+
+    /** Shrink to @p n elements (after compaction). */
+    void truncate(std::size_t n);
+
+    /** Drop every element from every column. */
+    void clear();
+
+    // ---- hot array passes (branch-light, autovectorizable) ----
+
+    /** Sum of context lengths over the whole batch. */
+    std::uint64_t ctxSum() const;
+
+    /** True if any request is still prefilling (chunked mode). */
+    bool anyPrefilling() const;
+
+    /** Refill @p ctx with per-request context lengths, in order. */
+    void refillCtx(std::vector<std::uint32_t> &ctx) const;
+
+    /** stallSeconds[i] += s for every request (lump-sum swap stall
+     *  attribution). */
+    void addStallAll(double s);
+};
+
+} // namespace papi::core
+
+#endif // PAPI_CORE_BATCH_STATE_HH

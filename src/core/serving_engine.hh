@@ -45,8 +45,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <utility>
 #include <vector>
 
+#include "core/batch_state.hh"
 #include "core/dispatch_policy.hh"
 #include "core/platform.hh"
 #include "llm/arrival.hh"
@@ -172,6 +175,16 @@ struct ServingOptions
      * path only (excluded from static-batch runs).
      */
     double deadlineSeconds = 0.0;
+    /**
+     * Slot count of the direct-mapped decode-plan memo (power of
+     * two). A steady-state decode episode visits one key per
+     * iteration (ctx_sum strictly grows), so a recurring batch
+     * shape only hits when the whole episode's key set survives
+     * between repeats; size past the longest expected decode run.
+     * The default covers multi-thousand-iteration episodes at
+     * ~1 MB per simulator; long-episode benches raise it.
+     */
+    std::uint32_t planMemoSlots = 8192;
 };
 
 /** Per-component time/energy accumulation of one run. */
@@ -522,7 +535,7 @@ class ServingSim
     double now() const { return _now; }
 
     /** True if requests are decoding. */
-    bool hasActive() const { return !_active.empty(); }
+    bool hasActive() const { return !_batch.empty(); }
 
     /** True if delivered requests await admission. */
     bool
@@ -539,7 +552,7 @@ class ServingSim
     outstanding() const
     {
         return static_cast<std::uint32_t>(
-            _active.size() + _pending.size() +
+            _batch.size() + _pending.size() +
             _pendingPrefilled.size() + _preempted.size());
     }
 
@@ -621,38 +634,27 @@ class ServingSim
     }
 
   private:
-    /** A request being decoded, with serving-side bookkeeping. */
-    struct ActiveRequest
-    {
-        llm::Request request;        ///< Generation progress.
-        double arrivalSeconds = 0.0; ///< From the TimedRequest.
-        double admissionSeconds = 0.0;  ///< Admission decision time.
-        double firstTokenSeconds = 0.0; ///< First advancing iteration.
-        bool firstTokenSeen = false;    ///< firstTokenSeconds valid.
-        /** Chunked mode: prefill tokens still to process before this
-         *  request can decode (0 = decoding). */
-        std::uint32_t prefillRemaining = 0;
-        /** KV tokens materialized (preemption mode accounting). */
-        std::uint32_t kvTokens = 0;
-        /** Global admission sequence; the preemption victim order
-         *  (youngest admitted evicts first). */
-        std::uint64_t admitSeq = 0;
-        std::uint32_t preemptions = 0; ///< Evictions suffered so far.
-        double stallSeconds = 0.0;     ///< Total time spent evicted.
-        /** Session identity from the TimedRequest, preserved so a
-         *  crash harvest can re-route with affinity intact. */
-        std::uint64_t sessionId = 0;
-    };
-
     /** A request evicted under KV pressure, awaiting re-admission. */
     struct PreemptedRequest
     {
-        ActiveRequest state;         ///< Progress at eviction.
+        ActiveSnapshot state;        ///< Progress at eviction.
         double preemptSeconds = 0.0; ///< When it was evicted.
         /** KV tokens held at eviction (SwapRestore restores these;
          *  Recompute re-prefills the whole context). */
         std::uint32_t kvTokens = 0;
+        /** Monotonic eviction stamp; pairs with _preemptOrder so a
+         *  crash can harvest survivors in eviction order. */
+        std::uint64_t evictSeq = 0;
     };
+
+    /**
+     * Resume priority of a preempted request: oldest arrival first,
+     * lowest id on ties. Keeping _preempted ordered by this key
+     * makes each resume selection O(log n) - begin() IS the request
+     * the old per-resume linear scan picked (ids are unique, so the
+     * total order is identical).
+     */
+    using PreemptKey = std::pair<double, std::uint64_t>;
 
     /**
      * FC tokens of the next iteration: live RLP x TLP, padded to the
@@ -726,9 +728,9 @@ class ServingSim
      */
     bool noteDispatch(TargetId target);
 
-    /** Push the finished request's record/latency (shared by both
-     *  decode paths; caller releases KV and erases). */
-    void recordRetirement(const ActiveRequest &a);
+    /** Push batch element @p i's record/latency (shared by both
+     *  decode paths; caller releases KV and compacts). */
+    void recordRetirementAt(std::size_t i);
 
     /** Legacy (non-chunked) decode iteration; the pre-refactor body
      *  of stepDecode(), bit-identical. */
@@ -736,6 +738,18 @@ class ServingSim
 
     /** Chunked-mode decode/prefill iteration. */
     void stepDecodeChunked();
+
+    /**
+     * Advance every batch member by @p accepted tokens and retire
+     * the finished ones (record, optional KV release, in-place
+     * ordered compaction). The advance itself is one branch-light
+     * pass over the generated/outputLen columns; the compaction
+     * pass runs only when the advance saw a finish. Shared by the
+     * legacy path and the all-decoding chunked fast path.
+     * @return Requests that finished (<eos> count).
+     */
+    std::uint32_t advanceAndRetire(std::uint32_t accepted,
+                                   bool release_kv);
 
     /**
      * Preemption-mode helpers: blocks the next iteration could need
@@ -759,9 +773,10 @@ class ServingSim
         std::uint64_t kvTokens = 0; ///< Migrated context tokens.
     };
 
-    /** Retire @p a into the handoff queue (Prefill role): snapshot
-     *  and release its KV blocks, record the migration footprint. */
-    void handoffPrefilled(const ActiveRequest &a);
+    /** Retire batch element @p i into the handoff queue (Prefill
+     *  role): snapshot and release its KV blocks, record the
+     *  migration footprint. */
+    void handoffPrefilled(std::size_t i);
 
     /** Prefill-role sweep: hand off every active request whose
      *  prefill has completed. */
@@ -796,9 +811,21 @@ class ServingSim
     /** Completed prefills awaiting driver collection (Prefill). */
     std::vector<HandoffRecord> _handoffs;
     ServingRole _role = ServingRole::Colocated;
-    std::vector<ActiveRequest> _active;
-    /** Evicted requests awaiting re-admission (preemption mode). */
-    std::deque<PreemptedRequest> _preempted;
+    /** The live batch, structure-of-arrays, admission order.
+     *  Mutable: const planning paths may fold the pending uniform
+     *  advance (_genShift) into the generated column - a pure
+     *  representation change (see syncGen). */
+    mutable BatchState _batch;
+    /** Evicted requests awaiting re-admission (preemption mode),
+     *  keyed by resume priority (see PreemptKey). */
+    std::map<PreemptKey, PreemptedRequest> _preempted;
+    /** Eviction log: (key, evictSeq) in eviction order. An entry is
+     *  live iff the map still holds that key with the same stamp
+     *  (resumes leave stale entries behind); a crash harvests
+     *  survivors by filtering this log, reproducing the old deque's
+     *  insertion order exactly. */
+    std::vector<std::pair<PreemptKey, std::uint64_t>> _preemptOrder;
+    std::uint64_t _evictSeqNext = 0;
     std::vector<double> _latencies;
     std::vector<RequestRecord> _records;
 
@@ -819,6 +846,10 @@ class ServingSim
     RunBreakdown _breakdown;
     std::vector<IterationTrace> _trace;
     std::vector<std::uint64_t> _targetIters;
+    /** kind == Gpu per target id, cached at construction so the
+     *  per-iteration counter split skips the registry's bounds-
+     *  checked lookup. */
+    std::vector<std::uint8_t> _targetIsGpu;
 
     // Reused across iterations; refilled in place.
     mutable std::vector<std::uint32_t> _prefillLens;
@@ -829,10 +860,88 @@ class ServingSim
     /** Decode-set snapshot of the running iteration (see
      *  stepDecodeChunked). */
     std::vector<std::uint8_t> _decoding;
+    // Gather/scatter scratch for bulk KV growth (growMany).
+    std::vector<std::size_t> _growIdx;
+    std::vector<std::uint64_t> _growIds;
+    std::vector<std::uint64_t> _growTok;
+    std::vector<std::uint64_t> _growBlocks;
+    /** _kv.blockTokens(), cached so the headroom gate's
+     *  blocks-for-tokens arithmetic inlines into its array pass. */
+    std::uint64_t _kvBlockTokens = 16;
 
     /** Cached next-iteration plan (see refreshPlan). */
     mutable IterationPlan _plan;
     mutable bool _planValid = false;
+
+    /**
+     * True once every batched request has produced its first token
+     * - cleared on every admission so advanceAndRetire only runs
+     * its first-token bookkeeping pass near admission waves and
+     * steady-state decode stays a pure elementwise sweep.
+     */
+    bool _allSeen = true;
+
+    /**
+     * Steady-state decode advances every live request by the same
+     * accepted-token count, so the whole O(n) generation sweep
+     * reduces to algebra: _genShift is a uniform advance not yet
+     * folded into _batch.generated (true generated[i] = stored +
+     * _genShift), _ctxSumBase is the context-length sum over the
+     * stored values, and _minRem is the smallest true remaining
+     * output. While _allSeen holds and accepted < _minRem, one
+     * iteration is _genShift += accepted (nobody retires, the
+     * context sum moves by n * accepted) - O(1) instead of O(n).
+     * Any path that reads or mutates the generated column calls
+     * syncGen() first to fold the shift in; any batch mutation
+     * clears _steadyValid so the aggregates are rebuilt on the next
+     * decode iteration (refreshSteady).
+     */
+    mutable std::uint32_t _genShift = 0;
+    /** Context-length sum over stored columns (valid iff
+     *  _steadyValid); true sum = _ctxSumBase + n * _genShift. */
+    mutable std::uint64_t _ctxSumBase = 0;
+    /** Smallest true outputLen - generated over the batch (valid
+     *  iff _steadyValid). */
+    mutable std::uint32_t _minRem = 0;
+    mutable bool _steadyValid = false;
+
+    /** Fold _genShift into _batch.generated (no observable-state
+     *  change: every true value is preserved). */
+    void syncGen() const;
+    /** Rebuild _ctxSumBase/_minRem from the (synced) columns. */
+    void refreshSteady() const;
+    /** Batch context-length sum, O(1) in steady-state decode;
+     *  bit-identical to BatchState::ctxSum() (integer arithmetic,
+     *  shift folded algebraically). */
+    std::uint64_t steadyCtxSum() const;
+
+    /**
+     * Direct-mapped memo of decode-phase plans, keyed by
+     * (decodeRlp, fcTokens, ctxSum). Sound because every cost the
+     * entry caches is a pure function of that key and of state
+     * fixed at construction: the dispatch rules depend on RLP/TLP/
+     * tokens only (Static pins, Threshold is arithmetic, Oracle
+     * races fcExec over tokens), the platform's attention cost
+     * reduces the context vector to integer aggregates (sum, count)
+     * before any floating-point work, and the TP cost transform is
+     * token-count arithmetic. A hit therefore returns bitwise the
+     * values a recompute would - steady-state decode turns the
+     * whole plan pass into one vectorized context sum plus a table
+     * probe. Collisions simply overwrite (direct-mapped).
+     */
+    struct PlanMemoEntry
+    {
+        std::uint64_t key1 = ~0ULL; ///< decodeRlp<<32 | fcTokens.
+        std::uint64_t key2 = 0;     ///< Context-length sum.
+        DispatchDecision decision;
+        IterationTiming timing;
+    };
+    mutable std::vector<PlanMemoEntry> _planMemo;
+    /** ServingOptions::planMemoSlots - 1 (power-of-two mask). */
+    std::size_t _planMemoMask = 0;
+    /** Slot index for a (rlp, tokens, ctx_sum) key. */
+    std::size_t planMemoSlot(std::uint64_t key1,
+                             std::uint64_t key2) const;
 
     ServingResult _out;
 };

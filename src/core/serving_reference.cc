@@ -1,33 +1,30 @@
-#include "core/serving_engine.hh"
+/**
+ * @file
+ * Frozen pre-SoA reference ServingSim bodies - see
+ * core/serving_reference.hh. Verbatim snapshot of
+ * core/serving_engine.cc before the structure-of-arrays refactor;
+ * do not modify.
+ */
+
+#include "core/serving_reference.hh"
 
 #include <algorithm>
 
 #include "core/metrics.hh"
-#include "core/serving_events.hh"
 #include "sim/logging.hh"
 
-namespace papi::core {
+namespace papi::core::refimpl {
 
 namespace {
 
 /** Host power charged against non-GEMV iteration time, watts. */
 constexpr double kHostWatts = 50.0;
 
-/** 64-bit finalizer (splitmix64) for the plan-memo slot hash. */
-inline std::uint64_t
-mix64(std::uint64_t x)
-{
-    x += 0x9E3779B97F4A7C15ULL;
-    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-    return x ^ (x >> 31);
-}
-
 } // namespace
 
-// --------------------------------------------------------------- ServingSim
+// --------------------------------------------------------------- ReferenceServingSim
 
-ServingSim::ServingSim(const Platform &platform,
+ReferenceServingSim::ReferenceServingSim(const Platform &platform,
                        const llm::SpeculativeConfig &spec,
                        const llm::ModelConfig &model,
                        const ServingOptions &options,
@@ -46,78 +43,51 @@ ServingSim::ServingSim(const Platform &platform,
       _dynamic(_fcDispatch.rule() == DispatchRule::Threshold),
       _targetIters(platform.targets().size(), 0)
 {
-    _targetIsGpu.reserve(platform.targets().size());
-    for (const ExecTarget &t : platform.targets().all())
-        _targetIsGpu.push_back(t.kind == TargetKind::Gpu ? 1 : 0);
     spec.validate();
     if (options.maxRlp == 0)
-        sim::fatal("ServingSim: maxRlp must be >= 1");
+        sim::fatal("ReferenceServingSim: maxRlp must be >= 1");
     if (options.alpha <= 0.0)
-        sim::fatal("ServingSim: alpha must be positive");
+        sim::fatal("ReferenceServingSim: alpha must be positive");
     if (_cost.computeScale <= 0.0)
-        sim::fatal("ServingSim: computeScale must be positive");
+        sim::fatal("ReferenceServingSim: computeScale must be positive");
     _chunked = options.prefillChunkTokens > 0;
     _preempt = options.preemptOnKvPressure;
     _role = options.role;
     if (_static.enabled && (_chunked || _preempt))
-        sim::fatal("ServingSim: chunked prefill / KV preemption are "
+        sim::fatal("ReferenceServingSim: chunked prefill / KV preemption are "
                    "serving-path features; static-batch (decode) "
                    "runs use the monolithic prefill");
     if (_role != ServingRole::Colocated) {
         if (_static.enabled)
-            sim::fatal("ServingSim: static-batch (decode) runs are "
+            sim::fatal("ReferenceServingSim: static-batch (decode) runs are "
                        "colocated; disaggregated roles are a "
                        "serving-path feature");
         if (options.admission != AdmissionPolicy::TokenLevel)
-            sim::fatal("ServingSim: disaggregated roles require "
+            sim::fatal("ReferenceServingSim: disaggregated roles require "
                        "token-level admission (batch-level fill "
                        "rules have no meaning on a phase pool)");
     }
     if (_role == ServingRole::Prefill && _preempt)
-        sim::fatal("ServingSim: KV preemption is a decode-side "
+        sim::fatal("ReferenceServingSim: KV preemption is a decode-side "
                    "feature; a prefill replica frees its KV at "
                    "handoff, so pressure never builds");
     if (_preempt && _options.kvSwapGBps <= 0.0)
-        sim::fatal("ServingSim: kvSwapGBps must be positive");
+        sim::fatal("ReferenceServingSim: kvSwapGBps must be positive");
     if (_options.deadlineSeconds < 0.0)
-        sim::fatal("ServingSim: deadlineSeconds cannot be negative");
+        sim::fatal("ReferenceServingSim: deadlineSeconds cannot be negative");
     if (_static.enabled && _options.deadlineSeconds > 0.0)
-        sim::fatal("ServingSim: deadlines/load shedding are "
+        sim::fatal("ReferenceServingSim: deadlines/load shedding are "
                    "serving-path features; static-batch (decode) "
                    "runs admit the whole batch once");
-    _kvBlockTokens = _kv.blockTokens();
     _prefillLens.reserve(options.maxRlp);
     _ctx.reserve(options.maxRlp);
-    _chunkPlan.reserve(options.maxRlp);
-    _chunkPrior.reserve(options.maxRlp);
-    _chunkNow.reserve(options.maxRlp);
-    _decoding.reserve(options.maxRlp);
-    _growIdx.reserve(options.maxRlp);
-    _growIds.reserve(options.maxRlp);
-    _growTok.reserve(options.maxRlp);
-    _growBlocks.reserve(options.maxRlp);
-    _batch.reserve(options.maxRlp);
-    if (options.planMemoSlots == 0 ||
-        (options.planMemoSlots & (options.planMemoSlots - 1)) != 0)
-        sim::fatal("ServingSim: planMemoSlots must be a power of "
-                   "two");
-    _planMemo.resize(options.planMemoSlots);
-    _planMemoMask = options.planMemoSlots - 1;
-}
-
-std::size_t
-ServingSim::planMemoSlot(std::uint64_t key1, std::uint64_t key2) const
-{
-    return static_cast<std::size_t>(
-               mix64(key1 ^ mix64(key2))) &
-           _planMemoMask;
 }
 
 void
-ServingSim::deliver(const llm::TimedRequest &request)
+ReferenceServingSim::deliver(const llm::TimedRequest &request)
 {
     if (_anchored && request.arrivalSeconds < _lastDelivered)
-        sim::fatal("ServingSim: deliveries must be time-ordered");
+        sim::fatal("ReferenceServingSim: deliveries must be time-ordered");
     if (!_anchored) {
         _firstArrival = request.arrivalSeconds;
         _now = request.arrivalSeconds;
@@ -128,19 +98,19 @@ ServingSim::deliver(const llm::TimedRequest &request)
 }
 
 void
-ServingSim::redeliver(const llm::TimedRequest &request,
+ReferenceServingSim::redeliver(const llm::TimedRequest &request,
                       double ready_seconds)
 {
     if (_static.enabled ||
         _options.admission != AdmissionPolicy::TokenLevel)
-        sim::fatal("ServingSim: retry redelivery requires the "
+        sim::fatal("ReferenceServingSim: retry redelivery requires the "
                    "token-level serving path");
     if (ready_seconds < request.arrivalSeconds)
-        sim::fatal("ServingSim: retry of request ",
+        sim::fatal("ReferenceServingSim: retry of request ",
                    request.request.id,
                    " cannot precede its original arrival");
     if (_anchored && ready_seconds < _lastDelivered)
-        sim::fatal("ServingSim: deliveries must be time-ordered");
+        sim::fatal("ReferenceServingSim: deliveries must be time-ordered");
     if (!_anchored) {
         _firstArrival = ready_seconds;
         _now = ready_seconds;
@@ -151,16 +121,16 @@ ServingSim::redeliver(const llm::TimedRequest &request,
 }
 
 void
-ServingSim::deliverPrefilled(const llm::TimedRequest &request,
+ReferenceServingSim::deliverPrefilled(const llm::TimedRequest &request,
                              double ready_seconds,
                              std::uint64_t kv_tokens)
 {
     if (_role == ServingRole::Prefill)
-        sim::fatal("ServingSim: a prefill-pool replica cannot "
+        sim::fatal("ReferenceServingSim: a prefill-pool replica cannot "
                    "accept migrated KV (request ",
                    request.request.id, ")");
     if (_anchored && ready_seconds < _lastDelivered)
-        sim::fatal("ServingSim: deliveries must be time-ordered");
+        sim::fatal("ReferenceServingSim: deliveries must be time-ordered");
     if (!_anchored) {
         _firstArrival = ready_seconds;
         _now = ready_seconds;
@@ -171,7 +141,7 @@ ServingSim::deliverPrefilled(const llm::TimedRequest &request,
 }
 
 std::vector<HandoffRecord>
-ServingSim::takeHandoffs()
+ReferenceServingSim::takeHandoffs()
 {
     std::vector<HandoffRecord> out;
     out.swap(_handoffs);
@@ -179,35 +149,31 @@ ServingSim::takeHandoffs()
 }
 
 std::vector<LostRequest>
-ServingSim::crash(double when)
+ReferenceServingSim::crash(double when)
 {
     if (_static.enabled)
-        sim::fatal("ServingSim: static-batch (decode) runs have no "
+        sim::fatal("ReferenceServingSim: static-batch (decode) runs have no "
                    "fault model");
-    syncGen(); // harvest reads true generation progress
     std::vector<LostRequest> lost;
-    lost.reserve(_batch.size() + _handoffs.size() +
+    lost.reserve(_active.size() + _handoffs.size() +
                  _preempted.size() + _pendingPrefilled.size() +
                  _pending.size());
     // Harvest in a fixed order (active, handed off, preempted,
     // migrated-in, queued) so retry schedules are deterministic.
-    for (std::size_t i = 0; i < _batch.size(); ++i) {
+    for (const ActiveRequest &a : _active) {
         LostRequest l;
-        l.request.request.id = _batch.id[i];
-        l.request.request.inputLen = _batch.inputLen[i];
-        l.request.request.outputLen = _batch.outputLen[i];
+        l.request.request = a.request;
         l.request.request.generated = 0;
-        l.request.arrivalSeconds = _batch.arrivalSeconds[i];
-        l.request.sessionId = _batch.sessionId[i];
+        l.request.arrivalSeconds = a.arrivalSeconds;
+        l.request.sessionId = a.sessionId;
         l.admitted = true;
-        l.generatedLost = _batch.generated[i];
+        l.generatedLost = a.request.generated;
         l.prefillLostTokens =
-            _batch.inputLen[i] - _batch.prefillRemaining[i];
-        _kv.release(_batch.id[i]);
+            a.request.inputLen - a.prefillRemaining;
+        _kv.release(a.request.id);
         lost.push_back(l);
     }
-    _batch.clear();
-    _steadyValid = false;
+    _active.clear();
     // Handed-off prefills not yet collected by the driver die with
     // the replica (their KV was released at handoff; the buffered
     // transfer payload is lost).
@@ -222,13 +188,7 @@ ServingSim::crash(double when)
     _handoffs.clear();
     // Preempted requests released their device KV at eviction; any
     // swapped-out copy lived on this replica's host and is gone too.
-    // The eviction log replays them in eviction order (entries whose
-    // stamp no longer matches were resumed since - skip them).
-    for (const auto &[key, stamp] : _preemptOrder) {
-        const auto it = _preempted.find(key);
-        if (it == _preempted.end() || it->second.evictSeq != stamp)
-            continue;
-        const PreemptedRequest &p = it->second;
+    for (const PreemptedRequest &p : _preempted) {
         LostRequest l;
         l.request.request = p.state.request;
         l.request.request.generated = 0;
@@ -241,7 +201,6 @@ ServingSim::crash(double when)
         lost.push_back(l);
     }
     _preempted.clear();
-    _preemptOrder.clear();
     // Migrated-in prefills awaiting admission: the prompt phase ran
     // on the prefill pool and its product died here unadmitted.
     for (const PrefilledPending &pp : _pendingPrefilled) {
@@ -268,7 +227,7 @@ ServingSim::crash(double when)
 }
 
 void
-ServingSim::restartAt(double when)
+ReferenceServingSim::restartAt(double when)
 {
     // The replica comes back empty and cold; only its clock moves
     // (work charged before the crash stays charged).
@@ -276,44 +235,37 @@ ServingSim::restartAt(double when)
 }
 
 void
-ServingSim::handoffPrefilled(std::size_t i)
+ReferenceServingSim::handoffPrefilled(const ActiveRequest &a)
 {
     HandoffRecord h;
-    h.request.request.id = _batch.id[i];
-    h.request.request.inputLen = _batch.inputLen[i];
-    h.request.request.outputLen = _batch.outputLen[i];
-    h.request.request.generated = _batch.generated[i];
-    h.request.arrivalSeconds = _batch.arrivalSeconds[i];
+    h.request.request = a.request;
+    h.request.arrivalSeconds = a.arrivalSeconds;
     h.readySeconds = _now;
-    h.kvTokens = _batch.contextLen(i);
-    const llm::KvExport kv = _kv.exportRequest(_batch.id[i]);
+    h.kvTokens = a.request.contextLen();
+    const llm::KvExport kv = _kv.exportRequest(a.request.id);
     h.kvBlocks = kv.blocks;
     h.kvBytes = kv.bytes;
     ++_out.handoffs;
-    _out.prefillHandoffTokens += _batch.inputLen[i];
+    _out.prefillHandoffTokens += a.request.inputLen;
     _handoffs.push_back(h);
 }
 
 void
-ServingSim::handoffCompletedPrefills()
+ReferenceServingSim::handoffCompletedPrefills()
 {
     _planValid = false; // the live batch shrinks
-    syncGen();
-    _steadyValid = false;
-    std::size_t w = 0;
-    for (std::size_t r = 0; r < _batch.size(); ++r) {
-        if (_batch.prefillRemaining[r] == 0) {
-            handoffPrefilled(r);
+    for (auto it = _active.begin(); it != _active.end();) {
+        if (it->prefillRemaining == 0) {
+            handoffPrefilled(*it);
+            it = _active.erase(it);
         } else {
-            _batch.moveTo(w, r);
-            ++w;
+            ++it;
         }
     }
-    _batch.truncate(w);
 }
 
 std::uint32_t
-ServingSim::fcTokens(std::uint32_t rlp, std::uint32_t tlp) const
+ReferenceServingSim::fcTokens(std::uint32_t rlp, std::uint32_t tlp) const
 {
     std::uint32_t fc_rlp = rlp;
     // The paper's Shortcoming 1: static-batching systems without
@@ -325,7 +277,7 @@ ServingSim::fcTokens(std::uint32_t rlp, std::uint32_t tlp) const
 }
 
 double
-ServingSim::scaledSeconds(double kernel_seconds, double other_seconds,
+ReferenceServingSim::scaledSeconds(double kernel_seconds, double other_seconds,
                           std::uint32_t tokens) const
 {
     // The trivial path must not be routed through here: callers keep
@@ -338,46 +290,40 @@ ServingSim::scaledSeconds(double kernel_seconds, double other_seconds,
 }
 
 std::uint32_t
-ServingSim::admit()
+ReferenceServingSim::admit()
 {
-    // Steady-state early-out: nothing can possibly join when every
-    // source is empty or not yet eligible (the mirror of the three
-    // admission loop guards below). Returning before any batch
-    // access keeps the O(1) decode window's pending uniform advance
-    // unfolded - this runs after every decode step.
-    if ((!_preempt || _preempted.empty()) &&
-        (_pendingPrefilled.empty() ||
-         _pendingPrefilled.front().readySeconds > _now) &&
-        (_pending.empty() ||
-         _pending.front().readySeconds > _now))
-        return 0;
     _planValid = false; // batch may change; a peeked plan is stale
-    syncGen(); // pushes must not inherit the pending uniform advance
     std::uint32_t admitted = 0;
     _prefillLens.clear();
     // Batch-level scheduling admits only into an empty batch.
     if (_options.admission == AdmissionPolicy::BatchLevel &&
-        !_batch.empty())
+        !_active.empty())
         return admitted;
     const double decision_time = _now;
 
     // Preemption mode: re-admit evicted requests first (oldest
     // arrival wins), before any newcomer - an evicted request
     // already holds its admission timestamp and must not starve.
-    // _preempted is ordered by exactly that priority, so the head
-    // of the map is the winner (O(log n) per resume).
     std::uint32_t resumed = 0;
     double swap_seconds = 0.0;
     while (_preempt && !_preempted.empty() &&
-           _batch.size() < _options.maxRlp) {
-        const auto best = _preempted.begin();
-        const PreemptedRequest &pr = best->second;
-        const std::uint32_t ctx = pr.state.request.contextLen();
+           _active.size() < _options.maxRlp) {
+        auto best = _preempted.begin();
+        for (auto it = std::next(best); it != _preempted.end();
+             ++it) {
+            if (it->state.arrivalSeconds <
+                    best->state.arrivalSeconds ||
+                (it->state.arrivalSeconds ==
+                     best->state.arrivalSeconds &&
+                 it->state.request.id < best->state.request.id))
+                best = it;
+        }
+        const std::uint32_t ctx = best->state.request.contextLen();
         const bool recompute =
             _options.preemptPolicy == KvPreemptPolicy::Recompute;
         const std::uint64_t footprint =
             recompute ? ctx : std::max<std::uint32_t>(
-                                  pr.kvTokens, 1);
+                                  best->kvTokens, 1);
         // Reserve the candidate's footprint plus its own first
         // iteration's growth on top of the existing batch's
         // headroom, so admission can never force an eviction.
@@ -387,37 +333,34 @@ ServingSim::admit()
                             _options.prefillChunkTokens));
         if (_kv.freeBlocks() < reserve + worstGrowthBlocks())
             break;
-        ActiveSnapshot a = pr.state;
+        ActiveRequest a = best->state;
         a.admitSeq = _admitSeqNext++;
-        a.stallSeconds += _now - pr.preemptSeconds;
-        _out.evictionStallSeconds += _now - pr.preemptSeconds;
+        a.stallSeconds += _now - best->preemptSeconds;
+        _out.evictionStallSeconds += _now - best->preemptSeconds;
         if (recompute) {
-            _out.recomputedPrefillTokens += pr.kvTokens;
+            _out.recomputedPrefillTokens += best->kvTokens;
             if (_chunked) {
                 a.prefillRemaining = ctx;
                 a.kvTokens = 0;
-                a.kvBlocks = _kv.admit(a.request.id, 0);
+                _kv.admit(a.request.id, 0);
             } else {
                 a.prefillRemaining = 0;
                 a.kvTokens = ctx;
-                a.kvBlocks = _kv.admit(a.request.id, ctx);
+                _kv.admit(a.request.id, ctx);
                 _prefillLens.push_back(ctx);
             }
         } else {
             // SwapRestore: the KV content survives off-device; pay
             // the transfer back over the attention fabric.
-            a.kvTokens = pr.kvTokens;
-            a.kvBlocks = _kv.admit(
-                a.request.id,
-                std::max<std::uint32_t>(a.kvTokens, 1));
+            a.kvTokens = best->kvTokens;
+            _kv.admit(a.request.id,
+                      std::max<std::uint32_t>(a.kvTokens, 1));
             swap_seconds +=
                 static_cast<double>(a.kvTokens) *
                 static_cast<double>(_model.kvBytesPerToken()) /
                 (_options.kvSwapGBps * 1e9);
         }
-        _batch.push(a);
-        _allSeen = false;
-        _steadyValid = false;
+        _active.push_back(a);
         _preempted.erase(best);
         ++resumed;
     }
@@ -427,7 +370,7 @@ ServingSim::admit()
     // prefill charge (the prompt phase ran on the prefill pool).
     while (!_pendingPrefilled.empty() &&
            _pendingPrefilled.front().readySeconds <= _now &&
-           _batch.size() < _options.maxRlp) {
+           _active.size() < _options.maxRlp) {
         const PrefilledPending &pp = _pendingPrefilled.front();
         if (_options.deadlineSeconds > 0.0 &&
             pp.request.arrivalSeconds + _options.deadlineSeconds <=
@@ -440,7 +383,6 @@ ServingSim::admit()
             continue;
         }
         const llm::Request &req = pp.request.request;
-        std::uint64_t kv_blocks;
         if (!_preempt) {
             // Migration-aware reservation: the migrated footprint
             // is already real, the worst case adds the full output.
@@ -448,7 +390,7 @@ ServingSim::admit()
                 pp.kvTokens + req.outputLen;
             if (!_kv.canAdmit(worst))
                 break;
-            kv_blocks = _kv.admit(req.id, worst);
+            _kv.admit(req.id, worst);
         } else {
             // On-demand mode: import the migrated footprint plus
             // this request's own first-iteration growth, keeping
@@ -458,27 +400,24 @@ ServingSim::admit()
                 pp.kvTokens + _spec.length);
             if (_kv.freeBlocks() < reserve + worstGrowthBlocks())
                 break;
-            kv_blocks = _kv.importRequest(req.id, pp.kvTokens);
+            _kv.importRequest(req.id, pp.kvTokens);
         }
-        ActiveSnapshot a;
+        ActiveRequest a;
         a.request = req;
         a.arrivalSeconds = pp.request.arrivalSeconds;
         a.admissionSeconds = decision_time;
         a.admitSeq = _admitSeqNext++;
         a.prefillRemaining = 0;
         a.kvTokens = static_cast<std::uint32_t>(pp.kvTokens);
-        a.kvBlocks = kv_blocks;
         a.sessionId = pp.request.sessionId;
-        _batch.push(a);
-        _allSeen = false;
-        _steadyValid = false;
+        _active.push_back(a);
         _pendingPrefilled.pop_front();
         ++admitted;
     }
 
     while (!_pending.empty() &&
            _pending.front().readySeconds <= _now &&
-           _batch.size() < _options.maxRlp) {
+           _active.size() < _options.maxRlp) {
         if (_options.deadlineSeconds > 0.0 &&
             _pending.front().request.arrivalSeconds +
                     _options.deadlineSeconds <= _now) {
@@ -487,7 +426,6 @@ ServingSim::admit()
             continue;
         }
         const llm::Request &req = _pending.front().request.request;
-        std::uint64_t kv_blocks = 0;
         if (!_static.enabled) {
             if (!_preempt) {
                 // Reserve the worst case so growth can never fail.
@@ -499,7 +437,7 @@ ServingSim::admit()
                                                    : req.outputLen);
                 if (!_kv.canAdmit(worst))
                     break;
-                kv_blocks = _kv.admit(req.id, worst);
+                _kv.admit(req.id, worst);
             } else {
                 // Reserve the prompt footprint plus this request's
                 // own first-iteration growth, and keep headroom for
@@ -513,26 +451,22 @@ ServingSim::admit()
                 if (_kv.freeBlocks() <
                     reserve + worstGrowthBlocks())
                     break;
-                kv_blocks = _kv.admit(req.id,
-                                      _chunked ? 0 : req.inputLen);
+                _kv.admit(req.id, _chunked ? 0 : req.inputLen);
             }
         }
-        ActiveSnapshot a;
+        ActiveRequest a;
         a.request = req;
         a.arrivalSeconds = _pending.front().request.arrivalSeconds;
         a.admissionSeconds = decision_time;
         a.admitSeq = _admitSeqNext++;
         a.sessionId = _pending.front().request.sessionId;
-        a.kvBlocks = kv_blocks;
         if (_chunked) {
             a.prefillRemaining = req.inputLen;
         } else {
             a.kvTokens = req.inputLen;
             _prefillLens.push_back(a.request.inputLen);
         }
-        _batch.push(a);
-        _allSeen = false;
-        _steadyValid = false;
+        _active.push_back(a);
         _pending.pop_front();
         ++admitted;
     }
@@ -567,14 +501,15 @@ ServingSim::admit()
         // this admit boundary, not just the resumed ones; attribute
         // the induced stall to all of them so preemption-stall
         // percentiles stay conservative.
-        _batch.addStallAll(swap_seconds);
+        for (auto &a : _active)
+            a.stallSeconds += swap_seconds;
         _out.swapInducedStallSeconds +=
-            swap_seconds * static_cast<double>(_batch.size());
+            swap_seconds * static_cast<double>(_active.size());
     }
     // Prefill-pool replica: every request whose prompt phase just
     // completed (the whole non-chunked admission wave) retires into
     // the handoff queue instead of decoding here.
-    if (_role == ServingRole::Prefill && !_batch.empty())
+    if (_role == ServingRole::Prefill && !_active.empty())
         handoffCompletedPrefills();
     if (admitted > 0)
         _out.admissions += admitted;
@@ -583,12 +518,12 @@ ServingSim::admit()
 }
 
 void
-ServingSim::stepIdle()
+ReferenceServingSim::stepIdle()
 {
     if (hasActive())
-        sim::panic("ServingSim::stepIdle with a live batch");
+        sim::panic("ReferenceServingSim::stepIdle with a live batch");
     if (!hasPending())
-        sim::panic("ServingSim::stepIdle with nothing pending");
+        sim::panic("ReferenceServingSim::stepIdle with nothing pending");
 
     // Shedding can drain the entire eligible prefix inside admit()
     // without forming a batch, so fast-forward / admit loops until a
@@ -641,7 +576,7 @@ ServingSim::stepIdle()
                 !_pending.empty()
                     ? _pending.front().request.request.id
                     : _pendingPrefilled.front().request.request.id;
-            sim::fatal("ServingSim: request ", id,
+            sim::fatal("ReferenceServingSim: request ", id,
                        " cannot be admitted into an empty batch (KV "
                        "worst-case footprint exceeds the Attn-PIM "
                        "pool)");
@@ -650,12 +585,13 @@ ServingSim::stepIdle()
     }
 }
 
-ServingSim::IterationTiming
-ServingSim::iterationTiming(TargetId target, std::uint32_t tokens,
+ReferenceServingSim::IterationTiming
+ReferenceServingSim::iterationTiming(TargetId target, std::uint32_t tokens,
                             std::uint32_t tlp) const
 {
-    syncGen();
-    _batch.refillCtx(_ctx);
+    _ctx.clear();
+    for (const auto &a : _active)
+        _ctx.push_back(a.request.contextLen());
 
     IterationTiming t;
     t.fc = _platform.fcExec(_model, tokens, target);
@@ -683,91 +619,61 @@ ServingSim::iterationTiming(TargetId target, std::uint32_t tokens,
 }
 
 void
-ServingSim::planChunks(std::vector<std::uint32_t> &chunks) const
+ReferenceServingSim::planChunks(std::vector<std::uint32_t> &chunks) const
 {
-    const std::size_t n = _batch.size();
-    chunks.assign(n, 0);
+    chunks.assign(_active.size(), 0);
     std::uint32_t budget = _options.prefillChunkTokens;
-    const std::uint32_t *pre = _batch.prefillRemaining.data();
-    // The batch is kept in admission order, so the shared chunk
+    // _active is kept in admission order, so the shared chunk
     // budget drains oldest-admission-first.
-    for (std::size_t i = 0; i < n && budget > 0; ++i) {
-        if (pre[i] == 0)
+    for (std::size_t i = 0; i < _active.size() && budget > 0; ++i) {
+        const ActiveRequest &a = _active[i];
+        if (a.prefillRemaining == 0)
             continue;
-        const std::uint32_t c = std::min(pre[i], budget);
+        const std::uint32_t c =
+            std::min(a.prefillRemaining, budget);
         chunks[i] = c;
         budget -= c;
     }
 }
 
-ServingSim::IterationPlan
-ServingSim::planIteration() const
+ReferenceServingSim::IterationPlan
+ReferenceServingSim::planIteration() const
 {
     IterationPlan p;
     planChunks(_chunkPlan);
+    _ctx.clear();
     _chunkPrior.clear();
     _chunkNow.clear();
-    const std::size_t n = _batch.size();
-    const std::uint32_t tlp = _spec.length;
     std::uint32_t chunk_tokens = 0;
-    std::uint64_t ctx_sum = 0;
-    const bool all_decoding = !_batch.anyPrefilling();
-    if (all_decoding) {
-        // Steady-state fast path: everyone decodes, so the plan
-        // inputs reduce to one vectorized context sum (_ctx itself
-        // is only needed on a memo miss).
-        p.decodeRlp = static_cast<std::uint32_t>(n);
-        ctx_sum = steadyCtxSum();
-    } else {
-        syncGen();
-        _ctx.clear();
-        const std::uint32_t *pre = _batch.prefillRemaining.data();
-        for (std::size_t i = 0; i < n; ++i) {
-            const std::uint32_t ctx = _batch.contextLen(i);
-            if (pre[i] == 0) {
-                _ctx.push_back(ctx);
-                ctx_sum += ctx;
-                ++p.decodeRlp;
-            } else if (_chunkPlan[i] > 0) {
-                // Prefill total for costing is the full context
-                // being (re)built - contextLen() is constant while
-                // a request prefills, and covers recompute resumes.
-                _chunkPrior.push_back(ctx - pre[i]);
-                _chunkNow.push_back(_chunkPlan[i]);
-                chunk_tokens += _chunkPlan[i];
-            }
+    for (std::size_t i = 0; i < _active.size(); ++i) {
+        const ActiveRequest &a = _active[i];
+        if (a.prefillRemaining == 0) {
+            _ctx.push_back(a.request.contextLen());
+            ++p.decodeRlp;
+        } else if (_chunkPlan[i] > 0) {
+            // Prefill total for costing is the full context being
+            // (re)built - contextLen() is constant while a request
+            // prefills, and covers recompute resumes.
+            _chunkPrior.push_back(a.request.contextLen() -
+                                  a.prefillRemaining);
+            _chunkNow.push_back(_chunkPlan[i]);
+            chunk_tokens += _chunkPlan[i];
         }
     }
+    const std::uint32_t tlp = _spec.length;
     p.tokens = fcTokens(p.decodeRlp, tlp);
     p.chunkTokens = chunk_tokens;
     double kernel = 0.0;
     double other = 0.0;
     if (p.decodeRlp > 0) {
+        p.decision =
+            _fcDispatch.select(_model, p.decodeRlp, tlp, p.tokens);
         p.dispatched = true;
-        const std::uint64_t key1 =
-            (static_cast<std::uint64_t>(p.decodeRlp) << 32) |
-            p.tokens;
-        PlanMemoEntry &e = _planMemo[planMemoSlot(key1, ctx_sum)];
-        if (e.key1 == key1 && e.key2 == ctx_sum) {
-            p.decision = e.decision;
-            p.timing = e.timing;
-        } else {
-            p.decision = _fcDispatch.select(_model, p.decodeRlp,
-                                            tlp, p.tokens);
-            if (all_decoding) {
-                syncGen();
-                _batch.refillCtx(_ctx);
-            }
-            p.timing.fc = _platform.fcExec(_model, p.tokens,
-                                           p.decision.target);
-            p.timing.at = _platform.attnExec(_model, _ctx, tlp);
-            p.timing.other = _platform.otherSeconds(_model);
-            e.key1 = key1;
-            e.key2 = ctx_sum;
-            e.decision = p.decision;
-            e.timing = p.timing;
-        }
-        other = p.timing.other;
+        p.timing.fc = _platform.fcExec(_model, p.tokens,
+                                       p.decision.target);
+        p.timing.at = _platform.attnExec(_model, _ctx, tlp);
+        other = _platform.otherSeconds(_model);
+        p.timing.other = other;
         kernel = p.timing.fc.seconds + p.timing.at.seconds;
     }
     if (!_chunkNow.empty())
@@ -782,37 +688,22 @@ ServingSim::planIteration() const
 }
 
 void
-ServingSim::refreshPlan() const
+ReferenceServingSim::refreshPlan() const
 {
     if (_planValid)
         return;
     if (_chunked) {
         _plan = planIteration();
     } else {
-        const auto rlp = static_cast<std::uint32_t>(_batch.size());
+        const auto rlp = static_cast<std::uint32_t>(_active.size());
         const std::uint32_t tlp = _spec.length;
         const std::uint32_t tokens = fcTokens(rlp, tlp);
-        const std::uint64_t ctx_sum = steadyCtxSum();
         IterationPlan p;
         p.decodeRlp = rlp;
         p.tokens = tokens;
+        p.decision = _fcDispatch.select(_model, rlp, tlp, tokens);
         p.dispatched = true;
-        const std::uint64_t key1 =
-            (static_cast<std::uint64_t>(rlp) << 32) | tokens;
-        PlanMemoEntry &e = _planMemo[planMemoSlot(key1, ctx_sum)];
-        if (e.key1 == key1 && e.key2 == ctx_sum) {
-            p.decision = e.decision;
-            p.timing = e.timing;
-        } else {
-            p.decision = _fcDispatch.select(_model, rlp, tlp,
-                                            tokens);
-            p.timing =
-                iterationTiming(p.decision.target, tokens, tlp);
-            e.key1 = key1;
-            e.key2 = ctx_sum;
-            e.decision = p.decision;
-            e.timing = p.timing;
-        }
+        p.timing = iterationTiming(p.decision.target, tokens, tlp);
         p.seconds = p.timing.seconds;
         _plan = p;
     }
@@ -820,13 +711,16 @@ ServingSim::refreshPlan() const
 }
 
 bool
-ServingSim::noteDispatch(TargetId target)
+ReferenceServingSim::noteDispatch(TargetId target)
 {
     bool rescheduled = false;
     if (_dynamic) {
         const bool was_gpu =
-            _schedStarted && _targetIsGpu[_prevTarget] != 0;
-        const bool is_gpu = _targetIsGpu[target] != 0;
+            _schedStarted &&
+            _platform.targets().at(_prevTarget).kind ==
+                TargetKind::Gpu;
+        const bool is_gpu =
+            _platform.targets().at(target).kind == TargetKind::Gpu;
         rescheduled = _schedStarted && target != _prevTarget;
         if (rescheduled)
             ++_out.reschedules;
@@ -839,37 +733,36 @@ ServingSim::noteDispatch(TargetId target)
 }
 
 void
-ServingSim::recordRetirementAt(std::size_t i)
+ReferenceServingSim::recordRetirement(const ActiveRequest &a)
 {
-    _latencies.push_back(_now - _batch.arrivalSeconds[i]);
+    _latencies.push_back(_now - a.arrivalSeconds);
     RequestRecord rec;
-    rec.id = _batch.id[i];
-    rec.arrivalSeconds = _batch.arrivalSeconds[i];
-    rec.admissionSeconds = _batch.admissionSeconds[i];
-    rec.firstTokenSeconds = _batch.firstTokenSeen[i]
-                                ? _batch.firstTokenSeconds[i]
-                                : _now;
+    rec.id = a.request.id;
+    rec.arrivalSeconds = a.arrivalSeconds;
+    rec.admissionSeconds = a.admissionSeconds;
+    rec.firstTokenSeconds =
+        a.firstTokenSeen ? a.firstTokenSeconds : _now;
     rec.finishSeconds = _now;
-    rec.outputTokens = _batch.outputLen[i];
-    rec.preemptions = _batch.preemptions[i];
-    rec.stallSeconds = _batch.stallSeconds[i];
+    rec.outputTokens = a.request.outputLen;
+    rec.preemptions = a.preemptions;
+    rec.stallSeconds = a.stallSeconds;
     _records.push_back(rec);
 }
 
 double
-ServingSim::peekIterationSeconds() const
+ReferenceServingSim::peekIterationSeconds() const
 {
-    if (_batch.empty())
-        sim::panic("ServingSim::peekIterationSeconds without a batch");
+    if (_active.empty())
+        sim::panic("ReferenceServingSim::peekIterationSeconds without a batch");
     refreshPlan();
     return _plan.seconds;
 }
 
 void
-ServingSim::stepDecode()
+ReferenceServingSim::stepDecode()
 {
-    if (_batch.empty())
-        sim::panic("ServingSim::stepDecode without a batch");
+    if (_active.empty())
+        sim::panic("ReferenceServingSim::stepDecode without a batch");
     if (_chunked)
         stepDecodeChunked();
     else
@@ -877,138 +770,7 @@ ServingSim::stepDecode()
 }
 
 void
-ServingSim::syncGen() const
-{
-    if (_genShift == 0)
-        return;
-    const std::uint32_t s = _genShift;
-    std::uint32_t *gen = _batch.generated.data();
-    const std::size_t n = _batch.size();
-    for (std::size_t i = 0; i < n; ++i)
-        gen[i] += s;
-    _genShift = 0;
-    // _ctxSumBase is defined over the stored values; folding moved
-    // every stored value up by s, so rebase it (_minRem tracks true
-    // remaining output and is unaffected).
-    if (_steadyValid)
-        _ctxSumBase += static_cast<std::uint64_t>(s) * n;
-}
-
-void
-ServingSim::refreshSteady() const
-{
-    syncGen();
-    const std::size_t n = _batch.size();
-    const std::uint32_t *in = _batch.inputLen.data();
-    const std::uint32_t *gen = _batch.generated.data();
-    const std::uint32_t *out = _batch.outputLen.data();
-    std::uint64_t ctx = 0;
-    std::uint32_t rem = ~0u;
-    for (std::size_t i = 0; i < n; ++i) {
-        ctx += in[i] + gen[i];
-        const std::uint32_t r = out[i] - gen[i];
-        rem = r < rem ? r : rem;
-    }
-    _ctxSumBase = ctx;
-    _minRem = rem;
-    _steadyValid = true;
-}
-
-std::uint64_t
-ServingSim::steadyCtxSum() const
-{
-    if (!_steadyValid)
-        refreshSteady();
-    return _ctxSumBase +
-           static_cast<std::uint64_t>(_genShift) * _batch.size();
-}
-
-std::uint32_t
-ServingSim::advanceAndRetire(std::uint32_t accepted, bool release_kv)
-{
-    const std::size_t n = _batch.size();
-    if (!_steadyValid)
-        refreshSteady();
-    // O(1) algebraic advance: with every first token seen and
-    // accepted strictly below the smallest remaining output, every
-    // request advances by exactly `accepted` and nobody retires -
-    // so the per-element sweep collapses to a scalar shift on the
-    // generated column and closed-form aggregate updates. The token
-    // total (n identical u32 increments summed in u64) and the
-    // deferred per-element values are exactly what the sweep would
-    // produce. Preemption mode reads per-element contexts right
-    // after this call, so it stays on the materialized path.
-    if (_allSeen && !_preempt && n > 0 && accepted < _minRem) {
-        _genShift += accepted;
-        _minRem -= accepted;
-        _out.tokensGenerated +=
-            static_cast<std::uint64_t>(accepted) * n;
-        return 0;
-    }
-    syncGen();
-    std::uint32_t *gen = _batch.generated.data();
-    const std::uint32_t *out = _batch.outputLen.data();
-
-    // First-token bookkeeping only matters while someone in the
-    // batch has yet to produce a token - the iterations right after
-    // an admission wave. _allSeen goes false on every batch
-    // mutation and back to true here, so steady-state decode skips
-    // this pass and the advance loop below stays a single-width
-    // elementwise sweep. A request advances exactly when
-    // min(accepted, out - gen) > 0, i.e. accepted > 0 and gen < out
-    // - evaluated before gen moves, matching the fused original.
-    if (!_allSeen && accepted > 0) {
-        std::uint8_t *seen = _batch.firstTokenSeen.data();
-        double *first = _batch.firstTokenSeconds.data();
-        const double now = _now;
-        std::uint32_t unseen = 0;
-        for (std::size_t i = 0; i < n; ++i) {
-            const bool advances = gen[i] < out[i];
-            const bool is_first = advances && seen[i] == 0;
-            first[i] = is_first ? now : first[i];
-            seen[i] = seen[i] | (advances ? 1 : 0);
-            unseen += seen[i] == 0 ? 1u : 0u;
-        }
-        _allSeen = unseen == 0;
-    }
-
-    // Pass 1 - advance: elementwise min/add/compare over the
-    // generation columns. No calls, no erases, no early exits:
-    // this is the loop the compiler vectorizes.
-    std::uint64_t tok = 0;
-    std::uint32_t eos = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-        const std::uint32_t rem = out[i] - gen[i];
-        const std::uint32_t used = accepted < rem ? accepted : rem;
-        gen[i] += used;
-        tok += used;
-        eos += gen[i] >= out[i] ? 1u : 0u;
-    }
-    _out.tokensGenerated += tok;
-
-    // Pass 2 - retire: only when somebody finished. Records and KV
-    // releases fire in batch (admission) order; survivors compact
-    // in place, preserving admission order.
-    if (eos > 0) {
-        std::size_t w = 0;
-        for (std::size_t r = 0; r < n; ++r) {
-            if (gen[r] >= out[r]) {
-                recordRetirementAt(r);
-                if (release_kv)
-                    _kv.release(_batch.id[r]);
-            } else {
-                _batch.moveTo(w, r);
-                ++w;
-            }
-        }
-        _batch.truncate(w);
-    }
-    _steadyValid = false; // generation/membership moved
-    return eos;
-}
-
-void
-ServingSim::stepDecodeLegacy()
+ReferenceServingSim::stepDecodeLegacy()
 {
     // Per-iteration decisions are stateless threshold checks (so
     // the plan a driver peeked is the plan executed here); RLP
@@ -1071,49 +833,50 @@ ServingSim::stepDecodeLegacy()
     }
     ++_out.iterations;
     ++_targetIters[target];
-    if (_targetIsGpu[target])
+    if (_platform.targets().at(target).kind == TargetKind::Gpu)
         ++_out.fcOnGpuIterations;
     else
         ++_out.fcOnPimIterations;
 
     if (!_static.enabled)
-        _out.peakKvUtilization = std::max(_out.peakKvUtilization,
-                                          _kv.utilization());
+        _out.peakKvUtilization = std::max(
+            _out.peakKvUtilization, _kv.occupancy().utilization());
 
     // Advance generation; retire finished requests.
-    const std::uint32_t accepted = _spec.sampleAccepted(_rng);
-    const std::uint32_t eos =
-        advanceAndRetire(accepted, !_static.enabled);
+    std::uint32_t accepted = _spec.sampleAccepted(_rng);
+    std::uint32_t eos = 0;
+    for (auto it = _active.begin(); it != _active.end();) {
+        std::uint32_t used = it->request.advance(accepted);
+        _out.tokensGenerated += used;
+        if (used > 0 && !it->firstTokenSeen) {
+            it->firstTokenSeconds = _now;
+            it->firstTokenSeen = true;
+        }
+        if (it->request.finished()) {
+            ++eos;
+            recordRetirement(*it);
+            if (!_static.enabled)
+                _kv.release(it->request.id);
+            it = _active.erase(it);
+        } else {
+            ++it;
+        }
+    }
 
     if (_preempt) {
         // On-demand accounting: materialize the tokens this
-        // iteration appended (one bulk grow, ascending batch order
-        // - the same allocation sequence as per-request calls),
-        // then restore the next iteration's worst-case growth
-        // headroom (evicting if pressure hit).
-        const std::size_t n = _batch.size();
-        _growIdx.clear();
-        _growIds.clear();
-        _growTok.clear();
-        for (std::size_t i = 0; i < n; ++i) {
-            const std::uint32_t ctx = _batch.contextLen(i);
-            if (ctx > _batch.kvTokens[i]) {
-                _batch.kvTokens[i] = ctx;
-                _growIdx.push_back(i);
-                _growIds.push_back(_batch.id[i]);
-                _growTok.push_back(ctx);
+        // iteration appended, then restore the next iteration's
+        // worst-case growth headroom (evicting if pressure hit).
+        for (auto &a : _active) {
+            const std::uint32_t ctx = a.request.contextLen();
+            if (ctx > a.kvTokens) {
+                a.kvTokens = ctx;
+                _kv.grow(a.request.id, ctx);
             }
         }
-        if (!_growIds.empty()) {
-            _growBlocks.resize(_growIds.size());
-            _kv.growMany(_growIds.data(), _growTok.data(),
-                         _growBlocks.data(), _growIds.size());
-            for (std::size_t j = 0; j < _growIdx.size(); ++j)
-                _batch.kvBlocks[_growIdx[j]] = _growBlocks[j];
-        }
         ensureKvHeadroom();
-        _out.peakKvUtilization = std::max(_out.peakKvUtilization,
-                                          _kv.utilization());
+        _out.peakKvUtilization = std::max(
+            _out.peakKvUtilization, _kv.occupancy().utilization());
     }
 
     if (_static.recordTrace) {
@@ -1132,7 +895,7 @@ ServingSim::stepDecodeLegacy()
 }
 
 void
-ServingSim::stepDecodeChunked()
+ReferenceServingSim::stepDecodeChunked()
 {
     // refreshPlan also refilled _chunkPlan (via planIteration),
     // which the progress loop below consumes; any mutation since a
@@ -1169,7 +932,7 @@ ServingSim::stepDecodeChunked()
     _breakdown.prefillSeconds += chunk_part;
     _breakdown.otherSeconds += plan.timing.other;
 
-    const auto live = static_cast<std::uint32_t>(_batch.size());
+    const auto live = static_cast<std::uint32_t>(_active.size());
     _rlpTimeIntegral += plan.seconds * live;
     _busySeconds += plan.seconds;
     _now += plan.seconds;
@@ -1188,108 +951,66 @@ ServingSim::stepDecodeChunked()
     ++_out.iterations;
     if (plan.dispatched) {
         ++_targetIters[plan.decision.target];
-        if (_targetIsGpu[plan.decision.target])
+        if (_platform.targets().at(plan.decision.target).kind ==
+            TargetKind::Gpu)
             ++_out.fcOnGpuIterations;
         else
             ++_out.fcOnPimIterations;
     }
 
-    const std::size_t n = _batch.size();
-    // All-decoding fast path: no chunks planned and nobody mid-
-    // prefill means the iteration reduces to the same vectorized
-    // advance as the legacy path (chunked serving always holds KV,
-    // so releases are unconditional).
-    const bool all_decoding =
-        plan.chunkTokens == 0 &&
-        plan.decodeRlp == static_cast<std::uint32_t>(n);
-
-    if (all_decoding && !_preempt) {
-        const std::uint32_t accepted =
-            plan.decodeRlp > 0 ? _spec.sampleAccepted(_rng) : 0;
-        advanceAndRetire(accepted, true);
-        _out.peakKvUtilization = std::max(_out.peakKvUtilization,
-                                          _kv.utilization());
-        if (_role == ServingRole::Prefill)
-            handoffCompletedPrefills();
-        return;
-    }
-
     // Freeze the decode set before prefill progress: a request
     // whose prefill completes in THIS iteration starts decoding at
     // the NEXT one (its chunk was costed, its decode was not).
-    syncGen(); // the mixed loop below reads/writes generated[]
-    _decoding.assign(n, 0);
-    for (std::size_t i = 0; i < n; ++i)
-        _decoding[i] = _batch.prefillRemaining[i] == 0;
+    _decoding.assign(_active.size(), 0);
+    for (std::size_t i = 0; i < _active.size(); ++i)
+        _decoding[i] = _active[i].prefillRemaining == 0;
 
-    // Prefill progress; materialize the chunk's KV (bulk grow in
-    // ascending batch order - the allocation sequence of the old
-    // per-request loop).
-    if (plan.chunkTokens > 0) {
-        _growIdx.clear();
-        _growIds.clear();
-        _growTok.clear();
-        for (std::size_t i = 0; i < n; ++i) {
-            if (_chunkPlan[i] == 0)
-                continue;
-            _batch.prefillRemaining[i] -= _chunkPlan[i];
-            if (_preempt) {
-                _batch.kvTokens[i] += _chunkPlan[i];
-                _growIdx.push_back(i);
-                _growIds.push_back(_batch.id[i]);
-                _growTok.push_back(std::max<std::uint32_t>(
-                    _batch.kvTokens[i], 1));
-            }
-        }
-        if (!_growIds.empty()) {
-            _growBlocks.resize(_growIds.size());
-            _kv.growMany(_growIds.data(), _growTok.data(),
-                         _growBlocks.data(), _growIds.size());
-            for (std::size_t j = 0; j < _growIdx.size(); ++j)
-                _batch.kvBlocks[_growIdx[j]] = _growBlocks[j];
+    // Prefill progress; materialize the chunk's KV.
+    for (std::size_t i = 0; i < _active.size(); ++i) {
+        if (_chunkPlan[i] == 0)
+            continue;
+        ActiveRequest &a = _active[i];
+        a.prefillRemaining -= _chunkPlan[i];
+        if (_preempt) {
+            a.kvTokens += _chunkPlan[i];
+            _kv.grow(a.request.id,
+                     std::max<std::uint32_t>(a.kvTokens, 1));
         }
     }
 
     // Advance the decoders; requests still prefilling produce no
     // tokens this iteration (their TTFT reflects the chunk delay).
-    const std::uint32_t accepted =
+    std::uint32_t accepted =
         plan.decodeRlp > 0 ? _spec.sampleAccepted(_rng) : 0;
-    std::size_t w = 0;
-    for (std::size_t r = 0; r < n; ++r) {
-        if (!_decoding[r]) {
-            _batch.moveTo(w, r);
-            ++w;
+    std::size_t idx = 0;
+    for (auto it = _active.begin(); it != _active.end(); ++idx) {
+        if (!_decoding[idx]) {
+            ++it;
             continue;
         }
-        const std::uint32_t rem =
-            _batch.outputLen[r] - _batch.generated[r];
-        const std::uint32_t used = std::min(accepted, rem);
-        _batch.generated[r] += used;
+        std::uint32_t used = it->request.advance(accepted);
         _out.tokensGenerated += used;
-        if (used > 0 && _batch.firstTokenSeen[r] == 0) {
-            _batch.firstTokenSeconds[r] = _now;
-            _batch.firstTokenSeen[r] = 1;
+        if (used > 0 && !it->firstTokenSeen) {
+            it->firstTokenSeconds = _now;
+            it->firstTokenSeen = true;
         }
         if (_preempt && used > 0) {
-            _batch.kvTokens[r] += used;
-            _batch.kvBlocks[r] =
-                _kv.grow(_batch.id[r], _batch.kvTokens[r]);
+            it->kvTokens += used;
+            _kv.grow(it->request.id, it->kvTokens);
         }
-        if (_batch.generated[r] >= _batch.outputLen[r]) {
-            recordRetirementAt(r);
-            _kv.release(_batch.id[r]);
+        if (it->request.finished()) {
+            recordRetirement(*it);
+            _kv.release(it->request.id);
+            it = _active.erase(it);
         } else {
-            _batch.moveTo(w, r);
-            ++w;
+            ++it;
         }
     }
-    _batch.truncate(w);
-    _steadyValid = false;
 
     if (_preempt)
         ensureKvHeadroom();
-    _out.peakKvUtilization = std::max(_out.peakKvUtilization,
-                                      _kv.utilization());
+    _out.peakKvUtilization = std::max(
+        _out.peakKvUtilization, _kv.occupancy().utilization());
 
     // Prefill-pool replica: requests whose last chunk just ran are
     // done here - retire them into the handoff queue for migration
@@ -1299,62 +1020,41 @@ ServingSim::stepDecodeChunked()
 }
 
 std::uint64_t
-ServingSim::worstGrowthBlocks() const
+ReferenceServingSim::worstGrowthBlocks() const
 {
-    // Pure array arithmetic against the kvBlocks mirror column - no
-    // per-id hash lookups (kvBlocks[i] == _kv.requestBlocks(id[i])
-    // by construction).
-    syncGen();
-    const std::size_t n = _batch.size();
-    const std::uint64_t bt = _kvBlockTokens;
     std::uint64_t need = 0;
-    if (_chunked) {
+    if (_chunked)
         planChunks(_chunkPlan);
-        for (std::size_t i = 0; i < n; ++i) {
-            std::uint64_t target;
-            if (_batch.prefillRemaining[i] > 0) {
-                target = std::max<std::uint64_t>(
-                    _batch.kvTokens[i] + _chunkPlan[i], 1);
-            } else {
-                const std::uint32_t rem =
-                    _batch.outputLen[i] - _batch.generated[i];
-                target = _batch.contextLen(i) +
-                         std::min(_spec.length, rem);
-            }
-            const std::uint64_t blocks = (target + bt - 1) / bt;
-            need += blocks > _batch.kvBlocks[i]
-                        ? blocks - _batch.kvBlocks[i]
-                        : 0;
-        }
-    } else {
-        const std::uint32_t tlp = _spec.length;
-        const std::uint32_t *in = _batch.inputLen.data();
-        const std::uint32_t *gen = _batch.generated.data();
-        const std::uint32_t *out = _batch.outputLen.data();
-        const std::uint64_t *held = _batch.kvBlocks.data();
-        for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i = 0; i < _active.size(); ++i) {
+        const ActiveRequest &a = _active[i];
+        std::uint64_t target;
+        if (_chunked && a.prefillRemaining > 0) {
+            target = std::max<std::uint64_t>(
+                a.kvTokens + _chunkPlan[i], 1);
+        } else {
             // Next decode iteration appends at most TLP tokens,
             // clipped at the request's remaining output.
-            const std::uint32_t rem = out[i] - gen[i];
-            const std::uint64_t target =
-                in[i] + gen[i] + (tlp < rem ? tlp : rem);
-            const std::uint64_t blocks = (target + bt - 1) / bt;
-            need += blocks > held[i] ? blocks - held[i] : 0;
+            const std::uint32_t rem =
+                a.request.outputLen - a.request.generated;
+            target = a.request.contextLen() +
+                     std::min(_spec.length, rem);
         }
+        need += _kv.growthBlocks(a.request.id, target);
     }
     return need;
 }
 
 void
-ServingSim::preemptYoungest()
+ReferenceServingSim::preemptYoungest()
 {
-    // The batch is sorted by admitSeq, so the youngest-admitted
-    // victim is simply the last element - O(1) against the old
-    // full-batch max scan, same selection.
-    syncGen();
-    _steadyValid = false;
-    ActiveSnapshot a = _batch.snapshot(_batch.size() - 1);
-    _batch.popBack();
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < _active.size(); ++i) {
+        if (_active[i].admitSeq > _active[victim].admitSeq)
+            victim = i;
+    }
+    ActiveRequest a = _active[victim];
+    _active.erase(_active.begin() +
+                  static_cast<std::ptrdiff_t>(victim));
     _kv.release(a.request.id);
     if (_options.preemptPolicy == KvPreemptPolicy::SwapRestore) {
         // The swap-out leg of the transfer is paid here; the
@@ -1370,40 +1070,38 @@ ServingSim::preemptYoungest()
         // The lump-sum swap-out delays every surviving request;
         // attribute the induced stall (the victim's own stall clock
         // starts at the post-swap _now, so it is not double-counted).
-        _batch.addStallAll(out_seconds);
+        for (auto &s : _active)
+            s.stallSeconds += out_seconds;
         _out.swapInducedStallSeconds +=
-            out_seconds * static_cast<double>(_batch.size());
+            out_seconds * static_cast<double>(_active.size());
     }
     ++a.preemptions;
     PreemptedRequest pr;
     pr.kvTokens = a.kvTokens;
     pr.preemptSeconds = _now;
-    pr.evictSeq = _evictSeqNext++;
-    const PreemptKey key{a.arrivalSeconds, a.request.id};
     pr.state = std::move(a);
     _out.evictionOrder.push_back(pr.state.request.id);
     ++_out.preemptions;
-    _preemptOrder.emplace_back(key, pr.evictSeq);
-    _preempted.emplace(key, std::move(pr));
+    _preempted.push_back(std::move(pr));
 }
 
 void
-ServingSim::ensureKvHeadroom()
+ReferenceServingSim::ensureKvHeadroom()
 {
-    while (_batch.size() > 1 &&
+    while (_active.size() > 1 &&
            worstGrowthBlocks() > _kv.freeBlocks())
         preemptYoungest();
-    if (!_batch.empty() &&
+    if (!_active.empty() &&
         worstGrowthBlocks() > _kv.freeBlocks())
-        sim::fatal("ServingSim: KV pool cannot hold even a single "
+        sim::fatal("ReferenceServingSim: KV pool cannot hold even a single "
                    "request's next-iteration growth (request ",
-                   _batch.id.front(),
+                   _active.front().request.id,
                    "); the Attn-PIM capacity is too small for this "
                    "workload");
 }
 
 void
-ServingSim::step()
+ReferenceServingSim::step()
 {
     if (!hasActive()) {
         stepIdle();
@@ -1415,7 +1113,7 @@ ServingSim::step()
 }
 
 ServingResult
-ServingSim::finish()
+ReferenceServingSim::finish()
 {
     _out.makespanSeconds = _now - _firstArrival;
     _out.meanRlp = _busySeconds > 0.0
@@ -1434,34 +1132,4 @@ ServingSim::finish()
     return _out;
 }
 
-// ------------------------------------------------------------ ServingEngine
-
-ServingResult
-ServingEngine::run(const std::vector<llm::TimedRequest> &stream,
-                   const llm::SpeculativeConfig &spec,
-                   const llm::ModelConfig &model,
-                   const ServingOptions &options)
-{
-    spec.validate();
-    if (stream.empty())
-        sim::fatal("ServingEngine: empty request stream");
-    if (options.maxRlp == 0)
-        sim::fatal("ServingEngine: maxRlp must be >= 1");
-    for (std::size_t i = 1; i < stream.size(); ++i) {
-        if (stream[i].arrivalSeconds < stream[i - 1].arrivalSeconds)
-            sim::fatal("ServingEngine: arrivals must be sorted");
-    }
-
-    // The stream is delivered up front (admission sees the full
-    // arrival schedule, which the batch-level fill rule's lookahead
-    // needs) and the lifecycle runs as events on a sim::EventQueue -
-    // executing exactly the historical step() sequence.
-    ServingSim sim(_platform, spec, model, options);
-    for (const auto &tr : stream)
-        sim.deliver(tr);
-    ServingEventDriver driver({&sim});
-    driver.runPredelivered();
-    return sim.finish();
-}
-
-} // namespace papi::core
+} // namespace papi::core::refimpl

@@ -29,15 +29,23 @@ Batch::step(std::uint32_t accepted_tokens)
     DecodeStep out;
     out.rlpBefore = _live;
 
+    // Branch-light advance: `generated` never exceeds `outputLen`,
+    // so a finished request has rem == 0 and used == 0, and the
+    // <eos> predicate (used > 0, now at the limit) only fires for a
+    // request that was live entering this step. One pass, no
+    // per-request branches for the predictor to miss on the ragged
+    // live/finished pattern RLP decay produces.
     for (auto &r : _requests) {
-        if (r.finished())
-            continue;
-        out.tokensGenerated += r.advance(accepted_tokens);
-        if (r.finished()) {
-            ++out.eosCount;
-            --_live;
-        }
+        const std::uint32_t rem = r.outputLen - r.generated;
+        const std::uint32_t used =
+            accepted_tokens < rem ? accepted_tokens : rem;
+        r.generated += used;
+        out.tokensGenerated += used;
+        out.eosCount += static_cast<std::uint32_t>(used != 0) &
+                        static_cast<std::uint32_t>(
+                            r.generated >= r.outputLen);
     }
+    _live -= out.eosCount;
 
     out.rlpAfter = _live;
     ++_iterations;

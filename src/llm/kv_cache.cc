@@ -32,105 +32,193 @@ KvCacheManager::blocksForTokens(std::uint64_t tokens) const
     return (tokens + _blockTokens - 1) / _blockTokens;
 }
 
-std::uint64_t
-KvCacheManager::freeBlocks() const
-{
-    std::uint64_t used = 0;
-    for (auto u : _usedPerDevice)
-        used += u;
-    return _blocksPerDevice * _usedPerDevice.size() - used;
-}
-
 bool
 KvCacheManager::canAdmit(std::uint64_t max_tokens) const
 {
     return blocksForTokens(max_tokens) <= freeBlocks();
 }
 
-std::uint32_t
-KvCacheManager::leastLoadedDevice() const
-{
-    std::uint32_t best = 0;
-    for (std::uint32_t i = 1; i < _usedPerDevice.size(); ++i) {
-        if (_usedPerDevice[i] < _usedPerDevice[best])
-            best = i;
-    }
-    return best;
-}
-
-void
-KvCacheManager::admit(std::uint64_t id, std::uint64_t initial_tokens)
-{
-    if (_requests.count(id))
-        sim::fatal("KvCacheManager: request ", id, " already live");
-    RequestState state;
-    state.perDevice.assign(_usedPerDevice.size(), 0);
-    auto [it, ok] = _requests.emplace(id, std::move(state));
-    (void)ok;
-    grow(id, std::max<std::uint64_t>(initial_tokens, 1));
-    (void)it;
-}
-
-void
-KvCacheManager::grow(std::uint64_t id, std::uint64_t new_tokens)
+KvCacheManager::RequestState &
+KvCacheManager::find(std::uint64_t id)
 {
     auto it = _requests.find(id);
     if (it == _requests.end())
         sim::fatal("KvCacheManager: unknown request ", id);
-    RequestState &state = it->second;
+    return _slots[it->second];
+}
+
+const KvCacheManager::RequestState &
+KvCacheManager::find(std::uint64_t id) const
+{
+    auto it = _requests.find(id);
+    if (it == _requests.end())
+        sim::fatal("KvCacheManager: unknown request ", id);
+    return _slots[it->second];
+}
+
+void
+KvCacheManager::allocBlocks(RequestState &state, std::uint64_t add)
+{
+    const std::size_t n = _usedPerDevice.size();
+    if (add <= 8 || n <= 1) {
+        // Few blocks: the block-at-a-time least-loaded scan is
+        // cheapest (and is the definition the closed form below
+        // must reproduce).
+        for (std::uint64_t b = 0; b < add; ++b) {
+            std::uint32_t best = 0;
+            for (std::uint32_t i = 1; i < n; ++i) {
+                if (_usedPerDevice[i] < _usedPerDevice[best])
+                    best = i;
+            }
+            ++_usedPerDevice[best];
+            ++state.perDevice[best];
+        }
+    } else {
+        // Closed-form water-filling, bit-identical to the scan:
+        // the sequence of least-loaded/lowest-index picks raises
+        // every device below some final level h to h, then hands
+        // the remainder to the devices sitting at h in index
+        // order, one block each. Find the largest h whose fill
+        // cost S(h) = sum(max(0, h - used[d])) still fits in add.
+        std::uint64_t mn = _usedPerDevice[0];
+        std::uint64_t mx = _usedPerDevice[0];
+        for (std::size_t d = 1; d < n; ++d) {
+            const std::uint64_t u = _usedPerDevice[d];
+            mn = u < mn ? u : mn;
+            mx = u > mx ? u : mx;
+        }
+        const auto fill_cost = [&](std::uint64_t h) {
+            std::uint64_t s = 0;
+            for (std::uint64_t u : _usedPerDevice)
+                s += h > u ? h - u : 0;
+            return s;
+        };
+        std::uint64_t level;
+        std::uint64_t remainder;
+        // Past the highest device S(h) is affine (n*h - usedTotal),
+        // so when the grow clears the fleet's spread - the common
+        // steady-state case, where water-filling itself keeps every
+        // device within a block of level - h comes out closed-form
+        // with no search at all.
+        const std::uint64_t h0 = (add + _usedTotal) / n;
+        if (h0 >= mx) {
+            level = h0;
+            remainder = add - (n * h0 - _usedTotal);
+        } else {
+            // Otherwise the level sits strictly below mx: h >= mx
+            // would imply S(h) = n*h - usedTotal <= add and hence
+            // h <= h0 < mx. Search the remaining [mn, mx) span.
+            std::uint64_t lo = mn;
+            std::uint64_t hi = mx - 1;
+            while (lo < hi) {
+                const std::uint64_t mid = lo + (hi - lo + 1) / 2;
+                if (fill_cost(mid) <= add)
+                    lo = mid;
+                else
+                    hi = mid - 1;
+            }
+            level = lo;
+            remainder = add - fill_cost(level);
+        }
+        for (std::size_t d = 0; d < n; ++d) {
+            std::uint64_t &u = _usedPerDevice[d];
+            std::uint64_t give = u < level ? level - u : 0;
+            if (remainder > 0 && u <= level) {
+                ++give;
+                --remainder;
+            }
+            u += give;
+            state.perDevice[d] += give;
+        }
+    }
+    state.blocks += add;
+    _usedTotal += add;
+}
+
+std::uint64_t
+KvCacheManager::growState(std::uint64_t id, RequestState &state,
+                          std::uint64_t new_tokens)
+{
     if (new_tokens < state.tokens)
         sim::fatal("KvCacheManager: context cannot shrink (", id,
                    ")");
-
-    std::uint64_t need = blocksForTokens(new_tokens);
-    while (state.blocks < need) {
-        std::uint32_t dev = leastLoadedDevice();
-        if (_usedPerDevice[dev] >= _blocksPerDevice)
+    const std::uint64_t need = blocksForTokens(new_tokens);
+    if (need > state.blocks) {
+        if (need - state.blocks > freeBlocks())
             sim::fatal("KvCacheManager: pool exhausted growing "
                        "request ", id);
-        ++_usedPerDevice[dev];
-        ++state.perDevice[dev];
-        ++state.blocks;
+        allocBlocks(state, need - state.blocks);
     }
     state.tokens = new_tokens;
+    return state.blocks;
+}
+
+std::uint64_t
+KvCacheManager::admit(std::uint64_t id, std::uint64_t initial_tokens)
+{
+    if (_requests.count(id))
+        sim::fatal("KvCacheManager: request ", id, " already live");
+    std::uint32_t slot;
+    if (!_freeSlots.empty()) {
+        slot = _freeSlots.back();
+        _freeSlots.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(_slots.size());
+        _slots.emplace_back();
+    }
+    RequestState &state = _slots[slot];
+    state.tokens = 0;
+    state.blocks = 0;
+    state.perDevice.assign(_usedPerDevice.size(), 0);
+    _requests.emplace(id, slot);
+    return growState(id, state,
+                     std::max<std::uint64_t>(initial_tokens, 1));
+}
+
+std::uint64_t
+KvCacheManager::grow(std::uint64_t id, std::uint64_t new_tokens)
+{
+    return growState(id, find(id), new_tokens);
+}
+
+void
+KvCacheManager::growMany(const std::uint64_t *ids,
+                         const std::uint64_t *new_tokens,
+                         std::uint64_t *blocks_out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        blocks_out[i] = growState(ids[i], find(ids[i]),
+                                  new_tokens[i]);
 }
 
 std::uint64_t
 KvCacheManager::requestBlocks(std::uint64_t id) const
 {
-    auto it = _requests.find(id);
-    if (it == _requests.end())
-        sim::fatal("KvCacheManager: unknown request ", id);
-    return it->second.blocks;
+    return find(id).blocks;
 }
 
 std::uint64_t
 KvCacheManager::requestTokens(std::uint64_t id) const
 {
-    auto it = _requests.find(id);
-    if (it == _requests.end())
-        sim::fatal("KvCacheManager: unknown request ", id);
-    return it->second.tokens;
+    return find(id).tokens;
 }
 
 KvExport
 KvCacheManager::exportRequest(std::uint64_t id)
 {
-    auto it = _requests.find(id);
-    if (it == _requests.end())
-        sim::fatal("KvCacheManager: unknown request ", id);
+    const RequestState &state = find(id);
     KvExport out;
-    out.tokens = it->second.tokens;
-    out.blocks = it->second.blocks;
-    out.bytes = it->second.blocks * _blockBytes;
+    out.tokens = state.tokens;
+    out.blocks = state.blocks;
+    out.bytes = state.blocks * _blockBytes;
     release(id);
     return out;
 }
 
-void
+std::uint64_t
 KvCacheManager::importRequest(std::uint64_t id, std::uint64_t tokens)
 {
-    admit(id, tokens);
+    return admit(id, tokens);
 }
 
 std::uint64_t
@@ -148,11 +236,16 @@ KvCacheManager::release(std::uint64_t id)
     auto it = _requests.find(id);
     if (it == _requests.end())
         sim::fatal("KvCacheManager: unknown request ", id);
+    RequestState &state = _slots[it->second];
     for (std::uint32_t d = 0; d < _usedPerDevice.size(); ++d) {
-        if (it->second.perDevice[d] > _usedPerDevice[d])
+        if (state.perDevice[d] > _usedPerDevice[d])
             sim::panic("KvCacheManager: accounting underflow");
-        _usedPerDevice[d] -= it->second.perDevice[d];
+        _usedPerDevice[d] -= state.perDevice[d];
     }
+    _usedTotal -= state.blocks;
+    state.tokens = 0;
+    state.blocks = 0;
+    _freeSlots.push_back(it->second);
     _requests.erase(it);
 }
 
@@ -161,8 +254,7 @@ KvCacheManager::occupancy() const
 {
     KvOccupancy out;
     out.totalBlocks = _blocksPerDevice * _usedPerDevice.size();
-    for (auto u : _usedPerDevice)
-        out.usedBlocks += u;
+    out.usedBlocks = _usedTotal;
     out.requests = _requests.size();
     if (out.usedBlocks > 0) {
         std::uint64_t max_used =

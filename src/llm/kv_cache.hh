@@ -13,13 +13,25 @@
  * iteration whether the batch's worst-case growth still fits or a
  * victim must be evicted (release doubles as the eviction
  * primitive - preempted requests simply return their blocks).
+ *
+ * Placement is deterministic: every allocated block goes to the
+ * least-loaded device, lowest index on ties. A multi-block grow is
+ * therefore a water-filling of the per-device load levels, and
+ * grow() computes that fill in closed form instead of scanning the
+ * fleet once per block - the resulting distribution is bit-identical
+ * to the block-at-a-time loop (pinned by a fuzz test). Request
+ * lookup is an id -> slot hash with pooled per-device vectors, and
+ * used-block totals are maintained incrementally so freeBlocks() /
+ * canAdmit() / utilization() are O(1) - these run inside the serving
+ * simulator's per-iteration admission gate.
  */
 
 #ifndef PAPI_LLM_KV_CACHE_HH
 #define PAPI_LLM_KV_CACHE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "llm/model_config.hh"
@@ -89,6 +101,9 @@ class KvCacheManager
     /** Bytes one block occupies (all layers, K+V). */
     std::uint64_t blockBytes() const { return _blockBytes; }
 
+    /** Tokens per allocation block (paged-KV granularity). */
+    std::uint32_t blockTokens() const { return _blockTokens; }
+
     /** Blocks needed to hold @p tokens tokens of context. */
     std::uint64_t blocksForTokens(std::uint64_t tokens) const;
 
@@ -102,16 +117,31 @@ class KvCacheManager
      * Register request @p id with an initial context of
      * @p initial_tokens (the prompt). Fatal if it does not fit or
      * the id is already live.
+     * @return Blocks held after admission.
      */
-    void admit(std::uint64_t id, std::uint64_t initial_tokens);
+    std::uint64_t admit(std::uint64_t id,
+                        std::uint64_t initial_tokens);
 
     /**
      * Grow request @p id's context to @p new_tokens, allocating
      * blocks as needed (least-loaded device first). Fatal if the
      * pool is exhausted - callers must gate admissions with
      * canAdmit on the worst case.
+     * @return Blocks held after the grow.
      */
-    void grow(std::uint64_t id, std::uint64_t new_tokens);
+    std::uint64_t grow(std::uint64_t id, std::uint64_t new_tokens);
+
+    /**
+     * Bulk grow over parallel id/token arrays (the serving
+     * simulator's per-iteration KV materialization): equivalent to
+     * grow(ids[i], new_tokens[i]) for i in order, writing the
+     * resulting block counts to @p blocks_out[i]. One call per
+     * iteration instead of one per request keeps the structure-of-
+     * arrays hot loop free of per-element function-call overhead.
+     */
+    void growMany(const std::uint64_t *ids,
+                  const std::uint64_t *new_tokens,
+                  std::uint64_t *blocks_out, std::size_t n);
 
     /** Release all blocks of request @p id (at <eos>, or when the
      *  request is preempted under KV pressure). */
@@ -138,8 +168,10 @@ class KvCacheManager
      * @p tokens of context already materialized. Fatal if the id is
      * already live or the pool cannot hold the footprint - callers
      * gate with canAdmit()/freeBlocks() first.
+     * @return Blocks held after the import.
      */
-    void importRequest(std::uint64_t id, std::uint64_t tokens);
+    std::uint64_t importRequest(std::uint64_t id,
+                                std::uint64_t tokens);
 
     /**
      * Additional blocks a grow of request @p id to @p new_tokens
@@ -157,8 +189,33 @@ class KvCacheManager
     /** Current occupancy snapshot. */
     KvOccupancy occupancy() const;
 
-    /** Free blocks remaining across the fleet. */
-    std::uint64_t freeBlocks() const;
+    /** Pool utilization in [0, 1]; O(1) (bitwise equal to
+     *  occupancy().utilization()). */
+    double
+    utilization() const
+    {
+        const std::uint64_t total =
+            _blocksPerDevice * _usedPerDevice.size();
+        return total ? static_cast<double>(_usedTotal) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    /** Free blocks remaining across the fleet; O(1). */
+    std::uint64_t
+    freeBlocks() const
+    {
+        return _blocksPerDevice * _usedPerDevice.size() - _usedTotal;
+    }
+
+    /** Used blocks per attention device (placement-visible state;
+     *  lets tests assert the bulk water-filling allocator matches
+     *  the sequential least-loaded definition exactly). */
+    const std::vector<std::uint64_t> &
+    usedPerDevice() const
+    {
+        return _usedPerDevice;
+    }
 
   private:
     struct RequestState
@@ -169,14 +226,29 @@ class KvCacheManager
         std::vector<std::uint64_t> perDevice;
     };
 
-    /** Index of the device with the most free blocks. */
-    std::uint32_t leastLoadedDevice() const;
+    /** Locate @p id's slot (fatal if not live). */
+    RequestState &find(std::uint64_t id);
+    const RequestState &find(std::uint64_t id) const;
+
+    /** Allocate @p add blocks into @p state, least-loaded device
+     *  first, lowest index on ties (caller checked capacity). */
+    void allocBlocks(RequestState &state, std::uint64_t add);
+
+    /** grow() body on a located slot. */
+    std::uint64_t growState(std::uint64_t id, RequestState &state,
+                            std::uint64_t new_tokens);
 
     std::uint64_t _blockBytes;
     std::uint32_t _blockTokens;
     std::uint64_t _blocksPerDevice;
+    std::uint64_t _usedTotal = 0;
     std::vector<std::uint64_t> _usedPerDevice;
-    std::map<std::uint64_t, RequestState> _requests;
+    /** id -> slot index into _slots. */
+    std::unordered_map<std::uint64_t, std::uint32_t> _requests;
+    /** Slot pool: per-device vectors are retained across occupants
+     *  so a steady-state admit/release cycle does not allocate. */
+    std::vector<RequestState> _slots;
+    std::vector<std::uint32_t> _freeSlots;
 };
 
 } // namespace papi::llm

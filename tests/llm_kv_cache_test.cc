@@ -174,4 +174,71 @@ TEST_P(KvBlockSizes, GeometryInvariants)
 INSTANTIATE_TEST_SUITE_P(BlockSizes, KvBlockSizes,
                          ::testing::Values(1u, 8u, 16u, 64u, 256u));
 
+// ------------------------------------------- water-fill equivalence
+
+/**
+ * The bulk allocator's closed-form water-filling (used for large
+ * grows) must reproduce the sequential least-loaded-lowest-index
+ * scan (used for small grows) EXACTLY - same per-device placement,
+ * not just the same totals. Randomized preloads create uneven
+ * device levels; a one-call bulk grow on manager A must then leave
+ * the same per-device state as block-at-a-time growth on manager B.
+ */
+TEST(KvWaterFill, BulkGrowMatchesSequentialScanExactly)
+{
+    const ModelConfig m = opt30b();
+    const std::uint32_t bt = 16;
+    std::uint64_t lcg = 0x2545F4914F6CDD1Dull;
+    auto rnd = [&lcg](std::uint64_t bound) {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        return (lcg >> 33) % bound;
+    };
+
+    for (int round = 0; round < 50; ++round) {
+        const std::uint32_t devices =
+            static_cast<std::uint32_t>(2 + rnd(7)); // 2..8
+        KvCacheManager a(m, devices, 4ULL << 30, bt);
+        KvCacheManager b(m, devices, 4ULL << 30, bt);
+
+        // Uneven preload: a few requests of random footprint, some
+        // released again to leave holes.
+        const std::uint64_t preload = 1 + rnd(6);
+        for (std::uint64_t id = 100; id < 100 + preload; ++id) {
+            const std::uint64_t tokens = 1 + rnd(20) * bt;
+            a.admit(id, tokens);
+            b.admit(id, tokens);
+            if (rnd(3) == 0) {
+                a.release(id);
+                b.release(id);
+            }
+        }
+        ASSERT_EQ(a.usedPerDevice(), b.usedPerDevice());
+
+        // The victim grows by a random large amount (far past the
+        // <= 8-block scan threshold) in one call on A...
+        a.admit(1, 1);
+        b.admit(1, 1);
+        const std::uint64_t target =
+            bt + (9 + rnd(60)) * bt + rnd(bt);
+        const std::uint64_t blocks_a = a.grow(1, target);
+
+        // ...and one block at a time on B (every call is a 1-block
+        // grow, which takes the sequential scan path by
+        // construction).
+        std::uint64_t blocks_b = 0;
+        for (std::uint64_t t = bt + 1; ; t += bt) {
+            const std::uint64_t step = std::min(t, target);
+            blocks_b = b.grow(1, step);
+            if (step == target)
+                break;
+        }
+
+        EXPECT_EQ(blocks_a, blocks_b) << "round " << round;
+        EXPECT_EQ(a.usedPerDevice(), b.usedPerDevice())
+            << "round " << round << ": bulk water-fill diverged "
+            << "from the sequential least-loaded definition";
+        EXPECT_EQ(a.freeBlocks(), b.freeBlocks());
+    }
+}
+
 } // namespace

@@ -5,7 +5,8 @@ Dependency-free smoke check for CI: after `microbench_simulator
 --quick --out FILE`, this script asserts that every section the
 papi-microbench/1 schema promises is present with its required keys,
 including the papi-policy/1, papi-cluster/1, papi-continuous/1,
-papi-disagg/1, papi-faults/1, and papi-parallel/1 sub-schemas. It
+papi-disagg/1, papi-faults/1, papi-parallel/1, and papi-soa/1
+sub-schemas. It
 does not judge the performance numbers themselves - it exists so a
 refactor that silently drops or renames a JSON field fails the build
 rather than producing an unreadable trajectory. The exceptions are
@@ -13,8 +14,10 @@ ordering invariants the simulation must uphold (continuous beats
 static TTFT, disagg beats colocated TTFT, retry beats fail-stop
 goodput, request conservation, parallel runs bit-identical to
 serial - plus > 2x self-speedup at 8 workers on hosts with >= 8
-hardware threads), which are checked because they are correctness
-properties, not performance judgements.
+hardware threads, and the SoA serving core reproducing the frozen
+reference engine byte for byte while beating it), which are checked
+because they are correctness properties, not performance
+judgements.
 
 Usage: check_bench_schema.py BENCH_microbench.json
 """
@@ -41,7 +44,7 @@ def main():
     need(doc, "$", ["schema", "quick", "event_queue", "dram",
                     "decode", "serving", "figure_cell", "policy",
                     "cluster", "continuous", "disagg", "faults",
-                    "parallel", "summary"])
+                    "parallel", "soa", "summary"])
     if doc.get("schema") != "papi-microbench/1":
         FAILURES.append(f"$.schema: unexpected '{doc.get('schema')}'")
 
@@ -283,6 +286,45 @@ def main():
                 "hardware threads, 8 workers must beat the serial "
                 f"schedule by more than 2x (got {s8})")
 
+    soa = doc.get("soa", {})
+    need(soa, "$.soa",
+         ["schema", "model", "workload", "build", "soa",
+          "reference", "soa_matches_reference", "speedup"])
+    if soa.get("schema") != "papi-soa/1":
+        FAILURES.append(f"$.soa.schema: unexpected "
+                        f"'{soa.get('schema')}'")
+    need(soa.get("workload", {}), "$.soa.workload",
+         ["trace", "requests", "episodes", "input_len",
+          "output_len", "max_rlp", "spec_length"])
+    need(soa.get("build", {}), "$.soa.build",
+         ["compiler_flags", "simd_width_bits", "native_build"])
+    for side in ("soa", "reference"):
+        need(soa.get(side, {}), f"$.soa.{side}",
+             ["simulated_tokens", "iterations", "wall_seconds",
+              "tokens_per_sec"])
+    # Determinism is unconditional: the SoA engine must replay the
+    # exact token stream of the frozen pre-SoA reference, quick mode
+    # included - a representation change has no license to perturb
+    # results.
+    if soa.get("soa_matches_reference") is not True:
+        FAILURES.append(
+            "$.soa.soa_matches_reference: the SoA serving core must "
+            "reproduce the frozen reference engine byte for byte")
+    if soa.get("soa", {}).get("simulated_tokens") != \
+            soa.get("reference", {}).get("simulated_tokens"):
+        FAILURES.append(
+            "$.soa: both engines must simulate the identical token "
+            "stream for the throughput ratio to mean anything")
+    # The speedup floor is a correctness property of the PR's claim
+    # (the SoA rewrite exists to be faster): any regression below
+    # parity fails even in quick mode. The full >= 5x headline is
+    # asserted only on the committed non-quick trajectory.
+    soa_win = soa.get("speedup", 0)
+    if not isinstance(soa_win, (int, float)) or soa_win <= 1.0:
+        FAILURES.append(
+            "$.soa.speedup: the SoA core must beat the frozen "
+            f"reference engine (got {soa_win})")
+
     need(doc.get("summary", {}), "$.summary",
          ["event_queue_speedup_geomean", "dram_stream_speedup",
           "dram_pump_speedup", "overall_speedup_geomean"])
@@ -294,7 +336,7 @@ def main():
         return 1
     print(f"OK {sys.argv[1]}: papi-microbench/1 schema valid "
           "(incl. policy, cluster, continuous, disagg, faults, "
-          "parallel sub-schemas)")
+          "parallel, soa sub-schemas)")
     return 0
 
 
