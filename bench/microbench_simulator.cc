@@ -57,6 +57,7 @@
  *     "faults": { ... },                // papi-faults/1, below
  *     "parallel": { ... },              // papi-parallel/1, below
  *     "soa": { ... },                   // papi-soa/1, below
+ *     "prefix": { ... },                // papi-prefix/1, below
  *     "summary": {                      // absent with --legacy-queue
  *       "event_queue_speedup_geomean": x,
  *       "dram_stream_speedup": x,
@@ -254,6 +255,46 @@
  *     "soa_matches_reference": bool,    // bitwise result equality
  *     "speedup": x                      // soa / reference tok/s
  *   }
+ *
+ * The "prefix" section is its own sub-schema (papi-prefix/1): the
+ * shared prefix-cache study. Cell A replays one multi-turn agentic
+ * stream (llm::TraceCategory::AgenticLoop, every turn keyed with its
+ * session's prefix identity) through a 4-replica cluster with the
+ * prefix cache on, under round-robin vs session-affinity vs
+ * cache-hit-aware routing - the p99-TTFT and hit-rate comparison the
+ * cache-hit-aware policy exists for. Cell B is the million-request
+ * streaming cell: ClusterEngine::runStream() over a pull-based
+ * generator (no materialized trace) with
+ * ClusterOptions::recordCapacity bounding the metrics side, and the
+ * process peak RSS sampled before/after so CI can pin the
+ * constant-memory claim (docs/BENCHMARKS.md documents every field):
+ *   {
+ *     "schema": "papi-prefix/1",
+ *     "model": str,
+ *     "arrival": { "trace": "agentic", "rate_rps": x,
+ *                  "requests": n, "seed": n, "max_rlp": n },
+ *     "prefill_chunk_tokens": n, "replicas": n,
+ *     "policies": [
+ *       { "policy": str, "makespan_seconds": x,
+ *         "ttft_p50_seconds": x, "ttft_p99_seconds": x,
+ *         "prefix_lookups": n, "prefix_hits": n, "hit_rate": x,
+ *         "prefix_hit_tokens": n, "prefix_miss_tokens": n,
+ *         "prefix_evicted_bytes": n, "wall_seconds": s }, ...
+ *     ],                                // round-robin,
+ *                                       // session-affinity,
+ *                                       // cache-hit-aware
+ *     "cache_hit_aware_ttft_p99_speedup_vs_round_robin": x,
+ *     "cache_hit_aware_hit_rate": x,
+ *     "streaming": {
+ *       "trace": str, "rate_rps": x, "requests": n, "seed": n,
+ *       "replicas": n, "max_rlp": n, "record_capacity": n,
+ *       "requests_served": n, "stats_truncated": bool,
+ *       "records_retained": n, "ttft_p99_seconds": x,
+ *       "mean_latency_seconds": x, "wall_seconds": s,
+ *       "requests_per_sec": x, "rss_before_mb": x,
+ *       "rss_peak_mb": x, "rss_growth_mb": x
+ *     }
+ *   }
  */
 
 #include <chrono>
@@ -263,7 +304,12 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "bench/legacy_dram.hh"
 #include "cluster/cluster_engine.hh"
@@ -287,6 +333,30 @@ double
 secondsSince(Clock::time_point start)
 {
     return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/**
+ * Process-lifetime peak RSS in MiB (getrusage; monotonic, so the
+ * delta across a run is the memory that run's high-water mark added
+ * on top of everything before it). 0.0 where unavailable.
+ */
+double
+peakRssMb()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru;
+    std::memset(&ru, 0, sizeof(ru));
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0.0;
+#if defined(__APPLE__)
+    return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);
+#else
+    // Linux reports ru_maxrss in kilobytes.
+    return static_cast<double>(ru.ru_maxrss) / 1024.0;
+#endif
+#else
+    return 0.0;
+#endif
 }
 
 /**
@@ -1389,6 +1459,141 @@ benchSoa(bool quick)
     return out;
 }
 
+/** One routing-policy cell of the papi-prefix/1 comparison. */
+struct PrefixCell
+{
+    const char *policy = "";
+    cluster::ClusterResult result;
+    double wall = 0.0;
+
+    double
+    hitRate() const
+    {
+        return result.prefixLookups > 0
+                   ? static_cast<double>(result.prefixHits) /
+                         static_cast<double>(result.prefixLookups)
+                   : 0.0;
+    }
+};
+
+/** Inputs and outcomes of the papi-prefix/1 section. */
+struct PrefixBench
+{
+    // Cell A: routing-policy comparison on the agentic trace.
+    double rateRps = 0.0;
+    std::uint32_t requests = 0;
+    std::uint32_t replicas = 0;
+    std::uint32_t maxRlp = 0;
+    std::uint32_t chunkTokens = 0;
+    std::uint64_t seed = 0;
+    /// round-robin, session-affinity, cache-hit-aware (that order).
+    std::vector<PrefixCell> cells;
+
+    // Cell B: the million-request streaming run.
+    double streamRateRps = 0.0;
+    std::uint64_t streamRequests = 0;
+    std::uint64_t streamSeed = 0;
+    std::uint32_t streamReplicas = 0;
+    std::uint32_t streamMaxRlp = 0;
+    std::uint64_t recordCapacity = 0;
+    cluster::ClusterResult streamResult;
+    double streamWall = 0.0;
+    double rssBeforeMb = 0.0;
+    double rssPeakMb = 0.0;
+};
+
+/**
+ * Shared prefix-cache study (papi-prefix/1). Cell A replays one
+ * multi-turn agentic stream through a 4-replica cluster with the
+ * prefix cache enabled under each routing policy. The arrival rate
+ * is deliberately slow: a session's next turn can only hit the cache
+ * if its previous turn already retired (publishing its context), so
+ * the inter-turn gap (active sessions / rate) must exceed request
+ * latency - at bursty rates every turn is admitted before any
+ * retires and nothing can hit, regardless of routing. Under these
+ * conditions round-robin scatters a session's turns across replicas
+ * (the prefix is almost never where the turn lands) while
+ * cache-hit-aware routing follows the cached bytes, so the TTFT gap
+ * isolates routing quality, not load imbalance.
+ *
+ * Cell B streams one million GeneralQa requests through
+ * ClusterEngine::runStream() - arrivals pulled one at a time from
+ * llm::ArrivalProcess::next(), never materialized - with
+ * ClusterOptions::recordCapacity bounding per-replica record storage
+ * (past the cap, exact streaming counters and P-square estimators
+ * carry the aggregates). Peak RSS is sampled before and after: the
+ * growth is the cell's memory high-water mark, which must stay flat
+ * in request count for the constant-memory claim to hold. The
+ * offered rate sits well under the 4-replica capacity so the
+ * router's pending queue - the one structure that scales with
+ * overload - stays bounded too.
+ */
+PrefixBench
+benchPrefix(bool quick)
+{
+    PrefixBench out;
+    out.rateRps = 2.0;
+    out.requests = quick ? 168 : 448;
+    out.replicas = 4;
+    out.maxRlp = 16;
+    out.chunkTokens = 64;
+    out.seed = 97;
+
+    core::PlatformConfig cfg = core::makePapiConfig();
+    llm::ModelConfig model = llm::llama65b();
+    llm::SpeculativeConfig spec;
+
+    llm::ArrivalProcess arrivals(llm::TraceCategory::AgenticLoop,
+                                 out.rateRps, out.seed);
+    const auto stream = arrivals.generate(out.requests);
+
+    cluster::ClusterOptions opt;
+    opt.numPlatforms = out.replicas;
+    opt.serving.maxRlp = out.maxRlp;
+    opt.serving.prefillChunkTokens = out.chunkTokens;
+    opt.serving.prefixCacheEnabled = true;
+
+    const std::pair<cluster::RouterPolicy, const char *> policies[] = {
+        {cluster::RouterPolicy::RoundRobin, "round-robin"},
+        {cluster::RouterPolicy::SessionAffinity, "session-affinity"},
+        {cluster::RouterPolicy::CacheHitAware, "cache-hit-aware"},
+    };
+    for (const auto &[policy, name] : policies) {
+        opt.policy = policy;
+        cluster::ClusterEngine engine(cfg, opt);
+        PrefixCell cell;
+        cell.policy = name;
+        auto start = Clock::now();
+        cell.result = engine.run(stream, spec, model);
+        cell.wall = secondsSince(start);
+        out.cells.push_back(std::move(cell));
+    }
+
+    out.streamRateRps = 30.0;
+    out.streamRequests = 1'000'000;
+    out.streamSeed = 101;
+    out.streamReplicas = 4;
+    out.streamMaxRlp = 16;
+    out.recordCapacity = 32768;
+
+    cluster::ClusterOptions sopt;
+    sopt.numPlatforms = out.streamReplicas;
+    sopt.policy = cluster::RouterPolicy::RoundRobin;
+    sopt.serving.maxRlp = out.streamMaxRlp;
+    sopt.recordCapacity = out.recordCapacity;
+
+    llm::ArrivalProcess gen(llm::TraceCategory::GeneralQa,
+                            out.streamRateRps, out.streamSeed);
+    out.rssBeforeMb = peakRssMb();
+    cluster::ClusterEngine engine(cfg, sopt);
+    auto start = Clock::now();
+    out.streamResult =
+        engine.runStream(gen, out.streamRequests, spec, model);
+    out.streamWall = secondsSince(start);
+    out.rssPeakMb = peakRssMb();
+    return out;
+}
+
 void
 writeJson(std::FILE *f, bool quick, bool legacy_only,
           std::uint64_t eq_events,
@@ -1403,7 +1608,7 @@ writeJson(std::FILE *f, bool quick, bool legacy_only,
           const PolicyBench &pb, const ClusterBench &cb,
           const ContinuousBench &nb, const DisaggBench &db,
           const FaultBench &fb, const ParallelBench &xb,
-          const SoaBench &sb)
+          const SoaBench &sb, const PrefixBench &qb)
 {
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"schema\": \"papi-microbench/1\",\n");
@@ -1813,6 +2018,93 @@ writeJson(std::FILE *f, bool quick, bool legacy_only,
     std::fprintf(f, "    \"speedup\": %.3f\n",
                  sb.soa.tokensPerSec() /
                      sb.reference.tokensPerSec());
+    std::fprintf(f, "  },\n");
+
+    std::fprintf(f, "  \"prefix\": {\n");
+    std::fprintf(f, "    \"schema\": \"papi-prefix/1\",\n");
+    std::fprintf(f, "    \"model\": \"llama-65b\",\n");
+    std::fprintf(f,
+                 "    \"arrival\": {\"trace\": \"agentic\", "
+                 "\"rate_rps\": %.1f, \"requests\": %u, "
+                 "\"seed\": %llu, \"max_rlp\": %u},\n",
+                 qb.rateRps, qb.requests,
+                 static_cast<unsigned long long>(qb.seed), qb.maxRlp);
+    std::fprintf(f, "    \"prefill_chunk_tokens\": %u,\n",
+                 qb.chunkTokens);
+    std::fprintf(f, "    \"replicas\": %u,\n", qb.replicas);
+    std::fprintf(f, "    \"policies\": [\n");
+    for (std::size_t i = 0; i < qb.cells.size(); ++i) {
+        const PrefixCell &c = qb.cells[i];
+        const cluster::ClusterResult &r = c.result;
+        std::fprintf(
+            f,
+            "      {\"policy\": \"%s\", "
+            "\"makespan_seconds\": %.6f, "
+            "\"ttft_p50_seconds\": %.6f, "
+            "\"ttft_p99_seconds\": %.6f, "
+            "\"prefix_lookups\": %llu, \"prefix_hits\": %llu, "
+            "\"hit_rate\": %.4f, "
+            "\"prefix_hit_tokens\": %llu, "
+            "\"prefix_miss_tokens\": %llu, "
+            "\"prefix_evicted_bytes\": %llu, "
+            "\"wall_seconds\": %.6f}%s\n",
+            c.policy, r.makespanSeconds, r.ttft.p50, r.ttft.p99,
+            static_cast<unsigned long long>(r.prefixLookups),
+            static_cast<unsigned long long>(r.prefixHits),
+            c.hitRate(),
+            static_cast<unsigned long long>(r.prefixHitTokens),
+            static_cast<unsigned long long>(r.prefixMissTokens),
+            static_cast<unsigned long long>(r.prefixEvictedBytes),
+            c.wall, i + 1 < qb.cells.size() ? "," : "");
+    }
+    std::fprintf(f, "    ],\n");
+    std::fprintf(
+        f,
+        "    \"cache_hit_aware_ttft_p99_speedup_vs_round_robin\": "
+        "%.3f,\n",
+        qb.cells.front().result.ttft.p99 /
+            qb.cells.back().result.ttft.p99);
+    std::fprintf(f, "    \"cache_hit_aware_hit_rate\": %.4f,\n",
+                 qb.cells.back().hitRate());
+    const cluster::ClusterResult &sr = qb.streamResult;
+    std::fprintf(f, "    \"streaming\": {\n");
+    std::fprintf(f,
+                 "      \"trace\": \"general-qa\", "
+                 "\"rate_rps\": %.1f, \"requests\": %llu, "
+                 "\"seed\": %llu, \"replicas\": %u, "
+                 "\"max_rlp\": %u,\n",
+                 qb.streamRateRps,
+                 static_cast<unsigned long long>(qb.streamRequests),
+                 static_cast<unsigned long long>(qb.streamSeed),
+                 qb.streamReplicas, qb.streamMaxRlp);
+    std::fprintf(f, "      \"record_capacity\": %llu,\n",
+                 static_cast<unsigned long long>(qb.recordCapacity));
+    std::fprintf(f,
+                 "      \"requests_served\": %llu, "
+                 "\"stats_truncated\": %s, "
+                 "\"records_retained\": %llu,\n",
+                 static_cast<unsigned long long>(sr.requestsServed),
+                 sr.statsTruncated ? "true" : "false",
+                 static_cast<unsigned long long>(sr.records.size()));
+    std::fprintf(f,
+                 "      \"ttft_p99_seconds\": %.6f, "
+                 "\"mean_latency_seconds\": %.6f,\n",
+                 sr.ttft.p99, sr.meanLatencySeconds);
+    std::fprintf(f,
+                 "      \"wall_seconds\": %.6f, "
+                 "\"requests_per_sec\": %.6e,\n",
+                 qb.streamWall,
+                 qb.streamWall > 0.0
+                     ? static_cast<double>(sr.requestsServed) /
+                           qb.streamWall
+                     : 0.0);
+    std::fprintf(f,
+                 "      \"rss_before_mb\": %.1f, "
+                 "\"rss_peak_mb\": %.1f, "
+                 "\"rss_growth_mb\": %.1f\n",
+                 qb.rssBeforeMb, qb.rssPeakMb,
+                 qb.rssPeakMb - qb.rssBeforeMb);
+    std::fprintf(f, "    }\n");
     std::fprintf(f, "  }%s\n", legacy_only ? "" : ",");
     if (!legacy_only) {
         double stream_speedup =
@@ -1919,12 +2211,13 @@ main(int argc, char **argv)
     FaultBench fb = benchFaults(quick);
     ParallelBench xb = benchParallel(quick);
     SoaBench sb = benchSoa(quick);
+    PrefixBench qb = benchPrefix(quick);
 
     writeJson(stdout, quick, legacy_only, eq_events, patterns,
               geomean, dram_n, stream_new, stream_legacy, pump_new,
               pump_legacy, dec_tokens, dec_iters, dec_wall,
               srv_tokens, srv_iters, srv_wall, fig_cells, fig_wall,
-              pb, cb, nb, db, fb, xb, sb);
+              pb, cb, nb, db, fb, xb, sb, qb);
     if (out_path) {
         std::FILE *f = std::fopen(out_path, "w");
         if (!f) {
@@ -1935,7 +2228,7 @@ main(int argc, char **argv)
                   dram_n, stream_new, stream_legacy, pump_new,
                   pump_legacy, dec_tokens, dec_iters, dec_wall,
                   srv_tokens, srv_iters, srv_wall, fig_cells,
-                  fig_wall, pb, cb, nb, db, fb, xb, sb);
+                  fig_wall, pb, cb, nb, db, fb, xb, sb, qb);
         std::fclose(f);
     }
     return 0;

@@ -15,10 +15,25 @@
  *
  * Keys: platforms (omit to sweep 1,2,4,8), tp (tensor-parallel
  * degree), policy (round-robin | least-outstanding |
- * session-affinity), rate (req/s), requests, max_rlp, spec_len,
- * sessions (multi-turn users for affinity), model, seed. Platform
- * keys (platform=..., num_gpus=..., ...) are documented in
- * core/config_loader.hh.
+ * session-affinity | cache-hit-aware), rate (req/s), requests,
+ * max_rlp, spec_len, sessions (multi-turn users for affinity),
+ * model, seed. Platform keys (platform=..., num_gpus=..., ...) are
+ * documented in core/config_loader.hh.
+ *
+ * Shared prefix caching (multi-turn sessions reusing KV):
+ *   prefix_cache=1       enable the block-granular prefix cache on
+ *                        every replica: a session's next turn skips
+ *                        prefill for tokens already cached, LRU
+ *                        blocks are reclaimed under KV pressure
+ *                        before any preemption, and the report adds
+ *                        hit/miss/evicted accounting
+ *   trace=agentic        multi-turn agentic sessions over one long
+ *                        shared context - the trace prefix caching
+ *                        (and cache-hit-aware routing) is for; see
+ *                        also long-context-rag and general-qa-shared
+ * e.g.
+ *   cluster_serving prefix_cache=1 trace=agentic rate=2 \
+ *       policy=cache-hit-aware platforms=4
  *
  * Continuous-batching keys (the event-driven core's serving modes):
  *   continuous=1         token-level admission + chunked prefill
@@ -37,7 +52,9 @@
  *   prefill_replicas=N   prefill-pool size (default 1)
  *   decode_replicas=N    decode-pool size (default 1)
  *   trace=NAME           arrival length mix: general-qa (default) |
- *                        prefill-heavy | creative-writing
+ *                        prefill-heavy | creative-writing |
+ *                        agentic | long-context-rag |
+ *                        general-qa-shared | uniform
  * The report adds KV-migration counts/bytes/fabric time.
  *
  * Parallel execution:
@@ -140,6 +157,8 @@ run(int argc, char **argv)
     examples::applyContinuousBatchingFlags(config, base.serving,
                                            model,
                                            cfg.numAttnDevices);
+    base.serving.prefixCacheEnabled =
+        config.getInt("prefix_cache", 0) != 0;
     if (config.getInt("disagg", 0) != 0) {
         base.disagg.enabled = true;
         base.disagg.prefillReplicas = static_cast<std::uint32_t>(
@@ -206,6 +225,26 @@ run(int argc, char **argv)
                         static_cast<unsigned long long>(r.resumes),
                         core::formatSeconds(r.preemptionStall.p99)
                             .c_str());
+        }
+        if (base.serving.prefixCacheEnabled) {
+            const double rate_pct =
+                r.prefixLookups > 0
+                    ? 100.0 * static_cast<double>(r.prefixHits) /
+                          static_cast<double>(r.prefixLookups)
+                    : 0.0;
+            std::printf("prefix cache  : %llu/%llu hits (%.0f%%), "
+                        "%llu tokens served from cache, "
+                        "%llu prefilled, %.1f MB evicted\n",
+                        static_cast<unsigned long long>(r.prefixHits),
+                        static_cast<unsigned long long>(
+                            r.prefixLookups),
+                        rate_pct,
+                        static_cast<unsigned long long>(
+                            r.prefixHitTokens),
+                        static_cast<unsigned long long>(
+                            r.prefixMissTokens),
+                        static_cast<double>(r.prefixEvictedBytes) /
+                            1e6);
         }
         std::printf("utilization   :");
         for (double u : r.groupUtilization)

@@ -136,6 +136,50 @@ ClusterEngine::run(const std::vector<llm::TimedRequest> &stream,
         if (stream[i].arrivalSeconds < stream[i - 1].arrivalSeconds)
             sim::fatal("ClusterEngine: arrivals must be sorted");
     }
+    double first_arrival = stream.front().arrivalSeconds;
+    return runImpl(
+        spec, model, stream.size(), first_arrival,
+        [&stream](core::ServingEventDriver &driver,
+                  const core::RouteFn &route) {
+            driver.runStream(stream, route);
+        });
+}
+
+ClusterResult
+ClusterEngine::runStream(llm::ArrivalProcess &arrivals,
+                         std::uint64_t count,
+                         const llm::SpeculativeConfig &spec,
+                         const llm::ModelConfig &model)
+{
+    if (count == 0)
+        sim::fatal("ClusterEngine: empty generated stream");
+    double first_arrival = 0.0;
+    bool first_seen = false;
+    return runImpl(
+        spec, model, count, first_arrival,
+        [&](core::ServingEventDriver &driver,
+            const core::RouteFn &route) {
+            driver.runStreamGenerated(
+                [&]() {
+                    llm::TimedRequest r = arrivals.next();
+                    if (!first_seen) {
+                        first_arrival = r.arrivalSeconds;
+                        first_seen = true;
+                    }
+                    return r;
+                },
+                count, route);
+        });
+}
+
+ClusterResult
+ClusterEngine::runImpl(
+    const llm::SpeculativeConfig &spec,
+    const llm::ModelConfig &model, std::uint64_t offered,
+    double &first_arrival,
+    const std::function<void(core::ServingEventDriver &,
+                             const core::RouteFn &)> &drive)
+{
     TensorParallelModel tp;
     tp.degree = _options.tensorParallelDegree;
     tp.fabric = _options.tpFabric;
@@ -150,6 +194,8 @@ ClusterEngine::run(const std::vector<llm::TimedRequest> &stream,
     sims.reserve(_numGroups);
     for (std::uint32_t g = 0; g < _numGroups; ++g) {
         core::ServingOptions sopt = _options.serving;
+        if (_options.recordCapacity > 0)
+            sopt.recordCapacity = _options.recordCapacity;
         if (disagg) {
             sopt.role = g < prefill_pool ? core::ServingRole::Prefill
                                          : core::ServingRole::Decode;
@@ -172,9 +218,9 @@ ClusterEngine::run(const std::vector<llm::TimedRequest> &stream,
     // transfers scheduled by the driver.
     const std::uint32_t route_width =
         disagg ? prefill_pool : _numGroups;
-    Router router(disagg ? _options.disagg.prefillPolicy
-                         : _options.policy,
-                  route_width);
+    const RouterPolicy active_policy =
+        disagg ? _options.disagg.prefillPolicy : _options.policy;
+    Router router(active_policy, route_width);
     std::vector<BackendLoad> loads(route_width);
     std::vector<core::ServingSim *> replicas;
     replicas.reserve(_numGroups);
@@ -188,9 +234,12 @@ ClusterEngine::run(const std::vector<llm::TimedRequest> &stream,
     // disaggregation the driver may pre-route the stream and skip
     // every arrival barrier (the parallel fast path). The result is
     // byte-identical either way; this only removes synchronization.
+    // LeastOutstanding reads live loads and CacheHitAware probes
+    // live per-replica caches, so both stay on the barrier path.
     driver.setStateIndependentRouting(
         !disagg && _options.faults.empty() &&
-        _options.policy != RouterPolicy::LeastOutstanding);
+        active_policy != RouterPolicy::LeastOutstanding &&
+        active_policy != RouterPolicy::CacheHitAware);
     if (disagg)
         driver.enableDisaggregation(
             {prefill_pool, _options.disagg.transferLink});
@@ -210,8 +259,10 @@ ClusterEngine::run(const std::vector<llm::TimedRequest> &stream,
                 _options.recovery.transferTimeoutSeconds);
     }
 
-    driver.runStream(
-        stream, [&](const llm::TimedRequest &request) {
+    const bool probe_caches =
+        active_policy == RouterPolicy::CacheHitAware;
+    const core::RouteFn route =
+        [&](const llm::TimedRequest &request) {
             for (std::uint32_t g = 0; g < route_width; ++g) {
                 loads[g].outstanding = sims[g]->outstanding();
                 // Prefill replicas retire work synchronously (each
@@ -221,10 +272,20 @@ ClusterEngine::run(const std::vector<llm::TimedRequest> &stream,
                 // routing stays bit-stable (field left 0).
                 if (disagg)
                     loads[g].busyUntilSeconds = sims[g]->now();
+                // Cache-hit-aware routing: a side-effect-free probe
+                // of each replica's prefix cache converts the
+                // request's cached prompt span into expected KV
+                // bytes served from cache.
+                if (probe_caches)
+                    loads[g].expectedHitBytes =
+                        static_cast<std::uint64_t>(
+                            sims[g]->probePrefixHitTokens(request)) *
+                        model.kvBytesPerToken();
                 loads[g].alive = !driver.isDown(g);
             }
             return router.route(request, loads);
-        });
+        };
+    drive(driver, route);
 
     ClusterResult out;
     out.numGroups = _numGroups;
@@ -251,7 +312,7 @@ ClusterEngine::run(const std::vector<llm::TimedRequest> &stream,
         out.kvTransferJoules = xfer.joules;
         out.energyJoules += xfer.joules;
     }
-    double t_end = stream.front().arrivalSeconds;
+    double t_end = first_arrival;
     for (std::uint32_t g = 0; g < _numGroups; ++g)
         t_end = std::max(t_end, sims[g]->now());
     if (injector) {
@@ -270,21 +331,33 @@ ClusterEngine::run(const std::vector<llm::TimedRequest> &stream,
         out.replicaDowntimeSeconds.assign(_numGroups, 0.0);
     }
     out.kvTransferFallbacks = driver.transferStats().fallbacks;
+    std::uint64_t served = 0;
     for (std::uint32_t g = 0; g < _numGroups; ++g) {
         core::ServingResult r = sims[g]->finish();
         out.energyJoules += r.energyJoules;
         out.tokensGenerated += r.tokensGenerated;
         out.preemptions += r.preemptions;
         out.resumes += r.resumes;
+        out.prefixLookups += r.prefixLookups;
+        out.prefixHits += r.prefixHits;
+        out.prefixHitTokens += r.prefixHitTokens;
+        out.prefixMissTokens += r.prefixMissTokens;
+        out.prefixEvictedBytes += r.prefixEvictedBytes;
         out.perGroup.push_back(std::move(r));
         t_end = std::max(t_end, sims[g]->now());
+        // servedCount() stays exact past the record cap; records
+        // hold each replica's capped prefix (the whole population
+        // below the cap, where the paths are byte-identical).
+        served += sims[g]->servedCount();
+        if (sims[g]->streamStats().overflowed)
+            out.statsTruncated = true;
         const auto &recs = sims[g]->records();
         out.records.insert(out.records.end(), recs.begin(),
                            recs.end());
     }
-    out.makespanSeconds = t_end - stream.front().arrivalSeconds;
-    out.requestsServed = out.records.size();
-    out.requestsOffered = stream.size();
+    out.makespanSeconds = t_end - first_arrival;
+    out.requestsServed = served;
+    out.requestsOffered = offered;
     for (const core::ServingResult &r : out.perGroup)
         out.shedRequests += r.shedRequests;
     if (out.requestsServed + out.failedRequests +
@@ -295,8 +368,16 @@ ClusterEngine::run(const std::vector<llm::TimedRequest> &stream,
                    out.failedRequests, " + shed ",
                    out.shedRequests, ")");
     std::uint64_t served_tokens = 0;
-    for (const auto &rec : out.records)
-        served_tokens += rec.outputTokens;
+    if (out.statsTruncated) {
+        // Past the record cap the concatenated records are a capped
+        // prefix; the streaming counters stay exact over the whole
+        // run (folded at every retirement when a cap is set).
+        for (std::uint32_t g = 0; g < _numGroups; ++g)
+            served_tokens += sims[g]->streamStats().outputTokens;
+    } else {
+        for (const auto &rec : out.records)
+            served_tokens += rec.outputTokens;
+    }
     out.goodputTokensPerSecond =
         out.makespanSeconds > 0.0
             ? static_cast<double>(served_tokens) /
@@ -305,9 +386,14 @@ ClusterEngine::run(const std::vector<llm::TimedRequest> &stream,
     const double deadline = _options.serving.deadlineSeconds;
     if (deadline > 0.0) {
         std::uint64_t met = 0;
-        for (const auto &rec : out.records) {
-            if (rec.ttftSeconds() <= deadline)
-                ++met;
+        if (out.statsTruncated) {
+            for (std::uint32_t g = 0; g < _numGroups; ++g)
+                met += sims[g]->streamStats().deadlineMet;
+        } else {
+            for (const auto &rec : out.records) {
+                if (rec.ttftSeconds() <= deadline)
+                    ++met;
+            }
         }
         out.sloAttainment =
             static_cast<double>(met) /
@@ -324,6 +410,53 @@ ClusterEngine::run(const std::vector<llm::TimedRequest> &stream,
             out.makespanSeconds > 0.0
                 ? sims[g]->busySeconds() / out.makespanSeconds
                 : 0.0;
+    }
+
+    if (out.statsTruncated) {
+        // Bounded-memory aggregation: the full record population is
+        // gone, so means come from the exact streaming sums and
+        // percentiles are count-weighted averages of the per-replica
+        // P-square estimates, merged in replica index order
+        // (deterministic at any worker count).
+        auto merge = [&sims, this](core::StreamMetric m,
+                                   double &mean_out) {
+            LatencyPercentiles p;
+            double sum = 0.0;
+            double w50 = 0.0, w95 = 0.0, w99 = 0.0;
+            std::uint64_t count = 0;
+            for (std::uint32_t g = 0; g < _numGroups; ++g) {
+                const core::ServingStreamStats &ss =
+                    sims[g]->streamStats();
+                if (ss.count == 0)
+                    continue;
+                const double w = static_cast<double>(ss.count);
+                sum += ss.sums[m];
+                w50 += w * ss.p50[m].value();
+                w95 += w * ss.p95[m].value();
+                w99 += w * ss.p99[m].value();
+                count += ss.count;
+            }
+            if (count == 0) {
+                mean_out = std::numeric_limits<double>::quiet_NaN();
+                p.p50 = p.p95 = p.p99 = mean_out;
+                return p;
+            }
+            const double n = static_cast<double>(count);
+            mean_out = sum / n;
+            p.p50 = w50 / n;
+            p.p95 = w95 / n;
+            p.p99 = w99 / n;
+            return p;
+        };
+        out.ttft = merge(core::kStreamTtft, out.meanTtftSeconds);
+        out.tpot = merge(core::kStreamTpot, out.meanTpotSeconds);
+        out.latency =
+            merge(core::kStreamLatency, out.meanLatencySeconds);
+        out.queueing =
+            merge(core::kStreamQueueing, out.meanQueueingSeconds);
+        out.preemptionStall = merge(
+            core::kStreamStall, out.meanPreemptionStallSeconds);
+        return out;
     }
 
     std::vector<double> ttft, tpot, latency, queueing, stall;
@@ -420,6 +553,33 @@ ClusterResult::populateStats(sim::stats::StatGroup &group) const
                         "link energy of all KV migrations")
             .set(kvTransferJoules);
     }
+
+    if (prefixLookups > 0) {
+        group.addScalar("prefix_lookups",
+                        "prefix-cache probes at admission")
+            .set(static_cast<double>(prefixLookups));
+        group.addScalar("prefix_hits",
+                        "probes finding a cached span")
+            .set(static_cast<double>(prefixHits));
+        group.addScalar("prefix_hit_rate",
+                        "prefix-cache hit fraction of probes")
+            .set(static_cast<double>(prefixHits) /
+                 static_cast<double>(prefixLookups));
+        group.addScalar("prefix_hit_tokens",
+                        "prompt tokens served from cache")
+            .set(static_cast<double>(prefixHitTokens));
+        group.addScalar("prefix_miss_tokens",
+                        "keyed prompt tokens prefilled the long way")
+            .set(static_cast<double>(prefixMissTokens));
+        group.addScalar("prefix_evicted_bytes",
+                        "cached bytes reclaimed under KV pressure")
+            .set(static_cast<double>(prefixEvictedBytes));
+    }
+    if (statsTruncated)
+        group.addScalar("stats_truncated",
+                        "1 when percentiles come from streaming "
+                        "estimators (record cap overflowed)")
+            .set(1.0);
 
     group.addScalar("requests_offered",
                     "arrival stream size (served + failed + shed)")

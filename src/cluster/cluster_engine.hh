@@ -38,6 +38,7 @@
 #define PAPI_CLUSTER_CLUSTER_ENGINE_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -46,6 +47,7 @@
 #include "cluster/tensor_parallel.hh"
 #include "core/platform.hh"
 #include "core/serving_engine.hh"
+#include "core/serving_events.hh"
 #include "interconnect/link.hh"
 #include "llm/arrival.hh"
 #include "sim/fault_plan.hh"
@@ -123,6 +125,19 @@ struct ClusterOptions
      * core::ServingEventDriver and tests/parallel_identity_test.cc).
      */
     unsigned workerThreads = 1;
+    /**
+     * Bounded-memory metrics: cap each replica's retained
+     * per-request records/latencies at this many entries (see
+     * core::ServingOptions::recordCapacity). 0 (the default) keeps
+     * the unbounded exact path. While no replica overflows its cap
+     * the aggregate ClusterResult is byte-identical to the
+     * unbounded run; past the cap exact streaming counters and
+     * P-square percentile estimators take over (statsTruncated is
+     * set and ClusterResult::records holds each replica's capped
+     * prefix). This is what bounds a million-request runStream()'s
+     * memory.
+     */
+    std::uint64_t recordCapacity = 0;
 };
 
 /** p50/p95/p99 of one latency population, seconds. */
@@ -223,6 +238,30 @@ struct ClusterResult
      *  throughputTokensPerSecond(). */
     double goodputTokensPerSecond = 0.0;
 
+    // ---- Shared-prefix cache accounting (all zero with the cache
+    // ---- disabled, keeping cache-off runs byte-identical).
+
+    /** Prefix-cache probes at admission, summed over replicas. */
+    std::uint64_t prefixLookups = 0;
+    /** Probes that found a cached whole-block span. */
+    std::uint64_t prefixHits = 0;
+    /** Prompt tokens served from cache (prefill cost skipped). */
+    std::uint64_t prefixHitTokens = 0;
+    /** Prompt tokens prefilled the long way on keyed requests. */
+    std::uint64_t prefixMissTokens = 0;
+    /** Cached bytes evicted under KV pressure (LRU reclaim). */
+    std::uint64_t prefixEvictedBytes = 0;
+
+    /**
+     * True when at least one replica overflowed
+     * ClusterOptions::recordCapacity: the latency aggregates above
+     * come from exact streaming sums and P-square estimators, and
+     * @ref records holds only each replica's capped prefix (the
+     * histograms in populateStats cover that prefix, not the full
+     * population). Always false on the unbounded path.
+     */
+    bool statsTruncated = false;
+
     /** Cluster decode throughput over the makespan. */
     double
     throughputTokensPerSecond() const
@@ -287,7 +326,33 @@ class ClusterEngine
                       const llm::SpeculativeConfig &spec,
                       const llm::ModelConfig &model);
 
+    /**
+     * Streaming variant: serve @p count arrivals pulled one at a
+     * time from @p arrivals (llm::ArrivalProcess::next()) instead
+     * of a materialized vector - the cluster never holds more than
+     * one undelivered arrival, so the offered-traffic memory is
+     * O(1) in @p count. A generator emitting the same sequence as a
+     * vector produces a byte-identical ClusterResult (pinned by
+     * tests/cluster_stream_test.cc). Combine with
+     * ClusterOptions::recordCapacity to bound the *metrics* side
+     * too - that is the million-request serving configuration.
+     */
+    ClusterResult runStream(llm::ArrivalProcess &arrivals,
+                            std::uint64_t count,
+                            const llm::SpeculativeConfig &spec,
+                            const llm::ModelConfig &model);
+
   private:
+    /** Shared body of run()/runStream(): build the replicas, drive
+     *  them via @p drive (which must fill @p first_arrival from the
+     *  stream it delivers), then aggregate. */
+    ClusterResult
+    runImpl(const llm::SpeculativeConfig &spec,
+            const llm::ModelConfig &model, std::uint64_t offered,
+            double &first_arrival,
+            const std::function<void(core::ServingEventDriver &,
+                                     const core::RouteFn &)> &drive);
+
     ClusterOptions _options;
     std::uint32_t _numGroups;
     /**

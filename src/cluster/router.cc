@@ -14,6 +14,8 @@ routerPolicyName(RouterPolicy policy)
         return "least-outstanding";
       case RouterPolicy::SessionAffinity:
         return "session-affinity";
+      case RouterPolicy::CacheHitAware:
+        return "cache-hit-aware";
     }
     return "unknown";
 }
@@ -27,9 +29,11 @@ routerPolicyByName(const std::string &name)
         return RouterPolicy::LeastOutstanding;
     if (name == "session-affinity")
         return RouterPolicy::SessionAffinity;
+    if (name == "cache-hit-aware")
+        return RouterPolicy::CacheHitAware;
     sim::fatal("unknown router policy '", name,
                "' (round-robin | least-outstanding | "
-               "session-affinity)");
+               "session-affinity | cache-hit-aware)");
 }
 
 Router::Router(RouterPolicy policy, std::uint32_t num_backends)
@@ -64,39 +68,11 @@ Router::route(const llm::TimedRequest &request,
         }
         return pick; // total outage: deterministic fallback
     };
-    switch (_policy) {
-      case RouterPolicy::RoundRobin:
-        return round_robin();
-      case RouterPolicy::LeastOutstanding: {
-        constexpr std::uint32_t kNone = ~std::uint32_t{0};
-        std::uint32_t best = kNone;
-        for (std::uint32_t i = 0; i < _numBackends; ++i) {
-            // Fewest outstanding wins among the alive; ties break
-            // toward the earliest-free backend (busyUntilSeconds,
-            // when provided), then the lowest index.
-            if (!loads[i].alive)
-                continue;
-            if (best == kNone ||
-                loads[i].outstanding < loads[best].outstanding ||
-                (loads[i].outstanding == loads[best].outstanding &&
-                 loads[i].busyUntilSeconds <
-                     loads[best].busyUntilSeconds))
-                best = i;
-        }
-        if (best != kNone)
-            return best;
-        // Total outage: the healthy-cluster scan, ignoring health.
-        best = 0;
-        for (std::uint32_t i = 1; i < _numBackends; ++i) {
-            if (loads[i].outstanding < loads[best].outstanding ||
-                (loads[i].outstanding == loads[best].outstanding &&
-                 loads[i].busyUntilSeconds <
-                     loads[best].busyUntilSeconds))
-                best = i;
-        }
-        return best;
-      }
-      case RouterPolicy::SessionAffinity: {
+    constexpr std::uint32_t kNone = ~std::uint32_t{0};
+    // Session-affinity pick (shared: the cache-hit-aware policy's
+    // cold-request fallback seeds the session home the same way).
+    auto affinity = [this, &request, &round_robin,
+                     &loads]() -> std::uint32_t {
         // Unset sessions (the TimedRequest default, 0) carry no
         // affinity: hashing them would collapse all session-less
         // traffic onto one replica, so they fall back to the
@@ -124,6 +100,62 @@ Router::route(const llm::TimedRequest &request,
                 return cand;
         }
         return home; // total outage
+    };
+    switch (_policy) {
+      case RouterPolicy::RoundRobin:
+        return round_robin();
+      case RouterPolicy::LeastOutstanding: {
+        std::uint32_t best = kNone;
+        for (std::uint32_t i = 0; i < _numBackends; ++i) {
+            // Fewest outstanding wins among the alive; ties break
+            // toward the earliest-free backend (busyUntilSeconds,
+            // when provided), then the lowest index.
+            if (!loads[i].alive)
+                continue;
+            if (best == kNone ||
+                loads[i].outstanding < loads[best].outstanding ||
+                (loads[i].outstanding == loads[best].outstanding &&
+                 loads[i].busyUntilSeconds <
+                     loads[best].busyUntilSeconds))
+                best = i;
+        }
+        if (best != kNone)
+            return best;
+        // Total outage: the healthy-cluster scan, ignoring health.
+        best = 0;
+        for (std::uint32_t i = 1; i < _numBackends; ++i) {
+            if (loads[i].outstanding < loads[best].outstanding ||
+                (loads[i].outstanding == loads[best].outstanding &&
+                 loads[i].busyUntilSeconds <
+                     loads[best].busyUntilSeconds))
+                best = i;
+        }
+        return best;
+      }
+      case RouterPolicy::SessionAffinity:
+        return affinity();
+      case RouterPolicy::CacheHitAware: {
+        // Most cached prompt bytes wins among the alive; ties break
+        // toward fewer outstanding (don't pile onto a hot replica
+        // for equal cache value), then the lowest index.
+        std::uint32_t best = kNone;
+        for (std::uint32_t i = 0; i < _numBackends; ++i) {
+            if (!loads[i].alive)
+                continue;
+            if (best == kNone ||
+                loads[i].expectedHitBytes >
+                    loads[best].expectedHitBytes ||
+                (loads[i].expectedHitBytes ==
+                     loads[best].expectedHitBytes &&
+                 loads[i].outstanding < loads[best].outstanding))
+                best = i;
+        }
+        if (best != kNone && loads[best].expectedHitBytes > 0)
+            return best;
+        // No backend holds cached state for this prompt (or total
+        // outage): seed the session's home via affinity, so the
+        // NEXT turn of this conversation finds its prefix there.
+        return affinity();
       }
     }
     sim::panic("Router: unhandled policy");

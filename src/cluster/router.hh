@@ -43,6 +43,15 @@ enum class RouterPolicy : std::uint8_t
      *  back to round-robin so they spread instead of collapsing
      *  onto one replica. */
     SessionAffinity,
+    /**
+     * Route to the backend whose prefix cache holds the most of
+     * this request's reusable prompt span (BackendLoad::
+     * expectedHitBytes, filled by per-replica cache probes). A
+     * request no backend has cached state for falls back to
+     * session affinity - seeding the session's future prefix on a
+     * stable home replica is exactly what makes the next turn hit.
+     */
+    CacheHitAware,
 };
 
 /** Printable policy name ("round-robin", ...). */
@@ -67,6 +76,14 @@ struct BackendLoad
      * cluster does, keeping its routing bit-stable).
      */
     double busyUntilSeconds = 0.0;
+    /**
+     * Cache-hit-aware routing signal: the KV bytes of this
+     * request's prompt the backend's shared-prefix cache would
+     * serve from cache (a side-effect-free probe; see
+     * core::ServingSim::probePrefixHitTokens). Leave 0 when unused
+     * - every other policy ignores it.
+     */
+    std::uint64_t expectedHitBytes = 0;
     /**
      * Health mark: every policy skips dead (crashed, not yet
      * restarted) backends. When no backend is alive the router

@@ -15,6 +15,11 @@ BatchState::reserve(std::size_t n)
     admitSeq.reserve(n);
     sessionId.reserve(n);
     kvBlocks.reserve(n);
+    prefixKey.reserve(n);
+    prefixTokens.reserve(n);
+    prefixHit.reserve(n);
+    insertKey.reserve(n);
+    insertTokens.reserve(n);
     arrivalSeconds.reserve(n);
     admissionSeconds.reserve(n);
     firstTokenSeconds.reserve(n);
@@ -35,6 +40,11 @@ BatchState::push(const ActiveSnapshot &s)
     admitSeq.push_back(s.admitSeq);
     sessionId.push_back(s.sessionId);
     kvBlocks.push_back(s.kvBlocks);
+    prefixKey.push_back(s.request.prefixKey);
+    prefixTokens.push_back(s.request.prefixTokens);
+    prefixHit.push_back(s.prefixHitTokens);
+    insertKey.push_back(s.request.insertKey);
+    insertTokens.push_back(s.request.insertTokens);
     arrivalSeconds.push_back(s.arrivalSeconds);
     admissionSeconds.push_back(s.admissionSeconds);
     firstTokenSeconds.push_back(s.firstTokenSeconds);
@@ -56,6 +66,11 @@ BatchState::snapshot(std::size_t i) const
     s.admitSeq = admitSeq[i];
     s.sessionId = sessionId[i];
     s.kvBlocks = kvBlocks[i];
+    s.request.prefixKey = prefixKey[i];
+    s.request.prefixTokens = prefixTokens[i];
+    s.prefixHitTokens = prefixHit[i];
+    s.request.insertKey = insertKey[i];
+    s.request.insertTokens = insertTokens[i];
     s.arrivalSeconds = arrivalSeconds[i];
     s.admissionSeconds = admissionSeconds[i];
     s.firstTokenSeconds = firstTokenSeconds[i];
@@ -77,6 +92,11 @@ BatchState::popBack()
     admitSeq.pop_back();
     sessionId.pop_back();
     kvBlocks.pop_back();
+    prefixKey.pop_back();
+    prefixTokens.pop_back();
+    prefixHit.pop_back();
+    insertKey.pop_back();
+    insertTokens.pop_back();
     arrivalSeconds.pop_back();
     admissionSeconds.pop_back();
     firstTokenSeconds.pop_back();
@@ -99,6 +119,11 @@ BatchState::moveTo(std::size_t to, std::size_t from)
     admitSeq[to] = admitSeq[from];
     sessionId[to] = sessionId[from];
     kvBlocks[to] = kvBlocks[from];
+    prefixKey[to] = prefixKey[from];
+    prefixTokens[to] = prefixTokens[from];
+    prefixHit[to] = prefixHit[from];
+    insertKey[to] = insertKey[from];
+    insertTokens[to] = insertTokens[from];
     arrivalSeconds[to] = arrivalSeconds[from];
     admissionSeconds[to] = admissionSeconds[from];
     firstTokenSeconds[to] = firstTokenSeconds[from];
@@ -119,6 +144,11 @@ BatchState::truncate(std::size_t n)
     admitSeq.resize(n);
     sessionId.resize(n);
     kvBlocks.resize(n);
+    prefixKey.resize(n);
+    prefixTokens.resize(n);
+    prefixHit.resize(n);
+    insertKey.resize(n);
+    insertTokens.resize(n);
     arrivalSeconds.resize(n);
     admissionSeconds.resize(n);
     firstTokenSeconds.resize(n);

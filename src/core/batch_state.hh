@@ -64,6 +64,11 @@ struct ActiveSnapshot
      *  requestBlocks(); lets the headroom gate run without per-id
      *  hash lookups). */
     std::uint64_t kvBlocks = 0;
+    /** Prompt tokens covered by a prefix-cache hit at admission
+     *  (their prefill cost was skipped; the ledger invariant
+     *  prefixHitTokens + miss tokens == inputLen is pinned by a
+     *  test). */
+    std::uint32_t prefixHitTokens = 0;
 };
 
 /** The live batch as parallel arrays in admission order. */
@@ -83,6 +88,13 @@ class BatchState
     std::vector<std::uint64_t> admitSeq; ///< Admission sequence.
     std::vector<std::uint64_t> sessionId; ///< Session identity.
     std::vector<std::uint64_t> kvBlocks; ///< KV blocks held.
+    // Shared-prefix identity (cold columns: admission, retirement,
+    // crash harvest and preemption snapshots only).
+    std::vector<std::uint64_t> prefixKey;  ///< Reusable-span key.
+    std::vector<std::uint32_t> prefixTokens; ///< Span under the key.
+    std::vector<std::uint32_t> prefixHit; ///< Hit tokens at admission.
+    std::vector<std::uint64_t> insertKey; ///< Cache-on-retire key.
+    std::vector<std::uint32_t> insertTokens; ///< Span to cache (0=all).
     std::vector<double> arrivalSeconds;  ///< Stream arrival time.
     std::vector<double> admissionSeconds; ///< Admission time.
     std::vector<double> firstTokenSeconds; ///< First-advance time.

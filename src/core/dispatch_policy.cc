@@ -41,7 +41,8 @@ fcPolicyFromName(const std::string &name)
         return FcPolicy::Dynamic;
     if (name == "oracle")
         return FcPolicy::Oracle;
-    sim::fatal("fcPolicyFromName: unknown fc policy '", name, "'");
+    sim::fatal("fcPolicyFromName: unknown fc policy '", name,
+               "' (always-gpu | always-pim | dynamic | oracle)");
 }
 
 FcTarget
@@ -51,7 +52,8 @@ fcTargetFromName(const std::string &name)
         return FcTarget::Gpu;
     if (name == "fc-pim")
         return FcTarget::FcPim;
-    sim::fatal("fcTargetFromName: unknown fc target '", name, "'");
+    sim::fatal("fcTargetFromName: unknown fc target '", name,
+               "' (gpu | fc-pim)");
 }
 
 const char *
@@ -75,7 +77,7 @@ dispatchRuleFromName(const std::string &name)
     if (name == "oracle")
         return DispatchRule::Oracle;
     sim::fatal("dispatchRuleFromName: unknown dispatch rule '", name,
-               "'");
+               "' (static | threshold | oracle)");
 }
 
 DispatchPolicy

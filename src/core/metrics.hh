@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/decode_engine.hh"
+#include "core/p2_quantile.hh"
 
 namespace papi::core {
 

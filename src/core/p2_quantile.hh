@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Streaming quantile estimation (the P-square algorithm).
+ *
+ * Split out of core/metrics.hh so low-level headers (notably
+ * core/serving_engine.hh, whose bounded-memory metrics embed
+ * estimator instances) can use it without pulling in the
+ * decode-engine reporting helpers - metrics.hh includes this header,
+ * so existing includers see the same class.
+ */
+
+#ifndef PAPI_CORE_P2_QUANTILE_HH
+#define PAPI_CORE_P2_QUANTILE_HH
+
+#include <cstdint>
+
+namespace papi::core {
+
+/**
+ * Streaming quantile estimator: the P-square algorithm of Jain &
+ * Chlamtac (CACM 1985), five markers, O(1) memory and O(1) per
+ * observation. This is what lets bounded-memory serving metrics
+ * (core::ServingOptions::recordCapacity) report latency percentiles
+ * over million-request streams without retaining per-request
+ * records.
+ *
+ * Below six observations the estimate is *exact* under the
+ * repo-wide percentileSorted() convention (idx = floor(q*(n-1)) on
+ * the ascending sample); from the sixth observation on the markers
+ * adapt via the P-square parabolic update and value() is an
+ * approximation whose error shrinks with the sample (typically well
+ * under 1% of the distribution's scale for smooth distributions).
+ * Fully deterministic: the estimate depends only on the observation
+ * sequence, so per-replica instances fed in simulation order stay
+ * byte-identical across cluster worker counts.
+ */
+class P2Quantile
+{
+  public:
+    /** @param q Target quantile in [0, 1] (e.g. 0.99 for p99). */
+    explicit P2Quantile(double q);
+
+    /** Fold one observation into the estimate. */
+    void add(double x);
+
+    /** Current quantile estimate; NaN when no observation yet. */
+    double value() const;
+
+    /** Observations folded in so far. */
+    std::uint64_t count() const { return _count; }
+
+    /** The target quantile this instance estimates. */
+    double quantile() const { return _q; }
+
+  private:
+    double _q;
+    std::uint64_t _count = 0;
+    double _height[5] = {};  ///< Marker heights (q_i).
+    double _pos[5] = {};     ///< Actual marker positions (n_i).
+    double _desired[5] = {}; ///< Desired marker positions (n'_i).
+    double _inc[5] = {};     ///< Desired-position increments (dn'_i).
+};
+
+} // namespace papi::core
+
+#endif // PAPI_CORE_P2_QUANTILE_HH

@@ -58,7 +58,14 @@ ServingSim::ServingSim(const Platform &platform,
         sim::fatal("ServingSim: computeScale must be positive");
     _chunked = options.prefillChunkTokens > 0;
     _preempt = options.preemptOnKvPressure;
+    _prefixOn = options.prefixCacheEnabled;
+    _bounded = options.recordCapacity > 0;
     _role = options.role;
+    if (_static.enabled && _prefixOn)
+        sim::fatal("ServingSim: prefix caching is a serving-path "
+                   "feature; static-batch (decode) runs bypass the "
+                   "KV admission gate");
+    _kv.setPrefixCacheEnabled(_prefixOn);
     if (_static.enabled && (_chunked || _preempt))
         sim::fatal("ServingSim: chunked prefill / KV preemption are "
                    "serving-path features; static-batch (decode) "
@@ -87,6 +94,8 @@ ServingSim::ServingSim(const Platform &platform,
                    "runs admit the whole batch once");
     _kvBlockTokens = _kv.blockTokens();
     _prefillLens.reserve(options.maxRlp);
+    _hitPrior.reserve(options.maxRlp);
+    _hitNow.reserve(options.maxRlp);
     _ctx.reserve(options.maxRlp);
     _chunkPlan.reserve(options.maxRlp);
     _chunkPrior.reserve(options.maxRlp);
@@ -197,6 +206,10 @@ ServingSim::crash(double when)
         l.request.request.inputLen = _batch.inputLen[i];
         l.request.request.outputLen = _batch.outputLen[i];
         l.request.request.generated = 0;
+        l.request.request.prefixKey = _batch.prefixKey[i];
+        l.request.request.prefixTokens = _batch.prefixTokens[i];
+        l.request.request.insertKey = _batch.insertKey[i];
+        l.request.request.insertTokens = _batch.insertTokens[i];
         l.request.arrivalSeconds = _batch.arrivalSeconds[i];
         l.request.sessionId = _batch.sessionId[i];
         l.admitted = true;
@@ -287,8 +300,24 @@ ServingSim::handoffPrefilled(std::size_t i)
     h.readySeconds = _now;
     h.kvTokens = _batch.contextLen(i);
     const llm::KvExport kv = _kv.exportRequest(_batch.id[i]);
-    h.kvBlocks = kv.blocks;
-    h.kvBytes = kv.bytes;
+    std::uint64_t blocks = kv.blocks;
+    std::uint64_t bytes = kv.bytes;
+    if (_prefixOn && _batch.prefixHit[i] > 0 && kv.blocks > 0) {
+        // The decode pool already holds the cached prefix blocks
+        // (the hit implies a prior request published them), so only
+        // the uncached suffix crosses the interconnect. Hits are
+        // block-aligned, so the per-block arithmetic is exact.
+        // kvTokens stays the full context: the decode pool still
+        // reserves the complete footprint on import.
+        const std::uint64_t hit_blocks = std::min<std::uint64_t>(
+            _batch.prefixHit[i] / _kvBlockTokens, kv.blocks);
+        const std::uint64_t block_bytes = kv.bytes / kv.blocks;
+        blocks -= hit_blocks;
+        bytes -= hit_blocks * block_bytes;
+    }
+    h.kvBlocks = blocks;
+    h.kvBytes = bytes;
+    publishPrefix(i);
     ++_out.handoffs;
     _out.prefillHandoffTokens += _batch.inputLen[i];
     _handoffs.push_back(h);
@@ -355,6 +384,23 @@ ServingSim::admit()
     syncGen(); // pushes must not inherit the pending uniform advance
     std::uint32_t admitted = 0;
     _prefillLens.clear();
+    _hitPrior.clear();
+    _hitNow.clear();
+    // Prefix-cache probe for a fresh keyed request (runs only after
+    // its KV reservation is gated, so a lookup is never wasted on a
+    // request that cannot join). A hit promotes the entry to MRU.
+    const auto lookup_prefix =
+        [this](const llm::Request &req) -> std::uint32_t {
+        if (!_prefixOn || req.prefixKey == 0)
+            return 0;
+        ++_out.prefixLookups;
+        const auto hit = static_cast<std::uint32_t>(_kv.prefixLookup(
+            req.prefixKey,
+            std::min(req.prefixTokens, req.inputLen)));
+        if (hit > 0)
+            ++_out.prefixHits;
+        return hit;
+    };
     // Batch-level scheduling admits only into an empty batch.
     if (_options.admission == AdmissionPolicy::BatchLevel &&
         !_batch.empty())
@@ -385,7 +431,10 @@ ServingSim::admit()
             footprint + std::max<std::uint32_t>(
                             _spec.length,
                             _options.prefillChunkTokens));
-        if (_kv.freeBlocks() < reserve + worstGrowthBlocks())
+        // Cached prefix blocks are reclaimable headroom (evicted
+        // before any preemption); with the cache empty this is the
+        // pre-cache freeBlocks() check bit-for-bit.
+        if (_kv.availableBlocks() < reserve + worstGrowthBlocks())
             break;
         ActiveSnapshot a = pr.state;
         a.admitSeq = _admitSeqNext++;
@@ -456,7 +505,8 @@ ServingSim::admit()
             // force an eviction by itself).
             const std::uint64_t reserve = _kv.blocksForTokens(
                 pp.kvTokens + _spec.length);
-            if (_kv.freeBlocks() < reserve + worstGrowthBlocks())
+            if (_kv.availableBlocks() <
+                reserve + worstGrowthBlocks())
                 break;
             kv_blocks = _kv.importRequest(req.id, pp.kvTokens);
         }
@@ -488,17 +538,22 @@ ServingSim::admit()
         }
         const llm::Request &req = _pending.front().request.request;
         std::uint64_t kv_blocks = 0;
+        std::uint32_t hit = 0;
         if (!_static.enabled) {
             if (!_preempt) {
                 // Reserve the worst case so growth can never fail.
                 // A prefill-pool replica never decodes, so its
-                // worst case is the prompt footprint alone.
+                // worst case is the prompt footprint alone. A
+                // prefix hit skips prefill COST only - the request
+                // still materializes its full private KV copy, so
+                // the reservation is hit-independent.
                 std::uint64_t worst =
                     static_cast<std::uint64_t>(req.inputLen) +
                     (_role == ServingRole::Prefill ? 0
                                                    : req.outputLen);
                 if (!_kv.canAdmit(worst))
                     break;
+                hit = lookup_prefix(req);
                 kv_blocks = _kv.admit(req.id, worst);
             } else {
                 // Reserve the prompt footprint plus this request's
@@ -510,11 +565,16 @@ ServingSim::admit()
                     std::max<std::uint32_t>(
                         _spec.length,
                         _options.prefillChunkTokens));
-                if (_kv.freeBlocks() <
+                if (_kv.availableBlocks() <
                     reserve + worstGrowthBlocks())
                     break;
+                // Chunked mode materializes the cached span right
+                // away (its prefill is skipped, so no later chunk
+                // will grow over it); hit == 0 keeps the legacy
+                // admit-at-zero bit-for-bit.
+                hit = lookup_prefix(req);
                 kv_blocks = _kv.admit(req.id,
-                                      _chunked ? 0 : req.inputLen);
+                                      _chunked ? hit : req.inputLen);
             }
         }
         ActiveSnapshot a;
@@ -524,11 +584,28 @@ ServingSim::admit()
         a.admitSeq = _admitSeqNext++;
         a.sessionId = _pending.front().request.sessionId;
         a.kvBlocks = kv_blocks;
+        a.prefixHitTokens = hit;
+        if (_prefixOn) {
+            _out.prefixHitTokens += hit;
+            _out.prefixMissTokens += req.inputLen - hit;
+        }
         if (_chunked) {
-            a.prefillRemaining = req.inputLen;
+            // Chunked prefill starts at the first uncached token:
+            // the cached span is charged as prior context by the
+            // chunk cost model (prior = contextLen - remaining).
+            a.prefillRemaining = req.inputLen - hit;
+            if (_preempt)
+                a.kvTokens = hit;
         } else {
             a.kvTokens = req.inputLen;
-            _prefillLens.push_back(a.request.inputLen);
+            if (hit == 0) {
+                _prefillLens.push_back(a.request.inputLen);
+            } else if (hit < req.inputLen) {
+                // Charge only the uncached suffix, costed as an
+                // incremental prefill over the cached prior span.
+                _hitPrior.push_back(hit);
+                _hitNow.push_back(req.inputLen - hit);
+            } // Full-block full hit: no prefill charge at all.
         }
         _batch.push(a);
         _allSeen = false;
@@ -550,6 +627,30 @@ ServingSim::admit()
                 prompt_tokens += len;
             const auto tokens =
                 static_cast<std::uint32_t>(prompt_tokens);
+            pre_seconds = scaledSeconds(pre.seconds, 0.0, tokens);
+            if (_cost.extraJoules)
+                pre_joules += _cost.extraJoules(tokens);
+        }
+        _now += pre_seconds;
+        _busySeconds += pre_seconds;
+        _breakdown.prefillSeconds += pre_seconds;
+        _out.energyJoules += pre_joules;
+    }
+    if (!_hitNow.empty()) {
+        // Prefix-hit newcomers (non-chunked mode): prefill only the
+        // uncached suffix, costed as an incremental prefill whose
+        // prior context is the cached span - the same arithmetic
+        // chunked prefill uses for its later chunks.
+        KernelExec pre =
+            _platform.prefillChunkExec(_model, _hitPrior, _hitNow);
+        double pre_seconds = pre.seconds;
+        double pre_joules = pre.energyJoules;
+        if (!_cost.trivial()) {
+            std::uint64_t now_tokens = 0;
+            for (std::uint32_t len : _hitNow)
+                now_tokens += len;
+            const auto tokens =
+                static_cast<std::uint32_t>(now_tokens);
             pre_seconds = scaledSeconds(pre.seconds, 0.0, tokens);
             if (_cost.extraJoules)
                 pre_joules += _cost.extraJoules(tokens);
@@ -841,7 +942,7 @@ ServingSim::noteDispatch(TargetId target)
 void
 ServingSim::recordRetirementAt(std::size_t i)
 {
-    _latencies.push_back(_now - _batch.arrivalSeconds[i]);
+    const double latency = _now - _batch.arrivalSeconds[i];
     RequestRecord rec;
     rec.id = _batch.id[i];
     rec.arrivalSeconds = _batch.arrivalSeconds[i];
@@ -853,7 +954,59 @@ ServingSim::recordRetirementAt(std::size_t i)
     rec.outputTokens = _batch.outputLen[i];
     rec.preemptions = _batch.preemptions[i];
     rec.stallSeconds = _batch.stallSeconds[i];
+    rec.prefixHitTokens = _batch.prefixHit[i];
+    rec.prefixMissTokens =
+        _batch.inputLen[i] - _batch.prefixHit[i];
+    if (_bounded) {
+        // Streaming metrics fold EVERY retirement, so the exact
+        // counters and P-square estimators cover the whole run even
+        // once the record buffer caps out.
+        ++_stream.count;
+        _stream.outputTokens += rec.outputTokens;
+        if (_options.deadlineSeconds > 0.0 &&
+            rec.ttftSeconds() <= _options.deadlineSeconds)
+            ++_stream.deadlineMet;
+        const double vals[kStreamMetricCount] = {
+            rec.ttftSeconds(), rec.tpotSeconds(), latency,
+            rec.queueingSeconds(), rec.stallSeconds};
+        for (int m = 0; m < kStreamMetricCount; ++m) {
+            _stream.sums[m] += vals[m];
+            _stream.p50[m].add(vals[m]);
+            _stream.p95[m].add(vals[m]);
+            _stream.p99[m].add(vals[m]);
+        }
+        if (_records.size() >= _options.recordCapacity) {
+            _stream.overflowed = true;
+            return; // bounded memory: drop the per-request record
+        }
+    }
+    _latencies.push_back(latency);
     _records.push_back(rec);
+}
+
+void
+ServingSim::publishPrefix(std::size_t i)
+{
+    // Decode-pool replicas never see fresh admissions, so nothing
+    // ever probes a prefix they publish - skip the pool pressure.
+    if (!_prefixOn || _batch.insertKey[i] == 0 ||
+        _role == ServingRole::Decode)
+        return;
+    const std::uint32_t span = _batch.insertTokens[i];
+    const std::uint32_t ctx = _batch.contextLen(i);
+    const std::uint64_t tok =
+        span > 0 ? std::min(span, ctx) : ctx;
+    _kv.prefixInsert(_batch.insertKey[i], tok);
+}
+
+std::uint32_t
+ServingSim::probePrefixHitTokens(const llm::TimedRequest &tr) const
+{
+    const llm::Request &req = tr.request;
+    if (!_prefixOn || req.prefixKey == 0)
+        return 0;
+    return static_cast<std::uint32_t>(_kv.peekPrefixHit(
+        req.prefixKey, std::min(req.prefixTokens, req.inputLen)));
 }
 
 double
@@ -994,8 +1147,10 @@ ServingSim::advanceAndRetire(std::uint32_t accepted, bool release_kv)
         for (std::size_t r = 0; r < n; ++r) {
             if (gen[r] >= out[r]) {
                 recordRetirementAt(r);
-                if (release_kv)
+                if (release_kv) {
                     _kv.release(_batch.id[r]);
+                    publishPrefix(r);
+                }
             } else {
                 _batch.moveTo(w, r);
                 ++w;
@@ -1278,6 +1433,7 @@ ServingSim::stepDecodeChunked()
         if (_batch.generated[r] >= _batch.outputLen[r]) {
             recordRetirementAt(r);
             _kv.release(_batch.id[r]);
+            publishPrefix(r);
         } else {
             _batch.moveTo(w, r);
             ++w;
@@ -1390,11 +1546,15 @@ ServingSim::preemptYoungest()
 void
 ServingSim::ensureKvHeadroom()
 {
+    // availableBlocks() counts cached-prefix blocks as reclaimable
+    // headroom: eviction happens lazily inside KvCacheManager's
+    // growth path, so the cache is always sacrificed before any
+    // live request is preempted (evict-before-preempt).
     while (_batch.size() > 1 &&
-           worstGrowthBlocks() > _kv.freeBlocks())
+           worstGrowthBlocks() > _kv.availableBlocks())
         preemptYoungest();
     if (!_batch.empty() &&
-        worstGrowthBlocks() > _kv.freeBlocks())
+        worstGrowthBlocks() > _kv.availableBlocks())
         sim::fatal("ServingSim: KV pool cannot hold even a single "
                    "request's next-iteration growth (request ",
                    _batch.id.front(),
@@ -1421,8 +1581,18 @@ ServingSim::finish()
     _out.meanRlp = _busySeconds > 0.0
                        ? _rlpTimeIntegral / _busySeconds
                        : 0.0;
+    _out.prefixEvictedBytes = _kv.prefixEvictedBytes();
 
-    if (!_latencies.empty()) {
+    if (_bounded && _stream.overflowed) {
+        // The record buffer capped out: the retained latencies are a
+        // prefix of the run, so summary stats come from the exact
+        // streaming sums and the P-square estimator instead.
+        _out.meanLatencySeconds =
+            _stream.sums[kStreamLatency] /
+            static_cast<double>(_stream.count);
+        _out.p95LatencySeconds =
+            _stream.p95[kStreamLatency].value();
+    } else if (!_latencies.empty()) {
         double sum = 0.0;
         for (double l : _latencies)
             sum += l;

@@ -51,6 +51,7 @@
 
 #include "core/batch_state.hh"
 #include "core/dispatch_policy.hh"
+#include "core/p2_quantile.hh"
 #include "core/platform.hh"
 #include "llm/arrival.hh"
 #include "llm/kv_cache.hh"
@@ -185,6 +186,35 @@ struct ServingOptions
      * ~1 MB per simulator; long-episode benches raise it.
      */
     std::uint32_t planMemoSlots = 8192;
+    /**
+     * Shared prefix caching (llm::KvCacheManager's prefix layer):
+     * when true, a fresh request whose prefixKey matches a cached
+     * entry skips the prefill cost of the cached whole-block span
+     * (chunked prefill starts at the first uncached token; the
+     * non-chunked path charges only the uncached suffix as an
+     * incremental chunk), and retiring requests publish their final
+     * context under their insertKey. The request still allocates
+     * its FULL private KV footprint - only prefill COMPUTE is
+     * skipped - so admission gating and growth arithmetic are
+     * unchanged. Cached blocks are reclaimed LRU-first under KV
+     * pressure, before any preemption (evict-before-preempt). When
+     * false (default), every run is byte-identical to the
+     * pre-prefix-cache engine (pinned).
+     */
+    bool prefixCacheEnabled = false;
+    /**
+     * Bounded-memory metrics: when non-zero, at most this many
+     * RequestRecords (and latency samples) are retained; the
+     * retirement path additionally folds every request into exact
+     * streaming sums and P-square percentile estimators (see
+     * ServingStreamStats). While the record count stays below the
+     * cap, finish() and records() are byte-identical to the
+     * unbounded run; past the cap, records() is a truncated prefix
+     * sample and aggregate percentiles come from the estimators.
+     * 0 (default) retains everything, bit-identical to the
+     * pre-capacity engine.
+     */
+    std::uint64_t recordCapacity = 0;
 };
 
 /** Per-component time/energy accumulation of one run. */
@@ -270,6 +300,20 @@ struct ServingResult
     /** Queued requests shed because their TTFT deadline passed
      *  before admission (ServingOptions::deadlineSeconds). */
     std::uint64_t shedRequests = 0;
+    /** Prefix-cache probes at admission (keyed fresh requests;
+     *  ServingOptions::prefixCacheEnabled). */
+    std::uint64_t prefixLookups = 0;
+    /** Probes that found a non-empty cached whole-block span. */
+    std::uint64_t prefixHits = 0;
+    /** Prompt tokens whose prefill cost was skipped by hits. The
+     *  per-run ledger prefixHitTokens + prefixMissTokens == total
+     *  admitted fresh prompt tokens is pinned by a test. */
+    std::uint64_t prefixHitTokens = 0;
+    /** Prompt tokens prefilled at full cost (the miss side). */
+    std::uint64_t prefixMissTokens = 0;
+    /** Bytes of cached prefix blocks reclaimed under KV pressure
+     *  (llm::KvCacheManager::prefixEvictedBytes at finish). */
+    std::uint64_t prefixEvictedBytes = 0;
     /**
      * Request ids in eviction order - the determinism witness for
      * KV-pressure runs (two fixed-seed runs must produce identical
@@ -362,6 +406,12 @@ struct RequestRecord
     std::uint32_t preemptions = 0;
     /** Total seconds spent evicted (preempt to re-admission). */
     double stallSeconds = 0.0;
+    /** Prompt tokens covered by a prefix-cache hit at admission
+     *  (prefill cost skipped). */
+    std::uint32_t prefixHitTokens = 0;
+    /** Prompt tokens prefilled at full cost; hit + miss ==
+     *  inputLen by construction (the ledger pin). */
+    std::uint32_t prefixMissTokens = 0;
 
     /** Queueing delay: arrival to admission decision. */
     double
@@ -433,6 +483,55 @@ struct LostRequest
     std::uint32_t generatedLost = 0;
     /** Prompt tokens that had been prefilled and are now lost. */
     std::uint32_t prefillLostTokens = 0;
+};
+
+/** Metric order of ServingStreamStats' per-metric arrays. */
+enum StreamMetric : int
+{
+    kStreamTtft = 0,   ///< Arrival to first token.
+    kStreamTpot,       ///< Per-token decode interval.
+    kStreamLatency,    ///< Arrival to completion.
+    kStreamQueueing,   ///< Arrival to admission.
+    kStreamStall,      ///< Seconds spent evicted.
+    kStreamMetricCount ///< Array length, not a metric.
+};
+
+/**
+ * Exact counters/sums plus P-square percentile estimators folded at
+ * every retirement when ServingOptions::recordCapacity is set - the
+ * bounded-memory replacement for per-request RequestRecords on
+ * million-request streams. Updated in retirement (simulation) order,
+ * so the values are byte-identical for any cluster worker count.
+ * While @ref overflowed is false the full records still exist and
+ * aggregation uses them (bit-identical to the unbounded run); these
+ * figures take over only past the cap.
+ */
+struct ServingStreamStats
+{
+    /** recordCapacity was exceeded: records() is truncated and
+     *  aggregates must come from this struct. */
+    bool overflowed = false;
+    /** Requests retired (ALL of them, not just the recorded). */
+    std::uint64_t count = 0;
+    /** Output tokens of retired requests (goodput numerator). */
+    std::uint64_t outputTokens = 0;
+    /** Retired requests whose TTFT met the configured deadline
+     *  (only meaningful when deadlineSeconds > 0). */
+    std::uint64_t deadlineMet = 0;
+    /** Exact per-metric sums, indexed by StreamMetric. */
+    double sums[kStreamMetricCount] = {};
+    /** P-square p50 estimators, indexed by StreamMetric. */
+    P2Quantile p50[kStreamMetricCount] = {
+        P2Quantile(0.50), P2Quantile(0.50), P2Quantile(0.50),
+        P2Quantile(0.50), P2Quantile(0.50)};
+    /** P-square p95 estimators, indexed by StreamMetric. */
+    P2Quantile p95[kStreamMetricCount] = {
+        P2Quantile(0.95), P2Quantile(0.95), P2Quantile(0.95),
+        P2Quantile(0.95), P2Quantile(0.95)};
+    /** P-square p99 estimators, indexed by StreamMetric. */
+    P2Quantile p99[kStreamMetricCount] = {
+        P2Quantile(0.99), P2Quantile(0.99), P2Quantile(0.99),
+        P2Quantile(0.99), P2Quantile(0.99)};
 };
 
 /**
@@ -609,11 +708,35 @@ class ServingSim
     /** Finalize and return the aggregate result. */
     ServingResult finish();
 
-    /** Timelines of all retired requests, in completion order. */
+    /** Timelines of retired requests, in completion order. With
+     *  ServingOptions::recordCapacity set this is truncated to the
+     *  first capacity retirements once the cap is exceeded (see
+     *  streamStats().overflowed). */
     const std::vector<RequestRecord> &records() const
     {
         return _records;
     }
+
+    /** Requests retired in total, counted even past the record cap
+     *  (== records().size() when nothing was truncated). */
+    std::uint64_t
+    servedCount() const
+    {
+        return _bounded ? _stream.count : _records.size();
+    }
+
+    /** Bounded-memory aggregates (recordCapacity mode; zeroed and
+     *  never overflowed when the cap is unset). */
+    const ServingStreamStats &streamStats() const { return _stream; }
+
+    /**
+     * Whole-block prompt tokens @p request would hit in this
+     * replica's prefix cache right now - a pure probe (no LRU
+     * touch, no state change) for cache-hit-aware routing. 0 when
+     * prefix caching is off or the request carries no prefixKey.
+     */
+    std::uint32_t
+    probePrefixHitTokens(const llm::TimedRequest &request) const;
 
     /** Seconds spent computing (prefill + decode), for utilization. */
     double busySeconds() const { return _busySeconds; }
@@ -732,6 +855,12 @@ class ServingSim
      *  decode paths; caller releases KV and compacts). */
     void recordRetirementAt(std::size_t i);
 
+    /** Publish batch element @p i's reusable span into the prefix
+     *  cache at retirement/handoff (no-op when the cache is off,
+     *  the request carries no insertKey, or this is a decode-pool
+     *  replica - nothing ever probes a decode-side insert). */
+    void publishPrefix(std::size_t i);
+
     /** Legacy (non-chunked) decode iteration; the pre-refactor body
      *  of stepDecode(), bit-identical. */
     void stepDecodeLegacy();
@@ -831,6 +960,10 @@ class ServingSim
 
     bool _chunked = false;  ///< prefillChunkTokens > 0.
     bool _preempt = false;  ///< preemptOnKvPressure.
+    bool _prefixOn = false; ///< prefixCacheEnabled.
+    bool _bounded = false;  ///< recordCapacity > 0.
+    /** Bounded-memory aggregates (updated iff _bounded). */
+    ServingStreamStats _stream;
     std::uint64_t _admitSeqNext = 0; ///< Admission sequence counter.
 
     double _now = 0.0;
@@ -853,6 +986,11 @@ class ServingSim
 
     // Reused across iterations; refilled in place.
     mutable std::vector<std::uint32_t> _prefillLens;
+    /** Prefix-hit admissions' incremental-prefill inputs (prior =
+     *  cached hit span, now = uncached suffix), charged via
+     *  prefillChunkExec next to the zero-hit wave's prefillExec. */
+    std::vector<std::uint32_t> _hitPrior;
+    std::vector<std::uint32_t> _hitNow;
     mutable std::vector<std::uint32_t> _ctx;
     mutable std::vector<std::uint32_t> _chunkPlan;
     mutable std::vector<std::uint32_t> _chunkPrior;

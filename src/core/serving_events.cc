@@ -1,6 +1,7 @@
 #include "core/serving_events.hh"
 
 #include <algorithm>
+#include <memory>
 
 #include "sim/logging.hh"
 
@@ -399,6 +400,75 @@ ServingEventDriver::runStream(
     checkDrained();
     _preRouted.clear();
     _preRouted.shrink_to_fit();
+}
+
+void
+ServingEventDriver::runStreamGenerated(
+    const std::function<llm::TimedRequest()> &next,
+    std::uint64_t count, const RouteFn &route)
+{
+    if (!next)
+        sim::fatal("ServingEventDriver: no arrival generator");
+    if (!route)
+        sim::fatal("ServingEventDriver: no routing function");
+    if (count == 0)
+        sim::fatal("ServingEventDriver: empty generated stream");
+    _streamed = true;
+    _undelivered = count;
+
+    // One-arrival lookahead: the head is the next burst's first
+    // arrival; each burst event delivers the head plus every
+    // same-timestamp follower (pulling as it goes), then schedules
+    // the next burst at the new head's timestamp. Chained global
+    // events keep arrivals as window barriers, so dynamic routing
+    // observes exactly the serial-order loads - and only one
+    // undelivered arrival ever exists in memory.
+    struct GenState
+    {
+        llm::TimedRequest head;
+        bool headValid = false;
+        std::uint64_t pullsLeft = 0;
+    };
+    auto st = std::make_shared<GenState>();
+    st->pullsLeft = count;
+    st->head = next();
+    st->headValid = true;
+    --st->pullsLeft;
+
+    auto burst = std::make_shared<std::function<void()>>();
+    *burst = [this, st, &next, &route, burst] {
+        const double t = st->head.arrivalSeconds;
+        for (;;) {
+            const llm::TimedRequest r = st->head;
+            st->headValid = false;
+            const std::uint32_t g = route(r);
+            if (g >= _sims.size())
+                sim::fatal("ServingEventDriver: route returned "
+                           "replica ", g, " of ", _sims.size());
+            _sims[g]->deliver(r);
+            --_undelivered;
+            if (st->pullsLeft == 0)
+                break;
+            st->head = next();
+            st->headValid = true;
+            --st->pullsLeft;
+            if (st->head.arrivalSeconds < t)
+                sim::fatal("ServingEventDriver: generated arrivals "
+                           "must be sorted (", st->head.arrivalSeconds,
+                           " after ", t, ")");
+            if (st->head.arrivalSeconds != t)
+                break; // next burst starts later
+        }
+        if (st->headValid)
+            scheduleGlobal(st->head.arrivalSeconds, kArrivalPriority,
+                           [burst] { (*burst)(); });
+        pokeIdleReplicas();
+    };
+    scheduleGlobal(st->head.arrivalSeconds, kArrivalPriority,
+                   [burst] { (*burst)(); });
+    runQueues();
+    *burst = nullptr; // break the self-capture cycle
+    checkDrained();
 }
 
 void

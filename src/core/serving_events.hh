@@ -175,6 +175,24 @@ class ServingEventDriver
                    const RouteFn &route);
 
     /**
+     * Serve @p count arrivals pulled one at a time from @p next -
+     * the constant-memory streaming path: the driver holds at most
+     * a one-arrival lookahead instead of the materialized stream, so
+     * a million-request run costs the same driver memory as a
+     * ten-request run. Same-timestamp arrivals are grouped into one
+     * delivery burst exactly as runStream groups them (the pulled
+     * lookahead decides burst membership), so a generator emitting
+     * the same sequence as a materialized vector produces a
+     * byte-identical run. Pulled arrivals must be non-decreasing in
+     * time (fatal otherwise); @p count must be >= 1. Never takes the
+     * pre-routed fast path: the pull itself is inherently
+     * sequential, so arrivals stay global (barrier) events.
+     */
+    void
+    runStreamGenerated(const std::function<llm::TimedRequest()> &next,
+                       std::uint64_t count, const RouteFn &route);
+
+    /**
      * Drive replicas whose pending queues were filled up front
      * (no arrival events; admission sees the full stream, which is
      * what the batch-level fill rule's lookahead semantics and the

@@ -1,16 +1,149 @@
 #include "llm/arrival.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace papi::llm {
+namespace {
+
+/** splitmix64 finalizer: cheap, well-mixed 64-bit hash. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Cache key of session @p session's context after turn @p turn.
+ * Pure hashing - no RNG draws - so stamping prefix identity never
+ * perturbs length or interarrival streams. Never returns 0 (the
+ * "no prefix" sentinel in llm::Request).
+ */
+std::uint64_t
+chainKey(std::uint64_t seed, std::uint64_t session, std::uint64_t turn)
+{
+    std::uint64_t k =
+        mix64(mix64(seed ^ 0x853c49e6748fea9bULL) ^
+              mix64(session * 0x9e3779b97f4a7c15ULL + turn));
+    return k == 0 ? 1 : k;
+}
+
+} // namespace
 
 ArrivalProcess::ArrivalProcess(TraceCategory category, double rate_rps,
                                std::uint64_t seed)
-    : _lengths(category, seed), _rng(seed ^ 0x9e3779b97f4a7c15ULL),
-      _rateRps(rate_rps)
+    : _category(category), _lengths(category, seed),
+      _rng(seed ^ 0x9e3779b97f4a7c15ULL), _rateRps(rate_rps),
+      _seed(seed)
 {
     if (!(rate_rps > 0.0))
         sim::fatal("ArrivalProcess: rate must be positive");
+}
+
+ArrivalProcess::SessionSlot &
+ArrivalProcess::takeTurnSlot(std::uint32_t turns_per_session)
+{
+    if (_sessions.empty()) {
+        const std::uint32_t active =
+            _category == TraceCategory::AgenticLoop
+                ? kAgenticActiveSessions
+                : kRagActiveSessions;
+        _sessions.resize(active);
+    }
+    SessionSlot &s = _sessions[_cursor];
+    _cursor = (_cursor + 1) % _sessions.size();
+    if (s.sessionId == 0 || s.turnsDone >= turns_per_session) {
+        // Slot's session is complete: a fresh user takes its place.
+        s = SessionSlot{};
+        s.sessionId = _nextSessionId++;
+        s.docKey = chainKey(_seed ^ 0xd6e8feb86659fd93ULL,
+                            s.sessionId, 0);
+        const std::uint64_t span = kRagDocMax - kRagDocMin + 1;
+        s.docLen = kRagDocMin + static_cast<std::uint32_t>(
+            mix64(_seed ^ (s.sessionId * 0x2545f4914f6cdd1dULL)) %
+            span);
+    }
+    return s;
+}
+
+void
+ArrivalProcess::composeStructured(Request &r,
+                                  std::uint64_t &session_out)
+{
+    const std::uint32_t max_len = _lengths.params().maxLen;
+    if (_category == TraceCategory::SharedQa) {
+        // Single-turn requests behind one deployment-wide system
+        // prompt: one hot cache entry every request both hits and
+        // refreshes.
+        const std::uint64_t key =
+            chainKey(_seed, 0, 0x5a4edU);
+        r.inputLen = std::min(max_len,
+                              r.inputLen + kSharedPromptTokens);
+        r.prefixKey = key;
+        r.prefixTokens = std::min(kSharedPromptTokens, r.inputLen);
+        r.insertKey = key;
+        r.insertTokens = r.prefixTokens;
+        session_out = r.id + 1;
+        return;
+    }
+    const bool agentic = _category == TraceCategory::AgenticLoop;
+    SessionSlot &s = takeTurnSlot(agentic ? kAgenticTurns : kRagTurns);
+    session_out = s.sessionId;
+    if (agentic) {
+        // Turn t's prompt = the session's entire context after turn
+        // t-1 (cached under chainKey(t-1)) + this turn's sampled
+        // increment; completing the turn caches the grown context
+        // under chainKey(t) for turn t+1.
+        const std::uint32_t turn = s.turnsDone;
+        if (turn == 0) {
+            r.inputLen = std::min(max_len,
+                                  kAgenticSeedContext + r.inputLen);
+        } else {
+            r.prefixKey = chainKey(_seed, s.sessionId, turn - 1);
+            r.inputLen = std::min(max_len, s.contextLen + r.inputLen);
+            r.prefixTokens = std::min(s.contextLen, r.inputLen);
+        }
+        r.insertKey = chainKey(_seed, s.sessionId, turn);
+        r.insertTokens = 0; // cache the full final context
+        s.contextLen = std::min(max_len, r.inputLen + r.outputLen);
+    } else {
+        // LongContextRag: every question of the session restates the
+        // same retrieved document, then diverges; only the document
+        // span is reusable, and each turn re-caches exactly it.
+        r.inputLen = std::min(max_len, s.docLen + r.inputLen);
+        r.prefixKey = s.docKey;
+        r.prefixTokens = std::min(s.docLen, r.inputLen);
+        r.insertKey = s.docKey;
+        r.insertTokens = r.prefixTokens;
+    }
+    ++s.turnsDone;
+}
+
+TimedRequest
+ArrivalProcess::next()
+{
+    Request r = _lengths.next();
+    _clock += _rng.exponential(1.0 / _rateRps);
+    TimedRequest t;
+    t.arrivalSeconds = _clock;
+    switch (_category) {
+      case TraceCategory::AgenticLoop:
+      case TraceCategory::LongContextRag:
+      case TraceCategory::SharedQa:
+        composeStructured(r, t.sessionId);
+        break;
+      default:
+        // 1-based: sessionId 0 is the "unset" sentinel (a router's
+        // session-affinity mode falls back to round-robin for it).
+        t.sessionId = r.id + 1;
+        break;
+    }
+    t.request = r;
+    return t;
 }
 
 std::vector<TimedRequest>
@@ -18,32 +151,46 @@ ArrivalProcess::generate(std::uint32_t count)
 {
     std::vector<TimedRequest> out;
     out.reserve(count);
-    std::vector<Request> reqs = _lengths.generate(count);
-    for (auto &r : reqs) {
-        _clock += _rng.exponential(1.0 / _rateRps);
-        TimedRequest t;
-        t.request = r;
-        t.arrivalSeconds = _clock;
-        // 1-based: sessionId 0 is the "unset" sentinel (a router's
-        // session-affinity mode falls back to round-robin for it).
-        t.sessionId = r.id + 1;
-        out.push_back(t);
-    }
+    for (std::uint32_t i = 0; i < count; ++i)
+        out.push_back(next());
     return out;
 }
 
 void
 assignSessions(std::vector<TimedRequest> &stream,
-               std::uint32_t num_sessions, std::uint64_t seed)
+               std::uint32_t num_sessions, std::uint64_t seed,
+               std::uint32_t turns_per_session)
 {
     if (num_sessions == 0)
         sim::fatal("assignSessions: num_sessions must be >= 1");
-    // A dedicated RNG keeps the arrival process itself untouched.
-    // Ids are 1-based: 0 is the "unset session" sentinel.
-    sim::Rng rng(seed ^ 0xa24baed4963ee407ULL);
-    for (auto &t : stream)
-        t.sessionId = 1 + static_cast<std::uint64_t>(
-            rng.uniformInt(0, static_cast<std::int64_t>(num_sessions) - 1));
+    if (turns_per_session == 0) {
+        // A dedicated RNG keeps the arrival process itself untouched.
+        // Ids are 1-based: 0 is the "unset session" sentinel.
+        sim::Rng rng(seed ^ 0xa24baed4963ee407ULL);
+        for (auto &t : stream)
+            t.sessionId = 1 + static_cast<std::uint64_t>(
+                rng.uniformInt(
+                    0, static_cast<std::int64_t>(num_sessions) - 1));
+        return;
+    }
+    // Structured mode: deal the stream round-robin across
+    // num_sessions live slots; a slot retires after
+    // turns_per_session requests and is reseeded with a fresh
+    // 1-based id. Consumes no randomness.
+    std::vector<std::uint64_t> slot_id(num_sessions, 0);
+    std::vector<std::uint32_t> slot_turns(num_sessions, 0);
+    std::uint64_t next_id = 1;
+    std::size_t cursor = 0;
+    for (auto &t : stream) {
+        if (slot_id[cursor] == 0 ||
+            slot_turns[cursor] >= turns_per_session) {
+            slot_id[cursor] = next_id++;
+            slot_turns[cursor] = 0;
+        }
+        t.sessionId = slot_id[cursor];
+        ++slot_turns[cursor];
+        cursor = (cursor + 1) % num_sessions;
+    }
 }
 
 } // namespace papi::llm

@@ -35,7 +35,10 @@ KvCacheManager::blocksForTokens(std::uint64_t tokens) const
 bool
 KvCacheManager::canAdmit(std::uint64_t max_tokens) const
 {
-    return blocksForTokens(max_tokens) <= freeBlocks();
+    // Cached prefix blocks are reclaimable (evicted before any
+    // request is preempted), so they count as admission headroom.
+    // With the cache empty this is exactly the pre-cache check.
+    return blocksForTokens(max_tokens) <= availableBlocks();
 }
 
 KvCacheManager::RequestState &
@@ -144,10 +147,17 @@ KvCacheManager::growState(std::uint64_t id, RequestState &state,
                    ")");
     const std::uint64_t need = blocksForTokens(new_tokens);
     if (need > state.blocks) {
-        if (need - state.blocks > freeBlocks())
+        const std::uint64_t add = need - state.blocks;
+        // Cached prefixes are evict-before-preempt victims: drain
+        // the LRU before declaring the pool exhausted. No-op (and
+        // integer-identical to the pre-cache path) when the cache
+        // is empty.
+        if (add > freeBlocks())
+            reclaimPrefixBlocks(add);
+        if (add > freeBlocks())
             sim::fatal("KvCacheManager: pool exhausted growing "
                        "request ", id);
-        allocBlocks(state, need - state.blocks);
+        allocBlocks(state, add);
     }
     state.tokens = new_tokens;
     return state.blocks;
@@ -249,6 +259,153 @@ KvCacheManager::release(std::uint64_t id)
     _requests.erase(it);
 }
 
+void
+KvCacheManager::lruUnlink(std::uint32_t slot)
+{
+    PrefixEntry &e = _prefixSlots[slot];
+    if (e.lruPrev != kNoEntry)
+        _prefixSlots[e.lruPrev].lruNext = e.lruNext;
+    else
+        _lruHead = e.lruNext;
+    if (e.lruNext != kNoEntry)
+        _prefixSlots[e.lruNext].lruPrev = e.lruPrev;
+    else
+        _lruTail = e.lruPrev;
+    e.lruPrev = kNoEntry;
+    e.lruNext = kNoEntry;
+}
+
+void
+KvCacheManager::lruPushFront(std::uint32_t slot)
+{
+    PrefixEntry &e = _prefixSlots[slot];
+    e.lruPrev = kNoEntry;
+    e.lruNext = _lruHead;
+    if (_lruHead != kNoEntry)
+        _prefixSlots[_lruHead].lruPrev = slot;
+    _lruHead = slot;
+    if (_lruTail == kNoEntry)
+        _lruTail = slot;
+}
+
+void
+KvCacheManager::evictPrefixSlot(std::uint32_t slot)
+{
+    PrefixEntry &e = _prefixSlots[slot];
+    lruUnlink(slot);
+    RequestState &state = e.state;
+    for (std::uint32_t d = 0; d < _usedPerDevice.size(); ++d) {
+        if (state.perDevice[d] > _usedPerDevice[d])
+            sim::panic("KvCacheManager: prefix accounting "
+                       "underflow");
+        _usedPerDevice[d] -= state.perDevice[d];
+    }
+    _usedTotal -= state.blocks;
+    _cachedBlocks -= state.blocks;
+    _prefixEvictedBytes += state.blocks * _blockBytes;
+    _prefixIndex.erase(e.key);
+    e.key = 0;
+    state.tokens = 0;
+    state.blocks = 0;
+    _freePrefixSlots.push_back(slot);
+}
+
+std::uint64_t
+KvCacheManager::reclaimPrefixBlocks(std::uint64_t need)
+{
+    std::uint64_t reclaimed = 0;
+    while (freeBlocks() < need && _lruTail != kNoEntry) {
+        reclaimed += _prefixSlots[_lruTail].state.blocks;
+        evictPrefixSlot(_lruTail);
+    }
+    return reclaimed;
+}
+
+std::uint64_t
+KvCacheManager::peekPrefixHit(std::uint64_t key,
+                              std::uint64_t max_tokens) const
+{
+    if (!_prefixEnabled || key == 0)
+        return 0;
+    auto it = _prefixIndex.find(key);
+    if (it == _prefixIndex.end())
+        return 0;
+    const std::uint64_t span = _prefixSlots[it->second].state.tokens;
+    const std::uint64_t hit = span < max_tokens ? span : max_tokens;
+    // Whole cached blocks only: a partial tail block still has to
+    // be recomputed, so it does not count as a hit.
+    return hit - hit % _blockTokens;
+}
+
+std::uint64_t
+KvCacheManager::prefixLookup(std::uint64_t key,
+                             std::uint64_t max_tokens)
+{
+    const std::uint64_t hit = peekPrefixHit(key, max_tokens);
+    if (hit == 0)
+        return 0;
+    const std::uint32_t slot = _prefixIndex.find(key)->second;
+    lruUnlink(slot);
+    lruPushFront(slot);
+    return hit;
+}
+
+void
+KvCacheManager::prefixInsert(std::uint64_t key, std::uint64_t tokens)
+{
+    if (!_prefixEnabled || key == 0 || tokens == 0)
+        return;
+    auto it = _prefixIndex.find(key);
+    if (it != _prefixIndex.end()) {
+        // Refresh an existing entry: move to the MRU end and extend
+        // the cached span if it grew. Unlinking first keeps the
+        // entry itself out of any reclaim the extension triggers.
+        const std::uint32_t slot = it->second;
+        PrefixEntry &e = _prefixSlots[slot];
+        lruUnlink(slot);
+        if (tokens > e.state.tokens) {
+            const std::uint64_t need = blocksForTokens(tokens);
+            if (need > e.state.blocks) {
+                const std::uint64_t add = need - e.state.blocks;
+                if (add > freeBlocks())
+                    reclaimPrefixBlocks(add);
+                if (add <= freeBlocks()) {
+                    allocBlocks(e.state, add);
+                    _cachedBlocks += add;
+                    e.state.tokens = tokens;
+                }
+                // Else keep the shorter cached span.
+            } else {
+                e.state.tokens = tokens;
+            }
+        }
+        lruPushFront(slot);
+        return;
+    }
+    const std::uint64_t need = blocksForTokens(tokens);
+    if (need > freeBlocks())
+        reclaimPrefixBlocks(need);
+    if (need > freeBlocks())
+        return; // Pool too hot to cache; drop the insert.
+    std::uint32_t slot;
+    if (!_freePrefixSlots.empty()) {
+        slot = _freePrefixSlots.back();
+        _freePrefixSlots.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(_prefixSlots.size());
+        _prefixSlots.emplace_back();
+    }
+    PrefixEntry &e = _prefixSlots[slot];
+    e.key = key;
+    e.state.tokens = tokens;
+    e.state.blocks = 0;
+    e.state.perDevice.assign(_usedPerDevice.size(), 0);
+    allocBlocks(e.state, need);
+    _cachedBlocks += need;
+    _prefixIndex.emplace(key, slot);
+    lruPushFront(slot);
+}
+
 KvOccupancy
 KvCacheManager::occupancy() const
 {
@@ -256,6 +413,7 @@ KvCacheManager::occupancy() const
     out.totalBlocks = _blocksPerDevice * _usedPerDevice.size();
     out.usedBlocks = _usedTotal;
     out.requests = _requests.size();
+    out.cachedBlocks = _cachedBlocks;
     if (out.usedBlocks > 0) {
         std::uint64_t max_used =
             *std::max_element(_usedPerDevice.begin(),

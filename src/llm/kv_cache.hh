@@ -24,6 +24,21 @@
  * used-block totals are maintained incrementally so freeBlocks() /
  * canAdmit() / utilization() are O(1) - these run inside the serving
  * simulator's per-iteration admission gate.
+ *
+ * On top of the per-request pools sits an optional shared prefix
+ * cache (off by default; setPrefixCacheEnabled). Entries are
+ * block-granular KV spans keyed by a caller-chosen 64-bit identity
+ * (llm::Request::prefixKey) and held in an LRU list. Cached blocks
+ * come from the same per-device pools as live requests, but they
+ * are *reclaimable*: canAdmit() counts them as available headroom,
+ * and growState() evicts LRU entries before declaring the pool
+ * exhausted - cached prefixes are strictly evict-before-preempt
+ * victims, so enabling the cache can never preempt a request the
+ * uncached pool would have served. A lookup hit is block-aligned
+ * down (whole cached blocks only), which keeps the "disaggregated
+ * handoff shrinks by exactly the hit blocks" ledger exact. With the
+ * cache disabled (or simply never inserted into) every code path
+ * is integer-identical to the pre-cache manager.
  */
 
 #ifndef PAPI_LLM_KV_CACHE_HH
@@ -44,6 +59,9 @@ struct KvOccupancy
     std::uint64_t totalBlocks = 0;
     std::uint64_t usedBlocks = 0;
     std::uint64_t requests = 0;
+    /** Of usedBlocks, blocks held by shared-prefix cache entries
+     *  (reclaimable under pressure). */
+    std::uint64_t cachedBlocks = 0;
     /** Max/mean used blocks across devices (balance quality). */
     double deviceImbalance = 1.0;
 
@@ -217,6 +235,74 @@ class KvCacheManager
         return _usedPerDevice;
     }
 
+    // ---- shared prefix cache (see file comment) ----
+
+    /** Enable/disable the shared prefix cache. Disabled (the
+     *  default), lookups miss and inserts are dropped, and the
+     *  manager is integer-identical to the pre-cache code. */
+    void setPrefixCacheEnabled(bool on) { _prefixEnabled = on; }
+
+    /** True if the shared prefix cache is enabled. */
+    bool prefixCacheEnabled() const { return _prefixEnabled; }
+
+    /**
+     * Look up cached KV under @p key for a prompt of
+     * @p max_tokens tokens and mark the entry most-recently-used.
+     * @return Reusable leading tokens: min(cached span, max_tokens)
+     *         aligned *down* to a block boundary (whole cached
+     *         blocks only); 0 on miss or when disabled.
+     */
+    std::uint64_t prefixLookup(std::uint64_t key,
+                               std::uint64_t max_tokens);
+
+    /** prefixLookup() without the LRU touch - the side-effect-free
+     *  probe cache-hit-aware routers call on every candidate
+     *  replica. */
+    std::uint64_t peekPrefixHit(std::uint64_t key,
+                                std::uint64_t max_tokens) const;
+
+    /**
+     * Cache @p tokens tokens of KV under @p key (at request
+     * completion / handoff). Best-effort: LRU entries are evicted
+     * to make room, but live requests are never disturbed - if the
+     * pool is too hot even after evicting every other entry, the
+     * insert is dropped. Re-inserting an existing key refreshes its
+     * LRU position and extends the cached span if @p tokens grew.
+     * No-op when disabled, @p key is 0, or @p tokens is 0.
+     */
+    void prefixInsert(std::uint64_t key, std::uint64_t tokens);
+
+    /** Blocks currently held by prefix-cache entries; O(1). */
+    std::uint64_t cachedBlocks() const { return _cachedBlocks; }
+
+    /** Blocks obtainable without preempting a request: free blocks
+     *  plus reclaimable cached blocks; O(1). The admission /
+     *  headroom checks of a prefix-cache-aware engine compare
+     *  against this instead of freeBlocks(). */
+    std::uint64_t
+    availableBlocks() const
+    {
+        return freeBlocks() + _cachedBlocks;
+    }
+
+    /**
+     * Evict LRU prefix entries until freeBlocks() >= @p need (or
+     * the cache is empty). The evict-before-preempt hook: engines
+     * call this before choosing a preemption victim.
+     * @return Blocks reclaimed.
+     */
+    std::uint64_t reclaimPrefixBlocks(std::uint64_t need);
+
+    /** Live prefix-cache entries. */
+    std::uint64_t prefixEntries() const { return _prefixIndex.size(); }
+
+    /** Cumulative bytes evicted from the prefix cache (LRU +
+     *  pressure reclaim) over the manager's lifetime. */
+    std::uint64_t prefixEvictedBytes() const
+    {
+        return _prefixEvictedBytes;
+    }
+
   private:
     struct RequestState
     {
@@ -238,6 +324,25 @@ class KvCacheManager
     std::uint64_t growState(std::uint64_t id, RequestState &state,
                             std::uint64_t new_tokens);
 
+    /** "No entry" sentinel for the prefix-cache LRU links. */
+    static constexpr std::uint32_t kNoEntry = 0xffffffffu;
+
+    /** One shared-prefix cache entry (intrusive LRU links). */
+    struct PrefixEntry
+    {
+        std::uint64_t key = 0;
+        RequestState state;
+        std::uint32_t lruPrev = kNoEntry;
+        std::uint32_t lruNext = kNoEntry;
+    };
+
+    /** Remove @p slot from the LRU list. */
+    void lruUnlink(std::uint32_t slot);
+    /** Insert @p slot at the most-recently-used end. */
+    void lruPushFront(std::uint32_t slot);
+    /** Return @p slot's blocks to the pool and retire the entry. */
+    void evictPrefixSlot(std::uint32_t slot);
+
     std::uint64_t _blockBytes;
     std::uint32_t _blockTokens;
     std::uint64_t _blocksPerDevice;
@@ -249,6 +354,18 @@ class KvCacheManager
      *  so a steady-state admit/release cycle does not allocate. */
     std::vector<RequestState> _slots;
     std::vector<std::uint32_t> _freeSlots;
+
+    // ---- shared prefix cache ----
+    bool _prefixEnabled = false;
+    std::uint64_t _cachedBlocks = 0;
+    std::uint64_t _prefixEvictedBytes = 0;
+    /** prefix key -> slot index into _prefixSlots. */
+    std::unordered_map<std::uint64_t, std::uint32_t> _prefixIndex;
+    /** Entry pool (per-device vectors retained across occupants). */
+    std::vector<PrefixEntry> _prefixSlots;
+    std::vector<std::uint32_t> _freePrefixSlots;
+    std::uint32_t _lruHead = kNoEntry; ///< Most recently used.
+    std::uint32_t _lruTail = kNoEntry; ///< Eviction victim.
 };
 
 } // namespace papi::llm

@@ -18,6 +18,24 @@ struct Request
     std::uint32_t outputLen = 0; ///< Tokens until <eos> (oracle).
     std::uint32_t generated = 0; ///< Output tokens produced so far.
 
+    // ---- shared-prefix identity (prefix caching) ----
+    // Trace generators that model KV reuse (multi-turn sessions,
+    // shared system prompts, RAG document prefixes) stamp the reuse
+    // structure here; engines without a prefix cache ignore it.
+
+    /** Cache key of the prompt's reusable leading span (a hash of
+     *  the shared content's identity); 0 = no reusable prefix. */
+    std::uint64_t prefixKey = 0;
+    /** Leading prompt tokens covered by prefixKey (the span another
+     *  request may have already materialized). */
+    std::uint32_t prefixTokens = 0;
+    /** Key to cache this request's KV under once it completes (the
+     *  next turn's prefixKey); 0 = nothing worth caching. */
+    std::uint64_t insertKey = 0;
+    /** Tokens to cache under insertKey; 0 = the full final context
+     *  (prompt + generated) at completion. */
+    std::uint32_t insertTokens = 0;
+
     bool
     finished() const
     {

@@ -15,6 +15,9 @@ traceCategoryName(TraceCategory category)
       case TraceCategory::GeneralQa: return "general-qa";
       case TraceCategory::PrefillHeavy: return "prefill-heavy";
       case TraceCategory::Uniform: return "uniform";
+      case TraceCategory::AgenticLoop: return "agentic";
+      case TraceCategory::LongContextRag: return "long-context-rag";
+      case TraceCategory::SharedQa: return "general-qa-shared";
     }
     return "unknown";
 }
@@ -30,9 +33,16 @@ traceCategoryFromName(const std::string &name)
         return TraceCategory::PrefillHeavy;
     if (name == "uniform")
         return TraceCategory::Uniform;
+    if (name == "agentic")
+        return TraceCategory::AgenticLoop;
+    if (name == "long-context-rag")
+        return TraceCategory::LongContextRag;
+    if (name == "general-qa-shared")
+        return TraceCategory::SharedQa;
     sim::fatal("unknown trace category '", name,
                "' (creative-writing | general-qa | prefill-heavy | "
-               "uniform)");
+               "uniform | agentic | long-context-rag | "
+               "general-qa-shared)");
 }
 
 TraceParams
@@ -68,6 +78,34 @@ traceParams(TraceCategory category)
         p.outputMean = 128.0;
         p.outputStddev = 0.0;
         break;
+      case TraceCategory::AgenticLoop:
+        // One agent turn: a short tool result / user message in, a
+        // short tool call or answer out. The long session context a
+        // turn really carries is composed by ArrivalProcess on top
+        // of this increment.
+        p.inputMean = 32.0;
+        p.inputStddev = 16.0;
+        p.outputMean = 48.0;
+        p.outputStddev = 24.0;
+        break;
+      case TraceCategory::LongContextRag:
+        // One question against the session's retrieved document
+        // (the document itself is per-session, deterministic, and
+        // prepended by ArrivalProcess); answers are grounded and
+        // short.
+        p.inputMean = 48.0;
+        p.inputStddev = 24.0;
+        p.outputMean = 64.0;
+        p.outputStddev = 32.0;
+        break;
+      case TraceCategory::SharedQa:
+        // GeneralQa's length mix for the user-visible part; the
+        // shared system prompt is prepended by ArrivalProcess.
+        p.inputMean = 96.0;
+        p.inputStddev = 64.0;
+        p.outputMean = 96.0;
+        p.outputStddev = 64.0;
+        break;
     }
     return p;
 }
@@ -97,19 +135,23 @@ TraceGenerator::sampleLen(double mean, double stddev)
     return static_cast<std::uint32_t>(len);
 }
 
+Request
+TraceGenerator::next()
+{
+    Request r;
+    r.id = _nextId++;
+    r.inputLen = sampleLen(_params.inputMean, _params.inputStddev);
+    r.outputLen = sampleLen(_params.outputMean, _params.outputStddev);
+    return r;
+}
+
 std::vector<Request>
 TraceGenerator::generate(std::uint32_t count)
 {
     std::vector<Request> out;
     out.reserve(count);
-    for (std::uint32_t i = 0; i < count; ++i) {
-        Request r;
-        r.id = _nextId++;
-        r.inputLen = sampleLen(_params.inputMean, _params.inputStddev);
-        r.outputLen = sampleLen(_params.outputMean,
-                                _params.outputStddev);
-        out.push_back(r);
-    }
+    for (std::uint32_t i = 0; i < count; ++i)
+        out.push_back(next());
     return out;
 }
 

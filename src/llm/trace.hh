@@ -34,6 +34,23 @@ enum class TraceCategory : std::uint8_t
      *  prefill/decode serving targets. */
     PrefillHeavy,
     Uniform,         ///< Fixed lengths (for controlled experiments).
+    /** Agentic tool-call loop ("agentic"): many short turns over one
+     *  growing session context. Every turn's prompt embeds the full
+     *  prior context, so consecutive turns share an ever-longer KV
+     *  prefix - the workload prefix caching and cache-hit-aware
+     *  routing exist for. Structured generation (session pool, turn
+     *  chaining) lives in ArrivalProcess; as a bare TraceGenerator
+     *  category the params describe one turn's increment/output. */
+    AgenticLoop,
+    /** Long-context RAG ("long-context-rag"): a session asks several
+     *  questions against one long retrieved document, so requests of
+     *  a session share the document prefix but diverge after it. */
+    LongContextRag,
+    /** GeneralQa with a shared system prompt ("general-qa-shared"):
+     *  independent single-turn requests that all begin with the same
+     *  deployment-wide system prompt - the simplest reuse pattern
+     *  (one hot cache entry, hit by every request everywhere). */
+    SharedQa,
 };
 
 /** Printable category name. */
@@ -62,6 +79,14 @@ class TraceGenerator
   public:
     TraceGenerator(TraceCategory category, std::uint64_t seed);
     TraceGenerator(const TraceParams &params, std::uint64_t seed);
+
+    /**
+     * Generate the next request of the trace (pull-based form).
+     * generate() is a loop over next(), so interleaving the two
+     * styles consumes the same RNG stream: a streaming caller sees
+     * byte-for-byte the requests a materializing caller would.
+     */
+    Request next();
 
     /** Generate @p count requests with fresh ids. */
     std::vector<Request> generate(std::uint32_t count);

@@ -5,8 +5,8 @@ Dependency-free smoke check for CI: after `microbench_simulator
 --quick --out FILE`, this script asserts that every section the
 papi-microbench/1 schema promises is present with its required keys,
 including the papi-policy/1, papi-cluster/1, papi-continuous/1,
-papi-disagg/1, papi-faults/1, papi-parallel/1, and papi-soa/1
-sub-schemas. It
+papi-disagg/1, papi-faults/1, papi-parallel/1, papi-soa/1, and
+papi-prefix/1 sub-schemas. It
 does not judge the performance numbers themselves - it exists so a
 refactor that silently drops or renames a JSON field fails the build
 rather than producing an unreadable trajectory. The exceptions are
@@ -14,10 +14,12 @@ ordering invariants the simulation must uphold (continuous beats
 static TTFT, disagg beats colocated TTFT, retry beats fail-stop
 goodput, request conservation, parallel runs bit-identical to
 serial - plus > 2x self-speedup at 8 workers on hosts with >= 8
-hardware threads, and the SoA serving core reproducing the frozen
-reference engine byte for byte while beating it), which are checked
-because they are correctness properties, not performance
-judgements.
+hardware threads, the SoA serving core reproducing the frozen
+reference engine byte for byte while beating it, cache-hit-aware
+routing beating round-robin p99 TTFT with a nonzero hit rate on the
+multi-turn trace, and the million-request streaming cell staying
+under a flat RSS ceiling), which are checked because they are
+correctness properties, not performance judgements.
 
 Usage: check_bench_schema.py BENCH_microbench.json
 """
@@ -44,7 +46,7 @@ def main():
     need(doc, "$", ["schema", "quick", "event_queue", "dram",
                     "decode", "serving", "figure_cell", "policy",
                     "cluster", "continuous", "disagg", "faults",
-                    "parallel", "soa", "summary"])
+                    "parallel", "soa", "prefix", "summary"])
     if doc.get("schema") != "papi-microbench/1":
         FAILURES.append(f"$.schema: unexpected '{doc.get('schema')}'")
 
@@ -325,6 +327,94 @@ def main():
             "$.soa.speedup: the SoA core must beat the frozen "
             f"reference engine (got {soa_win})")
 
+    pfx = doc.get("prefix", {})
+    need(pfx, "$.prefix",
+         ["schema", "model", "arrival", "prefill_chunk_tokens",
+          "replicas", "policies",
+          "cache_hit_aware_ttft_p99_speedup_vs_round_robin",
+          "cache_hit_aware_hit_rate", "streaming"])
+    if pfx.get("schema") != "papi-prefix/1":
+        FAILURES.append(f"$.prefix.schema: unexpected "
+                        f"'{pfx.get('schema')}'")
+    if pfx.get("arrival", {}).get("trace") != "agentic":
+        FAILURES.append("$.prefix.arrival.trace: the routing "
+                        "comparison runs on the multi-turn agentic "
+                        "trace")
+    pnames = [c.get("policy") for c in pfx.get("policies", [])]
+    if pnames != ["round-robin", "session-affinity",
+                  "cache-hit-aware"]:
+        FAILURES.append(f"$.prefix.policies: unexpected set {pnames}")
+    for i, cell in enumerate(pfx.get("policies", [])):
+        need(cell, f"$.prefix.policies[{i}]",
+             ["policy", "makespan_seconds", "ttft_p50_seconds",
+              "ttft_p99_seconds", "prefix_lookups", "prefix_hits",
+              "hit_rate", "prefix_hit_tokens", "prefix_miss_tokens",
+              "prefix_evicted_bytes", "wall_seconds"])
+        # The token ledger holds per cell: every keyed prompt token
+        # is either a hit or a miss, and hits are real lookups.
+        if cell.get("prefix_hits", 0) > cell.get("prefix_lookups", 0):
+            FAILURES.append(
+                f"$.prefix.policies[{i}]: more hits than lookups")
+        if cell.get("policy") != "round-robin" and \
+                cell.get("hit_rate", 0) <= 0:
+            FAILURES.append(
+                f"$.prefix.policies[{i}].hit_rate: the {pnames[i]} "
+                "policy must actually hit the cache on the "
+                "multi-turn trace")
+    # The CacheHitAware policy's reason to exist: following cached
+    # bytes must beat scattering a session's turns across replicas.
+    cha_win = pfx.get(
+        "cache_hit_aware_ttft_p99_speedup_vs_round_robin", 0)
+    if not isinstance(cha_win, (int, float)) or cha_win <= 1.0:
+        FAILURES.append(
+            "$.prefix.cache_hit_aware_ttft_p99_speedup_vs_round_"
+            "robin: cache-hit-aware routing must beat round-robin "
+            f"p99 TTFT on the agentic trace (got {cha_win})")
+    cha_rate = pfx.get("cache_hit_aware_hit_rate", 0)
+    if not isinstance(cha_rate, (int, float)) or cha_rate <= 0:
+        FAILURES.append(
+            "$.prefix.cache_hit_aware_hit_rate: the headline cell "
+            f"must have a nonzero hit rate (got {cha_rate})")
+    stm = pfx.get("streaming", {})
+    need(stm, "$.prefix.streaming",
+         ["trace", "rate_rps", "requests", "seed", "replicas",
+          "max_rlp", "record_capacity", "requests_served",
+          "stats_truncated", "records_retained", "ttft_p99_seconds",
+          "mean_latency_seconds", "wall_seconds",
+          "requests_per_sec", "rss_before_mb", "rss_peak_mb",
+          "rss_growth_mb"])
+    if stm.get("requests", 0) < 1_000_000:
+        FAILURES.append(
+            "$.prefix.streaming.requests: the streaming cell must "
+            f"offer at least one million requests "
+            f"(got {stm.get('requests')})")
+    if stm.get("requests_served", 0) != stm.get("requests", -1):
+        FAILURES.append(
+            "$.prefix.streaming.requests_served: the fault-free "
+            "streaming run must serve every offered request")
+    if stm.get("stats_truncated") is not True:
+        FAILURES.append(
+            "$.prefix.streaming.stats_truncated: a million requests "
+            "must overflow record_capacity, or the bounded-memory "
+            "path was never exercised")
+    cap = stm.get("record_capacity", 0)
+    replicas = stm.get("replicas", 0)
+    if isinstance(cap, int) and isinstance(replicas, int) and \
+            stm.get("records_retained", -1) > cap * replicas:
+        FAILURES.append(
+            "$.prefix.streaming.records_retained: retained records "
+            "exceed record_capacity x replicas - the cap leaked")
+    # The constant-memory claim: the cell's RSS high-water growth
+    # must be a flat allowance (record caps, in-flight arrivals),
+    # not something that scales with a million-request trace
+    # (materialized, that trace alone is > 1 GB of records).
+    growth = stm.get("rss_growth_mb", 1 << 30)
+    if not isinstance(growth, (int, float)) or growth >= 512.0:
+        FAILURES.append(
+            "$.prefix.streaming.rss_growth_mb: the million-request "
+            "streaming cell must stay under a flat 512 MiB RSS "
+            f"growth ceiling (got {growth})")
+
     need(doc.get("summary", {}), "$.summary",
          ["event_queue_speedup_geomean", "dram_stream_speedup",
           "dram_pump_speedup", "overall_speedup_geomean"])
@@ -336,7 +426,7 @@ def main():
         return 1
     print(f"OK {sys.argv[1]}: papi-microbench/1 schema valid "
           "(incl. policy, cluster, continuous, disagg, faults, "
-          "parallel, soa sub-schemas)")
+          "parallel, soa, prefix sub-schemas)")
     return 0
 
 
