@@ -132,6 +132,9 @@ class FaultInjector
      *  the replica is up). */
     std::vector<double> _downSince;
     /** Times each request id has been lost to a fault. */
+    // detlint: allow(unordered-decl): keyed counter increments only
+    // (operator[] by request id in handleCrashLoss); never iterated -
+    // harvest and retry order come from ServingSim's ordered vectors.
     std::unordered_map<std::uint64_t, std::uint32_t> _losses;
 };
 

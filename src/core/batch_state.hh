@@ -27,6 +27,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
+#include <type_traits>
 #include <vector>
 
 #include "llm/request.hh"
@@ -102,6 +104,12 @@ class BatchState
     /** 1 once firstTokenSeconds is valid. */
     std::vector<std::uint8_t> firstTokenSeen;
 
+    /** Number of parallel columns above. The layout tripwire below
+     *  fails compilation the moment a column is added or removed, so
+     *  push/snapshot/popBack/moveTo/truncate/clear (and this count)
+     *  can never silently fall out of sync with the data members. */
+    static constexpr std::size_t kColumns = 20;
+
     /** Live request count (every column has this many elements). */
     std::size_t size() const { return id.size(); }
 
@@ -153,6 +161,33 @@ class BatchState
      *  attribution). */
     void addStallAll(double s);
 };
+
+// ---- compile-time contract ------------------------------------
+// BatchState is EXACTLY its columns: no virtuals, no extra state.
+// Every column is a std::vector, and all vector specializations have
+// one size, so the class size counts the columns. Adding a member
+// without visiting every column-aligned helper (push / snapshot /
+// popBack / moveTo / truncate / clear / the hot passes) corrupts the
+// batch silently at runtime - this makes it a compile error instead.
+static_assert(sizeof(BatchState) ==
+                  BatchState::kColumns *
+                      sizeof(std::vector<std::uint64_t>),
+              "BatchState gained or lost a column: update kColumns "
+              "AND every column-aligned helper in batch_state.cc");
+
+// The hot passes treat columns as flat POD arrays (autovectorized
+// loads/stores, compaction by element assignment), and ActiveSnapshot
+// is the memcpy-able interchange struct for the cold paths; neither
+// tolerates a non-trivial element type.
+static_assert(std::is_trivially_copyable_v<llm::Request> &&
+                  std::is_trivially_copyable_v<ActiveSnapshot>,
+              "ActiveSnapshot must stay a plain interchange struct "
+              "(crash harvest and preemption parking copy it in "
+              "bulk)");
+static_assert(std::is_trivially_copyable_v<double> &&
+                  std::numeric_limits<double>::is_iec559,
+              "time columns are IEEE-754 doubles; the bitwise "
+              "determinism pins compare them exactly");
 
 } // namespace papi::core
 

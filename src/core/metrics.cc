@@ -84,6 +84,11 @@ P2Quantile::P2Quantile(double q) : _q(q)
 void
 P2Quantile::add(double x)
 {
+    // The literal 5s and the 0/4 extreme indices below are the
+    // five-marker structure the header pins at compile time.
+    static_assert(P2Quantile::kMarkers == 5,
+                  "P-square update rules below are written for "
+                  "exactly five markers");
     if (_count < 5) {
         // Warm-up: keep the first five observations sorted in the
         // marker array (they become the initial marker heights).

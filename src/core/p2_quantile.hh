@@ -52,13 +52,30 @@ class P2Quantile
     /** The target quantile this instance estimates. */
     double quantile() const { return _q; }
 
+    /** P-square marker count. The algorithm is DEFINED for exactly
+     *  five markers (min, q/2, q, (1+q)/2, max): the parabolic
+     *  update's neighbor indexing, the exact-below-six regime, and
+     *  the desired-position increments all assume it. */
+    static constexpr int kMarkers = 5;
+
   private:
     double _q;
     std::uint64_t _count = 0;
-    double _height[5] = {};  ///< Marker heights (q_i).
-    double _pos[5] = {};     ///< Actual marker positions (n_i).
-    double _desired[5] = {}; ///< Desired marker positions (n'_i).
-    double _inc[5] = {};     ///< Desired-position increments (dn'_i).
+    double _height[kMarkers] = {};  ///< Marker heights (q_i).
+    double _pos[kMarkers] = {};     ///< Actual positions (n_i).
+    double _desired[kMarkers] = {}; ///< Desired positions (n'_i).
+    double _inc[kMarkers] = {};     ///< Position increments (dn'_i).
+
+    // The update loops in metrics.cc hardcode neighbor indices
+    // (m-1, m, m+1 for m in 1..3) and the extremes 0 and 4; this
+    // pins the array extents to that literal structure.
+    static_assert(sizeof(_height) == kMarkers * sizeof(double) &&
+                      sizeof(_pos) == sizeof(_height) &&
+                      sizeof(_desired) == sizeof(_height) &&
+                      sizeof(_inc) == sizeof(_height),
+                  "P-square is a five-marker algorithm; the marker "
+                  "arrays cannot be resized without rederiving the "
+                  "update rules");
 };
 
 } // namespace papi::core

@@ -320,6 +320,10 @@ class Platform
     std::optional<PhaseDispatcher> _attnDispatcher;
     std::optional<PhaseDispatcher> _prefillDispatcher;
 
+    // detlint: allow(unordered-decl): memo cache with find/emplace/
+    // clear only (Platform::cached); a hit returns the exact value a
+    // recompute would produce, and no code walks the table, so
+    // bucket order cannot reach results or stats.
     mutable std::unordered_map<KernelKey, KernelExec, KernelKeyHash>
         _kernelCache;
 };

@@ -359,6 +359,9 @@ struct IterationCostModel
     bool
     trivial() const
     {
+        // detlint: allow(float-eq): 1.0 is the configured identity
+        // sentinel (the default member value), never a computed
+        // scale, so exact comparison is the correct fast-path test.
         return computeScale == 1.0 && !extraSeconds && !extraJoules;
     }
 };

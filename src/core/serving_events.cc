@@ -326,6 +326,10 @@ ServingEventDriver::preRouteStream(
         for (std::size_t a = 0; a < order.size();) {
             std::size_t b = a + 1;
             while (b < order.size() &&
+                   // detlint: allow(float-eq): same-instant burst
+                   // grouping compares two copies of one stream
+                   // timestamp, never a computed value; bitwise
+                   // equality IS the contract.
                    reqs[ids[b]].arrivalSeconds ==
                        reqs[ids[a]].arrivalSeconds)
                 ++b;
@@ -375,6 +379,10 @@ ServingEventDriver::runStream(
         for (std::size_t i = 0; i < stream.size();) {
             std::size_t j = i + 1;
             while (j < stream.size() &&
+                   // detlint: allow(float-eq): same-instant burst
+                   // grouping over verbatim stream timestamps -
+                   // equal doubles map to equal orderedTicks, so
+                   // this matches the queue's own key equality.
                    stream[j].arrivalSeconds ==
                        stream[i].arrivalSeconds)
                 ++j;
@@ -456,6 +464,9 @@ ServingEventDriver::runStreamGenerated(
                 sim::fatal("ServingEventDriver: generated arrivals "
                            "must be sorted (", st->head.arrivalSeconds,
                            " after ", t, ")");
+            // detlint: allow(float-eq): burst boundary test between
+            // two generator-produced timestamps; values are carried,
+            // never recomputed, so inequality is exact.
             if (st->head.arrivalSeconds != t)
                 break; // next burst starts later
         }

@@ -312,6 +312,21 @@ class ServingEventDriver
      *  toward the lowest index. */
     static constexpr sim::Priority kBoundaryPriority = 10;
 
+    // ---- compile-time contract --------------------------------
+    // The same-instant event order (arrivals, then faults, then KV
+    // transfers, then admission deadlines, then boundaries) IS the
+    // cross-replica determinism contract: every bit-identity pin -
+    // the serial-vs-parallel grid included - assumes it. Reordering
+    // these constants is a semantic change that must re-golden the
+    // suite, so it fails compilation instead of passing silently.
+    static_assert(kArrivalPriority < kFaultPriority &&
+                      kFaultPriority < kTransferPriority &&
+                      kTransferPriority < kDeadlinePriority &&
+                      kDeadlinePriority < kBoundaryPriority,
+                  "same-instant event priority table reordered: "
+                  "every determinism golden depends on arrivals < "
+                  "faults < transfers < deadlines < boundaries");
+
     /** True when replica @p g's lifecycle events must run on the
      *  coordinator's global queue: disaggregated prefill replicas
      *  read decode-pool loads and write link/transfer state at every

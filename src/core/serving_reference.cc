@@ -313,6 +313,10 @@ ReferenceServingSim::admit()
              ++it) {
             if (it->state.arrivalSeconds <
                     best->state.arrivalSeconds ||
+                // detlint: allow(float-eq): total-order tie-break in
+                // the resume comparator; timestamps are stored stream
+                // values, so equality is exact and the id tie-break
+                // keeps the order deterministic.
                 (it->state.arrivalSeconds ==
                      best->state.arrivalSeconds &&
                  it->state.request.id < best->state.request.id))

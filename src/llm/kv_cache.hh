@@ -349,6 +349,10 @@ class KvCacheManager
     std::uint64_t _usedTotal = 0;
     std::vector<std::uint64_t> _usedPerDevice;
     /** id -> slot index into _slots. */
+    // detlint: allow(unordered-decl): keyed find/emplace/erase by
+    // request id only; size() feeds liveRequests()/occupancy() as a
+    // scalar count. Never iterated - per-request block placement
+    // order lives in the _slots vectors.
     std::unordered_map<std::uint64_t, std::uint32_t> _requests;
     /** Slot pool: per-device vectors are retained across occupants
      *  so a steady-state admit/release cycle does not allocate. */
@@ -360,6 +364,11 @@ class KvCacheManager
     std::uint64_t _cachedBlocks = 0;
     std::uint64_t _prefixEvictedBytes = 0;
     /** prefix key -> slot index into _prefixSlots. */
+    // detlint: allow(unordered-decl): keyed find/emplace/erase by
+    // prefix hash only; never iterated. Recency (and therefore LRU
+    // eviction order) lives in the intrusive _lruHead/_lruTail list
+    // over _prefixSlots, so reclaim order is insertion-history
+    // determined, not bucket-order determined.
     std::unordered_map<std::uint64_t, std::uint32_t> _prefixIndex;
     /** Entry pool (per-device vectors retained across occupants). */
     std::vector<PrefixEntry> _prefixSlots;

@@ -101,6 +101,10 @@ class GemvEngine
      * call run() with recurring shapes; replaying identical command
      * streams would dominate simulation time otherwise.
      */
+    // detlint: allow(unordered-decl): memo cache with find/emplace
+    // only; a hit replays the exact GemvResult the command stream
+    // would regenerate, and nothing walks the table, so bucket order
+    // cannot reach simulated timing or the command trace.
     mutable std::unordered_map<std::uint64_t, GemvResult> _cache;
     CommandTrace *_recorder = nullptr;
 };

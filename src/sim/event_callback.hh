@@ -169,6 +169,38 @@ class EventCallback
     const Ops *_ops = nullptr;
 };
 
+// ---- compile-time contract ------------------------------------
+// The calendar queue relocates EventCallbacks with plain memcpy when
+// the held callable permits (trivialOps/heapOps have relocate ==
+// nullptr), and sorts millions of them per run. These asserts pin
+// the assumptions that make that safe and fast; if one fires, the
+// queue's relocation strategy - not just this file - must change.
+
+// The SBO threshold is part of the performance contract: a typical
+// device-event capture (a handful of pointers plus a tick or two of
+// integer payload) must stay inline, or steady-state scheduling
+// regains the heap traffic PR 1 removed.
+static_assert(EventCallback::inlineCapacity >= 6 * sizeof(void *),
+              "EventCallback SBO must hold a typical device-event "
+              "capture (a few pointers + integers) inline");
+// moveFrom() memcpys the whole buffer without consulting the held
+// type; any growth here is paid by EVERY queue reshuffle, so it must
+// be deliberate, not incidental.
+static_assert(sizeof(EventCallback) <=
+                  EventCallback::inlineCapacity +
+                      2 * sizeof(void *) + alignof(std::max_align_t),
+              "EventCallback layout grew beyond buffer + vtable "
+              "pointer: queue entries are relocated by memcpy and "
+              "sized to this budget");
+// Queue maintenance must never throw mid-reshuffle (a half-moved
+// entry would corrupt the calendar), and copying a move-only closure
+// must stay impossible.
+static_assert(std::is_nothrow_move_constructible_v<EventCallback> &&
+                  std::is_nothrow_move_assignable_v<EventCallback>,
+              "queue relocation relies on noexcept moves");
+static_assert(!std::is_copy_constructible_v<EventCallback>,
+              "EventCallback is move-only by design");
+
 } // namespace papi::sim
 
 #endif // PAPI_SIM_EVENT_CALLBACK_HH

@@ -72,6 +72,9 @@ FaultPlan::generate(const FaultPlanParams &params)
     }
     std::sort(plan.replicaFaults.begin(), plan.replicaFaults.end(),
               [](const ReplicaFault &a, const ReplicaFault &b) {
+                  // detlint: allow(float-eq): strict-weak-order
+                  // comparator; timestamps are compared as stored,
+                  // and the replica tie-break makes the sort total.
                   if (a.crashSeconds != b.crashSeconds)
                       return a.crashSeconds < b.crashSeconds;
                   return a.replica < b.replica;

@@ -40,6 +40,9 @@ Rng::logNormalByMoments(double mean, double stddev)
         fatal("Rng::logNormalByMoments: mean must be positive");
     if (stddev < 0.0)
         fatal("Rng::logNormalByMoments: negative stddev");
+    // detlint: allow(float-eq): exact-zero is the documented
+    // degenerate-distribution sentinel (caller passes a literal 0),
+    // not a computed quantity.
     if (stddev == 0.0)
         return mean;
     // Convert target moments to the underlying normal's (mu, sigma).

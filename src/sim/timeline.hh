@@ -26,12 +26,32 @@
 
 #include <bit>
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
 
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace papi::sim {
+
+// ---- compile-time contract ------------------------------------
+// orderedTick()'s order-preserving encoding is a property of the
+// IEEE-754 binary64 representation: for non-negative finite doubles
+// the bit pattern, read as an unsigned integer, is monotone in the
+// value. Every serving-stack bit-identity pin sits on top of this,
+// so the preconditions are asserted here, next to the encoder, not
+// assumed.
+static_assert(std::numeric_limits<double>::is_iec559,
+              "orderedTick requires IEEE-754 doubles: the bit-cast "
+              "encoding is only order-preserving for binary64");
+static_assert(sizeof(double) == 8 && sizeof(std::uint64_t) == 8,
+              "orderedTick bit-casts double <-> uint64_t; both must "
+              "be exactly 64 bits");
+static_assert(std::is_same_v<Tick, std::uint64_t>,
+              "orderedTick encodes into Tick verbatim; a narrower or "
+              "signed Tick would truncate or reorder the encoding");
 
 /**
  * Order-preserving encoding of a non-negative finite time in seconds

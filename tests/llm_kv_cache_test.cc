@@ -105,19 +105,19 @@ TEST_F(KvCacheTest, ManyRequestsChurn)
     // Admit/grow/release a churn of requests; the pool must return
     // to empty with no leaks. (Use a roomy pool: one OPT-30B block
     // of 16 tokens is ~22 MB.)
-    KvCacheManager mgr(model, 8, 16ULL << 30, 16);
-    std::uint64_t before = mgr.freeBlocks();
+    KvCacheManager roomy(model, 8, 16ULL << 30, 16);
+    std::uint64_t before = roomy.freeBlocks();
     for (std::uint64_t round = 0; round < 20; ++round) {
         for (std::uint64_t id = 0; id < 10; ++id)
-            mgr.admit(round * 100 + id, 64 + id * 16);
+            roomy.admit(round * 100 + id, 64 + id * 16);
         for (std::uint64_t id = 0; id < 10; ++id)
-            mgr.grow(round * 100 + id, 256 + id * 16);
+            roomy.grow(round * 100 + id, 256 + id * 16);
         for (std::uint64_t id = 0; id < 10; ++id)
-            mgr.release(round * 100 + id);
+            roomy.release(round * 100 + id);
     }
-    EXPECT_EQ(mgr.freeBlocks(), before);
-    EXPECT_EQ(mgr.liveRequests(), 0u);
-    EXPECT_NEAR(mgr.occupancy().utilization(), 0.0, 1e-12);
+    EXPECT_EQ(roomy.freeBlocks(), before);
+    EXPECT_EQ(roomy.liveRequests(), 0u);
+    EXPECT_NEAR(roomy.occupancy().utilization(), 0.0, 1e-12);
 }
 
 TEST_F(KvCacheTest, ExportImportMigratesBlocksAcrossPools)

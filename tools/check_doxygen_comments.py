@@ -43,6 +43,7 @@ def check_header(path: Path) -> list:
     in_block_comment = False
     in_decl = False      # inside a multi-line declaration/definition
     decl_balance = 0     # brace balance within that declaration
+    skip_parens = 0      # open parens of a multi-line skipped stmt
     prev_doc = False     # previous meaningful line ended a doc comment
 
     for lineno, raw in enumerate(lines, 1):
@@ -93,6 +94,17 @@ def check_header(path: Path) -> list:
 
         documented_inline = "///<" in raw
 
+        # Continuation lines of a skipped multi-line statement (a
+        # static_assert or macro call whose argument list spans
+        # lines) are part of that statement, not fresh declarations.
+        if skip_parens > 0:
+            depth += opens - closes
+            skip_parens += code.count("(") - code.count(")")
+            if skip_parens < 0:
+                skip_parens = 0
+            prev_doc = False
+            continue
+
         if in_decl:
             depth += opens - closes
             decl_balance += opens - closes
@@ -112,9 +124,14 @@ def check_header(path: Path) -> list:
         # Is this a declaration we should check?
         at_ns_scope = not class_depths and depth >= 1
         at_public_scope = bool(class_depths) and access[-1] == "public"
-        checkable = (at_ns_scope or at_public_scope) and not SKIP.match(
-            code
-        ) and DECL.match(code) and not FWD_DECL.match(code)
+        skipped = bool(SKIP.match(code))
+        checkable = (at_ns_scope or at_public_scope) and not skipped \
+            and DECL.match(code) and not FWD_DECL.match(code)
+
+        if skipped:
+            balance = code.count("(") - code.count(")")
+            if balance > 0:
+                skip_parens = balance
 
         if checkable and not prev_doc and not documented_inline:
             problems.append((lineno, stripped[:60]))

@@ -1,0 +1,477 @@
+#!/usr/bin/env python3
+"""detlint - the repo's determinism-contract linter.
+
+Every layer of this codebase is pinned by *dynamic* bitwise-determinism
+checks (fixed-seed goldens, lockstep differentials, the parallel
+identity grid, TSan). detlint is the *static* half of that contract: a
+dependency-free, house-style linter (like check_doxygen_comments.py)
+that walks C++ sources and flags constructs which historically turn
+into order leaks or run-to-run divergence long before a golden breaks:
+
+  unordered-decl   Declaring a std::unordered_{map,set,multimap,
+                   multiset} object. Hash-table iteration order is
+                   unspecified and changes across libstdc++ versions,
+                   so every unordered container in the tree must carry
+                   a written audit note (an allow directive) proving
+                   its use is keyed lookup only - or be replaced with
+                   a sorted container / sorted drain.
+  unordered-iter   Iterating (range-for, begin()/end() family,
+                   std::for_each/accumulate/transform/reduce) over an
+                   identifier declared in the same file as an
+                   unordered container. This is the actual leak; it is
+                   flagged even when the declaration is allowed.
+  wall-clock       Wall-clock or ambient-entropy sources: rand/srand,
+                   std::random_device, system_clock / steady_clock /
+                   high_resolution_clock, time(), clock(),
+                   gettimeofday, clock_gettime. Simulated time comes
+                   from the event queue; randomness comes from
+                   sim::Rng with an explicit seed.
+  ptr-order        Ordering or hashing pointer *values*:
+                   uintptr_t/intptr_t conversions, std::hash or
+                   std::less over pointer types. Allocator addresses
+                   differ across runs, so any pointer-keyed order is
+                   nondeterministic by construction. (Direct `p < q`
+                   comparisons are beyond a lexical tool - reviewers
+                   own that half.)
+  float-eq         == / != where either operand is a floating-point
+                   literal or a *Seconds-named identifier (the repo's
+                   pervasive double convention). Exact FP equality is
+                   legitimate only for same-source sentinel values -
+                   each such site must say so in an allow reason.
+  mutable-global   static or inline variable definitions that are not
+                   const/constexpr/constinit: mutable process-global
+                   state survives across simulations and breaks
+                   run-to-run isolation.
+
+Suppression syntax (reason is REQUIRED; the linter enforces it):
+
+    code;  // detlint: allow(<rule>): <reason>
+
+or on its own line, covering the next code line:
+
+    // detlint: allow(<rule>): <reason>
+    code;
+
+Directives with an unknown rule id or an empty reason are themselves
+findings (bad-allow), and a directive that suppresses nothing is a
+finding too (unused-allow) so stale audits cannot linger.
+
+Usage:
+    tools/detlint.py src [more paths...]     lint .hh/.cc/.cpp trees
+    tools/detlint.py --list-rules            print the rule table
+    tools/detlint.py --self-test             run the fixture suite
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+
+Fixture self-test: every file in tools/detlint_fixtures/ declares its
+expected findings in a leading `// expect: rule, rule, ...` comment
+(empty list = must lint clean); --self-test runs the linter over each
+fixture and compares the found rule multiset against the declaration,
+also asserting the documented exit-code semantics.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+RULES = {
+    "unordered-decl": "unordered container declared (audit required: "
+                      "iteration order is unspecified)",
+    "unordered-iter": "iteration over an unordered container "
+                      "(iteration order leaks into results)",
+    "wall-clock": "wall-clock / ambient-entropy source (use the event "
+                  "queue and seeded sim::Rng)",
+    "ptr-order": "pointer value used as an order or hash key "
+                 "(addresses differ across runs)",
+    "float-eq": "floating-point == / != (legitimate only for "
+                "same-source sentinels; say why)",
+    "mutable-global": "mutable static/inline variable (process-global "
+                      "state breaks run isolation)",
+}
+# Meta findings about the suppression mechanism itself; these cannot
+# be suppressed.
+META_RULES = {
+    "bad-allow": "malformed allow directive (unknown rule or missing "
+                 "reason)",
+    "unused-allow": "allow directive that suppresses no finding "
+                    "(stale audit)",
+}
+
+ALLOW_RE = re.compile(
+    r"//\s*detlint:\s*allow\(([a-z-]+)\)(?::\s*(.*?))?\s*$")
+UNORDERED_TYPE_RE = re.compile(
+    r"\bunordered_(?:multi)?(?:map|set)\s*<")
+WALL_CLOCK_RES = [
+    re.compile(r"(?<![\w.])s?rand\s*\("),
+    re.compile(r"\brandom_device\b"),
+    re.compile(r"\b(?:system|steady|high_resolution)_clock\b"),
+    re.compile(r"(?<![\w.])time\s*\("),
+    re.compile(r"(?<![\w.])clock\s*\("),
+    re.compile(r"\bgettimeofday\b"),
+    re.compile(r"\bclock_gettime\b"),
+]
+PTR_ORDER_RES = [
+    re.compile(r"\bu?intptr_t\b"),
+    re.compile(r"\bhash\s*<[^<>]*\*[^<>]*>"),
+    re.compile(r"\bless\s*<[^<>]*\*[^<>]*>"),
+]
+FLOAT_LIT = r"(?:\d+\.\d*|\.\d+|\d+\.|\d+[eE][-+]?\d+)(?:[eE][-+]?\d+)?f?"
+FLOAT_EQ_RES = [
+    re.compile(r"(?:==|!=)\s*[-+]?" + FLOAT_LIT + r"(?![\w.])"),
+    re.compile(r"(?<![\w.])" + FLOAT_LIT + r"\s*(?:==|!=)"),
+    re.compile(r"\b\w*[sS]econds\s*(?:==|!=)"),
+    re.compile(r"(?:==|!=)\s*\w*(?:[sS]econds)\b"),
+]
+STRING_RE = re.compile(r'"(?:\\.|[^"\\])*"')
+CHAR_RE = re.compile(r"'(?:\\.|[^'\\])'")
+
+
+class Finding:
+    def __init__(self, path, lineno, rule, detail):
+        self.path, self.lineno = path, lineno
+        self.rule, self.detail = rule, detail
+
+    def __str__(self):
+        return (f"{self.path}:{self.lineno}: [{self.rule}] "
+                f"{self.detail}")
+
+
+class Allow:
+    """One parsed allow directive and the lines it covers."""
+
+    def __init__(self, lineno, rule, covered):
+        self.lineno, self.rule = lineno, rule
+        self.covered = covered  # set of line numbers
+        self.used = False
+
+
+def strip_code(lines):
+    """Return per-line code with comments and literals blanked.
+
+    Keeps line count identical so findings cite real line numbers.
+    """
+    code = []
+    in_block = False
+    for raw in lines:
+        line = raw
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                code.append("")
+                continue
+            line = " " * (end + 2) + line[end + 2:]
+            in_block = False
+        line = STRING_RE.sub('""', line)
+        line = CHAR_RE.sub("''", line)
+        # Block comments opening (and possibly closing) on this line.
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block = True
+                break
+            line = line[:start] + " " * (end + 2 - start) + line[end + 2:]
+        cut = line.find("//")
+        if cut >= 0:
+            line = line[:cut]
+        code.append(line)
+    return code
+
+
+def parse_allows(lines, code, findings, path):
+    """Extract allow directives; malformed ones become findings."""
+    allows = []
+    n = len(lines)
+    for i, raw in enumerate(lines):
+        m = ALLOW_RE.search(raw)
+        if not m:
+            if "detlint:" in raw and "expect:" not in raw:
+                findings.append(Finding(
+                    path, i + 1, "bad-allow",
+                    "unparseable detlint directive (syntax: "
+                    "// detlint: allow(<rule>): <reason>)"))
+            continue
+        rule, reason = m.group(1), (m.group(2) or "").strip()
+        if rule not in RULES:
+            findings.append(Finding(
+                path, i + 1, "bad-allow",
+                f"unknown rule '{rule}' (known: "
+                f"{', '.join(sorted(RULES))})"))
+            continue
+        if not reason:
+            findings.append(Finding(
+                path, i + 1, "bad-allow",
+                f"allow({rule}) has no reason - every suppression "
+                "must justify itself"))
+            continue
+        covered = {i + 1}
+        if not code[i].strip():
+            # Pure-comment directive: cover the next code line,
+            # skipping blanks and further comment-only lines (so
+            # several directives can stack above one statement).
+            j = i + 1
+            while j < n and not code[j].strip():
+                j += 1
+            if j < n:
+                covered.add(j + 1)
+        allows.append(Allow(i + 1, rule, covered))
+    return allows
+
+
+def unordered_names(code):
+    """Identifiers declared (in this file) as unordered containers.
+
+    Returns {name: decl_lineno}. Handles declarations that wrap
+    across lines (template argument lists, long member names).
+    """
+    names = {}
+    n = len(code)
+    i = 0
+    while i < n:
+        m = UNORDERED_TYPE_RE.search(code[i])
+        if not m:
+            i += 1
+            continue
+        # Collect text from the template opener until the declarator's
+        # terminating ';' (or until we give up after a few lines).
+        text = code[i][m.start():]
+        decl_line = i + 1
+        j = i
+        while ";" not in text and j + 1 < n and j - i < 8:
+            j += 1
+            text += " " + code[j]
+        # Walk past the balanced <...> of the container type.
+        depth = 0
+        k = text.find("<")
+        while k < len(text):
+            if text[k] == "<":
+                depth += 1
+            elif text[k] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            k += 1
+        rest = text[k + 1:].split(";")[0]
+        # A '(' right after the declarator means function/param use;
+        # only object declarations get recorded for the iter rule.
+        for dm in re.finditer(r"([A-Za-z_]\w*)\s*(?![\w(])", rest):
+            word = dm.group(1)
+            if word in ("const", "mutable", "static", "inline",
+                        "std", "typename"):
+                continue
+            names[word] = decl_line
+            break
+        i = j + 1
+    return names
+
+
+def lint_lines(path, lines):
+    """Lint one file's contents; returns a list of Findings."""
+    findings = []
+    code = strip_code(lines)
+    allows = parse_allows(lines, code, findings, path)
+    names = unordered_names(code)
+
+    raw_findings = []
+
+    # --- unordered-decl ------------------------------------------
+    covered_decl_lines = set()
+    i = 0
+    while i < len(code):
+        m = UNORDERED_TYPE_RE.search(code[i])
+        if m and (i + 1) not in covered_decl_lines:
+            raw_findings.append(Finding(
+                path, i + 1, "unordered-decl",
+                "unordered container here - audit why iteration "
+                "order cannot leak, or use a sorted container"))
+            covered_decl_lines.add(i + 1)
+        i += 1
+
+    # --- unordered-iter ------------------------------------------
+    if names:
+        alt = "|".join(re.escape(x) for x in names)
+        iter_res = [
+            re.compile(r"for\s*\([^;()]*:\s*\*?\s*(?:this->)?(" +
+                       alt + r")\b"),
+            re.compile(r"\b(" + alt +
+                       r")\s*\.\s*c?r?(?:begin|end)\s*\("),
+            re.compile(r"\b(?:for_each|accumulate|transform|reduce)"
+                       r"\s*\(\s*(" + alt + r")\b"),
+        ]
+        for i, line in enumerate(code):
+            for rx in iter_res:
+                m = rx.search(line)
+                if m:
+                    raw_findings.append(Finding(
+                        path, i + 1, "unordered-iter",
+                        f"iterates unordered container "
+                        f"'{m.group(1)}' (declared line "
+                        f"{names[m.group(1)]})"))
+                    break
+
+    # --- wall-clock / ptr-order / float-eq -----------------------
+    for i, line in enumerate(code):
+        for rx in WALL_CLOCK_RES:
+            m = rx.search(line)
+            if m:
+                raw_findings.append(Finding(
+                    path, i + 1, "wall-clock",
+                    f"'{m.group(0).strip()}' is not simulated time "
+                    "or seeded randomness"))
+                break
+        for rx in PTR_ORDER_RES:
+            m = rx.search(line)
+            if m:
+                raw_findings.append(Finding(
+                    path, i + 1, "ptr-order",
+                    f"'{m.group(0).strip()}' orders or hashes a "
+                    "pointer value"))
+                break
+        for rx in FLOAT_EQ_RES:
+            m = rx.search(line)
+            if m:
+                raw_findings.append(Finding(
+                    path, i + 1, "float-eq",
+                    f"exact FP comparison '{m.group(0).strip()}'"))
+                break
+
+    # --- mutable-global ------------------------------------------
+    for i, line in enumerate(code):
+        s = line.strip()
+        if "(" in s or ")" in s:
+            continue  # functions, static_assert, casts
+        if re.search(r"\b(?:const|constexpr|constinit)\b", s):
+            continue
+        if not re.match(r"(?:inline\s+)?static\s+\w|"
+                        r"(?:static\s+)?inline\s+\w", s):
+            continue
+        if not (s.endswith(";") or "=" in s or s.endswith("{")):
+            continue
+        if re.match(r"(?:inline\s+|static\s+)+"
+                    r"(?:class|struct|enum|union|void)\b", s):
+            continue
+        raw_findings.append(Finding(
+            path, i + 1, "mutable-global",
+            f"mutable static/inline variable: '{s[:50]}'"))
+
+    # --- apply suppressions --------------------------------------
+    for f in raw_findings:
+        allow = next((a for a in allows
+                      if a.rule == f.rule and f.lineno in a.covered),
+                     None)
+        if allow:
+            allow.used = True
+        else:
+            findings.append(f)
+    for a in allows:
+        if not a.used:
+            findings.append(Finding(
+                path, a.lineno, "unused-allow",
+                f"allow({a.rule}) suppresses nothing - remove the "
+                "stale directive"))
+
+    findings.sort(key=lambda f: f.lineno)
+    return findings
+
+
+def lint_paths(paths):
+    """Lint every C++ file under the given paths; returns Findings."""
+    findings = []
+    files = []
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            for ext in ("*.hh", "*.h", "*.cc", "*.cpp"):
+                files.extend(sorted(path.glob(f"**/{ext}")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise FileNotFoundError(p)
+    for f in files:
+        findings.extend(lint_lines(str(f),
+                                   f.read_text().splitlines()))
+    return findings
+
+
+EXPECT_RE = re.compile(r"//\s*expect:\s*(.*)$")
+
+
+def self_test(fixture_dir):
+    """Run the fixture suite; returns 0 on pass, 1 on failure."""
+    fixtures = sorted(Path(fixture_dir).glob("*.cc"))
+    if not fixtures:
+        print(f"self-test: no fixtures under {fixture_dir}")
+        return 1
+    failures = 0
+    for fx in fixtures:
+        lines = fx.read_text().splitlines()
+        m = EXPECT_RE.search(lines[0]) if lines else None
+        if not m:
+            print(f"{fx}: FIXTURE BROKEN - first line must be "
+                  "'// expect: rule, rule, ...'")
+            failures += 1
+            continue
+        expected = sorted(r.strip() for r in m.group(1).split(",")
+                          if r.strip())
+        got = sorted(f.rule for f in lint_lines(str(fx), lines))
+        if got != expected:
+            print(f"{fx}: FAIL\n  expected: {expected}\n"
+                  f"  got:      {got}")
+            for f in lint_lines(str(fx), lines):
+                print(f"    {f}")
+            failures += 1
+        else:
+            print(f"{fx}: ok ({len(got)} finding(s))")
+    # Exit-code semantics: a clean fixture set must return 0 findings
+    # through lint_paths, a dirty one nonzero.
+    clean = [f for f in fixtures
+             if not EXPECT_RE.search(
+                 f.read_text().splitlines()[0]).group(1).strip()]
+    dirty = [f for f in fixtures if f not in clean]
+    if clean and lint_paths(clean):
+        print("self-test: FAIL - clean fixtures produced findings "
+              "through lint_paths")
+        failures += 1
+    if dirty and not lint_paths(dirty):
+        print("self-test: FAIL - dirty fixtures produced no findings "
+              "through lint_paths")
+        failures += 1
+    if failures:
+        print(f"\nself-test: {failures} failure(s)")
+        return 1
+    print(f"\nself-test: all {len(fixtures)} fixtures pass")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    if argv[1] == "--list-rules":
+        for rid, desc in {**RULES, **META_RULES}.items():
+            print(f"  {rid:16} {desc}")
+        return 0
+    if argv[1] == "--self-test":
+        default = Path(__file__).resolve().parent / "detlint_fixtures"
+        return self_test(argv[2] if len(argv) > 2 else default)
+    try:
+        findings = lint_paths(argv[1:])
+    except FileNotFoundError as e:
+        print(f"detlint: no such path: {e}")
+        return 2
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\n{len(findings)} determinism-contract finding(s); "
+              "fix, sort-drain, or suppress with\n"
+              "  // detlint: allow(<rule>): <reason>")
+        return 1
+    print("detlint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

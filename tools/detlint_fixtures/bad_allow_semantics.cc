@@ -1,0 +1,30 @@
+// expect: bad-allow, bad-allow, float-eq, unused-allow
+// Known-bad fixture for the suppression mechanism itself:
+//   1. allow with an unknown rule id        -> bad-allow
+//   2. allow with no reason                 -> bad-allow (and the
+//      finding it meant to cover survives)  -> float-eq
+//   3. allow that suppresses nothing        -> unused-allow
+namespace fixture {
+
+// detlint: allow(no-such-rule): this rule id does not exist
+inline bool
+unknownRule(double x)
+{
+    return x > 0.5;
+}
+
+inline bool
+noReason(double err)
+{
+    // detlint: allow(float-eq)
+    return err == 0.0;
+}
+
+// detlint: allow(wall-clock): nothing below uses a clock
+inline int
+stale()
+{
+    return 42;
+}
+
+} // namespace fixture

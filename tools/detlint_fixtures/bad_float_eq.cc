@@ -1,0 +1,25 @@
+// expect: float-eq, float-eq, float-eq
+// Known-bad fixture: exact floating-point equality on computed
+// values. Each legitimate sentinel comparison must carry an allow
+// with a written reason.
+namespace fixture {
+
+inline bool
+converged(double err)
+{
+    return err == 0.0;
+}
+
+inline bool
+sameInstant(double aSeconds, double bSeconds)
+{
+    return aSeconds == bSeconds;
+}
+
+inline bool
+notYet(double deadlineSeconds, double t)
+{
+    return deadlineSeconds != t;
+}
+
+} // namespace fixture

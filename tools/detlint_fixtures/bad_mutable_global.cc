@@ -1,0 +1,14 @@
+// expect: mutable-global, mutable-global, mutable-global
+// Known-bad fixture: mutable process-global state survives across
+// simulations and breaks run-to-run isolation.
+#include <cstdint>
+
+namespace fixture {
+
+static std::uint64_t g_eventCount = 0;
+
+inline double g_lastSeconds = 0.0;
+
+static bool g_initialized;
+
+} // namespace fixture

@@ -1,0 +1,33 @@
+// expect: ptr-order, ptr-order, ptr-order
+// Known-bad fixture: pointer values used as order or hash keys.
+// Allocator addresses differ across runs, so any pointer-derived
+// order is nondeterministic by construction.
+#include <cstdint>
+#include <functional>
+#include <map>
+
+namespace fixture {
+
+struct Node
+{
+    int value = 0;
+};
+
+inline std::uint64_t
+keyOf(const Node *n)
+{
+    // Address as identity key.
+    return static_cast<std::uint64_t>(
+        reinterpret_cast<std::uintptr_t>(n));
+}
+
+inline std::size_t
+hashOf(const Node *n)
+{
+    return std::hash<const Node *>{}(n);
+}
+
+// Pointer-keyed ordered map: iteration order is address order.
+using NodeRank = std::map<Node *, int, std::less<Node *>>;
+
+} // namespace fixture

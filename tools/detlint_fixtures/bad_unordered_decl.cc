@@ -1,0 +1,24 @@
+// expect: unordered-decl, unordered-decl
+// Known-bad fixture: unannotated unordered containers. Not compiled
+// (tools/ is outside every CMake glob); consumed by
+// `detlint.py --self-test`.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+class Cache
+{
+  public:
+    std::uint64_t lookups = 0;
+
+  private:
+    std::unordered_map<std::uint64_t, double> _memo;
+    // Multi-line declaration: the type and the declarator wrap.
+    std::unordered_set<std::uint64_t,
+                       std::hash<std::uint64_t>>
+        _seen;
+};
+
+} // namespace fixture

@@ -1,0 +1,47 @@
+// expect: unordered-iter, unordered-iter, unordered-iter
+// Known-bad fixture: iterating an unordered container leaks bucket
+// order into results even when the declaration itself is audited.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+class Stats
+{
+  public:
+    double
+    total() const
+    {
+        double sum = 0.0;
+        // Range-for over a hash table: FP accumulation order is
+        // bucket order, which is unspecified.
+        for (const auto &kv : _byId)
+            sum += kv.second;
+        return sum;
+    }
+
+    double
+    totalExplicit() const
+    {
+        double sum = 0.0;
+        for (auto it = _byId.begin(); it != _byId.end(); ++it)
+            sum += it->second;
+        return sum;
+    }
+
+    std::size_t
+    countPositive() const
+    {
+        return static_cast<std::size_t>(std::count_if(
+            _byId.begin(), _byId.end(),
+            [](const auto &kv) { return kv.second > 0.0; }));
+    }
+
+  private:
+    // detlint: allow(unordered-decl): fixture - the audit note is
+    // present, but iteration below must still be flagged.
+    std::unordered_map<std::uint64_t, double> _byId;
+};
+
+} // namespace fixture

@@ -1,0 +1,39 @@
+// expect: wall-clock, wall-clock, wall-clock, wall-clock
+// Known-bad fixture: ambient time and entropy sources. Simulated
+// time comes from the event queue; randomness from seeded sim::Rng.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+inline double
+jitterSeconds()
+{
+    // Ambient entropy: different every run.
+    std::random_device rd;
+    return static_cast<double>(rd()) * 1e-9;
+}
+
+inline double
+nowSeconds()
+{
+    auto t = std::chrono::system_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch())
+        .count();
+}
+
+inline long
+stamp()
+{
+    return static_cast<long>(time(nullptr));
+}
+
+inline int
+diceRoll()
+{
+    return rand() % 6;
+}
+
+} // namespace fixture

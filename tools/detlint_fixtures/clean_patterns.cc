@@ -1,0 +1,68 @@
+// expect:
+// Known-clean fixture: the deterministic counterparts of every rule.
+// Sorted containers, seeded RNG plumbing, epsilon/ordering FP tests,
+// id-keyed maps, and constants only - detlint must stay silent.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace fixture {
+
+inline constexpr double kEpsilon = 1e-12;
+
+class SortedStats
+{
+  public:
+    double
+    total() const
+    {
+        double sum = 0.0;
+        // std::map iterates in key order: deterministic.
+        for (const auto &kv : _byId)
+            sum += kv.second;
+        return sum;
+    }
+
+    bool
+    near(double a, double b) const
+    {
+        return std::fabs(a - b) < kEpsilon;
+    }
+
+    bool
+    before(double aSeconds, double bSeconds) const
+    {
+        // Ordering comparisons on doubles are fine; only exact
+        // equality needs a justification.
+        return aSeconds < bSeconds;
+    }
+
+    std::uint64_t
+    runtimeMs(std::uint64_t ticks) const
+    {
+        // Identifiers merely containing rule words (runtime, random
+        // spellings, clockPeriod) must not trip token matchers.
+        return ticks / _clockPeriodTicks;
+    }
+
+  private:
+    std::map<std::uint64_t, double> _byId;
+    std::uint64_t _clockPeriodTicks = 1000;
+};
+
+// Sorted drain of keyed data: gather, sort by key, then fold.
+inline double
+drainSorted(const std::map<std::uint64_t, double> &m)
+{
+    std::vector<std::pair<std::uint64_t, double>> rows(m.begin(),
+                                                       m.end());
+    std::sort(rows.begin(), rows.end());
+    double sum = 0.0;
+    for (const auto &r : rows)
+        sum += r.second;
+    return sum;
+}
+
+} // namespace fixture

@@ -1,0 +1,25 @@
+// expect:
+// Known-clean fixture: every violation below carries a well-formed
+// allow directive with a reason, in both same-line and previous-line
+// (including stacked comment) placements.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+class Memo
+{
+  public:
+    bool
+    sentinel(double scale) const
+    {
+        return scale == 1.0; // detlint: allow(float-eq): 1.0 is the configured identity sentinel, never computed
+    }
+
+  private:
+    // detlint: allow(unordered-decl): keyed find/emplace only;
+    // never iterated, so bucket order cannot reach results.
+    std::unordered_map<std::uint64_t, double> _memo;
+};
+
+} // namespace fixture

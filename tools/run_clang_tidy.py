@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""Repo clang-tidy driver: compile_commands.json in, verdict out.
+
+Runs the curated .clang-tidy check set over every translation unit
+under src/ listed in a CMake-exported compilation database, in
+parallel, dedupes header diagnostics that surface through multiple
+TUs, and compares the result against tools/clang_tidy_baseline.txt.
+
+The baseline is the ONLY sanctioned way to ship a finding: one line
+per tolerated (file, check) pair with a mandatory written
+justification after '#'. Unbaselined findings fail (exit 1); baseline
+entries that no longer match anything are reported as stale so audits
+cannot linger (warning only - check availability varies across
+clang-tidy versions).
+
+Usage:
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+    tools/run_clang_tidy.py [--build-dir build] [-j N]
+                            [--clang-tidy /path/to/clang-tidy]
+                            [--update-baseline]
+
+Exit status: 0 clean, 1 findings, 2 environment/usage error (no
+clang-tidy binary, no compilation database).
+"""
+
+import argparse
+import concurrent.futures
+import fnmatch
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "tools" / "clang_tidy_baseline.txt"
+
+DIAG_RE = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?P<sev>warning|error): (?P<msg>.*?) \[(?P<check>[\w.,-]+)\]$")
+
+
+def find_clang_tidy(explicit):
+    """Locate a clang-tidy binary; newest versioned name wins."""
+    candidates = []
+    if explicit:
+        candidates.append(explicit)
+    env = os.environ.get("CLANG_TIDY")
+    if env:
+        candidates.append(env)
+    candidates.append("clang-tidy")
+    candidates.extend(f"clang-tidy-{v}" for v in range(21, 13, -1))
+    for c in candidates:
+        path = shutil.which(c)
+        if path:
+            return path
+    return None
+
+
+def load_database(build_dir):
+    db_path = Path(build_dir) / "compile_commands.json"
+    if not db_path.is_file():
+        return None, db_path
+    return json.loads(db_path.read_text()), db_path
+
+
+def src_units(db):
+    """Absolute paths of the src/ translation units, deduped."""
+    units = []
+    seen = set()
+    src_root = (REPO_ROOT / "src").resolve()
+    for entry in db:
+        path = Path(entry["file"])
+        if not path.is_absolute():
+            path = Path(entry["directory"]) / path
+        path = path.resolve()
+        if src_root in path.parents and path not in seen:
+            seen.add(path)
+            units.append(path)
+    return sorted(units)
+
+
+def run_one(clang_tidy, build_dir, unit):
+    """Run clang-tidy on one TU; returns its raw stdout."""
+    proc = subprocess.run(
+        [clang_tidy, "--quiet", "-p", str(build_dir), str(unit)],
+        capture_output=True, text=True)
+    # clang-tidy exits nonzero on findings AND on real failures; a
+    # missing-database / bad-flags failure prints to stderr with no
+    # parseable diagnostics, which main() reports as an error.
+    return proc.stdout, proc.stderr, proc.returncode
+
+
+def parse_findings(stdout):
+    findings = []
+    for line in stdout.splitlines():
+        m = DIAG_RE.match(line)
+        if not m:
+            continue
+        path = Path(m.group("file"))
+        try:
+            rel = path.resolve().relative_to(REPO_ROOT)
+        except ValueError:
+            continue  # system/third-party header: not ours to fix
+        for check in m.group("check").split(","):
+            findings.append((str(rel), int(m.group("line")),
+                             check.strip(), m.group("msg")))
+    return findings
+
+
+def load_baseline():
+    """[(path_glob, check, justification)] from the baseline file."""
+    entries = []
+    problems = []
+    if not BASELINE.is_file():
+        return entries, problems
+    for lineno, raw in enumerate(BASELINE.read_text().splitlines(),
+                                 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        head, _, justification = line.partition("#")
+        justification = justification.strip()
+        parts = head.strip().rsplit(":", 1)
+        if len(parts) != 2 or not justification:
+            problems.append(
+                f"{BASELINE.name}:{lineno}: malformed entry (need "
+                f"'path:check  # justification'): {raw.strip()}")
+            continue
+        entries.append((parts[0], parts[1], justification))
+    return entries, problems
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--clang-tidy", default=None)
+    ap.add_argument("-j", "--jobs", type=int,
+                    default=os.cpu_count() or 1)
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="append TODO-justified entries for any "
+                         "unbaselined finding")
+    args = ap.parse_args(argv[1:])
+
+    clang_tidy = find_clang_tidy(args.clang_tidy)
+    if not clang_tidy:
+        print("run_clang_tidy: no clang-tidy binary found (PATH, "
+              "$CLANG_TIDY, or --clang-tidy); install clang-tidy to "
+              "run this gate")
+        return 2
+    version = subprocess.run([clang_tidy, "--version"],
+                             capture_output=True, text=True)
+    print(version.stdout.strip().splitlines()[-1]
+          if version.stdout.strip() else clang_tidy)
+
+    db, db_path = load_database(args.build_dir)
+    if db is None:
+        print(f"run_clang_tidy: {db_path} not found - configure "
+              "with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON")
+        return 2
+    units = src_units(db)
+    if not units:
+        print("run_clang_tidy: no src/ translation units in the "
+              "database")
+        return 2
+    print(f"analyzing {len(units)} translation units "
+          f"with {args.jobs} job(s)")
+
+    findings = []
+    hard_errors = []
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = {pool.submit(run_one, clang_tidy, args.build_dir,
+                               u): u for u in units}
+        for fut in concurrent.futures.as_completed(futures):
+            stdout, stderr, rc = fut.result()
+            unit_findings = parse_findings(stdout)
+            findings.extend(unit_findings)
+            if rc != 0 and not unit_findings:
+                hard_errors.append(
+                    f"{futures[fut]}: clang-tidy failed:\n{stderr}")
+
+    if hard_errors:
+        for e in hard_errors:
+            print(e)
+        return 2
+
+    # Header diagnostics repeat once per includer: dedupe exactly.
+    findings = sorted(set(findings))
+
+    baseline, problems = load_baseline()
+    for p in problems:
+        print(p)
+    matched_entries = set()
+    unbaselined = []
+    for path, line, check, msg in findings:
+        hit = next((i for i, (pat, bcheck, _) in enumerate(baseline)
+                    if bcheck == check and fnmatch.fnmatch(path,
+                                                           pat)),
+                   None)
+        if hit is None:
+            unbaselined.append((path, line, check, msg))
+        else:
+            matched_entries.add(hit)
+
+    for i, (pat, check, justification) in enumerate(baseline):
+        if i not in matched_entries:
+            print(f"stale baseline entry (no longer fires): "
+                  f"{pat}:{check}  # {justification}")
+
+    if unbaselined:
+        print()
+        for path, line, check, msg in unbaselined:
+            print(f"{path}:{line}: [{check}] {msg}")
+        print(f"\n{len(unbaselined)} unbaselined clang-tidy "
+              "finding(s): fix them, or add a justified entry to "
+              f"{BASELINE.relative_to(REPO_ROOT)}")
+        if args.update_baseline:
+            with BASELINE.open("a") as f:
+                for path, _, check, _ in sorted(
+                        {(p, None, c, None)
+                         for p, _, c, _ in unbaselined}):
+                    f.write(f"{path}:{check}  # TODO: justify or "
+                            "fix\n")
+            print("baseline updated - replace every TODO with a "
+                  "real justification before committing")
+        return 1
+    if problems:
+        return 1
+    print(f"clang-tidy clean ({len(findings)} finding(s), all "
+          "baselined)" if findings else "clang-tidy clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
